@@ -1,0 +1,174 @@
+//! Live-interval analysis and register-demand estimation over the virtual
+//! ISA.
+
+use crate::visa::{VProgram, VReg};
+
+/// Live interval of one virtual register, in instruction indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Register.
+    pub reg: VReg,
+    /// Definition position (first def).
+    pub start: usize,
+    /// Last use position (inclusive).
+    pub end: usize,
+}
+
+/// Computes live intervals. Values live into a loop body are extended to
+/// the loop end (they must survive every iteration), the standard
+/// conservative treatment of back edges in linear-scan allocators.
+pub fn live_intervals(prog: &VProgram) -> Vec<Interval> {
+    let n = prog.num_regs();
+    let mut start = vec![usize::MAX; n];
+    let mut end = vec![0usize; n];
+    for (pos, inst) in prog.insts.iter().enumerate() {
+        if let Some(d) = inst.def() {
+            let i = d.0 as usize;
+            if start[i] == usize::MAX {
+                start[i] = pos;
+            }
+            end[i] = end[i].max(pos);
+        }
+        for u in inst.uses() {
+            let i = u.0 as usize;
+            if start[i] == usize::MAX {
+                // Use before def (region argument wired elsewhere): starts
+                // at program entry.
+                start[i] = 0;
+            }
+            end[i] = end[i].max(pos);
+        }
+    }
+    // Back-edge extension.
+    for &(ls, le) in &prog.loops {
+        for i in 0..n {
+            if start[i] == usize::MAX {
+                continue;
+            }
+            let crosses_into = start[i] < ls && end[i] >= ls;
+            let used_inside = start[i] < le && end[i] >= ls;
+            if crosses_into || (used_inside && start[i] < ls) {
+                end[i] = end[i].max(le);
+            }
+            // Defined inside, used inside at an earlier iteration position:
+            // loop-carried; extend across the whole body.
+            if start[i] >= ls && start[i] < le && end[i] >= ls && end[i] < le && end[i] < start[i] {
+                end[i] = le;
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| start[i] != usize::MAX)
+        .map(|i| Interval {
+            reg: VReg(i as u32),
+            start: start[i],
+            end: end[i],
+        })
+        .collect()
+}
+
+/// Maximum number of simultaneously live 32-bit register units.
+pub fn max_pressure(prog: &VProgram) -> u32 {
+    let intervals = live_intervals(prog);
+    // Event sweep: +width at start, -width after end.
+    let mut events: Vec<(usize, i64)> = Vec::with_capacity(intervals.len() * 2);
+    for iv in &intervals {
+        let w = prog.widths[iv.reg.0 as usize].units() as i64;
+        events.push((iv.start, w));
+        events.push((iv.end + 1, -w));
+    }
+    events.sort_unstable_by_key(|&(pos, delta)| (pos, delta));
+    let mut cur = 0i64;
+    let mut max = 0i64;
+    for (_, delta) in events {
+        cur += delta;
+        max = max.max(cur);
+    }
+    max.max(0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visa::{RegWidth, VInst};
+    use respec_ir::BinOp;
+
+    fn prog(insts: Vec<VInst>, widths: Vec<RegWidth>, loops: Vec<(usize, usize)>) -> VProgram {
+        VProgram { insts, loops, widths }
+    }
+
+    #[test]
+    fn sequential_reuse_has_low_pressure() {
+        // r0 = imm; r1 = r0+r0; r2 = r1+r1 — at most two live at once.
+        let p = prog(
+            vec![
+                VInst::LdImm { dst: VReg(0) },
+                VInst::Bin { op: BinOp::Add, dst: VReg(1), a: VReg(0), b: VReg(0) },
+                VInst::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(1), b: VReg(1) },
+            ],
+            vec![RegWidth::Single; 3],
+            vec![],
+        );
+        assert_eq!(max_pressure(&p), 2);
+    }
+
+    #[test]
+    fn parallel_lives_add_up() {
+        // Three immediates all used by the final instruction.
+        let p = prog(
+            vec![
+                VInst::LdImm { dst: VReg(0) },
+                VInst::LdImm { dst: VReg(1) },
+                VInst::LdImm { dst: VReg(2) },
+                VInst::Sel { dst: VReg(3), c: VReg(0), t: VReg(1), f: VReg(2) },
+            ],
+            vec![RegWidth::Single; 4],
+            vec![],
+        );
+        assert_eq!(max_pressure(&p), 4);
+    }
+
+    #[test]
+    fn pairs_count_double() {
+        let p = prog(
+            vec![
+                VInst::LdImm { dst: VReg(0) },
+                VInst::LdImm { dst: VReg(1) },
+                VInst::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(0), b: VReg(1) },
+            ],
+            vec![RegWidth::Pair; 3],
+            vec![],
+        );
+        assert_eq!(max_pressure(&p), 6);
+    }
+
+    #[test]
+    fn loop_extends_live_in_values() {
+        // r0 defined before the loop, used at the loop start only; r1 is
+        // loop-local. r0 must stay live through the whole loop.
+        let p = prog(
+            vec![
+                VInst::LdImm { dst: VReg(0) },     // 0
+                VInst::Label { id: 1 },            // 1 (loop start)
+                VInst::Un { op: respec_ir::UnOp::Neg, dst: VReg(1), a: VReg(0) }, // 2
+                VInst::LdImm { dst: VReg(2) },     // 3
+                VInst::CondBr { cond: VReg(2), target: 1 }, // 4
+            ],
+            vec![RegWidth::Single; 3],
+            vec![(1, 5)],
+        );
+        let ivs = live_intervals(&p);
+        let r0 = ivs.iter().find(|i| i.reg == VReg(0)).unwrap();
+        assert!(r0.end >= 5, "live-in value must survive the back edge, end={}", r0.end);
+    }
+
+    #[test]
+    fn interval_count_matches_defined_regs() {
+        let p = prog(
+            vec![VInst::LdImm { dst: VReg(0) }, VInst::LdImm { dst: VReg(1) }],
+            vec![RegWidth::Single; 2],
+            vec![],
+        );
+        assert_eq!(live_intervals(&p).len(), 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! Closed-form kernel statistics (§VI "Kernel Statistics").
+//!
+//! Counts arithmetic, memory and branch operations per thread using
+//! closed-form trip counts: constant loop bounds multiply the body counts;
+//! unknown bounds use a caller-provided default estimate (the decision layer
+//! knows actual launch parameters and can pass better values).
+
+use respec_ir::{Function, OpKind, RegionId, ScalarType};
+
+/// Per-thread static operation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// f32 arithmetic operations.
+    pub fp32_ops: f64,
+    /// f64 arithmetic operations.
+    pub fp64_ops: f64,
+    /// Integer/index arithmetic operations.
+    pub int_ops: f64,
+    /// Transcendental operations.
+    pub special_ops: f64,
+    /// Global/local memory loads.
+    pub loads: f64,
+    /// Global/local memory stores.
+    pub stores: f64,
+    /// Shared memory accesses.
+    pub shared_accesses: f64,
+    /// Branch operations (conditionals + loop back edges) — the control
+    /// divergence proxy the paper collects at the LLVM level.
+    pub branches: f64,
+    /// Barriers executed.
+    pub barriers: f64,
+}
+
+impl KernelStats {
+    /// Total floating point operations.
+    pub fn flops(&self) -> f64 {
+        self.fp32_ops + self.fp64_ops + self.special_ops
+    }
+
+    fn scale(&self, k: f64) -> KernelStats {
+        KernelStats {
+            fp32_ops: self.fp32_ops * k,
+            fp64_ops: self.fp64_ops * k,
+            int_ops: self.int_ops * k,
+            special_ops: self.special_ops * k,
+            loads: self.loads * k,
+            stores: self.stores * k,
+            shared_accesses: self.shared_accesses * k,
+            branches: self.branches * k,
+            barriers: self.barriers * k,
+        }
+    }
+
+    fn add(&mut self, other: &KernelStats) {
+        self.fp32_ops += other.fp32_ops;
+        self.fp64_ops += other.fp64_ops;
+        self.int_ops += other.int_ops;
+        self.special_ops += other.special_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.shared_accesses += other.shared_accesses;
+        self.branches += other.branches;
+        self.barriers += other.barriers;
+    }
+}
+
+/// Computes per-thread statistics for a region (typically the thread body).
+/// `unknown_trip` estimates loops whose trip count is not a compile-time
+/// constant.
+pub fn kernel_stats(func: &Function, region: RegionId, unknown_trip: f64) -> KernelStats {
+    stats_region(func, region, unknown_trip)
+}
+
+fn const_trip(func: &Function, lb: respec_ir::Value, ub: respec_ir::Value, step: respec_ir::Value) -> Option<f64> {
+    let lb = func.const_int_value(lb)?;
+    let ub = func.const_int_value(ub)?;
+    let step = func.const_int_value(step)?;
+    if step <= 0 {
+        return None;
+    }
+    Some(((ub - lb).max(0) as f64 / step as f64).ceil())
+}
+
+fn stats_region(func: &Function, region: RegionId, unknown_trip: f64) -> KernelStats {
+    let mut total = KernelStats::default();
+    for &op_id in &func.region(region).ops {
+        let op = func.op(op_id);
+        match &op.kind {
+            OpKind::Binary(b) => {
+                let ty = func.value_type(op.results[0]).as_scalar();
+                match ty {
+                    Some(ScalarType::F32) => {
+                        if matches!(b, respec_ir::BinOp::Pow) {
+                            total.special_ops += 1.0;
+                        } else {
+                            total.fp32_ops += 1.0;
+                        }
+                    }
+                    Some(ScalarType::F64) => {
+                        if matches!(b, respec_ir::BinOp::Pow) {
+                            total.special_ops += 1.0;
+                        } else {
+                            total.fp64_ops += 1.0;
+                        }
+                    }
+                    _ => total.int_ops += 1.0,
+                }
+            }
+            OpKind::Unary(u) => match u {
+                respec_ir::UnOp::Neg | respec_ir::UnOp::Abs | respec_ir::UnOp::Not => {
+                    match func.value_type(op.results[0]).as_scalar() {
+                        Some(ScalarType::F32) => total.fp32_ops += 1.0,
+                        Some(ScalarType::F64) => total.fp64_ops += 1.0,
+                        _ => total.int_ops += 1.0,
+                    }
+                }
+                _ => total.special_ops += 1.0,
+            },
+            OpKind::Cmp(_) | OpKind::Select => total.int_ops += 1.0,
+            OpKind::Load => {
+                let space = func.value_type(op.operands[0]).as_memref().map(|m| m.space);
+                if space == Some(respec_ir::MemSpace::Shared) {
+                    total.shared_accesses += 1.0;
+                } else {
+                    total.loads += 1.0;
+                }
+            }
+            OpKind::Store => {
+                let space = func.value_type(op.operands[1]).as_memref().map(|m| m.space);
+                if space == Some(respec_ir::MemSpace::Shared) {
+                    total.shared_accesses += 1.0;
+                } else {
+                    total.stores += 1.0;
+                }
+            }
+            OpKind::Barrier { .. } => total.barriers += 1.0,
+            OpKind::For => {
+                let trip =
+                    const_trip(func, op.operands[0], op.operands[1], op.operands[2]).unwrap_or(unknown_trip);
+                let body = stats_region(func, op.regions[0], unknown_trip);
+                let mut scaled = body.scale(trip);
+                scaled.branches += trip; // one back-edge test per iteration
+                total.add(&scaled);
+            }
+            OpKind::While => {
+                let cond = stats_region(func, op.regions[0], unknown_trip);
+                let body = stats_region(func, op.regions[1], unknown_trip);
+                let mut combined = cond;
+                combined.add(&body);
+                let mut scaled = combined.scale(unknown_trip);
+                scaled.branches += unknown_trip;
+                total.add(&scaled);
+            }
+            OpKind::If => {
+                // Divergence-conservative: both arms execute (masked), and
+                // the branch itself counts.
+                total.branches += 1.0;
+                let then = stats_region(func, op.regions[0], unknown_trip);
+                let els = stats_region(func, op.regions[1], unknown_trip);
+                // Average the arms (one of them executes per thread; a warp
+                // may pay for both — the divergence penalty is the branch
+                // count collected above).
+                let mut avg = then;
+                avg.add(&els);
+                total.add(&avg.scale(0.5));
+            }
+            OpKind::Parallel { .. } => {
+                // Per-thread stats: descend without scaling (the caller
+                // accounts for thread counts).
+                total.add(&stats_region(func, op.regions[0], unknown_trip));
+            }
+            OpKind::Alternatives { selected } => {
+                let r = op.regions[selected.unwrap_or(0)];
+                total.add(&stats_region(func, r, unknown_trip));
+            }
+            _ => {}
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+
+    #[test]
+    fn counts_loop_scaled_ops() {
+        let func = parse_function(
+            "func @f(%m: memref<?xf32, global>) {
+  %c0 = const 0 : index
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %c8 step %c1 {
+    %v = load %m[%i] : f32
+    %d = add %v, %v : f32
+    store %d, %m[%i]
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let s = kernel_stats(&func, func.body(), 16.0);
+        assert_eq!(s.loads, 8.0);
+        assert_eq!(s.stores, 8.0);
+        assert_eq!(s.fp32_ops, 8.0);
+        assert_eq!(s.branches, 8.0);
+    }
+
+    #[test]
+    fn unknown_trips_use_estimate() {
+        let func = parse_function(
+            "func @f(%m: memref<?xf32, global>, %n: index) {
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %n step %c1 {
+    %v = load %m[%i] : f32
+    store %v, %m[%i]
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let s = kernel_stats(&func, func.body(), 100.0);
+        assert_eq!(s.loads, 100.0);
+    }
+
+    #[test]
+    fn distinguishes_shared_accesses_and_specials() {
+        let func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf64, global>) {
+  %c32 = const 32 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<32xf64, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c32, %c1, %c1) {
+      %v = load %m[%tx] : f64
+      %s = sqrt %v : f64
+      store %s, %sm[%tx]
+      barrier<thread>
+      %w = load %sm[%tx] : f64
+      %d = mul %w, %w : f64
+      store %d, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let s = kernel_stats(&func, func.body(), 16.0);
+        assert_eq!(s.loads, 1.0);
+        assert_eq!(s.stores, 1.0);
+        assert_eq!(s.shared_accesses, 2.0);
+        assert_eq!(s.special_ops, 1.0);
+        assert_eq!(s.fp64_ops, 1.0);
+        assert_eq!(s.barriers, 1.0);
+        assert!(s.flops() > 0.0);
+    }
+
+    #[test]
+    fn if_counts_half_of_each_arm() {
+        let func = parse_function(
+            "func @f(%a: f32, %c: i1) {
+  %r = if %c {
+    %x = add %a, %a : f32
+    yield %x
+  } else {
+    %y = mul %a, %a : f32
+    yield %y
+  }
+  return %r
+}",
+        )
+        .unwrap();
+        let s = kernel_stats(&func, func.body(), 16.0);
+        assert_eq!(s.branches, 1.0);
+        assert_eq!(s.fp32_ops, 1.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! Lowering of kernel thread code to a linear virtual ISA.
+//!
+//! The paper extracts register usage and spill counts from the platform
+//! backend (ptxas / AMD's compiler) to prune coarsening alternatives (§VI).
+//! This module plays that backend's role: it lowers the thread-parallel
+//! region of a kernel into straight-line virtual instructions with labels
+//! and branches, from which [`crate::liveness`] computes register demand.
+
+use std::collections::HashMap;
+
+use respec_ir::{BinOp, CmpPred, Function, OpId, OpKind, RegionId, ScalarType, UnOp, Value};
+
+/// A virtual register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// Width class of a virtual register, in 32-bit register units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegWidth {
+    /// One 32-bit register (i32, f32, i1-as-predicate).
+    Single,
+    /// A 64-bit pair (i64, f64, index, addresses).
+    Pair,
+}
+
+impl RegWidth {
+    /// Number of 32-bit register units.
+    pub fn units(self) -> u32 {
+        match self {
+            RegWidth::Single => 1,
+            RegWidth::Pair => 2,
+        }
+    }
+
+    /// Width class of a scalar type.
+    pub fn of(ty: ScalarType) -> RegWidth {
+        match ty {
+            ScalarType::I1 | ScalarType::I32 | ScalarType::F32 => RegWidth::Single,
+            ScalarType::I64 | ScalarType::F64 | ScalarType::Index => RegWidth::Pair,
+        }
+    }
+}
+
+/// A virtual instruction. Operand registers are uses; `dst` is a def.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VInst {
+    /// Immediate load.
+    LdImm { dst: VReg },
+    /// Binary arithmetic.
+    Bin { op: BinOp, dst: VReg, a: VReg, b: VReg },
+    /// Unary arithmetic.
+    Un { op: UnOp, dst: VReg, a: VReg },
+    /// Comparison into a predicate register.
+    Cmp { pred: CmpPred, dst: VReg, a: VReg, b: VReg },
+    /// Select.
+    Sel { dst: VReg, c: VReg, t: VReg, f: VReg },
+    /// Conversion / register move.
+    Mov { dst: VReg, a: VReg },
+    /// Memory load through a computed address register.
+    Ld { dst: VReg, addr: VReg },
+    /// Memory store.
+    St { addr: VReg, src: VReg },
+    /// Jump target.
+    Label { id: u32 },
+    /// Unconditional branch.
+    Br { target: u32 },
+    /// Conditional branch.
+    CondBr { cond: VReg, target: u32 },
+    /// Barrier.
+    Bar,
+}
+
+impl VInst {
+    /// Registers read by the instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            VInst::LdImm { .. } | VInst::Label { .. } | VInst::Br { .. } | VInst::Bar => vec![],
+            VInst::Bin { a, b, .. } | VInst::Cmp { a, b, .. } => vec![*a, *b],
+            VInst::Un { a, .. } | VInst::Mov { a, .. } => vec![*a],
+            VInst::Sel { c, t, f, .. } => vec![*c, *t, *f],
+            VInst::Ld { addr, .. } => vec![*addr],
+            VInst::St { addr, src } => vec![*addr, *src],
+            VInst::CondBr { cond, .. } => vec![*cond],
+        }
+    }
+
+    /// Register written by the instruction, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            VInst::LdImm { dst }
+            | VInst::Bin { dst, .. }
+            | VInst::Un { dst, .. }
+            | VInst::Cmp { dst, .. }
+            | VInst::Sel { dst, .. }
+            | VInst::Mov { dst, .. }
+            | VInst::Ld { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+}
+
+/// A lowered code sequence plus loop extents for liveness analysis.
+#[derive(Clone, Debug, Default)]
+pub struct VProgram {
+    /// Instructions in layout order.
+    pub insts: Vec<VInst>,
+    /// `(start, end)` instruction index ranges of loop bodies (inclusive
+    /// start, exclusive end); values live into a loop stay live across it.
+    pub loops: Vec<(usize, usize)>,
+    /// Width of each virtual register.
+    pub widths: Vec<RegWidth>,
+}
+
+impl VProgram {
+    /// Number of virtual registers.
+    pub fn num_regs(&self) -> usize {
+        self.widths.len()
+    }
+}
+
+struct Lowering<'f> {
+    func: &'f Function,
+    prog: VProgram,
+    map: HashMap<Value, VReg>,
+    next_label: u32,
+}
+
+impl<'f> Lowering<'f> {
+    fn reg_for(&mut self, v: Value) -> VReg {
+        if let Some(&r) = self.map.get(&v) {
+            return r;
+        }
+        let ty = self
+            .func
+            .value_type(v)
+            .as_scalar()
+            .map(RegWidth::of)
+            // Memrefs lower to a base-address pair.
+            .unwrap_or(RegWidth::Pair);
+        let r = VReg(self.prog.widths.len() as u32);
+        self.prog.widths.push(ty);
+        self.map.insert(v, r);
+        r
+    }
+
+    fn fresh(&mut self, width: RegWidth) -> VReg {
+        let r = VReg(self.prog.widths.len() as u32);
+        self.prog.widths.push(width);
+        r
+    }
+
+    fn label(&mut self) -> u32 {
+        self.next_label += 1;
+        self.next_label
+    }
+
+    fn emit(&mut self, i: VInst) {
+        self.prog.insts.push(i);
+    }
+
+    /// Computes an address register from a memref base and index registers.
+    fn address(&mut self, base: Value, indices: &[Value]) -> VReg {
+        let mut addr = self.reg_for(base);
+        for &i in indices {
+            let ir = self.reg_for(i);
+            let next = self.fresh(RegWidth::Pair);
+            // base' = base * dim + idx — modelled as one fused address op
+            // per index (mad).
+            self.emit(VInst::Bin {
+                op: BinOp::Add,
+                dst: next,
+                a: addr,
+                b: ir,
+            });
+            addr = next;
+        }
+        addr
+    }
+
+    fn lower_region(&mut self, region: RegionId) {
+        let ops = self.func.region(region).ops.clone();
+        for op_id in ops {
+            self.lower_op(op_id);
+        }
+    }
+
+    fn lower_op(&mut self, op_id: OpId) {
+        let op = self.func.op(op_id).clone();
+        match &op.kind {
+            OpKind::ConstInt { .. } | OpKind::ConstFloat { .. } => {
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::LdImm { dst });
+            }
+            OpKind::Binary(b) => {
+                let a = self.reg_for(op.operands[0]);
+                let c = self.reg_for(op.operands[1]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Bin { op: *b, dst, a, b: c });
+            }
+            OpKind::Unary(u) => {
+                let a = self.reg_for(op.operands[0]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Un { op: *u, dst, a });
+            }
+            OpKind::Cmp(p) => {
+                let a = self.reg_for(op.operands[0]);
+                let c = self.reg_for(op.operands[1]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Cmp { pred: *p, dst, a, b: c });
+            }
+            OpKind::Select => {
+                let c = self.reg_for(op.operands[0]);
+                let t = self.reg_for(op.operands[1]);
+                let f = self.reg_for(op.operands[2]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Sel { dst, c, t, f });
+            }
+            OpKind::Cast { .. } => {
+                let a = self.reg_for(op.operands[0]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Mov { dst, a });
+            }
+            OpKind::Alloc { .. } => {
+                // Base address materialization.
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::LdImm { dst });
+            }
+            OpKind::Dim { .. } => {
+                let a = self.reg_for(op.operands[0]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Mov { dst, a });
+            }
+            OpKind::Load => {
+                let addr = self.address(op.operands[0], &op.operands[1..]);
+                let dst = self.reg_for(op.results[0]);
+                self.emit(VInst::Ld { dst, addr });
+            }
+            OpKind::Store => {
+                let src = self.reg_for(op.operands[0]);
+                let addr = self.address(op.operands[1], &op.operands[2..]);
+                self.emit(VInst::St { addr, src });
+            }
+            OpKind::Barrier { .. } => self.emit(VInst::Bar),
+            OpKind::For => {
+                // iv = lb; L: body; iv += step; if (iv < ub) br L
+                let body = op.regions[0];
+                let args = self.func.region(body).args.clone();
+                let iv = self.reg_for(args[0]);
+                let lb = self.reg_for(op.operands[0]);
+                let ub = self.reg_for(op.operands[1]);
+                let step = self.reg_for(op.operands[2]);
+                self.emit(VInst::Mov { dst: iv, a: lb });
+                // Iteration args start at inits.
+                for (arg, init) in args[1..].iter().zip(&op.operands[3..]) {
+                    let a = self.reg_for(*init);
+                    let dst = self.reg_for(*arg);
+                    self.emit(VInst::Mov { dst, a });
+                }
+                let header = self.label();
+                let start = self.prog.insts.len();
+                self.emit(VInst::Label { id: header });
+                self.lower_region(body);
+                // The body's yield wired iteration args; advance and test.
+                self.emit(VInst::Bin {
+                    op: BinOp::Add,
+                    dst: iv,
+                    a: iv,
+                    b: step,
+                });
+                let cond = self.fresh(RegWidth::Single);
+                self.emit(VInst::Cmp {
+                    pred: CmpPred::Lt,
+                    dst: cond,
+                    a: iv,
+                    b: ub,
+                });
+                self.emit(VInst::CondBr { cond, target: header });
+                let end = self.prog.insts.len();
+                self.prog.loops.push((start, end));
+                // Results are the final iteration arg values.
+                for (res, arg) in op.results.iter().zip(&args[1..]) {
+                    let a = self.reg_for(*arg);
+                    let dst = self.reg_for(*res);
+                    self.emit(VInst::Mov { dst, a });
+                }
+            }
+            OpKind::While => {
+                let cond_region = op.regions[0];
+                let body_region = op.regions[1];
+                let cond_args = self.func.region(cond_region).args.clone();
+                for (arg, init) in cond_args.iter().zip(&op.operands) {
+                    let a = self.reg_for(*init);
+                    let dst = self.reg_for(*arg);
+                    self.emit(VInst::Mov { dst, a });
+                }
+                let header = self.label();
+                let start = self.prog.insts.len();
+                self.emit(VInst::Label { id: header });
+                self.lower_region(cond_region);
+                self.lower_region(body_region);
+                self.emit(VInst::Br { target: header });
+                let end = self.prog.insts.len();
+                self.prog.loops.push((start, end));
+                for (res, arg) in op.results.iter().zip(&cond_args) {
+                    let a = self.reg_for(*arg);
+                    let dst = self.reg_for(*res);
+                    self.emit(VInst::Mov { dst, a });
+                }
+            }
+            OpKind::If => {
+                let c = self.reg_for(op.operands[0]);
+                let out = self.label();
+                self.emit(VInst::CondBr { cond: c, target: out });
+                // Both arms contribute to pressure; lay them out
+                // sequentially (predicated-execution view).
+                for &r in &op.regions {
+                    self.lower_region(r);
+                }
+                self.emit(VInst::Label { id: out });
+                // Results: moves from the yielded values of the arms were
+                // already wired by lower_yield through `map`; emit result
+                // materializations.
+                for res in &op.results {
+                    let dst = self.reg_for(*res);
+                    self.emit(VInst::LdImm { dst });
+                }
+            }
+            OpKind::Parallel { .. } => {
+                // Nested parallel inside thread code does not occur; at the
+                // block level the lowering entry point dives into regions
+                // explicitly.
+                for &r in &op.regions {
+                    self.lower_region(r);
+                }
+            }
+            OpKind::Alternatives { .. } => {
+                for &r in &op.regions {
+                    self.lower_region(r);
+                }
+            }
+            OpKind::Yield | OpKind::Condition => {
+                // Wire yielded values back into the surrounding op's
+                // carried registers via moves (cheap approximation of phi).
+                for &v in &op.operands {
+                    let a = self.reg_for(v);
+                    let dst = self.fresh(RegWidth::of(
+                        self.func.value_type(v).as_scalar().unwrap_or(ScalarType::I64),
+                    ));
+                    self.emit(VInst::Mov { dst, a });
+                }
+            }
+            OpKind::Call { .. } | OpKind::Return => {}
+        }
+    }
+}
+
+/// Lowers one region (typically the thread-parallel body of a launch) to a
+/// virtual-ISA program.
+pub fn lower_region_to_visa(func: &Function, region: RegionId) -> VProgram {
+    let mut lw = Lowering {
+        func,
+        prog: VProgram::default(),
+        map: HashMap::new(),
+        next_label: 0,
+    };
+    // Region arguments (thread ids) occupy registers from the start.
+    for &a in &func.region(region).args.clone() {
+        let r = lw.reg_for(a);
+        lw.emit(VInst::LdImm { dst: r });
+    }
+    lw.lower_region(region);
+    lw.prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+
+    fn thread_region(func: &Function) -> RegionId {
+        let launches = respec_ir::kernel::analyze_function(func).unwrap();
+        func.op(launches[0].thread_par).regions[0]
+    }
+
+    #[test]
+    fn lowers_straight_line_kernel() {
+        let func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c32 = const 32 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c32, %c1, %c1) {
+      %v = load %m[%tx] : f32
+      %d = add %v, %v : f32
+      store %d, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let prog = lower_region_to_visa(&func, thread_region(&func));
+        assert!(prog.insts.iter().any(|i| matches!(i, VInst::Ld { .. })));
+        assert!(prog.insts.iter().any(|i| matches!(i, VInst::St { .. })));
+        assert!(prog.loops.is_empty());
+        assert!(prog.num_regs() >= 5);
+    }
+
+    #[test]
+    fn loops_are_recorded() {
+        let func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>, %n: index) {
+  %c32 = const 32 : index
+  %c1 = const 1 : index
+  %c0 = const 0 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c32, %c1, %c1) {
+      %z = fconst 0.0 : f32
+      %r = for %i = %c0 to %n step %c1 iter (%a = %z) {
+        %v = load %m[%i] : f32
+        %nx = add %a, %v : f32
+        yield %nx
+      }
+      store %r, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let prog = lower_region_to_visa(&func, thread_region(&func));
+        assert_eq!(prog.loops.len(), 1);
+        let (s, e) = prog.loops[0];
+        assert!(s < e && e <= prog.insts.len());
+    }
+
+    #[test]
+    fn widths_track_types() {
+        let func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf64, global>) {
+  %c32 = const 32 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c32, %c1, %c1) {
+      %v = load %m[%tx] : f64
+      %d = add %v, %v : f64
+      store %d, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let prog = lower_region_to_visa(&func, thread_region(&func));
+        // f64 values must be register pairs.
+        assert!(prog.widths.iter().filter(|w| **w == RegWidth::Pair).count() >= 3);
+    }
+
+    #[test]
+    fn uses_and_defs_are_consistent() {
+        let i = VInst::Bin {
+            op: BinOp::Add,
+            dst: VReg(2),
+            a: VReg(0),
+            b: VReg(1),
+        };
+        assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
+        assert_eq!(i.def(), Some(VReg(2)));
+        assert_eq!(VInst::Bar.def(), None);
+    }
+}

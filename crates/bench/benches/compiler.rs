@@ -1,0 +1,149 @@
+//! Criterion benchmarks of the compiler itself: frontend, coarsening,
+//! cleanup passes, backend register estimation, and simulated execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use respec::opt::{coarsen_function, optimize, CoarsenConfig};
+use respec::{targets, Compiler, GpuSim, KernelArg};
+use respec_rodinia::{all_apps, compile_app};
+
+const KERNEL: &str = r#"
+#define BS 16
+__global__ void tile_mul(float* c, float* a, float* b, int n) {
+    __shared__ float ta[BS][BS];
+    __shared__ float tb[BS][BS];
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int col = blockIdx.x * BS + tx;
+    int row = blockIdx.y * BS + ty;
+    float acc = 0.0f;
+    for (int m = 0; m < n / BS; m++) {
+        ta[ty][tx] = a[row * n + m * BS + tx];
+        tb[ty][tx] = b[(m * BS + ty) * n + col];
+        __syncthreads();
+        for (int k = 0; k < BS; k++) {
+            acc += ta[ty][k] * tb[k][tx];
+        }
+        __syncthreads();
+    }
+    c[row * n + col] = acc;
+}
+"#;
+
+fn compiled() -> respec::Compiled {
+    Compiler::new()
+        .source(KERNEL)
+        .kernel("tile_mul", [16, 16, 1])
+        .target(targets::a100())
+        .optimizer(false)
+        .compile()
+        .expect("compiles")
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("frontend/compile_tile_mul", |b| {
+        b.iter(|| {
+            std::hint::black_box(compiled());
+        })
+    });
+    c.bench_function("frontend/compile_all_rodinia", |b| {
+        b.iter(|| {
+            for app in all_apps() {
+                std::hint::black_box(compile_app(app.as_ref()).expect("compiles"));
+            }
+        })
+    });
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let base = compiled();
+    c.bench_function("opt/coarsen_2x2", |b| {
+        b.iter(|| {
+            let mut f = base.kernel("tile_mul").clone();
+            coarsen_function(
+                &mut f,
+                CoarsenConfig {
+                    block: [2, 1, 1],
+                    thread: [2, 1, 1],
+                },
+            )
+            .expect("legal");
+            std::hint::black_box(f);
+        })
+    });
+    c.bench_function("opt/coarsen_7_with_epilogue", |b| {
+        b.iter(|| {
+            let mut f = base.kernel("tile_mul").clone();
+            coarsen_function(
+                &mut f,
+                CoarsenConfig {
+                    block: [7, 1, 1],
+                    thread: [1, 1, 1],
+                },
+            )
+            .expect("legal");
+            std::hint::black_box(f);
+        })
+    });
+    let mut coarse = base.kernel("tile_mul").clone();
+    coarsen_function(
+        &mut coarse,
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [4, 1, 1],
+        },
+    )
+    .expect("legal");
+    c.bench_function("opt/cleanup_pipeline", |b| {
+        b.iter(|| {
+            let mut f = coarse.clone();
+            std::hint::black_box(optimize(&mut f));
+        })
+    });
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let base = compiled();
+    let func = base.kernel("tile_mul").clone();
+    let launch = respec::ir::kernel::analyze_function(&func).expect("kernel shape").remove(0);
+    c.bench_function("backend/register_estimate", |b| {
+        b.iter(|| {
+            std::hint::black_box(respec::backend::compile_launch(&func, &launch, 255));
+        })
+    });
+    c.bench_function("ir/print_parse_round_trip", |b| {
+        b.iter(|| {
+            let text = func.to_string();
+            std::hint::black_box(respec::ir::parse_function(&text).expect("parses"));
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let base = compiled();
+    let func = base.kernel("tile_mul").clone();
+    let n = 128usize;
+    c.bench_function("sim/tile_mul_128", |b| {
+        b.iter(|| {
+            let mut sim = GpuSim::new(targets::a100());
+            let a = sim.mem.alloc_f32(&vec![1.0; n * n]);
+            let bb = sim.mem.alloc_f32(&vec![2.0; n * n]);
+            let cc = sim.mem.alloc_f32(&vec![0.0; n * n]);
+            let g = (n / 16) as i64;
+            sim.launch(
+                &func,
+                [g, g, 1],
+                &[KernelArg::Buf(cc), KernelArg::Buf(a), KernelArg::Buf(bb), KernelArg::I32(n as i32)],
+                32,
+            )
+            .expect("launches");
+            std::hint::black_box(sim.elapsed_seconds);
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frontend, bench_transforms, bench_backend, bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates every table and figure of the paper's evaluation at reduced
+//! scale, as part of `cargo bench`. For paper-scale runs use the dedicated
+//! binaries (`cargo run --release -p respec-bench --bin fig13 -- --large`).
+
+use respec::targets;
+use respec_rodinia::Workload;
+
+fn main() {
+    let quick_totals = [1i64, 2, 4];
+
+    respec_bench::table1();
+    respec_bench::fig13(Workload::Small, &quick_totals);
+    respec_bench::fig14(Workload::Small, &[1, 2, 4, 7], &[1, 2, 4]);
+    respec_bench::table2(Workload::Small);
+    respec_bench::fig15(Workload::Small, &[1, 2, 4], &[1, 2, 4]);
+    respec_bench::fig16(Workload::Small, &[targets::a4000(), targets::rx6800()], &quick_totals);
+    respec_bench::fig17(Workload::Small, &quick_totals);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 13: combined vs thread-only vs block-only coarsening.
+//! Pass `--large` for the paper-scale workloads (slower).
+use respec_rodinia::Workload;
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--large") {
+        Workload::Large
+    } else {
+        Workload::Small
+    };
+    let totals = [1, 2, 4, 8, 16, 32];
+    respec_bench::fig13(workload, &totals);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 14: lud speedup over the (block, thread) factor grid.
+//! Defaults to the Large workload; pass `--small` for a quick run.
+use respec_rodinia::Workload;
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--small") {
+        Workload::Small
+    } else {
+        Workload::Large
+    };
+    let blocks = [1i64, 2, 4, 7, 8, 16, 26, 32];
+    let threads = [1i64, 2, 4, 8, 16, 32];
+    respec_bench::fig14(workload, &blocks, &threads);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 15: lud, block coarsening in x only × thread totals.
+//! Defaults to the Large workload; pass `--small` for a quick run.
+use respec_rodinia::Workload;
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--small") {
+        Workload::Small
+    } else {
+        Workload::Large
+    };
+    let block_x = [1i64, 2, 3, 4, 6, 8, 9, 12];
+    let threads = [1i64, 2, 4, 8];
+    respec_bench::fig15(workload, &block_x, &threads);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 16: Rodinia composite comparison of clang vs
+//! Polygeist-GPU (no-opt / opt) on the NVIDIA and AMD targets.
+//! Pass `--large` for the paper-scale workloads (slower).
+use respec::targets;
+use respec_rodinia::Workload;
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--large") {
+        Workload::Large
+    } else {
+        Workload::Small
+    };
+    let totals = [1, 2, 4, 8];
+    let ts = [targets::a4000(), targets::a100(), targets::rx6800(), targets::mi210()];
+    respec_bench::fig16(workload, &ts, &totals);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 17: A4000 (clang) vs A4000 (P-G) vs RX6800 (P-G).
+//! Pass `--large` for the paper-scale workloads (slower).
+use respec_rodinia::Workload;
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--large") {
+        Workload::Large
+    } else {
+        Workload::Small
+    };
+    let totals = [1, 2, 4, 8];
+    respec_bench::fig17(workload, &totals);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (GPU specifications).
+fn main() {
+    respec_bench::table1();
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table II: lud profiling counters at (1,1), (4,1), (1,4).
+//! Defaults to the Large workload; pass `--small` for a quick run.
+use respec_rodinia::Workload;
+
+fn main() {
+    let workload = if std::env::args().any(|a| a == "--small") {
+        Workload::Small
+    } else {
+        Workload::Large
+    };
+    respec_bench::table2(workload);
+}

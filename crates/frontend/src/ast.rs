@@ -1,0 +1,368 @@
+//! Abstract syntax tree for the CUDA C subset.
+
+/// A C scalar or pointer type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CType {
+    Void,
+    Bool,
+    Int,
+    Long,
+    Float,
+    Double,
+    /// Pointer to element type (only one level, only to scalars).
+    Ptr(Box<CType>),
+}
+
+impl CType {
+    /// Returns `true` for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+}
+
+/// CUDA builtin index vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuiltinVar {
+    ThreadIdx,
+    BlockIdx,
+    BlockDim,
+    GridDim,
+}
+
+/// Binary operators (also used for compound assignment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinopC {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnopC {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// An expression with its source line for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    /// Value plus "has `f` suffix" flag (`true` ⇒ `float`, else `double`).
+    FloatLit(f64, bool),
+    Ident(String),
+    /// `threadIdx.x` and friends; `usize` is the dimension (0=x, 1=y, 2=z).
+    Builtin(BuiltinVar, usize),
+    Unary(UnopC, Box<Expr>),
+    Binary(BinopC, Box<Expr>, Box<Expr>),
+    /// `lhs op= rhs`; `op == None` for plain assignment. Value is the
+    /// assigned value (C semantics), though we only allow it in statement
+    /// position.
+    Assign {
+        op: Option<BinopC>,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `++x`, `x++`, `--x`, `x--`; statement position only.
+    IncDec {
+        inc: bool,
+        lhs: Box<Expr>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// `base[index]`; chains express multi-dimensional access.
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Cast {
+        ty: CType,
+        expr: Box<Expr>,
+    },
+    /// `c ? t : e`.
+    Cond {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
+}
+
+/// A statement with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// Variable or array declaration. `dims` is non-empty for arrays.
+    Decl {
+        name: String,
+        ty: CType,
+        dims: Vec<usize>,
+        shared: bool,
+        init: Option<Expr>,
+    },
+    Expr(Expr),
+    Block(Vec<Stmt>),
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        inc: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    Return(Option<Expr>),
+    /// `__syncthreads();`
+    Sync,
+}
+
+/// Function qualifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuncKind {
+    /// `__global__`: a kernel entry point.
+    Global,
+    /// `__device__`: a device helper, inlined at call sites.
+    Device,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    pub name: String,
+    pub ty: CType,
+}
+
+/// A parsed function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    pub kind: FuncKind,
+    pub name: String,
+    pub ret: CType,
+    pub params: Vec<ParamDecl>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TranslationUnit {
+    pub funcs: Vec<FuncDef>,
+}
+
+impl TranslationUnit {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Iterates over kernel (`__global__`) definitions.
+    pub fn kernels(&self) -> impl Iterator<Item = &FuncDef> {
+        self.funcs.iter().filter(|f| f.kind == FuncKind::Global)
+    }
+}
+
+/// Collects the names of scalar variables assigned anywhere within `stmts`
+/// (used to determine loop-carried values during SSA construction).
+pub fn assigned_vars(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        assigned_vars_stmt(s, out);
+    }
+}
+
+fn assigned_vars_stmt(s: &Stmt, out: &mut Vec<String>) {
+    match &s.kind {
+        StmtKind::Decl { init: Some(e), .. } => assigned_vars_expr(e, out),
+        StmtKind::Decl { .. } => {}
+        StmtKind::Expr(e) => assigned_vars_expr(e, out),
+        StmtKind::Block(b) => assigned_vars(b, out),
+        StmtKind::If { cond, then, els } => {
+            assigned_vars_expr(cond, out);
+            assigned_vars_stmt(then, out);
+            if let Some(e) = els {
+                assigned_vars_stmt(e, out);
+            }
+        }
+        StmtKind::For { init, cond, inc, body } => {
+            if let Some(i) = init {
+                assigned_vars_stmt(i, out);
+            }
+            if let Some(c) = cond {
+                assigned_vars_expr(c, out);
+            }
+            if let Some(i) = inc {
+                assigned_vars_expr(i, out);
+            }
+            assigned_vars_stmt(body, out);
+        }
+        StmtKind::While { cond, body } => {
+            assigned_vars_expr(cond, out);
+            assigned_vars_stmt(body, out);
+        }
+        StmtKind::Return(Some(e)) => assigned_vars_expr(e, out),
+        StmtKind::Return(None) | StmtKind::Sync => {}
+    }
+}
+
+fn assigned_vars_expr(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Assign { lhs, rhs, .. } => {
+            if let ExprKind::Ident(name) = &lhs.kind {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            } else {
+                assigned_vars_expr(lhs, out);
+            }
+            assigned_vars_expr(rhs, out);
+        }
+        ExprKind::IncDec { lhs, .. } => {
+            if let ExprKind::Ident(name) = &lhs.kind {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        }
+        ExprKind::Unary(_, a) => assigned_vars_expr(a, out),
+        ExprKind::Binary(_, a, b) => {
+            assigned_vars_expr(a, out);
+            assigned_vars_expr(b, out);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                assigned_vars_expr(a, out);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            assigned_vars_expr(base, out);
+            assigned_vars_expr(index, out);
+        }
+        ExprKind::Cast { expr, .. } => assigned_vars_expr(expr, out),
+        ExprKind::Cond { cond, then, els } => {
+            assigned_vars_expr(cond, out);
+            assigned_vars_expr(then, out);
+            assigned_vars_expr(els, out);
+        }
+        ExprKind::IntLit(_) | ExprKind::FloatLit(..) | ExprKind::Ident(_) | ExprKind::Builtin(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(name: &str) -> Expr {
+        Expr {
+            kind: ExprKind::Ident(name.into()),
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn assigned_vars_finds_nested_assignments() {
+        let assign = Expr {
+            kind: ExprKind::Assign {
+                op: None,
+                lhs: Box::new(ident("x")),
+                rhs: Box::new(ident("y")),
+            },
+            line: 1,
+        };
+        let stmt = Stmt {
+            kind: StmtKind::If {
+                cond: ident("c"),
+                then: Box::new(Stmt {
+                    kind: StmtKind::Expr(assign),
+                    line: 1,
+                }),
+                els: None,
+            },
+            line: 1,
+        };
+        let mut out = Vec::new();
+        assigned_vars(&[stmt], &mut out);
+        assert_eq!(out, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn assigned_vars_ignores_array_stores() {
+        let store = Expr {
+            kind: ExprKind::Assign {
+                op: None,
+                lhs: Box::new(Expr {
+                    kind: ExprKind::Index {
+                        base: Box::new(ident("a")),
+                        index: Box::new(ident("i")),
+                    },
+                    line: 1,
+                }),
+                rhs: Box::new(ident("y")),
+            },
+            line: 1,
+        };
+        let mut out = Vec::new();
+        assigned_vars(
+            &[Stmt {
+                kind: StmtKind::Expr(store),
+                line: 1,
+            }],
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn incdec_counts_as_assignment() {
+        let e = Expr {
+            kind: ExprKind::IncDec {
+                inc: true,
+                lhs: Box::new(ident("i")),
+            },
+            line: 1,
+        };
+        let mut out = Vec::new();
+        assigned_vars(
+            &[Stmt {
+                kind: StmtKind::Expr(e),
+                line: 1,
+            }],
+            &mut out,
+        );
+        assert_eq!(out, vec!["i".to_string()]);
+    }
+}

@@ -1,0 +1,770 @@
+//! Recursive-descent parser for the CUDA C subset.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, TokKind, Token};
+
+/// Error produced while parsing CUDA source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for CParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CParseError {}
+
+impl From<LexError> for CParseError {
+    fn from(e: LexError) -> CParseError {
+        CParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+const TYPE_KEYWORDS: &[&str] = &["void", "bool", "int", "long", "unsigned", "float", "double", "size_t"];
+
+struct P {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn err(&self, message: impl Into<String>) -> CParseError {
+        CParseError {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &TokKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.toks[self.pos.min(self.toks.len() - 1)].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{p}', found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), TokKind::Ident(w) if w == word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CParseError> {
+        match self.bump() {
+            TokKind::Ident(w) => Ok(w),
+            t => Err(self.err(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), TokKind::Ident(w) if TYPE_KEYWORDS.contains(&w.as_str()))
+            || matches!(self.peek(), TokKind::Ident(w) if w == "const")
+    }
+
+    fn parse_type(&mut self) -> Result<CType, CParseError> {
+        while self.eat_ident("const") {}
+        let base = match self.bump() {
+            TokKind::Ident(w) => match w.as_str() {
+                "void" => CType::Void,
+                "bool" => CType::Bool,
+                "int" => CType::Int,
+                "long" => {
+                    self.eat_ident("long");
+                    self.eat_ident("int");
+                    CType::Long
+                }
+                "size_t" => CType::Long,
+                "unsigned" => {
+                    // `unsigned`, `unsigned int`, `unsigned long` — all
+                    // modelled as their signed counterparts (documented
+                    // narrowing of the subset).
+                    if self.eat_ident("long") {
+                        CType::Long
+                    } else {
+                        self.eat_ident("int");
+                        CType::Int
+                    }
+                }
+                "float" => CType::Float,
+                "double" => CType::Double,
+                other => return Err(self.err(format!("unknown type {other}"))),
+            },
+            t => return Err(self.err(format!("expected type, found {t:?}"))),
+        };
+        let mut ty = base;
+        while self.eat_punct("*") {
+            while self.eat_ident("const") || self.eat_ident("__restrict__") || self.eat_ident("restrict") {}
+            ty = CType::Ptr(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, CParseError> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr, CParseError> {
+        let line = self.line();
+        let lhs = self.parse_cond()?;
+        let op = match self.peek() {
+            TokKind::Punct("=") => None,
+            TokKind::Punct("+=") => Some(BinopC::Add),
+            TokKind::Punct("-=") => Some(BinopC::Sub),
+            TokKind::Punct("*=") => Some(BinopC::Mul),
+            TokKind::Punct("/=") => Some(BinopC::Div),
+            TokKind::Punct("%=") => Some(BinopC::Rem),
+            TokKind::Punct("&=") => Some(BinopC::BitAnd),
+            TokKind::Punct("|=") => Some(BinopC::BitOr),
+            TokKind::Punct("^=") => Some(BinopC::BitXor),
+            TokKind::Punct("<<=") => Some(BinopC::Shl),
+            TokKind::Punct(">>=") => Some(BinopC::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign()?;
+        Ok(Expr {
+            kind: ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            line,
+        })
+    }
+
+    fn parse_cond(&mut self) -> Result<Expr, CParseError> {
+        let line = self.line();
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.parse_expr()?;
+            self.expect_punct(":")?;
+            let els = self.parse_cond()?;
+            Ok(Expr {
+                kind: ExprKind::Cond {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els: Box::new(els),
+                },
+                line,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing over binary operators; `min_prec` is the minimum
+    /// binding power to continue.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, CParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokKind::Punct("||") => (BinopC::LogOr, 1),
+                TokKind::Punct("&&") => (BinopC::LogAnd, 2),
+                TokKind::Punct("|") => (BinopC::BitOr, 3),
+                TokKind::Punct("^") => (BinopC::BitXor, 4),
+                TokKind::Punct("&") => (BinopC::BitAnd, 5),
+                TokKind::Punct("==") => (BinopC::EqEq, 6),
+                TokKind::Punct("!=") => (BinopC::Ne, 6),
+                TokKind::Punct("<") => (BinopC::Lt, 7),
+                TokKind::Punct("<=") => (BinopC::Le, 7),
+                TokKind::Punct(">") => (BinopC::Gt, 7),
+                TokKind::Punct(">=") => (BinopC::Ge, 7),
+                TokKind::Punct("<<") => (BinopC::Shl, 8),
+                TokKind::Punct(">>") => (BinopC::Shr, 8),
+                TokKind::Punct("+") => (BinopC::Add, 9),
+                TokKind::Punct("-") => (BinopC::Sub, 9),
+                TokKind::Punct("*") => (BinopC::Mul, 10),
+                TokKind::Punct("/") => (BinopC::Div, 10),
+                TokKind::Punct("%") => (BinopC::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CParseError> {
+        let line = self.line();
+        match self.peek() {
+            TokKind::Punct("-") => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnopC::Neg, Box::new(e)),
+                    line,
+                })
+            }
+            TokKind::Punct("+") => {
+                self.bump();
+                self.parse_unary()
+            }
+            TokKind::Punct("!") => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnopC::Not, Box::new(e)),
+                    line,
+                })
+            }
+            TokKind::Punct("~") => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnopC::BitNot, Box::new(e)),
+                    line,
+                })
+            }
+            TokKind::Punct("++") | TokKind::Punct("--") => {
+                let inc = matches!(self.peek(), TokKind::Punct("++"));
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::IncDec { inc, lhs: Box::new(e) },
+                    line,
+                })
+            }
+            TokKind::Punct("(") => {
+                // Disambiguate cast from parenthesized expression.
+                if matches!(self.peek2(), TokKind::Ident(w) if TYPE_KEYWORDS.contains(&w.as_str())) {
+                    self.bump(); // (
+                    let ty = self.parse_type()?;
+                    self.expect_punct(")")?;
+                    let e = self.parse_unary()?;
+                    Ok(Expr {
+                        kind: ExprKind::Cast { ty, expr: Box::new(e) },
+                        line,
+                    })
+                } else {
+                    self.parse_postfix()
+                }
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CParseError> {
+        let line = self.line();
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.parse_expr()?;
+                self.expect_punct("]")?;
+                e = Expr {
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                    },
+                    line,
+                };
+            } else if matches!(self.peek(), TokKind::Punct("++") | TokKind::Punct("--")) {
+                let inc = matches!(self.peek(), TokKind::Punct("++"));
+                self.bump();
+                e = Expr {
+                    kind: ExprKind::IncDec { inc, lhs: Box::new(e) },
+                    line,
+                };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CParseError> {
+        let line = self.line();
+        match self.bump() {
+            TokKind::IntLit(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                line,
+            }),
+            TokKind::FloatLit(v, f32_suffix) => Ok(Expr {
+                kind: ExprKind::FloatLit(v, f32_suffix),
+                line,
+            }),
+            TokKind::Punct("(") => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokKind::Ident(name) => {
+                let builtin = match name.as_str() {
+                    "threadIdx" => Some(BuiltinVar::ThreadIdx),
+                    "blockIdx" => Some(BuiltinVar::BlockIdx),
+                    "blockDim" => Some(BuiltinVar::BlockDim),
+                    "gridDim" => Some(BuiltinVar::GridDim),
+                    _ => None,
+                };
+                if let Some(b) = builtin {
+                    self.expect_punct(".")?;
+                    let member = self.expect_ident()?;
+                    let dim = match member.as_str() {
+                        "x" => 0,
+                        "y" => 1,
+                        "z" => 2,
+                        other => return Err(self.err(format!("unknown member .{other}"))),
+                    };
+                    return Ok(Expr {
+                        kind: ExprKind::Builtin(b, dim),
+                        line,
+                    });
+                }
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    return Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        line,
+                    });
+                }
+                Ok(Expr {
+                    kind: ExprKind::Ident(name),
+                    line,
+                })
+            }
+            t => Err(self.err(format!("expected expression, found {t:?}"))),
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), TokKind::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            self.parse_stmt_into(&mut stmts)?;
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CParseError> {
+        let mut v = Vec::new();
+        self.parse_stmt_into(&mut v)?;
+        if v.len() == 1 {
+            Ok(v.pop().expect("checked length"))
+        } else {
+            let line = v.first().map_or(1, |s| s.line);
+            Ok(Stmt {
+                kind: StmtKind::Block(v),
+                line,
+            })
+        }
+    }
+
+    fn parse_stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), CParseError> {
+        let line = self.line();
+        if matches!(self.peek(), TokKind::Punct("{")) {
+            let b = self.parse_block()?;
+            out.push(Stmt {
+                kind: StmtKind::Block(b),
+                line,
+            });
+            return Ok(());
+        }
+        if self.eat_punct(";") {
+            return Ok(());
+        }
+        if self.eat_ident("if") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.parse_stmt()?);
+            let els = if self.eat_ident("else") {
+                Some(Box::new(self.parse_stmt()?))
+            } else {
+                None
+            };
+            out.push(Stmt {
+                kind: StmtKind::If { cond, then, els },
+                line,
+            });
+            return Ok(());
+        }
+        if self.eat_ident("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else {
+                let mut init_stmts = Vec::new();
+                self.parse_simple_stmt_into(&mut init_stmts)?;
+                self.expect_punct(";")?;
+                if init_stmts.len() != 1 {
+                    return Err(self.err("for-init must be a single declaration or expression"));
+                }
+                Some(Box::new(init_stmts.pop().expect("checked length")))
+            };
+            let cond = if matches!(self.peek(), TokKind::Punct(";")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(";")?;
+            let inc = if matches!(self.peek(), TokKind::Punct(")")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = Box::new(self.parse_stmt()?);
+            out.push(Stmt {
+                kind: StmtKind::For { init, cond, inc, body },
+                line,
+            });
+            return Ok(());
+        }
+        if self.eat_ident("while") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = Box::new(self.parse_stmt()?);
+            out.push(Stmt {
+                kind: StmtKind::While { cond, body },
+                line,
+            });
+            return Ok(());
+        }
+        if self.eat_ident("return") {
+            let e = if matches!(self.peek(), TokKind::Punct(";")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(";")?;
+            out.push(Stmt {
+                kind: StmtKind::Return(e),
+                line,
+            });
+            return Ok(());
+        }
+        if self.eat_ident("break") || self.eat_ident("continue") {
+            return Err(self.err("break/continue are not supported by this subset"));
+        }
+        self.parse_simple_stmt_into(out)?;
+        self.expect_punct(";")?;
+        Ok(())
+    }
+
+    /// Parses a declaration or expression statement *without* the trailing
+    /// semicolon (shared between statement and for-init positions).
+    fn parse_simple_stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), CParseError> {
+        let line = self.line();
+        let shared = self.eat_ident("__shared__");
+        if shared || self.at_type() {
+            let ty = self.parse_type()?;
+            loop {
+                let name = self.expect_ident()?;
+                let mut dims = Vec::new();
+                while self.eat_punct("[") {
+                    match self.bump() {
+                        TokKind::IntLit(v) if v > 0 => dims.push(v as usize),
+                        t => return Err(self.err(format!("array dimension must be a positive constant, found {t:?}"))),
+                    }
+                    self.expect_punct("]")?;
+                }
+                let init = if self.eat_punct("=") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                out.push(Stmt {
+                    kind: StmtKind::Decl {
+                        name,
+                        ty: ty.clone(),
+                        dims,
+                        shared,
+                        init,
+                    },
+                    line,
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            return Ok(());
+        }
+        let e = self.parse_expr()?;
+        if let ExprKind::Call { name, args } = &e.kind {
+            if name == "__syncthreads" && args.is_empty() {
+                out.push(Stmt {
+                    kind: StmtKind::Sync,
+                    line,
+                });
+                return Ok(());
+            }
+        }
+        out.push(Stmt {
+            kind: StmtKind::Expr(e),
+            line,
+        });
+        Ok(())
+    }
+
+    // ---- top level ---------------------------------------------------------
+
+    fn parse_unit(&mut self) -> Result<TranslationUnit, CParseError> {
+        let mut unit = TranslationUnit::default();
+        loop {
+            if matches!(self.peek(), TokKind::Eof) {
+                return Ok(unit);
+            }
+            let line = self.line();
+            let mut kind = None;
+            loop {
+                if self.eat_ident("__global__") {
+                    kind = Some(FuncKind::Global);
+                } else if self.eat_ident("__device__") {
+                    kind = Some(FuncKind::Device);
+                } else if self.eat_ident("static") || self.eat_ident("inline") || self.eat_ident("__forceinline__")
+                {
+                    // qualifier noise
+                } else {
+                    break;
+                }
+            }
+            let kind = kind.ok_or_else(|| self.err("expected __global__ or __device__ function"))?;
+            let ret = self.parse_type()?;
+            if kind == FuncKind::Global && ret != CType::Void {
+                return Err(self.err("__global__ functions must return void"));
+            }
+            let name = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    let ty = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    params.push(ParamDecl { name: pname, ty });
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            let body = self.parse_block()?;
+            unit.funcs.push(FuncDef {
+                kind,
+                name,
+                ret,
+                params,
+                body,
+                line,
+            });
+        }
+    }
+}
+
+/// Parses a CUDA C translation unit containing `__global__` and
+/// `__device__` function definitions.
+///
+/// # Errors
+///
+/// Returns a [`CParseError`] on the first lexical or syntactic problem.
+///
+/// # Example
+///
+/// ```
+/// let unit = respec_frontend::parse_cuda(r#"
+///     __global__ void scale(float* a, float s, int n) {
+///         int i = blockIdx.x * blockDim.x + threadIdx.x;
+///         if (i < n) a[i] = a[i] * s;
+///     }
+/// "#)?;
+/// assert_eq!(unit.kernels().count(), 1);
+/// # Ok::<(), respec_frontend::CParseError>(())
+/// ```
+pub fn parse_cuda(src: &str) -> Result<TranslationUnit, CParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    p.parse_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_kernel() {
+        let unit = parse_cuda(
+            "__global__ void k(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { a[i] = a[i] + 1.0f; }
+            }",
+        )
+        .unwrap();
+        assert_eq!(unit.funcs.len(), 1);
+        let f = &unit.funcs[0];
+        assert_eq!(f.kind, FuncKind::Global);
+        assert_eq!(f.params.len(), 2);
+        assert!(f.params[0].ty.is_ptr());
+    }
+
+    #[test]
+    fn parses_shared_and_sync() {
+        let unit = parse_cuda(
+            "#define BS 16
+            __global__ void k(float* a) {
+                __shared__ float tile[BS][BS];
+                tile[threadIdx.y][threadIdx.x] = a[threadIdx.x];
+                __syncthreads();
+                a[threadIdx.x] = tile[threadIdx.x][threadIdx.y];
+            }",
+        )
+        .unwrap();
+        let body = &unit.funcs[0].body;
+        assert!(matches!(
+            &body[0].kind,
+            StmtKind::Decl { shared: true, dims, .. } if dims == &vec![16, 16]
+        ));
+        assert!(body.iter().any(|s| matches!(s.kind, StmtKind::Sync)));
+    }
+
+    #[test]
+    fn parses_for_loops() {
+        let unit = parse_cuda(
+            "__global__ void k(float* a, int n) {
+                float acc = 0.0f;
+                for (int i = 0; i < n; i++) acc += a[i];
+                a[0] = acc;
+            }",
+        )
+        .unwrap();
+        assert!(unit.funcs[0]
+            .body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::For { .. })));
+    }
+
+    #[test]
+    fn parses_device_function() {
+        let unit = parse_cuda(
+            "__device__ float sq(float x) { return x * x; }
+             __global__ void k(float* a) { a[0] = sq(a[0]); }",
+        )
+        .unwrap();
+        assert_eq!(unit.funcs.len(), 2);
+        assert_eq!(unit.funcs[0].kind, FuncKind::Device);
+    }
+
+    #[test]
+    fn parses_ternary_and_logic() {
+        let unit = parse_cuda(
+            "__global__ void k(float* a, int n) {
+                int i = threadIdx.x;
+                float v = (i > 0 && i < n) ? a[i] : 0.0f;
+                a[i] = v;
+            }",
+        )
+        .unwrap();
+        assert_eq!(unit.funcs.len(), 1);
+    }
+
+    #[test]
+    fn rejects_break() {
+        let err = parse_cuda("__global__ void k(float* a) { while (1) { break; } }").unwrap_err();
+        assert!(err.message.contains("break"));
+    }
+
+    #[test]
+    fn rejects_non_void_kernel() {
+        let err = parse_cuda("__global__ int k() { return 1; }").unwrap_err();
+        assert!(err.message.contains("void"));
+    }
+
+    #[test]
+    fn parses_casts() {
+        let unit = parse_cuda(
+            "__global__ void k(float* a, int n) {
+                a[0] = (float)n / 2.0f;
+            }",
+        )
+        .unwrap();
+        assert_eq!(unit.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_multi_declarator() {
+        let unit = parse_cuda(
+            "__global__ void k(float* a) {
+                int i = 0, j = 1;
+                a[i] = a[j];
+            }",
+        )
+        .unwrap();
+        let decls = unit.funcs[0]
+            .body
+            .iter()
+            .filter(|s| matches!(s.kind, StmtKind::Decl { .. }))
+            .count();
+        assert_eq!(decls, 2);
+    }
+
+    #[test]
+    fn parses_unsigned_as_int() {
+        let unit = parse_cuda("__global__ void k(unsigned int* a, unsigned n) { a[0] = n; }").unwrap();
+        assert_eq!(unit.funcs[0].params[0].ty, CType::Ptr(Box::new(CType::Int)));
+        assert_eq!(unit.funcs[0].params[1].ty, CType::Int);
+    }
+}

@@ -1,0 +1,388 @@
+//! Lexer and lightweight preprocessor for the CUDA C subset.
+//!
+//! The preprocessor handles exactly what the Rodinia kernels need: comment
+//! stripping, `#include` elision, and object-like numeric `#define`s
+//! (e.g. `#define BLOCK_SIZE 16`). Function-like macros are rejected.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while lexing or preprocessing CUDA source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A lexed token with its source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token kinds of the CUDA C subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (suffixes `u`/`l` are consumed and ignored).
+    IntLit(i64),
+    /// Floating point literal; the flag is `true` for `f`-suffixed literals.
+    FloatLit(f64, bool),
+    /// Punctuation or operator, e.g. `"+="`, `"("`, `"&&"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokKind {
+    /// Returns the identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    // Three-char first, then two-char, then one-char: longest match wins.
+    "<<<", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<<", ">>", "++", "--", "->", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "=", "+", "-", "*",
+    "/", "%", "<", ">", "!", "&", "|", "^", "~", ".",
+];
+
+/// Strips `//…` and `/*…*/` comments, preserving line structure.
+fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Applies the mini-preprocessor: collects numeric `#define`s, drops other
+/// directives, and substitutes macro names in the remaining text lines.
+fn preprocess(src: &str) -> Result<(String, HashMap<String, String>), LexError> {
+    let mut defines: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(src.len());
+    for (lineno, line) in src.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(def) = rest.strip_prefix("define") {
+                let mut parts = def.trim().splitn(2, char::is_whitespace);
+                let name = parts.next().unwrap_or("").trim();
+                let value = parts.next().unwrap_or("").trim();
+                if name.is_empty() {
+                    return Err(LexError {
+                        message: "malformed #define".into(),
+                        line: lineno as u32 + 1,
+                    });
+                }
+                if name.contains('(') {
+                    return Err(LexError {
+                        message: format!("function-like macro {name} is not supported"),
+                        line: lineno as u32 + 1,
+                    });
+                }
+                defines.insert(name.to_string(), value.to_string());
+            }
+            // #include, #ifdef, #pragma, … are dropped; kernels in this
+            // subset must be self-contained.
+            out.push('\n');
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok((out, defines))
+}
+
+/// Lexes preprocessed CUDA source into tokens.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for malformed literals, unsupported characters, or
+/// function-like macros.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let stripped = strip_comments(src);
+    let (text, defines) = preprocess(&stripped)?;
+    let mut toks = lex_raw(&text)?;
+    // Substitute object-like macros (possibly recursively, bounded).
+    for _round in 0..8 {
+        let mut changed = false;
+        let mut result = Vec::with_capacity(toks.len());
+        for tok in toks {
+            match &tok.kind {
+                TokKind::Ident(name) if defines.contains_key(name) => {
+                    let expansion = lex_raw(&defines[name]).map_err(|mut e| {
+                        e.message = format!("in expansion of macro {name}: {}", e.message);
+                        e.line = tok.line;
+                        e
+                    })?;
+                    for mut t in expansion {
+                        if t.kind == TokKind::Eof {
+                            continue;
+                        }
+                        t.line = tok.line;
+                        result.push(t);
+                        changed = true;
+                    }
+                }
+                _ => result.push(tok),
+            }
+        }
+        toks = result;
+        if !changed {
+            break;
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_raw(text: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident(text[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) {
+            let start = i;
+            let mut is_float = c == '.';
+            if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let v = i64::from_str_radix(&text[start + 2..i], 16).map_err(|e| LexError {
+                    message: format!("bad hex literal: {e}"),
+                    line,
+                })?;
+                // Consume integer suffixes.
+                while matches!(bytes.get(i), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::IntLit(v),
+                    line,
+                });
+                continue;
+            }
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_digit() {
+                    i += 1;
+                } else if b == '.' {
+                    is_float = true;
+                    i += 1;
+                } else if (b == 'e' || b == 'E')
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|&n| n.is_ascii_digit() || n == b'-' || n == b'+')
+                {
+                    is_float = true;
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let body = &text[start..i];
+            let mut f32_suffix = false;
+            while let Some(&s) = bytes.get(i) {
+                match s {
+                    b'f' | b'F' => {
+                        f32_suffix = true;
+                        is_float = true;
+                        i += 1;
+                    }
+                    b'u' | b'U' | b'l' | b'L' => {
+                        i += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if is_float {
+                let v: f64 = body.parse().map_err(|e| LexError {
+                    message: format!("bad float literal {body}: {e}"),
+                    line,
+                })?;
+                toks.push(Token {
+                    kind: TokKind::FloatLit(v, f32_suffix),
+                    line,
+                });
+            } else {
+                let v: i64 = body.parse().map_err(|e| LexError {
+                    message: format!("bad int literal {body}: {e}"),
+                    line,
+                })?;
+                toks.push(Token {
+                    kind: TokKind::IntLit(v),
+                    line,
+                });
+            }
+            continue;
+        }
+        for p in PUNCTS {
+            if text[i..].starts_with(p) {
+                toks.push(Token {
+                    kind: TokKind::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected character {c:?}"),
+            line,
+        });
+    }
+    toks.push(Token {
+        kind: TokKind::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_puncts() {
+        let k = kinds("a += b[2];");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Punct("+="),
+                TokKind::Ident("b".into()),
+                TokKind::Punct("["),
+                TokKind::IntLit(2),
+                TokKind::Punct("]"),
+                TokKind::Punct(";"),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_float_suffixes() {
+        assert_eq!(kinds("1.5f")[0], TokKind::FloatLit(1.5, true));
+        assert_eq!(kinds("1.5")[0], TokKind::FloatLit(1.5, false));
+        assert_eq!(kinds("2e-3f")[0], TokKind::FloatLit(2e-3, true));
+        assert_eq!(kinds("3u")[0], TokKind::IntLit(3));
+        assert_eq!(kinds("0x10")[0], TokKind::IntLit(16));
+    }
+
+    #[test]
+    fn strips_comments() {
+        let k = kinds("a /* mid */ b // tail\nc");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Ident("b".into()),
+                TokKind::Ident("c".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn expands_numeric_defines() {
+        let k = kinds("#define BLOCK_SIZE 16\nint x = BLOCK_SIZE * BLOCK_SIZE;");
+        assert!(k.contains(&TokKind::IntLit(16)));
+        assert!(!k.iter().any(|t| t.ident() == Some("BLOCK_SIZE")));
+    }
+
+    #[test]
+    fn expands_defines_recursively() {
+        let k = kinds("#define A 4\n#define B A\nB");
+        assert_eq!(k[0], TokKind::IntLit(4));
+    }
+
+    #[test]
+    fn ignores_includes() {
+        let k = kinds("#include <cuda.h>\nx");
+        assert_eq!(k[0], TokKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn rejects_function_like_macros() {
+        let err = lex("#define SQ(x) ((x)*(x))\n").unwrap_err();
+        assert!(err.message.contains("function-like"));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn lexes_shift_operators() {
+        let k = kinds("a << 2 >> 1");
+        assert!(k.contains(&TokKind::Punct("<<")));
+        assert!(k.contains(&TokKind::Punct(">>")));
+    }
+}

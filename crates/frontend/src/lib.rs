@@ -1,0 +1,341 @@
+//! CUDA C-subset frontend for the `respec` GPU retargeting compiler.
+//!
+//! Where the paper builds on Polygeist's Clang-based importer, this crate
+//! implements a self-contained pipeline for the CUDA subset the Rodinia
+//! kernels use: a mini-preprocessor (numeric `#define`s), a lexer, a
+//! recursive-descent parser, and a lowering stage that produces the parallel
+//! IR of [`respec_ir`] with structured SSA construction (no allocas for
+//! scalars — the analogue of Polygeist's mem2reg across barriers).
+//!
+//! # Supported subset
+//!
+//! * `__global__` kernels and `__device__` helper functions (inlined),
+//! * scalar types `bool`, `int`, `long`, `float`, `double` (`unsigned` maps
+//!   to signed), one level of pointers, static local/`__shared__` arrays,
+//! * `if`/`else`, `for`, `while`, early-return guards (`if (c) return;`),
+//! * `threadIdx/blockIdx/blockDim/gridDim`, `__syncthreads()`,
+//! * the common math intrinsics (`sqrtf`, `expf`, `fminf`, `powf`, …).
+//!
+//! # Example
+//!
+//! ```
+//! use respec_frontend::{compile_cuda, KernelSpec};
+//!
+//! let module = compile_cuda(
+//!     r#"
+//!     __global__ void saxpy(float* y, float* x, float a, int n) {
+//!         int i = blockIdx.x * blockDim.x + threadIdx.x;
+//!         if (i < n) y[i] = y[i] + a * x[i];
+//!     }
+//!     "#,
+//!     &[KernelSpec::new("saxpy", [256, 1, 1])],
+//! )?;
+//! assert!(module.function("saxpy").is_some());
+//! # Ok::<(), respec_frontend::CompileError>(())
+//! ```
+
+mod ast;
+mod cparse;
+mod lex;
+mod lower;
+
+pub use ast::{
+    assigned_vars, BinopC, BuiltinVar, CType, Expr, ExprKind, FuncDef, FuncKind, ParamDecl, Stmt, StmtKind,
+    TranslationUnit, UnopC,
+};
+pub use cparse::{parse_cuda, CParseError};
+pub use lex::{lex, LexError, TokKind, Token};
+pub use lower::{lower_kernel, lower_translation_unit, FrontendError, KernelSpec};
+
+use std::fmt;
+
+/// Error produced by [`compile_cuda`]: either a parse or a lowering failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// Lexical or syntactic error.
+    Parse(CParseError),
+    /// Type or subset error during lowering.
+    Lower(FrontendError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => e.fmt(f),
+            CompileError::Lower(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CParseError> for CompileError {
+    fn from(e: CParseError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<FrontendError> for CompileError {
+    fn from(e: FrontendError) -> CompileError {
+        CompileError::Lower(e)
+    }
+}
+
+/// Compiles CUDA source to an IR module containing one function per kernel
+/// named in `specs`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on parse or lowering failure.
+pub fn compile_cuda(src: &str, specs: &[KernelSpec]) -> Result<respec_ir::Module, CompileError> {
+    let unit = parse_cuda(src)?;
+    Ok(lower_translation_unit(&unit, specs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{verify_function, OpKind, ParLevel};
+
+    fn compile_one(src: &str, name: &str, dims: [i64; 3]) -> respec_ir::Function {
+        let module = compile_cuda(src, &[KernelSpec::new(name, dims)]).expect("compilation");
+        let func = module.function(name).expect("kernel present").clone();
+        verify_function(&func).expect("verification");
+        func
+    }
+
+    #[test]
+    fn lowers_saxpy_with_guard() {
+        let func = compile_one(
+            "__global__ void saxpy(float* y, float* x, float a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) y[i] = y[i] + a * x[i];
+            }",
+            "saxpy",
+            [256, 1, 1],
+        );
+        let text = func.to_string();
+        assert!(text.contains("parallel<block>"));
+        assert!(text.contains("parallel<thread>"));
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        assert_eq!(launches[0].block_dims, vec![256, 1, 1]);
+    }
+
+    #[test]
+    fn lowers_shared_tile_with_barrier() {
+        let func = compile_one(
+            "#define BS 16
+            __global__ void transpose(float* out, float* in, int n) {
+                __shared__ float tile[BS][BS];
+                int x = blockIdx.x * BS + threadIdx.x;
+                int y = blockIdx.y * BS + threadIdx.y;
+                tile[threadIdx.y][threadIdx.x] = in[y * n + x];
+                __syncthreads();
+                out[x * n + y] = tile[threadIdx.y][threadIdx.x];
+            }",
+            "transpose",
+            [16, 16, 1],
+        );
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        assert_eq!(launches[0].shared_allocs.len(), 1);
+        assert_eq!(launches[0].shared_bytes(&func), 16 * 16 * 4);
+        let mut barriers = 0;
+        respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
+            if matches!(func.op(op).kind, OpKind::Barrier { level: ParLevel::Thread }) {
+                barriers += 1;
+            }
+        });
+        assert_eq!(barriers, 1);
+    }
+
+    #[test]
+    fn lowers_counted_for_to_scf_for() {
+        let func = compile_one(
+            "__global__ void sum(float* out, float* in, int n) {
+                float acc = 0.0f;
+                for (int i = 0; i < n; i++) acc += in[i];
+                out[threadIdx.x] = acc;
+            }",
+            "sum",
+            [32, 1, 1],
+        );
+        let mut fors = 0;
+        let mut whiles = 0;
+        respec_ir::walk::walk_ops(&func, func.body(), &mut |op| match func.op(op).kind {
+            OpKind::For => fors += 1,
+            OpKind::While => whiles += 1,
+            _ => {}
+        });
+        assert_eq!(fors, 1, "canonical loop must lower to scf.for");
+        assert_eq!(whiles, 0);
+    }
+
+    #[test]
+    fn noncanonical_loop_falls_back_to_while() {
+        let func = compile_one(
+            "__global__ void f(float* a, int n) {
+                int i = 0;
+                while (i * i < n) { a[i] = 0.0f; i = i + 1; }
+            }",
+            "f",
+            [32, 1, 1],
+        );
+        let mut whiles = 0;
+        respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
+            if matches!(func.op(op).kind, OpKind::While) {
+                whiles += 1;
+            }
+        });
+        assert_eq!(whiles, 1);
+    }
+
+    #[test]
+    fn if_merges_assigned_scalars() {
+        let func = compile_one(
+            "__global__ void f(float* a, int n) {
+                int i = threadIdx.x;
+                float v = 0.0f;
+                if (i < n) { v = a[i]; } else { v = 1.0f; }
+                a[i] = v;
+            }",
+            "f",
+            [32, 1, 1],
+        );
+        // The if must carry one f32 result (the merged `v`).
+        let mut found = false;
+        respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
+            if matches!(func.op(op).kind, OpKind::If) && func.op(op).results.len() == 1 {
+                found = true;
+            }
+        });
+        assert!(found, "merged variable must become an if result");
+    }
+
+    #[test]
+    fn inlines_device_functions() {
+        let func = compile_one(
+            "__device__ float sq(float x) { return x * x; }
+             __global__ void f(float* a) {
+                 int i = threadIdx.x;
+                 a[i] = sq(a[i]);
+             }",
+            "f",
+            [32, 1, 1],
+        );
+        // No call op should remain.
+        let mut calls = 0;
+        respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
+            if matches!(func.op(op).kind, OpKind::Call { .. }) {
+                calls += 1;
+            }
+        });
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn device_function_early_return() {
+        let func = compile_one(
+            "__device__ float clamp01(float x) {
+                 if (x < 0.0f) return 0.0f;
+                 if (x > 1.0f) return 1.0f;
+                 return x;
+             }
+             __global__ void f(float* a) { a[threadIdx.x] = clamp01(a[threadIdx.x]); }",
+            "f",
+            [32, 1, 1],
+        );
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn early_return_guard_wraps_rest() {
+        let func = compile_one(
+            "__global__ void f(float* a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i >= n) return;
+                a[i] = 2.0f * a[i];
+            }",
+            "f",
+            [64, 1, 1],
+        );
+        let text = func.to_string();
+        assert!(text.contains("if"), "guard must lower to an if: {text}");
+    }
+
+    #[test]
+    fn short_circuit_guards_memory_access() {
+        compile_one(
+            "__global__ void f(float* a, int n) {
+                int i = threadIdx.x;
+                if (i < n && a[i] > 0.0f) a[i] = -a[i];
+            }",
+            "f",
+            [32, 1, 1],
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_kernel_name() {
+        let err = compile_cuda("__global__ void f(float* a) { a[0] = 1.0f; }", &[KernelSpec::new("g", [1, 1, 1])])
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Lower(_)));
+    }
+
+    #[test]
+    fn rejects_recursive_device_function() {
+        let err = compile_cuda(
+            "__device__ float r(float x) { return r(x); }
+             __global__ void f(float* a) { a[0] = r(a[0]); }",
+            &[KernelSpec::new("f", [1, 1, 1])],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn local_arrays_allocate_in_local_space() {
+        let func = compile_one(
+            "__global__ void f(float* a) {
+                float tmp[8];
+                int i = threadIdx.x;
+                tmp[i % 8] = a[i];
+                a[i] = tmp[i % 8];
+            }",
+            "f",
+            [32, 1, 1],
+        );
+        let mut local_allocs = 0;
+        respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
+            if matches!(func.op(op).kind, OpKind::Alloc { space: respec_ir::MemSpace::Local }) {
+                local_allocs += 1;
+            }
+        });
+        assert_eq!(local_allocs, 1);
+    }
+
+    #[test]
+    fn ternary_lowered_with_unified_types() {
+        compile_one(
+            "__global__ void f(float* a, int n) {
+                int i = threadIdx.x;
+                a[i] = (i < n) ? a[i] : 0.0;
+            }",
+            "f",
+            [32, 1, 1],
+        );
+    }
+
+    #[test]
+    fn grid_dim_is_usable() {
+        compile_one(
+            "__global__ void f(float* a, int n) {
+                int stride = gridDim.x * blockDim.x;
+                for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n; i += stride) {
+                    a[i] = a[i] + 1.0f;
+                }
+            }",
+            "f",
+            [128, 1, 1],
+        );
+    }
+}

@@ -1,0 +1,1316 @@
+//! Lowering from the CUDA AST to the parallel IR.
+//!
+//! Kernels become IR functions with three leading `index` parameters (the
+//! grid extents) followed by the translated kernel parameters. The body is
+//! the paper's Fig. 2 shape: a 3-D block-parallel loop containing the
+//! shared-memory allocations and a 3-D thread-parallel loop.
+//!
+//! Scalar C variables are lowered with *structured SSA construction*:
+//! assignments rebind names, `if`/`for`/`while` turn assigned variables into
+//! region results / loop-carried values. This mirrors Polygeist's
+//! memory-to-register promotion across barriers — scalars never touch
+//! memory, so barriers impose no spurious memory traffic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use respec_ir::{
+    BinOp, CmpPred, FuncBuilder, Function, MemRefType, MemSpace, Module, OpKind, ParLevel, ScalarType, Type,
+    UnOp, Value,
+};
+
+use crate::ast::*;
+
+/// Compile-time launch geometry for one kernel, the analogue of knowing the
+/// `<<<grid, block>>>` block size when compiling (the paper requires static
+/// block sizes to size shared memory and check coarsening divisibility).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Kernel name (must match a `__global__` function).
+    pub name: String,
+    /// Threads per block in x, y, z.
+    pub block_dims: [i64; 3],
+}
+
+impl KernelSpec {
+    /// Creates a spec; unused trailing dimensions should be 1.
+    pub fn new(name: impl Into<String>, block_dims: [i64; 3]) -> KernelSpec {
+        KernelSpec {
+            name: name.into(),
+            block_dims,
+        }
+    }
+}
+
+/// Error produced during lowering (type errors, unsupported constructs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// A typed SSA value; `lit` marks values originating from literals, which
+/// coerce to their peer's type instead of forcing C's promotion to `double`.
+#[derive(Clone, Copy, Debug)]
+struct TV {
+    v: Value,
+    ty: ScalarType,
+    lit: bool,
+}
+
+/// What a C name currently denotes.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    Scalar(Value, ScalarType),
+    Mem(Value),
+}
+
+fn scalar_of(ty: &CType, line: u32) -> Result<ScalarType, FrontendError> {
+    match ty {
+        CType::Bool => Ok(ScalarType::I1),
+        CType::Int => Ok(ScalarType::I32),
+        CType::Long => Ok(ScalarType::I64),
+        CType::Float => Ok(ScalarType::F32),
+        CType::Double => Ok(ScalarType::F64),
+        CType::Void | CType::Ptr(_) => Err(FrontendError {
+            message: format!("expected scalar type, found {ty:?}"),
+            line,
+        }),
+    }
+}
+
+fn rank(ty: ScalarType) -> u8 {
+    match ty {
+        ScalarType::I1 => 0,
+        ScalarType::I32 => 1,
+        ScalarType::Index => 2,
+        ScalarType::I64 => 3,
+        ScalarType::F32 => 4,
+        ScalarType::F64 => 5,
+    }
+}
+
+struct Lowerer<'f, 'u> {
+    b: FuncBuilder<'f>,
+    unit: &'u TranslationUnit,
+    scopes: Vec<HashMap<String, Slot>>,
+    /// thread ivs, block ivs, grid extents — available inside kernel bodies.
+    tids: Vec<Value>,
+    bids: Vec<Value>,
+    grid: Vec<Value>,
+    block_dims: [i64; 3],
+    inline_stack: Vec<String>,
+}
+
+impl<'f, 'u> Lowerer<'f, 'u> {
+    fn err(&self, line: u32, message: impl Into<String>) -> FrontendError {
+        FrontendError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    // ---- environment ------------------------------------------------------
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn bind(&mut self, name: &str, slot: Slot) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.to_string(), slot);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    /// Rebinds an existing scalar variable in the scope that defines it.
+    fn rebind(&mut self, name: &str, v: Value, ty: ScalarType) -> bool {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = Slot::Scalar(v, ty);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Scalar variables from `names` that currently exist in scope, with
+    /// their values and types (the merge set for control-flow joins).
+    fn live_scalars(&self, names: &[String]) -> Vec<(String, Value, ScalarType)> {
+        names
+            .iter()
+            .filter_map(|n| match self.lookup(n) {
+                Some(Slot::Scalar(v, ty)) => Some((n.clone(), v, ty)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ---- typed helpers -----------------------------------------------------
+
+    fn cast_to(&mut self, tv: TV, ty: ScalarType) -> Value {
+        if tv.ty == ty {
+            tv.v
+        } else {
+            self.b.cast(tv.v, ty)
+        }
+    }
+
+    fn to_index(&mut self, tv: TV) -> Value {
+        self.cast_to(tv, ScalarType::Index)
+    }
+
+    fn to_bool(&mut self, tv: TV) -> Value {
+        if tv.ty == ScalarType::I1 {
+            return tv.v;
+        }
+        let zero = if tv.ty.is_float() {
+            self.b.const_float(0.0, tv.ty)
+        } else {
+            self.b.const_int(0, tv.ty)
+        };
+        self.b.cmp(CmpPred::Ne, tv.v, zero)
+    }
+
+    /// Coerces two values to a common scalar type: literals adopt their
+    /// peer's type; otherwise the lower-ranked operand is promoted.
+    fn unify(&mut self, a: TV, b: TV) -> (Value, Value, ScalarType, bool) {
+        if a.ty == b.ty {
+            return (a.v, b.v, a.ty, a.lit && b.lit);
+        }
+        let (target, lit) = if a.lit && !b.lit {
+            (b.ty, false)
+        } else if b.lit && !a.lit {
+            (a.ty, false)
+        } else if rank(a.ty) >= rank(b.ty) {
+            (a.ty, a.lit && b.lit)
+        } else {
+            (b.ty, a.lit && b.lit)
+        };
+        let av = self.cast_to(a, target);
+        let bv = self.cast_to(b, target);
+        (av, bv, target, lit)
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> Result<TV, FrontendError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let c = self.b.const_i32(*v as i32);
+                Ok(TV {
+                    v: c,
+                    ty: ScalarType::I32,
+                    lit: true,
+                })
+            }
+            ExprKind::FloatLit(v, is_f32) => {
+                let ty = if *is_f32 { ScalarType::F32 } else { ScalarType::F64 };
+                let c = self.b.const_float(*v, ty);
+                Ok(TV { v: c, ty, lit: true })
+            }
+            ExprKind::Ident(name) => match self.lookup(name) {
+                Some(Slot::Scalar(v, ty)) => Ok(TV { v, ty, lit: false }),
+                Some(Slot::Mem(_)) => Err(self.err(line, format!("{name} is a pointer/array, expected a scalar"))),
+                None => Err(self.err(line, format!("use of undeclared identifier {name}"))),
+            },
+            ExprKind::Builtin(var, dim) => {
+                let d = *dim;
+                let v = match var {
+                    BuiltinVar::ThreadIdx => {
+                        let iv = self.tids[d];
+                        self.b.cast(iv, ScalarType::I32)
+                    }
+                    BuiltinVar::BlockIdx => {
+                        let iv = self.bids[d];
+                        self.b.cast(iv, ScalarType::I32)
+                    }
+                    BuiltinVar::BlockDim => self.b.const_i32(self.block_dims[d] as i32),
+                    BuiltinVar::GridDim => {
+                        let g = self.grid[d];
+                        self.b.cast(g, ScalarType::I32)
+                    }
+                };
+                Ok(TV {
+                    v,
+                    ty: ScalarType::I32,
+                    lit: false,
+                })
+            }
+            ExprKind::Unary(op, a) => {
+                let tv = self.eval(a)?;
+                match op {
+                    UnopC::Neg => {
+                        let v = self.b.unary(UnOp::Neg, tv.v);
+                        Ok(TV { v, ty: tv.ty, lit: tv.lit })
+                    }
+                    UnopC::Not => {
+                        let bl = self.to_bool(tv);
+                        let v = self.b.unary(UnOp::Not, bl);
+                        Ok(TV {
+                            v,
+                            ty: ScalarType::I1,
+                            lit: false,
+                        })
+                    }
+                    UnopC::BitNot => {
+                        if tv.ty.is_float() {
+                            return Err(self.err(line, "bitwise not on a float"));
+                        }
+                        let v = self.b.unary(UnOp::Not, tv.v);
+                        Ok(TV { v, ty: tv.ty, lit: false })
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, bx) => self.eval_binary(*op, a, bx, line),
+            ExprKind::Assign { .. } | ExprKind::IncDec { .. } => {
+                Err(self.err(line, "assignment is only supported in statement position"))
+            }
+            ExprKind::Call { name, args } => self.eval_call(name, args, line),
+            ExprKind::Index { .. } => {
+                let (mem, indices, elem) = self.eval_lvalue_mem(e)?;
+                let v = self.b.load(mem, &indices);
+                Ok(TV { v, ty: elem, lit: false })
+            }
+            ExprKind::Cast { ty, expr } => {
+                let target = scalar_of(ty, line)?;
+                let tv = self.eval(expr)?;
+                let v = self.cast_to(tv, target);
+                Ok(TV {
+                    v,
+                    ty: target,
+                    lit: false,
+                })
+            }
+            ExprKind::Cond { cond, then, els } => {
+                let c = self.eval(cond)?;
+                let c = self.to_bool(c);
+                // Evaluate both arms in detached regions, then unify their
+                // types by appending casts before the yields.
+                let then_region = self.b.begin_region();
+                let t = self.eval(then)?;
+                self.b.end_region();
+                let else_region = self.b.begin_region();
+                let f = self.eval(els)?;
+                self.b.end_region();
+                let target = if t.ty == f.ty {
+                    t.ty
+                } else if t.lit && !f.lit {
+                    f.ty
+                } else if f.lit && !t.lit {
+                    t.ty
+                } else if rank(t.ty) >= rank(f.ty) {
+                    t.ty
+                } else {
+                    f.ty
+                };
+                self.b.resume_region(then_region);
+                let tv = self.cast_to(t, target);
+                self.b.emit(OpKind::Yield, vec![tv], vec![], vec![]);
+                self.b.end_region();
+                self.b.resume_region(else_region);
+                let fv = self.cast_to(f, target);
+                self.b.emit(OpKind::Yield, vec![fv], vec![], vec![]);
+                self.b.end_region();
+                let op = self.b.emit(
+                    OpKind::If,
+                    vec![c],
+                    vec![Type::Scalar(target)],
+                    vec![then_region, else_region],
+                );
+                let v = self.b.func().op(op).results[0];
+                Ok(TV {
+                    v,
+                    ty: target,
+                    lit: false,
+                })
+            }
+        }
+    }
+
+    fn eval_binary(&mut self, op: BinopC, a: &Expr, b: &Expr, line: u32) -> Result<TV, FrontendError> {
+        // Short-circuit logic first: the right operand may be guarded by the
+        // left (e.g. `i < n && data[i] > 0`).
+        if matches!(op, BinopC::LogAnd | BinopC::LogOr) {
+            let l = self.eval(a)?;
+            let lb = self.to_bool(l);
+            let rhs_region = self.b.begin_region();
+            let r = self.eval(b)?;
+            let rb = self.to_bool(r);
+            self.b.emit(OpKind::Yield, vec![rb], vec![], vec![]);
+            self.b.end_region();
+            let const_region = self.b.begin_region();
+            let k = self.b.const_bool(op == BinopC::LogOr);
+            self.b.emit(OpKind::Yield, vec![k], vec![], vec![]);
+            self.b.end_region();
+            let (then_r, else_r) = if op == BinopC::LogAnd {
+                (rhs_region, const_region)
+            } else {
+                (const_region, rhs_region)
+            };
+            let if_op = self.b.emit(
+                OpKind::If,
+                vec![lb],
+                vec![Type::Scalar(ScalarType::I1)],
+                vec![then_r, else_r],
+            );
+            let v = self.b.func().op(if_op).results[0];
+            return Ok(TV {
+                v,
+                ty: ScalarType::I1,
+                lit: false,
+            });
+        }
+        let l = self.eval(a)?;
+        let r = self.eval(b)?;
+        let (lv, rv, ty, lit) = self.unify(l, r);
+        let ir_bin = match op {
+            BinopC::Add => Some(BinOp::Add),
+            BinopC::Sub => Some(BinOp::Sub),
+            BinopC::Mul => Some(BinOp::Mul),
+            BinopC::Div => Some(BinOp::Div),
+            BinopC::Rem => Some(BinOp::Rem),
+            BinopC::Shl => Some(BinOp::Shl),
+            BinopC::Shr => Some(BinOp::Shr),
+            BinopC::BitAnd => Some(BinOp::And),
+            BinopC::BitOr => Some(BinOp::Or),
+            BinopC::BitXor => Some(BinOp::Xor),
+            _ => None,
+        };
+        if let Some(bin) = ir_bin {
+            if matches!(bin, BinOp::Shl | BinOp::Shr | BinOp::And | BinOp::Or | BinOp::Xor) && ty.is_float() {
+                return Err(self.err(line, "bitwise operation on floats"));
+            }
+            let v = self.b.binary(bin, lv, rv);
+            return Ok(TV { v, ty, lit });
+        }
+        let pred = match op {
+            BinopC::Lt => CmpPred::Lt,
+            BinopC::Le => CmpPred::Le,
+            BinopC::Gt => CmpPred::Gt,
+            BinopC::Ge => CmpPred::Ge,
+            BinopC::EqEq => CmpPred::Eq,
+            BinopC::Ne => CmpPred::Ne,
+            _ => unreachable!("all binary operators handled"),
+        };
+        let v = self.b.cmp(pred, lv, rv);
+        Ok(TV {
+            v,
+            ty: ScalarType::I1,
+            lit: false,
+        })
+    }
+
+    fn eval_call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<TV, FrontendError> {
+        // Unary math intrinsics.
+        let un = match name {
+            "sqrt" | "sqrtf" | "__fsqrt_rn" => Some(UnOp::Sqrt),
+            "rsqrt" | "rsqrtf" => Some(UnOp::Rsqrt),
+            "exp" | "expf" | "__expf" => Some(UnOp::Exp),
+            "log" | "logf" | "__logf" => Some(UnOp::Log),
+            "sin" | "sinf" | "__sinf" => Some(UnOp::Sin),
+            "cos" | "cosf" | "__cosf" => Some(UnOp::Cos),
+            "tanh" | "tanhf" => Some(UnOp::Tanh),
+            "fabs" | "fabsf" | "abs" => Some(UnOp::Abs),
+            "floor" | "floorf" => Some(UnOp::Floor),
+            "ceil" | "ceilf" => Some(UnOp::Ceil),
+            _ => None,
+        };
+        if let Some(u) = un {
+            if args.len() != 1 {
+                return Err(self.err(line, format!("{name} takes one argument")));
+            }
+            let a = self.eval(&args[0])?;
+            let v = self.b.unary(u, a.v);
+            return Ok(TV { v, ty: a.ty, lit: false });
+        }
+        let bin = match name {
+            "min" | "fmin" | "fminf" => Some(BinOp::Min),
+            "max" | "fmax" | "fmaxf" => Some(BinOp::Max),
+            "pow" | "powf" | "__powf" => Some(BinOp::Pow),
+            _ => None,
+        };
+        if let Some(bop) = bin {
+            if args.len() != 2 {
+                return Err(self.err(line, format!("{name} takes two arguments")));
+            }
+            let a = self.eval(&args[0])?;
+            let c = self.eval(&args[1])?;
+            let (av, cv, ty, lit) = self.unify(a, c);
+            let v = self.b.binary(bop, av, cv);
+            return Ok(TV { v, ty, lit });
+        }
+        // User __device__ function: inline it.
+        let fdef = self
+            .unit
+            .func(name)
+            .ok_or_else(|| self.err(line, format!("call to unknown function {name}")))?
+            .clone();
+        if fdef.kind != FuncKind::Device {
+            return Err(self.err(line, format!("{name} is not a __device__ function")));
+        }
+        if self.inline_stack.iter().any(|n| n == name) {
+            return Err(self.err(line, format!("recursive call to {name} cannot be inlined")));
+        }
+        if args.len() != fdef.params.len() {
+            return Err(self.err(line, format!("{name} expects {} arguments", fdef.params.len())));
+        }
+        // Evaluate arguments in the caller's environment, then bind them in a
+        // fresh callee scope (C by-value semantics for scalars).
+        let mut bindings = Vec::new();
+        for (arg, param) in args.iter().zip(&fdef.params) {
+            if param.ty.is_ptr() {
+                let slot = match &arg.kind {
+                    ExprKind::Ident(n) => self.lookup(n),
+                    _ => None,
+                };
+                match slot {
+                    Some(Slot::Mem(m)) => bindings.push((param.name.clone(), Slot::Mem(m))),
+                    _ => {
+                        return Err(self.err(
+                            line,
+                            "pointer arguments must be plain array/pointer names (no pointer arithmetic)",
+                        ))
+                    }
+                }
+            } else {
+                let want = scalar_of(&param.ty, line)?;
+                let tv = self.eval(arg)?;
+                let v = self.cast_to(tv, want);
+                bindings.push((param.name.clone(), Slot::Scalar(v, want)));
+            }
+        }
+        self.inline_stack.push(name.to_string());
+        self.push_scope();
+        for (n, s) in bindings {
+            self.bind(&n, s);
+        }
+        let ret_ty = if fdef.ret == CType::Void {
+            None
+        } else {
+            Some(scalar_of(&fdef.ret, line)?)
+        };
+        let result = self.lower_device_body(&fdef.body, ret_ty, line)?;
+        self.pop_scope();
+        self.inline_stack.pop();
+        match (result, ret_ty) {
+            (Some(v), Some(ty)) => Ok(TV { v, ty, lit: false }),
+            (None, None) => {
+                // Void call in expression position: produce a dummy zero; the
+                // parser only allows this in statement position anyway.
+                let v = self.b.const_i32(0);
+                Ok(TV {
+                    v,
+                    ty: ScalarType::I32,
+                    lit: false,
+                })
+            }
+            _ => Err(self.err(line, format!("{name} did not return a value on every path"))),
+        }
+    }
+
+    /// Resolves an lvalue expression (`a[i]`, `tile[y][x]`) to its memref,
+    /// index list (as `index` values) and element type.
+    fn eval_lvalue_mem(&mut self, e: &Expr) -> Result<(Value, Vec<Value>, ScalarType), FrontendError> {
+        let line = e.line;
+        // Peel the index chain.
+        let mut indices_rev: Vec<&Expr> = Vec::new();
+        let mut base = e;
+        while let ExprKind::Index { base: b, index } = &base.kind {
+            indices_rev.push(index);
+            base = b;
+        }
+        let name = match &base.kind {
+            ExprKind::Ident(n) => n.clone(),
+            _ => return Err(self.err(line, "indexed base must be an array or pointer name")),
+        };
+        let mem = match self.lookup(&name) {
+            Some(Slot::Mem(m)) => m,
+            Some(Slot::Scalar(..)) => return Err(self.err(line, format!("{name} is a scalar, cannot index it"))),
+            None => return Err(self.err(line, format!("use of undeclared identifier {name}"))),
+        };
+        let memref = self
+            .b
+            .func()
+            .value_type(mem)
+            .as_memref()
+            .expect("Mem slots always hold memrefs")
+            .clone();
+        if indices_rev.len() != memref.rank() {
+            return Err(self.err(
+                line,
+                format!(
+                    "{name} has rank {}, but {} indices were provided",
+                    memref.rank(),
+                    indices_rev.len()
+                ),
+            ));
+        }
+        let mut indices = Vec::new();
+        for idx in indices_rev.into_iter().rev() {
+            let tv = self.eval(idx)?;
+            indices.push(self.to_index(tv));
+        }
+        Ok((mem, indices, memref.elem))
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    /// Lowers a statement list, handling the early-return guard pattern
+    /// (`if (cond) return;`) by nesting the remainder of the list.
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), FrontendError> {
+        for (i, stmt) in stmts.iter().enumerate() {
+            // Early-return guard: if (c) return;  ⇒  if (!c) { rest }
+            if let StmtKind::If { cond, then, els: None } = &stmt.kind {
+                if is_bare_return(then) {
+                    let c = self.eval(cond)?;
+                    let cb = self.to_bool(c);
+                    let not_c = self.b.unary(UnOp::Not, cb);
+                    let rest = &stmts[i + 1..];
+                    let then_region = self.b.begin_region();
+                    self.push_scope();
+                    self.lower_stmts(rest)?;
+                    self.pop_scope();
+                    self.b.emit(OpKind::Yield, vec![], vec![], vec![]);
+                    self.b.end_region();
+                    let else_region = self.b.begin_region();
+                    self.b.emit(OpKind::Yield, vec![], vec![], vec![]);
+                    self.b.end_region();
+                    self.b
+                        .emit(OpKind::If, vec![not_c], vec![], vec![then_region, else_region]);
+                    return Ok(());
+                }
+            }
+            if matches!(stmt.kind, StmtKind::Return(None)) {
+                // Plain tail return: stop lowering this list.
+                return Ok(());
+            }
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), FrontendError> {
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Decl {
+                name,
+                ty,
+                dims,
+                shared,
+                init,
+            } => {
+                if *shared {
+                    return Err(self.err(line, "__shared__ declarations must be at kernel top level"));
+                }
+                if dims.is_empty() {
+                    let sty = scalar_of(ty, line)?;
+                    let v = match init {
+                        Some(e) => {
+                            let tv = self.eval(e)?;
+                            self.cast_to(tv, sty)
+                        }
+                        // Uninitialized scalars read as zero (documented
+                        // tightening of C's undefined behaviour).
+                        None => {
+                            if sty.is_float() {
+                                self.b.const_float(0.0, sty)
+                            } else {
+                                self.b.const_int(0, sty)
+                            }
+                        }
+                    };
+                    self.bind(name, Slot::Scalar(v, sty));
+                } else {
+                    if init.is_some() {
+                        return Err(self.err(line, "array initializers are not supported"));
+                    }
+                    let sty = scalar_of(ty, line)?;
+                    let shape: Vec<i64> = dims.iter().map(|&d| d as i64).collect();
+                    let mem = self.b.alloc_static(sty, &shape, MemSpace::Local);
+                    self.bind(name, Slot::Mem(mem));
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => self.lower_expr_stmt(e),
+            StmtKind::Block(stmts) => {
+                self.push_scope();
+                self.lower_stmts(stmts)?;
+                self.pop_scope();
+                Ok(())
+            }
+            StmtKind::If { cond, then, els } => self.lower_if(cond, then, els.as_deref(), line),
+            StmtKind::For { init, cond, inc, body } => self.lower_for(init.as_deref(), cond.as_ref(), inc.as_ref(), body, line),
+            StmtKind::While { cond, body } => self.lower_while(cond, body),
+            StmtKind::Return(_) => Err(self.err(
+                line,
+                "return is only supported at the end of a kernel or as `if (cond) return;` guards",
+            )),
+            StmtKind::Sync => {
+                self.b.barrier(ParLevel::Thread);
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr_stmt(&mut self, e: &Expr) -> Result<(), FrontendError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Assign { op, lhs, rhs } => match &lhs.kind {
+                ExprKind::Ident(name) => {
+                    let (old_v, old_ty) = match self.lookup(name) {
+                        Some(Slot::Scalar(v, ty)) => (v, ty),
+                        Some(Slot::Mem(_)) => {
+                            return Err(self.err(line, format!("cannot reassign pointer {name}")))
+                        }
+                        None => return Err(self.err(line, format!("use of undeclared identifier {name}"))),
+                    };
+                    let rhs_tv = self.eval(rhs)?;
+                    let new = match op {
+                        None => self.cast_to(rhs_tv, old_ty),
+                        Some(bop) => {
+                            let combined = self.apply_compound(
+                                *bop,
+                                TV {
+                                    v: old_v,
+                                    ty: old_ty,
+                                    lit: false,
+                                },
+                                rhs_tv,
+                                line,
+                            )?;
+                            self.cast_to(combined, old_ty)
+                        }
+                    };
+                    self.rebind(name, new, old_ty);
+                    Ok(())
+                }
+                ExprKind::Index { .. } => {
+                    let (mem, indices, elem) = self.eval_lvalue_mem(lhs)?;
+                    let rhs_tv = self.eval(rhs)?;
+                    let stored = match op {
+                        None => self.cast_to(rhs_tv, elem),
+                        Some(bop) => {
+                            let old = self.b.load(mem, &indices);
+                            let combined = self.apply_compound(
+                                *bop,
+                                TV {
+                                    v: old,
+                                    ty: elem,
+                                    lit: false,
+                                },
+                                rhs_tv,
+                                line,
+                            )?;
+                            self.cast_to(combined, elem)
+                        }
+                    };
+                    self.b.store(stored, mem, &indices);
+                    Ok(())
+                }
+                _ => Err(self.err(line, "assignment target must be a variable or array element")),
+            },
+            ExprKind::IncDec { inc, lhs } => {
+                let op = if *inc { BinopC::Add } else { BinopC::Sub };
+                let one = Expr {
+                    kind: ExprKind::IntLit(1),
+                    line,
+                };
+                let desugared = Expr {
+                    kind: ExprKind::Assign {
+                        op: Some(op),
+                        lhs: lhs.clone(),
+                        rhs: Box::new(one),
+                    },
+                    line,
+                };
+                self.lower_expr_stmt(&desugared)
+            }
+            ExprKind::Call { .. } => {
+                // Void device-function call for its side effects.
+                self.eval(e)?;
+                Ok(())
+            }
+            _ => Err(self.err(line, "expression has no effect")),
+        }
+    }
+
+    fn apply_compound(&mut self, op: BinopC, lhs: TV, rhs: TV, line: u32) -> Result<TV, FrontendError> {
+        let (lv, rv, ty, _) = self.unify(lhs, rhs);
+        let bin = match op {
+            BinopC::Add => BinOp::Add,
+            BinopC::Sub => BinOp::Sub,
+            BinopC::Mul => BinOp::Mul,
+            BinopC::Div => BinOp::Div,
+            BinopC::Rem => BinOp::Rem,
+            BinopC::Shl => BinOp::Shl,
+            BinopC::Shr => BinOp::Shr,
+            BinopC::BitAnd => BinOp::And,
+            BinopC::BitOr => BinOp::Or,
+            BinopC::BitXor => BinOp::Xor,
+            other => return Err(self.err(line, format!("{other:?} is not a valid compound assignment"))),
+        };
+        let v = self.b.binary(bin, lv, rv);
+        Ok(TV { v, ty, lit: false })
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then: &Stmt,
+        els: Option<&Stmt>,
+        _line: u32,
+    ) -> Result<(), FrontendError> {
+        let c = self.eval(cond)?;
+        let cb = self.to_bool(c);
+        // The merge set: scalars assigned in either branch that exist now.
+        let mut names = Vec::new();
+        assigned_vars(std::slice::from_ref(then), &mut names);
+        if let Some(e) = els {
+            assigned_vars(std::slice::from_ref(e), &mut names);
+        }
+        let merged = self.live_scalars(&names);
+        let snapshot: Vec<(String, Value, ScalarType)> = merged.clone();
+
+        let then_region = self.b.begin_region();
+        self.push_scope();
+        self.lower_stmts(std::slice::from_ref(then))?;
+        self.pop_scope();
+        let then_finals: Vec<Value> = merged
+            .iter()
+            .map(|(n, _, ty)| match self.lookup(n) {
+                Some(Slot::Scalar(v, _)) => v,
+                _ => {
+                    let _ = ty;
+                    unreachable!("merged variables stay scalars")
+                }
+            })
+            .collect();
+        self.b.emit(OpKind::Yield, then_finals, vec![], vec![]);
+        self.b.end_region();
+
+        // Restore pre-branch values before lowering the else branch.
+        for (n, v, ty) in &snapshot {
+            self.rebind(n, *v, *ty);
+        }
+        let else_region = self.b.begin_region();
+        if let Some(e) = els {
+            self.push_scope();
+            self.lower_stmts(std::slice::from_ref(e))?;
+            self.pop_scope();
+        }
+        let else_finals: Vec<Value> = merged
+            .iter()
+            .map(|(n, _, _)| match self.lookup(n) {
+                Some(Slot::Scalar(v, _)) => v,
+                _ => unreachable!("merged variables stay scalars"),
+            })
+            .collect();
+        self.b.emit(OpKind::Yield, else_finals, vec![], vec![]);
+        self.b.end_region();
+
+        let result_types: Vec<Type> = merged.iter().map(|(_, _, ty)| Type::Scalar(*ty)).collect();
+        let op = self.b.emit(OpKind::If, vec![cb], result_types, vec![then_region, else_region]);
+        let results = self.b.func().op(op).results.clone();
+        for ((n, _, ty), v) in merged.iter().zip(results) {
+            self.rebind(n, v, *ty);
+        }
+        Ok(())
+    }
+
+    /// Recognizes the canonical counted loop `for (int i = e0; i < e1; i += c)`
+    /// and lowers it to `scf.for`; anything else falls back to `scf.while`.
+    fn lower_for(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        inc: Option<&Expr>,
+        body: &Stmt,
+        line: u32,
+    ) -> Result<(), FrontendError> {
+        if let (Some(init), Some(cond), Some(inc)) = (init, cond, inc) {
+            if let Some(()) = self.try_lower_counted_for(init, cond, inc, body)? {
+                return Ok(());
+            }
+        }
+        // General fallback: desugar to while.
+        self.push_scope();
+        if let Some(i) = init {
+            self.lower_stmt(i)?;
+        }
+        let true_expr = Expr {
+            kind: ExprKind::IntLit(1),
+            line,
+        };
+        let cond = cond.cloned().unwrap_or(true_expr);
+        let inc_stmt = inc.map(|e| Stmt {
+            kind: StmtKind::Expr(e.clone()),
+            line,
+        });
+        let mut body_stmts = vec![body.clone()];
+        if let Some(s) = inc_stmt {
+            body_stmts.push(s);
+        }
+        let while_body = Stmt {
+            kind: StmtKind::Block(body_stmts),
+            line,
+        };
+        self.lower_while(&cond, &while_body)?;
+        self.pop_scope();
+        Ok(())
+    }
+
+    /// Attempts the `scf.for` lowering; returns `Ok(None)` when the loop is
+    /// not in canonical form.
+    fn try_lower_counted_for(
+        &mut self,
+        init: &Stmt,
+        cond: &Expr,
+        inc: &Expr,
+        body: &Stmt,
+    ) -> Result<Option<()>, FrontendError> {
+        // init: int i = e0  (fresh declaration only)
+        let (iname, ity, init_expr) = match &init.kind {
+            StmtKind::Decl {
+                name,
+                ty,
+                dims,
+                shared: false,
+                init: Some(e),
+            } if dims.is_empty() && matches!(ty, CType::Int | CType::Long) => (name.clone(), ty.clone(), e),
+            _ => return Ok(None),
+        };
+        // cond: i < e1  or  i <= e1
+        let (le, ub_expr) = match &cond.kind {
+            ExprKind::Binary(BinopC::Lt, l, r) if matches!(&l.kind, ExprKind::Ident(n) if *n == iname) => {
+                (false, r.as_ref())
+            }
+            ExprKind::Binary(BinopC::Le, l, r) if matches!(&l.kind, ExprKind::Ident(n) if *n == iname) => {
+                (true, r.as_ref())
+            }
+            _ => return Ok(None),
+        };
+        // inc: i++ / ++i / i += c / i = i + c
+        let step_expr: Option<&Expr> = match &inc.kind {
+            ExprKind::IncDec { inc: true, lhs } if matches!(&lhs.kind, ExprKind::Ident(n) if *n == iname) => None,
+            ExprKind::Assign {
+                op: Some(BinopC::Add),
+                lhs,
+                rhs,
+            } if matches!(&lhs.kind, ExprKind::Ident(n) if *n == iname) => Some(rhs),
+            ExprKind::Assign { op: None, lhs, rhs } if matches!(&lhs.kind, ExprKind::Ident(n) if *n == iname) => {
+                match &rhs.kind {
+                    ExprKind::Binary(BinopC::Add, a, b2) => {
+                        if matches!(&a.kind, ExprKind::Ident(n) if *n == iname) {
+                            Some(b2.as_ref())
+                        } else if matches!(&b2.kind, ExprKind::Ident(n) if *n == iname) {
+                            Some(a.as_ref())
+                        } else {
+                            return Ok(None);
+                        }
+                    }
+                    _ => return Ok(None),
+                }
+            }
+            _ => return Ok(None),
+        };
+        // The body must not reassign the induction variable, and the upper
+        // bound / step must not depend on variables assigned in the body.
+        let mut body_assigned = Vec::new();
+        assigned_vars(std::slice::from_ref(body), &mut body_assigned);
+        if body_assigned.iter().any(|n| *n == iname) {
+            return Ok(None);
+        }
+        let mut bound_reads = Vec::new();
+        collect_idents(ub_expr, &mut bound_reads);
+        if let Some(s) = step_expr {
+            collect_idents(s, &mut bound_reads);
+        }
+        if bound_reads.iter().any(|n| body_assigned.contains(n)) {
+            return Ok(None);
+        }
+
+        let sty = scalar_of(&ity, init.line)?;
+        let lb_tv = self.eval(init_expr)?;
+        let lb = self.to_index(lb_tv);
+        let ub_tv = self.eval(ub_expr)?;
+        let mut ub = self.to_index(ub_tv);
+        if le {
+            let one = self.b.const_index(1);
+            ub = self.b.add(ub, one);
+        }
+        let step = match step_expr {
+            None => self.b.const_index(1),
+            Some(e) => {
+                let tv = self.eval(e)?;
+                self.to_index(tv)
+            }
+        };
+        let merged = self.live_scalars(&body_assigned);
+        let inits: Vec<Value> = merged.iter().map(|(_, v, _)| *v).collect();
+        let result_types: Vec<Type> = merged.iter().map(|(_, _, ty)| Type::Scalar(*ty)).collect();
+
+        let region = self.b.begin_region();
+        let iv = self.b.func_mut().add_region_arg(region, Type::index());
+        let iter_args: Vec<Value> = result_types
+            .iter()
+            .map(|ty| self.b.func_mut().add_region_arg(region, ty.clone()))
+            .collect();
+        self.push_scope();
+        let iv_typed = self.b.cast(iv, sty);
+        self.bind(&iname, Slot::Scalar(iv_typed, sty));
+        for ((n, _, ty), arg) in merged.iter().zip(&iter_args) {
+            self.rebind(n, *arg, *ty);
+        }
+        self.lower_stmts(std::slice::from_ref(body))?;
+        let finals: Vec<Value> = merged
+            .iter()
+            .map(|(n, _, _)| match self.lookup(n) {
+                Some(Slot::Scalar(v, _)) => v,
+                _ => unreachable!("merged variables stay scalars"),
+            })
+            .collect();
+        self.pop_scope();
+        self.b.emit(OpKind::Yield, finals, vec![], vec![]);
+        self.b.end_region();
+
+        let mut operands = vec![lb, ub, step];
+        operands.extend(inits);
+        let op = self.b.emit(OpKind::For, operands, result_types, vec![region]);
+        let results = self.b.func().op(op).results.clone();
+        for ((n, _, ty), v) in merged.iter().zip(results) {
+            self.rebind(n, v, *ty);
+        }
+        Ok(Some(()))
+    }
+
+    fn lower_while(&mut self, cond: &Expr, body: &Stmt) -> Result<(), FrontendError> {
+        let mut names = Vec::new();
+        collect_idents(cond, &mut names);
+        assigned_vars(std::slice::from_ref(body), &mut names);
+        let mut assigned = Vec::new();
+        assigned_vars(
+            &[Stmt {
+                kind: StmtKind::Expr(cond.clone()),
+                line: 0,
+            }],
+            &mut assigned,
+        );
+        assigned_vars(std::slice::from_ref(body), &mut assigned);
+        // Carried variables: scalars assigned in the loop. (Scalars only read
+        // stay invariant and are referenced from outside the region.)
+        let merged = self.live_scalars(&assigned);
+        let inits: Vec<Value> = merged.iter().map(|(_, v, _)| *v).collect();
+        let tys: Vec<Type> = merged.iter().map(|(_, _, ty)| Type::Scalar(*ty)).collect();
+
+        let cond_region = self.b.begin_region();
+        let cond_args: Vec<Value> = tys
+            .iter()
+            .map(|ty| self.b.func_mut().add_region_arg(cond_region, ty.clone()))
+            .collect();
+        self.push_scope();
+        for ((n, _, ty), arg) in merged.iter().zip(&cond_args) {
+            self.rebind(n, *arg, *ty);
+        }
+        let c = self.eval(cond)?;
+        let cb = self.to_bool(c);
+        let forwarded: Vec<Value> = merged
+            .iter()
+            .map(|(n, _, _)| match self.lookup(n) {
+                Some(Slot::Scalar(v, _)) => v,
+                _ => unreachable!("merged variables stay scalars"),
+            })
+            .collect();
+        self.pop_scope();
+        let mut cond_operands = vec![cb];
+        cond_operands.extend(forwarded);
+        self.b.emit(OpKind::Condition, cond_operands, vec![], vec![]);
+        self.b.end_region();
+
+        let body_region = self.b.begin_region();
+        let body_args: Vec<Value> = tys
+            .iter()
+            .map(|ty| self.b.func_mut().add_region_arg(body_region, ty.clone()))
+            .collect();
+        self.push_scope();
+        for ((n, _, ty), arg) in merged.iter().zip(&body_args) {
+            self.rebind(n, *arg, *ty);
+        }
+        self.lower_stmts(std::slice::from_ref(body))?;
+        let finals: Vec<Value> = merged
+            .iter()
+            .map(|(n, _, _)| match self.lookup(n) {
+                Some(Slot::Scalar(v, _)) => v,
+                _ => unreachable!("merged variables stay scalars"),
+            })
+            .collect();
+        self.pop_scope();
+        self.b.emit(OpKind::Yield, finals, vec![], vec![]);
+        self.b.end_region();
+
+        let op = self.b.emit(OpKind::While, inits, tys, vec![cond_region, body_region]);
+        let results = self.b.func().op(op).results.clone();
+        for ((n, _, ty), v) in merged.iter().zip(results) {
+            self.rebind(n, v, *ty);
+        }
+        Ok(())
+    }
+
+    /// Lowers a `__device__` function body inline; returns the return value
+    /// (as a value of `ret_ty`) or `None` for void functions.
+    fn lower_device_body(
+        &mut self,
+        stmts: &[Stmt],
+        ret_ty: Option<ScalarType>,
+        line: u32,
+    ) -> Result<Option<Value>, FrontendError> {
+        for (i, stmt) in stmts.iter().enumerate() {
+            match &stmt.kind {
+                StmtKind::Return(Some(e)) => {
+                    let ty = ret_ty.ok_or_else(|| self.err(stmt.line, "void function returns a value"))?;
+                    let tv = self.eval(e)?;
+                    return Ok(Some(self.cast_to(tv, ty)));
+                }
+                StmtKind::Return(None) => return Ok(None),
+                StmtKind::If { cond, then, els: None } if returns_value(then) => {
+                    // if (c) return e;  rest  ⇒  if c { e } else { rest }
+                    let ty = ret_ty.ok_or_else(|| self.err(stmt.line, "void function returns a value"))?;
+                    let c = self.eval(cond)?;
+                    let cb = self.to_bool(c);
+                    let then_region = self.b.begin_region();
+                    self.push_scope();
+                    let tv = self
+                        .lower_device_body(std::slice::from_ref(then.as_ref()), ret_ty, stmt.line)?
+                        .ok_or_else(|| self.err(stmt.line, "missing return value"))?;
+                    self.pop_scope();
+                    self.b.emit(OpKind::Yield, vec![tv], vec![], vec![]);
+                    self.b.end_region();
+                    let else_region = self.b.begin_region();
+                    self.push_scope();
+                    let ev = self
+                        .lower_device_body(&stmts[i + 1..], ret_ty, stmt.line)?
+                        .ok_or_else(|| self.err(stmt.line, "function does not return on all paths"))?;
+                    self.pop_scope();
+                    self.b.emit(OpKind::Yield, vec![ev], vec![], vec![]);
+                    self.b.end_region();
+                    let op = self.b.emit(
+                        OpKind::If,
+                        vec![cb],
+                        vec![Type::Scalar(ty)],
+                        vec![then_region, else_region],
+                    );
+                    return Ok(Some(self.b.func().op(op).results[0]));
+                }
+                _ => self.lower_stmt(stmt)?,
+            }
+        }
+        if ret_ty.is_none() {
+            Ok(None)
+        } else {
+            Err(self.err(line, "function does not return on all paths"))
+        }
+    }
+}
+
+fn is_bare_return(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Return(None) => true,
+        StmtKind::Block(b) => b.len() == 1 && is_bare_return(&b[0]),
+        _ => false,
+    }
+}
+
+fn returns_value(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Return(Some(_)) => true,
+        StmtKind::Block(b) => b.len() == 1 && returns_value(&b[0]),
+        _ => false,
+    }
+}
+
+fn collect_idents(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            if !out.contains(n) {
+                out.push(n.clone());
+            }
+        }
+        ExprKind::Unary(_, a) => collect_idents(a, out),
+        ExprKind::Binary(_, a, b) => {
+            collect_idents(a, out);
+            collect_idents(b, out);
+        }
+        ExprKind::Assign { lhs, rhs, .. } => {
+            collect_idents(lhs, out);
+            collect_idents(rhs, out);
+        }
+        ExprKind::IncDec { lhs, .. } => collect_idents(lhs, out),
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                collect_idents(a, out);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            collect_idents(base, out);
+            collect_idents(index, out);
+        }
+        ExprKind::Cast { expr, .. } => collect_idents(expr, out),
+        ExprKind::Cond { cond, then, els } => {
+            collect_idents(cond, out);
+            collect_idents(then, out);
+            collect_idents(els, out);
+        }
+        ExprKind::IntLit(_) | ExprKind::FloatLit(..) | ExprKind::Builtin(..) => {}
+    }
+}
+
+/// Lowers one kernel definition to an IR function.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] for constructs outside the supported subset
+/// or type errors.
+pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -> Result<Function, FrontendError> {
+    let mut func = Function::new(&fdef.name);
+    let gx = func.add_param(Type::index());
+    let gy = func.add_param(Type::index());
+    let gz = func.add_param(Type::index());
+    let mut param_slots: Vec<(String, Slot)> = Vec::new();
+    for p in &fdef.params {
+        match &p.ty {
+            CType::Ptr(inner) => {
+                let elem = scalar_of(inner, fdef.line)?;
+                let v = func.add_param(Type::MemRef(MemRefType::new_1d_dynamic(elem, MemSpace::Global)));
+                param_slots.push((p.name.clone(), Slot::Mem(v)));
+            }
+            other => {
+                let sty = scalar_of(other, fdef.line)?;
+                let v = func.add_param(Type::Scalar(sty));
+                param_slots.push((p.name.clone(), Slot::Scalar(v, sty)));
+            }
+        }
+    }
+
+    let mut b = FuncBuilder::new(&mut func);
+    let block_dim_consts: Vec<Value> = spec.block_dims.iter().map(|&d| b.const_index(d)).collect();
+
+    // Block-parallel region.
+    let block_region = b.begin_region();
+    let bids: Vec<Value> = (0..3).map(|_| b.func_mut().add_region_arg(block_region, Type::index())).collect();
+
+    let mut lw = Lowerer {
+        b,
+        unit,
+        scopes: vec![HashMap::new()],
+        tids: Vec::new(),
+        bids: bids.clone(),
+        grid: vec![gx, gy, gz],
+        block_dims: spec.block_dims,
+        inline_stack: Vec::new(),
+    };
+    for (n, s) in &param_slots {
+        lw.bind(n, *s);
+    }
+
+    // Hoist top-level __shared__ declarations into the block region.
+    let mut body_rest: Vec<&Stmt> = Vec::new();
+    for stmt in &fdef.body {
+        if let StmtKind::Decl {
+            name,
+            ty,
+            dims,
+            shared: true,
+            init,
+        } = &stmt.kind
+        {
+            if init.is_some() {
+                return Err(FrontendError {
+                    message: "__shared__ initializers are not supported".into(),
+                    line: stmt.line,
+                });
+            }
+            if dims.is_empty() {
+                return Err(FrontendError {
+                    message: "__shared__ scalars are not supported; use an array".into(),
+                    line: stmt.line,
+                });
+            }
+            let sty = scalar_of(ty, stmt.line)?;
+            let shape: Vec<i64> = dims.iter().map(|&d| d as i64).collect();
+            let mem = lw.b.alloc_static(sty, &shape, MemSpace::Shared);
+            lw.bind(name, Slot::Mem(mem));
+        } else {
+            body_rest.push(stmt);
+        }
+    }
+
+    // Thread-parallel region.
+    let thread_region = lw.b.begin_region();
+    let tids: Vec<Value> = (0..3)
+        .map(|_| lw.b.func_mut().add_region_arg(thread_region, Type::index()))
+        .collect();
+    lw.tids = tids;
+    lw.push_scope();
+    let owned_rest: Vec<Stmt> = body_rest.into_iter().cloned().collect();
+    lw.lower_stmts(&owned_rest)?;
+    lw.pop_scope();
+    lw.b.emit(OpKind::Yield, vec![], vec![], vec![]);
+    lw.b.end_region();
+    lw.b.emit(
+        OpKind::Parallel { level: ParLevel::Thread },
+        block_dim_consts,
+        vec![],
+        vec![thread_region],
+    );
+    lw.b.emit(OpKind::Yield, vec![], vec![], vec![]);
+    lw.b.end_region();
+    lw.b.emit(
+        OpKind::Parallel { level: ParLevel::Block },
+        vec![gx, gy, gz],
+        vec![],
+        vec![block_region],
+    );
+    lw.b.ret(&[]);
+    Ok(func)
+}
+
+/// Lowers a translation unit: each kernel named in `specs` becomes one IR
+/// function in the returned module.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] if a spec names a missing kernel or lowering
+/// fails.
+pub fn lower_translation_unit(unit: &TranslationUnit, specs: &[KernelSpec]) -> Result<Module, FrontendError> {
+    let mut module = Module::new();
+    for spec in specs {
+        let fdef = unit
+            .func(&spec.name)
+            .filter(|f| f.kind == FuncKind::Global)
+            .ok_or_else(|| FrontendError {
+                message: format!("no __global__ kernel named {}", spec.name),
+                line: 0,
+            })?;
+        module.add_function(lower_kernel(unit, fdef, spec)?);
+    }
+    Ok(module)
+}

@@ -1,0 +1,505 @@
+//! Convenience builder for constructing IR with nested regions.
+
+use crate::ids::{OpId, RegionId, Value};
+use crate::ops::{BinOp, CmpPred, MemSpace, OpKind, ParLevel, UnOp};
+use crate::types::{MemRefType, ScalarType, Type, DYNAMIC};
+use crate::Function;
+
+/// Builds operations into a [`Function`], maintaining a stack of insertion
+/// regions so nested control flow reads like the code it produces.
+///
+/// # Example
+///
+/// ```
+/// use respec_ir::{Function, FuncBuilder, ScalarType, Type};
+///
+/// let mut func = Function::new("sum");
+/// let n = func.add_param(Type::index());
+/// let mut b = FuncBuilder::new(&mut func);
+/// let zero = b.const_index(0);
+/// let one = b.const_index(1);
+/// let init = b.const_f32(0.0);
+/// let total = b.for_loop(zero, n, one, &[init], |b, _iv, iters| {
+///     let next = b.add(iters[0], iters[0]);
+///     vec![next]
+/// });
+/// b.ret(&[total[0]]);
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder<'f> {
+    func: &'f mut Function,
+    insert: Vec<RegionId>,
+}
+
+impl<'f> FuncBuilder<'f> {
+    /// Creates a builder inserting at the end of the function body.
+    pub fn new(func: &'f mut Function) -> FuncBuilder<'f> {
+        let body = func.body();
+        FuncBuilder {
+            func,
+            insert: vec![body],
+        }
+    }
+
+    /// Creates a builder inserting at the end of the given region.
+    pub fn at_region(func: &'f mut Function, region: RegionId) -> FuncBuilder<'f> {
+        FuncBuilder {
+            func,
+            insert: vec![region],
+        }
+    }
+
+    /// The function being built.
+    pub fn func(&self) -> &Function {
+        self.func
+    }
+
+    /// Mutable access to the function being built.
+    pub fn func_mut(&mut self) -> &mut Function {
+        self.func
+    }
+
+    /// The current insertion region.
+    pub fn current_region(&self) -> RegionId {
+        *self.insert.last().expect("builder region stack is never empty")
+    }
+
+    /// Creates a fresh region and makes it the insertion point. Callers that
+    /// cannot use the closure-based helpers (because they carry their own
+    /// mutable state) pair this with [`FuncBuilder::end_region`].
+    pub fn begin_region(&mut self) -> RegionId {
+        let r = self.func.new_region();
+        self.insert.push(r);
+        r
+    }
+
+    /// Pops the insertion point pushed by [`FuncBuilder::begin_region`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region was begun (the function body cannot be popped).
+    pub fn end_region(&mut self) {
+        assert!(self.insert.len() > 1, "cannot pop the function body region");
+        self.insert.pop();
+    }
+
+    /// Makes an existing region the insertion point again (e.g. to append a
+    /// cast before its terminator is emitted). Pair with
+    /// [`FuncBuilder::end_region`].
+    pub fn resume_region(&mut self, region: RegionId) {
+        self.insert.push(region);
+    }
+
+    fn scalar_ty(&self, v: Value) -> ScalarType {
+        self.func
+            .value_type(v)
+            .as_scalar()
+            .expect("operand must be a scalar value")
+    }
+
+    /// Emits an operation at the insertion point and returns its id.
+    pub fn emit(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<Value>,
+        result_types: Vec<Type>,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        let op = self.func.make_op(kind, operands, result_types, regions);
+        let region = self.current_region();
+        self.func.push_op(region, op);
+        op
+    }
+
+    fn emit1(&mut self, kind: OpKind, operands: Vec<Value>, ty: Type) -> Value {
+        let op = self.emit(kind, operands, vec![ty], vec![]);
+        self.func.result(op)
+    }
+
+    // ---- constants ------------------------------------------------------
+
+    /// Emits an integer constant of the given type.
+    pub fn const_int(&mut self, value: i64, ty: ScalarType) -> Value {
+        debug_assert!(ty.is_int());
+        self.emit1(OpKind::ConstInt { value, ty }, vec![], Type::Scalar(ty))
+    }
+
+    /// Emits an `index` constant.
+    pub fn const_index(&mut self, value: i64) -> Value {
+        self.const_int(value, ScalarType::Index)
+    }
+
+    /// Emits an `i32` constant.
+    pub fn const_i32(&mut self, value: i32) -> Value {
+        self.const_int(value as i64, ScalarType::I32)
+    }
+
+    /// Emits a boolean constant.
+    pub fn const_bool(&mut self, value: bool) -> Value {
+        self.const_int(value as i64, ScalarType::I1)
+    }
+
+    /// Emits a floating point constant of the given type.
+    pub fn const_float(&mut self, value: f64, ty: ScalarType) -> Value {
+        debug_assert!(ty.is_float());
+        self.emit1(OpKind::ConstFloat { value, ty }, vec![], Type::Scalar(ty))
+    }
+
+    /// Emits an `f32` constant.
+    pub fn const_f32(&mut self, value: f32) -> Value {
+        self.const_float(value as f64, ScalarType::F32)
+    }
+
+    /// Emits an `f64` constant.
+    pub fn const_f64(&mut self, value: f64) -> Value {
+        self.const_float(value, ScalarType::F64)
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Emits a binary operation; the result type is the operand type.
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        let ty = self.scalar_ty(lhs);
+        self.emit1(OpKind::Binary(op), vec![lhs, rhs], Type::Scalar(ty))
+    }
+
+    /// Emits an addition.
+    pub fn add(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// Emits a subtraction.
+    pub fn sub(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Sub, lhs, rhs)
+    }
+
+    /// Emits a multiplication.
+    pub fn mul(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Emits a division (signed for integers).
+    pub fn div(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Div, lhs, rhs)
+    }
+
+    /// Emits a remainder (signed for integers).
+    pub fn rem(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Rem, lhs, rhs)
+    }
+
+    /// Emits a minimum.
+    pub fn min(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Min, lhs, rhs)
+    }
+
+    /// Emits a maximum.
+    pub fn max(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::Max, lhs, rhs)
+    }
+
+    /// Emits a unary operation; the result type is the operand type.
+    pub fn unary(&mut self, op: UnOp, value: Value) -> Value {
+        let ty = self.scalar_ty(value);
+        self.emit1(OpKind::Unary(op), vec![value], Type::Scalar(ty))
+    }
+
+    /// Emits a comparison producing an `i1`.
+    pub fn cmp(&mut self, pred: CmpPred, lhs: Value, rhs: Value) -> Value {
+        self.emit1(OpKind::Cmp(pred), vec![lhs, rhs], Type::Scalar(ScalarType::I1))
+    }
+
+    /// Emits a ternary select.
+    pub fn select(&mut self, cond: Value, if_true: Value, if_false: Value) -> Value {
+        let ty = self.func.value_type(if_true).clone();
+        self.emit1(OpKind::Select, vec![cond, if_true, if_false], ty)
+    }
+
+    /// Emits a scalar conversion.
+    pub fn cast(&mut self, value: Value, to: ScalarType) -> Value {
+        self.emit1(OpKind::Cast { to }, vec![value], Type::Scalar(to))
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Allocates a statically-shaped buffer.
+    pub fn alloc_static(&mut self, elem: ScalarType, shape: &[i64], space: MemSpace) -> Value {
+        debug_assert!(shape.iter().all(|&d| d >= 0));
+        let ty = MemRefType::new(elem, shape.to_vec(), space);
+        self.emit1(OpKind::Alloc { space }, vec![], Type::MemRef(ty))
+    }
+
+    /// Allocates a buffer whose dimensions are the given `index` values.
+    pub fn alloc_dynamic(&mut self, elem: ScalarType, dims: &[Value], space: MemSpace) -> Value {
+        let ty = MemRefType::new(elem, vec![DYNAMIC; dims.len()], space);
+        self.emit1(OpKind::Alloc { space }, dims.to_vec(), Type::MemRef(ty))
+    }
+
+    /// Emits an indexed load.
+    pub fn load(&mut self, mem: Value, indices: &[Value]) -> Value {
+        let elem = self
+            .func
+            .value_type(mem)
+            .as_memref()
+            .expect("load target must be a memref")
+            .elem;
+        let mut operands = vec![mem];
+        operands.extend_from_slice(indices);
+        self.emit1(OpKind::Load, operands, Type::Scalar(elem))
+    }
+
+    /// Emits an indexed store.
+    pub fn store(&mut self, value: Value, mem: Value, indices: &[Value]) {
+        let mut operands = vec![value, mem];
+        operands.extend_from_slice(indices);
+        self.emit(OpKind::Store, operands, vec![], vec![]);
+    }
+
+    /// Emits a `dim` query for the extent of dimension `index`.
+    pub fn dim(&mut self, mem: Value, index: usize) -> Value {
+        self.emit1(OpKind::Dim { index }, vec![mem], Type::index())
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// Emits a counted loop. The closure receives the induction variable and
+    /// the loop-carried values and must return the values to yield; the
+    /// loop's results (one per init) are returned.
+    pub fn for_loop(
+        &mut self,
+        lb: Value,
+        ub: Value,
+        step: Value,
+        inits: &[Value],
+        body: impl FnOnce(&mut Self, Value, &[Value]) -> Vec<Value>,
+    ) -> Vec<Value> {
+        let region = self.func.new_region();
+        let iv = self.func.add_region_arg(region, Type::index());
+        let iter_args: Vec<Value> = inits
+            .iter()
+            .map(|&v| {
+                let ty = self.func.value_type(v).clone();
+                self.func.add_region_arg(region, ty)
+            })
+            .collect();
+        self.insert.push(region);
+        let yields = body(self, iv, &iter_args);
+        assert_eq!(yields.len(), inits.len(), "for body must yield one value per init");
+        self.emit(OpKind::Yield, yields, vec![], vec![]);
+        self.insert.pop();
+        let mut operands = vec![lb, ub, step];
+        operands.extend_from_slice(inits);
+        let result_types = inits.iter().map(|&v| self.func.value_type(v).clone()).collect();
+        let op = self.emit(OpKind::For, operands, result_types, vec![region]);
+        self.func.op(op).results.clone()
+    }
+
+    /// Emits a general loop. `cond` receives the carried values and returns
+    /// the continuation condition plus values forwarded to the body; `body`
+    /// receives the forwarded values and returns the next carried values.
+    pub fn while_loop(
+        &mut self,
+        inits: &[Value],
+        cond: impl FnOnce(&mut Self, &[Value]) -> (Value, Vec<Value>),
+        body: impl FnOnce(&mut Self, &[Value]) -> Vec<Value>,
+    ) -> Vec<Value> {
+        let tys: Vec<Type> = inits.iter().map(|&v| self.func.value_type(v).clone()).collect();
+
+        let cond_region = self.func.new_region();
+        let cond_args: Vec<Value> = tys
+            .iter()
+            .map(|ty| self.func.add_region_arg(cond_region, ty.clone()))
+            .collect();
+        self.insert.push(cond_region);
+        let (c, forwarded) = cond(self, &cond_args);
+        assert_eq!(forwarded.len(), inits.len(), "while cond must forward one value per init");
+        let mut cond_operands = vec![c];
+        cond_operands.extend_from_slice(&forwarded);
+        self.emit(OpKind::Condition, cond_operands, vec![], vec![]);
+        self.insert.pop();
+
+        let body_region = self.func.new_region();
+        let body_args: Vec<Value> = tys
+            .iter()
+            .map(|ty| self.func.add_region_arg(body_region, ty.clone()))
+            .collect();
+        self.insert.push(body_region);
+        let yields = body(self, &body_args);
+        assert_eq!(yields.len(), inits.len(), "while body must yield one value per init");
+        self.emit(OpKind::Yield, yields, vec![], vec![]);
+        self.insert.pop();
+
+        let op = self.emit(OpKind::While, inits.to_vec(), tys, vec![cond_region, body_region]);
+        self.func.op(op).results.clone()
+    }
+
+    /// Emits a two-armed conditional with results. Both closures must yield
+    /// values matching `result_types`.
+    pub fn if_op(
+        &mut self,
+        cond: Value,
+        result_types: &[Type],
+        then: impl FnOnce(&mut Self) -> Vec<Value>,
+        els: impl FnOnce(&mut Self) -> Vec<Value>,
+    ) -> Vec<Value> {
+        let then_region = self.func.new_region();
+        self.insert.push(then_region);
+        let then_yields = then(self);
+        assert_eq!(then_yields.len(), result_types.len());
+        self.emit(OpKind::Yield, then_yields, vec![], vec![]);
+        self.insert.pop();
+
+        let else_region = self.func.new_region();
+        self.insert.push(else_region);
+        let else_yields = els(self);
+        assert_eq!(else_yields.len(), result_types.len());
+        self.emit(OpKind::Yield, else_yields, vec![], vec![]);
+        self.insert.pop();
+
+        let op = self.emit(
+            OpKind::If,
+            vec![cond],
+            result_types.to_vec(),
+            vec![then_region, else_region],
+        );
+        self.func.op(op).results.clone()
+    }
+
+    /// Emits a result-less conditional with only a then branch.
+    pub fn if_then(&mut self, cond: Value, then: impl FnOnce(&mut Self)) {
+        self.if_op(
+            cond,
+            &[],
+            |b| {
+                then(b);
+                vec![]
+            },
+            |_| vec![],
+        );
+    }
+
+    /// Emits a GPU parallel loop over `ubs` (1–3 dimensions, lower bounds 0,
+    /// steps 1). The closure receives the induction variables.
+    pub fn parallel(&mut self, level: ParLevel, ubs: &[Value], body: impl FnOnce(&mut Self, &[Value])) -> OpId {
+        assert!((1..=3).contains(&ubs.len()), "parallel loops have 1-3 dimensions");
+        let region = self.func.new_region();
+        let ivs: Vec<Value> = (0..ubs.len())
+            .map(|_| self.func.add_region_arg(region, Type::index()))
+            .collect();
+        self.insert.push(region);
+        body(self, &ivs);
+        self.emit(OpKind::Yield, vec![], vec![], vec![]);
+        self.insert.pop();
+        self.emit(OpKind::Parallel { level }, ubs.to_vec(), vec![], vec![region])
+    }
+
+    /// Emits a barrier synchronizing the enclosing parallel loop of `level`.
+    pub fn barrier(&mut self, level: ParLevel) {
+        self.emit(OpKind::Barrier { level }, vec![], vec![], vec![]);
+    }
+
+    /// Emits a call to another function of the module.
+    pub fn call(&mut self, callee: impl Into<String>, args: &[Value], result_types: &[Type]) -> Vec<Value> {
+        let op = self.emit(
+            OpKind::Call { callee: callee.into() },
+            args.to_vec(),
+            result_types.to_vec(),
+            vec![],
+        );
+        self.func.op(op).results.clone()
+    }
+
+    /// Emits the function terminator.
+    pub fn ret(&mut self, values: &[Value]) {
+        self.emit(OpKind::Return, values.to_vec(), vec![], vec![]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_loop() {
+        let mut func = Function::new("f");
+        let n = func.add_param(Type::index());
+        let mut b = FuncBuilder::new(&mut func);
+        let zero = b.const_index(0);
+        let one = b.const_index(1);
+        let acc0 = b.const_f32(0.0);
+        let r = b.for_loop(zero, n, one, &[acc0], |b, iv, iters| {
+            let f = b.cast(iv, ScalarType::F32);
+            let next = b.add(iters[0], f);
+            vec![next]
+        });
+        b.ret(&[r[0]]);
+        assert_eq!(func.region(func.body()).ops.len(), 5);
+        crate::verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn builds_if_and_select() {
+        let mut func = Function::new("f");
+        let x = func.add_param(Type::Scalar(ScalarType::F32));
+        let mut b = FuncBuilder::new(&mut func);
+        let zero = b.const_f32(0.0);
+        let c = b.cmp(CmpPred::Lt, x, zero);
+        let r = b.if_op(
+            c,
+            &[Type::Scalar(ScalarType::F32)],
+            |b| vec![b.unary(UnOp::Neg, x)],
+            |_| vec![x],
+        );
+        let s = b.select(c, r[0], x);
+        b.ret(&[s]);
+        crate::verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn builds_while() {
+        let mut func = Function::new("f");
+        let n = func.add_param(Type::Scalar(ScalarType::I32));
+        let mut b = FuncBuilder::new(&mut func);
+        let zero = b.const_i32(0);
+        let r = b.while_loop(
+            &[zero],
+            |b, args| {
+                let c = b.cmp(CmpPred::Lt, args[0], n);
+                (c, vec![args[0]])
+            },
+            |b, args| {
+                let one = b.const_i32(1);
+                vec![b.add(args[0], one)]
+            },
+        );
+        b.ret(&[r[0]]);
+        crate::verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn builds_kernel_shape() {
+        let mut func = Function::new("k");
+        let grid = func.add_param(Type::index());
+        let mut b = FuncBuilder::new(&mut func);
+        let c32 = b.const_index(32);
+        b.parallel(ParLevel::Block, &[grid], |b, _bids| {
+            let sm = b.alloc_static(ScalarType::F32, &[32], MemSpace::Shared);
+            b.parallel(ParLevel::Thread, &[c32], |b, tids| {
+                let v = b.load(sm, &[tids[0]]);
+                b.barrier(ParLevel::Thread);
+                b.store(v, sm, &[tids[0]]);
+            });
+        });
+        b.ret(&[]);
+        crate::verify_function(&func).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel loops have 1-3 dimensions")]
+    fn rejects_4d_parallel() {
+        let mut func = Function::new("k");
+        let mut b = FuncBuilder::new(&mut func);
+        let c = b.const_index(4);
+        b.parallel(ParLevel::Block, &[c, c, c, c], |_, _| {});
+    }
+}

@@ -1,0 +1,336 @@
+//! Functions, regions and the module container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{OpId, RegionId, Value};
+use crate::ops::{OpKind, Operation};
+use crate::types::Type;
+
+/// A single-block region: an argument list plus an ordered list of
+/// operations, the last of which is a terminator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Region {
+    /// Values defined by the region itself (loop induction variables,
+    /// iteration arguments, function parameters).
+    pub args: Vec<Value>,
+    /// Operations in execution order.
+    pub ops: Vec<OpId>,
+}
+
+/// A function: a name, a body region, and the arenas owning every value,
+/// operation and region of the function.
+///
+/// GPU kernels are ordinary functions whose body contains a
+/// [`Parallel`](OpKind::Parallel) loop at [`ParLevel::Block`]
+/// level; see the [`kernel`](crate::kernel) module for structural helpers.
+///
+/// Cloning a `Function` deep-copies all arenas, which is how per-target and
+/// per-alternative variants are produced.
+///
+/// [`ParLevel::Block`]: crate::ParLevel::Block
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    name: String,
+    body: RegionId,
+    value_types: Vec<Type>,
+    ops: Vec<Operation>,
+    regions: Vec<Region>,
+}
+
+impl Function {
+    /// Creates an empty function with the given name and no parameters.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            body: RegionId::from_index(0),
+            value_types: Vec::new(),
+            ops: Vec::new(),
+            regions: vec![Region::default()],
+        }
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the function.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The body region.
+    pub fn body(&self) -> RegionId {
+        self.body
+    }
+
+    /// Function parameters (the body region's arguments).
+    pub fn params(&self) -> &[Value] {
+        &self.regions[self.body.index()].args
+    }
+
+    /// Appends a parameter of the given type and returns its value.
+    pub fn add_param(&mut self, ty: Type) -> Value {
+        let v = self.new_value(ty);
+        let body = self.body;
+        self.region_mut(body).args.push(v);
+        v
+    }
+
+    /// Creates a fresh SSA value of the given type.
+    pub fn new_value(&mut self, ty: Type) -> Value {
+        let v = Value::from_index(self.value_types.len());
+        self.value_types.push(ty);
+        v
+    }
+
+    /// The type of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this function.
+    pub fn value_type(&self, v: Value) -> &Type {
+        &self.value_types[v.index()]
+    }
+
+    /// Replaces the type of a value. This is a low-level escape hatch for
+    /// passes that change a buffer's address space (e.g. shared-memory
+    /// offloading); callers must re-verify the function afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this function.
+    pub fn replace_value_type(&mut self, v: Value, ty: Type) {
+        self.value_types[v.index()] = ty;
+    }
+
+    /// Number of values created so far (dense id space upper bound).
+    pub fn num_values(&self) -> usize {
+        self.value_types.len()
+    }
+
+    /// Number of operations in the arena (including detached ones).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of regions in the arena (including detached ones).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Accesses an operation.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Mutably accesses an operation.
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        &mut self.ops[id.index()]
+    }
+
+    /// Accesses a region.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Mutably accesses a region.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        &mut self.regions[id.index()]
+    }
+
+    /// Creates a new empty region (not yet attached to any operation).
+    pub fn new_region(&mut self) -> RegionId {
+        let id = RegionId::from_index(self.regions.len());
+        self.regions.push(Region::default());
+        id
+    }
+
+    /// Adds an argument of the given type to a region and returns its value.
+    pub fn add_region_arg(&mut self, region: RegionId, ty: Type) -> Value {
+        let v = self.new_value(ty);
+        self.region_mut(region).args.push(v);
+        v
+    }
+
+    /// Creates an operation in the arena, materializing fresh result values
+    /// of the given types, and returns its id. The operation is *not*
+    /// inserted into any region; use [`Function::push_op`] or a
+    /// [`FuncBuilder`](crate::FuncBuilder).
+    pub fn make_op(
+        &mut self,
+        kind: OpKind,
+        operands: Vec<Value>,
+        result_types: Vec<Type>,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        let results = result_types.into_iter().map(|ty| self.new_value(ty)).collect();
+        let id = OpId::from_index(self.ops.len());
+        self.ops.push(Operation {
+            kind,
+            operands,
+            results,
+            regions,
+        });
+        id
+    }
+
+    /// Appends an existing operation to the end of a region.
+    pub fn push_op(&mut self, region: RegionId, op: OpId) {
+        self.region_mut(region).ops.push(op);
+    }
+
+    /// Single result of an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not have exactly one result.
+    pub fn result(&self, op: OpId) -> Value {
+        let results = &self.op(op).results;
+        assert_eq!(results.len(), 1, "operation has {} results, expected 1", results.len());
+        results[0]
+    }
+
+    /// Returns the constant integer value of `v` if it is defined by a
+    /// `ConstInt` operation reachable in the body, else `None`.
+    ///
+    /// This performs a linear scan over the arena; transforms that need many
+    /// queries should build their own def map via [`walk`](crate::walk).
+    pub fn const_int_value(&self, v: Value) -> Option<i64> {
+        for op in &self.ops {
+            if let OpKind::ConstInt { value, .. } = op.kind {
+                if op.results.first() == Some(&v) {
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::print_function(self, f)
+    }
+}
+
+/// A compilation module: an ordered collection of functions with unique
+/// names. Host launch logic and device kernels share one module, mirroring
+/// the paper's single-translation-unit design (§III).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    funcs: Vec<Function>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function, replacing any previous function of the same name.
+    pub fn add_function(&mut self, func: Function) {
+        if let Some(&i) = self.by_name.get(func.name()) {
+            self.funcs[i] = func;
+        } else {
+            self.by_name.insert(func.name().to_string(), self.funcs.len());
+            self.funcs.push(func);
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(name).map(|&i| &self.funcs[i])
+    }
+
+    /// Mutably looks up a function by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        match self.by_name.get(name) {
+            Some(&i) => Some(&mut self.funcs[i]),
+            None => None,
+        }
+    }
+
+    /// Iterates over all functions in insertion order.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.funcs.iter()
+    }
+
+    /// Iterates mutably over all functions.
+    pub fn functions_mut(&mut self) -> impl Iterator<Item = &mut Function> {
+        self.funcs.iter_mut()
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Returns `true` if the module holds no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            func.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn new_function_has_empty_body() {
+        let func = Function::new("f");
+        assert_eq!(func.name(), "f");
+        assert!(func.params().is_empty());
+        assert!(func.region(func.body()).ops.is_empty());
+    }
+
+    #[test]
+    fn params_are_body_args() {
+        let mut func = Function::new("f");
+        let p = func.add_param(Type::index());
+        assert_eq!(func.params(), &[p]);
+        assert_eq!(func.value_type(p), &Type::index());
+    }
+
+    #[test]
+    fn make_op_creates_results() {
+        let mut func = Function::new("f");
+        let op = func.make_op(
+            OpKind::ConstInt { value: 3, ty: ScalarType::I32 },
+            vec![],
+            vec![Type::Scalar(ScalarType::I32)],
+            vec![],
+        );
+        assert_eq!(func.op(op).results.len(), 1);
+        let r = func.result(op);
+        assert_eq!(func.const_int_value(r), Some(3));
+    }
+
+    #[test]
+    fn module_replaces_same_name() {
+        let mut m = Module::new();
+        m.add_function(Function::new("k"));
+        let mut k2 = Function::new("k");
+        k2.add_param(Type::index());
+        m.add_function(k2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.function("k").unwrap().params().len(), 1);
+        assert!(!m.is_empty());
+        assert!(m.function("missing").is_none());
+    }
+}

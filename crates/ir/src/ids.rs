@@ -1,0 +1,78 @@
+//! Lightweight arena identifiers.
+//!
+//! All IR entities live in per-[`Function`](crate::Function) arenas and are
+//! referred to by copyable `u32` indices. This makes cloning kernels for
+//! [`Alternatives`](crate::OpKind::Alternatives) regions and remapping values
+//! during unroll-and-interleave cheap and allocation-free.
+
+use std::fmt;
+
+/// An SSA value: a function parameter, a region argument (e.g. a loop
+/// induction variable) or an operation result.
+///
+/// Values are scoped to the [`Function`](crate::Function) that created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(u32);
+
+/// Identifier of an [`Operation`](crate::Operation) within its function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(u32);
+
+/// Identifier of a [`Region`](crate::Region) within its function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u32);
+
+macro_rules! impl_id {
+    ($name:ident, $prefix:literal) => {
+        impl $name {
+            /// Creates an identifier from a raw arena index.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index overflow"))
+            }
+
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(Value, "%");
+impl_id!(OpId, "op");
+impl_id!(RegionId, "region");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let v = Value::from_index(42);
+        assert_eq!(v.index(), 42);
+        let o = OpId::from_index(7);
+        assert_eq!(o.index(), 7);
+        let r = RegionId::from_index(0);
+        assert_eq!(r.index(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_distinct() {
+        assert_eq!(format!("{:?}", Value::from_index(3)), "%3");
+        assert_eq!(format!("{:?}", OpId::from_index(3)), "op3");
+        assert_eq!(format!("{:?}", RegionId::from_index(3)), "region3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(Value::from_index(1) < Value::from_index(2));
+    }
+}

@@ -1,0 +1,238 @@
+//! Structural helpers for GPU kernels.
+//!
+//! A *kernel* in this IR is a function whose body contains a block-level
+//! [`Parallel`](crate::OpKind::Parallel) loop with a nested thread-level
+//! parallel loop, mirroring Fig. 2 of the paper. This module locates that
+//! structure and extracts the launch geometry and static shared-memory
+//! footprint that the coarsening and pruning stages need.
+
+use std::fmt;
+
+use crate::ids::{OpId, RegionId, Value};
+use crate::ops::{MemSpace, OpKind, ParLevel};
+use crate::walk;
+use crate::Function;
+
+/// Error produced when a function does not have the expected kernel shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelError {
+    /// Description of the structural problem.
+    pub message: String,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel structure error: {}", self.message)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The launch structure of one block-parallel loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Launch {
+    /// The block-level parallel operation.
+    pub block_par: OpId,
+    /// The thread-level parallel operation nested inside it.
+    pub thread_par: OpId,
+    /// Grid extents (one SSA `index` per block dimension).
+    pub grid_ubs: Vec<Value>,
+    /// Static block extents (threads per block per dimension). The paper's
+    /// flow requires compile-time block sizes to size shared memory and
+    /// check thread-coarsening divisibility.
+    pub block_dims: Vec<i64>,
+    /// `Alloc` operations in shared memory owned by this block loop.
+    pub shared_allocs: Vec<OpId>,
+}
+
+impl Launch {
+    /// Total threads per block.
+    pub fn threads_per_block(&self) -> i64 {
+        self.block_dims.iter().product()
+    }
+
+    /// Static shared memory usage of one block, in bytes.
+    pub fn shared_bytes(&self, func: &Function) -> u64 {
+        self.shared_allocs
+            .iter()
+            .map(|&a| {
+                func.value_type(func.op(a).results[0])
+                    .as_memref()
+                    .and_then(|m| m.static_bytes())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+/// Finds block-parallel loops directly nested in `region` (descending into
+/// sequential control flow and alternatives, but not into other parallels).
+pub fn block_parallels_in(func: &Function, region: RegionId) -> Vec<OpId> {
+    let mut out = Vec::new();
+    collect_block_parallels(func, region, &mut out);
+    out
+}
+
+fn collect_block_parallels(func: &Function, region: RegionId, out: &mut Vec<OpId>) {
+    for &op in &func.region(region).ops {
+        match &func.op(op).kind {
+            OpKind::Parallel { level: ParLevel::Block } => out.push(op),
+            OpKind::Parallel { level: ParLevel::Thread } => {}
+            _ => {
+                for &r in &func.op(op).regions {
+                    collect_block_parallels(func, r, out);
+                }
+            }
+        }
+    }
+}
+
+/// Analyzes one block-parallel operation into a [`Launch`].
+///
+/// # Errors
+///
+/// Returns a [`KernelError`] if the block loop does not contain exactly one
+/// thread-parallel loop, or if any thread extent is not a compile-time
+/// constant.
+pub fn analyze_launch(func: &Function, block_par: OpId) -> Result<Launch, KernelError> {
+    let op = func.op(block_par);
+    if !matches!(op.kind, OpKind::Parallel { level: ParLevel::Block }) {
+        return Err(KernelError {
+            message: "operation is not a block-parallel loop".into(),
+        });
+    }
+    let grid_ubs = op.operands.clone();
+    let body = op.regions[0];
+
+    let mut thread_pars = Vec::new();
+    let mut shared_allocs = Vec::new();
+    walk::walk_ops(func, body, &mut |o| match &func.op(o).kind {
+        OpKind::Parallel { level: ParLevel::Thread } => thread_pars.push(o),
+        OpKind::Alloc { space: MemSpace::Shared } => shared_allocs.push(o),
+        _ => {}
+    });
+    if thread_pars.len() != 1 {
+        return Err(KernelError {
+            message: format!("expected exactly one thread-parallel loop, found {}", thread_pars.len()),
+        });
+    }
+    let thread_par = thread_pars[0];
+    let mut block_dims = Vec::new();
+    for &ub in &func.op(thread_par).operands {
+        match func.const_int_value(ub) {
+            Some(v) if v > 0 => block_dims.push(v),
+            _ => {
+                return Err(KernelError {
+                    message: "thread extents must be positive compile-time constants".into(),
+                })
+            }
+        }
+    }
+    Ok(Launch {
+        block_par,
+        thread_par,
+        grid_ubs,
+        block_dims,
+        shared_allocs,
+    })
+}
+
+/// Analyzes all launches in the function body.
+///
+/// # Errors
+///
+/// Propagates the first [`KernelError`] from [`analyze_launch`].
+pub fn analyze_function(func: &Function) -> Result<Vec<Launch>, KernelError> {
+    block_parallels_in(func, func.body())
+        .into_iter()
+        .map(|op| analyze_launch(func, op))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    fn kernel() -> Function {
+        parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c16 = const 16 : index
+  parallel<block> (%bx, %by) to (%g, %g) {
+    %sm = alloc() : memref<16x16xf32, shared>
+    parallel<thread> (%tx, %ty) to (%c16, %c16) {
+      %v = load %sm[%tx, %ty] : f32
+      store %v, %sm[%ty, %tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analyzes_two_dim_launch() {
+        let func = kernel();
+        let launches = analyze_function(&func).unwrap();
+        assert_eq!(launches.len(), 1);
+        let l = &launches[0];
+        assert_eq!(l.block_dims, vec![16, 16]);
+        assert_eq!(l.threads_per_block(), 256);
+        assert_eq!(l.grid_ubs.len(), 2);
+        assert_eq!(l.shared_allocs.len(), 1);
+        assert_eq!(l.shared_bytes(&func), 16 * 16 * 4);
+    }
+
+    #[test]
+    fn rejects_dynamic_block_dims() {
+        let func = parse_function(
+            "func @k(%g: index, %n: index) {
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%n) {
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let pars = block_parallels_in(&func, func.body());
+        let err = analyze_launch(&func, pars[0]).unwrap_err();
+        assert!(err.message.contains("compile-time constants"));
+    }
+
+    #[test]
+    fn rejects_non_block_op() {
+        let func = kernel();
+        let body_first = func.region(func.body()).ops[0];
+        assert!(analyze_launch(&func, body_first).is_err());
+    }
+
+    #[test]
+    fn finds_multiple_launches() {
+        let func = parse_function(
+            "func @k(%g: index) {
+  %c8 = const 8 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c8) {
+      yield
+    }
+    yield
+  }
+  parallel<block> (%b2) to (%g) {
+    parallel<thread> (%t2) to (%c8) {
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(analyze_function(&func).unwrap().len(), 2);
+    }
+}

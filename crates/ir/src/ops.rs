@@ -1,0 +1,366 @@
+//! Operation kinds and the generic [`Operation`] container.
+
+use std::fmt;
+
+use crate::ids::{RegionId, Value};
+use crate::types::ScalarType;
+
+/// GPU address spaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device global memory (DRAM), visible to all blocks and the host.
+    Global,
+    /// Per-block scratchpad ("shared memory" in CUDA, "LDS" on AMD).
+    Shared,
+    /// Per-thread private memory (stack-allocated local arrays).
+    Local,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Local => "local",
+        })
+    }
+}
+
+/// The two levels of the GPU launch hierarchy a parallel loop can model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ParLevel {
+    /// Grid level: one iteration per GPU block.
+    Block,
+    /// Block level: one iteration per GPU thread.
+    Thread,
+}
+
+impl fmt::Display for ParLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParLevel::Block => "block",
+            ParLevel::Thread => "thread",
+        })
+    }
+}
+
+/// Binary arithmetic/logic operators. Signedness follows the operand type;
+/// integer division and remainder are signed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Min,
+    Max,
+    Pow,
+}
+
+impl BinOp {
+    /// The mnemonic used in the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Pow => "pow",
+        }
+    }
+
+    /// All binary operators (used by the parser and by property tests).
+    pub const ALL: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::Pow,
+    ];
+}
+
+/// Unary operators and math intrinsics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Sqrt,
+    Rsqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    Tanh,
+    Abs,
+    Floor,
+    Ceil,
+}
+
+impl UnOp {
+    /// The mnemonic used in the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Rsqrt => "rsqrt",
+            UnOp::Exp => "exp",
+            UnOp::Log => "log",
+            UnOp::Sin => "sin",
+            UnOp::Cos => "cos",
+            UnOp::Tanh => "tanh",
+            UnOp::Abs => "abs",
+            UnOp::Floor => "floor",
+            UnOp::Ceil => "ceil",
+        }
+    }
+
+    /// All unary operators (used by the parser and by property tests).
+    pub const ALL: [UnOp; 12] = [
+        UnOp::Neg,
+        UnOp::Not,
+        UnOp::Sqrt,
+        UnOp::Rsqrt,
+        UnOp::Exp,
+        UnOp::Log,
+        UnOp::Sin,
+        UnOp::Cos,
+        UnOp::Tanh,
+        UnOp::Abs,
+        UnOp::Floor,
+        UnOp::Ceil,
+    ];
+}
+
+/// Comparison predicates. Integer comparisons are signed; float comparisons
+/// are ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpPred {
+    /// The mnemonic used in the textual format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+
+    /// All predicates (used by the parser and by property tests).
+    pub const ALL: [CmpPred; 6] = [
+        CmpPred::Eq,
+        CmpPred::Ne,
+        CmpPred::Lt,
+        CmpPred::Le,
+        CmpPred::Gt,
+        CmpPred::Ge,
+    ];
+}
+
+/// The kind of an [`Operation`], together with its static attributes.
+///
+/// Operand and region conventions (checked by
+/// [`verify_function`](crate::verify_function)):
+///
+/// | Kind | Operands | Results | Regions |
+/// |---|---|---|---|
+/// | `ConstInt`/`ConstFloat` | — | 1 | — |
+/// | `Binary` | lhs, rhs (same scalar type) | 1 | — |
+/// | `Unary` | value | 1 | — |
+/// | `Cmp` | lhs, rhs | 1 (`i1`) | — |
+/// | `Select` | cond (`i1`), true, false | 1 | — |
+/// | `Cast` | value | 1 | — |
+/// | `Alloc` | one `index` per dynamic dim | 1 (memref) | — |
+/// | `Load` | memref, indices… | 1 | — |
+/// | `Store` | value, memref, indices… | — | — |
+/// | `Dim` | memref | 1 (`index`) | — |
+/// | `For` | lb, ub, step, inits… | one per init | body: args `[iv, iters…]`, terminator `Yield` |
+/// | `While` | inits… | one per init | cond: terminator `Condition`; body: terminator `Yield` |
+/// | `If` | cond (`i1`) | any | then, else; both terminated by `Yield` |
+/// | `Parallel` | ubs… (1–3, `index`) | — | body: args = ivs, terminator `Yield` |
+/// | `Barrier` | — | — | — |
+/// | `Alternatives` | — | — | one per alternative, each `Yield`-terminated |
+/// | `Call` | arguments… | callee results | — |
+/// | `Yield`/`Condition`/`Return` | forwarded values | — | — |
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// Integer (or index/boolean) constant.
+    ConstInt { value: i64, ty: ScalarType },
+    /// Floating point constant.
+    ConstFloat { value: f64, ty: ScalarType },
+    /// Binary arithmetic.
+    Binary(BinOp),
+    /// Unary arithmetic / math intrinsic.
+    Unary(UnOp),
+    /// Comparison producing an `i1`.
+    Cmp(CmpPred),
+    /// Ternary select.
+    Select,
+    /// Scalar conversion.
+    Cast { to: ScalarType },
+    /// Buffer allocation in the given address space.
+    Alloc { space: MemSpace },
+    /// Indexed load from a memref.
+    Load,
+    /// Indexed store to a memref.
+    Store,
+    /// Extent of the given dimension of a memref.
+    Dim { index: usize },
+    /// Sequential counted loop (`scf.for`) with loop-carried values.
+    For,
+    /// General loop (`scf.while`) with a condition region and a body region.
+    While,
+    /// Two-armed conditional (`scf.if`) with optional results.
+    If,
+    /// GPU parallel loop over blocks or threads (`scf.parallel`); lower
+    /// bounds are 0 and steps are 1, upper bounds are operands.
+    Parallel { level: ParLevel },
+    /// Barrier synchronizing all iterations of the enclosing parallel loop
+    /// of the given level (`polygeist.barrier`).
+    Barrier { level: ParLevel },
+    /// Region terminator forwarding values to the parent operation.
+    Yield,
+    /// Terminator of a `While` condition region: first operand is the `i1`
+    /// continuation condition, the rest are forwarded to the body.
+    Condition,
+    /// Compile-time multi-versioning (§VI): each region holds the same
+    /// computation at a different granularity. `selected` is populated once
+    /// a decision point has chosen a single alternative.
+    Alternatives { selected: Option<usize> },
+    /// Call of another function in the module.
+    Call { callee: String },
+    /// Function terminator.
+    Return,
+}
+
+impl OpKind {
+    /// Returns `true` if this kind carries nested regions.
+    pub fn has_regions(&self) -> bool {
+        matches!(
+            self,
+            OpKind::For | OpKind::While | OpKind::If | OpKind::Parallel { .. } | OpKind::Alternatives { .. }
+        )
+    }
+
+    /// Returns `true` for region/function terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, OpKind::Yield | OpKind::Condition | OpKind::Return)
+    }
+
+    /// Returns `true` if the operation has no side effects on memory and no
+    /// control-flow semantics (it may be freely duplicated, shared between
+    /// unrolled instances, and removed when unused).
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            OpKind::ConstInt { .. }
+                | OpKind::ConstFloat { .. }
+                | OpKind::Binary(_)
+                | OpKind::Unary(_)
+                | OpKind::Cmp(_)
+                | OpKind::Select
+                | OpKind::Cast { .. }
+                | OpKind::Dim { .. }
+        )
+    }
+}
+
+/// A generic IR operation: a kind plus operand, result and region lists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// SSA operands, in kind-specific order.
+    pub operands: Vec<Value>,
+    /// SSA results defined by this operation.
+    pub results: Vec<Value>,
+    /// Nested regions, in kind-specific order.
+    pub regions: Vec<RegionId>,
+}
+
+impl Operation {
+    /// Creates an operation with no operands, results or regions.
+    pub fn nullary(kind: OpKind) -> Operation {
+        Operation {
+            kind,
+            operands: Vec::new(),
+            results: Vec::new(),
+            regions: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_classification() {
+        assert!(OpKind::Binary(BinOp::Add).is_pure());
+        assert!(OpKind::Cmp(CmpPred::Lt).is_pure());
+        assert!(!OpKind::Load.is_pure());
+        assert!(!OpKind::Store.is_pure());
+        assert!(!OpKind::Barrier { level: ParLevel::Thread }.is_pure());
+        assert!(!OpKind::For.is_pure());
+    }
+
+    #[test]
+    fn region_classification() {
+        assert!(OpKind::For.has_regions());
+        assert!(OpKind::Parallel { level: ParLevel::Block }.has_regions());
+        assert!(OpKind::Alternatives { selected: None }.has_regions());
+        assert!(!OpKind::Load.has_regions());
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(OpKind::Yield.is_terminator());
+        assert!(OpKind::Return.is_terminator());
+        assert!(OpKind::Condition.is_terminator());
+        assert!(!OpKind::Barrier { level: ParLevel::Thread }.is_terminator());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in BinOp::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+        for op in UnOp::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+}

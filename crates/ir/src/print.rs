@@ -1,0 +1,256 @@
+//! Textual printer for the IR.
+//!
+//! The format round-trips through [`crate::parse`]; see that module for the
+//! grammar. Values are numbered `%0, %1, …` in order of first definition.
+
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+
+use crate::ids::{OpId, RegionId, Value};
+use crate::ops::{OpKind, Operation};
+use crate::types::Type;
+use crate::Function;
+
+struct Printer<'f> {
+    func: &'f Function,
+    names: HashMap<Value, usize>,
+    next: usize,
+}
+
+impl<'f> Printer<'f> {
+    fn name(&mut self, v: Value) -> String {
+        let next = &mut self.next;
+        let id = *self.names.entry(v).or_insert_with(|| {
+            let n = *next;
+            *next += 1;
+            n
+        });
+        format!("%{id}")
+    }
+
+    fn operand_list(&mut self, values: &[Value]) -> String {
+        values.iter().map(|&v| self.name(v)).collect::<Vec<_>>().join(", ")
+    }
+
+    fn print_region_body(&mut self, f: &mut fmt::Formatter<'_>, region: RegionId, indent: usize) -> fmt::Result {
+        for &op in &self.func.region(region).ops.clone() {
+            self.print_op(f, op, indent)?;
+        }
+        Ok(())
+    }
+
+    fn result_prefix(&mut self, op: &Operation) -> String {
+        if op.results.is_empty() {
+            String::new()
+        } else {
+            format!("{} = ", self.operand_list(&op.results))
+        }
+    }
+
+    fn print_op(&mut self, f: &mut fmt::Formatter<'_>, id: OpId, indent: usize) -> fmt::Result {
+        let op = self.func.op(id).clone();
+        let pad = "  ".repeat(indent);
+        match &op.kind {
+            OpKind::ConstInt { value, ty } => {
+                let r = self.result_prefix(&op);
+                writeln!(f, "{pad}{r}const {value} : {ty}")
+            }
+            OpKind::ConstFloat { value, ty } => {
+                let r = self.result_prefix(&op);
+                writeln!(f, "{pad}{r}fconst {value:?} : {ty}")
+            }
+            OpKind::Binary(b) => {
+                let r = self.result_prefix(&op);
+                let ops = self.operand_list(&op.operands);
+                let ty = self.func.value_type(op.results[0]);
+                writeln!(f, "{pad}{r}{} {ops} : {ty}", b.mnemonic())
+            }
+            OpKind::Unary(u) => {
+                let r = self.result_prefix(&op);
+                let ops = self.operand_list(&op.operands);
+                let ty = self.func.value_type(op.results[0]);
+                writeln!(f, "{pad}{r}{} {ops} : {ty}", u.mnemonic())
+            }
+            OpKind::Cmp(p) => {
+                let r = self.result_prefix(&op);
+                let ops = self.operand_list(&op.operands);
+                writeln!(f, "{pad}{r}cmp {} {ops}", p.mnemonic())
+            }
+            OpKind::Select => {
+                let r = self.result_prefix(&op);
+                let ops = self.operand_list(&op.operands);
+                let ty = self.func.value_type(op.results[0]);
+                writeln!(f, "{pad}{r}select {ops} : {ty}")
+            }
+            OpKind::Cast { to } => {
+                let r = self.result_prefix(&op);
+                let ops = self.operand_list(&op.operands);
+                writeln!(f, "{pad}{r}cast {ops} : {to}")
+            }
+            OpKind::Alloc { .. } => {
+                let r = self.result_prefix(&op);
+                let ops = self.operand_list(&op.operands);
+                let ty = self.func.value_type(op.results[0]);
+                writeln!(f, "{pad}{r}alloc({ops}) : {ty}")
+            }
+            OpKind::Load => {
+                let r = self.result_prefix(&op);
+                let mem = self.name(op.operands[0]);
+                let idx = self.operand_list(&op.operands[1..]);
+                let ty = self.func.value_type(op.results[0]);
+                writeln!(f, "{pad}{r}load {mem}[{idx}] : {ty}")
+            }
+            OpKind::Store => {
+                let v = self.name(op.operands[0]);
+                let mem = self.name(op.operands[1]);
+                let idx = self.operand_list(&op.operands[2..]);
+                writeln!(f, "{pad}store {v}, {mem}[{idx}]")
+            }
+            OpKind::Dim { index } => {
+                let r = self.result_prefix(&op);
+                let mem = self.name(op.operands[0]);
+                writeln!(f, "{pad}{r}dim {mem}, {index}")
+            }
+            OpKind::For => {
+                let r = self.result_prefix(&op);
+                let region = op.regions[0];
+                let args = self.func.region(region).args.clone();
+                let iv = self.name(args[0]);
+                let lb = self.name(op.operands[0]);
+                let ub = self.name(op.operands[1]);
+                let step = self.name(op.operands[2]);
+                let mut header = format!("{pad}{r}for {iv} = {lb} to {ub} step {step}");
+                if args.len() > 1 {
+                    let pairs: Vec<String> = args[1..]
+                        .iter()
+                        .zip(&op.operands[3..])
+                        .map(|(&a, &init)| {
+                            let an = self.name(a);
+                            let iname = self.name(init);
+                            format!("{an} = {iname}")
+                        })
+                        .collect();
+                    write!(header, " iter ({})", pairs.join(", ")).unwrap();
+                }
+                writeln!(f, "{header} {{")?;
+                self.print_region_body(f, region, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            OpKind::While => {
+                let r = self.result_prefix(&op);
+                let cond_region = op.regions[0];
+                let body_region = op.regions[1];
+                let cond_args = self.func.region(cond_region).args.clone();
+                let pairs: Vec<String> = cond_args
+                    .iter()
+                    .zip(&op.operands)
+                    .map(|(&a, &init)| {
+                        let an = self.name(a);
+                        let iname = self.name(init);
+                        format!("{an} = {iname}")
+                    })
+                    .collect();
+                writeln!(f, "{pad}{r}while ({}) {{", pairs.join(", "))?;
+                self.print_region_body(f, cond_region, indent + 1)?;
+                let body_args = self.func.region(body_region).args.clone();
+                let body_names = self.operand_list(&body_args);
+                writeln!(f, "{pad}}} do ({body_names}) {{")?;
+                self.print_region_body(f, body_region, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            OpKind::If => {
+                let r = self.result_prefix(&op);
+                let cond = self.name(op.operands[0]);
+                writeln!(f, "{pad}{r}if {cond} {{")?;
+                self.print_region_body(f, op.regions[0], indent + 1)?;
+                let else_region = op.regions[1];
+                let else_ops = &self.func.region(else_region).ops;
+                // Skip printing a trivial `else { yield }` arm.
+                let trivial_else = op.results.is_empty() && else_ops.len() == 1;
+                if trivial_else {
+                    writeln!(f, "{pad}}}")
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    self.print_region_body(f, else_region, indent + 1)?;
+                    writeln!(f, "{pad}}}")
+                }
+            }
+            OpKind::Parallel { level } => {
+                let region = op.regions[0];
+                let args = self.func.region(region).args.clone();
+                let ivs = self.operand_list(&args);
+                let ubs = self.operand_list(&op.operands);
+                writeln!(f, "{pad}parallel<{level}> ({ivs}) to ({ubs}) {{")?;
+                self.print_region_body(f, region, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            OpKind::Barrier { level } => writeln!(f, "{pad}barrier<{level}>"),
+            OpKind::Yield => {
+                if op.operands.is_empty() {
+                    writeln!(f, "{pad}yield")
+                } else {
+                    let ops = self.operand_list(&op.operands);
+                    writeln!(f, "{pad}yield {ops}")
+                }
+            }
+            OpKind::Condition => {
+                let ops = self.operand_list(&op.operands);
+                writeln!(f, "{pad}condition {ops}")
+            }
+            OpKind::Alternatives { selected } => {
+                match selected {
+                    Some(i) => writeln!(f, "{pad}alternatives selected={i} {{")?,
+                    None => writeln!(f, "{pad}alternatives {{")?,
+                }
+                for &region in &op.regions {
+                    writeln!(f, "{pad}case {{")?;
+                    self.print_region_body(f, region, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+            OpKind::Call { callee } => {
+                let r = self.result_prefix(&op);
+                let args = self.operand_list(&op.operands);
+                let tys: Vec<String> = op
+                    .results
+                    .iter()
+                    .map(|&v| self.func.value_type(v).to_string())
+                    .collect();
+                writeln!(f, "{pad}{r}call @{callee}({args}) : ({})", tys.join(", "))
+            }
+            OpKind::Return => {
+                if op.operands.is_empty() {
+                    writeln!(f, "{pad}return")
+                } else {
+                    let ops = self.operand_list(&op.operands);
+                    writeln!(f, "{pad}return {ops}")
+                }
+            }
+        }
+    }
+}
+
+/// Prints a function in the textual format.
+pub(crate) fn print_function(func: &Function, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut p = Printer {
+        func,
+        names: HashMap::new(),
+        next: 0,
+    };
+    let params: Vec<String> = func
+        .params()
+        .iter()
+        .map(|&v| {
+            let n = p.name(v);
+            format!("{n}: {}", type_str(func.value_type(v)))
+        })
+        .collect();
+    writeln!(f, "func @{}({}) {{", func.name(), params.join(", "))?;
+    p.print_region_body(f, func.body(), 1)?;
+    writeln!(f, "}}")
+}
+
+fn type_str(ty: &Type) -> String {
+    ty.to_string()
+}

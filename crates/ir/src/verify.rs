@@ -1,0 +1,510 @@
+//! Structural and type verification of functions and modules.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ids::{RegionId, Value};
+use crate::ops::{OpKind, ParLevel};
+use crate::types::{ScalarType, Type, DYNAMIC};
+use crate::{Function, Module};
+
+/// Error produced when IR verification fails.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyError {
+    /// Function in which the problem was found.
+    pub function: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of @{} failed: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Verifier<'f> {
+    func: &'f Function,
+    defined: Vec<HashSet<Value>>,
+    parallel_stack: Vec<ParLevel>,
+}
+
+/// What terminator a region must end with, and what it must carry.
+enum RegionRole<'a> {
+    FuncBody,
+    Yield(&'a [Type]),
+    Condition(&'a [Type]),
+    EmptyYield,
+}
+
+impl<'f> Verifier<'f> {
+    fn err(&self, message: impl Into<String>) -> VerifyError {
+        VerifyError {
+            function: self.func.name().to_string(),
+            message: message.into(),
+        }
+    }
+
+    fn is_defined(&self, v: Value) -> bool {
+        self.defined.iter().any(|s| s.contains(&v))
+    }
+
+    fn scalar(&self, v: Value) -> Result<ScalarType, VerifyError> {
+        self.func
+            .value_type(v)
+            .as_scalar()
+            .ok_or_else(|| self.err(format!("{v:?} must be a scalar")))
+    }
+
+    fn expect_index(&self, v: Value, what: &str) -> Result<(), VerifyError> {
+        if self.scalar(v)? == ScalarType::Index {
+            Ok(())
+        } else {
+            Err(self.err(format!("{what} must have index type, got {}", self.func.value_type(v))))
+        }
+    }
+
+    fn check_region(&mut self, region: RegionId, role: RegionRole<'_>) -> Result<(), VerifyError> {
+        let r = self.func.region(region);
+        let mut scope = HashSet::new();
+        for &a in &r.args {
+            scope.insert(a);
+        }
+        self.defined.push(scope);
+        let ops = r.ops.clone();
+        if ops.is_empty() {
+            return Err(self.err("region has no terminator"));
+        }
+        for (i, &op) in ops.iter().enumerate() {
+            let operation = self.func.op(op);
+            let is_last = i + 1 == ops.len();
+            if operation.kind.is_terminator() != is_last {
+                return Err(self.err(format!(
+                    "terminator misplacement: {:?} at position {i} of region with {} ops",
+                    operation.kind,
+                    ops.len()
+                )));
+            }
+            for &operand in &operation.operands {
+                if !self.is_defined(operand) {
+                    return Err(self.err(format!("{operand:?} used before definition")));
+                }
+            }
+            self.check_op(op)?;
+            let results = self.func.op(op).results.clone();
+            let scope = self.defined.last_mut().expect("scope stack is never empty");
+            for v in results {
+                scope.insert(v);
+            }
+        }
+        // Terminator compatibility with the parent op.
+        let term = *ops.last().expect("region checked non-empty above");
+        let term_op = self.func.op(term);
+        let check_types = |expected: &[Type], what: &str| -> Result<(), VerifyError> {
+            if term_op.operands.len() != expected.len() {
+                return Err(self.err(format!(
+                    "{what} carries {} values, parent expects {}",
+                    term_op.operands.len(),
+                    expected.len()
+                )));
+            }
+            for (v, ty) in term_op.operands.iter().zip(expected) {
+                if self.func.value_type(*v) != ty {
+                    return Err(self.err(format!(
+                        "{what} value {v:?} has type {}, parent expects {ty}",
+                        self.func.value_type(*v)
+                    )));
+                }
+            }
+            Ok(())
+        };
+        match role {
+            RegionRole::FuncBody => {
+                if !matches!(term_op.kind, OpKind::Return) {
+                    return Err(self.err("function body must end with return"));
+                }
+            }
+            RegionRole::Yield(expected) => {
+                if !matches!(term_op.kind, OpKind::Yield) {
+                    return Err(self.err("region must end with yield"));
+                }
+                check_types(expected, "yield")?;
+            }
+            RegionRole::Condition(forwarded) => {
+                if !matches!(term_op.kind, OpKind::Condition) {
+                    return Err(self.err("while condition region must end with condition"));
+                }
+                if term_op.operands.is_empty() {
+                    return Err(self.err("condition needs an i1 operand"));
+                }
+                if self.scalar(term_op.operands[0])? != ScalarType::I1 {
+                    return Err(self.err("condition flag must be i1"));
+                }
+                let rest: Vec<Value> = term_op.operands[1..].to_vec();
+                if rest.len() != forwarded.len() {
+                    return Err(self.err("condition forwards wrong number of values"));
+                }
+                for (v, ty) in rest.iter().zip(forwarded) {
+                    if self.func.value_type(*v) != ty {
+                        return Err(self.err("condition forwarded value type mismatch"));
+                    }
+                }
+            }
+            RegionRole::EmptyYield => {
+                if !matches!(term_op.kind, OpKind::Yield) || !term_op.operands.is_empty() {
+                    return Err(self.err("region must end with a value-less yield"));
+                }
+            }
+        }
+        self.defined.pop();
+        Ok(())
+    }
+
+    fn check_op(&mut self, op: crate::OpId) -> Result<(), VerifyError> {
+        let operation = self.func.op(op).clone();
+        let n_operands = operation.operands.len();
+        let n_results = operation.results.len();
+        let n_regions = operation.regions.len();
+        let expect = |cond: bool, msg: &str| -> Result<(), VerifyError> {
+            if cond {
+                Ok(())
+            } else {
+                Err(self.err(format!("{:?}: {msg}", operation.kind)))
+            }
+        };
+        match &operation.kind {
+            OpKind::ConstInt { ty, .. } => {
+                expect(n_operands == 0 && n_results == 1 && n_regions == 0, "malformed const")?;
+                expect(ty.is_int(), "const requires an integer type")?;
+            }
+            OpKind::ConstFloat { ty, .. } => {
+                expect(n_operands == 0 && n_results == 1 && n_regions == 0, "malformed fconst")?;
+                expect(ty.is_float(), "fconst requires a float type")?;
+            }
+            OpKind::Binary(_) => {
+                expect(n_operands == 2 && n_results == 1 && n_regions == 0, "malformed binary op")?;
+                let l = self.scalar(operation.operands[0])?;
+                let r = self.scalar(operation.operands[1])?;
+                expect(l == r, "binary operand types differ")?;
+                let res = self.scalar(operation.results[0])?;
+                expect(res == l, "binary result type differs from operands")?;
+            }
+            OpKind::Unary(_) => {
+                expect(n_operands == 1 && n_results == 1 && n_regions == 0, "malformed unary op")?;
+                let v = self.scalar(operation.operands[0])?;
+                let res = self.scalar(operation.results[0])?;
+                expect(res == v, "unary result type differs from operand")?;
+            }
+            OpKind::Cmp(_) => {
+                expect(n_operands == 2 && n_results == 1 && n_regions == 0, "malformed cmp")?;
+                let l = self.scalar(operation.operands[0])?;
+                let r = self.scalar(operation.operands[1])?;
+                expect(l == r, "cmp operand types differ")?;
+                expect(self.scalar(operation.results[0])? == ScalarType::I1, "cmp must produce i1")?;
+            }
+            OpKind::Select => {
+                expect(n_operands == 3 && n_results == 1 && n_regions == 0, "malformed select")?;
+                expect(self.scalar(operation.operands[0])? == ScalarType::I1, "select condition must be i1")?;
+                let t = self.func.value_type(operation.operands[1]);
+                let e = self.func.value_type(operation.operands[2]);
+                expect(t == e, "select arms must have equal types")?;
+                expect(self.func.value_type(operation.results[0]) == t, "select result type mismatch")?;
+            }
+            OpKind::Cast { to } => {
+                expect(n_operands == 1 && n_results == 1 && n_regions == 0, "malformed cast")?;
+                expect(self.scalar(operation.results[0])? == *to, "cast result type mismatch")?;
+            }
+            OpKind::Alloc { space } => {
+                expect(n_results == 1 && n_regions == 0, "malformed alloc")?;
+                let m = self
+                    .func
+                    .value_type(operation.results[0])
+                    .as_memref()
+                    .ok_or_else(|| self.err("alloc must produce a memref"))?;
+                expect(m.space == *space, "alloc space attribute disagrees with result type")?;
+                let dynamic = m.shape.iter().filter(|&&d| d == DYNAMIC).count();
+                expect(n_operands == dynamic, "alloc needs one operand per dynamic dimension")?;
+                for &d in &operation.operands {
+                    self.expect_index(d, "alloc dimension")?;
+                }
+                if *space == crate::MemSpace::Shared {
+                    expect(m.is_static(), "shared allocations must have static shape")?;
+                }
+            }
+            OpKind::Load => {
+                expect(n_results == 1 && n_regions == 0 && n_operands >= 1, "malformed load")?;
+                let m = self
+                    .func
+                    .value_type(operation.operands[0])
+                    .as_memref()
+                    .ok_or_else(|| self.err("load target must be a memref"))?;
+                expect(n_operands == 1 + m.rank(), "load index count must equal memref rank")?;
+                for &i in &operation.operands[1..] {
+                    self.expect_index(i, "load index")?;
+                }
+                expect(
+                    self.scalar(operation.results[0])? == m.elem,
+                    "load result type must be the memref element type",
+                )?;
+            }
+            OpKind::Store => {
+                expect(n_results == 0 && n_regions == 0 && n_operands >= 2, "malformed store")?;
+                let m = self
+                    .func
+                    .value_type(operation.operands[1])
+                    .as_memref()
+                    .ok_or_else(|| self.err("store target must be a memref"))?;
+                expect(n_operands == 2 + m.rank(), "store index count must equal memref rank")?;
+                expect(
+                    self.scalar(operation.operands[0])? == m.elem,
+                    "stored value type must be the memref element type",
+                )?;
+                for &i in &operation.operands[2..] {
+                    self.expect_index(i, "store index")?;
+                }
+            }
+            OpKind::Dim { index } => {
+                expect(n_operands == 1 && n_results == 1 && n_regions == 0, "malformed dim")?;
+                let m = self
+                    .func
+                    .value_type(operation.operands[0])
+                    .as_memref()
+                    .ok_or_else(|| self.err("dim operand must be a memref"))?;
+                expect(*index < m.rank(), "dim index out of range")?;
+                self.expect_index(operation.results[0], "dim result")?;
+            }
+            OpKind::For => {
+                expect(n_regions == 1, "for needs exactly one region")?;
+                expect(n_operands >= 3, "for needs lb, ub, step")?;
+                for &v in &operation.operands[..3] {
+                    self.expect_index(v, "for bound")?;
+                }
+                let inits = &operation.operands[3..];
+                expect(inits.len() == n_results, "for needs one result per iter arg")?;
+                let body = self.func.region(operation.regions[0]);
+                expect(body.args.len() == 1 + inits.len(), "for region needs iv + iter args")?;
+                let result_types: Vec<Type> = operation
+                    .results
+                    .iter()
+                    .map(|&v| self.func.value_type(v).clone())
+                    .collect();
+                self.check_region(operation.regions[0], RegionRole::Yield(&result_types))?;
+            }
+            OpKind::While => {
+                expect(n_regions == 2, "while needs cond and body regions")?;
+                expect(n_operands == n_results, "while needs one result per init")?;
+                let tys: Vec<Type> = operation
+                    .results
+                    .iter()
+                    .map(|&v| self.func.value_type(v).clone())
+                    .collect();
+                self.check_region(operation.regions[0], RegionRole::Condition(&tys))?;
+                self.check_region(operation.regions[1], RegionRole::Yield(&tys))?;
+            }
+            OpKind::If => {
+                expect(n_regions == 2 && n_operands == 1, "if needs a condition and two regions")?;
+                expect(self.scalar(operation.operands[0])? == ScalarType::I1, "if condition must be i1")?;
+                let tys: Vec<Type> = operation
+                    .results
+                    .iter()
+                    .map(|&v| self.func.value_type(v).clone())
+                    .collect();
+                self.check_region(operation.regions[0], RegionRole::Yield(&tys))?;
+                self.check_region(operation.regions[1], RegionRole::Yield(&tys))?;
+            }
+            OpKind::Parallel { level } => {
+                expect(n_regions == 1 && n_results == 0, "malformed parallel")?;
+                expect((1..=3).contains(&n_operands), "parallel needs 1-3 upper bounds")?;
+                for &ub in &operation.operands {
+                    self.expect_index(ub, "parallel upper bound")?;
+                }
+                let body = self.func.region(operation.regions[0]);
+                expect(body.args.len() == n_operands, "parallel needs one iv per upper bound")?;
+                if *level == ParLevel::Thread {
+                    expect(
+                        self.parallel_stack.contains(&ParLevel::Block),
+                        "thread-parallel must be nested in a block-parallel",
+                    )?;
+                }
+                self.parallel_stack.push(*level);
+                self.check_region(operation.regions[0], RegionRole::EmptyYield)?;
+                self.parallel_stack.pop();
+            }
+            OpKind::Barrier { level } => {
+                expect(n_operands == 0 && n_results == 0 && n_regions == 0, "malformed barrier")?;
+                expect(
+                    self.parallel_stack.contains(level),
+                    "barrier must be nested in a parallel loop of its level",
+                )?;
+            }
+            OpKind::Alternatives { selected } => {
+                expect(n_operands == 0 && n_results == 0, "malformed alternatives")?;
+                expect(n_regions >= 1, "alternatives needs at least one region")?;
+                if let Some(s) = selected {
+                    expect(*s < n_regions, "selected alternative out of range")?;
+                }
+                for &r in &operation.regions {
+                    self.check_region(r, RegionRole::EmptyYield)?;
+                }
+            }
+            OpKind::Call { .. } => {
+                expect(n_regions == 0, "call cannot carry regions")?;
+            }
+            OpKind::Yield | OpKind::Condition | OpKind::Return => {
+                expect(n_results == 0 && n_regions == 0, "malformed terminator")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verifies structural and type invariants of a function.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found: malformed operand/result/region
+/// counts, type mismatches, misplaced terminators, uses before definition,
+/// barriers outside their parallel level, or thread-parallel loops outside a
+/// block-parallel loop.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    let mut v = Verifier {
+        func,
+        defined: Vec::new(),
+        parallel_stack: Vec::new(),
+    };
+    v.check_region(func.body(), RegionRole::FuncBody)
+}
+
+/// Verifies every function in a module, plus call-graph sanity (callees
+/// exist and argument counts match).
+///
+/// # Errors
+///
+/// Returns the first error encountered; see [`verify_function`].
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in module.functions() {
+        verify_function(func)?;
+        let mut result = Ok(());
+        crate::walk::walk_ops(func, func.body(), &mut |op| {
+            if result.is_err() {
+                return;
+            }
+            if let OpKind::Call { callee } = &func.op(op).kind {
+                match module.function(callee) {
+                    None => {
+                        result = Err(VerifyError {
+                            function: func.name().to_string(),
+                            message: format!("call to unknown function @{callee}"),
+                        })
+                    }
+                    Some(target) => {
+                        if target.params().len() != func.op(op).operands.len() {
+                            result = Err(VerifyError {
+                                function: func.name().to_string(),
+                                message: format!("call to @{callee} with wrong argument count"),
+                            });
+                        }
+                    }
+                }
+            }
+        });
+        result?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_function, parse_module};
+
+    #[test]
+    fn accepts_well_formed() {
+        let f = parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c = const 16 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c) {
+      barrier<thread>
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_barrier_outside_parallel() {
+        let f = parse_function("func @f() {\n  barrier<thread>\n  return\n}");
+        // The parser accepts it syntactically; verification must reject it.
+        let err = verify_function(&f.unwrap()).unwrap_err();
+        assert!(err.message.contains("barrier"));
+    }
+
+    #[test]
+    fn rejects_thread_parallel_outside_block() {
+        let f = parse_function(
+            "func @f(%n: index) {\n  parallel<thread> (%t) to (%n) {\n    yield\n  }\n  return\n}",
+        )
+        .unwrap();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("thread-parallel"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let f = parse_function(
+            "func @f(%a: f32, %b: i32) {\n  %c = add %a, %b : f32\n  return\n}",
+        )
+        .unwrap();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("differ"));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let f = parse_function("func @f() {\n  yield\n}").unwrap();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("return"));
+    }
+
+    #[test]
+    fn rejects_bad_load_rank() {
+        let f = parse_function(
+            "func @f(%m: memref<?x?xf32, global>, %i: index) {\n  %v = load %m[%i] : f32\n  return\n}",
+        )
+        .unwrap();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("rank"));
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let m = parse_module("func @f() {\n  call @ghost() : ()\n  return\n}").unwrap();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_dynamic_shared_alloc() {
+        let f = parse_function(
+            "func @k(%g: index, %n: index) {
+  %c = const 16 : index
+  parallel<block> (%b) to (%g) {
+    %s = alloc(%n) : memref<?xf32, shared>
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("static"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Traversal and cloning utilities.
+
+use std::collections::HashMap;
+
+use crate::ids::{OpId, RegionId, Value};
+use crate::Function;
+
+/// Visits every operation nested under `region` in pre-order (an operation
+/// is visited before the operations in its regions).
+pub fn walk_ops(func: &Function, region: RegionId, visit: &mut impl FnMut(OpId)) {
+    for &op in &func.region(region).ops {
+        visit(op);
+        for &r in &func.op(op).regions {
+            walk_ops(func, r, visit);
+        }
+    }
+}
+
+/// Collects every operation nested under `region` in pre-order.
+pub fn collect_ops(func: &Function, region: RegionId) -> Vec<OpId> {
+    let mut out = Vec::new();
+    walk_ops(func, region, &mut |op| out.push(op));
+    out
+}
+
+/// Visits every operation and reports the region it directly belongs to.
+pub fn walk_ops_with_region(func: &Function, region: RegionId, visit: &mut impl FnMut(RegionId, OpId)) {
+    for &op in &func.region(region).ops {
+        visit(region, op);
+        for &r in &func.op(op).regions {
+            walk_ops_with_region(func, r, visit);
+        }
+    }
+}
+
+/// Deep-clones `src` (a region of `func`) into a fresh region of the same
+/// function.
+///
+/// `value_map` maps original values to replacement values: region arguments
+/// and operation results defined inside `src` get fresh values recorded in
+/// the map; operands not present in the map (values defined outside `src`)
+/// are kept as-is. Pre-seeding the map substitutes outside values, which is
+/// how unroll instances remap induction variables.
+pub fn clone_region(func: &mut Function, src: RegionId, value_map: &mut HashMap<Value, Value>) -> RegionId {
+    let dst = func.new_region();
+    let args = func.region(src).args.clone();
+    for a in args {
+        let ty = func.value_type(a).clone();
+        let na = func.add_region_arg(dst, ty);
+        value_map.insert(a, na);
+    }
+    let ops = func.region(src).ops.clone();
+    for op in ops {
+        let cloned = clone_op(func, op, value_map);
+        func.push_op(dst, cloned);
+    }
+    dst
+}
+
+/// Deep-clones one operation (including nested regions), remapping operands
+/// through `value_map` and recording fresh results in it. The clone is not
+/// attached to any region.
+pub fn clone_op(func: &mut Function, op: OpId, value_map: &mut HashMap<Value, Value>) -> OpId {
+    let operation = func.op(op).clone();
+    let operands: Vec<Value> = operation
+        .operands
+        .iter()
+        .map(|v| *value_map.get(v).unwrap_or(v))
+        .collect();
+    let regions: Vec<RegionId> = operation
+        .regions
+        .iter()
+        .map(|&r| clone_region(func, r, value_map))
+        .collect();
+    let result_types: Vec<_> = operation
+        .results
+        .iter()
+        .map(|&v| func.value_type(v).clone())
+        .collect();
+    let new_op = func.make_op(operation.kind, operands, result_types, regions);
+    let new_results = func.op(new_op).results.clone();
+    for (old, new) in operation.results.iter().zip(new_results) {
+        value_map.insert(*old, new);
+    }
+    new_op
+}
+
+/// Rewrites every operand use in and under `region` according to `map`.
+/// Values not present in the map are left untouched.
+pub fn replace_uses_in_region(func: &mut Function, region: RegionId, map: &HashMap<Value, Value>) {
+    let ops = func.region(region).ops.clone();
+    for op in ops {
+        for operand in &mut func.op_mut(op).operands {
+            if let Some(&n) = map.get(operand) {
+                *operand = n;
+            }
+        }
+        let nested = func.op(op).regions.clone();
+        for r in nested {
+            replace_uses_in_region(func, r, map);
+        }
+    }
+}
+
+/// Builds a map from each value to the operation defining it (region
+/// arguments are absent from the map).
+pub fn def_map(func: &Function, region: RegionId) -> HashMap<Value, OpId> {
+    let mut map = HashMap::new();
+    walk_ops(func, region, &mut |op| {
+        for &r in &func.op(op).results {
+            map.insert(r, op);
+        }
+    });
+    map
+}
+
+/// Counts uses of every value in and under `region`.
+pub fn use_counts(func: &Function, region: RegionId) -> HashMap<Value, usize> {
+    let mut counts = HashMap::new();
+    walk_ops(func, region, &mut |op| {
+        for &operand in &func.op(op).operands {
+            *counts.entry(operand).or_insert(0) += 1;
+        }
+    });
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuncBuilder, ParLevel, ScalarType, Type};
+
+    fn sample() -> Function {
+        let mut func = Function::new("f");
+        let n = func.add_param(Type::index());
+        let mut b = FuncBuilder::new(&mut func);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.for_loop(c0, n, c1, &[], |b, iv, _| {
+            let _ = b.add(iv, iv);
+            vec![]
+        });
+        b.ret(&[]);
+        func
+    }
+
+    #[test]
+    fn walk_visits_nested_ops() {
+        let func = sample();
+        let ops = collect_ops(&func, func.body());
+        // const, const, for, add, yield, return
+        assert_eq!(ops.len(), 6);
+    }
+
+    #[test]
+    fn clone_region_remaps_defs() {
+        let mut func = sample();
+        let body = func.body();
+        let mut map = HashMap::new();
+        let cloned = clone_region(&mut func, body, &mut map);
+        let orig_count = collect_ops(&func, body).len();
+        let clone_count = collect_ops(&func, cloned).len();
+        assert_eq!(orig_count, clone_count);
+        // Results of cloned ops must be fresh values.
+        for (old, new) in &map {
+            assert_ne!(old, new);
+        }
+    }
+
+    #[test]
+    fn clone_region_substitutes_seeded_values() {
+        // Clone the body of an `if`, substituting an outer value: this is
+        // exactly how unroll instances remap induction variables.
+        let mut func = Function::new("f");
+        let a = func.add_param(Type::Scalar(ScalarType::F32));
+        let b_param = func.add_param(Type::Scalar(ScalarType::F32));
+        let mut b = FuncBuilder::new(&mut func);
+        let t = b.const_bool(true);
+        b.if_then(t, |b| {
+            let _ = b.add(a, a);
+        });
+        b.ret(&[]);
+        let body = func.body();
+        let if_op = func.region(body).ops[1];
+        let then_region = func.op(if_op).regions[0];
+        let mut map = HashMap::new();
+        map.insert(a, b_param);
+        let cloned = clone_region(&mut func, then_region, &mut map);
+        let first = func.region(cloned).ops[0];
+        assert_eq!(func.op(first).operands, vec![b_param, b_param]);
+    }
+
+    #[test]
+    fn use_counts_counts_all_uses() {
+        let mut func = Function::new("f");
+        let a = func.add_param(Type::Scalar(ScalarType::F32));
+        let mut b = FuncBuilder::new(&mut func);
+        let s = b.add(a, a);
+        let t = b.add(s, a);
+        b.ret(&[t]);
+        let counts = use_counts(&func, func.body());
+        assert_eq!(counts[&a], 3);
+        assert_eq!(counts[&s], 1);
+        assert_eq!(counts[&t], 1);
+    }
+
+    #[test]
+    fn def_map_finds_defs() {
+        let mut func = Function::new("k");
+        let g = func.add_param(Type::index());
+        let mut b = FuncBuilder::new(&mut func);
+        let c = b.const_index(8);
+        b.parallel(ParLevel::Block, &[g], |b, _| {
+            let _ = b.add(c, c);
+        });
+        b.ret(&[]);
+        let dm = def_map(&func, func.body());
+        assert!(dm.contains_key(&c));
+        assert!(!dm.contains_key(&g), "params are not op results");
+    }
+}

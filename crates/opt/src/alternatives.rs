@@ -1,0 +1,274 @@
+//! Alternative code paths (§VI): compile-time multi-versioning of kernels.
+//!
+//! The kernel body is replicated into the multi-region
+//! [`Alternatives`](OpKind::Alternatives) operation, one region per
+//! coarsening configuration. Decision points later in the pipeline (shared
+//! memory pruning, register/spill pruning, timing-driven optimization)
+//! narrow the set and finally *select* one region, which is then inlined.
+
+use std::collections::HashMap;
+
+use respec_ir::walk::clone_region;
+use respec_ir::{Function, OpId, OpKind, RegionId};
+
+use crate::coarsen::{coarsen_function_region, CoarsenConfig, CoarsenError};
+
+/// One surviving alternative: its region index and configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alternative {
+    /// Region index inside the alternatives op.
+    pub region_index: usize,
+    /// The coarsening configuration that produced the region.
+    pub config: CoarsenConfig,
+}
+
+/// Replicates the kernel body into an `alternatives` op and applies one
+/// coarsening configuration per region. Configurations whose coarsening is
+/// illegal are dropped (with the identity configuration always legal).
+///
+/// Returns the alternatives op and the surviving configurations.
+///
+/// # Errors
+///
+/// Returns an error if every configuration (including identity, if given)
+/// fails, or if the function has no body to version.
+pub fn generate_alternatives(
+    func: &mut Function,
+    configs: &[CoarsenConfig],
+) -> Result<(OpId, Vec<Alternative>), CoarsenError> {
+    let body = func.body();
+    let body_ops = func.region(body).ops.clone();
+    if body_ops.is_empty() {
+        return Err(CoarsenError::from_message("function body is empty"));
+    }
+    let (ret, work): (Vec<OpId>, Vec<OpId>) = body_ops
+        .iter()
+        .partition(|&&op| matches!(func.op(op).kind, OpKind::Return));
+
+    // Move the current body into a template region terminated by yield.
+    let template = func.new_region();
+    for op in &work {
+        func.push_op(template, *op);
+    }
+    let y = func.make_op(OpKind::Yield, vec![], vec![], vec![]);
+    func.push_op(template, y);
+
+    let mut regions = Vec::new();
+    let mut survivors = Vec::new();
+    for cfg in configs {
+        let mut map = HashMap::new();
+        let region = clone_region(func, template, &mut map);
+        match coarsen_function_region(func, region, *cfg) {
+            Ok(()) => {
+                survivors.push(Alternative {
+                    region_index: regions.len(),
+                    config: *cfg,
+                });
+                regions.push(region);
+            }
+            Err(_) => {
+                // Illegal configuration: drop the region (it stays detached
+                // in the arena, unreferenced).
+            }
+        }
+    }
+    if regions.is_empty() {
+        return Err(CoarsenError::from_message(
+            "no coarsening configuration survived legality checks",
+        ));
+    }
+
+    let alt = func.make_op(OpKind::Alternatives { selected: None }, vec![], vec![], regions);
+    let body = func.body();
+    func.region_mut(body).ops = vec![alt];
+    for op in ret {
+        func.push_op(body, op);
+    }
+    Ok((alt, survivors))
+}
+
+/// Marks one alternative as selected (kept for profiling dispatch).
+///
+/// # Panics
+///
+/// Panics if `alt` is not an alternatives op or the index is out of range.
+pub fn select_alternative(func: &mut Function, alt: OpId, region_index: usize) {
+    match &mut func.op_mut(alt).kind {
+        OpKind::Alternatives { selected } => *selected = Some(region_index),
+        other => panic!("expected alternatives op, found {other:?}"),
+    }
+    assert!(region_index < func.op(alt).regions.len(), "selected index out of range");
+}
+
+/// Replaces the alternatives op by the contents of the selected region (the
+/// paper's final re-compilation that "removes all the other alternatives").
+///
+/// # Panics
+///
+/// Panics if `alt` is not an alternatives op or no/invalid selection is set
+/// and `region_index` is `None`.
+pub fn materialize_selected(func: &mut Function, alt: OpId, region_index: Option<usize>) {
+    let (region, pos, parent) = {
+        let op = func.op(alt);
+        let idx = match (&op.kind, region_index) {
+            (_, Some(i)) => i,
+            (OpKind::Alternatives { selected: Some(i) }, None) => *i,
+            (OpKind::Alternatives { selected: None }, None) => {
+                panic!("no alternative selected and none provided")
+            }
+            (other, _) => panic!("expected alternatives op, found {other:?}"),
+        };
+        let region = op.regions[idx];
+        let parent = crate::interleave::parent_region(func, alt).expect("alternatives op is attached");
+        let pos = func
+            .region(parent)
+            .ops
+            .iter()
+            .position(|&o| o == alt)
+            .expect("op is in its parent");
+        (region, pos, parent)
+    };
+    // Splice the region's ops (minus the terminator) in place of the op.
+    let mut ops = func.region(region).ops.clone();
+    if let Some(&last) = ops.last() {
+        if matches!(func.op(last).kind, OpKind::Yield) {
+            ops.pop();
+        }
+    }
+    let parent_ops = &mut func.region_mut(parent).ops;
+    parent_ops.remove(pos);
+    for (i, op) in ops.into_iter().enumerate() {
+        parent_ops.insert(pos + i, op);
+    }
+}
+
+/// Finds the single alternatives op of a kernel, if any.
+pub fn find_alternatives(func: &Function) -> Option<OpId> {
+    func.region(func.body())
+        .ops
+        .iter()
+        .copied()
+        .find(|&op| matches!(func.op(op).kind, OpKind::Alternatives { .. }))
+}
+
+/// Clones one alternative region into a standalone copy of the kernel
+/// function (used to compile/measure a single version).
+pub fn extract_alternative(func: &Function, alt: OpId, region_index: usize) -> Function {
+    let mut copy = func.clone();
+    materialize_selected(&mut copy, alt, Some(region_index));
+    copy
+}
+
+/// Region id of one alternative (for analyses over a single version).
+pub fn alternative_region(func: &Function, alt: OpId, region_index: usize) -> RegionId {
+    func.op(alt).regions[region_index]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{parse_function, verify_function};
+
+    const KERNEL: &str = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<64xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %v = load %m[%i] : f32
+      store %v, %sm[%tx]
+      barrier<thread>
+      %r = load %sm[%tx] : f32
+      store %r, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    fn configs() -> Vec<CoarsenConfig> {
+        vec![
+            CoarsenConfig::identity(),
+            CoarsenConfig {
+                block: [2, 1, 1],
+                thread: [1, 1, 1],
+            },
+            CoarsenConfig {
+                block: [1, 1, 1],
+                thread: [2, 1, 1],
+            },
+            CoarsenConfig {
+                block: [2, 1, 1],
+                thread: [2, 1, 1],
+            },
+        ]
+    }
+
+    #[test]
+    fn generates_one_region_per_config() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let (alt, survivors) = generate_alternatives(&mut func, &configs()).unwrap();
+        verify_function(&func).unwrap();
+        assert_eq!(survivors.len(), 4);
+        assert_eq!(func.op(alt).regions.len(), 4);
+        // Each region has different shared usage: identity 1 alloc,
+        // block-2 has 2 allocs.
+        let launches0 =
+            respec_ir::kernel::block_parallels_in(&func, alternative_region(&func, alt, 0));
+        assert_eq!(launches0.len(), 1);
+    }
+
+    #[test]
+    fn illegal_configs_are_dropped() {
+        // A thread factor of 3 does not divide 64: dropped.
+        let mut func = parse_function(KERNEL).unwrap();
+        let cfgs = vec![
+            CoarsenConfig::identity(),
+            CoarsenConfig {
+                block: [1, 1, 1],
+                thread: [3, 1, 1],
+            },
+        ];
+        let (_, survivors) = generate_alternatives(&mut func, &cfgs).unwrap();
+        assert_eq!(survivors.len(), 1);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn select_and_materialize_round_trip() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let (alt, survivors) = generate_alternatives(&mut func, &configs()).unwrap();
+        select_alternative(&mut func, alt, survivors[2].region_index);
+        verify_function(&func).unwrap();
+        materialize_selected(&mut func, alt, None);
+        verify_function(&func).unwrap();
+        // After materialization the kernel is a plain coarsened kernel.
+        assert!(find_alternatives(&func).is_none());
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        assert_eq!(launches[0].block_dims, vec![32, 1, 1], "thread-2 variant selected");
+    }
+
+    #[test]
+    fn extract_alternative_leaves_original_untouched() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let (alt, survivors) = generate_alternatives(&mut func, &configs()).unwrap();
+        let before = func.to_string();
+        let extracted = extract_alternative(&func, alt, survivors[1].region_index);
+        verify_function(&extracted).unwrap();
+        assert_eq!(func.to_string(), before);
+        assert!(find_alternatives(&extracted).is_none());
+    }
+
+    #[test]
+    fn all_illegal_is_an_error() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let cfgs = vec![CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [5, 1, 1],
+        }];
+        assert!(generate_alternatives(&mut func, &cfgs).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Barrier elimination (one of the pre-existing parallel optimizations the
+//! paper's representation enables, §III).
+//!
+//! A barrier orders accesses to block-shared state across threads. It is
+//! removable when the code between it and the previous synchronization
+//! point touches no shared memory at all — then no cross-thread ordering
+//! can depend on it. Consecutive barriers likewise collapse to one (the
+//! interleaver already merges the ones it creates; this pass cleans up the
+//! rest, e.g. barriers made redundant after DCE removed shared accesses).
+
+use respec_ir::walk::walk_ops;
+use respec_ir::{Function, MemSpace, OpKind, RegionId};
+
+/// Removes provably redundant thread barriers. Returns how many were
+/// removed.
+///
+/// The analysis is intentionally conservative: only *straight-line*
+/// barriers (directly in the thread-parallel body) whose preceding span
+/// since the last synchronization point is free of shared/global memory
+/// effects are removed; barriers nested in control flow are kept.
+pub fn eliminate_barriers(func: &mut Function) -> usize {
+    let mut removed = 0;
+    let block_pars = respec_ir::kernel::block_parallels_in(func, func.body());
+    for bp in block_pars {
+        let mut thread_pars = Vec::new();
+        walk_ops(func, func.op(bp).regions[0], &mut |op| {
+            if matches!(func.op(op).kind, OpKind::Parallel { level: respec_ir::ParLevel::Thread }) {
+                thread_pars.push(op);
+            }
+        });
+        for tp in thread_pars {
+            let region = func.op(tp).regions[0];
+            removed += eliminate_in_region(func, region);
+        }
+    }
+    removed
+}
+
+/// `true` if the op (or anything nested in it) may touch memory observable
+/// by other threads (shared or global space).
+fn has_observable_effects(func: &Function, op: respec_ir::OpId) -> bool {
+    let check = |o: respec_ir::OpId| -> bool {
+        let operation = func.op(o);
+        match &operation.kind {
+            OpKind::Load => mem_space(func, operation.operands[0]) != MemSpace::Local,
+            OpKind::Store => mem_space(func, operation.operands[1]) != MemSpace::Local,
+            OpKind::Alloc { space } => *space != MemSpace::Local,
+            OpKind::Call { .. } => true,
+            _ => false,
+        }
+    };
+    if check(op) {
+        return true;
+    }
+    let mut found = false;
+    for &r in &func.op(op).regions {
+        walk_ops(func, r, &mut |o| {
+            if check(o) {
+                found = true;
+            }
+        });
+    }
+    found
+}
+
+fn mem_space(func: &Function, v: respec_ir::Value) -> MemSpace {
+    func.value_type(v).as_memref().map_or(MemSpace::Local, |m| m.space)
+}
+
+fn eliminate_in_region(func: &mut Function, region: RegionId) -> usize {
+    let ops = func.region(region).ops.clone();
+    let mut kept = Vec::with_capacity(ops.len());
+    let mut removed = 0;
+    // `clean` = no observable memory effects since the last kept barrier
+    // (or since the start of the thread region, which is itself a
+    // synchronization point: all threads start together).
+    let mut clean = true;
+    for op in ops {
+        let is_barrier = matches!(func.op(op).kind, OpKind::Barrier { .. });
+        if is_barrier {
+            if clean {
+                removed += 1;
+                continue; // drop it
+            }
+            clean = true;
+            kept.push(op);
+            continue;
+        }
+        if has_observable_effects(func, op) {
+            clean = false;
+        }
+        kept.push(op);
+    }
+    func.region_mut(region).ops = kept;
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{parse_function, verify_function};
+
+    fn barrier_count(func: &Function) -> usize {
+        let mut n = 0;
+        walk_ops(func, func.body(), &mut |op| {
+            if matches!(func.op(op).kind, OpKind::Barrier { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn removes_consecutive_barriers() {
+        let mut func = parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c32 = const 32 : index
+  parallel<block> (%b) to (%g) {
+    %sm = alloc() : memref<32xf32, shared>
+    parallel<thread> (%t) to (%c32) {
+      %v = load %m[%t] : f32
+      store %v, %sm[%t]
+      barrier<thread>
+      barrier<thread>
+      %w = load %sm[%t] : f32
+      store %w, %m[%t]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(eliminate_barriers(&mut func), 1);
+        verify_function(&func).unwrap();
+        assert_eq!(barrier_count(&func), 1);
+    }
+
+    #[test]
+    fn removes_leading_barrier() {
+        let mut func = parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c32 = const 32 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c32) {
+      barrier<thread>
+      %v = load %m[%t] : f32
+      store %v, %m[%t]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(eliminate_barriers(&mut func), 1);
+        assert_eq!(barrier_count(&func), 0);
+    }
+
+    #[test]
+    fn keeps_barriers_ordering_shared_accesses() {
+        let mut func = parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c32 = const 32 : index
+  parallel<block> (%b) to (%g) {
+    %sm = alloc() : memref<32xf32, shared>
+    parallel<thread> (%t) to (%c32) {
+      %v = load %m[%t] : f32
+      store %v, %sm[%t]
+      barrier<thread>
+      %w = load %sm[%t] : f32
+      store %w, %m[%t]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(eliminate_barriers(&mut func), 0);
+        assert_eq!(barrier_count(&func), 1);
+    }
+
+    #[test]
+    fn local_array_traffic_does_not_pin_barriers() {
+        let mut func = parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c32 = const 32 : index
+  %c0 = const 0 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c32) {
+      %tmp = alloc() : memref<4xf32, local>
+      %z = fconst 0.0 : f32
+      store %z, %tmp[%c0]
+      barrier<thread>
+      %v = load %tmp[%c0] : f32
+      store %v, %m[%t]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        // Only thread-private memory before the barrier: removable.
+        assert_eq!(eliminate_barriers(&mut func), 1);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn barriers_in_nested_control_flow_are_kept() {
+        let mut func = parse_function(
+            "func @k(%g: index, %m: memref<?xf32, global>, %n: index) {
+  %c32 = const 32 : index
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  parallel<block> (%b) to (%g) {
+    %sm = alloc() : memref<32xf32, shared>
+    parallel<thread> (%t) to (%c32) {
+      for %i = %c0 to %n step %c1 {
+        %v = load %sm[%t] : f32
+        store %v, %sm[%t]
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(eliminate_barriers(&mut func), 0);
+        assert_eq!(barrier_count(&func), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Canonicalization: constant folding, algebraic identities, and dead
+//! conditional elimination.
+
+use std::collections::HashMap;
+
+use respec_ir::walk::replace_uses_in_region;
+use respec_ir::{BinOp, CmpPred, Function, OpId, OpKind, RegionId, ScalarType, UnOp, Value};
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Const {
+    Int(i64, ScalarType),
+    Float(f64, ScalarType),
+}
+
+/// Runs canonicalization to a fixpoint (bounded); returns the number of
+/// rewrites performed.
+pub fn canonicalize(func: &mut Function) -> usize {
+    let mut total = 0;
+    for _ in 0..8 {
+        let n = run_once(func);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn run_once(func: &mut Function) -> usize {
+    let mut consts: HashMap<Value, Const> = HashMap::new();
+    let mut rewrites = 0;
+    canon_region(func, func.body(), &mut consts, &mut rewrites);
+    rewrites
+}
+
+fn truncate(v: i64, ty: ScalarType) -> i64 {
+    match ty {
+        ScalarType::I1 => v & 1,
+        ScalarType::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn canon_region(func: &mut Function, region: RegionId, consts: &mut HashMap<Value, Const>, rewrites: &mut usize) {
+    let ops = func.region(region).ops.clone();
+    let mut replacements: HashMap<Value, Value> = HashMap::new();
+    for op_id in ops {
+        // Apply pending replacements to this op's operands first.
+        if !replacements.is_empty() {
+            for operand in &mut func.op_mut(op_id).operands {
+                if let Some(&n) = replacements.get(operand) {
+                    *operand = n;
+                }
+            }
+        }
+        let op = func.op(op_id).clone();
+        match &op.kind {
+            OpKind::ConstInt { value, ty } => {
+                consts.insert(op.results[0], Const::Int(*value, *ty));
+            }
+            OpKind::ConstFloat { value, ty } => {
+                consts.insert(op.results[0], Const::Float(*value, *ty));
+            }
+            OpKind::Binary(b) => {
+                if let Some(folded) = fold_binary(*b, op.operands[0], op.operands[1], consts) {
+                    rewrite_to_const(func, op_id, folded, consts, rewrites);
+                } else if let Some(repl) = identity_binary(*b, op.operands[0], op.operands[1], consts) {
+                    // The op becomes dead once its result is replaced; DCE
+                    // removes it.
+                    replacements.insert(op.results[0], repl);
+                    *rewrites += 1;
+                }
+            }
+            OpKind::Unary(u) => {
+                if let Some(c) = consts.get(&op.operands[0]).copied() {
+                    if let Some(folded) = fold_unary(*u, c) {
+                        rewrite_to_const(func, op_id, folded, consts, rewrites);
+                    }
+                }
+            }
+            OpKind::Cmp(p) => {
+                let (l, r) = (consts.get(&op.operands[0]).copied(), consts.get(&op.operands[1]).copied());
+                if let (Some(l), Some(r)) = (l, r) {
+                    if let Some(flag) = fold_cmp(*p, l, r) {
+                        rewrite_to_const(func, op_id, Const::Int(flag as i64, ScalarType::I1), consts, rewrites);
+                    }
+                }
+            }
+            OpKind::Select => {
+                if let Some(Const::Int(c, _)) = consts.get(&op.operands[0]).copied() {
+                    let chosen = op.operands[if c != 0 { 1 } else { 2 }];
+                    replacements.insert(op.results[0], chosen);
+                    *rewrites += 1;
+                }
+            }
+            OpKind::Cast { to } => {
+                if let Some(c) = consts.get(&op.operands[0]).copied() {
+                    let folded = match (c, to.is_float()) {
+                        (Const::Int(v, _), false) => Const::Int(truncate(v, *to), *to),
+                        (Const::Int(v, _), true) => Const::Float(v as f64, *to),
+                        (Const::Float(v, _), false) => Const::Int(truncate(v as i64, *to), *to),
+                        (Const::Float(v, _), true) => {
+                            let w = if *to == ScalarType::F32 { v as f32 as f64 } else { v };
+                            Const::Float(w, *to)
+                        }
+                    };
+                    rewrite_to_const(func, op_id, folded, consts, rewrites);
+                }
+            }
+            _ => {
+                for &r in &op.regions.clone() {
+                    canon_region(func, r, consts, rewrites);
+                }
+            }
+        }
+    }
+    if !replacements.is_empty() {
+        replace_uses_in_region(func, region, &replacements);
+        // Replacements may flow into sibling regions through yields — the
+        // conservative fix is a second pass at the parent level, which the
+        // fixpoint loop provides.
+    }
+}
+
+fn rewrite_to_const(
+    func: &mut Function,
+    op_id: OpId,
+    c: Const,
+    consts: &mut HashMap<Value, Const>,
+    rewrites: &mut usize,
+) {
+    let result = func.op(op_id).results[0];
+    let op = func.op_mut(op_id);
+    op.kind = match c {
+        Const::Int(value, ty) => OpKind::ConstInt { value, ty },
+        Const::Float(value, ty) => OpKind::ConstFloat { value, ty },
+    };
+    op.operands.clear();
+    consts.insert(result, c);
+    *rewrites += 1;
+}
+
+fn fold_binary(b: BinOp, l: Value, r: Value, consts: &HashMap<Value, Const>) -> Option<Const> {
+    let (lc, rc) = (consts.get(&l).copied()?, consts.get(&r).copied()?);
+    match (lc, rc) {
+        (Const::Int(a, ty), Const::Int(c, _)) => {
+            let v = match b {
+                BinOp::Add => a.wrapping_add(c),
+                BinOp::Sub => a.wrapping_sub(c),
+                BinOp::Mul => a.wrapping_mul(c),
+                BinOp::Div => {
+                    if c == 0 {
+                        return None;
+                    }
+                    a.wrapping_div(c)
+                }
+                BinOp::Rem => {
+                    if c == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(c)
+                }
+                BinOp::And => a & c,
+                BinOp::Or => a | c,
+                BinOp::Xor => a ^ c,
+                BinOp::Shl => a.wrapping_shl(c as u32 & 63),
+                BinOp::Shr => a.wrapping_shr(c as u32 & 63),
+                BinOp::Min => a.min(c),
+                BinOp::Max => a.max(c),
+                BinOp::Pow => return None,
+            };
+            Some(Const::Int(truncate(v, ty), ty))
+        }
+        (Const::Float(a, ty), Const::Float(c, _)) => {
+            let v = match b {
+                BinOp::Add => a + c,
+                BinOp::Sub => a - c,
+                BinOp::Mul => a * c,
+                BinOp::Div => a / c,
+                BinOp::Rem => a % c,
+                BinOp::Min => a.min(c),
+                BinOp::Max => a.max(c),
+                BinOp::Pow => a.powf(c),
+                _ => return None,
+            };
+            let v = if ty == ScalarType::F32 { v as f32 as f64 } else { v };
+            Some(Const::Float(v, ty))
+        }
+        _ => None,
+    }
+}
+
+/// `x+0`, `x*1`, `x-0`, `x/1`, `0+x`, `1*x` → `x`.
+fn identity_binary(b: BinOp, l: Value, r: Value, consts: &HashMap<Value, Const>) -> Option<Value> {
+    let is_zero = |v: Value| {
+        matches!(consts.get(&v), Some(Const::Int(0, _))) || matches!(consts.get(&v), Some(Const::Float(z, _)) if *z == 0.0)
+    };
+    let is_one = |v: Value| {
+        matches!(consts.get(&v), Some(Const::Int(1, _))) || matches!(consts.get(&v), Some(Const::Float(o, _)) if *o == 1.0)
+    };
+    match b {
+        BinOp::Add => {
+            if is_zero(r) {
+                Some(l)
+            } else if is_zero(l) {
+                Some(r)
+            } else {
+                None
+            }
+        }
+        BinOp::Sub => is_zero(r).then_some(l),
+        BinOp::Mul => {
+            if is_one(r) {
+                Some(l)
+            } else if is_one(l) {
+                Some(r)
+            } else {
+                None
+            }
+        }
+        BinOp::Div => is_one(r).then_some(l),
+        _ => None,
+    }
+}
+
+fn fold_unary(u: UnOp, c: Const) -> Option<Const> {
+    match c {
+        Const::Int(v, ty) => {
+            let out = match u {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Abs => v.wrapping_abs(),
+                UnOp::Not => {
+                    if ty == ScalarType::I1 {
+                        (v == 0) as i64
+                    } else {
+                        !v
+                    }
+                }
+                _ => return None,
+            };
+            Some(Const::Int(truncate(out, ty), ty))
+        }
+        Const::Float(v, ty) => {
+            let out = match u {
+                UnOp::Neg => -v,
+                UnOp::Abs => v.abs(),
+                UnOp::Sqrt => v.sqrt(),
+                UnOp::Floor => v.floor(),
+                UnOp::Ceil => v.ceil(),
+                _ => return None,
+            };
+            let out = if ty == ScalarType::F32 { out as f32 as f64 } else { out };
+            Some(Const::Float(out, ty))
+        }
+    }
+}
+
+fn fold_cmp(p: CmpPred, l: Const, r: Const) -> Option<bool> {
+    match (l, r) {
+        (Const::Int(a, _), Const::Int(b, _)) => Some(match p {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }),
+        (Const::Float(a, _), Const::Float(b, _)) => Some(match p {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut func = parse_function(
+            "func @f() {\n  %a = const 6 : i32\n  %b = const 7 : i32\n  %c = mul %a, %b : i32\n  return %c\n}",
+        )
+        .unwrap();
+        assert!(canonicalize(&mut func) > 0);
+        let text = func.to_string();
+        assert!(text.contains("const 42"), "{text}");
+    }
+
+    #[test]
+    fn folds_through_casts_and_cmp() {
+        let mut func = parse_function(
+            "func @f() {
+  %a = const 5 : i32
+  %b = cast %a : f32
+  %c = fconst 4.0 : f32
+  %d = cmp gt %b, %c
+  return %d
+}",
+        )
+        .unwrap();
+        canonicalize(&mut func);
+        let text = func.to_string();
+        assert!(text.contains("const 1 : i1"), "{text}");
+    }
+
+    #[test]
+    fn applies_mul_one_identity() {
+        let mut func = parse_function(
+            "func @f(%x: f32) {\n  %one = fconst 1.0 : f32\n  %y = mul %x, %one : f32\n  return %y\n}",
+        )
+        .unwrap();
+        canonicalize(&mut func);
+        let text = func.to_string();
+        // The return must now use %x directly.
+        assert!(text.contains("return %0"), "{text}");
+    }
+
+    #[test]
+    fn folds_select_with_known_condition() {
+        let mut func = parse_function(
+            "func @f(%a: f32, %b: f32) {
+  %t = const 1 : i1
+  %s = select %t, %a, %b : f32
+  return %s
+}",
+        )
+        .unwrap();
+        canonicalize(&mut func);
+        assert!(func.to_string().contains("return %0"));
+    }
+
+    #[test]
+    fn identity_add_zero_index() {
+        let mut func = parse_function(
+            "func @f(%x: index) {\n  %z = const 0 : index\n  %y = add %x, %z : index\n  return %y\n}",
+        )
+        .unwrap();
+        canonicalize(&mut func);
+        assert!(func.to_string().contains("return %0"));
+    }
+
+    #[test]
+    fn does_not_fold_division_by_zero() {
+        let mut func = parse_function(
+            "func @f() {\n  %a = const 6 : i32\n  %b = const 0 : i32\n  %c = div %a, %b : i32\n  return %c\n}",
+        )
+        .unwrap();
+        canonicalize(&mut func);
+        assert!(func.to_string().contains("div"));
+    }
+}

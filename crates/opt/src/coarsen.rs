@@ -1,0 +1,420 @@
+//! Thread and block coarsening as granularity variation (§V of the paper).
+//!
+//! Both transformations are instances of the nested parallel
+//! unroll-and-interleave of [`crate::interleave`]:
+//!
+//! * **Thread coarsening** unrolls the thread-parallel loop with
+//!   coalescing-friendly strided indexing. Factors must divide the (static)
+//!   block dimensions — remainder threads inside a block would break warp
+//!   fullness and convergence (§V-C).
+//! * **Block coarsening** unrolls the block-parallel loop with contiguous
+//!   indexing and *duplicates shared memory allocations* (automatic: they
+//!   live in the unrolled region). Any factor is allowed: *epilogue* grids
+//!   finish the remainder blocks, which is how the paper reaches prime
+//!   factors like the lud optimum of 7.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use respec_ir::kernel::{analyze_launch, Launch};
+use respec_ir::walk::clone_op;
+use respec_ir::{BinOp, Function, OpId, OpKind, ParLevel, RegionId, ScalarType, Type, Value};
+
+use crate::interleave::{parent_region, unroll_interleave, IndexingStyle, InterleaveError};
+
+/// A combined coarsening configuration: per-dimension block and thread
+/// factors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CoarsenConfig {
+    /// Block (grid-level) factors in x, y, z.
+    pub block: [i64; 3],
+    /// Thread (block-level) factors in x, y, z.
+    pub thread: [i64; 3],
+}
+
+impl CoarsenConfig {
+    /// The identity configuration.
+    pub fn identity() -> CoarsenConfig {
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [1, 1, 1],
+        }
+    }
+
+    /// Total block factor.
+    pub fn block_total(&self) -> i64 {
+        self.block.iter().product()
+    }
+
+    /// Total thread factor.
+    pub fn thread_total(&self) -> i64 {
+        self.thread.iter().product()
+    }
+
+    /// `true` if this configuration performs no coarsening.
+    pub fn is_identity(&self) -> bool {
+        self.block_total() == 1 && self.thread_total() == 1
+    }
+}
+
+impl fmt::Display for CoarsenConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block({},{},{})·thread({},{},{})",
+            self.block[0], self.block[1], self.block[2], self.thread[0], self.thread[1], self.thread[2]
+        )
+    }
+}
+
+/// Error produced by the coarsening transformations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoarsenError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl CoarsenError {
+    fn new(message: impl Into<String>) -> CoarsenError {
+        CoarsenError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error from a message (for sibling modules).
+    pub fn from_message(message: impl Into<String>) -> CoarsenError {
+        CoarsenError::new(message)
+    }
+}
+
+impl fmt::Display for CoarsenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "coarsening failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for CoarsenError {}
+
+impl From<InterleaveError> for CoarsenError {
+    fn from(e: InterleaveError) -> CoarsenError {
+        CoarsenError { message: e.message }
+    }
+}
+
+/// Applies thread coarsening to the thread-parallel loop of `launch`.
+///
+/// # Errors
+///
+/// Fails if a factor does not divide its block dimension, if the coarsened
+/// block would be empty, or if interleaving is illegal.
+pub fn thread_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) -> Result<(), CoarsenError> {
+    for (d, &f) in factors.iter().enumerate() {
+        if f < 1 {
+            return Err(CoarsenError::new("factors must be >= 1"));
+        }
+        let dim = launch.block_dims.get(d).copied().unwrap_or(1);
+        if dim % f != 0 {
+            return Err(CoarsenError::new(format!(
+                "thread factor {f} does not divide block dimension {dim} (d{d})"
+            )));
+        }
+    }
+    unroll_interleave(func, launch.thread_par, factors, IndexingStyle::Strided)?;
+    Ok(())
+}
+
+/// Applies block coarsening to the block-parallel loop of `launch`,
+/// generating epilogue grids for the remainder blocks of each coarsened
+/// dimension (so any factor is legal size-wise).
+///
+/// # Errors
+///
+/// Fails if interleaving is illegal (a barrier would be duplicated, §V-B).
+pub fn block_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) -> Result<(), CoarsenError> {
+    let total: i64 = factors.iter().product();
+    if total == 1 {
+        return Ok(());
+    }
+    let op = func.op(launch.block_par).clone();
+    let rank = op.operands.len();
+    let old_ubs = op.operands.clone();
+    let old_region = op.regions[0];
+
+    // Clone the original region as the epilogue template *before* the main
+    // loop is transformed.
+    let mut template_map = HashMap::new();
+    let template = respec_ir::walk::clone_region(func, old_region, &mut template_map);
+    // The template's references to outer values are untouched; its args were
+    // remapped. Record the remapped arg list.
+    let template_args = func.region(template).args.clone();
+
+    // Transform the main loop first: if it is illegal, nothing else changed
+    // (the detached template region is simply never referenced).
+    unroll_interleave(func, launch.block_par, factors, IndexingStyle::Contiguous)?;
+
+    // Insert epilogues after the main loop. Epilogue for dimension k covers:
+    //   dims j < k : [0, ⌊ub_j/f_j⌋·f_j)   (the main-covered range)
+    //   dim  k     : [⌊ub_k/f_k⌋·f_k, ub_k)
+    //   dims j > k : [0, ub_j)
+    // which tiles the iteration space exactly once together with the main
+    // coarsened grid.
+    let parent = parent_region(func, launch.block_par)
+        .ok_or_else(|| CoarsenError::new("block-parallel op is not attached"))?;
+    let mut insert_at = func
+        .region(parent)
+        .ops
+        .iter()
+        .position(|&o| o == launch.block_par)
+        .expect("op is in its parent region")
+        + 1;
+
+    // Helper to append an op into the parent region at the running cursor.
+    let mut emit_parent = |func: &mut Function, op: OpId| {
+        func.region_mut(parent).ops.insert(insert_at, op);
+        insert_at += 1;
+    };
+
+    let mk_const = |func: &mut Function, v: i64| {
+        func.make_op(
+            OpKind::ConstInt { value: v, ty: ScalarType::Index },
+            vec![],
+            vec![Type::index()],
+            vec![],
+        )
+    };
+    let mk_bin = |func: &mut Function, b: BinOp, l: Value, r: Value| {
+        func.make_op(OpKind::Binary(b), vec![l, r], vec![Type::index()], vec![])
+    };
+
+    // Main-covered extent per dimension: ⌊ub/f⌋·f (SSA values).
+    let mut covered: Vec<Option<Value>> = vec![None; rank];
+    for d in 0..rank {
+        if factors[d] == 1 {
+            continue;
+        }
+        let cf = mk_const(func, factors[d]);
+        emit_parent(func, cf);
+        let cf_v = func.result(cf);
+        let div = mk_bin(func, BinOp::Div, old_ubs[d], cf_v);
+        emit_parent(func, div);
+        let mul = mk_bin(func, BinOp::Mul, func.result(div), cf_v);
+        emit_parent(func, mul);
+        covered[d] = Some(func.result(mul));
+    }
+
+    for k in 0..rank {
+        if factors[k] == 1 {
+            continue;
+        }
+        let covered_k = covered[k].expect("computed above for coarsened dims");
+        // Remainder extent for dim k.
+        let rem = mk_bin(func, BinOp::Sub, old_ubs[k], covered_k);
+        emit_parent(func, rem);
+        let rem_v = func.result(rem);
+
+        // Epilogue upper bounds.
+        let mut epi_ubs = Vec::with_capacity(rank);
+        for (j, &old_ub) in old_ubs.iter().enumerate().take(rank) {
+            if j < k {
+                epi_ubs.push(covered[j].unwrap_or(old_ub));
+            } else if j == k {
+                epi_ubs.push(rem_v);
+            } else {
+                epi_ubs.push(old_ub);
+            }
+        }
+
+        // Epilogue region: fresh ivs; dim k is offset by the covered extent.
+        let mut map = HashMap::new();
+        let region = func.new_region();
+        for (d, &template_arg) in template_args.iter().enumerate() {
+            let arg = func.add_region_arg(region, Type::index());
+            if d == k {
+                let add = mk_bin(func, BinOp::Add, arg, covered_k);
+                func.push_op(region, add);
+                map.insert(template_arg, func.result(add));
+            } else {
+                map.insert(template_arg, arg);
+            }
+        }
+        for t_op in func.region(template).ops.clone() {
+            let cloned = clone_op(func, t_op, &mut map);
+            func.push_op(region, cloned);
+        }
+        let epi = func.make_op(
+            OpKind::Parallel { level: ParLevel::Block },
+            epi_ubs,
+            vec![],
+            vec![region],
+        );
+        emit_parent(func, epi);
+    }
+    Ok(())
+}
+
+/// Applies a combined configuration to every launch of a kernel function,
+/// thread factors first (so block coarsening jams the already-coarsened
+/// thread loop).
+///
+/// # Errors
+///
+/// Propagates the first illegal-coarsening error; the function may be left
+/// partially transformed, so callers should work on a clone (the
+/// [`crate::alternatives`] flow does).
+pub fn coarsen_function(func: &mut Function, cfg: CoarsenConfig) -> Result<(), CoarsenError> {
+    let body = func.body();
+    coarsen_function_region(func, body, cfg)
+}
+
+/// Applies a combined configuration to every launch found under `region`
+/// (used by the alternatives flow to coarsen one region of the multi-version
+/// op).
+///
+/// # Errors
+///
+/// See [`coarsen_function`].
+pub fn coarsen_function_region(func: &mut Function, region: RegionId, cfg: CoarsenConfig) -> Result<(), CoarsenError> {
+    let block_pars = respec_ir::kernel::block_parallels_in(func, region);
+    if block_pars.is_empty() {
+        return Err(CoarsenError::new("region contains no block-parallel loop"));
+    }
+    for bp in block_pars {
+        let launch = analyze_launch(func, bp).map_err(|e| CoarsenError::new(e.to_string()))?;
+        thread_coarsen(func, &launch, cfg.thread)?;
+        // Re-analyze: thread coarsening rebuilt the thread loop.
+        let launch = analyze_launch(func, bp).map_err(|e| CoarsenError::new(e.to_string()))?;
+        block_coarsen(func, &launch, cfg.block)?;
+    }
+    Ok(())
+}
+
+/// Helper mirroring the region of a parallel op (used by tests and the
+/// alternatives flow).
+pub fn body_region(func: &Function, par: OpId) -> RegionId {
+    func.op(par).regions[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{parse_function, verify_function};
+
+    const KERNEL: &str = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<64xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %v = load %m[%i] : f32
+      store %v, %sm[%tx]
+      barrier<thread>
+      %r = load %sm[%tx] : f32
+      %d = add %r, %r : f32
+      store %d, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    #[test]
+    fn thread_coarsen_requires_divisors() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let err = thread_coarsen(&mut func, &launch, [3, 1, 1]).unwrap_err();
+        assert!(err.message.contains("divide"));
+    }
+
+    #[test]
+    fn thread_coarsen_shrinks_block() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        thread_coarsen(&mut func, &launch, [4, 1, 1]).unwrap();
+        verify_function(&func).unwrap();
+        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        assert_eq!(launch.block_dims, vec![16, 1, 1]);
+        assert_eq!(launch.shared_allocs.len(), 1, "thread coarsening keeps shared memory");
+    }
+
+    #[test]
+    fn block_coarsen_emits_epilogue() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        block_coarsen(&mut func, &launch, [7, 1, 1]).unwrap();
+        verify_function(&func).unwrap();
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        assert_eq!(launches.len(), 2, "main + one epilogue grid");
+        // Main grid duplicated the shared allocation 7×.
+        assert_eq!(launches[0].shared_allocs.len(), 7);
+        assert_eq!(launches[1].shared_allocs.len(), 1, "epilogue is uncoarsened");
+    }
+
+    #[test]
+    fn block_coarsen_multi_dim_epilogues() {
+        let mut func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c16 = const 16 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c16, %c16, %c1) {
+      %r = mul %by, %c16 : index
+      %row = add %r, %ty : index
+      %c = mul %bx, %c16 : index
+      %col = add %c, %tx : index
+      %v = load %m[%col] : f32
+      store %v, %m[%row]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        block_coarsen(&mut func, &launch, [2, 3, 1]).unwrap();
+        verify_function(&func).unwrap();
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        assert_eq!(launches.len(), 3, "main + one epilogue per coarsened dim");
+    }
+
+    #[test]
+    fn combined_coarsening_applies_both() {
+        let mut func = parse_function(KERNEL).unwrap();
+        coarsen_function(
+            &mut func,
+            CoarsenConfig {
+                block: [2, 1, 1],
+                thread: [2, 1, 1],
+            },
+        )
+        .unwrap();
+        verify_function(&func).unwrap();
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        assert_eq!(launches[0].block_dims, vec![32, 1, 1]);
+        assert_eq!(launches[0].shared_allocs.len(), 2);
+    }
+
+    #[test]
+    fn identity_config_is_noop() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let before = func.to_string();
+        coarsen_function(&mut func, CoarsenConfig::identity()).unwrap();
+        assert_eq!(func.to_string(), before);
+    }
+
+    #[test]
+    fn config_display_and_totals() {
+        let cfg = CoarsenConfig {
+            block: [4, 2, 1],
+            thread: [2, 1, 1],
+        };
+        assert_eq!(cfg.block_total(), 8);
+        assert_eq!(cfg.thread_total(), 2);
+        assert!(!cfg.is_identity());
+        assert_eq!(cfg.to_string(), "block(4,2,1)·thread(2,1,1)");
+    }
+}

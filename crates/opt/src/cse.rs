@@ -1,0 +1,175 @@
+//! Common subexpression elimination for pure operations.
+//!
+//! In the structured IR, lexical scope *is* dominance: an op dominates every
+//! later op of its region and everything nested under them. CSE therefore
+//! keeps a scoped table keyed by `(kind, operands)`.
+
+use std::collections::HashMap;
+
+use respec_ir::{Function, OpKind, RegionId, Value};
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key {
+    kind_fingerprint: String,
+    operands: Vec<Value>,
+}
+
+fn key_of(kind: &OpKind, operands: &[Value]) -> Key {
+    Key {
+        // OpKind is not Hash (it carries f64); the Debug form is a stable
+        // fingerprint of kind + attributes.
+        kind_fingerprint: format!("{kind:?}"),
+        operands: operands.to_vec(),
+    }
+}
+
+/// Runs CSE; returns the number of operations deduplicated.
+pub fn cse(func: &mut Function) -> usize {
+    let mut scopes: Vec<HashMap<Key, Vec<Value>>> = vec![HashMap::new()];
+    let body = func.body();
+    let mut removed = 0;
+    cse_region(func, body, &mut scopes, &mut removed);
+    removed
+}
+
+fn cse_region(
+    func: &mut Function,
+    region: RegionId,
+    scopes: &mut Vec<HashMap<Key, Vec<Value>>>,
+    removed: &mut usize,
+) {
+    scopes.push(HashMap::new());
+    let ops = func.region(region).ops.clone();
+    let mut replacements: HashMap<Value, Value> = HashMap::new();
+    let mut kept = Vec::with_capacity(ops.len());
+    for op_id in ops {
+        // Rewrite operands through pending replacements.
+        if !replacements.is_empty() {
+            for operand in &mut func.op_mut(op_id).operands {
+                if let Some(&n) = replacements.get(operand) {
+                    *operand = n;
+                }
+            }
+        }
+        let op = func.op(op_id).clone();
+        if op.kind.is_pure() || matches!(op.kind, OpKind::ConstInt { .. } | OpKind::ConstFloat { .. }) {
+            let key = key_of(&op.kind, &op.operands);
+            if let Some(prev) = scopes.iter().rev().find_map(|s| s.get(&key)) {
+                for (old, new) in op.results.iter().zip(prev.clone()) {
+                    replacements.insert(*old, new);
+                }
+                *removed += 1;
+                continue; // drop the duplicate op
+            }
+            scopes
+                .last_mut()
+                .expect("scope stack is never empty")
+                .insert(key, op.results.clone());
+        }
+        for &r in &op.regions {
+            cse_region(func, r, scopes, removed);
+        }
+        kept.push(op_id);
+    }
+    func.region_mut(region).ops = kept;
+    if !replacements.is_empty() {
+        respec_ir::walk::replace_uses_in_region(func, region, &replacements);
+    }
+    scopes.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{parse_function, verify_function};
+
+    #[test]
+    fn deduplicates_identical_arith() {
+        let mut func = parse_function(
+            "func @f(%a: f32, %b: f32) {
+  %x = add %a, %b : f32
+  %y = add %a, %b : f32
+  %z = mul %x, %y : f32
+  return %z
+}",
+        )
+        .unwrap();
+        assert_eq!(cse(&mut func), 1);
+        verify_function(&func).unwrap();
+        let text = func.to_string();
+        assert_eq!(text.matches(" add ").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn deduplicates_constants() {
+        let mut func = parse_function(
+            "func @f() {\n  %a = const 5 : i32\n  %b = const 5 : i32\n  %c = add %a, %b : i32\n  return %c\n}",
+        )
+        .unwrap();
+        assert_eq!(cse(&mut func), 1);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn outer_values_are_visible_in_nested_regions() {
+        let mut func = parse_function(
+            "func @f(%a: f32, %c: i1) {
+  %x = add %a, %a : f32
+  %r = if %c {
+    %y = add %a, %a : f32
+    yield %y
+  } else {
+    yield %x
+  }
+  return %r
+}",
+        )
+        .unwrap();
+        assert_eq!(cse(&mut func), 1);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn nested_defs_do_not_leak_to_siblings() {
+        let mut func = parse_function(
+            "func @f(%a: f32, %c: i1) {
+  %r = if %c {
+    %x = add %a, %a : f32
+    yield %x
+  } else {
+    %y = add %a, %a : f32
+    yield %y
+  }
+  return %r
+}",
+        )
+        .unwrap();
+        // The two adds live in sibling regions: neither dominates the other.
+        assert_eq!(cse(&mut func), 0);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn does_not_merge_loads() {
+        let mut func = parse_function(
+            "func @f(%m: memref<?xf32, global>, %i: index) {
+  %x = load %m[%i] : f32
+  store %x, %m[%i]
+  %y = load %m[%i] : f32
+  %z = add %x, %y : f32
+  return %z
+}",
+        )
+        .unwrap();
+        assert_eq!(cse(&mut func), 0);
+    }
+
+    #[test]
+    fn distinguishes_different_attributes() {
+        let mut func = parse_function(
+            "func @f() {\n  %a = const 5 : i32\n  %b = const 6 : i32\n  %c = add %a, %b : i32\n  return %c\n}",
+        )
+        .unwrap();
+        assert_eq!(cse(&mut func), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Dead code elimination for pure operations with unused results.
+
+use std::collections::HashSet;
+
+use respec_ir::{Function, OpKind, RegionId, Value};
+
+/// Removes pure operations whose results are never used, to a fixpoint.
+/// Returns the number of operations removed.
+pub fn dce(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let removed = run_once(func);
+        total += removed;
+        if removed == 0 {
+            return total;
+        }
+    }
+}
+
+fn run_once(func: &mut Function) -> usize {
+    let mut used: HashSet<Value> = HashSet::new();
+    collect_uses(func, func.body(), &mut used);
+    let mut removed = 0;
+    prune_region(func, func.body(), &used, &mut removed);
+    removed
+}
+
+fn collect_uses(func: &Function, region: RegionId, used: &mut HashSet<Value>) {
+    respec_ir::walk::walk_ops(func, region, &mut |op| {
+        for &v in &func.op(op).operands {
+            used.insert(v);
+        }
+    });
+}
+
+fn removable(func: &Function, op: respec_ir::OpId, used: &HashSet<Value>) -> bool {
+    let operation = func.op(op);
+    let pure_like = operation.kind.is_pure()
+        || matches!(operation.kind, OpKind::ConstInt { .. } | OpKind::ConstFloat { .. });
+    pure_like && operation.results.iter().all(|r| !used.contains(r))
+}
+
+fn prune_region(func: &mut Function, region: RegionId, used: &HashSet<Value>, removed: &mut usize) {
+    let ops = func.region(region).ops.clone();
+    let mut kept = Vec::with_capacity(ops.len());
+    for op in ops {
+        if removable(func, op, used) {
+            *removed += 1;
+            continue;
+        }
+        for &r in &func.op(op).regions.clone() {
+            prune_region(func, r, used, removed);
+        }
+        kept.push(op);
+    }
+    func.region_mut(region).ops = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{parse_function, verify_function};
+
+    #[test]
+    fn removes_dead_arith_chains() {
+        let mut func = parse_function(
+            "func @f(%a: f32) {
+  %x = add %a, %a : f32
+  %y = mul %x, %x : f32
+  %z = add %a, %a : f32
+  return %z
+}",
+        )
+        .unwrap();
+        // %y is dead, then %x becomes dead: fixpoint removes both.
+        assert_eq!(dce(&mut func), 2);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn keeps_side_effecting_ops() {
+        let mut func = parse_function(
+            "func @f(%m: memref<?xf32, global>, %i: index) {
+  %x = load %m[%i] : f32
+  store %x, %m[%i]
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(dce(&mut func), 0);
+    }
+
+    #[test]
+    fn prunes_inside_nested_regions() {
+        let mut func = parse_function(
+            "func @f(%a: f32, %c: i1) {
+  %r = if %c {
+    %dead = mul %a, %a : f32
+    yield %a
+  } else {
+    yield %a
+  }
+  return %r
+}",
+        )
+        .unwrap();
+        assert_eq!(dce(&mut func), 1);
+        verify_function(&func).unwrap();
+    }
+
+    #[test]
+    fn keeps_values_used_only_in_nested_regions() {
+        let mut func = parse_function(
+            "func @f(%a: f32, %c: i1) {
+  %x = mul %a, %a : f32
+  %r = if %c {
+    yield %x
+  } else {
+    yield %a
+  }
+  return %r
+}",
+        )
+        .unwrap();
+        assert_eq!(dce(&mut func), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Coarsening factor selection across multi-parallel dimensions (§IV-C).
+//!
+//! A *total* factor is balanced across the dimensions that are not of
+//! constant size 1, exactly as the paper's footnote describes: a total of 16
+//! over three dimensions becomes (4, 2, 2); a total of 6 becomes (3, 2, 1).
+
+/// Splits `total` into prime factors, largest first.
+pub fn prime_factors(total: i64) -> Vec<i64> {
+    assert!(total >= 1, "factors must be positive");
+    let mut n = total;
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Balances a total coarsening factor across up to three dimensions.
+///
+/// `dim_sizes` are the extents of the parallel dimensions (`None` for
+/// dynamic extents, which are always eligible). Dimensions of constant size
+/// 1 are skipped. When `divisor_only` is set (thread coarsening, §V-C), the
+/// per-dimension factor must divide the dimension size; the function returns
+/// `None` if the total cannot be placed.
+///
+/// Primes are assigned greedily, each to the currently least-loaded eligible
+/// dimension (ties broken toward x).
+pub fn split_total(total: i64, dim_sizes: &[Option<i64>; 3], divisor_only: bool) -> Option<[i64; 3]> {
+    let mut factors = [1i64; 3];
+    if total == 1 {
+        return Some(factors);
+    }
+    let eligible: Vec<usize> = (0..3).filter(|&d| dim_sizes[d] != Some(1)).collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    for p in prime_factors(total) {
+        // Pick the eligible dimension with the smallest current factor where
+        // the prime still fits.
+        let mut best: Option<usize> = None;
+        for &d in &eligible {
+            let candidate = factors[d] * p;
+            if divisor_only {
+                match dim_sizes[d] {
+                    Some(size) if size % candidate != 0 => continue,
+                    None => {}
+                    Some(_) => {}
+                }
+            } else if let Some(size) = dim_sizes[d] {
+                // Even without the divisor restriction, never coarsen a
+                // dimension beyond its extent.
+                if candidate > size {
+                    continue;
+                }
+            }
+            match best {
+                None => best = Some(d),
+                Some(b) if factors[d] < factors[b] => best = Some(d),
+                _ => {}
+            }
+        }
+        factors[best?] *= p;
+    }
+    Some(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_of_sixteen() {
+        assert_eq!(prime_factors(16), vec![2, 2, 2, 2]);
+        assert_eq!(prime_factors(6), vec![3, 2]);
+        assert_eq!(prime_factors(7), vec![7]);
+        assert_eq!(prime_factors(1), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn paper_examples() {
+        // "for a total factor of 16, we will coarsen the 3 dimensions with
+        //  4, 2, and 2 respectively, whereas for 6 we will coarsen with
+        //  3, 2, and 1."
+        let dims = [Some(256), Some(256), Some(256)];
+        assert_eq!(split_total(16, &dims, false), Some([4, 2, 2]));
+        assert_eq!(split_total(6, &dims, false), Some([3, 2, 1]));
+    }
+
+    #[test]
+    fn size_one_dimensions_are_skipped() {
+        let dims = [Some(256), Some(1), Some(1)];
+        assert_eq!(split_total(8, &dims, false), Some([8, 1, 1]));
+        let dims2 = [Some(16), Some(16), Some(1)];
+        assert_eq!(split_total(16, &dims2, false), Some([4, 4, 1]));
+    }
+
+    #[test]
+    fn divisor_only_respects_block_dims() {
+        // 16×16 block: a total of 32 can only be placed as products dividing
+        // each dimension.
+        let dims = [Some(16), Some(16), Some(1)];
+        let f = split_total(32, &dims, true).unwrap();
+        assert_eq!(f[0] * f[1] * f[2], 32);
+        assert_eq!(16 % f[0], 0);
+        assert_eq!(16 % f[1], 0);
+    }
+
+    #[test]
+    fn divisor_only_fails_when_impossible() {
+        // A block of 6×1×1 threads cannot take a factor of 4 divisor-wise.
+        let dims = [Some(6), Some(1), Some(1)];
+        assert_eq!(split_total(4, &dims, true), None);
+        // But 3 fits.
+        assert_eq!(split_total(3, &dims, true), Some([3, 1, 1]));
+    }
+
+    #[test]
+    fn dynamic_dims_accept_anything() {
+        let dims = [None, None, Some(1)];
+        let f = split_total(12, &dims, false).unwrap();
+        assert_eq!(f[0] * f[1], 12);
+    }
+
+    #[test]
+    fn all_unit_dims_cannot_be_coarsened() {
+        let dims = [Some(1), Some(1), Some(1)];
+        assert_eq!(split_total(2, &dims, false), None);
+    }
+}

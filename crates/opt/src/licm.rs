@@ -1,0 +1,256 @@
+//! Loop-invariant code motion, including the shared-memory load hoisting
+//! that gives Polygeist its `lavaMD` advantage over clang (§VII-C).
+
+use std::collections::HashSet;
+
+use respec_ir::walk::walk_ops;
+use respec_ir::{BinOp, Function, OpKind, RegionId, Value};
+
+/// Hoists loop-invariant operations out of `for` and parallel loop bodies.
+/// Returns the number of operations moved.
+///
+/// Pure arithmetic is hoisted whenever its operands are defined outside the
+/// loop (integer division/remainder excluded — speculating them could
+/// introduce faults). Loads are hoisted out of loops that contain no stores,
+/// barriers or further side effects, mirroring Polygeist's shared-memory
+/// load hoisting.
+pub fn licm(func: &mut Function) -> usize {
+    let mut moved = 0;
+    let body = func.body();
+    process_region(func, body, &mut moved);
+    moved
+}
+
+fn process_region(func: &mut Function, region: RegionId, moved: &mut usize) {
+    // Innermost-first: recurse before hoisting at this level.
+    let ops = func.region(region).ops.clone();
+    for op in &ops {
+        for &r in &func.op(*op).regions.clone() {
+            process_region(func, r, moved);
+        }
+    }
+    // Hoist from each loop op's body into this region.
+    let mut idx = 0;
+    while idx < func.region(region).ops.len() {
+        let op = func.region(region).ops[idx];
+        let hoist_from = match &func.op(op).kind {
+            OpKind::For => Some(func.op(op).regions[0]),
+            OpKind::Parallel { .. } => Some(func.op(op).regions[0]),
+            _ => None,
+        };
+        if let Some(body) = hoist_from {
+            *moved += hoist_out_of(func, region, idx, body);
+        }
+        idx += 1;
+    }
+}
+
+/// Values defined anywhere in the subtree rooted at `region` (arguments and
+/// op results).
+fn defined_in_subtree(func: &Function, region: RegionId) -> HashSet<Value> {
+    let mut defined: HashSet<Value> = func.region(region).args.iter().copied().collect();
+    walk_ops(func, region, &mut |op| {
+        for &r in &func.op(op).results {
+            defined.insert(r);
+        }
+        for &nested in &func.op(op).regions {
+            for &a in &func.region(nested).args {
+                defined.insert(a);
+            }
+        }
+    });
+    defined
+}
+
+fn subtree_has_side_effects(func: &Function, region: RegionId) -> bool {
+    let mut found = false;
+    walk_ops(func, region, &mut |op| {
+        if matches!(
+            func.op(op).kind,
+            OpKind::Store | OpKind::Barrier { .. } | OpKind::Alloc { .. } | OpKind::Call { .. }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn hoist_out_of(func: &mut Function, parent: RegionId, mut loop_pos: usize, body: RegionId) -> usize {
+    let loads_ok = !subtree_has_side_effects(func, body);
+    let mut moved = 0;
+    loop {
+        let mut defined = defined_in_subtree(func, body);
+        let ops = func.region(body).ops.clone();
+        let mut moved_this_round = 0;
+        for op in ops {
+            let operation = func.op(op);
+            if operation.kind.is_terminator() {
+                continue;
+            }
+            let hoistable_kind = match &operation.kind {
+                OpKind::Binary(BinOp::Div) | OpKind::Binary(BinOp::Rem) => false,
+                k if k.is_pure() => true,
+                OpKind::ConstInt { .. } | OpKind::ConstFloat { .. } => true,
+                OpKind::Load => loads_ok,
+                _ => false,
+            };
+            if !hoistable_kind {
+                continue;
+            }
+            if operation.operands.iter().any(|v| defined.contains(v)) {
+                continue;
+            }
+            // Move: remove from the body list, insert before the loop.
+            let body_ops = &mut func.region_mut(body).ops;
+            let pos = body_ops.iter().position(|&o| o == op).expect("op is in body");
+            body_ops.remove(pos);
+            func.region_mut(parent).ops.insert(loop_pos, op);
+            loop_pos += 1;
+            for &r in &func.op(op).results.clone() {
+                defined.remove(&r);
+            }
+            moved_this_round += 1;
+        }
+        moved += moved_this_round;
+        if moved_this_round == 0 {
+            return moved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::{parse_function, verify_function};
+
+    #[test]
+    fn hoists_invariant_arith_out_of_for() {
+        let mut func = parse_function(
+            "func @f(%n: index, %a: f32, %m: memref<?xf32, global>) {
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %n step %c1 {
+    %inv = mul %a, %a : f32
+    store %inv, %m[%i]
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(licm(&mut func), 1);
+        verify_function(&func).unwrap();
+        // The mul must now precede the for.
+        let body = func.region(func.body()).ops.clone();
+        let mul_pos = body.iter().position(|&o| matches!(func.op(o).kind, OpKind::Binary(BinOp::Mul)));
+        let for_pos = body.iter().position(|&o| matches!(func.op(o).kind, OpKind::For));
+        assert!(mul_pos.unwrap() < for_pos.unwrap());
+    }
+
+    #[test]
+    fn hoists_loads_from_store_free_loops() {
+        // The lavaMD pattern: a shared-memory load invariant in the inner
+        // compute loop.
+        let mut func = parse_function(
+            "func @f(%n: index, %m: memref<?xf32, global>, %j: index) {
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  %z = fconst 0.0 : f32
+  %r = for %i = %c0 to %n step %c1 iter (%acc = %z) {
+    %v = load %m[%j] : f32
+    %nx = add %acc, %v : f32
+    yield %nx
+  }
+  store %r, %m[%j]
+  return
+}",
+        )
+        .unwrap();
+        let moved = licm(&mut func);
+        assert!(moved >= 1, "load must be hoisted, moved {moved}");
+        verify_function(&func).unwrap();
+        let body = func.region(func.body()).ops.clone();
+        let load_pos = body.iter().position(|&o| matches!(func.op(o).kind, OpKind::Load));
+        assert!(load_pos.is_some(), "load must be at function level now");
+    }
+
+    #[test]
+    fn does_not_hoist_loads_past_stores() {
+        let mut func = parse_function(
+            "func @f(%n: index, %m: memref<?xf32, global>, %j: index) {
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %n step %c1 {
+    %v = load %m[%j] : f32
+    %d = add %v, %v : f32
+    store %d, %m[%j]
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        assert_eq!(licm(&mut func), 0);
+    }
+
+    #[test]
+    fn does_not_hoist_variant_ops() {
+        let mut func = parse_function(
+            "func @f(%n: index, %m: memref<?xf32, global>) {
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %n step %c1 {
+    %v = add %i, %c1 : index
+    store %c0, %m[%v]
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        // %v depends on the induction variable; the store keeps loads out.
+        assert_eq!(licm(&mut func), 0);
+    }
+
+    #[test]
+    fn does_not_hoist_division() {
+        let mut func = parse_function(
+            "func @f(%n: index, %a: i32, %b: i32, %m: memref<?xi32, global>) {
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %n step %c1 {
+    %q = div %a, %b : i32
+    store %q, %m[%i]
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        // If %n == 0 the division never executes; speculating it could trap.
+        assert_eq!(licm(&mut func), 0);
+    }
+
+    #[test]
+    fn hoists_from_parallel_bodies() {
+        let mut func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %a: f32, %m: memref<?xf32, global>) {
+  %c32 = const 32 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c32, %c1, %c1) {
+      %inv = mul %a, %a : f32
+      store %inv, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let moved = licm(&mut func);
+        assert!(moved >= 1);
+        verify_function(&func).unwrap();
+    }
+}

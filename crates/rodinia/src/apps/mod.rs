@@ -1,0 +1,62 @@
+//! The 15 Rodinia-equivalent applications of the paper's evaluation
+//! (Rodinia v3 minus the 9 exclusions of §VII-A).
+
+mod backprop;
+mod bfs;
+mod cfd;
+mod gaussian;
+mod hotspot;
+mod hotspot3d;
+mod lavamd;
+mod lud;
+mod myocyte;
+mod nn;
+mod nw;
+mod particlefilter;
+mod pathfinder;
+mod srad;
+mod streamcluster;
+
+pub use backprop::Backprop;
+pub use bfs::Bfs;
+pub use cfd::Cfd;
+pub use gaussian::Gaussian;
+pub use hotspot::Hotspot;
+pub use hotspot3d::Hotspot3D;
+pub use lavamd::LavaMd;
+pub use lud::Lud;
+pub use myocyte::Myocyte;
+pub use nn::Nn;
+pub use nw::Nw;
+pub use particlefilter::ParticleFilter;
+pub use pathfinder::Pathfinder;
+pub use srad::SradV1;
+pub use streamcluster::StreamCluster;
+
+use crate::framework::{App, Workload};
+
+/// All 15 applications at the small (test) workload.
+pub fn all_apps() -> Vec<Box<dyn App>> {
+    all_apps_sized(Workload::Small)
+}
+
+/// All 15 applications at the given workload.
+pub fn all_apps_sized(workload: Workload) -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(Backprop::new(workload)),
+        Box::new(Bfs::new(workload)),
+        Box::new(Cfd::new(workload)),
+        Box::new(Gaussian::new(workload)),
+        Box::new(Hotspot::new(workload)),
+        Box::new(Hotspot3D::new(workload)),
+        Box::new(LavaMd::new(workload)),
+        Box::new(Lud::new(workload)),
+        Box::new(Myocyte::new(workload)),
+        Box::new(Nn::new(workload)),
+        Box::new(Nw::new(workload)),
+        Box::new(ParticleFilter::new(workload)),
+        Box::new(Pathfinder::new(workload)),
+        Box::new(SradV1::new(workload)),
+        Box::new(StreamCluster::new(workload)),
+    ]
+}

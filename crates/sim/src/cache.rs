@@ -1,0 +1,177 @@
+//! Set-associative LRU cache model with 32-byte sectors.
+
+/// A set-associative LRU cache. Accesses are at sector granularity (the unit
+/// the coalescer produces), matching the sectored caches of modern GPUs.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line: u64,
+    set_mask: u64,
+    /// Total hits since creation or [`Cache::reset_counters`].
+    pub hits: u64,
+    /// Total misses since creation or [`Cache::reset_counters`].
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `bytes` capacity with `line`-byte lines and the
+    /// given associativity. The set count is rounded down to a power of two.
+    pub fn new(bytes: u64, line: u64, assoc: usize) -> Cache {
+        let lines = (bytes / line).max(1);
+        let sets = (lines / assoc as u64).max(1);
+        let sets = 1u64 << (63 - sets.leading_zeros() as u64); // prev power of two
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); sets as usize],
+            assoc,
+            line,
+            set_mask: sets - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Misses allocate (for both
+    /// reads and writes — write-allocate).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let tag = addr / self.line;
+        let set = &mut self.sets[(tag & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.push(t);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidates all contents.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Splits a warp's lane accesses into the distinct 32-byte sectors they
+/// touch — the number of memory transactions after coalescing (§II-A2).
+pub fn coalesce_sectors(addrs: &[(u64, u8)]) -> Vec<u64> {
+    let mut sectors: Vec<u64> = addrs
+        .iter()
+        .flat_map(|&(addr, bytes)| {
+            let first = addr / 32;
+            let last = (addr + bytes as u64 - 1) / 32;
+            first..=last
+        })
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.iter().map(|s| s * 32).collect()
+}
+
+/// Computes the serialization factor of a shared-memory warp access: the
+/// maximum number of *distinct words* mapped to any one bank (accesses to
+/// the same word broadcast).
+pub fn bank_conflict_factor(addrs: &[(u64, u8)], banks: u32) -> u32 {
+    let mut words: Vec<u64> = addrs.iter().map(|&(a, _)| a / 4).collect();
+    words.sort_unstable();
+    words.dedup();
+    let mut per_bank = vec![0u32; banks as usize];
+    for w in words {
+        per_bank[(w % banks as u64) as usize] += 1;
+    }
+    per_bank.into_iter().max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut c = Cache::new(1024, 32, 4);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(16)); // same sector
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        // 4 lines total, 1 set of associativity 4.
+        let mut c = Cache::new(128, 32, 4);
+        for i in 0..4 {
+            c.access(i * 32);
+        }
+        assert!(c.access(0)); // still resident
+        c.access(4 * 32); // evicts LRU (line 1, since 0 was just touched)
+        assert!(c.access(0));
+        assert!(!c.access(32));
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = Cache::new(1024, 32, 4);
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn coalesced_unit_stride_is_minimal() {
+        // 32 f32 lanes at consecutive addresses = 128 bytes = 4 sectors.
+        let addrs: Vec<(u64, u8)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(coalesce_sectors(&addrs).len(), 4);
+    }
+
+    #[test]
+    fn strided_access_needs_more_sectors() {
+        // Stride-2 f32: same 32 lanes now span 8 sectors.
+        let addrs: Vec<(u64, u8)> = (0..32).map(|i| (i * 8, 4)).collect();
+        assert_eq!(coalesce_sectors(&addrs).len(), 8);
+    }
+
+    #[test]
+    fn scattered_access_is_fully_uncoalesced() {
+        let addrs: Vec<(u64, u8)> = (0..32).map(|i| (i * 256, 4)).collect();
+        assert_eq!(coalesce_sectors(&addrs).len(), 32);
+    }
+
+    #[test]
+    fn unaligned_access_straddles_sectors() {
+        assert_eq!(coalesce_sectors(&[(30, 4)]).len(), 2);
+    }
+
+    #[test]
+    fn no_bank_conflict_for_unit_stride() {
+        let addrs: Vec<(u64, u8)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(bank_conflict_factor(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn stride_32_words_conflicts_fully() {
+        // Every lane hits bank 0 with a distinct word: 32-way conflict.
+        let addrs: Vec<(u64, u8)> = (0..32).map(|i| (i * 32 * 4, 4)).collect();
+        assert_eq!(bank_conflict_factor(&addrs, 32), 32);
+    }
+
+    #[test]
+    fn broadcast_does_not_conflict() {
+        let addrs: Vec<(u64, u8)> = (0..32).map(|_| (64, 4)).collect();
+        assert_eq!(bank_conflict_factor(&addrs, 32), 1);
+    }
+}

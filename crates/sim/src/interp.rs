@@ -1,0 +1,1034 @@
+//! Resumable interpreter over the structured IR.
+//!
+//! One [`Interp`] executes one scope (host code, one block, or one thread) as
+//! an explicit machine over a frame stack, so execution can *suspend* at
+//! barriers and at parallel loops (which the launch orchestrator expands).
+
+use std::fmt;
+
+use respec_ir::{BinOp, CmpPred, Function, MemSpace, OpId, OpKind, RegionId, ScalarType, UnOp, Value};
+
+use crate::memory::DeviceMemory;
+use crate::value::{MemVal, RtVal, Store};
+
+/// Error produced by simulated execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SimError {
+    pub(crate) fn new(message: impl Into<String>) -> SimError {
+        SimError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A memory access observed during execution, keyed for warp-level grouping
+/// by `(op, occ)` — the same static instruction at the same dynamic
+/// occurrence across threads forms one warp access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemEvent {
+    /// Static operation (as raw arena index).
+    pub op: u32,
+    /// Dynamic occurrence of the op within the current phase.
+    pub occ: u32,
+    /// Simulated byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u8,
+    /// Address space.
+    pub space: MemSpace,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// Instruction classes for the timing model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Integer/index arithmetic and logic.
+    IntAlu,
+    /// 32-bit float arithmetic.
+    Fp32,
+    /// 64-bit float arithmetic.
+    Fp64,
+    /// Transcendental/special function unit ops.
+    Special,
+    /// Global/local memory access.
+    GlobalMem,
+    /// Shared memory access.
+    SharedMem,
+    /// Control flow (loop back-edges, conditionals).
+    Branch,
+    /// Barrier synchronization.
+    Barrier,
+}
+
+/// Per-thread, per-phase execution counters.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadCounters {
+    issue: Vec<u32>,
+    touched: Vec<u32>,
+    /// Memory events of the current phase.
+    pub events: Vec<MemEvent>,
+}
+
+impl ThreadCounters {
+    /// Creates counters for a function with `num_ops` operations.
+    pub fn new(num_ops: usize) -> ThreadCounters {
+        ThreadCounters {
+            issue: vec![0; num_ops],
+            touched: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Clears the counters for the next phase.
+    pub fn reset(&mut self) {
+        for &t in &self.touched {
+            self.issue[t as usize] = 0;
+        }
+        self.touched.clear();
+        self.events.clear();
+    }
+
+    #[inline]
+    fn bump(&mut self, op: OpId) -> u32 {
+        let i = op.index();
+        if self.issue[i] == 0 {
+            self.touched.push(i as u32);
+        }
+        let occ = self.issue[i];
+        self.issue[i] += 1;
+        occ
+    }
+
+    /// Issue count of one op in this phase.
+    pub fn issue_count(&self, op: OpId) -> u32 {
+        self.issue[op.index()]
+    }
+
+    /// Iterates over `(op_index, issue_count)` pairs of this phase.
+    pub fn issues(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.touched.iter().map(move |&t| (t, self.issue[t as usize]))
+    }
+}
+
+/// Classifies an op for the timing model; `None` means "free" (constants,
+/// casts, structural terminators).
+pub fn classify(func: &Function, op: OpId) -> Option<InstClass> {
+    let operation = func.op(op);
+    let scalar = |v: Value| func.value_type(v).as_scalar();
+    match &operation.kind {
+        OpKind::Binary(b) => {
+            let ty = scalar(operation.results[0])?;
+            Some(match ty {
+                ScalarType::F32 => {
+                    if matches!(b, BinOp::Pow) {
+                        InstClass::Special
+                    } else {
+                        InstClass::Fp32
+                    }
+                }
+                ScalarType::F64 => {
+                    if matches!(b, BinOp::Pow) {
+                        InstClass::Special
+                    } else {
+                        InstClass::Fp64
+                    }
+                }
+                _ => InstClass::IntAlu,
+            })
+        }
+        OpKind::Unary(u) => {
+            let ty = scalar(operation.results[0])?;
+            Some(match u {
+                UnOp::Neg | UnOp::Not | UnOp::Abs => match ty {
+                    ScalarType::F32 => InstClass::Fp32,
+                    ScalarType::F64 => InstClass::Fp64,
+                    _ => InstClass::IntAlu,
+                },
+                _ => InstClass::Special,
+            })
+        }
+        OpKind::Cmp(_) | OpKind::Select => Some(InstClass::IntAlu),
+        OpKind::Load | OpKind::Store => {
+            let mem_ty = func
+                .value_type(operation.operands[if matches!(operation.kind, OpKind::Store) { 1 } else { 0 }])
+                .as_memref()?;
+            Some(match mem_ty.space {
+                MemSpace::Shared => InstClass::SharedMem,
+                MemSpace::Global | MemSpace::Local => InstClass::GlobalMem,
+            })
+        }
+        OpKind::If | OpKind::While => Some(InstClass::Branch),
+        OpKind::Barrier { .. } => Some(InstClass::Barrier),
+        // Loop back-edges are counted at the Yield of a For body.
+        OpKind::Yield => None,
+        _ => None,
+    }
+}
+
+/// What happened on one interpreter step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepEvent {
+    /// An ordinary operation executed.
+    Ran,
+    /// Execution reached a barrier and suspended (thread scope only).
+    Barrier,
+    /// The scope finished.
+    Done,
+    /// A nested `parallel` op was reached; the caller must expand it and
+    /// then keep stepping (the program counter already points past it).
+    Launch(OpId),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FrameKind {
+    Root,
+    For { op: OpId, iv: i64, ub: i64, step: i64 },
+    If { op: OpId },
+    WhileCond { op: OpId },
+    WhileBody { op: OpId },
+    Alt,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    region: RegionId,
+    idx: usize,
+    kind: FrameKind,
+}
+
+/// Execution context shared by the interpreters of one scope tree.
+pub struct StepCx<'a> {
+    /// Simulated device memory.
+    pub mem: &'a mut DeviceMemory,
+    /// Value stores of enclosing scopes (innermost first).
+    pub parents: &'a [&'a Store],
+    /// Per-thread counters; `None` for host/block scopes.
+    pub counters: Option<&'a mut ThreadCounters>,
+    /// Scratch allocation start: shared/local allocs performed by this scope
+    /// tree, so the launcher can release them.
+    pub record_allocs: Option<&'a mut Vec<crate::memory::BufferId>>,
+}
+
+/// A resumable interpreter for one region tree of a function.
+#[derive(Clone, Debug)]
+pub struct Interp<'f> {
+    func: &'f Function,
+    frames: Vec<Frame>,
+    /// Values defined by this scope.
+    pub store: Store,
+    done: bool,
+    scratch: Vec<RtVal>,
+}
+
+/// Value lookup through the scope chain (free function so callers can hold
+/// disjoint field borrows of `Interp`).
+#[inline]
+fn get_from(store: &Store, parents: &[&Store], v: Value) -> Result<RtVal, SimError> {
+    if let Some(val) = store.get(v) {
+        return Ok(val);
+    }
+    for p in parents {
+        if let Some(val) = p.get(v) {
+            return Ok(val);
+        }
+    }
+    Err(SimError::new(format!("use of unbound value {v:?}")))
+}
+
+impl<'f> Interp<'f> {
+    /// Creates an interpreter for `region` of `func`. Region arguments must
+    /// be bound into [`Interp::store`] by the caller before stepping.
+    pub fn new(func: &'f Function, region: RegionId) -> Interp<'f> {
+        Interp {
+            func,
+            frames: vec![Frame {
+                region,
+                idx: 0,
+                kind: FrameKind::Root,
+            }],
+            store: Store::new(func.num_values()),
+            done: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Rewinds the interpreter to the start of `region`, clearing all local
+    /// bindings (for reuse across threads/blocks without reallocation).
+    pub fn restart(&mut self, region: RegionId) {
+        self.frames.clear();
+        self.frames.push(Frame {
+            region,
+            idx: 0,
+            kind: FrameKind::Root,
+        });
+        self.store.reset();
+        self.done = false;
+    }
+
+    /// Returns `true` once the scope has finished.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    #[inline]
+    fn get(&self, cx: &StepCx<'_>, v: Value) -> Result<RtVal, SimError> {
+        get_from(&self.store, cx.parents, v)
+    }
+
+    fn scalar_ty(&self, v: Value) -> ScalarType {
+        self.func
+            .value_type(v)
+            .as_scalar()
+            .expect("verified IR guarantees scalar type here")
+    }
+
+    /// Runs until the scope finishes, treating barriers and nested parallels
+    /// as errors — the mode for host-level and block-level straight-line
+    /// code outside parallel loops.
+    pub fn run_serial(&mut self, cx: &mut StepCx<'_>) -> Result<(), SimError> {
+        loop {
+            match self.step(cx)? {
+                StepEvent::Ran => {}
+                StepEvent::Done => return Ok(()),
+                StepEvent::Barrier => return Err(SimError::new("barrier outside thread scope")),
+                StepEvent::Launch(_) => return Err(SimError::new("nested parallel in serial scope")),
+            }
+        }
+    }
+
+    /// Runs until a barrier, a nested parallel, or completion.
+    pub fn run_phase(&mut self, cx: &mut StepCx<'_>) -> Result<StepEvent, SimError> {
+        loop {
+            match self.step(cx)? {
+                StepEvent::Ran => {}
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Executes one operation.
+    pub fn step(&mut self, cx: &mut StepCx<'_>) -> Result<StepEvent, SimError> {
+        if self.done {
+            return Ok(StepEvent::Done);
+        }
+        let func = self.func;
+        let frame = *self.frames.last().expect("non-done interpreter has frames");
+        let ops = &func.region(frame.region).ops;
+        debug_assert!(frame.idx < ops.len(), "regions are terminator-closed");
+        let op_id = ops[frame.idx];
+        let op = func.op(op_id);
+
+        match &op.kind {
+            OpKind::Yield => {
+                self.scratch.clear();
+                for &v in &op.operands {
+                    let val = get_from(&self.store, cx.parents, v)?;
+                    self.scratch.push(val);
+                }
+                let fr = self.frames.pop().expect("frame stack non-empty");
+                match fr.kind {
+                    FrameKind::Root => {
+                        self.done = true;
+                        return Ok(StepEvent::Done);
+                    }
+                    FrameKind::For { op: for_op, iv, ub, step } => {
+                        // Loop back-edge: one branch issue.
+                        if let Some(c) = cx.counters.as_deref_mut() {
+                            c.bump(op_id);
+                        }
+                        let next = iv + step;
+                        let body = func.op(for_op).regions[0];
+                        let args = &func.region(body).args;
+                        if next < ub {
+                            self.store.set(args[0], RtVal::Int(next));
+                            for (a, v) in args[1..].iter().zip(&self.scratch) {
+                                self.store.set(*a, *v);
+                            }
+                            self.frames.push(Frame {
+                                region: body,
+                                idx: 0,
+                                kind: FrameKind::For {
+                                    op: for_op,
+                                    iv: next,
+                                    ub,
+                                    step,
+                                },
+                            });
+                        } else {
+                            let results = &func.op(for_op).results;
+                            for (r, v) in results.iter().zip(&self.scratch) {
+                                self.store.set(*r, *v);
+                            }
+                        }
+                    }
+                    FrameKind::If { op: if_op } => {
+                        let results = &func.op(if_op).results;
+                        for (r, v) in results.iter().zip(&self.scratch) {
+                            self.store.set(*r, *v);
+                        }
+                    }
+                    FrameKind::Alt => {}
+                    FrameKind::WhileCond { .. } => {
+                        return Err(SimError::new("while condition region must end in `condition`"))
+                    }
+                    FrameKind::WhileBody { op: while_op } => {
+                        let cond_region = func.op(while_op).regions[0];
+                        let args = &func.region(cond_region).args;
+                        for (a, v) in args.iter().zip(&self.scratch) {
+                            self.store.set(*a, *v);
+                        }
+                        self.frames.push(Frame {
+                            region: cond_region,
+                            idx: 0,
+                            kind: FrameKind::WhileCond { op: while_op },
+                        });
+                    }
+                }
+                return Ok(StepEvent::Ran);
+            }
+            OpKind::Condition => {
+                let flag = self.get(cx, op.operands[0])?.as_int() != 0;
+                self.scratch.clear();
+                for &v in &op.operands[1..] {
+                    let val = get_from(&self.store, cx.parents, v)?;
+                    self.scratch.push(val);
+                }
+                let fr = self.frames.pop().expect("frame stack non-empty");
+                let while_op = match fr.kind {
+                    FrameKind::WhileCond { op } => op,
+                    _ => return Err(SimError::new("`condition` outside while condition region")),
+                };
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                if flag {
+                    let body = func.op(while_op).regions[1];
+                    let args = &func.region(body).args;
+                    for (a, v) in args.iter().zip(&self.scratch) {
+                        self.store.set(*a, *v);
+                    }
+                    self.frames.push(Frame {
+                        region: body,
+                        idx: 0,
+                        kind: FrameKind::WhileBody { op: while_op },
+                    });
+                } else {
+                    let results = &func.op(while_op).results;
+                    for (r, v) in results.iter().zip(&self.scratch) {
+                        self.store.set(*r, *v);
+                    }
+                }
+                return Ok(StepEvent::Ran);
+            }
+            OpKind::Return => {
+                self.done = true;
+                return Ok(StepEvent::Done);
+            }
+            _ => {}
+        }
+
+        // Non-terminator: advance the program counter first so suspension
+        // resumes *after* the op.
+        self.frames.last_mut().expect("frame stack non-empty").idx += 1;
+
+        match &op.kind {
+            OpKind::Barrier { .. } => {
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                Ok(StepEvent::Barrier)
+            }
+            OpKind::Parallel { .. } => Ok(StepEvent::Launch(op_id)),
+            OpKind::For => {
+                let lb = self.get(cx, op.operands[0])?.as_int();
+                let ub = self.get(cx, op.operands[1])?.as_int();
+                let step = self.get(cx, op.operands[2])?.as_int();
+                if step <= 0 {
+                    return Err(SimError::new("for loop step must be positive"));
+                }
+                self.scratch.clear();
+                for &v in &op.operands[3..] {
+                    let val = get_from(&self.store, cx.parents, v)?;
+                    self.scratch.push(val);
+                }
+                let body = op.regions[0];
+                if lb < ub {
+                    let args = &func.region(body).args;
+                    self.store.set(args[0], RtVal::Int(lb));
+                    for (a, v) in args[1..].iter().zip(&self.scratch) {
+                        self.store.set(*a, *v);
+                    }
+                    self.frames.push(Frame {
+                        region: body,
+                        idx: 0,
+                        kind: FrameKind::For {
+                            op: op_id,
+                            iv: lb,
+                            ub,
+                            step,
+                        },
+                    });
+                } else {
+                    let results = &func.op(op_id).results;
+                    for (r, v) in results.iter().zip(&self.scratch) {
+                        self.store.set(*r, *v);
+                    }
+                }
+                Ok(StepEvent::Ran)
+            }
+            OpKind::While => {
+                self.scratch.clear();
+                for &v in &op.operands {
+                    let val = get_from(&self.store, cx.parents, v)?;
+                    self.scratch.push(val);
+                }
+                let cond_region = op.regions[0];
+                let args = &func.region(cond_region).args;
+                for (a, v) in args.iter().zip(&self.scratch) {
+                    self.store.set(*a, *v);
+                }
+                self.frames.push(Frame {
+                    region: cond_region,
+                    idx: 0,
+                    kind: FrameKind::WhileCond { op: op_id },
+                });
+                Ok(StepEvent::Ran)
+            }
+            OpKind::If => {
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                let cond = self.get(cx, op.operands[0])?.as_int() != 0;
+                let region = op.regions[if cond { 0 } else { 1 }];
+                self.frames.push(Frame {
+                    region,
+                    idx: 0,
+                    kind: FrameKind::If { op: op_id },
+                });
+                Ok(StepEvent::Ran)
+            }
+            OpKind::Alternatives { selected } => {
+                let region = op.regions[selected.unwrap_or(0)];
+                self.frames.push(Frame {
+                    region,
+                    idx: 0,
+                    kind: FrameKind::Alt,
+                });
+                Ok(StepEvent::Ran)
+            }
+            OpKind::Call { callee } => Err(SimError::new(format!(
+                "call to @{callee}: the simulator requires fully inlined kernels"
+            ))),
+            _ => {
+                self.exec_simple(cx, op_id)?;
+                Ok(StepEvent::Ran)
+            }
+        }
+    }
+
+    fn exec_simple(&mut self, cx: &mut StepCx<'_>, op_id: OpId) -> Result<(), SimError> {
+        // Borrow through a copied `&Function` so `self.store` stays mutable
+        // without cloning the operation on the hot path.
+        let func = self.func;
+        let op = func.op(op_id);
+        match &op.kind {
+            OpKind::ConstInt { value, .. } => {
+                self.store.set(op.results[0], RtVal::Int(*value));
+            }
+            OpKind::ConstFloat { value, ty } => {
+                let v = if *ty == ScalarType::F32 { *value as f32 as f64 } else { *value };
+                self.store.set(op.results[0], RtVal::Float(v));
+            }
+            OpKind::Binary(b) => {
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                let ty = self.scalar_ty(op.results[0]);
+                let l = self.get(cx, op.operands[0])?;
+                let r = self.get(cx, op.operands[1])?;
+                let result = eval_binary(*b, ty, l, r)?;
+                self.store.set(op.results[0], result);
+            }
+            OpKind::Unary(u) => {
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                let ty = self.scalar_ty(op.results[0]);
+                let v = self.get(cx, op.operands[0])?;
+                let result = eval_unary(*u, ty, v)?;
+                self.store.set(op.results[0], result);
+            }
+            OpKind::Cmp(p) => {
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                let ty = self.scalar_ty(op.operands[0]);
+                let l = self.get(cx, op.operands[0])?;
+                let r = self.get(cx, op.operands[1])?;
+                let flag = if ty.is_float() {
+                    let (a, b) = (l.as_float(), r.as_float());
+                    match p {
+                        CmpPred::Eq => a == b,
+                        CmpPred::Ne => a != b,
+                        CmpPred::Lt => a < b,
+                        CmpPred::Le => a <= b,
+                        CmpPred::Gt => a > b,
+                        CmpPred::Ge => a >= b,
+                    }
+                } else {
+                    let (a, b) = (l.as_int(), r.as_int());
+                    match p {
+                        CmpPred::Eq => a == b,
+                        CmpPred::Ne => a != b,
+                        CmpPred::Lt => a < b,
+                        CmpPred::Le => a <= b,
+                        CmpPred::Gt => a > b,
+                        CmpPred::Ge => a >= b,
+                    }
+                };
+                self.store.set(op.results[0], RtVal::Int(flag as i64));
+            }
+            OpKind::Select => {
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    c.bump(op_id);
+                }
+                let flag = self.get(cx, op.operands[0])?.as_int() != 0;
+                let v = self.get(cx, op.operands[if flag { 1 } else { 2 }])?;
+                self.store.set(op.results[0], v);
+            }
+            OpKind::Cast { to } => {
+                let from = self.scalar_ty(op.operands[0]);
+                let v = self.get(cx, op.operands[0])?;
+                let out = cast_value(v, from, *to);
+                self.store.set(op.results[0], out);
+            }
+            OpKind::Alloc { space } => {
+                let mem_ty = self
+                    .func
+                    .value_type(op.results[0])
+                    .as_memref()
+                    .expect("alloc produces a memref")
+                    .clone();
+                let mut dims = [1i64; 3];
+                let mut operand_iter = op.operands.iter();
+                for (d, &extent) in mem_ty.shape.iter().enumerate() {
+                    dims[d] = if extent < 0 {
+                        self.get(cx, *operand_iter.next().expect("verified dynamic dim operand"))?
+                            .as_int()
+                    } else {
+                        extent
+                    };
+                    if dims[d] < 0 {
+                        return Err(SimError::new("negative allocation extent"));
+                    }
+                }
+                let total: i64 = dims.iter().take(mem_ty.rank().max(1)).product();
+                let buf = cx.mem.alloc(mem_ty.elem, total.max(0) as usize);
+                if let Some(rec) = cx.record_allocs.as_deref_mut() {
+                    rec.push(buf);
+                }
+                self.store.set(
+                    op.results[0],
+                    RtVal::Mem(MemVal::new(buf, mem_ty.rank() as u8, dims, *space)),
+                );
+            }
+            OpKind::Load => {
+                let mem = self.get(cx, op.operands[0])?.as_mem();
+                let mut idx = [0i64; 3];
+                for (d, &v) in op.operands[1..].iter().enumerate() {
+                    idx[d] = self.get(cx, v)?.as_int();
+                }
+                let flat = mem
+                    .flatten(&idx[..mem.rank as usize])
+                    .ok_or_else(|| SimError::new(format!("out-of-bounds load at {op_id:?}: index {idx:?} in {:?}", mem)))?;
+                let elem = cx.mem.elem_type(mem.buf);
+                let (f, i) = cx
+                    .mem
+                    .load_scalar(mem.buf, flat)
+                    .ok_or_else(|| SimError::new(format!("out-of-bounds load at {op_id:?}")))?;
+                let v = if elem.is_float() { RtVal::Float(f) } else { RtVal::Int(i) };
+                self.store.set(op.results[0], v);
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    let occ = c.bump(op_id);
+                    c.events.push(MemEvent {
+                        op: op_id.index() as u32,
+                        occ,
+                        addr: cx.mem.base_addr(mem.buf) + flat as u64 * elem.size_bytes(),
+                        bytes: elem.size_bytes() as u8,
+                        space: mem.space,
+                        is_store: false,
+                    });
+                }
+            }
+            OpKind::Store => {
+                let val = self.get(cx, op.operands[0])?;
+                let mem = self.get(cx, op.operands[1])?.as_mem();
+                let mut idx = [0i64; 3];
+                for (d, &v) in op.operands[2..].iter().enumerate() {
+                    idx[d] = self.get(cx, v)?.as_int();
+                }
+                let flat = mem
+                    .flatten(&idx[..mem.rank as usize])
+                    .ok_or_else(|| SimError::new(format!("out-of-bounds store at {op_id:?}: index {idx:?} in {:?}", mem)))?;
+                let elem = cx.mem.elem_type(mem.buf);
+                let (f, i) = match val {
+                    RtVal::Float(f) => (f, 0),
+                    RtVal::Int(i) => (0.0, i),
+                    RtVal::Mem(_) => return Err(SimError::new("cannot store a memref")),
+                };
+                if !cx.mem.store_scalar(mem.buf, flat, f, i) {
+                    return Err(SimError::new(format!("out-of-bounds store at {op_id:?}")));
+                }
+                if let Some(c) = cx.counters.as_deref_mut() {
+                    let occ = c.bump(op_id);
+                    c.events.push(MemEvent {
+                        op: op_id.index() as u32,
+                        occ,
+                        addr: cx.mem.base_addr(mem.buf) + flat as u64 * elem.size_bytes(),
+                        bytes: elem.size_bytes() as u8,
+                        space: mem.space,
+                        is_store: true,
+                    });
+                }
+            }
+            OpKind::Dim { index } => {
+                let mem = self.get(cx, op.operands[0])?.as_mem();
+                self.store.set(op.results[0], RtVal::Int(mem.dim(*index)));
+            }
+            other => return Err(SimError::new(format!("unhandled op kind {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, SimError> {
+    if ty.is_float() {
+        let (a, c) = (l.as_float(), r.as_float());
+        let wide = match b {
+            BinOp::Add => a + c,
+            BinOp::Sub => a - c,
+            BinOp::Mul => a * c,
+            BinOp::Div => a / c,
+            BinOp::Rem => a % c,
+            BinOp::Min => a.min(c),
+            BinOp::Max => a.max(c),
+            BinOp::Pow => a.powf(c),
+            other => return Err(SimError::new(format!("{other:?} on floats"))),
+        };
+        let out = if ty == ScalarType::F32 { wide as f32 as f64 } else { wide };
+        Ok(RtVal::Float(out))
+    } else {
+        let (a, c) = (l.as_int(), r.as_int());
+        let wide = match b {
+            BinOp::Add => a.wrapping_add(c),
+            BinOp::Sub => a.wrapping_sub(c),
+            BinOp::Mul => a.wrapping_mul(c),
+            BinOp::Div => {
+                if c == 0 {
+                    return Err(SimError::new("integer division by zero"));
+                }
+                a.wrapping_div(c)
+            }
+            BinOp::Rem => {
+                if c == 0 {
+                    return Err(SimError::new("integer remainder by zero"));
+                }
+                a.wrapping_rem(c)
+            }
+            BinOp::And => a & c,
+            BinOp::Or => a | c,
+            BinOp::Xor => a ^ c,
+            BinOp::Shl => a.wrapping_shl(c as u32 & 63),
+            BinOp::Shr => a.wrapping_shr(c as u32 & 63),
+            BinOp::Min => a.min(c),
+            BinOp::Max => a.max(c),
+            BinOp::Pow => return Err(SimError::new("pow on integers")),
+        };
+        Ok(RtVal::Int(truncate_int(wide, ty)))
+    }
+}
+
+fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
+    if ty.is_float() {
+        let a = v.as_float();
+        let wide = match u {
+            UnOp::Neg => -a,
+            UnOp::Abs => a.abs(),
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Rsqrt => 1.0 / a.sqrt(),
+            UnOp::Exp => a.exp(),
+            UnOp::Log => a.ln(),
+            UnOp::Sin => a.sin(),
+            UnOp::Cos => a.cos(),
+            UnOp::Tanh => a.tanh(),
+            UnOp::Floor => a.floor(),
+            UnOp::Ceil => a.ceil(),
+            UnOp::Not => return Err(SimError::new("logical not on a float")),
+        };
+        let out = if ty == ScalarType::F32 { wide as f32 as f64 } else { wide };
+        Ok(RtVal::Float(out))
+    } else {
+        let a = v.as_int();
+        let out = match u {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Abs => a.wrapping_abs(),
+            UnOp::Not => {
+                if ty == ScalarType::I1 {
+                    (a == 0) as i64
+                } else {
+                    !a
+                }
+            }
+            other => return Err(SimError::new(format!("{other:?} on integers"))),
+        };
+        Ok(RtVal::Int(truncate_int(out, ty)))
+    }
+}
+
+fn truncate_int(v: i64, ty: ScalarType) -> i64 {
+    match ty {
+        ScalarType::I1 => v & 1,
+        ScalarType::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn cast_value(v: RtVal, from: ScalarType, to: ScalarType) -> RtVal {
+    match (from.is_float(), to.is_float()) {
+        (true, true) => {
+            let f = v.as_float();
+            RtVal::Float(if to == ScalarType::F32 { f as f32 as f64 } else { f })
+        }
+        (true, false) => RtVal::Int(truncate_int(v.as_float() as i64, to)),
+        (false, true) => {
+            let f = v.as_int() as f64;
+            RtVal::Float(if to == ScalarType::F32 { f as f32 as f64 } else { f })
+        }
+        (false, false) => RtVal::Int(truncate_int(v.as_int(), to)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+
+    fn run_serial_func(src: &str, bind: impl FnOnce(&Function, &mut Store, &mut DeviceMemory)) -> (DeviceMemory, Store) {
+        let func = parse_function(src).unwrap();
+        respec_ir::verify_function(&func).unwrap();
+        let mut mem = DeviceMemory::new();
+        let mut interp = Interp::new(&func, func.body());
+        bind(&func, &mut interp.store, &mut mem);
+        let mut cx = StepCx {
+            mem: &mut mem,
+            parents: &[],
+            counters: None,
+            record_allocs: None,
+        };
+        interp.run_serial(&mut cx).unwrap();
+        (mem, interp.store)
+    }
+
+    #[test]
+    fn executes_arithmetic_and_loop() {
+        // sum of 0..10 into a buffer
+        let src = "func @f(%m: memref<?xi32, global>) {
+  %c0 = const 0 : index
+  %c10 = const 10 : index
+  %c1 = const 1 : index
+  %z = const 0 : i32
+  %s = for %i = %c0 to %c10 step %c1 iter (%acc = %z) {
+    %ii = cast %i : i32
+    %nx = add %acc, %ii : i32
+    yield %nx
+  }
+  store %s, %m[%c0]
+  return
+}";
+        let (mem, _) = run_serial_func(src, |func, store, mem| {
+            let buf = mem.alloc(ScalarType::I32, 1);
+            store.set(
+                func.params()[0],
+                RtVal::Mem(MemVal::new(buf, 1, [1, 1, 1], MemSpace::Global)),
+            );
+        });
+        assert_eq!(mem.read_i32(BufferIdHelper::id(0)), vec![45]);
+    }
+
+    /// Test-only accessor because BufferId construction is crate-private.
+    struct BufferIdHelper;
+    impl BufferIdHelper {
+        fn id(i: u32) -> crate::memory::BufferId {
+            crate::memory::BufferId(i)
+        }
+    }
+
+    #[test]
+    fn executes_while_and_if() {
+        // x = 1; while (x < 100) x *= 2  ⇒ 128; if (x > 100) m[0]=x else m[0]=0
+        let src = "func @f(%m: memref<?xi32, global>) {
+  %c0 = const 0 : index
+  %c1 = const 1 : i32
+  %c100 = const 100 : i32
+  %c2 = const 2 : i32
+  %x = while (%a = %c1) {
+    %c = cmp lt %a, %c100
+    condition %c, %a
+  } do (%bv) {
+    %nx = mul %bv, %c2 : i32
+    yield %nx
+  }
+  %big = cmp gt %x, %c100
+  %r = if %big {
+    yield %x
+  } else {
+    %z = const 0 : i32
+    yield %z
+  }
+  store %r, %m[%c0]
+  return
+}";
+        let (mem, _) = run_serial_func(src, |func, store, mem| {
+            let buf = mem.alloc(ScalarType::I32, 1);
+            store.set(
+                func.params()[0],
+                RtVal::Mem(MemVal::new(buf, 1, [1, 1, 1], MemSpace::Global)),
+            );
+        });
+        assert_eq!(mem.read_i32(BufferIdHelper::id(0)), vec![128]);
+    }
+
+    #[test]
+    fn f32_math_rounds_to_single_precision() {
+        let src = "func @f(%m: memref<?xf32, global>) {
+  %c0 = const 0 : index
+  %a = fconst 16777216.0 : f32
+  %b = fconst 1.0 : f32
+  %s = add %a, %b : f32
+  store %s, %m[%c0]
+  return
+}";
+        let (mem, _) = run_serial_func(src, |func, store, mem| {
+            let buf = mem.alloc(ScalarType::F32, 1);
+            store.set(
+                func.params()[0],
+                RtVal::Mem(MemVal::new(buf, 1, [1, 1, 1], MemSpace::Global)),
+            );
+        });
+        // 2^24 + 1 is not representable in f32: must round back to 2^24.
+        assert_eq!(mem.read_f32(BufferIdHelper::id(0)), vec![16777216.0]);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let func = parse_function(
+            "func @f() {\n  %a = const 1 : i32\n  %b = const 0 : i32\n  %c = div %a, %b : i32\n  return\n}",
+        )
+        .unwrap();
+        let mut mem = DeviceMemory::new();
+        let mut interp = Interp::new(&func, func.body());
+        let mut cx = StepCx {
+            mem: &mut mem,
+            parents: &[],
+            counters: None,
+            record_allocs: None,
+        };
+        let err = interp.run_serial(&mut cx).unwrap_err();
+        assert!(err.message.contains("division by zero"));
+    }
+
+    #[test]
+    fn counters_record_issue_and_events() {
+        let src = "func @f(%m: memref<?xf32, global>) {
+  %c0 = const 0 : index
+  %c4 = const 4 : index
+  %c1 = const 1 : index
+  for %i = %c0 to %c4 step %c1 {
+    %v = load %m[%i] : f32
+    %w = add %v, %v : f32
+    store %w, %m[%i]
+    yield
+  }
+  return
+}";
+        let func = parse_function(src).unwrap();
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(&[1.0, 2.0, 3.0, 4.0]);
+        let mut interp = Interp::new(&func, func.body());
+        interp.store.set(
+            func.params()[0],
+            RtVal::Mem(MemVal::new(buf, 1, [4, 1, 1], MemSpace::Global)),
+        );
+        let mut counters = ThreadCounters::new(func.num_ops());
+        let mut cx = StepCx {
+            mem: &mut mem,
+            parents: &[],
+            counters: Some(&mut counters),
+            record_allocs: None,
+        };
+        interp.run_serial(&mut cx).unwrap();
+        // 4 loads + 4 stores with increasing occurrence numbers.
+        let loads: Vec<_> = counters.events.iter().filter(|e| !e.is_store).collect();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads[0].occ, 0);
+        assert_eq!(loads[3].occ, 3);
+        assert_eq!(loads[1].addr - loads[0].addr, 4);
+        assert_eq!(mem.read_f32(buf), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn barrier_suspends_and_resumes() {
+        let src = "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c1 = const 1 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c1) {
+      %v = load %m[%t] : f32
+      barrier<thread>
+      store %v, %m[%t]
+      yield
+    }
+    yield
+  }
+  return
+}";
+        let func = parse_function(src).unwrap();
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(&[5.0]);
+        // Manually drive into the thread region.
+        let launches = respec_ir::kernel::analyze_function(&func).unwrap();
+        let thread_region = func.op(launches[0].thread_par).regions[0];
+        let tid = func.region(thread_region).args[0];
+        let mut host = Store::new(func.num_values());
+        host.set(
+            func.params()[1],
+            RtVal::Mem(MemVal::new(buf, 1, [1, 1, 1], MemSpace::Global)),
+        );
+        let mut interp = Interp::new(&func, thread_region);
+        interp.store.set(tid, RtVal::Int(0));
+        let mut cx = StepCx {
+            mem: &mut mem,
+            parents: &[&host],
+            counters: None,
+            record_allocs: None,
+        };
+        let ev = interp.run_phase(&mut cx).unwrap();
+        assert_eq!(ev, StepEvent::Barrier);
+        let ev = interp.run_phase(&mut cx).unwrap();
+        assert_eq!(ev, StepEvent::Done);
+        assert!(interp.is_done());
+    }
+}

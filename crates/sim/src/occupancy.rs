@@ -1,0 +1,221 @@
+//! GPU occupancy calculation (§II-A3 of the paper).
+
+use std::fmt;
+
+use crate::target::TargetDesc;
+
+/// Per-block resource requirements of a kernel configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Threads per block.
+    pub threads: u32,
+    /// Registers per thread (from the backend estimate).
+    pub regs_per_thread: u32,
+    /// Static shared memory per block in bytes.
+    pub shared_bytes: u64,
+}
+
+/// Which resource limits the number of resident blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// Resident thread limit.
+    Threads,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+    /// Hardware resident-block limit.
+    Blocks,
+}
+
+impl fmt::Display for Limiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Limiter::Threads => "threads",
+            Limiter::Registers => "registers",
+            Limiter::SharedMemory => "shared memory",
+            Limiter::Blocks => "resident blocks",
+        })
+    }
+}
+
+/// Result of the occupancy calculation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident on one SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident on one SM (threads padded to full warps).
+    pub active_warps_per_sm: u32,
+    /// `active_threads / max_threads_per_SM` (the paper's definition).
+    pub occupancy: f64,
+    /// The binding resource.
+    pub limiter: Limiter,
+}
+
+/// Why a configuration cannot run at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Infeasible {
+    /// Block exceeds the per-block thread limit.
+    TooManyThreads { threads: u32, max: u32 },
+    /// Block exceeds the per-block shared memory limit.
+    TooMuchShared { bytes: u64, max: u64 },
+    /// Per-thread register demand exceeds the architectural maximum even
+    /// after spilling everything spillable.
+    TooManyRegisters { regs: u32, max: u32 },
+}
+
+impl fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Infeasible::TooManyThreads { threads, max } => {
+                write!(f, "block of {threads} threads exceeds the limit of {max}")
+            }
+            Infeasible::TooMuchShared { bytes, max } => {
+                write!(f, "block uses {bytes} B of shared memory, limit is {max} B")
+            }
+            Infeasible::TooManyRegisters { regs, max } => {
+                write!(f, "kernel needs {regs} registers per thread, limit is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// Computes the occupancy of a kernel configuration on a target.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] when the block cannot be scheduled at all.
+pub fn occupancy(target: &TargetDesc, res: BlockResources) -> Result<Occupancy, Infeasible> {
+    if res.threads > target.max_threads_per_block {
+        return Err(Infeasible::TooManyThreads {
+            threads: res.threads,
+            max: target.max_threads_per_block,
+        });
+    }
+    if res.shared_bytes > target.shared_per_block {
+        return Err(Infeasible::TooMuchShared {
+            bytes: res.shared_bytes,
+            max: target.shared_per_block,
+        });
+    }
+    if res.regs_per_thread > target.max_regs_per_thread {
+        return Err(Infeasible::TooManyRegisters {
+            regs: res.regs_per_thread,
+            max: target.max_regs_per_thread,
+        });
+    }
+    // Threads are scheduled in full warps.
+    let warps_per_block = res.threads.div_ceil(target.warp_size);
+    let padded_threads = warps_per_block * target.warp_size;
+
+    let by_threads = target.max_threads_per_sm / padded_threads.max(1);
+    // Register allocation granularity: registers are allocated per warp in
+    // units of 8 regs/thread (simplified ptxas behaviour).
+    let regs_per_thread_alloc = res.regs_per_thread.max(16).div_ceil(8) * 8;
+    let by_regs = target.regs_per_sm / (regs_per_thread_alloc * padded_threads).max(1);
+    let by_shared = if res.shared_bytes == 0 {
+        u32::MAX
+    } else {
+        (target.shared_per_sm / res.shared_bytes) as u32
+    };
+    let by_blocks = target.max_blocks_per_sm;
+
+    let (blocks_per_sm, limiter) = [
+        (by_threads, Limiter::Threads),
+        (by_regs, Limiter::Registers),
+        (by_shared, Limiter::SharedMemory),
+        (by_blocks, Limiter::Blocks),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("candidate list is non-empty");
+
+    let blocks_per_sm = blocks_per_sm.max(1).min(by_threads.max(1));
+    let active_warps = blocks_per_sm * warps_per_block;
+    Ok(Occupancy {
+        blocks_per_sm,
+        active_warps_per_sm: active_warps,
+        occupancy: (blocks_per_sm * padded_threads) as f64 / target.max_threads_per_sm as f64,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{a100, a4000};
+
+    fn res(threads: u32, regs: u32, shared: u64) -> BlockResources {
+        BlockResources {
+            threads,
+            regs_per_thread: regs,
+            shared_bytes: shared,
+        }
+    }
+
+    #[test]
+    fn full_occupancy_with_light_blocks() {
+        let o = occupancy(&a100(), res(256, 32, 0)).unwrap();
+        assert_eq!(o.blocks_per_sm, 8);
+        assert!((o.occupancy - 1.0).abs() < 1e-9);
+        assert_eq!(o.limiter, Limiter::Threads);
+    }
+
+    #[test]
+    fn registers_limit_occupancy() {
+        let o = occupancy(&a100(), res(256, 128, 0)).unwrap();
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert!(o.occupancy < 1.0);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        // 40 KiB/block on A100: 164 KiB/SM fits 4 blocks; threads allow 8.
+        let o = occupancy(&a100(), res(256, 32, 40 * 1024)).unwrap();
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        assert_eq!(o.blocks_per_sm, 4);
+    }
+
+    #[test]
+    fn subwarp_blocks_pad_to_full_warps() {
+        // 16-thread blocks occupy a full 32-lane warp each (gaussian's case).
+        let o = occupancy(&a100(), res(16, 32, 0)).unwrap();
+        assert_eq!(o.active_warps_per_sm, o.blocks_per_sm);
+        assert_eq!(o.blocks_per_sm, 32); // resident-block limit binds first
+        assert_eq!(o.limiter, Limiter::Blocks);
+        // Only 32*32=1024 of 2048 thread slots are usable: occupancy 50%,
+        // and half of each warp's lanes are wasted on top of that.
+        assert!(o.occupancy <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_configurations_are_rejected() {
+        assert!(matches!(
+            occupancy(&a100(), res(2048, 32, 0)),
+            Err(Infeasible::TooManyThreads { .. })
+        ));
+        assert!(matches!(
+            occupancy(&a100(), res(256, 32, 100 * 1024)),
+            Err(Infeasible::TooMuchShared { .. })
+        ));
+        assert!(matches!(
+            occupancy(&a100(), res(256, 300, 0)),
+            Err(Infeasible::TooManyRegisters { .. })
+        ));
+    }
+
+    #[test]
+    fn coarsening_shared_memory_reduces_occupancy_monotonically() {
+        // Block coarsening duplicates shared allocations (§V-C): occupancy
+        // must be non-increasing in shared bytes.
+        let t = a4000();
+        let mut last = u32::MAX;
+        for factor in [1u64, 2, 4, 8] {
+            let o = occupancy(&t, res(256, 32, 4 * 1024 * factor)).unwrap();
+            assert!(o.blocks_per_sm <= last);
+            last = o.blocks_per_sm;
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Target GPU descriptors.
+//!
+//! The four GPUs of Table I in the paper, transcribed into the resource and
+//! throughput parameters the occupancy calculator and timing model consume.
+//! Retargeting a kernel from NVIDIA to AMD is — exactly as in the paper —
+//! nothing more than compiling the same IR against a different descriptor.
+
+/// GPU vendor, which determines the execution-width conventions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// CUDA-style: 32-thread warps.
+    Nvidia,
+    /// ROCm-style: 64-thread wavefronts.
+    Amd,
+}
+
+/// A GPU target description: occupancy-limiting resources (§II-A3) plus
+/// execution resources for the timing model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TargetDesc {
+    /// Marketing name, e.g. `"NVIDIA A100"`.
+    pub name: &'static str,
+    /// Vendor (decides warp vs wavefront width).
+    pub vendor: Vendor,
+    /// Threads per warp/wavefront.
+    pub warp_size: u32,
+    /// Number of streaming multiprocessors (compute units).
+    pub sm_count: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+
+    // ---- occupancy-limiting resources (per SM) ----
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum registers per thread before the backend must spill.
+    pub max_regs_per_thread: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_per_sm: u64,
+    /// Maximum shared memory per block in bytes.
+    pub shared_per_block: u64,
+
+    // ---- execution resources ----
+    /// Peak single-precision throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak double-precision throughput in FLOP/s.
+    pub fp64_flops: f64,
+    /// Special-function throughput (sqrt/exp/…) in op/s.
+    pub sfu_ops: f64,
+    /// Warp instruction issue slots per SM per cycle.
+    pub issue_per_sm_per_cycle: f64,
+    /// Load/store unit: global/shared access slots per SM per cycle
+    /// (warp-level requests).
+    pub lsu_per_sm_per_cycle: f64,
+    /// Shared-memory banks (bank conflicts serialize accesses).
+    pub shared_banks: u32,
+
+    // ---- memory hierarchy ----
+    /// DRAM bandwidth in bytes/s.
+    pub dram_bw: f64,
+    /// L2 bandwidth in bytes/s.
+    pub l2_bw: f64,
+    /// Total L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L1 capacity per SM in bytes.
+    pub l1_bytes: u64,
+    /// Average DRAM access latency in cycles.
+    pub dram_latency: f64,
+    /// Average L2 hit latency in cycles.
+    pub l2_latency: f64,
+    /// Average L1 hit latency in cycles.
+    pub l1_latency: f64,
+    /// Arithmetic pipeline latency in cycles.
+    pub alu_latency: f64,
+    /// Global memory size in bytes.
+    pub global_bytes: u64,
+}
+
+impl TargetDesc {
+    /// Warps per SM when fully occupied.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Peak FP32 operations per SM per cycle.
+    pub fn fp32_per_sm_cycle(&self) -> f64 {
+        self.fp32_flops / self.clock_hz / self.sm_count as f64
+    }
+
+    /// Peak FP64 operations per SM per cycle.
+    pub fn fp64_per_sm_cycle(&self) -> f64 {
+        self.fp64_flops / self.clock_hz / self.sm_count as f64
+    }
+}
+
+/// NVIDIA RTX A4000 (consumer-grade Ampere, Table I column 1).
+pub fn a4000() -> TargetDesc {
+    TargetDesc {
+        name: "NVIDIA A4000",
+        vendor: Vendor::Nvidia,
+        warp_size: 32,
+        sm_count: 48,
+        clock_hz: 1.56e9,
+        regs_per_sm: 65536,
+        max_regs_per_thread: 255,
+        max_threads_per_sm: 1536,
+        max_blocks_per_sm: 16,
+        max_threads_per_block: 1024,
+        shared_per_sm: 100 * 1024,
+        shared_per_block: 48 * 1024,
+        fp32_flops: 19.17e12,
+        fp64_flops: 0.60e12,
+        sfu_ops: 4.8e12,
+        issue_per_sm_per_cycle: 4.0,
+        lsu_per_sm_per_cycle: 4.0,
+        shared_banks: 32,
+        dram_bw: 445.0e9,
+        l2_bw: 1.5e12,
+        l2_bytes: 4 * 1024 * 1024,
+        l1_bytes: 128 * 1024,
+        dram_latency: 450.0,
+        l2_latency: 200.0,
+        l1_latency: 30.0,
+        alu_latency: 4.0,
+        global_bytes: 16 * 1024 * 1024 * 1024,
+    }
+}
+
+/// AMD Radeon RX 6800 (consumer-grade RDNA2, Table I column 2).
+pub fn rx6800() -> TargetDesc {
+    TargetDesc {
+        name: "AMD RX6800",
+        vendor: Vendor::Amd,
+        warp_size: 64,
+        sm_count: 60,
+        clock_hz: 1.82e9,
+        regs_per_sm: 65536,
+        max_regs_per_thread: 256,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 16,
+        max_threads_per_block: 1024,
+        shared_per_sm: 64 * 1024,
+        shared_per_block: 64 * 1024,
+        fp32_flops: 16.17e12,
+        fp64_flops: 1.01e12,
+        sfu_ops: 4.0e12,
+        issue_per_sm_per_cycle: 4.0,
+        lsu_per_sm_per_cycle: 4.0,
+        shared_banks: 32,
+        dram_bw: 512.0e9,
+        l2_bw: 1.2e12,
+        l2_bytes: 4 * 1024 * 1024,
+        l1_bytes: 16 * 1024,
+        dram_latency: 500.0,
+        l2_latency: 220.0,
+        l1_latency: 35.0,
+        alu_latency: 4.0,
+        global_bytes: 16 * 1024 * 1024 * 1024,
+    }
+}
+
+/// NVIDIA A100 PCIe 40 GB (HPC Ampere, Table I column 3).
+pub fn a100() -> TargetDesc {
+    TargetDesc {
+        name: "NVIDIA A100",
+        vendor: Vendor::Nvidia,
+        warp_size: 32,
+        sm_count: 108,
+        clock_hz: 1.41e9,
+        regs_per_sm: 65536,
+        max_regs_per_thread: 255,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 32,
+        max_threads_per_block: 1024,
+        shared_per_sm: 164 * 1024,
+        shared_per_block: 48 * 1024,
+        fp32_flops: 19.49e12,
+        fp64_flops: 9.75e12,
+        sfu_ops: 4.9e12,
+        issue_per_sm_per_cycle: 4.0,
+        lsu_per_sm_per_cycle: 4.0,
+        shared_banks: 32,
+        dram_bw: 1555.0e9,
+        l2_bw: 4.0e12,
+        l2_bytes: 40 * 1024 * 1024,
+        l1_bytes: 192 * 1024,
+        dram_latency: 400.0,
+        l2_latency: 180.0,
+        l1_latency: 28.0,
+        alu_latency: 4.0,
+        global_bytes: 40u64 * 1024 * 1024 * 1024,
+    }
+}
+
+/// AMD Instinct MI210 (HPC CDNA2, Table I column 4).
+pub fn mi210() -> TargetDesc {
+    TargetDesc {
+        name: "AMD MI210",
+        vendor: Vendor::Amd,
+        warp_size: 64,
+        sm_count: 104,
+        clock_hz: 1.70e9,
+        regs_per_sm: 65536,
+        max_regs_per_thread: 256,
+        max_threads_per_sm: 2048,
+        max_blocks_per_sm: 16,
+        max_threads_per_block: 1024,
+        shared_per_sm: 64 * 1024,
+        shared_per_block: 64 * 1024,
+        fp32_flops: 22.60e12,
+        fp64_flops: 22.60e12,
+        sfu_ops: 5.6e12,
+        issue_per_sm_per_cycle: 4.0,
+        lsu_per_sm_per_cycle: 4.0,
+        shared_banks: 32,
+        dram_bw: 1638.0e9,
+        l2_bw: 3.5e12,
+        l2_bytes: 16 * 1024 * 1024,
+        l1_bytes: 16 * 1024,
+        dram_latency: 480.0,
+        l2_latency: 200.0,
+        l1_latency: 35.0,
+        alu_latency: 4.0,
+        global_bytes: 64u64 * 1024 * 1024 * 1024,
+    }
+}
+
+/// All four evaluation targets in Table I order.
+pub fn all_targets() -> Vec<TargetDesc> {
+    vec![a4000(), rx6800(), a100(), mi210()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_targets_have_expected_identity() {
+        let ts = all_targets();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[0].sm_count, 48);
+        assert_eq!(ts[1].warp_size, 64);
+        assert_eq!(ts[2].sm_count, 108);
+        assert_eq!(ts[3].vendor, Vendor::Amd);
+    }
+
+    #[test]
+    fn amd_has_wider_wavefronts_than_nvidia() {
+        assert_eq!(a100().warp_size, 32);
+        assert_eq!(mi210().warp_size, 64);
+    }
+
+    #[test]
+    fn a100_beats_a4000_on_bandwidth_and_fp64() {
+        assert!(a100().dram_bw > a4000().dram_bw);
+        assert!(a100().fp64_flops > a4000().fp64_flops);
+    }
+
+    #[test]
+    fn rx6800_has_tiny_l1_compared_to_a4000() {
+        // This asymmetry drives the paper's `nw` analysis (§VII-D2).
+        assert!(rx6800().l1_bytes * 4 < a4000().l1_bytes);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let t = a100();
+        assert_eq!(t.max_warps_per_sm(), 64);
+        assert!(t.fp32_per_sm_cycle() > 0.0);
+        assert!(t.fp64_per_sm_cycle() > 0.0);
+    }
+}

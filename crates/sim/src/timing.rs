@@ -1,0 +1,303 @@
+//! Analytic SM timing model.
+//!
+//! The model bounds kernel time by the most-contended resource, with a
+//! latency term that captures the occupancy-dependent ability of the SM to
+//! hide instruction latency (the core of the paper's coarsening trade-off
+//! analysis, §V-C):
+//!
+//! ```text
+//! cycles = max( issue, int, fp32, fp64, sfu, lsu, l2, dram, latency )
+//! latency = Σ issues·latency(class) · κ / active_warps_per_sm
+//! ```
+//!
+//! * *Throughput terms* charge full warp slots, so sub-warp blocks (e.g.
+//!   16-thread `gaussian` blocks) waste lanes — coarsening them helps.
+//! * The *latency term* shrinks with more resident warps, so register- or
+//!   shared-memory-induced occupancy loss (from over-coarsening) hurts.
+//! * DRAM/L2 terms are global-bandwidth bounds, so destroyed coalescing
+//!   (naive thread-coarsening indexing) inflates sectors and time.
+
+use crate::interp::InstClass;
+use crate::occupancy::Occupancy;
+use crate::stats::ExecStats;
+use crate::target::TargetDesc;
+
+/// Fraction of instruction latency that dependent instructions actually
+/// expose (the rest is hidden by instruction-level parallelism within a
+/// warp).
+const DEPENDENCY_FACTOR: f64 = 0.25;
+
+/// Fixed host-side cost per kernel launch in seconds (driver + dispatch).
+pub const LAUNCH_OVERHEAD_S: f64 = 4.0e-6;
+
+/// In-flight memory requests per SM needed to keep DRAM at peak bandwidth
+/// (Little's law: enough requests must be outstanding to cover the access
+/// latency). The proxy for per-warp outstanding requests is the launch's
+/// average memory issues per warp, so coarsening — which concentrates the
+/// same requests into fewer warps — does not lose memory-level
+/// parallelism, while register-pressure-induced occupancy loss does.
+const REQUESTS_FOR_PEAK_DRAM: f64 = 384.0;
+
+/// In-flight requests per SM needed to saturate the L2.
+const REQUESTS_FOR_PEAK_L2: f64 = 192.0;
+
+/// Per-warp instruction-stream length at which the dependency factor is
+/// calibrated; longer streams (e.g. interleaved coarsening instances) get
+/// proportionally more instruction-level parallelism.
+const BASELINE_ISSUES_PER_WARP: f64 = 64.0;
+
+/// Fixed per-block cost in cycles (dispatch, parameter load, tail drain).
+/// Grids of many tiny blocks pay this in full — the inefficiency the
+/// paper's `gaussian` exhibits and block coarsening removes (§VII-C).
+const BLOCK_SETUP_CYCLES: f64 = 100.0;
+
+/// Breakdown of the estimated kernel time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Timing {
+    /// Instruction issue-slot cycles.
+    pub issue_cycles: f64,
+    /// Integer ALU cycles.
+    pub int_cycles: f64,
+    /// FP32 pipeline cycles.
+    pub fp32_cycles: f64,
+    /// FP64 pipeline cycles.
+    pub fp64_cycles: f64,
+    /// Special function unit cycles.
+    pub sfu_cycles: f64,
+    /// Load/store unit cycles (global requests + shared incl. conflicts).
+    pub lsu_cycles: f64,
+    /// L2 bandwidth cycles.
+    pub l2_cycles: f64,
+    /// DRAM bandwidth cycles.
+    pub dram_cycles: f64,
+    /// Exposed-latency cycles given the achieved occupancy.
+    pub latency_cycles: f64,
+    /// Per-block scheduling overhead cycles (additive).
+    pub sched_cycles: f64,
+    /// The binding bound.
+    pub total_cycles: f64,
+    /// Wall-clock seconds (excluding launch overhead).
+    pub seconds: f64,
+}
+
+impl Timing {
+    /// Name of the binding resource (for reports).
+    pub fn bound_by(&self) -> &'static str {
+        let candidates = [
+            (self.issue_cycles, "issue"),
+            (self.int_cycles, "int-alu"),
+            (self.fp32_cycles, "fp32"),
+            (self.fp64_cycles, "fp64"),
+            (self.sfu_cycles, "sfu"),
+            (self.lsu_cycles, "lsu"),
+            (self.l2_cycles, "l2-bandwidth"),
+            (self.dram_cycles, "dram-bandwidth"),
+            (self.latency_cycles, "latency"),
+        ];
+        candidates
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("cycle counts are finite"))
+            .expect("candidate list is non-empty")
+            .1
+    }
+}
+
+/// Estimates the execution time of one kernel launch.
+///
+/// `blocks` is the total grid size; `stats` are the launch's aggregate
+/// counters; `occ` comes from [`crate::occupancy::occupancy`] with the
+/// backend's register estimate.
+pub fn estimate(target: &TargetDesc, stats: &ExecStats, occ: &Occupancy, blocks: u64) -> Timing {
+    let ws = target.warp_size as f64;
+    // SMs actually used: tiny grids leave SMs idle (§V-C: block coarsening
+    // can reduce the grid below the SM count).
+    let busy_sms = (blocks.min(target.sm_count as u64)).max(1) as f64;
+    // Warps actually resident on each *busy* SM: bounded both by the
+    // occupancy limit and by how many blocks there are to distribute.
+    let warps_per_block = (occ.active_warps_per_sm as f64 / occ.blocks_per_sm.max(1) as f64).max(1.0);
+    let blocks_per_busy_sm = (blocks as f64 / busy_sms).ceil().min(occ.blocks_per_sm as f64).max(1.0);
+    let active_warps = (blocks_per_busy_sm * warps_per_block).max(1.0);
+
+    let issues = |c: InstClass| stats.issues_of(c) as f64;
+
+    // ---- throughput bounds (cycles, summed over the whole launch, divided
+    // by the SMs that can work in parallel) ----
+    let issue_cycles = stats.total_issues() as f64 / (target.issue_per_sm_per_cycle * busy_sms);
+    let fp32_lanes = target.fp32_per_sm_cycle();
+    let fp64_lanes = target.fp64_per_sm_cycle().max(1e-9);
+    let sfu_lanes = target.sfu_ops / target.clock_hz / target.sm_count as f64;
+    let int_cycles = issues(InstClass::IntAlu) * ws / (fp32_lanes * busy_sms);
+    let fp32_cycles = issues(InstClass::Fp32) * ws / (fp32_lanes * busy_sms);
+    let fp64_cycles = issues(InstClass::Fp64) * ws / (fp64_lanes * busy_sms);
+    let sfu_cycles = issues(InstClass::Special) * ws / (sfu_lanes * busy_sms);
+    // The LSU processes one request per slot plus extra wavefronts for each
+    // additional 32-byte sector a request touches beyond the first four
+    // (sectored-cache throughput): destroyed coalescing costs LSU cycles
+    // even when the data eventually hits in cache.
+    let requests = (stats.global_load_requests + stats.global_store_requests) as f64;
+    let sectors = (stats.read_sectors + stats.write_sectors) as f64;
+    let sector_overflow = (sectors - requests * 4.0).max(0.0) / 4.0;
+    let lsu_requests = requests
+        + sector_overflow
+        + (stats.shared_read_requests + stats.shared_write_requests + stats.shared_conflict_extra) as f64;
+    let lsu_cycles = lsu_requests / (target.lsu_per_sm_per_cycle * busy_sms);
+
+    // ---- bandwidth bounds (whole-GPU) ----
+    // Achievable bandwidth degrades when too few warps are resident to keep
+    // enough requests in flight (the occupancy/latency-hiding coupling that
+    // drives the paper's over-coarsening cliff: more registers per thread ⇒
+    // fewer warps ⇒ less memory-level parallelism).
+    let sm_fraction = busy_sms / target.sm_count as f64;
+    let mem_issues = (issues(InstClass::GlobalMem) + issues(InstClass::SharedMem)).max(1.0);
+    let mem_per_warp = mem_issues / (stats.warps.max(1) as f64);
+    let in_flight = active_warps * mem_per_warp;
+    let dram_eff = (in_flight / REQUESTS_FOR_PEAK_DRAM).min(1.0) * sm_fraction.max(0.25);
+    let l2_eff = (in_flight / REQUESTS_FOR_PEAK_L2).min(1.0) * sm_fraction.max(0.25);
+    let l2_traffic = (stats.l2_to_l1_read_bytes() + stats.l1_to_l2_write_bytes()) as f64;
+    let l2_cycles = l2_traffic / (target.l2_bw / target.clock_hz) / l2_eff.max(1e-3);
+    let dram_cycles = stats.dram_bytes() as f64 / (target.dram_bw / target.clock_hz) / dram_eff.max(1e-3);
+
+    // ---- latency bound ----
+    // Average exposed latency per issue, weighted by where loads hit.
+    let reads = (stats.l1_read_hits + stats.l2_read_hits + stats.dram_read_sectors) as f64;
+    let mem_latency = if reads > 0.0 {
+        (stats.l1_read_hits as f64 * target.l1_latency
+            + stats.l2_read_hits as f64 * target.l2_latency
+            + stats.dram_read_sectors as f64 * target.dram_latency)
+            / reads
+    } else {
+        target.l1_latency
+    };
+    let latency_weighted = (issues(InstClass::IntAlu) + issues(InstClass::Fp32) + issues(InstClass::Fp64))
+        * target.alu_latency
+        + issues(InstClass::Special) * 2.0 * target.alu_latency
+        + issues(InstClass::GlobalMem) * mem_latency
+        + issues(InstClass::SharedMem) * target.l1_latency
+        + issues(InstClass::Branch) * target.alu_latency
+        + issues(InstClass::Barrier) * 2.0 * target.alu_latency;
+    // Exposed latency is amortized over the warps each busy SM can swap in,
+    // with an ILP credit for long per-warp streams: unroll-and-interleave
+    // lengthens each warp's stream with *independent* instances, so the
+    // exposure per instruction shrinks proportionally (§V's latency-hiding
+    // rationale for coarsening).
+    let issues_per_warp = stats.total_issues() as f64 / (stats.warps.max(1) as f64);
+    let ilp_credit = (issues_per_warp / BASELINE_ISSUES_PER_WARP).max(1.0);
+    let latency_cycles = latency_weighted * DEPENDENCY_FACTOR / busy_sms / active_warps / ilp_credit;
+
+    let max_bound = [
+        issue_cycles,
+        int_cycles,
+        fp32_cycles,
+        fp64_cycles,
+        sfu_cycles,
+        lsu_cycles,
+        l2_cycles,
+        dram_cycles,
+        latency_cycles,
+    ]
+    .into_iter()
+    .fold(0.0f64, f64::max);
+    // Block dispatch/drain does not overlap across the blocks of one SM
+    // slot: additive on top of the binding throughput bound.
+    let sched_cycles = (blocks as f64 / busy_sms) * BLOCK_SETUP_CYCLES;
+    let total_cycles = max_bound + sched_cycles;
+
+    Timing {
+        issue_cycles,
+        int_cycles,
+        fp32_cycles,
+        fp64_cycles,
+        sfu_cycles,
+        lsu_cycles,
+        l2_cycles,
+        dram_cycles,
+        latency_cycles,
+        sched_cycles,
+        total_cycles,
+        seconds: total_cycles / target.clock_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{occupancy, BlockResources};
+    use crate::target::{a100, a4000};
+
+    fn base_stats() -> ExecStats {
+        let mut s = ExecStats::default();
+        s.issues[0] = 1_000_000; // int
+        s.issues[1] = 2_000_000; // fp32
+        s.issues[4] = 500_000; // global mem
+        s.global_load_requests = 400_000;
+        s.global_store_requests = 100_000;
+        s.read_sectors = 1_600_000;
+        s.l1_read_hits = 800_000;
+        s.l2_read_hits = 400_000;
+        s.dram_read_sectors = 400_000;
+        s.l1_to_l2_write_sectors = 400_000;
+        s.blocks = 4096;
+        s
+    }
+
+    #[test]
+    fn estimates_are_positive_and_bounded() {
+        let t = a100();
+        let occ = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let timing = estimate(&t, &base_stats(), &occ, 4096);
+        assert!(timing.seconds > 0.0);
+        assert!(timing.total_cycles >= timing.fp32_cycles);
+        assert!(timing.total_cycles >= timing.dram_cycles);
+        assert!(!timing.bound_by().is_empty());
+    }
+
+    #[test]
+    fn lower_occupancy_increases_latency_bound_time() {
+        let t = a100();
+        let stats = base_stats();
+        let high = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let low = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 255, shared_bytes: 0 }).unwrap();
+        let t_high = estimate(&t, &stats, &high, 4096);
+        let t_low = estimate(&t, &stats, &low, 4096);
+        assert!(t_low.latency_cycles > t_high.latency_cycles);
+    }
+
+    #[test]
+    fn more_dram_traffic_costs_more() {
+        let t = a4000();
+        let occ = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let mut worse = base_stats();
+        worse.dram_read_sectors *= 8;
+        let a = estimate(&t, &base_stats(), &occ, 4096);
+        let b = estimate(&t, &worse, &occ, 4096);
+        assert!(b.seconds > a.seconds);
+    }
+
+    #[test]
+    fn fewer_blocks_than_sms_wastes_the_machine() {
+        let t = a100();
+        let occ = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        // Same total work done by 8 blocks vs 4096 blocks.
+        let a = estimate(&t, &base_stats(), &occ, 8);
+        let b = estimate(&t, &base_stats(), &occ, 4096);
+        assert!(a.seconds > b.seconds, "compute-bound work on 8 blocks cannot use 108 SMs");
+    }
+
+    #[test]
+    fn fp64_work_is_cheaper_on_fp64_rich_hardware() {
+        let mut s = ExecStats::default();
+        s.issues[2] = 5_000_000; // fp64
+        let a4000_t = a4000();
+        let a100_t = a100();
+        let occ4000 =
+            occupancy(&a4000_t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let occ100 =
+            occupancy(&a100_t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let t_a4000 = estimate(&a4000_t, &s, &occ4000, 4096);
+        let t_a100 = estimate(&a100_t, &s, &occ100, 4096);
+        assert!(
+            t_a100.seconds < t_a4000.seconds / 4.0,
+            "A100 has ~16x the fp64 throughput of A4000"
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! Alternative pruning and timing-driven optimization (TDO) — §VI of the
+//! paper.
+//!
+//! A kernel is multi-versioned over a set of coarsening configurations; the
+//! pipeline then narrows the set at successive decision points:
+//!
+//! 1. **Legality** — configurations whose unroll-and-interleave would
+//!    duplicate a barrier are dropped during generation.
+//! 2. **Early shared-memory pruning** — static shared memory is known right
+//!    after coarsening; versions exceeding the target's per-block limit are
+//!    discarded before any further compilation.
+//! 3. **Register/spill pruning** — the backend estimate discards versions
+//!    that would spill (local memory is orders of magnitude slower).
+//! 4. **Timing-driven optimization** — surviving versions are run (on the
+//!    simulator, standing in for the paper's profiling mode) and the fastest
+//!    is selected.
+
+use std::fmt;
+
+use respec_backend::{compile_launch, BackendReport};
+use respec_ir::kernel::analyze_function;
+use respec_ir::Function;
+use respec_opt::{coarsen_function, optimize, split_total, CoarsenConfig};
+use respec_sim::{SimError, TargetDesc};
+
+/// Which coarsening strategy generates the candidate set (the paper's
+/// Fig. 13 axes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Thread coarsening only (the prior-work baseline).
+    ThreadOnly,
+    /// Block coarsening only.
+    BlockOnly,
+    /// The cross product of block × thread factors (this paper).
+    Combined,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Strategy::ThreadOnly => "thread-only",
+            Strategy::BlockOnly => "block-only",
+            Strategy::Combined => "combined",
+        })
+    }
+}
+
+/// Error produced by the tuning pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tuning failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<SimError> for TuneError {
+    fn from(e: SimError) -> TuneError {
+        TuneError { message: e.message }
+    }
+}
+
+/// Why a candidate configuration was eliminated.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PruneReason {
+    /// Coarsening itself was illegal (barrier duplication, non-divisor
+    /// thread factor, …).
+    Illegal(String),
+    /// Static shared memory exceeds the per-block budget (decision point 2).
+    SharedMemory { bytes: u64, limit: u64 },
+    /// The backend predicts register spilling (decision point 3).
+    Spill { regs: u32, spill_units: u32 },
+    /// The measurement run failed (e.g. out-of-bounds after an unsound
+    /// user-requested configuration).
+    RunFailed(String),
+}
+
+impl fmt::Display for PruneReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneReason::Illegal(m) => write!(f, "illegal: {m}"),
+            PruneReason::SharedMemory { bytes, limit } => {
+                write!(f, "shared memory {bytes} B exceeds the {limit} B block limit")
+            }
+            PruneReason::Spill { regs, spill_units } => {
+                write!(f, "would spill {spill_units} register units (demand {regs})")
+            }
+            PruneReason::RunFailed(m) => write!(f, "measurement failed: {m}"),
+        }
+    }
+}
+
+/// Outcome for one candidate configuration.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The configuration.
+    pub config: CoarsenConfig,
+    /// Backend feedback (present once the candidate passed shmem pruning).
+    pub backend: Option<BackendReport>,
+    /// Static shared memory per block.
+    pub shared_bytes: u64,
+    /// Measured time (present for candidates that reached TDO).
+    pub seconds: Option<f64>,
+    /// Why the candidate was pruned, if it was.
+    pub pruned: Option<PruneReason>,
+}
+
+/// Result of tuning one kernel.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// The selected kernel version (optimized, coarsened).
+    pub best: Function,
+    /// Configuration of the winner.
+    pub best_config: CoarsenConfig,
+    /// Measured time of the winner in seconds.
+    pub best_seconds: f64,
+    /// Registers per thread of the winner (feed this to launches).
+    pub best_regs: u32,
+    /// Every candidate with its outcome, in generation order.
+    pub candidates: Vec<Candidate>,
+}
+
+impl TuneResult {
+    /// Speedup of the winner relative to the identity configuration, when
+    /// the identity was measured.
+    pub fn speedup_vs_identity(&self) -> Option<f64> {
+        let id = self
+            .candidates
+            .iter()
+            .find(|c| c.config.is_identity())
+            .and_then(|c| c.seconds)?;
+        Some(id / self.best_seconds)
+    }
+}
+
+/// Generates candidate configurations for a strategy over the given total
+/// factors, balancing each total across eligible dimensions (§IV-C).
+///
+/// `block_dims` are the kernel's static block dimensions; grid dimensions
+/// are dynamic, so block factors are only bounded by the totals themselves.
+pub fn candidate_configs(strategy: Strategy, totals: &[i64], block_dims: &[i64]) -> Vec<CoarsenConfig> {
+    let dims3 = |v: &[i64]| -> [Option<i64>; 3] {
+        [
+            Some(v.first().copied().unwrap_or(1)),
+            Some(v.get(1).copied().unwrap_or(1)),
+            Some(v.get(2).copied().unwrap_or(1)),
+        ]
+    };
+    let thread_dims = dims3(block_dims);
+    // Grid extents are unknown at compile time: every dimension with
+    // threads along it is assumed to also scale in blocks; other dims are
+    // left alone.
+    let grid_dims: [Option<i64>; 3] = [
+        None,
+        if block_dims.get(1).copied().unwrap_or(1) > 1 { None } else { Some(1) },
+        if block_dims.get(2).copied().unwrap_or(1) > 1 { None } else { Some(1) },
+    ];
+
+    let thread_factor = |t: i64| split_total(t, &thread_dims, true);
+    let block_factor = |b: i64| split_total(b, &grid_dims, false);
+
+    let mut out = vec![CoarsenConfig::identity()];
+    let mut push = |cfg: CoarsenConfig| {
+        if !out.contains(&cfg) {
+            out.push(cfg);
+        }
+    };
+    match strategy {
+        Strategy::ThreadOnly => {
+            for &t in totals {
+                if let Some(tf) = thread_factor(t) {
+                    push(CoarsenConfig {
+                        block: [1, 1, 1],
+                        thread: tf,
+                    });
+                }
+            }
+        }
+        Strategy::BlockOnly => {
+            for &b in totals {
+                if let Some(bf) = block_factor(b) {
+                    push(CoarsenConfig {
+                        block: bf,
+                        thread: [1, 1, 1],
+                    });
+                }
+            }
+        }
+        Strategy::Combined => {
+            for &b in totals {
+                for &t in totals {
+                    if let (Some(bf), Some(tf)) = (block_factor(b), thread_factor(t)) {
+                        push(CoarsenConfig { block: bf, thread: tf });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Tunes one kernel: applies each configuration to a clone, prunes by
+/// shared memory and spills, measures survivors with `run`, and returns the
+/// fastest version.
+///
+/// `run` receives a fully coarsened + optimized kernel and its register
+/// estimate, and must return the measured time in seconds (typically by
+/// launching it on a [`respec_sim::GpuSim`] with the application workload).
+///
+/// # Errors
+///
+/// Returns a [`TuneError`] if no candidate survives measurement.
+pub fn tune_kernel(
+    func: &Function,
+    target: &TargetDesc,
+    configs: &[CoarsenConfig],
+    mut run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
+) -> Result<TuneResult, TuneError> {
+    let mut candidates = Vec::with_capacity(configs.len());
+    let mut best: Option<(Function, CoarsenConfig, f64, u32)> = None;
+
+    for &config in configs {
+        let mut version = func.clone();
+        let mut candidate = Candidate {
+            config,
+            backend: None,
+            shared_bytes: 0,
+            seconds: None,
+            pruned: None,
+        };
+        if let Err(e) = coarsen_function(&mut version, config) {
+            candidate.pruned = Some(PruneReason::Illegal(e.message));
+            candidates.push(candidate);
+            continue;
+        }
+        optimize(&mut version);
+
+        // Decision point 2: early shared-memory pruning.
+        let launches = match analyze_function(&version) {
+            Ok(l) => l,
+            Err(e) => {
+                candidate.pruned = Some(PruneReason::Illegal(e.message));
+                candidates.push(candidate);
+                continue;
+            }
+        };
+        let shared: u64 = launches.iter().map(|l| l.shared_bytes(&version)).max().unwrap_or(0);
+        candidate.shared_bytes = shared;
+        if shared > target.shared_per_block {
+            candidate.pruned = Some(PruneReason::SharedMemory {
+                bytes: shared,
+                limit: target.shared_per_block,
+            });
+            candidates.push(candidate);
+            continue;
+        }
+
+        // Decision point 3: register/spill pruning (worst launch governs).
+        let mut worst_regs = 0u32;
+        let mut spill_units = 0u32;
+        let mut report = None;
+        for l in &launches {
+            let r = compile_launch(&version, l, target.max_regs_per_thread);
+            worst_regs = worst_regs.max(r.regs_per_thread + r.spill_units);
+            spill_units = spill_units.max(r.spill_units);
+            report = Some(r);
+        }
+        candidate.backend = report;
+        if spill_units > 0 && !config.is_identity() {
+            candidate.pruned = Some(PruneReason::Spill {
+                regs: worst_regs,
+                spill_units,
+            });
+            candidates.push(candidate);
+            continue;
+        }
+        let regs = worst_regs.min(target.max_regs_per_thread);
+
+        // Decision point 4: timing-driven optimization.
+        match run(&version, regs) {
+            Ok(seconds) => {
+                candidate.seconds = Some(seconds);
+                let better = match &best {
+                    None => true,
+                    Some((_, _, t, _)) => seconds < *t,
+                };
+                if better {
+                    best = Some((version, config, seconds, regs));
+                }
+            }
+            Err(e) => {
+                candidate.pruned = Some(PruneReason::RunFailed(e.message));
+            }
+        }
+        candidates.push(candidate);
+    }
+
+    match best {
+        Some((best_func, best_config, best_seconds, best_regs)) => Ok(TuneResult {
+            best: best_func,
+            best_config,
+            best_seconds,
+            best_regs,
+            candidates,
+        }),
+        None => Err(TuneError {
+            message: "no candidate configuration survived pruning and measurement".into(),
+        }),
+    }
+}
+
+/// Default total-factor ladder used throughout the evaluation (§VII-B).
+pub const DEFAULT_TOTALS: [i64; 6] = [1, 2, 4, 8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+    use respec_sim::{targets, GpuSim, KernelArg};
+
+    const KERNEL: &str = "func @scale(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %v = load %m[%i] : f32
+      %d = add %v, %v : f32
+      store %d, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    #[test]
+    fn candidate_generation_covers_strategies() {
+        let thread_only = candidate_configs(Strategy::ThreadOnly, &DEFAULT_TOTALS, &[64, 1, 1]);
+        assert!(thread_only.iter().all(|c| c.block_total() == 1));
+        assert!(thread_only.len() > 3);
+        let block_only = candidate_configs(Strategy::BlockOnly, &DEFAULT_TOTALS, &[64, 1, 1]);
+        assert!(block_only.iter().all(|c| c.thread_total() == 1));
+        let combined = candidate_configs(Strategy::Combined, &DEFAULT_TOTALS, &[64, 1, 1]);
+        assert!(combined.len() > thread_only.len());
+        assert!(combined.iter().any(|c| c.block_total() > 1 && c.thread_total() > 1));
+    }
+
+    #[test]
+    fn thread_factors_respect_divisibility() {
+        // 48-thread blocks: factor 32 cannot be placed, 16 can (16 | 48? no —
+        // 48 % 16 == 0, yes), 32 does not divide 48.
+        let cfgs = candidate_configs(Strategy::ThreadOnly, &[16, 32], &[48, 1, 1]);
+        assert!(cfgs.iter().any(|c| c.thread == [16, 1, 1]));
+        assert!(!cfgs.iter().any(|c| c.thread_total() == 32));
+    }
+
+    #[test]
+    fn tdo_selects_a_measured_winner() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = candidate_configs(Strategy::Combined, &[1, 2, 4], &[64, 1, 1]);
+        let n = 64 * 64;
+        let result = tune_kernel(&func, &target, &configs, |version, regs| {
+            let mut sim = GpuSim::new(targets::a100());
+            let buf = sim.mem.alloc_f32(&vec![1.0; n]);
+            let report = sim.launch(version, [64, 1, 1], &[KernelArg::Buf(buf)], regs)?;
+            // Functional correctness check folded into the runner.
+            assert_eq!(sim.mem.read_f32(buf), vec![2.0f32; n]);
+            Ok(report.kernel_seconds)
+        })
+        .unwrap();
+        assert!(result.best_seconds > 0.0);
+        assert!(result.candidates.iter().any(|c| c.seconds.is_some()));
+        assert!(result.speedup_vs_identity().is_some());
+    }
+
+    #[test]
+    fn shared_memory_pruning_fires() {
+        // 40 KiB static shared per block: block factor 2 exceeds A100's
+        // 48 KiB per-block budget (80 KiB).
+        let func = parse_function(
+            "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<10240xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %v = load %m[%tx] : f32
+      store %v, %sm[%tx]
+      barrier<thread>
+      %r = load %sm[%tx] : f32
+      store %r, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let target = targets::a100();
+        let configs = vec![
+            CoarsenConfig::identity(),
+            CoarsenConfig {
+                block: [2, 1, 1],
+                thread: [1, 1, 1],
+            },
+        ];
+        let result = tune_kernel(&func, &target, &configs, |version, regs| {
+            let mut sim = GpuSim::new(targets::a100());
+            let buf = sim.mem.alloc_f32(&vec![1.0; 64 * 16]);
+            Ok(sim.launch(version, [16, 1, 1], &[KernelArg::Buf(buf)], regs)?.kernel_seconds)
+        })
+        .unwrap();
+        let pruned: Vec<_> = result
+            .candidates
+            .iter()
+            .filter(|c| matches!(c.pruned, Some(PruneReason::SharedMemory { .. })))
+            .collect();
+        assert_eq!(pruned.len(), 1, "block-2 version must be shmem-pruned");
+        assert!(result.best_config.is_identity());
+    }
+
+    #[test]
+    fn errors_when_everything_fails() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = vec![CoarsenConfig::identity()];
+        let err = tune_kernel(&func, &target, &configs, |_, _| {
+            Err(respec_sim::SimError {
+                message: "boom".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(err.message.contains("no candidate"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: compile a CUDA kernel, run it on the simulated A100, and
+//! print the performance report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use respec::{targets, Compiler, Error, KernelArg};
+
+const SOURCE: &str = r#"
+__global__ void saxpy(float* y, float* x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) y[i] = y[i] + a * x[i];
+}
+"#;
+
+fn main() -> Result<(), Error> {
+    let n = 1 << 16;
+    let block = 256i64;
+
+    let compiled = Compiler::new()
+        .source(SOURCE)
+        .kernel("saxpy", [block, 1, 1])
+        .target(targets::a100())
+        .compile()?;
+
+    println!("=== compiled IR ===\n{}", compiled.kernel("saxpy"));
+
+    let mut sim = compiled.simulator();
+    let y = sim.mem.alloc_f32(&vec![1.0; n]);
+    let x = sim.mem.alloc_f32(&vec![2.0; n]);
+    let grid = (n as i64) / block;
+    let report = compiled.launch(
+        &mut sim,
+        "saxpy",
+        [grid, 1, 1],
+        &[KernelArg::Buf(y), KernelArg::Buf(x), KernelArg::F32(3.0), KernelArg::I32(n as i32)],
+    )?;
+
+    let out = sim.mem.read_f32(y);
+    assert!(out.iter().all(|&v| v == 7.0), "1 + 3*2 = 7");
+
+    println!("=== launch report on {} ===", compiled.target.name);
+    println!("kernel time      : {:.3} µs", report.kernel_seconds * 1e6);
+    println!("bound by         : {}", report.timing.bound_by());
+    println!("occupancy        : {:.0}% (limited by {})", report.occupancy.occupancy * 100.0, report.occupancy.limiter);
+    println!("blocks           : {}", report.blocks);
+    println!("warp instructions: {}", report.stats.total_issues());
+    println!("read sectors     : {} ({} from DRAM)", report.stats.read_sectors, report.stats.dram_read_sectors);
+    println!("result verified  : first element = {}", out[0]);
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Retargeting demo (§VII-D): the same CUDA source compiled for the NVIDIA
+//! A4000 and the AMD RX6800 — no hipify, no source changes, identical
+//! launch geometry. Prints the per-target reports side by side.
+//!
+//! ```sh
+//! cargo run --example retarget_amd
+//! ```
+
+use respec::{targets, Compiler, Error, KernelArg, LaunchReport, TargetDesc};
+
+const SOURCE: &str = r#"
+__global__ void dot_chunks(double* out, double* a, double* b, int n) {
+    __shared__ double partial[128];
+    int tx = threadIdx.x;
+    int i = blockIdx.x * blockDim.x + tx;
+    partial[tx] = (i < n) ? a[i] * b[i] : 0.0;
+    __syncthreads();
+    for (int d = 0; d < 7; d++) {
+        int s = 1 << d;
+        int idx = 2 * s * tx;
+        if (idx + s < 128) {
+            partial[idx] = partial[idx] + partial[idx + s];
+        }
+        __syncthreads();
+    }
+    if (tx == 0) out[blockIdx.x] = partial[0];
+}
+"#;
+
+fn run_on(target: TargetDesc) -> Result<(LaunchReport, f64), Error> {
+    let n = 1 << 15;
+    let compiled = Compiler::new()
+        .source(SOURCE)
+        .kernel("dot_chunks", [128, 1, 1])
+        .target(target)
+        .compile()?;
+    let mut sim = compiled.simulator();
+    let a: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.25).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+    let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    let blocks = (n as i64) / 128;
+    let ab = sim.mem.alloc_f64(&a);
+    let bb = sim.mem.alloc_f64(&b);
+    let ob = sim.mem.alloc_f64(&vec![0.0; blocks as usize]);
+    let report = compiled.launch(
+        &mut sim,
+        "dot_chunks",
+        [blocks, 1, 1],
+        &[KernelArg::Buf(ob), KernelArg::Buf(ab), KernelArg::Buf(bb), KernelArg::I32(n as i32)],
+    )?;
+    let total: f64 = sim.mem.read_f64(ob).iter().sum();
+    assert!((total - expected).abs() < 1e-6, "dot product must match on every target");
+    Ok((report, total))
+}
+
+fn main() -> Result<(), Error> {
+    println!("same CUDA source, two vendors — no source changes:\n");
+    println!(
+        "{:<14} {:>10} {:>8} {:>12} {:>14} {:>10}",
+        "target", "time(µs)", "warps", "issues", "bound-by", "occupancy"
+    );
+    for target in [targets::a4000(), targets::rx6800(), targets::a100(), targets::mi210()] {
+        let name = target.name;
+        let (report, _) = run_on(target)?;
+        println!(
+            "{:<14} {:>10.2} {:>8} {:>12} {:>14} {:>9.0}%",
+            name,
+            report.kernel_seconds * 1e6,
+            report.stats.warps,
+            report.stats.total_issues(),
+            report.timing.bound_by(),
+            report.occupancy.occupancy * 100.0
+        );
+    }
+    println!("\nNote the wavefront width: AMD targets schedule half as many");
+    println!("warp-level units for the same 128-thread blocks, and the fp64-rich");
+    println!("MI210 turns the double-precision reduction into a bandwidth problem.");
+    Ok(())
+}

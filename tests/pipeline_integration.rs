@@ -1,0 +1,170 @@
+//! End-to-end pipeline tests: CUDA source → IR → coarsening/alternatives →
+//! simulation, checking that every granularity variant computes the same
+//! result (the paper's correctness methodology, §VII-A).
+
+use respec::ir::kernel::analyze_function;
+use respec::opt::{find_alternatives, generate_alternatives, materialize_selected, CoarsenConfig};
+use respec::{targets, Compiler, GpuSim, KernelArg, Strategy};
+
+const STENCIL: &str = r#"
+__global__ void blur(float* out, float* in, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    float left = (i == 0) ? in[i] : in[i - 1];
+    float right = (i == n - 1) ? in[i] : in[i + 1];
+    out[i] = 0.25f * left + 0.5f * in[i] + 0.25f * right;
+}
+"#;
+
+const SHARED_KERNEL: &str = r#"
+__global__ void stage(float* out, float* in) {
+    __shared__ float tile[128];
+    int tx = threadIdx.x;
+    int i = blockIdx.x * blockDim.x + tx;
+    tile[tx] = in[i] * 2.0f;
+    __syncthreads();
+    int rev = 127 - tx;
+    out[i] = tile[rev];
+}
+"#;
+
+fn run_blur(cfg: Option<CoarsenConfig>) -> Vec<f32> {
+    let n = 1024usize;
+    let mut c = Compiler::new()
+        .source(STENCIL)
+        .kernel("blur", [128, 1, 1])
+        .target(targets::a100());
+    if let Some(cfg) = cfg {
+        c = c.coarsen(cfg);
+    }
+    let compiled = c.compile().expect("compiles");
+    let mut sim = compiled.simulator();
+    let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+    let ib = sim.mem.alloc_f32(&input);
+    let ob = sim.mem.alloc_f32(&vec![0.0; n]);
+    compiled
+        .launch(
+            &mut sim,
+            "blur",
+            [(n / 128) as i64, 1, 1],
+            &[KernelArg::Buf(ob), KernelArg::Buf(ib), KernelArg::I32(n as i32)],
+        )
+        .expect("launches");
+    sim.mem.read_f32(ob)
+}
+
+#[test]
+fn every_coarsening_config_is_semantics_preserving() {
+    let baseline = run_blur(None);
+    let configs = [
+        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
+        CoarsenConfig { block: [1, 1, 1], thread: [4, 1, 1] },
+        CoarsenConfig { block: [4, 1, 1], thread: [2, 1, 1] },
+        CoarsenConfig { block: [3, 1, 1], thread: [1, 1, 1] }, // epilogue path (8 % 3 != 0)
+        CoarsenConfig { block: [7, 1, 1], thread: [1, 1, 1] }, // the paper's prime factor
+    ];
+    for cfg in configs {
+        let out = run_blur(Some(cfg));
+        assert_eq!(out, baseline, "config {cfg} changed the result");
+    }
+}
+
+#[test]
+fn shared_memory_kernel_survives_all_strategies() {
+    let n = 1024usize;
+    let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let expected: Vec<f32> = (0..n)
+        .map(|i| {
+            let blk = i / 128;
+            let rev = 127 - (i % 128);
+            input[blk * 128 + rev] * 2.0
+        })
+        .collect();
+    for cfg in [
+        CoarsenConfig::identity(),
+        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
+        CoarsenConfig { block: [1, 1, 1], thread: [2, 1, 1] },
+        CoarsenConfig { block: [2, 1, 1], thread: [4, 1, 1] },
+    ] {
+        let compiled = Compiler::new()
+            .source(SHARED_KERNEL)
+            .kernel("stage", [128, 1, 1])
+            .target(targets::rx6800())
+            .coarsen(cfg)
+            .compile()
+            .expect("compiles");
+        let mut sim = compiled.simulator();
+        let ib = sim.mem.alloc_f32(&input);
+        let ob = sim.mem.alloc_f32(&vec![0.0; n]);
+        compiled
+            .launch(&mut sim, "stage", [8, 1, 1], &[KernelArg::Buf(ob), KernelArg::Buf(ib)])
+            .expect("launches");
+        assert_eq!(sim.mem.read_f32(ob), expected, "config {cfg} broke barrier semantics");
+    }
+}
+
+#[test]
+fn alternatives_multi_versioning_round_trip() {
+    let compiled = Compiler::new()
+        .source(SHARED_KERNEL)
+        .kernel("stage", [128, 1, 1])
+        .target(targets::a4000())
+        .compile()
+        .expect("compiles");
+    let mut func = compiled.kernel("stage").clone();
+    let configs = vec![
+        CoarsenConfig::identity(),
+        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
+        CoarsenConfig { block: [1, 1, 1], thread: [2, 1, 1] },
+    ];
+    let (alt, survivors) = generate_alternatives(&mut func, &configs).expect("generates");
+    assert_eq!(survivors.len(), 3);
+    respec::ir::verify_function(&func).expect("multi-versioned function verifies");
+
+    // Materialize the thread-coarsened version and run it.
+    materialize_selected(&mut func, alt, Some(survivors[2].region_index));
+    assert!(find_alternatives(&func).is_none());
+    respec::ir::verify_function(&func).expect("materialized function verifies");
+    let launches = analyze_function(&func).expect("kernel shape");
+    assert_eq!(launches[0].block_dims, vec![64, 1, 1], "thread-2 version selected");
+
+    let mut sim = GpuSim::new(targets::a4000());
+    let input: Vec<f32> = (0..512).map(|i| i as f32).collect();
+    let ib = sim.mem.alloc_f32(&input);
+    let ob = sim.mem.alloc_f32(&vec![0.0; 512]);
+    sim.launch(&func, [4, 1, 1], &[KernelArg::Buf(ob), KernelArg::Buf(ib)], 24)
+        .expect("launches");
+    let out = sim.mem.read_f32(ob);
+    assert_eq!(out[0], input[127] * 2.0);
+}
+
+#[test]
+fn candidate_configs_follow_paper_factor_balancing() {
+    // A 16×16 block with total thread factor 16 must balance as 4·4 (two
+    // eligible dims), matching §IV-C.
+    let cfgs = respec::candidate_configs(Strategy::ThreadOnly, &[16], &[16, 16, 1]);
+    assert!(cfgs.iter().any(|c| c.thread == [4, 4, 1]), "{cfgs:?}");
+}
+
+#[test]
+fn optimizer_reduces_interleaved_code_size() {
+    let plain = Compiler::new()
+        .source(STENCIL)
+        .kernel("blur", [128, 1, 1])
+        .target(targets::a100())
+        .coarsen(CoarsenConfig { block: [1, 1, 1], thread: [4, 1, 1] })
+        .optimizer(false)
+        .compile()
+        .expect("compiles");
+    let optimized = Compiler::new()
+        .source(STENCIL)
+        .kernel("blur", [128, 1, 1])
+        .target(targets::a100())
+        .coarsen(CoarsenConfig { block: [1, 1, 1], thread: [4, 1, 1] })
+        .compile()
+        .expect("compiles");
+    let size = |f: &respec::Function| f.to_string().lines().count();
+    assert!(
+        size(optimized.kernel("blur")) < size(plain.kernel("blur")),
+        "CSE/canonicalize must shrink the interleaved index arithmetic"
+    );
+}

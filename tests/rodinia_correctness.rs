@@ -1,0 +1,124 @@
+//! The paper's §VII-A verification: "We verify correctness of the
+//! transformation by comparing the outputs of all Rodinia benchmarks after
+//! compiling with Polygeist-GPU in different configurations."
+//!
+//! Here: every app runs unmodified on the simulator and matches its CPU
+//! reference (covered by unit tests per app); this suite additionally
+//! substitutes *coarsened* main kernels into representative apps and checks
+//! the composite output still matches.
+
+use respec::opt::{coarsen_function, optimize, CoarsenConfig};
+use respec::{targets, TargetDesc};
+use respec_rodinia::{all_apps, compile_app, max_abs_err, App};
+
+fn run_with_config(app: &dyn App, target: TargetDesc, cfg: CoarsenConfig) -> Result<Vec<f64>, String> {
+    let mut module = compile_app(app).map_err(|e| e.to_string())?;
+    let name = app.main_kernel().to_string();
+    let mut func = module.function(&name).expect("main kernel exists").clone();
+    coarsen_function(&mut func, cfg).map_err(|e| format!("{cfg}: {e}"))?;
+    optimize(&mut func);
+    respec::ir::verify_function(&func).map_err(|e| e.to_string())?;
+    module.add_function(func);
+    let mut sim = respec::GpuSim::new(target);
+    app.run(&mut sim, &module).map_err(|e| e.message)
+}
+
+fn check_app_under_coarsening(name: &str, configs: &[CoarsenConfig]) {
+    let apps = all_apps();
+    let app = apps.iter().find(|a| a.name() == name).expect("app registered");
+    let reference = app.reference();
+    for &cfg in configs {
+        match run_with_config(app.as_ref(), targets::a100(), cfg) {
+            Ok(out) => {
+                let err = max_abs_err(&out, &reference);
+                assert!(
+                    err <= app.tolerance(),
+                    "{name} with {cfg}: max abs err {err:.3e} exceeds {:.1e}",
+                    app.tolerance()
+                );
+            }
+            Err(msg) => {
+                // Divisor-infeasible thread factors are legitimately
+                // rejected; anything else is a bug.
+                assert!(
+                    msg.contains("does not divide") || msg.contains("barrier"),
+                    "{name} with {cfg} failed unexpectedly: {msg}"
+                );
+            }
+        }
+    }
+}
+
+fn standard_configs() -> Vec<CoarsenConfig> {
+    vec![
+        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
+        CoarsenConfig { block: [1, 1, 1], thread: [2, 1, 1] },
+        CoarsenConfig { block: [2, 1, 1], thread: [2, 1, 1] },
+        CoarsenConfig { block: [3, 1, 1], thread: [1, 1, 1] }, // epilogue
+    ]
+}
+
+#[test]
+fn lud_internal_coarsens_correctly() {
+    // Including the paper's 2-D configurations for lud_internal.
+    let mut configs = standard_configs();
+    configs.push(CoarsenConfig { block: [2, 2, 1], thread: [1, 1, 1] });
+    configs.push(CoarsenConfig { block: [1, 1, 1], thread: [2, 2, 1] });
+    configs.push(CoarsenConfig { block: [7, 1, 1], thread: [2, 1, 1] }); // the lud optimum shape
+    check_app_under_coarsening("lud", &configs);
+}
+
+#[test]
+fn nw_coarsens_correctly() {
+    check_app_under_coarsening("nw", &standard_configs());
+}
+
+#[test]
+fn hotspot_coarsens_correctly() {
+    let mut configs = standard_configs();
+    configs.push(CoarsenConfig { block: [2, 2, 1], thread: [2, 2, 1] });
+    check_app_under_coarsening("hotspot", &configs);
+}
+
+#[test]
+fn gaussian_fan2_coarsens_correctly() {
+    check_app_under_coarsening("gaussian", &standard_configs());
+}
+
+#[test]
+fn lavamd_coarsens_correctly() {
+    check_app_under_coarsening("lavaMD", &standard_configs());
+}
+
+#[test]
+fn srad_main_coarsens_correctly() {
+    check_app_under_coarsening("srad_v1", &standard_configs());
+}
+
+#[test]
+fn pathfinder_coarsens_correctly() {
+    check_app_under_coarsening("pathfinder", &standard_configs());
+}
+
+#[test]
+fn every_app_runs_on_every_vendor() {
+    // Functional portability: the same IR executes on NVIDIA-like and
+    // AMD-like models (warp 32 vs wavefront 64) with identical results.
+    for app in all_apps() {
+        let reference = app.reference();
+        for target in [targets::a4000(), targets::mi210()] {
+            let module = compile_app(app.as_ref()).expect("compiles");
+            let mut sim = respec::GpuSim::new(target.clone());
+            let out = app.run(&mut sim, &module).unwrap_or_else(|e| {
+                panic!("{} failed on {}: {e}", app.name(), target.name)
+            });
+            let err = max_abs_err(&out, &reference);
+            assert!(
+                err <= app.tolerance(),
+                "{} on {}: err {err:.3e}",
+                app.name(),
+                target.name
+            );
+        }
+    }
+}
