@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn reports_reasonable_register_counts() {
         let func = kernel(4);
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         let report = compile_launch(&func, &launch, 255);
         assert!(report.regs_per_thread >= RESERVED_REGS);
         assert!(report.regs_per_thread < 64);
@@ -137,13 +139,19 @@ mod tests {
         // the coarsened body by brute-force duplication via the IR API so
         // this crate does not depend on respec-opt.
         let func = kernel(6);
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         let base = compile_launch(&func, &launch, 255).regs_per_thread;
 
         let mut coarse = func.clone();
-        let launch2 = respec_ir::kernel::analyze_function(&coarse).unwrap().remove(0);
+        let launch2 = respec_ir::kernel::analyze_function(&coarse)
+            .unwrap()
+            .remove(0);
         duplicate_thread_body(&mut coarse, &launch2, 3);
-        let launch2 = respec_ir::kernel::analyze_function(&coarse).unwrap().remove(0);
+        let launch2 = respec_ir::kernel::analyze_function(&coarse)
+            .unwrap()
+            .remove(0);
         let coarse_regs = compile_launch(&coarse, &launch2, 255).regs_per_thread;
         assert!(
             coarse_regs > base,
@@ -151,7 +159,11 @@ mod tests {
         );
     }
 
-    fn duplicate_thread_body(func: &mut Function, launch: &respec_ir::kernel::Launch, copies: usize) {
+    fn duplicate_thread_body(
+        func: &mut Function,
+        launch: &respec_ir::kernel::Launch,
+        copies: usize,
+    ) {
         use respec_ir::walk::clone_op;
         use respec_ir::OpKind;
         use std::collections::HashMap;
@@ -181,7 +193,9 @@ mod tests {
     #[test]
     fn spills_are_reported_against_small_limits() {
         let func = kernel(64);
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         let report = compile_launch(&func, &launch, 10);
         assert!(report.spills());
         assert_eq!(report.regs_per_thread, 10);
@@ -190,7 +204,9 @@ mod tests {
     #[test]
     fn stats_are_attached() {
         let func = kernel(3);
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         let report = compile_launch(&func, &launch, 255);
         assert_eq!(report.stats.fp32_ops, 3.0);
         assert_eq!(report.stats.loads, 1.0);

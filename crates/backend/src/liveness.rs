@@ -94,7 +94,11 @@ mod tests {
     use respec_ir::BinOp;
 
     fn prog(insts: Vec<VInst>, widths: Vec<RegWidth>, loops: Vec<(usize, usize)>) -> VProgram {
-        VProgram { insts, loops, widths }
+        VProgram {
+            insts,
+            loops,
+            widths,
+        }
     }
 
     #[test]
@@ -103,8 +107,18 @@ mod tests {
         let p = prog(
             vec![
                 VInst::LdImm { dst: VReg(0) },
-                VInst::Bin { op: BinOp::Add, dst: VReg(1), a: VReg(0), b: VReg(0) },
-                VInst::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(1), b: VReg(1) },
+                VInst::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(1),
+                    a: VReg(0),
+                    b: VReg(0),
+                },
+                VInst::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(2),
+                    a: VReg(1),
+                    b: VReg(1),
+                },
             ],
             vec![RegWidth::Single; 3],
             vec![],
@@ -120,7 +134,12 @@ mod tests {
                 VInst::LdImm { dst: VReg(0) },
                 VInst::LdImm { dst: VReg(1) },
                 VInst::LdImm { dst: VReg(2) },
-                VInst::Sel { dst: VReg(3), c: VReg(0), t: VReg(1), f: VReg(2) },
+                VInst::Sel {
+                    dst: VReg(3),
+                    c: VReg(0),
+                    t: VReg(1),
+                    f: VReg(2),
+                },
             ],
             vec![RegWidth::Single; 4],
             vec![],
@@ -134,7 +153,12 @@ mod tests {
             vec![
                 VInst::LdImm { dst: VReg(0) },
                 VInst::LdImm { dst: VReg(1) },
-                VInst::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(0), b: VReg(1) },
+                VInst::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(2),
+                    a: VReg(0),
+                    b: VReg(1),
+                },
             ],
             vec![RegWidth::Pair; 3],
             vec![],
@@ -148,18 +172,29 @@ mod tests {
         // loop-local. r0 must stay live through the whole loop.
         let p = prog(
             vec![
-                VInst::LdImm { dst: VReg(0) },     // 0
-                VInst::Label { id: 1 },            // 1 (loop start)
-                VInst::Un { op: respec_ir::UnOp::Neg, dst: VReg(1), a: VReg(0) }, // 2
-                VInst::LdImm { dst: VReg(2) },     // 3
-                VInst::CondBr { cond: VReg(2), target: 1 }, // 4
+                VInst::LdImm { dst: VReg(0) }, // 0
+                VInst::Label { id: 1 },        // 1 (loop start)
+                VInst::Un {
+                    op: respec_ir::UnOp::Neg,
+                    dst: VReg(1),
+                    a: VReg(0),
+                }, // 2
+                VInst::LdImm { dst: VReg(2) }, // 3
+                VInst::CondBr {
+                    cond: VReg(2),
+                    target: 1,
+                }, // 4
             ],
             vec![RegWidth::Single; 3],
             vec![(1, 5)],
         );
         let ivs = live_intervals(&p);
         let r0 = ivs.iter().find(|i| i.reg == VReg(0)).unwrap();
-        assert!(r0.end >= 5, "live-in value must survive the back edge, end={}", r0.end);
+        assert!(
+            r0.end >= 5,
+            "live-in value must survive the back edge, end={}",
+            r0.end
+        );
     }
 
     #[test]

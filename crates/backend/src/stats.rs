@@ -71,7 +71,12 @@ pub fn kernel_stats(func: &Function, region: RegionId, unknown_trip: f64) -> Ker
     stats_region(func, region, unknown_trip)
 }
 
-fn const_trip(func: &Function, lb: respec_ir::Value, ub: respec_ir::Value, step: respec_ir::Value) -> Option<f64> {
+fn const_trip(
+    func: &Function,
+    lb: respec_ir::Value,
+    ub: respec_ir::Value,
+    step: respec_ir::Value,
+) -> Option<f64> {
     let lb = func.const_int_value(lb)?;
     let ub = func.const_int_value(ub)?;
     let step = func.const_int_value(step)?;
@@ -135,8 +140,8 @@ fn stats_region(func: &Function, region: RegionId, unknown_trip: f64) -> KernelS
             }
             OpKind::Barrier { .. } => total.barriers += 1.0,
             OpKind::For => {
-                let trip =
-                    const_trip(func, op.operands[0], op.operands[1], op.operands[2]).unwrap_or(unknown_trip);
+                let trip = const_trip(func, op.operands[0], op.operands[1], op.operands[2])
+                    .unwrap_or(unknown_trip);
                 let body = stats_region(func, op.regions[0], unknown_trip);
                 let mut scaled = body.scale(trip);
                 scaled.branches += trip; // one back-edge test per iteration

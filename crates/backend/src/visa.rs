@@ -47,13 +47,28 @@ pub enum VInst {
     /// Immediate load.
     LdImm { dst: VReg },
     /// Binary arithmetic.
-    Bin { op: BinOp, dst: VReg, a: VReg, b: VReg },
+    Bin {
+        op: BinOp,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Unary arithmetic.
     Un { op: UnOp, dst: VReg, a: VReg },
     /// Comparison into a predicate register.
-    Cmp { pred: CmpPred, dst: VReg, a: VReg, b: VReg },
+    Cmp {
+        pred: CmpPred,
+        dst: VReg,
+        a: VReg,
+        b: VReg,
+    },
     /// Select.
-    Sel { dst: VReg, c: VReg, t: VReg, f: VReg },
+    Sel {
+        dst: VReg,
+        c: VReg,
+        t: VReg,
+        f: VReg,
+    },
     /// Conversion / register move.
     Mov { dst: VReg, a: VReg },
     /// Memory load through a computed address register.
@@ -195,7 +210,12 @@ impl<'f> Lowering<'f> {
                 let a = self.reg_for(op.operands[0]);
                 let c = self.reg_for(op.operands[1]);
                 let dst = self.reg_for(op.results[0]);
-                self.emit(VInst::Bin { op: *b, dst, a, b: c });
+                self.emit(VInst::Bin {
+                    op: *b,
+                    dst,
+                    a,
+                    b: c,
+                });
             }
             OpKind::Unary(u) => {
                 let a = self.reg_for(op.operands[0]);
@@ -206,7 +226,12 @@ impl<'f> Lowering<'f> {
                 let a = self.reg_for(op.operands[0]);
                 let c = self.reg_for(op.operands[1]);
                 let dst = self.reg_for(op.results[0]);
-                self.emit(VInst::Cmp { pred: *p, dst, a, b: c });
+                self.emit(VInst::Cmp {
+                    pred: *p,
+                    dst,
+                    a,
+                    b: c,
+                });
             }
             OpKind::Select => {
                 let c = self.reg_for(op.operands[0]);
@@ -274,7 +299,10 @@ impl<'f> Lowering<'f> {
                     a: iv,
                     b: ub,
                 });
-                self.emit(VInst::CondBr { cond, target: header });
+                self.emit(VInst::CondBr {
+                    cond,
+                    target: header,
+                });
                 let end = self.prog.insts.len();
                 self.prog.loops.push((start, end));
                 // Results are the final iteration arg values.
@@ -310,7 +338,10 @@ impl<'f> Lowering<'f> {
             OpKind::If => {
                 let c = self.reg_for(op.operands[0]);
                 let out = self.label();
-                self.emit(VInst::CondBr { cond: c, target: out });
+                self.emit(VInst::CondBr {
+                    cond: c,
+                    target: out,
+                });
                 // Both arms contribute to pressure; lay them out
                 // sequentially (predicated-execution view).
                 for &r in &op.regions {
@@ -344,7 +375,10 @@ impl<'f> Lowering<'f> {
                 for &v in &op.operands {
                     let a = self.reg_for(v);
                     let dst = self.fresh(RegWidth::of(
-                        self.func.value_type(v).as_scalar().unwrap_or(ScalarType::I64),
+                        self.func
+                            .value_type(v)
+                            .as_scalar()
+                            .unwrap_or(ScalarType::I64),
                     ));
                     self.emit(VInst::Mov { dst, a });
                 }

@@ -25,7 +25,10 @@ fn indexing_ablation() {
     println!("== ablation 1: thread-coarsening indexing style (Fig. 11) ==");
     let n = 1 << 16;
     let mut results = Vec::new();
-    for (label, style) in [("strided (coalescing-friendly)", IndexingStyle::Strided), ("contiguous (naive)", IndexingStyle::Contiguous)] {
+    for (label, style) in [
+        ("strided (coalescing-friendly)", IndexingStyle::Strided),
+        ("contiguous (naive)", IndexingStyle::Contiguous),
+    ] {
         let compiled = Compiler::new()
             .source(COALESCED)
             .kernel("copy_scale", [256, 1, 1])
@@ -41,7 +44,12 @@ fn indexing_ablation() {
         let src = sim.mem.alloc_f32(&vec![1.0; n]);
         let dst = sim.mem.alloc_f32(&vec![0.0; n]);
         let report = sim
-            .launch(&func, [(n / 256) as i64, 1, 1], &[KernelArg::Buf(dst), KernelArg::Buf(src)], 32)
+            .launch(
+                &func,
+                [(n / 256) as i64, 1, 1],
+                &[KernelArg::Buf(dst), KernelArg::Buf(src)],
+                32,
+            )
             .expect("launches");
         println!(
             "  {label:<32} read sectors {:>8}  load requests {:>8}  time {:>8.2} µs",
@@ -61,7 +69,10 @@ fn indexing_ablation() {
 fn epilogue_ablation() {
     println!("== ablation 2: divisor-only vs arbitrary block factors (epilogue kernels, §V-C) ==");
     let apps = all_apps_sized(Workload::Large);
-    let lud = apps.iter().find(|a| a.name() == "lud").expect("lud registered");
+    let lud = apps
+        .iter()
+        .find(|a| a.name() == "lud")
+        .expect("lud registered");
     let target = targets::a4000();
     let measure = |factors: &[i64]| -> (i64, f64) {
         let mut best = (1, f64::INFINITY);
@@ -87,7 +98,10 @@ fn epilogue_ablation() {
     let (af, at) = measure(&[1, 2, 3, 4, 5, 6, 7, 8]);
     println!("  divisor-ladder best : factor {df} at {:.2} µs", dt * 1e6);
     println!("  arbitrary best      : factor {af} at {:.2} µs", at * 1e6);
-    assert!(at <= dt, "the richer factor set can only improve the optimum");
+    assert!(
+        at <= dt,
+        "the richer factor set can only improve the optimum"
+    );
     println!();
 }
 
@@ -119,7 +133,9 @@ fn occupancy_ablation() {
     let func = compiled.kernel("gather_chain").clone();
     let n = 1 << 15;
     // A scattered permutation so every hop misses coalescing and caches.
-    let perm: Vec<i32> = (0..n).map(|i| ((i as i64 * 7919 + 13) % n as i64) as i32).collect();
+    let perm: Vec<i32> = (0..n)
+        .map(|i| ((i as i64 * 7919 + 13) % n as i64) as i32)
+        .collect();
     let mut times = Vec::new();
     for regs in [32u32, 128, 255] {
         let mut sim = GpuSim::new(targets::a100());
@@ -130,7 +146,12 @@ fn occupancy_ablation() {
             .launch(
                 &func,
                 [(n / 256) as i64, 1, 1],
-                &[KernelArg::Buf(dst), KernelArg::Buf(src), KernelArg::Buf(idx), KernelArg::I32(n as i32)],
+                &[
+                    KernelArg::Buf(dst),
+                    KernelArg::Buf(src),
+                    KernelArg::Buf(idx),
+                    KernelArg::I32(n as i32),
+                ],
                 regs,
             )
             .expect("launches");
@@ -156,7 +177,10 @@ fn licm_ablation() {
     // inner-loop loads are hoisted; on fp64-light targets this also shows
     // up as time.
     let apps = all_apps_sized(Workload::Small);
-    let lavamd = apps.iter().find(|a| a.name() == "lavaMD").expect("registered");
+    let lavamd = apps
+        .iter()
+        .find(|a| a.name() == "lavaMD")
+        .expect("registered");
     let target = targets::a100();
     let mut shared_reads = Vec::new();
     for pipeline in [Pipeline::Clang, Pipeline::PolygeistNoOpt] {
@@ -176,12 +200,16 @@ fn licm_ablation() {
         shared_reads[1] < shared_reads[0],
         "LICM must hoist the legacy kernel's redundant shared loads"
     );
-    for name in ["srad_v1"] {
-        let app = apps.iter().find(|a| a.name() == name).expect("registered");
-        let clang = composite_seconds(app.as_ref(), &target, Pipeline::Clang, &[1]);
-        let pg = composite_seconds(app.as_ref(), &target, Pipeline::PolygeistNoOpt, &[1]);
-        println!("  {name:<10} clang {:.3e} s   P-G {:.3e} s   ratio {:.3}x", clang, pg, clang / pg);
-    }
+    let name = "srad_v1";
+    let app = apps.iter().find(|a| a.name() == name).expect("registered");
+    let clang = composite_seconds(app.as_ref(), &target, Pipeline::Clang, &[1]);
+    let pg = composite_seconds(app.as_ref(), &target, Pipeline::PolygeistNoOpt, &[1]);
+    println!(
+        "  {name:<10} clang {:.3e} s   P-G {:.3e} s   ratio {:.3}x",
+        clang,
+        pg,
+        clang / pg
+    );
     println!();
 }
 

@@ -104,7 +104,9 @@ fn bench_transforms(c: &mut Criterion) {
 fn bench_backend(c: &mut Criterion) {
     let base = compiled();
     let func = base.kernel("tile_mul").clone();
-    let launch = respec::ir::kernel::analyze_function(&func).expect("kernel shape").remove(0);
+    let launch = respec::ir::kernel::analyze_function(&func)
+        .expect("kernel shape")
+        .remove(0);
     c.bench_function("backend/register_estimate", |b| {
         b.iter(|| {
             std::hint::black_box(respec::backend::compile_launch(&func, &launch, 255));
@@ -132,7 +134,12 @@ fn bench_simulator(c: &mut Criterion) {
             sim.launch(
                 &func,
                 [g, g, 1],
-                &[KernelArg::Buf(cc), KernelArg::Buf(a), KernelArg::Buf(bb), KernelArg::I32(n as i32)],
+                &[
+                    KernelArg::Buf(cc),
+                    KernelArg::Buf(a),
+                    KernelArg::Buf(bb),
+                    KernelArg::I32(n as i32),
+                ],
                 32,
             )
             .expect("launches");

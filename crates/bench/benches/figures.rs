@@ -13,6 +13,10 @@ fn main() {
     respec_bench::fig14(Workload::Small, &[1, 2, 4, 7], &[1, 2, 4]);
     respec_bench::table2(Workload::Small);
     respec_bench::fig15(Workload::Small, &[1, 2, 4], &[1, 2, 4]);
-    respec_bench::fig16(Workload::Small, &[targets::a4000(), targets::rx6800()], &quick_totals);
+    respec_bench::fig16(
+        Workload::Small,
+        &[targets::a4000(), targets::rx6800()],
+        &quick_totals,
+    );
     respec_bench::fig17(Workload::Small, &quick_totals);
 }

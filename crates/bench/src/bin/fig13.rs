@@ -1,5 +1,6 @@
 //! Regenerates Fig. 13: combined vs thread-only vs block-only coarsening.
-//! Pass `--large` for the paper-scale workloads (slower).
+//! Pass `--large` for the paper-scale workloads (slower); `--json` for one
+//! JSON object per row on stdout instead of the table.
 use respec_rodinia::Workload;
 
 fn main() {
@@ -9,5 +10,10 @@ fn main() {
         Workload::Small
     };
     let totals = [1, 2, 4, 8, 16, 32];
-    respec_bench::fig13(workload, &totals);
+    if std::env::args().any(|a| a == "--json") {
+        let rows = respec_bench::fig13_data(workload, &totals);
+        print!("{}", respec_bench::jsonout::fig13_lines(&rows));
+    } else {
+        respec_bench::fig13(workload, &totals);
+    }
 }

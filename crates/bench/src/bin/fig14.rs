@@ -1,5 +1,6 @@
 //! Regenerates Fig. 14: lud speedup over the (block, thread) factor grid.
-//! Defaults to the Large workload; pass `--small` for a quick run.
+//! Defaults to the Large workload; pass `--small` for a quick run, `--json`
+//! for one JSON object per grid cell on stdout instead of the table.
 use respec_rodinia::Workload;
 
 fn main() {
@@ -10,5 +11,20 @@ fn main() {
     };
     let blocks = [1i64, 2, 4, 7, 8, 16, 26, 32];
     let threads = [1i64, 2, 4, 8, 16, 32];
-    respec_bench::fig14(workload, &blocks, &threads);
+    if std::env::args().any(|a| a == "--json") {
+        let matrix = respec_bench::fig14_data(workload, &blocks, &threads);
+        print!(
+            "{}",
+            respec_bench::jsonout::grid_lines(
+                "fig14",
+                "block_total",
+                "thread_total",
+                &blocks,
+                &threads,
+                &matrix
+            )
+        );
+    } else {
+        respec_bench::fig14(workload, &blocks, &threads);
+    }
 }

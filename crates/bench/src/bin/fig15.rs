@@ -1,5 +1,6 @@
 //! Regenerates Fig. 15: lud, block coarsening in x only × thread totals.
-//! Defaults to the Large workload; pass `--small` for a quick run.
+//! Defaults to the Large workload; pass `--small` for a quick run, `--json`
+//! for one JSON object per grid cell on stdout instead of the table.
 use respec_rodinia::Workload;
 
 fn main() {
@@ -10,5 +11,20 @@ fn main() {
     };
     let block_x = [1i64, 2, 3, 4, 6, 8, 9, 12];
     let threads = [1i64, 2, 4, 8];
-    respec_bench::fig15(workload, &block_x, &threads);
+    if std::env::args().any(|a| a == "--json") {
+        let matrix = respec_bench::fig15_data(workload, &block_x, &threads);
+        print!(
+            "{}",
+            respec_bench::jsonout::grid_lines(
+                "fig15",
+                "block_x",
+                "thread_total",
+                &block_x,
+                &threads,
+                &matrix
+            )
+        );
+    } else {
+        respec_bench::fig15(workload, &block_x, &threads);
+    }
 }

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 16: Rodinia composite comparison of clang vs
 //! Polygeist-GPU (no-opt / opt) on the NVIDIA and AMD targets.
-//! Pass `--large` for the paper-scale workloads (slower).
+//! Pass `--large` for the paper-scale workloads (slower); `--json` for one
+//! JSON object per row on stdout instead of the tables.
 use respec::targets;
 use respec_rodinia::Workload;
 
@@ -11,6 +12,16 @@ fn main() {
         Workload::Small
     };
     let totals = [1, 2, 4, 8];
-    let ts = [targets::a4000(), targets::a100(), targets::rx6800(), targets::mi210()];
-    respec_bench::fig16(workload, &ts, &totals);
+    let ts = [
+        targets::a4000(),
+        targets::a100(),
+        targets::rx6800(),
+        targets::mi210(),
+    ];
+    if std::env::args().any(|a| a == "--json") {
+        let rows = respec_bench::fig16_data(workload, &ts, &totals);
+        print!("{}", respec_bench::jsonout::fig16_lines(&rows));
+    } else {
+        respec_bench::fig16(workload, &ts, &totals);
+    }
 }

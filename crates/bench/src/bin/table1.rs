@@ -1,4 +1,9 @@
-//! Regenerates Table I (GPU specifications).
+//! Regenerates Table I (GPU specifications). Pass `--json` for one JSON
+//! object per target on stdout instead of the table.
 fn main() {
-    respec_bench::table1();
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", respec_bench::jsonout::table1_lines());
+    } else {
+        respec_bench::table1();
+    }
 }

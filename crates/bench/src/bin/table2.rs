@@ -1,5 +1,6 @@
 //! Regenerates Table II: lud profiling counters at (1,1), (4,1), (1,4).
-//! Defaults to the Large workload; pass `--small` for a quick run.
+//! Defaults to the Large workload; pass `--small` for a quick run, `--json`
+//! for one JSON object per configuration on stdout instead of the table.
 use respec_rodinia::Workload;
 
 fn main() {
@@ -8,5 +9,10 @@ fn main() {
     } else {
         Workload::Large
     };
-    respec_bench::table2(workload);
+    if std::env::args().any(|a| a == "--json") {
+        let rows = respec_bench::table2_data(workload);
+        print!("{}", respec_bench::jsonout::table2_lines(&rows));
+    } else {
+        respec_bench::table2(workload);
+    }
 }

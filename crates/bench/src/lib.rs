@@ -77,7 +77,12 @@ pub fn apply_target_lowering(module: &mut Module, target: &TargetDesc) {
 /// Composite time (whole application, all launches + overheads) of an app
 /// under a pipeline on a target. For [`Pipeline::PolygeistOpt`] the main
 /// kernel is autotuned first (TDO with kernel-scope timing).
-pub fn composite_seconds(app: &dyn App, target: &TargetDesc, pipeline: Pipeline, totals: &[i64]) -> f64 {
+pub fn composite_seconds(
+    app: &dyn App,
+    target: &TargetDesc,
+    pipeline: Pipeline,
+    totals: &[i64],
+) -> f64 {
     let mut module = match pipeline {
         Pipeline::PolygeistOpt => tuned_module(app, target, Strategy::Combined, totals),
         _ => compiled_module(app, pipeline),
@@ -91,7 +96,12 @@ pub fn composite_seconds(app: &dyn App, target: &TargetDesc, pipeline: Pipeline,
 /// Autotunes the app's main kernel (kernel-scope objective) and returns the
 /// module with the winner substituted. Falls back to the untuned module if
 /// nothing survives pruning.
-pub fn tuned_module(app: &dyn App, target: &TargetDesc, strategy: Strategy, totals: &[i64]) -> Module {
+pub fn tuned_module(
+    app: &dyn App,
+    target: &TargetDesc,
+    strategy: Strategy,
+    totals: &[i64],
+) -> Module {
     let mut module = compiled_module(app, Pipeline::PolygeistNoOpt);
     let name = app.main_kernel().to_string();
     let func = module.function(&name).expect("main kernel").clone();
@@ -113,7 +123,12 @@ pub fn tuned_module(app: &dyn App, target: &TargetDesc, strategy: Strategy, tota
 
 /// Best (minimum) main-kernel time over a strategy's candidate set, plus
 /// the identity time — the Fig. 13 measurement for one app.
-pub fn strategy_best(app: &dyn App, target: &TargetDesc, strategy: Strategy, totals: &[i64]) -> (f64, f64) {
+pub fn strategy_best(
+    app: &dyn App,
+    target: &TargetDesc,
+    strategy: Strategy,
+    totals: &[i64],
+) -> (f64, f64) {
     let module = compiled_module(app, Pipeline::PolygeistNoOpt);
     let name = app.main_kernel().to_string();
     let func = module.function(&name).expect("main kernel").clone();
@@ -195,31 +210,39 @@ pub struct Fig13Row {
     pub combined: f64,
 }
 
-/// Runs the Fig. 13 experiment: per-kernel best speedups per strategy on
-/// the A100 model. Returns one row per app.
-pub fn fig13(workload: Workload, totals: &[i64]) -> Vec<Fig13Row> {
+/// Computes the Fig. 13 data without printing: per-kernel best speedups per
+/// strategy on the A100 model, one row per app.
+pub fn fig13_data(workload: Workload, totals: &[i64]) -> Vec<Fig13Row> {
     let target = targets::a100();
     let mut rows = Vec::new();
+    for app in all_apps_sized(workload) {
+        let (id_t, best_t) = strategy_best(app.as_ref(), &target, Strategy::ThreadOnly, totals);
+        let (id_b, best_b) = strategy_best(app.as_ref(), &target, Strategy::BlockOnly, totals);
+        let (id_c, best_c) = strategy_best(app.as_ref(), &target, Strategy::Combined, totals);
+        rows.push(Fig13Row {
+            app: app.name().to_string(),
+            thread_only: id_t / best_t,
+            block_only: id_b / best_b,
+            combined: id_c / best_c,
+        });
+    }
+    rows
+}
+
+/// Runs the Fig. 13 experiment and prints the table. Returns one row per
+/// app (see [`fig13_data`] for the print-free variant).
+pub fn fig13(workload: Workload, totals: &[i64]) -> Vec<Fig13Row> {
+    let rows = fig13_data(workload, totals);
     println!("== Fig. 13: best kernel speedup per coarsening strategy (A100) ==");
     println!(
         "{:<16} {:>12} {:>12} {:>12}",
         "kernel", "thread-only", "block-only", "combined"
     );
-    for app in all_apps_sized(workload) {
-        let (id_t, best_t) = strategy_best(app.as_ref(), &target, Strategy::ThreadOnly, totals);
-        let (id_b, best_b) = strategy_best(app.as_ref(), &target, Strategy::BlockOnly, totals);
-        let (id_c, best_c) = strategy_best(app.as_ref(), &target, Strategy::Combined, totals);
-        let row = Fig13Row {
-            app: app.name().to_string(),
-            thread_only: id_t / best_t,
-            block_only: id_b / best_b,
-            combined: id_c / best_c,
-        };
+    for row in &rows {
         println!(
             "{:<16} {:>11.3}x {:>11.3}x {:>11.3}x",
             row.app, row.thread_only, row.block_only, row.combined
         );
-        rows.push(row);
     }
     let g = |f: fn(&Fig13Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     println!(
@@ -239,7 +262,11 @@ pub fn fig13(workload: Workload, totals: &[i64]) -> Vec<Fig13Row> {
 
 /// Measures the main lud kernel's time under one coarsening configuration;
 /// `None` means illegal or pruned (shared memory over budget).
-pub fn lud_config_seconds(lud: &dyn App, target: &TargetDesc, config: respec::CoarsenConfig) -> Option<f64> {
+pub fn lud_config_seconds(
+    lud: &dyn App,
+    target: &TargetDesc,
+    config: respec::CoarsenConfig,
+) -> Option<f64> {
     let module = compiled_module(lud, Pipeline::PolygeistNoOpt);
     let name = lud.main_kernel().to_string();
     let mut func = module.function(&name).expect("main kernel").clone();
@@ -249,7 +276,11 @@ pub fn lud_config_seconds(lud: &dyn App, target: &TargetDesc, config: respec::Co
     optimize(&mut func);
     // Early shared-memory pruning (decision point 2 of §VI).
     let launches = respec::ir::kernel::analyze_function(&func).ok()?;
-    let shared: u64 = launches.iter().map(|l| l.shared_bytes(&func)).max().unwrap_or(0);
+    let shared: u64 = launches
+        .iter()
+        .map(|l| l.shared_bytes(&func))
+        .max()
+        .unwrap_or(0);
     if shared > target.shared_per_block {
         return None;
     }
@@ -260,90 +291,136 @@ pub fn lud_config_seconds(lud: &dyn App, target: &TargetDesc, config: respec::Co
     Some(sim.kernel_seconds(&name))
 }
 
+/// Evaluates a grid of cells into a matrix indexed `[row][col]`.
+fn grid_data(
+    rows_keys: &[i64],
+    col_keys: &[i64],
+    cell: impl Fn(i64, i64) -> Option<f64>,
+) -> Vec<Vec<Option<f64>>> {
+    rows_keys
+        .iter()
+        .map(|&r| col_keys.iter().map(|&c| cell(r, c)).collect())
+        .collect()
+}
+
 fn print_grid(
     title: &str,
     note: &str,
     row_label: &str,
     rows_keys: &[i64],
     col_keys: &[i64],
-    cell: impl Fn(i64, i64) -> Option<f64>,
-) -> Vec<Vec<Option<f64>>> {
+    matrix: &[Vec<Option<f64>>],
+) {
     println!("{title}");
     print!("{row_label:>8}");
     for &c in col_keys {
         print!("{c:>8}");
     }
     println!();
-    let mut matrix = Vec::new();
-    for &r in rows_keys {
+    for (&r, row) in rows_keys.iter().zip(matrix) {
         print!("{r:>8}");
-        let mut row = Vec::new();
-        for &c in col_keys {
-            let v = cell(r, c);
+        for v in row {
             match v {
                 Some(s) => print!("{s:>8.3}"),
                 None => print!("{:>8}", "--"),
             }
-            row.push(v);
         }
         println!();
-        matrix.push(row);
     }
     println!("{note}\n");
-    matrix
 }
 
-/// Runs the Fig. 14 experiment: lud main-kernel speedup over a grid of
-/// total (block, thread) factors relative to (1, 1) — higher is better.
-/// Returns the speedup matrix indexed `[block][thread]`.
-pub fn fig14(workload: Workload, block_totals: &[i64], thread_totals: &[i64]) -> Vec<Vec<Option<f64>>> {
+/// Computes the Fig. 14 data without printing: lud main-kernel speedup over
+/// a grid of total (block, thread) factors relative to (1, 1).
+pub fn fig14_data(
+    workload: Workload,
+    block_totals: &[i64],
+    thread_totals: &[i64],
+) -> Vec<Vec<Option<f64>>> {
     let target = targets::a100();
     let apps = all_apps_sized(workload);
-    let lud = apps.iter().find(|a| a.name() == "lud").expect("lud registered");
-    let base =
-        lud_config_seconds(lud.as_ref(), &target, respec::CoarsenConfig::identity()).expect("identity runs");
+    let lud = apps
+        .iter()
+        .find(|a| a.name() == "lud")
+        .expect("lud registered");
+    let base = lud_config_seconds(lud.as_ref(), &target, respec::CoarsenConfig::identity())
+        .expect("identity runs");
+    grid_data(block_totals, thread_totals, |b, t| {
+        let bf = respec::opt::split_total(b, &[None, None, Some(1)], false)?;
+        let tf = respec::opt::split_total(t, &[Some(16), Some(16), Some(1)], true)?;
+        lud_config_seconds(
+            lud.as_ref(),
+            &target,
+            respec::CoarsenConfig {
+                block: bf,
+                thread: tf,
+            },
+        )
+        .map(|s| base / s)
+    })
+}
+
+/// Runs the Fig. 14 experiment and prints the grid — higher is better.
+/// Returns the speedup matrix indexed `[block][thread]` (see [`fig14_data`]).
+pub fn fig14(
+    workload: Workload,
+    block_totals: &[i64],
+    thread_totals: &[i64],
+) -> Vec<Vec<Option<f64>>> {
+    let matrix = fig14_data(workload, block_totals, thread_totals);
     print_grid(
         "== Fig. 14: lud main kernel speedup over (block, thread) total factors (A100) ==",
         "(-- = illegal or pruned; the paper peaks at block 7 x thread 2 and finds thread >= 16 breaks full warps)",
         "blk\\thr",
         block_totals,
         thread_totals,
-        |b, t| {
-            let bf = respec::opt::split_total(b, &[None, None, Some(1)], false)?;
-            let tf = respec::opt::split_total(t, &[Some(16), Some(16), Some(1)], true)?;
-            lud_config_seconds(lud.as_ref(), &target, respec::CoarsenConfig { block: bf, thread: tf })
-                .map(|s| base / s)
-        },
-    )
+        &matrix,
+    );
+    matrix
 }
 
-/// Runs the Fig. 15 experiment: block coarsening restricted to the x
-/// dimension × thread totals. Returns the speedup matrix `[block_x][thread]`.
-pub fn fig15(workload: Workload, block_x: &[i64], thread_totals: &[i64]) -> Vec<Vec<Option<f64>>> {
+/// Computes the Fig. 15 data without printing: block coarsening restricted
+/// to the x dimension × thread totals.
+pub fn fig15_data(
+    workload: Workload,
+    block_x: &[i64],
+    thread_totals: &[i64],
+) -> Vec<Vec<Option<f64>>> {
     let target = targets::a100();
     let apps = all_apps_sized(workload);
-    let lud = apps.iter().find(|a| a.name() == "lud").expect("lud registered");
-    let base =
-        lud_config_seconds(lud.as_ref(), &target, respec::CoarsenConfig::identity()).expect("identity runs");
+    let lud = apps
+        .iter()
+        .find(|a| a.name() == "lud")
+        .expect("lud registered");
+    let base = lud_config_seconds(lud.as_ref(), &target, respec::CoarsenConfig::identity())
+        .expect("identity runs");
+    grid_data(block_x, thread_totals, |bx, t| {
+        let tf = respec::opt::split_total(t, &[Some(16), Some(16), Some(1)], true)?;
+        lud_config_seconds(
+            lud.as_ref(),
+            &target,
+            respec::CoarsenConfig {
+                block: [bx, 1, 1],
+                thread: tf,
+            },
+        )
+        .map(|s| base / s)
+    })
+}
+
+/// Runs the Fig. 15 experiment and prints the grid. Returns the speedup
+/// matrix `[block_x][thread]` (see [`fig15_data`]).
+pub fn fig15(workload: Workload, block_x: &[i64], thread_totals: &[i64]) -> Vec<Vec<Option<f64>>> {
+    let matrix = fig15_data(workload, block_x, thread_totals);
     print_grid(
         "== Fig. 15: lud speedup, block coarsening in x only x thread totals (A100) ==",
         "(x-direction coarsening preserves locality better than y; the paper peaks at 1.94x for bx 2 x thread 8)",
         "bx\\thr",
         block_x,
         thread_totals,
-        |bx, t| {
-            let tf = respec::opt::split_total(t, &[Some(16), Some(16), Some(1)], true)?;
-            lud_config_seconds(
-                lud.as_ref(),
-                &target,
-                respec::CoarsenConfig {
-                    block: [bx, 1, 1],
-                    thread: tf,
-                },
-            )
-            .map(|s| base / s)
-        },
-    )
+        &matrix,
+    );
+    matrix
 }
 
 // ---------------------------------------------------------------------------
@@ -375,17 +452,32 @@ pub struct ProfileRow {
     pub shmem_write_req: u64,
 }
 
-/// Runs the Table II experiment: profiles lud at the paper's three
-/// configurations — (1,1), (4,1) block-only, (1,4) thread-only — on the
-/// A100 model.
-pub fn table2(workload: Workload) -> Vec<ProfileRow> {
+/// Computes the Table II data without printing: profiles lud at the
+/// paper's three configurations — (1,1), (4,1) block-only, (1,4)
+/// thread-only — on the A100 model.
+pub fn table2_data(workload: Workload) -> Vec<ProfileRow> {
     let target = targets::a100();
     let apps = all_apps_sized(workload);
-    let lud = apps.iter().find(|a| a.name() == "lud").expect("lud registered");
+    let lud = apps
+        .iter()
+        .find(|a| a.name() == "lud")
+        .expect("lud registered");
     let configs = [
         ("(1, 1)", respec::CoarsenConfig::identity()),
-        ("(4, 1)", respec::CoarsenConfig { block: [4, 1, 1], thread: [1, 1, 1] }),
-        ("(1, 4)", respec::CoarsenConfig { block: [1, 1, 1], thread: [2, 2, 1] }),
+        (
+            "(4, 1)",
+            respec::CoarsenConfig {
+                block: [4, 1, 1],
+                thread: [1, 1, 1],
+            },
+        ),
+        (
+            "(1, 4)",
+            respec::CoarsenConfig {
+                block: [1, 1, 1],
+                thread: [2, 2, 1],
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, cfg) in configs {
@@ -408,8 +500,11 @@ pub fn table2(workload: Workload) -> Vec<ProfileRow> {
             + stats.shared_write_requests
             + stats.shared_conflict_extra;
         let cycles = (runtime * target.clock_hz).max(1.0);
-        let lsu_util = (lsu_req as f64 / (target.lsu_per_sm_per_cycle * target.sm_count as f64 * cycles)).min(1.0);
-        let fma = stats.issues_of(respec::sim::InstClass::Fp32) + stats.issues_of(respec::sim::InstClass::Fp64);
+        let lsu_util = (lsu_req as f64
+            / (target.lsu_per_sm_per_cycle * target.sm_count as f64 * cycles))
+            .min(1.0);
+        let fma = stats.issues_of(respec::sim::InstClass::Fp32)
+            + stats.issues_of(respec::sim::InstClass::Fp64);
         let fma_util = (fma as f64 * target.warp_size as f64
             / (target.fp32_per_sm_cycle() * target.sm_count as f64 * cycles))
             .min(1.0);
@@ -426,6 +521,12 @@ pub fn table2(workload: Workload) -> Vec<ProfileRow> {
             shmem_write_req: stats.shared_write_requests,
         });
     }
+    rows
+}
+
+/// Runs the Table II experiment and prints the table (see [`table2_data`]).
+pub fn table2(workload: Workload) -> Vec<ProfileRow> {
+    let rows = table2_data(workload);
     println!("== Table II: profiling data for lud (A100) ==");
     println!(
         "{:<24} {:>12} {:>12} {:>12}",
@@ -434,11 +535,21 @@ pub fn table2(workload: Workload) -> Vec<ProfileRow> {
     let fmt_b = |v: u64| format!("{:.2} MB", v as f64 / 1e6);
     let fmt_m = |v: u64| format!("{:.3} M", v as f64 / 1e6);
     let line = |name: &str, f: &dyn Fn(&ProfileRow) -> String| {
-        println!("{:<24} {:>12} {:>12} {:>12}", name, f(&rows[0]), f(&rows[1]), f(&rows[2]));
+        println!(
+            "{:<24} {:>12} {:>12} {:>12}",
+            name,
+            f(&rows[0]),
+            f(&rows[1]),
+            f(&rows[2])
+        );
     };
     line("Runtime", &|r| format!("{:.3e} s", r.runtime));
-    line("LSU utilization", &|r| format!("{:.0}%", r.lsu_util * 100.0));
-    line("FMA utilization", &|r| format!("{:.0}%", r.fma_util * 100.0));
+    line("LSU utilization", &|r| {
+        format!("{:.0}%", r.lsu_util * 100.0)
+    });
+    line("FMA utilization", &|r| {
+        format!("{:.0}%", r.fma_util * 100.0)
+    });
     line("L2->L1 Read", &|r| fmt_b(r.l2_l1_read));
     line("L1->L2 Write", &|r| fmt_b(r.l1_l2_write));
     line("L1->SM Read Req.", &|r| fmt_m(r.l1_sm_read_req));
@@ -468,35 +579,14 @@ pub struct Fig16Row {
     pub pg_opt: f64,
 }
 
-/// Runs the Fig. 16 experiment on the given targets.
-pub fn fig16(workload: Workload, run_targets: &[TargetDesc], totals: &[i64]) -> Vec<Fig16Row> {
+/// Computes the Fig. 16 data without printing, on the given targets.
+pub fn fig16_data(workload: Workload, run_targets: &[TargetDesc], totals: &[i64]) -> Vec<Fig16Row> {
     let mut rows = Vec::new();
     for target in run_targets {
-        println!(
-            "== Fig. 16: Rodinia composite speedup over the {} baseline on {} ==",
-            if matches!(target.vendor, respec::sim::Vendor::Amd) { "hipify+clang" } else { "clang" },
-            target.name
-        );
-        println!(
-            "{:<16} {:>12} {:>12} {:>12} {:>12}",
-            "app", "clang(s)", "P-G", "P-G opt", "opt vs P-G"
-        );
-        let mut speedups_pg = Vec::new();
-        let mut speedups_opt = Vec::new();
         for app in all_apps_sized(workload) {
             let clang = composite_seconds(app.as_ref(), target, Pipeline::Clang, totals);
             let pg = composite_seconds(app.as_ref(), target, Pipeline::PolygeistNoOpt, totals);
             let pg_opt = composite_seconds(app.as_ref(), target, Pipeline::PolygeistOpt, totals);
-            println!(
-                "{:<16} {:>12.3e} {:>11.3}x {:>11.3}x {:>11.3}x",
-                app.name(),
-                clang,
-                clang / pg,
-                clang / pg_opt,
-                pg / pg_opt
-            );
-            speedups_pg.push(clang / pg);
-            speedups_opt.push(clang / pg_opt);
             rows.push(Fig16Row {
                 app: app.name().to_string(),
                 target: target.name.to_string(),
@@ -505,55 +595,245 @@ pub fn fig16(workload: Workload, run_targets: &[TargetDesc], totals: &[i64]) -> 
                 pg_opt,
             });
         }
+    }
+    rows
+}
+
+/// Runs the Fig. 16 experiment and prints one table per target (see
+/// [`fig16_data`]).
+pub fn fig16(workload: Workload, run_targets: &[TargetDesc], totals: &[i64]) -> Vec<Fig16Row> {
+    let rows = fig16_data(workload, run_targets, totals);
+    for target in run_targets {
+        println!(
+            "== Fig. 16: Rodinia composite speedup over the {} baseline on {} ==",
+            if matches!(target.vendor, respec::sim::Vendor::Amd) {
+                "hipify+clang"
+            } else {
+                "clang"
+            },
+            target.name
+        );
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>12}",
+            "app", "clang(s)", "P-G", "P-G opt", "opt vs P-G"
+        );
+        let of_target: Vec<&Fig16Row> = rows.iter().filter(|r| r.target == target.name).collect();
+        for row in &of_target {
+            println!(
+                "{:<16} {:>12.3e} {:>11.3}x {:>11.3}x {:>11.3}x",
+                row.app,
+                row.clang,
+                row.clang / row.pg,
+                row.clang / row.pg_opt,
+                row.pg / row.pg_opt
+            );
+        }
         println!(
             "{:<16} {:>12} {:>11.3}x {:>11.3}x   (geomean; paper: 1.17-1.27 NVIDIA, 1.16-1.17 AMD)",
             "geomean",
             "",
-            geomean(&speedups_pg),
-            geomean(&speedups_opt)
+            geomean(&of_target.iter().map(|r| r.clang / r.pg).collect::<Vec<_>>()),
+            geomean(
+                &of_target
+                    .iter()
+                    .map(|r| r.clang / r.pg_opt)
+                    .collect::<Vec<_>>()
+            )
         );
         println!();
     }
     rows
 }
 
-/// Runs the Fig. 17 experiment: A4000 (clang) vs A4000 (P-G opt) vs RX6800
-/// (P-G opt) per app. Returns `(app, a4000_clang, a4000_pg, rx6800_pg)`.
-pub fn fig17(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)> {
+/// Computes the Fig. 17 data without printing: A4000 (clang) vs A4000
+/// (P-G opt) vs RX6800 (P-G opt) per app. Returns
+/// `(app, a4000_clang, a4000_pg, rx6800_pg)`.
+pub fn fig17_data(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)> {
     let a4000 = targets::a4000();
     let rx6800 = targets::rx6800();
     let mut rows = Vec::new();
+    for app in all_apps_sized(workload) {
+        let base = composite_seconds(app.as_ref(), &a4000, Pipeline::Clang, totals);
+        let pg_a4000 = composite_seconds(app.as_ref(), &a4000, Pipeline::PolygeistOpt, totals);
+        let pg_rx = composite_seconds(app.as_ref(), &rx6800, Pipeline::PolygeistOpt, totals);
+        rows.push((app.name().to_string(), base, pg_a4000, pg_rx));
+    }
+    rows
+}
+
+/// Runs the Fig. 17 experiment and prints the table (see [`fig17_data`]).
+pub fn fig17(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)> {
+    let rows = fig17_data(workload, totals);
     println!("== Fig. 17: cross-vendor comparison (baseline: clang on A4000) ==");
     println!(
         "{:<16} {:>14} {:>14} {:>14}",
         "app", "A4000 clang(s)", "A4000 P-G", "RX6800 P-G"
     );
-    let mut su_a4000 = Vec::new();
-    let mut su_rx = Vec::new();
-    for app in all_apps_sized(workload) {
-        let base = composite_seconds(app.as_ref(), &a4000, Pipeline::Clang, totals);
-        let pg_a4000 = composite_seconds(app.as_ref(), &a4000, Pipeline::PolygeistOpt, totals);
-        let pg_rx = composite_seconds(app.as_ref(), &rx6800, Pipeline::PolygeistOpt, totals);
+    for (app, base, pg_a4000, pg_rx) in &rows {
         println!(
             "{:<16} {:>14.3e} {:>13.3}x {:>13.3}x",
-            app.name(),
+            app,
             base,
             base / pg_a4000,
             base / pg_rx
         );
-        su_a4000.push(base / pg_a4000);
-        su_rx.push(base / pg_rx);
-        rows.push((app.name().to_string(), base, pg_a4000, pg_rx));
     }
     println!(
         "{:<16} {:>14} {:>13.3}x {:>13.3}x   (geomean; paper: RX6800 (P-G) 1.25x over A4000 (clang))",
         "geomean",
         "",
-        geomean(&su_a4000),
-        geomean(&su_rx)
+        geomean(&rows.iter().map(|(_, b, a, _)| b / a).collect::<Vec<_>>()),
+        geomean(&rows.iter().map(|(_, b, _, r)| b / r).collect::<Vec<_>>())
     );
     println!();
     rows
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output (`--json`)
+// ---------------------------------------------------------------------------
+
+/// JSON-lines renderers for every figure/table: one flat object per row,
+/// newline-separated, built on `respec_trace`'s dependency-free writer.
+/// Every object carries a `"figure"` discriminator so mixed streams stay
+/// `jq`-friendly.
+pub mod jsonout {
+    use respec::trace::json::JsonObject;
+
+    use super::{Fig13Row, Fig16Row, ProfileRow};
+
+    /// Fig. 13 rows: per-app best speedup per strategy.
+    pub fn fig13_lines(rows: &[Fig13Row]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "fig13")
+                    .str("app", &r.app)
+                    .f64("thread_only", r.thread_only)
+                    .f64("block_only", r.block_only)
+                    .f64("combined", r.combined)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Speedup-grid rows (Fig. 14/15): one object per cell, `null` speedup
+    /// for illegal/pruned configurations.
+    pub fn grid_lines(
+        figure: &str,
+        row_key: &str,
+        col_key: &str,
+        row_keys: &[i64],
+        col_keys: &[i64],
+        matrix: &[Vec<Option<f64>>],
+    ) -> String {
+        let mut out = String::new();
+        for (&r, row) in row_keys.iter().zip(matrix) {
+            for (&c, v) in col_keys.iter().zip(row) {
+                out.push_str(
+                    &JsonObject::new()
+                        .str("figure", figure)
+                        .i64(row_key, r)
+                        .i64(col_key, c)
+                        .opt_f64("speedup", *v)
+                        .finish(),
+                );
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Table I rows: one object per evaluation target.
+    pub fn table1_lines() -> String {
+        let mut out = String::new();
+        for t in respec::targets::all_targets() {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "table1")
+                    .str("gpu", t.name)
+                    .str("vendor", &format!("{:?}", t.vendor))
+                    .u64("sms", t.sm_count as u64)
+                    .f64("fp64_flops", t.fp64_flops)
+                    .f64("fp32_flops", t.fp32_flops)
+                    .f64("dram_bw", t.dram_bw)
+                    .u64("global_bytes", t.global_bytes)
+                    .u64("l2_bytes", t.l2_bytes)
+                    .u64("l1_bytes", t.l1_bytes)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Table II rows: lud profiling counters per configuration.
+    pub fn table2_lines(rows: &[ProfileRow]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "table2")
+                    .str("config", &r.label)
+                    .f64("runtime_s", r.runtime)
+                    .f64("lsu_util", r.lsu_util)
+                    .f64("fma_util", r.fma_util)
+                    .u64("l2_l1_read_bytes", r.l2_l1_read)
+                    .u64("l1_l2_write_bytes", r.l1_l2_write)
+                    .u64("l1_sm_read_req", r.l1_sm_read_req)
+                    .u64("sm_l1_write_req", r.sm_l1_write_req)
+                    .u64("shmem_read_req", r.shmem_read_req)
+                    .u64("shmem_write_req", r.shmem_write_req)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fig. 16 rows: composite seconds per app × target × pipeline.
+    pub fn fig16_lines(rows: &[Fig16Row]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "fig16")
+                    .str("app", &r.app)
+                    .str("target", &r.target)
+                    .f64("clang_s", r.clang)
+                    .f64("pg_s", r.pg)
+                    .f64("pg_opt_s", r.pg_opt)
+                    .f64("speedup_pg", r.clang / r.pg)
+                    .f64("speedup_pg_opt", r.clang / r.pg_opt)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fig. 17 rows: cross-vendor composite comparison.
+    pub fn fig17_lines(rows: &[(String, f64, f64, f64)]) -> String {
+        let mut out = String::new();
+        for (app, base, pg_a4000, pg_rx) in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "fig17")
+                    .str("app", app)
+                    .f64("a4000_clang_s", *base)
+                    .f64("a4000_pg_s", *pg_a4000)
+                    .f64("rx6800_pg_s", *pg_rx)
+                    .f64("speedup_a4000_pg", base / pg_a4000)
+                    .f64("speedup_rx6800_pg", base / pg_rx)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -584,10 +864,52 @@ mod tests {
     #[test]
     fn strategy_best_never_exceeds_identity() {
         let apps = all_apps_sized(Workload::Small);
-        let pf = apps.iter().find(|a| a.name() == "pathfinder").expect("registered");
+        let pf = apps
+            .iter()
+            .find(|a| a.name() == "pathfinder")
+            .expect("registered");
         let t = targets::a100();
         let (identity, best) = strategy_best(pf.as_ref(), &t, Strategy::Combined, &[1, 2]);
         assert!(best <= identity);
         assert!(best.is_finite() && identity.is_finite());
+    }
+
+    fn assert_json_lines(lines: &str, figure: &str) {
+        assert!(!lines.is_empty(), "{figure}: no output");
+        for line in lines.lines() {
+            respec::trace::json::validate(line)
+                .unwrap_or_else(|e| panic!("{figure}: invalid JSON line {line:?}: {e}"));
+            assert!(
+                line.starts_with(&format!("{{\"figure\":\"{figure}\"")),
+                "{figure}: missing discriminator in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_lines_are_valid_for_every_experiment() {
+        assert_json_lines(&jsonout::table1_lines(), "table1");
+
+        let rows = fig13_data(Workload::Small, &[1, 2]);
+        let lines = jsonout::fig13_lines(&rows);
+        assert_json_lines(&lines, "fig13");
+        assert_eq!(lines.lines().count(), rows.len());
+
+        let blocks = [1i64, 2];
+        let threads = [1i64, 2];
+        let matrix = fig14_data(Workload::Small, &blocks, &threads);
+        let lines = jsonout::grid_lines(
+            "fig14",
+            "block_total",
+            "thread_total",
+            &blocks,
+            &threads,
+            &matrix,
+        );
+        assert_json_lines(&lines, "fig14");
+        assert_eq!(lines.lines().count(), blocks.len() * threads.len());
+
+        let rows = table2_data(Workload::Small);
+        assert_json_lines(&jsonout::table2_lines(&rows), "table2");
     }
 }

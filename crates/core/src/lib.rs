@@ -52,13 +52,17 @@ pub use respec_frontend as frontend;
 pub use respec_ir as ir;
 pub use respec_opt as opt;
 pub use respec_sim as sim;
+pub use respec_trace as trace;
 pub use respec_tune as tune;
 
 pub use respec_frontend::KernelSpec;
 pub use respec_ir::{Function, Module};
 pub use respec_opt::{CoarsenConfig, IndexingStyle};
 pub use respec_sim::{targets, GpuSim, KernelArg, LaunchReport, TargetDesc};
-pub use respec_tune::{candidate_configs, tune_kernel, Strategy, TuneResult, DEFAULT_TOTALS};
+pub use respec_trace::{Trace, TraceSummary};
+pub use respec_tune::{
+    candidate_configs, tune_kernel, tune_kernel_traced, Strategy, TuneResult, DEFAULT_TOTALS,
+};
 
 /// Top-level error type of the pipeline facade.
 #[derive(Clone, Debug)]
@@ -122,6 +126,7 @@ pub struct Compiler {
     target: Option<TargetDesc>,
     coarsen: Option<CoarsenConfig>,
     run_optimizer: bool,
+    trace: Trace,
 }
 
 impl Compiler {
@@ -164,6 +169,17 @@ impl Compiler {
         self
     }
 
+    /// Attaches a trace handle: compilation records one span per phase and
+    /// per optimization pass, the autotuner logs every pruning decision, and
+    /// simulators created via [`Compiled::simulator`] record per-launch
+    /// spans. Tracing is strictly observational — it changes neither the
+    /// produced IR nor any simulated timing (see the `trace_neutrality`
+    /// property test).
+    pub fn with_trace(mut self, trace: Trace) -> Compiler {
+        self.trace = trace;
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -172,22 +188,38 @@ impl Compiler {
     /// fails to compile, or coarsening is illegal.
     pub fn compile(self) -> Result<Compiled, Error> {
         if self.specs.is_empty() {
-            return Err(Error::Builder("no kernels declared; call .kernel(...)".into()));
+            return Err(Error::Builder(
+                "no kernels declared; call .kernel(...)".into(),
+            ));
         }
         let target = self
             .target
             .ok_or_else(|| Error::Builder("no target selected; call .target(...)".into()))?;
-        let mut module = respec_frontend::compile_cuda(&self.source, &self.specs)?;
+        let mut module = {
+            let _span = self.trace.span("compile", "frontend");
+            respec_frontend::compile_cuda(&self.source, &self.specs)?
+        };
         for func in module.functions_mut() {
             if let Some(cfg) = self.coarsen {
+                let mut span = self
+                    .trace
+                    .span("compile", format!("coarsen:{}", func.name()));
+                span.record("config", cfg.to_string());
                 respec_opt::coarsen_function(func, cfg)?;
             }
             if self.run_optimizer {
-                respec_opt::optimize(func);
+                respec_opt::optimize_traced(func, &self.trace);
             }
+            let _span = self
+                .trace
+                .span("compile", format!("verify:{}", func.name()));
             respec_ir::verify_function(func).map_err(|e| Error::Builder(e.to_string()))?;
         }
-        Ok(Compiled { module, target })
+        Ok(Compiled {
+            module,
+            target,
+            trace: self.trace,
+        })
     }
 }
 
@@ -198,6 +230,9 @@ pub struct Compiled {
     pub module: Module,
     /// The target descriptor.
     pub target: TargetDesc,
+    /// The trace handle events were recorded into (disabled unless the
+    /// builder was given one via [`Compiler::with_trace`]).
+    pub trace: Trace,
 }
 
 impl Compiled {
@@ -212,9 +247,17 @@ impl Compiled {
             .unwrap_or_else(|| panic!("kernel {name} was not declared"))
     }
 
-    /// Creates a fresh simulator for the bound target.
+    /// Creates a fresh simulator for the bound target, recording into the
+    /// same trace as compilation (if one is attached).
     pub fn simulator(&self) -> GpuSim {
-        GpuSim::new(self.target.clone())
+        let mut sim = GpuSim::new(self.target.clone());
+        sim.set_trace(self.trace.clone());
+        sim
+    }
+
+    /// Summarizes everything recorded so far into a [`TraceReport`].
+    pub fn trace_report(&self) -> TraceReport {
+        TraceReport::from_trace(&self.trace)
     }
 
     /// Launches a kernel with backend-derived register counts.
@@ -249,15 +292,57 @@ impl Compiled {
         run: impl FnMut(&Function, u32) -> Result<f64, respec_sim::SimError>,
     ) -> Result<TuneResult, Error> {
         let func = self.kernel(name).clone();
-        let launches = respec_ir::kernel::analyze_function(&func).map_err(|e| Error::Builder(e.to_string()))?;
+        let launches = respec_ir::kernel::analyze_function(&func)
+            .map_err(|e| Error::Builder(e.to_string()))?;
         let block_dims = launches
             .first()
             .map(|l| l.block_dims.clone())
             .unwrap_or_else(|| vec![1, 1, 1]);
         let configs = candidate_configs(strategy, totals, &block_dims);
-        let result = tune_kernel(&func, &self.target, &configs, run)?;
+        let result = tune_kernel_traced(&func, &self.target, &configs, run, &self.trace)?;
         self.module.add_function(result.best.clone());
         Ok(result)
+    }
+}
+
+/// High-level view of one pipeline run's trace: how many events each layer
+/// recorded, plus the full per-name aggregation ([`TraceSummary`]).
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Optimization-pass spans (category `pass`).
+    pub pass_spans: usize,
+    /// Tuning decision events (category `tune`).
+    pub tune_events: usize,
+    /// Simulated kernel-launch spans (category `sim`).
+    pub launch_spans: usize,
+    /// All events recorded, any category.
+    pub total_events: usize,
+    /// Aggregated per-name statistics.
+    pub summary: TraceSummary,
+}
+
+impl TraceReport {
+    /// Builds the report from a trace handle.
+    pub fn from_trace(trace: &Trace) -> TraceReport {
+        let events = trace.events();
+        TraceReport {
+            pass_spans: events.iter().filter(|e| e.category == "pass").count(),
+            tune_events: events.iter().filter(|e| e.category == "tune").count(),
+            launch_spans: events.iter().filter(|e| e.category == "sim").count(),
+            total_events: events.len(),
+            summary: TraceSummary::from_events(&events),
+        }
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} events ({} pass spans, {} tuning events, {} launch spans)",
+            self.total_events, self.pass_spans, self.tune_events, self.launch_spans
+        )?;
+        self.summary.fmt(f)
     }
 }
 
@@ -266,7 +351,9 @@ pub fn registers_for(target: &TargetDesc, func: &Function) -> u32 {
     match respec_ir::kernel::analyze_function(func) {
         Ok(launches) => launches
             .iter()
-            .map(|l| respec_backend::compile_launch(func, l, target.max_regs_per_thread).regs_per_thread)
+            .map(|l| {
+                respec_backend::compile_launch(func, l, target.max_regs_per_thread).regs_per_thread
+            })
             .max()
             .unwrap_or(32),
         Err(_) => 32,
@@ -286,9 +373,15 @@ mod tests {
 
     #[test]
     fn builder_requires_kernel_and_target() {
-        assert!(matches!(Compiler::new().source(SRC).compile(), Err(Error::Builder(_))));
         assert!(matches!(
-            Compiler::new().source(SRC).kernel("axpy", [128, 1, 1]).compile(),
+            Compiler::new().source(SRC).compile(),
+            Err(Error::Builder(_))
+        ));
+        assert!(matches!(
+            Compiler::new()
+                .source(SRC)
+                .kernel("axpy", [128, 1, 1])
+                .compile(),
             Err(Error::Builder(_))
         ));
     }
@@ -305,12 +398,17 @@ mod tests {
         let y = sim.mem.alloc_f32(&vec![1.0; 512]);
         let x = sim.mem.alloc_f32(&vec![2.0; 512]);
         compiled
-            .launch(&mut sim, "axpy", [4, 1, 1], &[
-                KernelArg::Buf(y),
-                KernelArg::Buf(x),
-                KernelArg::F32(10.0),
-                KernelArg::I32(512),
-            ])
+            .launch(
+                &mut sim,
+                "axpy",
+                [4, 1, 1],
+                &[
+                    KernelArg::Buf(y),
+                    KernelArg::Buf(x),
+                    KernelArg::F32(10.0),
+                    KernelArg::I32(512),
+                ],
+            )
             .unwrap();
         assert_eq!(sim.mem.read_f32(y), vec![21.0f32; 512]);
     }
@@ -332,14 +430,96 @@ mod tests {
         let y = sim.mem.alloc_f32(&vec![1.0; 1024]);
         let x = sim.mem.alloc_f32(&vec![2.0; 1024]);
         compiled
-            .launch(&mut sim, "axpy", [8, 1, 1], &[
-                KernelArg::Buf(y),
-                KernelArg::Buf(x),
-                KernelArg::F32(1.0),
-                KernelArg::I32(1024),
-            ])
+            .launch(
+                &mut sim,
+                "axpy",
+                [8, 1, 1],
+                &[
+                    KernelArg::Buf(y),
+                    KernelArg::Buf(x),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(1024),
+                ],
+            )
             .unwrap();
         assert_eq!(sim.mem.read_f32(y), vec![3.0f32; 1024]);
+    }
+
+    #[test]
+    fn traced_pipeline_reports_every_layer() {
+        let trace = Trace::new();
+        let mut compiled = Compiler::new()
+            .source(SRC)
+            .kernel("axpy", [128, 1, 1])
+            .target(targets::a100())
+            .with_trace(trace.clone())
+            .compile()
+            .unwrap();
+        let mut sim = compiled.simulator();
+        let y = sim.mem.alloc_f32(&vec![1.0; 512]);
+        let x = sim.mem.alloc_f32(&vec![2.0; 512]);
+        compiled
+            .launch(
+                &mut sim,
+                "axpy",
+                [4, 1, 1],
+                &[
+                    KernelArg::Buf(y),
+                    KernelArg::Buf(x),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(512),
+                ],
+            )
+            .unwrap();
+        compiled
+            .autotune("axpy", Strategy::Combined, &[1, 2], |func, regs| {
+                let mut s = GpuSim::new(targets::a100());
+                let b = s.mem.alloc_f32(&vec![1.0; 512]);
+                let c = s.mem.alloc_f32(&vec![2.0; 512]);
+                Ok(s.launch(
+                    func,
+                    [4, 1, 1],
+                    &[
+                        KernelArg::Buf(b),
+                        KernelArg::Buf(c),
+                        KernelArg::F32(1.0),
+                        KernelArg::I32(512),
+                    ],
+                    regs,
+                )?
+                .kernel_seconds)
+            })
+            .unwrap();
+        let report = compiled.trace_report();
+        assert!(
+            report.pass_spans >= 6,
+            "compile + tuning candidates each run the pass pipeline"
+        );
+        assert!(report.tune_events >= 3, "candidates + winner + tune span");
+        assert!(
+            report.launch_spans >= 1,
+            "the traced simulator records launches"
+        );
+        assert_eq!(report.total_events, trace.len());
+        let rendered = report.to_string();
+        assert!(rendered.contains("pass spans"));
+        // Both exporters emit valid JSON for the full stream.
+        respec_trace::json::validate(&trace.chrome_trace()).unwrap();
+        for line in trace.json_lines().lines() {
+            respec_trace::json::validate(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn untraced_pipeline_records_nothing() {
+        let compiled = Compiler::new()
+            .source(SRC)
+            .kernel("axpy", [128, 1, 1])
+            .target(targets::a100())
+            .compile()
+            .unwrap();
+        assert!(!compiled.trace.is_enabled());
+        assert_eq!(compiled.trace_report().total_events, 0);
     }
 
     #[test]
@@ -358,7 +538,12 @@ mod tests {
                 let report = sim.launch(
                     func,
                     [8, 1, 1],
-                    &[KernelArg::Buf(y), KernelArg::Buf(x), KernelArg::F32(1.0), KernelArg::I32(1024)],
+                    &[
+                        KernelArg::Buf(y),
+                        KernelArg::Buf(x),
+                        KernelArg::F32(1.0),
+                        KernelArg::I32(1024),
+                    ],
                     regs,
                 )?;
                 Ok(report.kernel_seconds)

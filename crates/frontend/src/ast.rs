@@ -218,7 +218,12 @@ fn assigned_vars_stmt(s: &Stmt, out: &mut Vec<String>) {
                 assigned_vars_stmt(e, out);
             }
         }
-        StmtKind::For { init, cond, inc, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } => {
             if let Some(i) = init {
                 assigned_vars_stmt(i, out);
             }
@@ -278,7 +283,10 @@ fn assigned_vars_expr(e: &Expr, out: &mut Vec<String>) {
             assigned_vars_expr(then, out);
             assigned_vars_expr(els, out);
         }
-        ExprKind::IntLit(_) | ExprKind::FloatLit(..) | ExprKind::Ident(_) | ExprKind::Builtin(..) => {}
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(..)
+        | ExprKind::Ident(_)
+        | ExprKind::Builtin(..) => {}
     }
 }
 

@@ -31,7 +31,9 @@ impl From<LexError> for CParseError {
     }
 }
 
-const TYPE_KEYWORDS: &[&str] = &["void", "bool", "int", "long", "unsigned", "float", "double", "size_t"];
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "bool", "int", "long", "unsigned", "float", "double", "size_t",
+];
 
 struct P {
     toks: Vec<Token>,
@@ -136,7 +138,10 @@ impl P {
         };
         let mut ty = base;
         while self.eat_punct("*") {
-            while self.eat_ident("const") || self.eat_ident("__restrict__") || self.eat_ident("restrict") {}
+            while self.eat_ident("const")
+                || self.eat_ident("__restrict__")
+                || self.eat_ident("restrict")
+            {}
             ty = CType::Ptr(Box::new(ty));
         }
         Ok(ty)
@@ -273,19 +278,26 @@ impl P {
                 self.bump();
                 let e = self.parse_unary()?;
                 Ok(Expr {
-                    kind: ExprKind::IncDec { inc, lhs: Box::new(e) },
+                    kind: ExprKind::IncDec {
+                        inc,
+                        lhs: Box::new(e),
+                    },
                     line,
                 })
             }
             TokKind::Punct("(") => {
                 // Disambiguate cast from parenthesized expression.
-                if matches!(self.peek2(), TokKind::Ident(w) if TYPE_KEYWORDS.contains(&w.as_str())) {
+                if matches!(self.peek2(), TokKind::Ident(w) if TYPE_KEYWORDS.contains(&w.as_str()))
+                {
                     self.bump(); // (
                     let ty = self.parse_type()?;
                     self.expect_punct(")")?;
                     let e = self.parse_unary()?;
                     Ok(Expr {
-                        kind: ExprKind::Cast { ty, expr: Box::new(e) },
+                        kind: ExprKind::Cast {
+                            ty,
+                            expr: Box::new(e),
+                        },
                         line,
                     })
                 } else {
@@ -314,7 +326,10 @@ impl P {
                 let inc = matches!(self.peek(), TokKind::Punct("++"));
                 self.bump();
                 e = Expr {
-                    kind: ExprKind::IncDec { inc, lhs: Box::new(e) },
+                    kind: ExprKind::IncDec {
+                        inc,
+                        lhs: Box::new(e),
+                    },
                     line,
                 };
             } else {
@@ -470,7 +485,12 @@ impl P {
             self.expect_punct(")")?;
             let body = Box::new(self.parse_stmt()?);
             out.push(Stmt {
-                kind: StmtKind::For { init, cond, inc, body },
+                kind: StmtKind::For {
+                    init,
+                    cond,
+                    inc,
+                    body,
+                },
                 line,
             });
             return Ok(());
@@ -520,7 +540,11 @@ impl P {
                 while self.eat_punct("[") {
                     match self.bump() {
                         TokKind::IntLit(v) if v > 0 => dims.push(v as usize),
-                        t => return Err(self.err(format!("array dimension must be a positive constant, found {t:?}"))),
+                        t => {
+                            return Err(self.err(format!(
+                                "array dimension must be a positive constant, found {t:?}"
+                            )))
+                        }
                     }
                     self.expect_punct("]")?;
                 }
@@ -577,14 +601,17 @@ impl P {
                     kind = Some(FuncKind::Global);
                 } else if self.eat_ident("__device__") {
                     kind = Some(FuncKind::Device);
-                } else if self.eat_ident("static") || self.eat_ident("inline") || self.eat_ident("__forceinline__")
+                } else if self.eat_ident("static")
+                    || self.eat_ident("inline")
+                    || self.eat_ident("__forceinline__")
                 {
                     // qualifier noise
                 } else {
                     break;
                 }
             }
-            let kind = kind.ok_or_else(|| self.err("expected __global__ or __device__ function"))?;
+            let kind =
+                kind.ok_or_else(|| self.err("expected __global__ or __device__ function"))?;
             let ret = self.parse_type()?;
             if kind == FuncKind::Global && ret != CType::Void {
                 return Err(self.err("__global__ functions must return void"));
@@ -763,7 +790,8 @@ mod tests {
 
     #[test]
     fn parses_unsigned_as_int() {
-        let unit = parse_cuda("__global__ void k(unsigned int* a, unsigned n) { a[0] = n; }").unwrap();
+        let unit =
+            parse_cuda("__global__ void k(unsigned int* a, unsigned n) { a[0] = n; }").unwrap();
         assert_eq!(unit.funcs[0].params[0].ty, CType::Ptr(Box::new(CType::Int)));
         assert_eq!(unit.funcs[0].params[1].ty, CType::Int);
     }

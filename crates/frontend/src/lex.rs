@@ -60,9 +60,9 @@ impl TokKind {
 
 const PUNCTS: &[&str] = &[
     // Three-char first, then two-char, then one-char: longest match wins.
-    "<<<", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
-    "^=", "<<", ">>", "++", "--", "->", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "=", "+", "-", "*",
-    "/", "%", "<", ">", "!", "&", "|", "^", "~", ".",
+    "<<<", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "<<", ">>", "++", "--", "->", "(", ")", "[", "]", "{", "}", ",", ";", ":",
+    "?", "=", "+", "-", "*", "/", "%", "<", ">", "!", "&", "|", "^", "~", ".",
 ];
 
 /// Strips `//…` and `/*…*/` comments, preserving line structure.
@@ -199,7 +199,8 @@ fn lex_raw(text: &str) -> Result<Vec<Token>, LexError> {
             });
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) {
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
             let start = i;
             let mut is_float = c == '.';
             if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
@@ -212,7 +213,10 @@ fn lex_raw(text: &str) -> Result<Vec<Token>, LexError> {
                     line,
                 })?;
                 // Consume integer suffixes.
-                while matches!(bytes.get(i), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+                while matches!(
+                    bytes.get(i),
+                    Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+                ) {
                     i += 1;
                 }
                 toks.push(Token {

@@ -40,8 +40,8 @@ mod lex;
 mod lower;
 
 pub use ast::{
-    assigned_vars, BinopC, BuiltinVar, CType, Expr, ExprKind, FuncDef, FuncKind, ParamDecl, Stmt, StmtKind,
-    TranslationUnit, UnopC,
+    assigned_vars, BinopC, BuiltinVar, CType, Expr, ExprKind, FuncDef, FuncKind, ParamDecl, Stmt,
+    StmtKind, TranslationUnit, UnopC,
 };
 pub use cparse::{parse_cuda, CParseError};
 pub use lex::{lex, LexError, TokKind, Token};
@@ -141,7 +141,12 @@ mod tests {
         assert_eq!(launches[0].shared_bytes(&func), 16 * 16 * 4);
         let mut barriers = 0;
         respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
-            if matches!(func.op(op).kind, OpKind::Barrier { level: ParLevel::Thread }) {
+            if matches!(
+                func.op(op).kind,
+                OpKind::Barrier {
+                    level: ParLevel::Thread
+                }
+            ) {
                 barriers += 1;
             }
         });
@@ -276,8 +281,11 @@ mod tests {
 
     #[test]
     fn rejects_unknown_kernel_name() {
-        let err = compile_cuda("__global__ void f(float* a) { a[0] = 1.0f; }", &[KernelSpec::new("g", [1, 1, 1])])
-            .unwrap_err();
+        let err = compile_cuda(
+            "__global__ void f(float* a) { a[0] = 1.0f; }",
+            &[KernelSpec::new("g", [1, 1, 1])],
+        )
+        .unwrap_err();
         assert!(matches!(err, CompileError::Lower(_)));
     }
 
@@ -306,7 +314,12 @@ mod tests {
         );
         let mut local_allocs = 0;
         respec_ir::walk::walk_ops(&func, func.body(), &mut |op| {
-            if matches!(func.op(op).kind, OpKind::Alloc { space: respec_ir::MemSpace::Local }) {
+            if matches!(
+                func.op(op).kind,
+                OpKind::Alloc {
+                    space: respec_ir::MemSpace::Local
+                }
+            ) {
                 local_allocs += 1;
             }
         });

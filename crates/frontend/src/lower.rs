@@ -15,8 +15,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use respec_ir::{
-    BinOp, CmpPred, FuncBuilder, Function, MemRefType, MemSpace, Module, OpKind, ParLevel, ScalarType, Type,
-    UnOp, Value,
+    BinOp, CmpPred, FuncBuilder, Function, MemRefType, MemSpace, Module, OpKind, ParLevel,
+    ScalarType, Type, UnOp, Value,
 };
 
 use crate::ast::*;
@@ -174,11 +174,11 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         }
     }
 
-    fn to_index(&mut self, tv: TV) -> Value {
+    fn cast_index(&mut self, tv: TV) -> Value {
         self.cast_to(tv, ScalarType::Index)
     }
 
-    fn to_bool(&mut self, tv: TV) -> Value {
+    fn cast_bool(&mut self, tv: TV) -> Value {
         if tv.ty == ScalarType::I1 {
             return tv.v;
         }
@@ -224,13 +224,24 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                 })
             }
             ExprKind::FloatLit(v, is_f32) => {
-                let ty = if *is_f32 { ScalarType::F32 } else { ScalarType::F64 };
+                let ty = if *is_f32 {
+                    ScalarType::F32
+                } else {
+                    ScalarType::F64
+                };
                 let c = self.b.const_float(*v, ty);
-                Ok(TV { v: c, ty, lit: true })
+                Ok(TV {
+                    v: c,
+                    ty,
+                    lit: true,
+                })
             }
             ExprKind::Ident(name) => match self.lookup(name) {
                 Some(Slot::Scalar(v, ty)) => Ok(TV { v, ty, lit: false }),
-                Some(Slot::Mem(_)) => Err(self.err(line, format!("{name} is a pointer/array, expected a scalar"))),
+                Some(Slot::Mem(_)) => Err(self.err(
+                    line,
+                    format!("{name} is a pointer/array, expected a scalar"),
+                )),
                 None => Err(self.err(line, format!("use of undeclared identifier {name}"))),
             },
             ExprKind::Builtin(var, dim) => {
@@ -261,10 +272,14 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                 match op {
                     UnopC::Neg => {
                         let v = self.b.unary(UnOp::Neg, tv.v);
-                        Ok(TV { v, ty: tv.ty, lit: tv.lit })
+                        Ok(TV {
+                            v,
+                            ty: tv.ty,
+                            lit: tv.lit,
+                        })
                     }
                     UnopC::Not => {
-                        let bl = self.to_bool(tv);
+                        let bl = self.cast_bool(tv);
                         let v = self.b.unary(UnOp::Not, bl);
                         Ok(TV {
                             v,
@@ -277,7 +292,11 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                             return Err(self.err(line, "bitwise not on a float"));
                         }
                         let v = self.b.unary(UnOp::Not, tv.v);
-                        Ok(TV { v, ty: tv.ty, lit: false })
+                        Ok(TV {
+                            v,
+                            ty: tv.ty,
+                            lit: false,
+                        })
                     }
                 }
             }
@@ -289,7 +308,11 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             ExprKind::Index { .. } => {
                 let (mem, indices, elem) = self.eval_lvalue_mem(e)?;
                 let v = self.b.load(mem, &indices);
-                Ok(TV { v, ty: elem, lit: false })
+                Ok(TV {
+                    v,
+                    ty: elem,
+                    lit: false,
+                })
             }
             ExprKind::Cast { ty, expr } => {
                 let target = scalar_of(ty, line)?;
@@ -303,7 +326,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             }
             ExprKind::Cond { cond, then, els } => {
                 let c = self.eval(cond)?;
-                let c = self.to_bool(c);
+                let c = self.cast_bool(c);
                 // Evaluate both arms in detached regions, then unify their
                 // types by appending casts before the yields.
                 let then_region = self.b.begin_region();
@@ -316,9 +339,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                     t.ty
                 } else if t.lit && !f.lit {
                     f.ty
-                } else if f.lit && !t.lit {
-                    t.ty
-                } else if rank(t.ty) >= rank(f.ty) {
+                } else if (f.lit && !t.lit) || rank(t.ty) >= rank(f.ty) {
                     t.ty
                 } else {
                     f.ty
@@ -347,15 +368,21 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         }
     }
 
-    fn eval_binary(&mut self, op: BinopC, a: &Expr, b: &Expr, line: u32) -> Result<TV, FrontendError> {
+    fn eval_binary(
+        &mut self,
+        op: BinopC,
+        a: &Expr,
+        b: &Expr,
+        line: u32,
+    ) -> Result<TV, FrontendError> {
         // Short-circuit logic first: the right operand may be guarded by the
         // left (e.g. `i < n && data[i] > 0`).
         if matches!(op, BinopC::LogAnd | BinopC::LogOr) {
             let l = self.eval(a)?;
-            let lb = self.to_bool(l);
+            let lb = self.cast_bool(l);
             let rhs_region = self.b.begin_region();
             let r = self.eval(b)?;
-            let rb = self.to_bool(r);
+            let rb = self.cast_bool(r);
             self.b.emit(OpKind::Yield, vec![rb], vec![], vec![]);
             self.b.end_region();
             let const_region = self.b.begin_region();
@@ -397,7 +424,11 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             _ => None,
         };
         if let Some(bin) = ir_bin {
-            if matches!(bin, BinOp::Shl | BinOp::Shr | BinOp::And | BinOp::Or | BinOp::Xor) && ty.is_float() {
+            if matches!(
+                bin,
+                BinOp::Shl | BinOp::Shr | BinOp::And | BinOp::Or | BinOp::Xor
+            ) && ty.is_float()
+            {
                 return Err(self.err(line, "bitwise operation on floats"));
             }
             let v = self.b.binary(bin, lv, rv);
@@ -441,7 +472,11 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             }
             let a = self.eval(&args[0])?;
             let v = self.b.unary(u, a.v);
-            return Ok(TV { v, ty: a.ty, lit: false });
+            return Ok(TV {
+                v,
+                ty: a.ty,
+                lit: false,
+            });
         }
         let bin = match name {
             "min" | "fmin" | "fminf" => Some(BinOp::Min),
@@ -472,7 +507,10 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             return Err(self.err(line, format!("recursive call to {name} cannot be inlined")));
         }
         if args.len() != fdef.params.len() {
-            return Err(self.err(line, format!("{name} expects {} arguments", fdef.params.len())));
+            return Err(self.err(
+                line,
+                format!("{name} expects {} arguments", fdef.params.len()),
+            ));
         }
         // Evaluate arguments in the caller's environment, then bind them in a
         // fresh callee scope (C by-value semantics for scalars).
@@ -530,7 +568,10 @@ impl<'f, 'u> Lowerer<'f, 'u> {
 
     /// Resolves an lvalue expression (`a[i]`, `tile[y][x]`) to its memref,
     /// index list (as `index` values) and element type.
-    fn eval_lvalue_mem(&mut self, e: &Expr) -> Result<(Value, Vec<Value>, ScalarType), FrontendError> {
+    fn eval_lvalue_mem(
+        &mut self,
+        e: &Expr,
+    ) -> Result<(Value, Vec<Value>, ScalarType), FrontendError> {
         let line = e.line;
         // Peel the index chain.
         let mut indices_rev: Vec<&Expr> = Vec::new();
@@ -545,7 +586,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         };
         let mem = match self.lookup(&name) {
             Some(Slot::Mem(m)) => m,
-            Some(Slot::Scalar(..)) => return Err(self.err(line, format!("{name} is a scalar, cannot index it"))),
+            Some(Slot::Scalar(..)) => {
+                return Err(self.err(line, format!("{name} is a scalar, cannot index it")))
+            }
             None => return Err(self.err(line, format!("use of undeclared identifier {name}"))),
         };
         let memref = self
@@ -568,7 +611,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         let mut indices = Vec::new();
         for idx in indices_rev.into_iter().rev() {
             let tv = self.eval(idx)?;
-            indices.push(self.to_index(tv));
+            indices.push(self.cast_index(tv));
         }
         Ok((mem, indices, memref.elem))
     }
@@ -580,10 +623,15 @@ impl<'f, 'u> Lowerer<'f, 'u> {
     fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), FrontendError> {
         for (i, stmt) in stmts.iter().enumerate() {
             // Early-return guard: if (c) return;  ⇒  if (!c) { rest }
-            if let StmtKind::If { cond, then, els: None } = &stmt.kind {
+            if let StmtKind::If {
+                cond,
+                then,
+                els: None,
+            } = &stmt.kind
+            {
                 if is_bare_return(then) {
                     let c = self.eval(cond)?;
-                    let cb = self.to_bool(c);
+                    let cb = self.cast_bool(c);
                     let not_c = self.b.unary(UnOp::Not, cb);
                     let rest = &stmts[i + 1..];
                     let then_region = self.b.begin_region();
@@ -595,8 +643,12 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                     let else_region = self.b.begin_region();
                     self.b.emit(OpKind::Yield, vec![], vec![], vec![]);
                     self.b.end_region();
-                    self.b
-                        .emit(OpKind::If, vec![not_c], vec![], vec![then_region, else_region]);
+                    self.b.emit(
+                        OpKind::If,
+                        vec![not_c],
+                        vec![],
+                        vec![then_region, else_region],
+                    );
                     return Ok(());
                 }
             }
@@ -620,7 +672,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                 init,
             } => {
                 if *shared {
-                    return Err(self.err(line, "__shared__ declarations must be at kernel top level"));
+                    return Err(
+                        self.err(line, "__shared__ declarations must be at kernel top level")
+                    );
                 }
                 if dims.is_empty() {
                     let sty = scalar_of(ty, line)?;
@@ -659,7 +713,12 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                 Ok(())
             }
             StmtKind::If { cond, then, els } => self.lower_if(cond, then, els.as_deref(), line),
-            StmtKind::For { init, cond, inc, body } => self.lower_for(init.as_deref(), cond.as_ref(), inc.as_ref(), body, line),
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => self.lower_for(init.as_deref(), cond.as_ref(), inc.as_ref(), body, line),
             StmtKind::While { cond, body } => self.lower_while(cond, body),
             StmtKind::Return(_) => Err(self.err(
                 line,
@@ -682,7 +741,11 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                         Some(Slot::Mem(_)) => {
                             return Err(self.err(line, format!("cannot reassign pointer {name}")))
                         }
-                        None => return Err(self.err(line, format!("use of undeclared identifier {name}"))),
+                        None => {
+                            return Err(
+                                self.err(line, format!("use of undeclared identifier {name}"))
+                            )
+                        }
                     };
                     let rhs_tv = self.eval(rhs)?;
                     let new = match op {
@@ -727,7 +790,10 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                     self.b.store(stored, mem, &indices);
                     Ok(())
                 }
-                _ => Err(self.err(line, "assignment target must be a variable or array element")),
+                _ => Err(self.err(
+                    line,
+                    "assignment target must be a variable or array element",
+                )),
             },
             ExprKind::IncDec { inc, lhs } => {
                 let op = if *inc { BinopC::Add } else { BinopC::Sub };
@@ -754,7 +820,13 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         }
     }
 
-    fn apply_compound(&mut self, op: BinopC, lhs: TV, rhs: TV, line: u32) -> Result<TV, FrontendError> {
+    fn apply_compound(
+        &mut self,
+        op: BinopC,
+        lhs: TV,
+        rhs: TV,
+        line: u32,
+    ) -> Result<TV, FrontendError> {
         let (lv, rv, ty, _) = self.unify(lhs, rhs);
         let bin = match op {
             BinopC::Add => BinOp::Add,
@@ -767,7 +839,12 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             BinopC::BitAnd => BinOp::And,
             BinopC::BitOr => BinOp::Or,
             BinopC::BitXor => BinOp::Xor,
-            other => return Err(self.err(line, format!("{other:?} is not a valid compound assignment"))),
+            other => {
+                return Err(self.err(
+                    line,
+                    format!("{other:?} is not a valid compound assignment"),
+                ))
+            }
         };
         let v = self.b.binary(bin, lv, rv);
         Ok(TV { v, ty, lit: false })
@@ -781,7 +858,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         _line: u32,
     ) -> Result<(), FrontendError> {
         let c = self.eval(cond)?;
-        let cb = self.to_bool(c);
+        let cb = self.cast_bool(c);
         // The merge set: scalars assigned in either branch that exist now.
         let mut names = Vec::new();
         assigned_vars(std::slice::from_ref(then), &mut names);
@@ -829,7 +906,12 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         self.b.end_region();
 
         let result_types: Vec<Type> = merged.iter().map(|(_, _, ty)| Type::Scalar(*ty)).collect();
-        let op = self.b.emit(OpKind::If, vec![cb], result_types, vec![then_region, else_region]);
+        let op = self.b.emit(
+            OpKind::If,
+            vec![cb],
+            result_types,
+            vec![then_region, else_region],
+        );
         let results = self.b.func().op(op).results.clone();
         for ((n, _, ty), v) in merged.iter().zip(results) {
             self.rebind(n, v, *ty);
@@ -896,7 +978,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                 dims,
                 shared: false,
                 init: Some(e),
-            } if dims.is_empty() && matches!(ty, CType::Int | CType::Long) => (name.clone(), ty.clone(), e),
+            } if dims.is_empty() && matches!(ty, CType::Int | CType::Long) => {
+                (name.clone(), ty.clone(), e)
+            }
             _ => return Ok(None),
         };
         // cond: i < e1  or  i <= e1
@@ -911,7 +995,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         };
         // inc: i++ / ++i / i += c / i = i + c
         let step_expr: Option<&Expr> = match &inc.kind {
-            ExprKind::IncDec { inc: true, lhs } if matches!(&lhs.kind, ExprKind::Ident(n) if *n == iname) => None,
+            ExprKind::IncDec { inc: true, lhs } if matches!(&lhs.kind, ExprKind::Ident(n) if *n == iname) => {
+                None
+            }
             ExprKind::Assign {
                 op: Some(BinopC::Add),
                 lhs,
@@ -937,7 +1023,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         // bound / step must not depend on variables assigned in the body.
         let mut body_assigned = Vec::new();
         assigned_vars(std::slice::from_ref(body), &mut body_assigned);
-        if body_assigned.iter().any(|n| *n == iname) {
+        if body_assigned.contains(&iname) {
             return Ok(None);
         }
         let mut bound_reads = Vec::new();
@@ -951,9 +1037,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
 
         let sty = scalar_of(&ity, init.line)?;
         let lb_tv = self.eval(init_expr)?;
-        let lb = self.to_index(lb_tv);
+        let lb = self.cast_index(lb_tv);
         let ub_tv = self.eval(ub_expr)?;
-        let mut ub = self.to_index(ub_tv);
+        let mut ub = self.cast_index(ub_tv);
         if le {
             let one = self.b.const_index(1);
             ub = self.b.add(ub, one);
@@ -962,7 +1048,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             None => self.b.const_index(1),
             Some(e) => {
                 let tv = self.eval(e)?;
-                self.to_index(tv)
+                self.cast_index(tv)
             }
         };
         let merged = self.live_scalars(&body_assigned);
@@ -995,7 +1081,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
 
         let mut operands = vec![lb, ub, step];
         operands.extend(inits);
-        let op = self.b.emit(OpKind::For, operands, result_types, vec![region]);
+        let op = self
+            .b
+            .emit(OpKind::For, operands, result_types, vec![region]);
         let results = self.b.func().op(op).results.clone();
         for ((n, _, ty), v) in merged.iter().zip(results) {
             self.rebind(n, v, *ty);
@@ -1032,7 +1120,7 @@ impl<'f, 'u> Lowerer<'f, 'u> {
             self.rebind(n, *arg, *ty);
         }
         let c = self.eval(cond)?;
-        let cb = self.to_bool(c);
+        let cb = self.cast_bool(c);
         let forwarded: Vec<Value> = merged
             .iter()
             .map(|(n, _, _)| match self.lookup(n) {
@@ -1043,7 +1131,8 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         self.pop_scope();
         let mut cond_operands = vec![cb];
         cond_operands.extend(forwarded);
-        self.b.emit(OpKind::Condition, cond_operands, vec![], vec![]);
+        self.b
+            .emit(OpKind::Condition, cond_operands, vec![], vec![]);
         self.b.end_region();
 
         let body_region = self.b.begin_region();
@@ -1067,7 +1156,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         self.b.emit(OpKind::Yield, finals, vec![], vec![]);
         self.b.end_region();
 
-        let op = self.b.emit(OpKind::While, inits, tys, vec![cond_region, body_region]);
+        let op = self
+            .b
+            .emit(OpKind::While, inits, tys, vec![cond_region, body_region]);
         let results = self.b.func().op(op).results.clone();
         for ((n, _, ty), v) in merged.iter().zip(results) {
             self.rebind(n, v, *ty);
@@ -1086,16 +1177,22 @@ impl<'f, 'u> Lowerer<'f, 'u> {
         for (i, stmt) in stmts.iter().enumerate() {
             match &stmt.kind {
                 StmtKind::Return(Some(e)) => {
-                    let ty = ret_ty.ok_or_else(|| self.err(stmt.line, "void function returns a value"))?;
+                    let ty = ret_ty
+                        .ok_or_else(|| self.err(stmt.line, "void function returns a value"))?;
                     let tv = self.eval(e)?;
                     return Ok(Some(self.cast_to(tv, ty)));
                 }
                 StmtKind::Return(None) => return Ok(None),
-                StmtKind::If { cond, then, els: None } if returns_value(then) => {
+                StmtKind::If {
+                    cond,
+                    then,
+                    els: None,
+                } if returns_value(then) => {
                     // if (c) return e;  rest  ⇒  if c { e } else { rest }
-                    let ty = ret_ty.ok_or_else(|| self.err(stmt.line, "void function returns a value"))?;
+                    let ty = ret_ty
+                        .ok_or_else(|| self.err(stmt.line, "void function returns a value"))?;
                     let c = self.eval(cond)?;
-                    let cb = self.to_bool(c);
+                    let cb = self.cast_bool(c);
                     let then_region = self.b.begin_region();
                     self.push_scope();
                     let tv = self
@@ -1108,7 +1205,9 @@ impl<'f, 'u> Lowerer<'f, 'u> {
                     self.push_scope();
                     let ev = self
                         .lower_device_body(&stmts[i + 1..], ret_ty, stmt.line)?
-                        .ok_or_else(|| self.err(stmt.line, "function does not return on all paths"))?;
+                        .ok_or_else(|| {
+                            self.err(stmt.line, "function does not return on all paths")
+                        })?;
                     self.pop_scope();
                     self.b.emit(OpKind::Yield, vec![ev], vec![], vec![]);
                     self.b.end_region();
@@ -1189,7 +1288,11 @@ fn collect_idents(e: &Expr, out: &mut Vec<String>) {
 ///
 /// Returns a [`FrontendError`] for constructs outside the supported subset
 /// or type errors.
-pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -> Result<Function, FrontendError> {
+pub fn lower_kernel(
+    unit: &TranslationUnit,
+    fdef: &FuncDef,
+    spec: &KernelSpec,
+) -> Result<Function, FrontendError> {
     let mut func = Function::new(&fdef.name);
     let gx = func.add_param(Type::index());
     let gy = func.add_param(Type::index());
@@ -1199,7 +1302,10 @@ pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -
         match &p.ty {
             CType::Ptr(inner) => {
                 let elem = scalar_of(inner, fdef.line)?;
-                let v = func.add_param(Type::MemRef(MemRefType::new_1d_dynamic(elem, MemSpace::Global)));
+                let v = func.add_param(Type::MemRef(MemRefType::new_1d_dynamic(
+                    elem,
+                    MemSpace::Global,
+                )));
                 param_slots.push((p.name.clone(), Slot::Mem(v)));
             }
             other => {
@@ -1215,7 +1321,9 @@ pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -
 
     // Block-parallel region.
     let block_region = b.begin_region();
-    let bids: Vec<Value> = (0..3).map(|_| b.func_mut().add_region_arg(block_region, Type::index())).collect();
+    let bids: Vec<Value> = (0..3)
+        .map(|_| b.func_mut().add_region_arg(block_region, Type::index()))
+        .collect();
 
     let mut lw = Lowerer {
         b,
@@ -1276,7 +1384,9 @@ pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -
     lw.b.emit(OpKind::Yield, vec![], vec![], vec![]);
     lw.b.end_region();
     lw.b.emit(
-        OpKind::Parallel { level: ParLevel::Thread },
+        OpKind::Parallel {
+            level: ParLevel::Thread,
+        },
         block_dim_consts,
         vec![],
         vec![thread_region],
@@ -1284,7 +1394,9 @@ pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -
     lw.b.emit(OpKind::Yield, vec![], vec![], vec![]);
     lw.b.end_region();
     lw.b.emit(
-        OpKind::Parallel { level: ParLevel::Block },
+        OpKind::Parallel {
+            level: ParLevel::Block,
+        },
         vec![gx, gy, gz],
         vec![],
         vec![block_region],
@@ -1300,7 +1412,10 @@ pub fn lower_kernel(unit: &TranslationUnit, fdef: &FuncDef, spec: &KernelSpec) -
 ///
 /// Returns a [`FrontendError`] if a spec names a missing kernel or lowering
 /// fails.
-pub fn lower_translation_unit(unit: &TranslationUnit, specs: &[KernelSpec]) -> Result<Module, FrontendError> {
+pub fn lower_translation_unit(
+    unit: &TranslationUnit,
+    specs: &[KernelSpec],
+) -> Result<Module, FrontendError> {
     let mut module = Module::new();
     for spec in specs {
         let fdef = unit

@@ -30,7 +30,8 @@ fn stmt(depth: u32) -> impl Strategy<Value = Stmt> {
     leaf.prop_recursive(depth, 16, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Stmt::IfPositive),
-            ((1u8..4), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| Stmt::CountedLoop(n, b)),
+            ((1u8..4), prop::collection::vec(inner, 1..3))
+                .prop_map(|(n, b)| Stmt::CountedLoop(n, b)),
         ]
     })
 }

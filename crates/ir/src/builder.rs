@@ -61,7 +61,10 @@ impl<'f> FuncBuilder<'f> {
 
     /// The current insertion region.
     pub fn current_region(&self) -> RegionId {
-        *self.insert.last().expect("builder region stack is never empty")
+        *self
+            .insert
+            .last()
+            .expect("builder region stack is never empty")
     }
 
     /// Creates a fresh region and makes it the insertion point. Callers that
@@ -206,7 +209,11 @@ impl<'f> FuncBuilder<'f> {
 
     /// Emits a comparison producing an `i1`.
     pub fn cmp(&mut self, pred: CmpPred, lhs: Value, rhs: Value) -> Value {
-        self.emit1(OpKind::Cmp(pred), vec![lhs, rhs], Type::Scalar(ScalarType::I1))
+        self.emit1(
+            OpKind::Cmp(pred),
+            vec![lhs, rhs],
+            Type::Scalar(ScalarType::I1),
+        )
     }
 
     /// Emits a ternary select.
@@ -284,12 +291,19 @@ impl<'f> FuncBuilder<'f> {
             .collect();
         self.insert.push(region);
         let yields = body(self, iv, &iter_args);
-        assert_eq!(yields.len(), inits.len(), "for body must yield one value per init");
+        assert_eq!(
+            yields.len(),
+            inits.len(),
+            "for body must yield one value per init"
+        );
         self.emit(OpKind::Yield, yields, vec![], vec![]);
         self.insert.pop();
         let mut operands = vec![lb, ub, step];
         operands.extend_from_slice(inits);
-        let result_types = inits.iter().map(|&v| self.func.value_type(v).clone()).collect();
+        let result_types = inits
+            .iter()
+            .map(|&v| self.func.value_type(v).clone())
+            .collect();
         let op = self.emit(OpKind::For, operands, result_types, vec![region]);
         self.func.op(op).results.clone()
     }
@@ -303,7 +317,10 @@ impl<'f> FuncBuilder<'f> {
         cond: impl FnOnce(&mut Self, &[Value]) -> (Value, Vec<Value>),
         body: impl FnOnce(&mut Self, &[Value]) -> Vec<Value>,
     ) -> Vec<Value> {
-        let tys: Vec<Type> = inits.iter().map(|&v| self.func.value_type(v).clone()).collect();
+        let tys: Vec<Type> = inits
+            .iter()
+            .map(|&v| self.func.value_type(v).clone())
+            .collect();
 
         let cond_region = self.func.new_region();
         let cond_args: Vec<Value> = tys
@@ -312,7 +329,11 @@ impl<'f> FuncBuilder<'f> {
             .collect();
         self.insert.push(cond_region);
         let (c, forwarded) = cond(self, &cond_args);
-        assert_eq!(forwarded.len(), inits.len(), "while cond must forward one value per init");
+        assert_eq!(
+            forwarded.len(),
+            inits.len(),
+            "while cond must forward one value per init"
+        );
         let mut cond_operands = vec![c];
         cond_operands.extend_from_slice(&forwarded);
         self.emit(OpKind::Condition, cond_operands, vec![], vec![]);
@@ -325,11 +346,20 @@ impl<'f> FuncBuilder<'f> {
             .collect();
         self.insert.push(body_region);
         let yields = body(self, &body_args);
-        assert_eq!(yields.len(), inits.len(), "while body must yield one value per init");
+        assert_eq!(
+            yields.len(),
+            inits.len(),
+            "while body must yield one value per init"
+        );
         self.emit(OpKind::Yield, yields, vec![], vec![]);
         self.insert.pop();
 
-        let op = self.emit(OpKind::While, inits.to_vec(), tys, vec![cond_region, body_region]);
+        let op = self.emit(
+            OpKind::While,
+            inits.to_vec(),
+            tys,
+            vec![cond_region, body_region],
+        );
         self.func.op(op).results.clone()
     }
 
@@ -380,8 +410,16 @@ impl<'f> FuncBuilder<'f> {
 
     /// Emits a GPU parallel loop over `ubs` (1–3 dimensions, lower bounds 0,
     /// steps 1). The closure receives the induction variables.
-    pub fn parallel(&mut self, level: ParLevel, ubs: &[Value], body: impl FnOnce(&mut Self, &[Value])) -> OpId {
-        assert!((1..=3).contains(&ubs.len()), "parallel loops have 1-3 dimensions");
+    pub fn parallel(
+        &mut self,
+        level: ParLevel,
+        ubs: &[Value],
+        body: impl FnOnce(&mut Self, &[Value]),
+    ) -> OpId {
+        assert!(
+            (1..=3).contains(&ubs.len()),
+            "parallel loops have 1-3 dimensions"
+        );
         let region = self.func.new_region();
         let ivs: Vec<Value> = (0..ubs.len())
             .map(|_| self.func.add_region_arg(region, Type::index()))
@@ -390,7 +428,12 @@ impl<'f> FuncBuilder<'f> {
         body(self, &ivs);
         self.emit(OpKind::Yield, vec![], vec![], vec![]);
         self.insert.pop();
-        self.emit(OpKind::Parallel { level }, ubs.to_vec(), vec![], vec![region])
+        self.emit(
+            OpKind::Parallel { level },
+            ubs.to_vec(),
+            vec![],
+            vec![region],
+        )
     }
 
     /// Emits a barrier synchronizing the enclosing parallel loop of `level`.
@@ -399,9 +442,16 @@ impl<'f> FuncBuilder<'f> {
     }
 
     /// Emits a call to another function of the module.
-    pub fn call(&mut self, callee: impl Into<String>, args: &[Value], result_types: &[Type]) -> Vec<Value> {
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: &[Value],
+        result_types: &[Type],
+    ) -> Vec<Value> {
         let op = self.emit(
-            OpKind::Call { callee: callee.into() },
+            OpKind::Call {
+                callee: callee.into(),
+            },
             args.to_vec(),
             result_types.to_vec(),
             vec![],

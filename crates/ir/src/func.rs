@@ -165,7 +165,10 @@ impl Function {
         result_types: Vec<Type>,
         regions: Vec<RegionId>,
     ) -> OpId {
-        let results = result_types.into_iter().map(|ty| self.new_value(ty)).collect();
+        let results = result_types
+            .into_iter()
+            .map(|ty| self.new_value(ty))
+            .collect();
         let id = OpId::from_index(self.ops.len());
         self.ops.push(Operation {
             kind,
@@ -188,7 +191,12 @@ impl Function {
     /// Panics if the operation does not have exactly one result.
     pub fn result(&self, op: OpId) -> Value {
         let results = &self.op(op).results;
-        assert_eq!(results.len(), 1, "operation has {} results, expected 1", results.len());
+        assert_eq!(
+            results.len(),
+            1,
+            "operation has {} results, expected 1",
+            results.len()
+        );
         results[0]
     }
 
@@ -235,7 +243,8 @@ impl Module {
         if let Some(&i) = self.by_name.get(func.name()) {
             self.funcs[i] = func;
         } else {
-            self.by_name.insert(func.name().to_string(), self.funcs.len());
+            self.by_name
+                .insert(func.name().to_string(), self.funcs.len());
             self.funcs.push(func);
         }
     }
@@ -311,7 +320,10 @@ mod tests {
     fn make_op_creates_results() {
         let mut func = Function::new("f");
         let op = func.make_op(
-            OpKind::ConstInt { value: 3, ty: ScalarType::I32 },
+            OpKind::ConstInt {
+                value: 3,
+                ty: ScalarType::I32,
+            },
             vec![],
             vec![Type::Scalar(ScalarType::I32)],
             vec![],

@@ -76,8 +76,12 @@ pub fn block_parallels_in(func: &Function, region: RegionId) -> Vec<OpId> {
 fn collect_block_parallels(func: &Function, region: RegionId, out: &mut Vec<OpId>) {
     for &op in &func.region(region).ops {
         match &func.op(op).kind {
-            OpKind::Parallel { level: ParLevel::Block } => out.push(op),
-            OpKind::Parallel { level: ParLevel::Thread } => {}
+            OpKind::Parallel {
+                level: ParLevel::Block,
+            } => out.push(op),
+            OpKind::Parallel {
+                level: ParLevel::Thread,
+            } => {}
             _ => {
                 for &r in &func.op(op).regions {
                     collect_block_parallels(func, r, out);
@@ -96,7 +100,12 @@ fn collect_block_parallels(func: &Function, region: RegionId, out: &mut Vec<OpId
 /// constant.
 pub fn analyze_launch(func: &Function, block_par: OpId) -> Result<Launch, KernelError> {
     let op = func.op(block_par);
-    if !matches!(op.kind, OpKind::Parallel { level: ParLevel::Block }) {
+    if !matches!(
+        op.kind,
+        OpKind::Parallel {
+            level: ParLevel::Block
+        }
+    ) {
         return Err(KernelError {
             message: "operation is not a block-parallel loop".into(),
         });
@@ -107,13 +116,20 @@ pub fn analyze_launch(func: &Function, block_par: OpId) -> Result<Launch, Kernel
     let mut thread_pars = Vec::new();
     let mut shared_allocs = Vec::new();
     walk::walk_ops(func, body, &mut |o| match &func.op(o).kind {
-        OpKind::Parallel { level: ParLevel::Thread } => thread_pars.push(o),
-        OpKind::Alloc { space: MemSpace::Shared } => shared_allocs.push(o),
+        OpKind::Parallel {
+            level: ParLevel::Thread,
+        } => thread_pars.push(o),
+        OpKind::Alloc {
+            space: MemSpace::Shared,
+        } => shared_allocs.push(o),
         _ => {}
     });
     if thread_pars.len() != 1 {
         return Err(KernelError {
-            message: format!("expected exactly one thread-parallel loop, found {}", thread_pars.len()),
+            message: format!(
+                "expected exactly one thread-parallel loop, found {}",
+                thread_pars.len()
+            ),
         });
     }
     let thread_par = thread_pars[0];

@@ -271,7 +271,11 @@ impl OpKind {
     pub fn has_regions(&self) -> bool {
         matches!(
             self,
-            OpKind::For | OpKind::While | OpKind::If | OpKind::Parallel { .. } | OpKind::Alternatives { .. }
+            OpKind::For
+                | OpKind::While
+                | OpKind::If
+                | OpKind::Parallel { .. }
+                | OpKind::Alternatives { .. }
         )
     }
 
@@ -333,14 +337,20 @@ mod tests {
         assert!(OpKind::Cmp(CmpPred::Lt).is_pure());
         assert!(!OpKind::Load.is_pure());
         assert!(!OpKind::Store.is_pure());
-        assert!(!OpKind::Barrier { level: ParLevel::Thread }.is_pure());
+        assert!(!OpKind::Barrier {
+            level: ParLevel::Thread
+        }
+        .is_pure());
         assert!(!OpKind::For.is_pure());
     }
 
     #[test]
     fn region_classification() {
         assert!(OpKind::For.has_regions());
-        assert!(OpKind::Parallel { level: ParLevel::Block }.has_regions());
+        assert!(OpKind::Parallel {
+            level: ParLevel::Block
+        }
+        .has_regions());
         assert!(OpKind::Alternatives { selected: None }.has_regions());
         assert!(!OpKind::Load.has_regions());
     }
@@ -350,17 +360,28 @@ mod tests {
         assert!(OpKind::Yield.is_terminator());
         assert!(OpKind::Return.is_terminator());
         assert!(OpKind::Condition.is_terminator());
-        assert!(!OpKind::Barrier { level: ParLevel::Thread }.is_terminator());
+        assert!(!OpKind::Barrier {
+            level: ParLevel::Thread
+        }
+        .is_terminator());
     }
 
     #[test]
     fn mnemonics_are_unique() {
         let mut seen = std::collections::HashSet::new();
         for op in BinOp::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
         for op in UnOp::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 }

@@ -131,7 +131,9 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     Tok::At(name)
                 }
             }
-            _ if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+            _ if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
                 i += 1;
                 let mut is_float = false;
                 while i < bytes.len() {
@@ -420,7 +422,13 @@ impl<'p> FuncParser<'p> {
                 };
                 self.p.expect(Tok::Colon)?;
                 let ty = self.p.parse_scalar_type()?;
-                self.finish_simple(region, OpKind::ConstInt { value, ty }, vec![], vec![Type::Scalar(ty)], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::ConstInt { value, ty },
+                    vec![],
+                    vec![Type::Scalar(ty)],
+                    result_names,
+                )
             }
             "fconst" => {
                 let value = match self.p.next()? {
@@ -430,7 +438,13 @@ impl<'p> FuncParser<'p> {
                 };
                 self.p.expect(Tok::Colon)?;
                 let ty = self.p.parse_scalar_type()?;
-                self.finish_simple(region, OpKind::ConstFloat { value, ty }, vec![], vec![Type::Scalar(ty)], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::ConstFloat { value, ty },
+                    vec![],
+                    vec![Type::Scalar(ty)],
+                    result_names,
+                )
             }
             "cmp" => {
                 let pred_name = self.p.ident()?;
@@ -458,13 +472,25 @@ impl<'p> FuncParser<'p> {
                 let e = self.operand()?;
                 self.p.expect(Tok::Colon)?;
                 let ty = self.p.parse_type()?;
-                self.finish_simple(region, OpKind::Select, vec![c, t, e], vec![ty], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::Select,
+                    vec![c, t, e],
+                    vec![ty],
+                    result_names,
+                )
             }
             "cast" => {
                 let v = self.operand()?;
                 self.p.expect(Tok::Colon)?;
                 let to = self.p.parse_scalar_type()?;
-                self.finish_simple(region, OpKind::Cast { to }, vec![v], vec![Type::Scalar(to)], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::Cast { to },
+                    vec![v],
+                    vec![Type::Scalar(to)],
+                    result_names,
+                )
             }
             "alloc" => {
                 self.p.expect(Tok::LParen)?;
@@ -476,7 +502,13 @@ impl<'p> FuncParser<'p> {
                     .as_memref()
                     .ok_or_else(|| self.p.err("alloc must produce a memref"))?
                     .space;
-                self.finish_simple(region, OpKind::Alloc { space }, dims, vec![ty], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::Alloc { space },
+                    dims,
+                    vec![ty],
+                    result_names,
+                )
             }
             "load" => {
                 let mem = self.operand()?;
@@ -507,7 +539,13 @@ impl<'p> FuncParser<'p> {
                     Tok::Int(v) if v >= 0 => v as usize,
                     t => return Err(self.p.err(format!("expected dimension index, found {t:?}"))),
                 };
-                self.finish_simple(region, OpKind::Dim { index }, vec![mem], vec![Type::index()], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::Dim { index },
+                    vec![mem],
+                    vec![Type::index()],
+                    result_names,
+                )
             }
             "for" => self.parse_for(region, result_names),
             "while" => self.parse_while(region, result_names),
@@ -517,7 +555,13 @@ impl<'p> FuncParser<'p> {
                 self.p.expect(Tok::Lt)?;
                 let level = self.parse_level()?;
                 self.p.expect(Tok::Gt)?;
-                self.finish_simple(region, OpKind::Barrier { level }, vec![], vec![], result_names)
+                self.finish_simple(
+                    region,
+                    OpKind::Barrier { level },
+                    vec![],
+                    vec![],
+                    result_names,
+                )
             }
             "alternatives" => self.parse_alternatives(region),
             "yield" => {
@@ -564,7 +608,13 @@ impl<'p> FuncParser<'p> {
                     let rhs = self.operand()?;
                     self.p.expect(Tok::Colon)?;
                     let ty = self.p.parse_type()?;
-                    self.finish_simple(region, OpKind::Binary(bin), vec![lhs, rhs], vec![ty], result_names)
+                    self.finish_simple(
+                        region,
+                        OpKind::Binary(bin),
+                        vec![lhs, rhs],
+                        vec![ty],
+                        result_names,
+                    )
                 } else if let Some(un) = UnOp::ALL.iter().copied().find(|u| u.mnemonic() == other) {
                     let v = self.operand()?;
                     self.p.expect(Tok::Colon)?;
@@ -607,9 +657,11 @@ impl<'p> FuncParser<'p> {
         result_names: Vec<String>,
     ) -> Result<(), ParseError> {
         if result_names.len() != result_types.len() {
-            return Err(self
-                .p
-                .err(format!("expected {} results, found {}", result_types.len(), result_names.len())));
+            return Err(self.p.err(format!(
+                "expected {} results, found {}",
+                result_types.len(),
+                result_names.len()
+            )));
         }
         let op = self.func.make_op(kind, operands, result_types, vec![]);
         self.func.push_op(region, op);
@@ -663,7 +715,9 @@ impl<'p> FuncParser<'p> {
         self.parse_region_ops(body)?;
         let mut operands = vec![lb, ub, step];
         operands.extend(inits);
-        let op = self.func.make_op(OpKind::For, operands, result_types, vec![body]);
+        let op = self
+            .func
+            .make_op(OpKind::For, operands, result_types, vec![body]);
         self.func.push_op(region, op);
         let results = self.func.op(op).results.clone();
         if result_names.len() != results.len() {
@@ -675,7 +729,11 @@ impl<'p> FuncParser<'p> {
         Ok(())
     }
 
-    fn parse_while(&mut self, region: RegionId, result_names: Vec<String>) -> Result<(), ParseError> {
+    fn parse_while(
+        &mut self,
+        region: RegionId,
+        result_names: Vec<String>,
+    ) -> Result<(), ParseError> {
         self.p.expect(Tok::LParen)?;
         let mut inits = Vec::new();
         let mut arg_names = Vec::new();
@@ -693,7 +751,10 @@ impl<'p> FuncParser<'p> {
         }
         self.p.expect(Tok::RParen)?;
         self.p.expect(Tok::LBrace)?;
-        let tys: Vec<Type> = inits.iter().map(|&v| self.func.value_type(v).clone()).collect();
+        let tys: Vec<Type> = inits
+            .iter()
+            .map(|&v| self.func.value_type(v).clone())
+            .collect();
         let cond_region = self.func.new_region();
         for (name, ty) in arg_names.iter().zip(&tys) {
             let arg = self.func.add_region_arg(cond_region, ty.clone());
@@ -768,9 +829,12 @@ impl<'p> FuncParser<'p> {
         if result_names.len() != result_types.len() {
             return Err(self.p.err("if result count mismatch"));
         }
-        let op = self
-            .func
-            .make_op(OpKind::If, vec![cond], result_types, vec![then_region, else_region]);
+        let op = self.func.make_op(
+            OpKind::If,
+            vec![cond],
+            result_types,
+            vec![then_region, else_region],
+        );
         self.func.push_op(region, op);
         let results = self.func.op(op).results.clone();
         for (name, value) in result_names.into_iter().zip(results) {
@@ -808,7 +872,9 @@ impl<'p> FuncParser<'p> {
             self.bind(name, arg);
         }
         self.parse_region_ops(body)?;
-        let op = self.func.make_op(OpKind::Parallel { level }, ubs, vec![], vec![body]);
+        let op = self
+            .func
+            .make_op(OpKind::Parallel { level }, ubs, vec![], vec![body]);
         self.func.push_op(region, op);
         Ok(())
     }

@@ -29,10 +29,19 @@ impl<'f> Printer<'f> {
     }
 
     fn operand_list(&mut self, values: &[Value]) -> String {
-        values.iter().map(|&v| self.name(v)).collect::<Vec<_>>().join(", ")
+        values
+            .iter()
+            .map(|&v| self.name(v))
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
-    fn print_region_body(&mut self, f: &mut fmt::Formatter<'_>, region: RegionId, indent: usize) -> fmt::Result {
+    fn print_region_body(
+        &mut self,
+        f: &mut fmt::Formatter<'_>,
+        region: RegionId,
+        indent: usize,
+    ) -> fmt::Result {
         for &op in &self.func.region(region).ops.clone() {
             self.print_op(f, op, indent)?;
         }

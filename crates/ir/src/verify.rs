@@ -19,7 +19,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification of @{} failed: {}", self.function, self.message)
+        write!(
+            f,
+            "verification of @{} failed: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -62,7 +66,10 @@ impl<'f> Verifier<'f> {
         if self.scalar(v)? == ScalarType::Index {
             Ok(())
         } else {
-            Err(self.err(format!("{what} must have index type, got {}", self.func.value_type(v))))
+            Err(self.err(format!(
+                "{what} must have index type, got {}",
+                self.func.value_type(v)
+            )))
         }
     }
 
@@ -176,15 +183,24 @@ impl<'f> Verifier<'f> {
         };
         match &operation.kind {
             OpKind::ConstInt { ty, .. } => {
-                expect(n_operands == 0 && n_results == 1 && n_regions == 0, "malformed const")?;
+                expect(
+                    n_operands == 0 && n_results == 1 && n_regions == 0,
+                    "malformed const",
+                )?;
                 expect(ty.is_int(), "const requires an integer type")?;
             }
             OpKind::ConstFloat { ty, .. } => {
-                expect(n_operands == 0 && n_results == 1 && n_regions == 0, "malformed fconst")?;
+                expect(
+                    n_operands == 0 && n_results == 1 && n_regions == 0,
+                    "malformed fconst",
+                )?;
                 expect(ty.is_float(), "fconst requires a float type")?;
             }
             OpKind::Binary(_) => {
-                expect(n_operands == 2 && n_results == 1 && n_regions == 0, "malformed binary op")?;
+                expect(
+                    n_operands == 2 && n_results == 1 && n_regions == 0,
+                    "malformed binary op",
+                )?;
                 let l = self.scalar(operation.operands[0])?;
                 let r = self.scalar(operation.operands[1])?;
                 expect(l == r, "binary operand types differ")?;
@@ -192,29 +208,53 @@ impl<'f> Verifier<'f> {
                 expect(res == l, "binary result type differs from operands")?;
             }
             OpKind::Unary(_) => {
-                expect(n_operands == 1 && n_results == 1 && n_regions == 0, "malformed unary op")?;
+                expect(
+                    n_operands == 1 && n_results == 1 && n_regions == 0,
+                    "malformed unary op",
+                )?;
                 let v = self.scalar(operation.operands[0])?;
                 let res = self.scalar(operation.results[0])?;
                 expect(res == v, "unary result type differs from operand")?;
             }
             OpKind::Cmp(_) => {
-                expect(n_operands == 2 && n_results == 1 && n_regions == 0, "malformed cmp")?;
+                expect(
+                    n_operands == 2 && n_results == 1 && n_regions == 0,
+                    "malformed cmp",
+                )?;
                 let l = self.scalar(operation.operands[0])?;
                 let r = self.scalar(operation.operands[1])?;
                 expect(l == r, "cmp operand types differ")?;
-                expect(self.scalar(operation.results[0])? == ScalarType::I1, "cmp must produce i1")?;
+                expect(
+                    self.scalar(operation.results[0])? == ScalarType::I1,
+                    "cmp must produce i1",
+                )?;
             }
             OpKind::Select => {
-                expect(n_operands == 3 && n_results == 1 && n_regions == 0, "malformed select")?;
-                expect(self.scalar(operation.operands[0])? == ScalarType::I1, "select condition must be i1")?;
+                expect(
+                    n_operands == 3 && n_results == 1 && n_regions == 0,
+                    "malformed select",
+                )?;
+                expect(
+                    self.scalar(operation.operands[0])? == ScalarType::I1,
+                    "select condition must be i1",
+                )?;
                 let t = self.func.value_type(operation.operands[1]);
                 let e = self.func.value_type(operation.operands[2]);
                 expect(t == e, "select arms must have equal types")?;
-                expect(self.func.value_type(operation.results[0]) == t, "select result type mismatch")?;
+                expect(
+                    self.func.value_type(operation.results[0]) == t,
+                    "select result type mismatch",
+                )?;
             }
             OpKind::Cast { to } => {
-                expect(n_operands == 1 && n_results == 1 && n_regions == 0, "malformed cast")?;
-                expect(self.scalar(operation.results[0])? == *to, "cast result type mismatch")?;
+                expect(
+                    n_operands == 1 && n_results == 1 && n_regions == 0,
+                    "malformed cast",
+                )?;
+                expect(
+                    self.scalar(operation.results[0])? == *to,
+                    "cast result type mismatch",
+                )?;
             }
             OpKind::Alloc { space } => {
                 expect(n_results == 1 && n_regions == 0, "malformed alloc")?;
@@ -223,9 +263,15 @@ impl<'f> Verifier<'f> {
                     .value_type(operation.results[0])
                     .as_memref()
                     .ok_or_else(|| self.err("alloc must produce a memref"))?;
-                expect(m.space == *space, "alloc space attribute disagrees with result type")?;
+                expect(
+                    m.space == *space,
+                    "alloc space attribute disagrees with result type",
+                )?;
                 let dynamic = m.shape.iter().filter(|&&d| d == DYNAMIC).count();
-                expect(n_operands == dynamic, "alloc needs one operand per dynamic dimension")?;
+                expect(
+                    n_operands == dynamic,
+                    "alloc needs one operand per dynamic dimension",
+                )?;
                 for &d in &operation.operands {
                     self.expect_index(d, "alloc dimension")?;
                 }
@@ -234,13 +280,19 @@ impl<'f> Verifier<'f> {
                 }
             }
             OpKind::Load => {
-                expect(n_results == 1 && n_regions == 0 && n_operands >= 1, "malformed load")?;
+                expect(
+                    n_results == 1 && n_regions == 0 && n_operands >= 1,
+                    "malformed load",
+                )?;
                 let m = self
                     .func
                     .value_type(operation.operands[0])
                     .as_memref()
                     .ok_or_else(|| self.err("load target must be a memref"))?;
-                expect(n_operands == 1 + m.rank(), "load index count must equal memref rank")?;
+                expect(
+                    n_operands == 1 + m.rank(),
+                    "load index count must equal memref rank",
+                )?;
                 for &i in &operation.operands[1..] {
                     self.expect_index(i, "load index")?;
                 }
@@ -250,13 +302,19 @@ impl<'f> Verifier<'f> {
                 )?;
             }
             OpKind::Store => {
-                expect(n_results == 0 && n_regions == 0 && n_operands >= 2, "malformed store")?;
+                expect(
+                    n_results == 0 && n_regions == 0 && n_operands >= 2,
+                    "malformed store",
+                )?;
                 let m = self
                     .func
                     .value_type(operation.operands[1])
                     .as_memref()
                     .ok_or_else(|| self.err("store target must be a memref"))?;
-                expect(n_operands == 2 + m.rank(), "store index count must equal memref rank")?;
+                expect(
+                    n_operands == 2 + m.rank(),
+                    "store index count must equal memref rank",
+                )?;
                 expect(
                     self.scalar(operation.operands[0])? == m.elem,
                     "stored value type must be the memref element type",
@@ -266,7 +324,10 @@ impl<'f> Verifier<'f> {
                 }
             }
             OpKind::Dim { index } => {
-                expect(n_operands == 1 && n_results == 1 && n_regions == 0, "malformed dim")?;
+                expect(
+                    n_operands == 1 && n_results == 1 && n_regions == 0,
+                    "malformed dim",
+                )?;
                 let m = self
                     .func
                     .value_type(operation.operands[0])
@@ -282,9 +343,15 @@ impl<'f> Verifier<'f> {
                     self.expect_index(v, "for bound")?;
                 }
                 let inits = &operation.operands[3..];
-                expect(inits.len() == n_results, "for needs one result per iter arg")?;
+                expect(
+                    inits.len() == n_results,
+                    "for needs one result per iter arg",
+                )?;
                 let body = self.func.region(operation.regions[0]);
-                expect(body.args.len() == 1 + inits.len(), "for region needs iv + iter args")?;
+                expect(
+                    body.args.len() == 1 + inits.len(),
+                    "for region needs iv + iter args",
+                )?;
                 let result_types: Vec<Type> = operation
                     .results
                     .iter()
@@ -304,8 +371,14 @@ impl<'f> Verifier<'f> {
                 self.check_region(operation.regions[1], RegionRole::Yield(&tys))?;
             }
             OpKind::If => {
-                expect(n_regions == 2 && n_operands == 1, "if needs a condition and two regions")?;
-                expect(self.scalar(operation.operands[0])? == ScalarType::I1, "if condition must be i1")?;
+                expect(
+                    n_regions == 2 && n_operands == 1,
+                    "if needs a condition and two regions",
+                )?;
+                expect(
+                    self.scalar(operation.operands[0])? == ScalarType::I1,
+                    "if condition must be i1",
+                )?;
                 let tys: Vec<Type> = operation
                     .results
                     .iter()
@@ -316,12 +389,18 @@ impl<'f> Verifier<'f> {
             }
             OpKind::Parallel { level } => {
                 expect(n_regions == 1 && n_results == 0, "malformed parallel")?;
-                expect((1..=3).contains(&n_operands), "parallel needs 1-3 upper bounds")?;
+                expect(
+                    (1..=3).contains(&n_operands),
+                    "parallel needs 1-3 upper bounds",
+                )?;
                 for &ub in &operation.operands {
                     self.expect_index(ub, "parallel upper bound")?;
                 }
                 let body = self.func.region(operation.regions[0]);
-                expect(body.args.len() == n_operands, "parallel needs one iv per upper bound")?;
+                expect(
+                    body.args.len() == n_operands,
+                    "parallel needs one iv per upper bound",
+                )?;
                 if *level == ParLevel::Thread {
                     expect(
                         self.parallel_stack.contains(&ParLevel::Block),
@@ -333,7 +412,10 @@ impl<'f> Verifier<'f> {
                 self.parallel_stack.pop();
             }
             OpKind::Barrier { level } => {
-                expect(n_operands == 0 && n_results == 0 && n_regions == 0, "malformed barrier")?;
+                expect(
+                    n_operands == 0 && n_results == 0 && n_regions == 0,
+                    "malformed barrier",
+                )?;
                 expect(
                     self.parallel_stack.contains(level),
                     "barrier must be nested in a parallel loop of its level",
@@ -459,10 +541,8 @@ mod tests {
 
     #[test]
     fn rejects_type_mismatch() {
-        let f = parse_function(
-            "func @f(%a: f32, %b: i32) {\n  %c = add %a, %b : f32\n  return\n}",
-        )
-        .unwrap();
+        let f = parse_function("func @f(%a: f32, %b: i32) {\n  %c = add %a, %b : f32\n  return\n}")
+            .unwrap();
         let err = verify_function(&f).unwrap_err();
         assert!(err.message.contains("differ"));
     }

@@ -24,7 +24,11 @@ pub fn collect_ops(func: &Function, region: RegionId) -> Vec<OpId> {
 }
 
 /// Visits every operation and reports the region it directly belongs to.
-pub fn walk_ops_with_region(func: &Function, region: RegionId, visit: &mut impl FnMut(RegionId, OpId)) {
+pub fn walk_ops_with_region(
+    func: &Function,
+    region: RegionId,
+    visit: &mut impl FnMut(RegionId, OpId),
+) {
     for &op in &func.region(region).ops {
         visit(region, op);
         for &r in &func.op(op).regions {
@@ -41,7 +45,11 @@ pub fn walk_ops_with_region(func: &Function, region: RegionId, visit: &mut impl 
 /// the map; operands not present in the map (values defined outside `src`)
 /// are kept as-is. Pre-seeding the map substitutes outside values, which is
 /// how unroll instances remap induction variables.
-pub fn clone_region(func: &mut Function, src: RegionId, value_map: &mut HashMap<Value, Value>) -> RegionId {
+pub fn clone_region(
+    func: &mut Function,
+    src: RegionId,
+    value_map: &mut HashMap<Value, Value>,
+) -> RegionId {
     let dst = func.new_region();
     let args = func.region(src).args.clone();
     for a in args {

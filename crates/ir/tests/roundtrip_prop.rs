@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use respec_ir::{
-    parse_function, verify_function, BinOp, CmpPred, FuncBuilder, Function, MemSpace, ParLevel, ScalarType,
-    Type, UnOp, Value,
+    parse_function, verify_function, BinOp, CmpPred, FuncBuilder, Function, MemSpace, ParLevel,
+    ScalarType, Type, UnOp, Value,
 };
 
 /// A recipe for one random operation appended to a straight-line pool.
@@ -27,11 +27,13 @@ fn step_strategy(depth: u32) -> impl Strategy<Value = Step> {
         (any::<u8>(), any::<usize>(), any::<usize>()).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
         (any::<u8>(), any::<usize>()).prop_map(|(o, a)| Step::Un(o, a)),
         (any::<u8>(), any::<usize>(), any::<usize>()).prop_map(|(o, a, b)| Step::Cmp(o, a, b)),
-        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(c, a, b)| Step::SelectLike(c, a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(c, a, b)| Step::SelectLike(c, a, b)),
     ];
     leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
-            (any::<u8>(), prop::collection::vec(inner.clone(), 1..4)).prop_map(|(n, s)| Step::ForLoop(n, s)),
+            (any::<u8>(), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(n, s)| Step::ForLoop(n, s)),
             (
                 any::<usize>(),
                 prop::collection::vec(inner.clone(), 1..4),

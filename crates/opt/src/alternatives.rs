@@ -78,7 +78,12 @@ pub fn generate_alternatives(
         ));
     }
 
-    let alt = func.make_op(OpKind::Alternatives { selected: None }, vec![], vec![], regions);
+    let alt = func.make_op(
+        OpKind::Alternatives { selected: None },
+        vec![],
+        vec![],
+        regions,
+    );
     let body = func.body();
     func.region_mut(body).ops = vec![alt];
     for op in ret {
@@ -97,7 +102,10 @@ pub fn select_alternative(func: &mut Function, alt: OpId, region_index: usize) {
         OpKind::Alternatives { selected } => *selected = Some(region_index),
         other => panic!("expected alternatives op, found {other:?}"),
     }
-    assert!(region_index < func.op(alt).regions.len(), "selected index out of range");
+    assert!(
+        region_index < func.op(alt).regions.len(),
+        "selected index out of range"
+    );
 }
 
 /// Replaces the alternatives op by the contents of the selected region (the
@@ -119,7 +127,8 @@ pub fn materialize_selected(func: &mut Function, alt: OpId, region_index: Option
             (other, _) => panic!("expected alternatives op, found {other:?}"),
         };
         let region = op.regions[idx];
-        let parent = crate::interleave::parent_region(func, alt).expect("alternatives op is attached");
+        let parent =
+            crate::interleave::parent_region(func, alt).expect("alternatives op is attached");
         let pos = func
             .region(parent)
             .ops
@@ -248,7 +257,11 @@ mod tests {
         // After materialization the kernel is a plain coarsened kernel.
         assert!(find_alternatives(&func).is_none());
         let launches = respec_ir::kernel::analyze_function(&func).unwrap();
-        assert_eq!(launches[0].block_dims, vec![32, 1, 1], "thread-2 variant selected");
+        assert_eq!(
+            launches[0].block_dims,
+            vec![32, 1, 1],
+            "thread-2 variant selected"
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub fn eliminate_barriers(func: &mut Function) -> usize {
     for bp in block_pars {
         let mut thread_pars = Vec::new();
         walk_ops(func, func.op(bp).regions[0], &mut |op| {
-            if matches!(func.op(op).kind, OpKind::Parallel { level: respec_ir::ParLevel::Thread }) {
+            if matches!(
+                func.op(op).kind,
+                OpKind::Parallel {
+                    level: respec_ir::ParLevel::Thread
+                }
+            ) {
                 thread_pars.push(op);
             }
         });
@@ -64,7 +69,9 @@ fn has_observable_effects(func: &Function, op: respec_ir::OpId) -> bool {
 }
 
 fn mem_space(func: &Function, v: respec_ir::Value) -> MemSpace {
-    func.value_type(v).as_memref().map_or(MemSpace::Local, |m| m.space)
+    func.value_type(v)
+        .as_memref()
+        .map_or(MemSpace::Local, |m| m.space)
 }
 
 fn eliminate_in_region(func: &mut Function, region: RegionId) -> usize {

@@ -41,7 +41,12 @@ fn truncate(v: i64, ty: ScalarType) -> i64 {
     }
 }
 
-fn canon_region(func: &mut Function, region: RegionId, consts: &mut HashMap<Value, Const>, rewrites: &mut usize) {
+fn canon_region(
+    func: &mut Function,
+    region: RegionId,
+    consts: &mut HashMap<Value, Const>,
+    rewrites: &mut usize,
+) {
     let ops = func.region(region).ops.clone();
     let mut replacements: HashMap<Value, Value> = HashMap::new();
     for op_id in ops {
@@ -64,7 +69,9 @@ fn canon_region(func: &mut Function, region: RegionId, consts: &mut HashMap<Valu
             OpKind::Binary(b) => {
                 if let Some(folded) = fold_binary(*b, op.operands[0], op.operands[1], consts) {
                     rewrite_to_const(func, op_id, folded, consts, rewrites);
-                } else if let Some(repl) = identity_binary(*b, op.operands[0], op.operands[1], consts) {
+                } else if let Some(repl) =
+                    identity_binary(*b, op.operands[0], op.operands[1], consts)
+                {
                     // The op becomes dead once its result is replaced; DCE
                     // removes it.
                     replacements.insert(op.results[0], repl);
@@ -79,10 +86,19 @@ fn canon_region(func: &mut Function, region: RegionId, consts: &mut HashMap<Valu
                 }
             }
             OpKind::Cmp(p) => {
-                let (l, r) = (consts.get(&op.operands[0]).copied(), consts.get(&op.operands[1]).copied());
+                let (l, r) = (
+                    consts.get(&op.operands[0]).copied(),
+                    consts.get(&op.operands[1]).copied(),
+                );
                 if let (Some(l), Some(r)) = (l, r) {
                     if let Some(flag) = fold_cmp(*p, l, r) {
-                        rewrite_to_const(func, op_id, Const::Int(flag as i64, ScalarType::I1), consts, rewrites);
+                        rewrite_to_const(
+                            func,
+                            op_id,
+                            Const::Int(flag as i64, ScalarType::I1),
+                            consts,
+                            rewrites,
+                        );
                     }
                 }
             }
@@ -100,7 +116,11 @@ fn canon_region(func: &mut Function, region: RegionId, consts: &mut HashMap<Valu
                         (Const::Int(v, _), true) => Const::Float(v as f64, *to),
                         (Const::Float(v, _), false) => Const::Int(truncate(v as i64, *to), *to),
                         (Const::Float(v, _), true) => {
-                            let w = if *to == ScalarType::F32 { v as f32 as f64 } else { v };
+                            let w = if *to == ScalarType::F32 {
+                                v as f32 as f64
+                            } else {
+                                v
+                            };
                             Const::Float(w, *to)
                         }
                     };
@@ -183,7 +203,11 @@ fn fold_binary(b: BinOp, l: Value, r: Value, consts: &HashMap<Value, Const>) -> 
                 BinOp::Pow => a.powf(c),
                 _ => return None,
             };
-            let v = if ty == ScalarType::F32 { v as f32 as f64 } else { v };
+            let v = if ty == ScalarType::F32 {
+                v as f32 as f64
+            } else {
+                v
+            };
             Some(Const::Float(v, ty))
         }
         _ => None,
@@ -193,10 +217,12 @@ fn fold_binary(b: BinOp, l: Value, r: Value, consts: &HashMap<Value, Const>) -> 
 /// `x+0`, `x*1`, `x-0`, `x/1`, `0+x`, `1*x` → `x`.
 fn identity_binary(b: BinOp, l: Value, r: Value, consts: &HashMap<Value, Const>) -> Option<Value> {
     let is_zero = |v: Value| {
-        matches!(consts.get(&v), Some(Const::Int(0, _))) || matches!(consts.get(&v), Some(Const::Float(z, _)) if *z == 0.0)
+        matches!(consts.get(&v), Some(Const::Int(0, _)))
+            || matches!(consts.get(&v), Some(Const::Float(z, _)) if *z == 0.0)
     };
     let is_one = |v: Value| {
-        matches!(consts.get(&v), Some(Const::Int(1, _))) || matches!(consts.get(&v), Some(Const::Float(o, _)) if *o == 1.0)
+        matches!(consts.get(&v), Some(Const::Int(1, _)))
+            || matches!(consts.get(&v), Some(Const::Float(o, _)) if *o == 1.0)
     };
     match b {
         BinOp::Add => {
@@ -249,7 +275,11 @@ fn fold_unary(u: UnOp, c: Const) -> Option<Const> {
                 UnOp::Ceil => v.ceil(),
                 _ => return None,
             };
-            let out = if ty == ScalarType::F32 { out as f32 as f64 } else { out };
+            let out = if ty == ScalarType::F32 {
+                out as f32 as f64
+            } else {
+                out
+            };
             Some(Const::Float(out, ty))
         }
     }

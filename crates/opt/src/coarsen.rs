@@ -62,7 +62,12 @@ impl fmt::Display for CoarsenConfig {
         write!(
             f,
             "block({},{},{})·thread({},{},{})",
-            self.block[0], self.block[1], self.block[2], self.thread[0], self.thread[1], self.thread[2]
+            self.block[0],
+            self.block[1],
+            self.block[2],
+            self.thread[0],
+            self.thread[1],
+            self.thread[2]
         )
     }
 }
@@ -107,7 +112,11 @@ impl From<InterleaveError> for CoarsenError {
 ///
 /// Fails if a factor does not divide its block dimension, if the coarsened
 /// block would be empty, or if interleaving is illegal.
-pub fn thread_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) -> Result<(), CoarsenError> {
+pub fn thread_coarsen(
+    func: &mut Function,
+    launch: &Launch,
+    factors: [i64; 3],
+) -> Result<(), CoarsenError> {
     for (d, &f) in factors.iter().enumerate() {
         if f < 1 {
             return Err(CoarsenError::new("factors must be >= 1"));
@@ -130,7 +139,11 @@ pub fn thread_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) -
 /// # Errors
 ///
 /// Fails if interleaving is illegal (a barrier would be duplicated, §V-B).
-pub fn block_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) -> Result<(), CoarsenError> {
+pub fn block_coarsen(
+    func: &mut Function,
+    launch: &Launch,
+    factors: [i64; 3],
+) -> Result<(), CoarsenError> {
     let total: i64 = factors.iter().product();
     if total == 1 {
         return Ok(());
@@ -176,7 +189,10 @@ pub fn block_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) ->
 
     let mk_const = |func: &mut Function, v: i64| {
         func.make_op(
-            OpKind::ConstInt { value: v, ty: ScalarType::Index },
+            OpKind::ConstInt {
+                value: v,
+                ty: ScalarType::Index,
+            },
             vec![],
             vec![Type::index()],
             vec![],
@@ -242,7 +258,9 @@ pub fn block_coarsen(func: &mut Function, launch: &Launch, factors: [i64; 3]) ->
             func.push_op(region, cloned);
         }
         let epi = func.make_op(
-            OpKind::Parallel { level: ParLevel::Block },
+            OpKind::Parallel {
+                level: ParLevel::Block,
+            },
             epi_ubs,
             vec![],
             vec![region],
@@ -273,7 +291,11 @@ pub fn coarsen_function(func: &mut Function, cfg: CoarsenConfig) -> Result<(), C
 /// # Errors
 ///
 /// See [`coarsen_function`].
-pub fn coarsen_function_region(func: &mut Function, region: RegionId, cfg: CoarsenConfig) -> Result<(), CoarsenError> {
+pub fn coarsen_function_region(
+    func: &mut Function,
+    region: RegionId,
+    cfg: CoarsenConfig,
+) -> Result<(), CoarsenError> {
     let block_pars = respec_ir::kernel::block_parallels_in(func, region);
     if block_pars.is_empty() {
         return Err(CoarsenError::new("region contains no block-parallel loop"));
@@ -323,7 +345,9 @@ mod tests {
     #[test]
     fn thread_coarsen_requires_divisors() {
         let mut func = parse_function(KERNEL).unwrap();
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         let err = thread_coarsen(&mut func, &launch, [3, 1, 1]).unwrap_err();
         assert!(err.message.contains("divide"));
     }
@@ -331,25 +355,39 @@ mod tests {
     #[test]
     fn thread_coarsen_shrinks_block() {
         let mut func = parse_function(KERNEL).unwrap();
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         thread_coarsen(&mut func, &launch, [4, 1, 1]).unwrap();
         verify_function(&func).unwrap();
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         assert_eq!(launch.block_dims, vec![16, 1, 1]);
-        assert_eq!(launch.shared_allocs.len(), 1, "thread coarsening keeps shared memory");
+        assert_eq!(
+            launch.shared_allocs.len(),
+            1,
+            "thread coarsening keeps shared memory"
+        );
     }
 
     #[test]
     fn block_coarsen_emits_epilogue() {
         let mut func = parse_function(KERNEL).unwrap();
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         block_coarsen(&mut func, &launch, [7, 1, 1]).unwrap();
         verify_function(&func).unwrap();
         let launches = respec_ir::kernel::analyze_function(&func).unwrap();
         assert_eq!(launches.len(), 2, "main + one epilogue grid");
         // Main grid duplicated the shared allocation 7×.
         assert_eq!(launches[0].shared_allocs.len(), 7);
-        assert_eq!(launches[1].shared_allocs.len(), 1, "epilogue is uncoarsened");
+        assert_eq!(
+            launches[1].shared_allocs.len(),
+            1,
+            "epilogue is uncoarsened"
+        );
     }
 
     #[test]
@@ -374,7 +412,9 @@ mod tests {
 }",
         )
         .unwrap();
-        let launch = respec_ir::kernel::analyze_function(&func).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
         block_coarsen(&mut func, &launch, [2, 3, 1]).unwrap();
         verify_function(&func).unwrap();
         let launches = respec_ir::kernel::analyze_function(&func).unwrap();

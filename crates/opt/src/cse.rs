@@ -52,7 +52,9 @@ fn cse_region(
             }
         }
         let op = func.op(op_id).clone();
-        if op.kind.is_pure() || matches!(op.kind, OpKind::ConstInt { .. } | OpKind::ConstFloat { .. }) {
+        if op.kind.is_pure()
+            || matches!(op.kind, OpKind::ConstInt { .. } | OpKind::ConstFloat { .. })
+        {
             let key = key_of(&op.kind, &op.operands);
             if let Some(prev) = scopes.iter().rev().find_map(|s| s.get(&key)) {
                 for (old, new) in op.results.iter().zip(prev.clone()) {

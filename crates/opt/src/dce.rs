@@ -36,7 +36,10 @@ fn collect_uses(func: &Function, region: RegionId, used: &mut HashSet<Value>) {
 fn removable(func: &Function, op: respec_ir::OpId, used: &HashSet<Value>) -> bool {
     let operation = func.op(op);
     let pure_like = operation.kind.is_pure()
-        || matches!(operation.kind, OpKind::ConstInt { .. } | OpKind::ConstFloat { .. });
+        || matches!(
+            operation.kind,
+            OpKind::ConstInt { .. } | OpKind::ConstFloat { .. }
+        );
     pure_like && operation.results.iter().all(|r| !used.contains(r))
 }
 

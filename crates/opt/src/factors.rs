@@ -34,7 +34,11 @@ pub fn prime_factors(total: i64) -> Vec<i64> {
 ///
 /// Primes are assigned greedily, each to the currently least-loaded eligible
 /// dimension (ties broken toward x).
-pub fn split_total(total: i64, dim_sizes: &[Option<i64>; 3], divisor_only: bool) -> Option<[i64; 3]> {
+pub fn split_total(
+    total: i64,
+    dim_sizes: &[Option<i64>; 3],
+    divisor_only: bool,
+) -> Option<[i64; 3]> {
     let mut factors = [1i64; 3];
     if total == 1 {
         return Some(factors);

@@ -86,7 +86,14 @@ struct Interleaver<'f> {
 }
 
 impl<'f> Interleaver<'f> {
-    fn emit(&mut self, dest: RegionId, kind: OpKind, operands: Vec<Value>, result_types: Vec<Type>, regions: Vec<RegionId>) -> OpId {
+    fn emit(
+        &mut self,
+        dest: RegionId,
+        kind: OpKind,
+        operands: Vec<Value>,
+        result_types: Vec<Type>,
+        regions: Vec<RegionId>,
+    ) -> OpId {
         let op = self.func.make_op(kind, operands, result_types, regions);
         self.func.push_op(dest, op);
         op
@@ -133,7 +140,13 @@ impl<'f> Interleaver<'f> {
                 OpKind::Barrier { level } => {
                     // Interleaving merges the instances' barriers into one
                     // (Fig. 10, left).
-                    self.emit(dest, OpKind::Barrier { level: *level }, vec![], vec![], vec![]);
+                    self.emit(
+                        dest,
+                        OpKind::Barrier { level: *level },
+                        vec![],
+                        vec![],
+                        vec![],
+                    );
                 }
                 OpKind::For => {
                     let (bounds, invariant) = Self::mapped_all(maps, &op.operands[..3]);
@@ -181,8 +194,13 @@ impl<'f> Interleaver<'f> {
                     // grouped; instance-invariant pure ops are shared.
                     let (operands_per, invariant) = Self::mapped_all(maps, &op.operands);
                     if invariant && op.kind.is_pure() {
-                        let tys: Vec<Type> = op.results.iter().map(|&r| self.func.value_type(r).clone()).collect();
-                        let new_op = self.emit(dest, op.kind.clone(), operands_per[0].clone(), tys, vec![]);
+                        let tys: Vec<Type> = op
+                            .results
+                            .iter()
+                            .map(|&r| self.func.value_type(r).clone())
+                            .collect();
+                        let new_op =
+                            self.emit(dest, op.kind.clone(), operands_per[0].clone(), tys, vec![]);
                         let new_results = self.func.op(new_op).results.clone();
                         for m in maps.iter_mut() {
                             for (old, new) in op.results.iter().zip(&new_results) {
@@ -243,7 +261,9 @@ impl<'f> Interleaver<'f> {
 
         let mut operands = bounds.to_vec();
         operands.extend(inits);
-        let result_types: Vec<Type> = (0..maps.len()).flat_map(|_| iter_types.iter().cloned()).collect();
+        let result_types: Vec<Type> = (0..maps.len())
+            .flat_map(|_| iter_types.iter().cloned())
+            .collect();
         let new_op = self.emit(dest, OpKind::For, operands, result_types, vec![new_body]);
         let new_results = self.func.op(new_op).results.clone();
         for (u, m) in maps.iter_mut().enumerate() {
@@ -264,7 +284,11 @@ impl<'f> Interleaver<'f> {
         cond: Value,
     ) -> Result<(), InterleaveError> {
         let op = self.func.op(op_id).clone();
-        let result_types: Vec<Type> = op.results.iter().map(|&r| self.func.value_type(r).clone()).collect();
+        let result_types: Vec<Type> = op
+            .results
+            .iter()
+            .map(|&r| self.func.value_type(r).clone())
+            .collect();
         let n = result_types.len();
 
         let mut new_regions = Vec::new();
@@ -273,7 +297,9 @@ impl<'f> Interleaver<'f> {
             self.interleave_region(arm, new_arm, maps, YieldMode::Concat)?;
             new_regions.push(new_arm);
         }
-        let concat_types: Vec<Type> = (0..maps.len()).flat_map(|_| result_types.iter().cloned()).collect();
+        let concat_types: Vec<Type> = (0..maps.len())
+            .flat_map(|_| result_types.iter().cloned())
+            .collect();
         let new_op = self.emit(dest, OpKind::If, vec![cond], concat_types, new_regions);
         let new_results = self.func.op(new_op).results.clone();
         for (u, m) in maps.iter_mut().enumerate() {
@@ -308,7 +334,13 @@ impl<'f> Interleaver<'f> {
             }
         }
         self.interleave_region(old_body, new_body, maps, YieldMode::Empty)?;
-        self.emit(dest, OpKind::Parallel { level }, ubs.to_vec(), vec![], vec![new_body]);
+        self.emit(
+            dest,
+            OpKind::Parallel { level },
+            ubs.to_vec(),
+            vec![],
+            vec![new_body],
+        );
         Ok(())
     }
 
@@ -358,7 +390,11 @@ pub fn unroll_interleave(
     let op = func.op(par_op).clone();
     let level = match op.kind {
         OpKind::Parallel { level } => level,
-        ref other => return Err(InterleaveError::new(format!("expected a parallel loop, found {other:?}"))),
+        ref other => {
+            return Err(InterleaveError::new(format!(
+                "expected a parallel loop, found {other:?}"
+            )))
+        }
     };
     let rank = op.operands.len();
     for (d, &f) in factors.iter().enumerate() {
@@ -385,8 +421,7 @@ pub fn unroll_interleave(
     // ---- new upper bounds, emitted before the parallel op ----
     let mut prefix_ops: Vec<OpId> = Vec::new();
     let mut new_ubs = Vec::with_capacity(rank);
-    for d in 0..rank {
-        let f = factors[d];
+    for (d, &f) in factors.iter().enumerate().take(rank) {
         if f == 1 {
             new_ubs.push(op.operands[d]);
             continue;
@@ -405,7 +440,10 @@ pub fn unroll_interleave(
             new_ubs.push(func.result(new_c));
         } else {
             let cf = func.make_op(
-                OpKind::ConstInt { value: f, ty: ScalarType::Index },
+                OpKind::ConstInt {
+                    value: f,
+                    ty: ScalarType::Index,
+                },
                 vec![],
                 vec![Type::index()],
                 vec![],
@@ -429,7 +467,9 @@ pub fn unroll_interleave(
     let old_body = op.regions[0];
     let old_ivs = func.region(old_body).args.clone();
     let new_body = func.new_region();
-    let new_ivs: Vec<Value> = (0..rank).map(|_| func.add_region_arg(new_body, Type::index())).collect();
+    let new_ivs: Vec<Value> = (0..rank)
+        .map(|_| func.add_region_arg(new_body, Type::index()))
+        .collect();
 
     let n_instances = total as usize;
     let mut maps: Vec<HashMap<Value, Value>> = vec![HashMap::new(); n_instances];
@@ -445,7 +485,10 @@ pub fn unroll_interleave(
         match style {
             IndexingStyle::Contiguous => {
                 let cf = func.make_op(
-                    OpKind::ConstInt { value: f, ty: ScalarType::Index },
+                    OpKind::ConstInt {
+                        value: f,
+                        ty: ScalarType::Index,
+                    },
                     vec![],
                     vec![Type::index()],
                     vec![],
@@ -479,7 +522,10 @@ pub fn unroll_interleave(
             let offset = match style {
                 IndexingStyle::Contiguous => {
                     let c = func.make_op(
-                        OpKind::ConstInt { value: u_d, ty: ScalarType::Index },
+                        OpKind::ConstInt {
+                            value: u_d,
+                            ty: ScalarType::Index,
+                        },
                         vec![],
                         vec![Type::index()],
                         vec![],
@@ -489,7 +535,10 @@ pub fn unroll_interleave(
                 }
                 IndexingStyle::Strided => {
                     let c = func.make_op(
-                        OpKind::ConstInt { value: u_d, ty: ScalarType::Index },
+                        OpKind::ConstInt {
+                            value: u_d,
+                            ty: ScalarType::Index,
+                        },
                         vec![],
                         vec![Type::index()],
                         vec![],
@@ -587,10 +636,17 @@ mod tests {
         unroll_interleave(&mut func, bp, [2, 1, 1], IndexingStyle::Contiguous).unwrap();
         verify_function(&func).unwrap();
         let launches = respec_ir::kernel::analyze_function(&func).unwrap();
-        assert_eq!(launches[0].block_dims, vec![32, 1, 1], "thread loop must be jammed, not shrunk");
+        assert_eq!(
+            launches[0].block_dims,
+            vec![32, 1, 1],
+            "thread loop must be jammed, not shrunk"
+        );
         // The grid extent became gx/2 (a div op must exist).
         let text = func.to_string();
-        assert!(text.contains("div"), "dynamic grid extent must be divided: {text}");
+        assert!(
+            text.contains("div"),
+            "dynamic grid extent must be divided: {text}"
+        );
     }
 
     #[test]
@@ -602,7 +658,8 @@ mod tests {
         assert_eq!(func.to_string(), before);
     }
 
-    const WITH_BARRIER: &str = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+    const WITH_BARRIER: &str =
+        "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
   %c32 = const 32 : index
   %c1 = const 1 : index
   parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
@@ -656,7 +713,8 @@ mod tests {
         assert_eq!(barriers, 1);
     }
 
-    const BLOCK_VARIANT_CF_BARRIER: &str = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+    const BLOCK_VARIANT_CF_BARRIER: &str =
+        "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
   %c32 = const 32 : index
   %c1 = const 1 : index
   %c0 = const 0 : index
@@ -700,7 +758,8 @@ mod tests {
         .unwrap();
         verify_function(&func).unwrap();
         let bp = block_par(&func);
-        let err = unroll_interleave(&mut func, bp, [2, 1, 1], IndexingStyle::Contiguous).unwrap_err();
+        let err =
+            unroll_interleave(&mut func, bp, [2, 1, 1], IndexingStyle::Contiguous).unwrap_err();
         assert!(err.message.contains("barrier"), "{err}");
         let _ = BLOCK_VARIANT_CF_BARRIER;
     }
@@ -776,7 +835,10 @@ mod tests {
                 fors += 1;
             }
         });
-        assert_eq!(fors, 2, "trip count depends on %tx: the loop must be duplicated");
+        assert_eq!(
+            fors, 2,
+            "trip count depends on %tx: the loop must be duplicated"
+        );
     }
 
     #[test]
@@ -795,6 +857,9 @@ mod tests {
         }
         // One shared `%bx*32`, plus one `1*new_ub` stride helper for the
         // second instance.
-        assert!(muls_by_bx <= 2, "invariant mul must not be duplicated per instance");
+        assert!(
+            muls_by_bx <= 2,
+            "invariant mul must not be duplicated per instance"
+        );
     }
 }

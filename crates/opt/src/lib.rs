@@ -48,16 +48,18 @@ mod dce;
 pub mod factors;
 pub mod interleave;
 mod licm;
+pub mod pass_manager;
 mod shared_offload;
 
 pub use alternatives::{
-    alternative_region, extract_alternative, find_alternatives, generate_alternatives, materialize_selected,
-    select_alternative, Alternative,
+    alternative_region, extract_alternative, find_alternatives, generate_alternatives,
+    materialize_selected, select_alternative, Alternative,
 };
 pub use barrier_elim::eliminate_barriers;
 pub use canon::canonicalize;
 pub use coarsen::{
-    block_coarsen, coarsen_function, coarsen_function_region, thread_coarsen, CoarsenConfig, CoarsenError,
+    block_coarsen, coarsen_function, coarsen_function_region, thread_coarsen, CoarsenConfig,
+    CoarsenError,
 };
 pub use cse::cse;
 pub use dce::dce;
@@ -66,6 +68,7 @@ pub use interleave::{
     parent_region, region_contains_barrier, unroll_interleave, IndexingStyle, InterleaveError,
 };
 pub use licm::licm;
+pub use pass_manager::{op_census, optimize_traced, run_pass};
 pub use shared_offload::{offload_shared_to_global, OFFLOAD_BYTES_PER_THREAD, SMALL_L1_BYTES};
 
 use respec_ir::Function;
@@ -76,15 +79,9 @@ use respec_ir::Function;
 /// This is the pass set Polygeist applies around coarsening: it folds the
 /// interleaver's index arithmetic, deduplicates shared instance
 /// computations, and hoists loop-invariant work (the `lavaMD` effect).
+/// [`optimize_traced`] is the same pipeline with one recorded span per pass.
 pub fn optimize(func: &mut Function) -> usize {
-    let mut n = 0;
-    n += canonicalize(func);
-    n += cse(func);
-    n += licm(func);
-    n += cse(func);
-    n += dce(func);
-    n += eliminate_barriers(func);
-    n
+    optimize_traced(func, &respec_trace::Trace::disabled())
 }
 
 #[cfg(test)]

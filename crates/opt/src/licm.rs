@@ -75,7 +75,12 @@ fn subtree_has_side_effects(func: &Function, region: RegionId) -> bool {
     found
 }
 
-fn hoist_out_of(func: &mut Function, parent: RegionId, mut loop_pos: usize, body: RegionId) -> usize {
+fn hoist_out_of(
+    func: &mut Function,
+    parent: RegionId,
+    mut loop_pos: usize,
+    body: RegionId,
+) -> usize {
     let loads_ok = !subtree_has_side_effects(func, body);
     let mut moved = 0;
     loop {
@@ -102,7 +107,10 @@ fn hoist_out_of(func: &mut Function, parent: RegionId, mut loop_pos: usize, body
             }
             // Move: remove from the body list, insert before the loop.
             let body_ops = &mut func.region_mut(body).ops;
-            let pos = body_ops.iter().position(|&o| o == op).expect("op is in body");
+            let pos = body_ops
+                .iter()
+                .position(|&o| o == op)
+                .expect("op is in body");
             body_ops.remove(pos);
             func.region_mut(parent).ops.insert(loop_pos, op);
             loop_pos += 1;
@@ -142,8 +150,12 @@ mod tests {
         verify_function(&func).unwrap();
         // The mul must now precede the for.
         let body = func.region(func.body()).ops.clone();
-        let mul_pos = body.iter().position(|&o| matches!(func.op(o).kind, OpKind::Binary(BinOp::Mul)));
-        let for_pos = body.iter().position(|&o| matches!(func.op(o).kind, OpKind::For));
+        let mul_pos = body
+            .iter()
+            .position(|&o| matches!(func.op(o).kind, OpKind::Binary(BinOp::Mul)));
+        let for_pos = body
+            .iter()
+            .position(|&o| matches!(func.op(o).kind, OpKind::For));
         assert!(mul_pos.unwrap() < for_pos.unwrap());
     }
 
@@ -170,7 +182,9 @@ mod tests {
         assert!(moved >= 1, "load must be hoisted, moved {moved}");
         verify_function(&func).unwrap();
         let body = func.region(func.body()).ops.clone();
-        let load_pos = body.iter().position(|&o| matches!(func.op(o).kind, OpKind::Load));
+        let load_pos = body
+            .iter()
+            .position(|&o| matches!(func.op(o).kind, OpKind::Load));
         assert!(load_pos.is_some(), "load must be at function level now");
     }
 

@@ -1,0 +1,186 @@
+//! Traced pass pipeline: runs the cleanup passes while recording one span
+//! per pass with rewrite counts and IR op-census deltas (ops before/after
+//! and the per-`OpKind` histogram change), so `chrome://tracing` shows
+//! where compile time and IR churn go.
+
+use std::collections::BTreeMap;
+
+use respec_ir::walk::walk_ops;
+use respec_ir::{Function, OpKind};
+use respec_trace::Trace;
+
+/// Number of ops reachable from the function body, per op-kind label.
+pub fn op_census(func: &Function) -> BTreeMap<&'static str, u64> {
+    let mut census = BTreeMap::new();
+    walk_ops(func, func.body(), &mut |op| {
+        *census.entry(kind_label(&func.op(op).kind)).or_insert(0) += 1;
+    });
+    census
+}
+
+/// Stable, lowercase label of an op kind (histogram/metric key).
+pub fn kind_label(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::ConstInt { .. } => "const_int",
+        OpKind::ConstFloat { .. } => "const_float",
+        OpKind::Binary(_) => "binary",
+        OpKind::Unary(_) => "unary",
+        OpKind::Cmp(_) => "cmp",
+        OpKind::Select => "select",
+        OpKind::Cast { .. } => "cast",
+        OpKind::Alloc { .. } => "alloc",
+        OpKind::Load => "load",
+        OpKind::Store => "store",
+        OpKind::Dim { .. } => "dim",
+        OpKind::For => "for",
+        OpKind::While => "while",
+        OpKind::If => "if",
+        OpKind::Parallel { .. } => "parallel",
+        OpKind::Barrier { .. } => "barrier",
+        OpKind::Yield => "yield",
+        OpKind::Condition => "condition",
+        OpKind::Alternatives { .. } => "alternatives",
+        OpKind::Call { .. } => "call",
+        OpKind::Return => "return",
+    }
+}
+
+/// Runs one pass under a span named `pass:<name>`, recording the rewrite
+/// count, total op counts before/after, and per-kind op deltas. On a
+/// disabled trace this is exactly `pass(func)` — no census is taken.
+pub fn run_pass(
+    trace: &Trace,
+    func: &mut Function,
+    name: &str,
+    pass: impl FnOnce(&mut Function) -> usize,
+) -> usize {
+    if !trace.is_enabled() {
+        return pass(func);
+    }
+    let before = op_census(func);
+    let mut span = trace.span("pass", format!("pass:{name}"));
+    span.record("function", func.name());
+    let rewrites = pass(func);
+    let after = op_census(func);
+    span.record("rewrites", rewrites);
+    span.record("ops_before", before.values().sum::<u64>());
+    span.record("ops_after", after.values().sum::<u64>());
+    // Per-kind histogram: absolute after-counts, plus deltas for kinds the
+    // pass changed (keeps the span small on no-op passes).
+    for (kind, count) in &after {
+        span.record(format!("ops:{kind}"), *count);
+    }
+    for kind in before.keys().chain(after.keys()) {
+        let b = before.get(kind).copied().unwrap_or(0) as i64;
+        let a = after.get(kind).copied().unwrap_or(0) as i64;
+        if a != b {
+            span.record(format!("delta:{kind}"), a - b);
+        }
+    }
+    rewrites
+}
+
+/// The standard cleanup pipeline (canonicalize → CSE → LICM → CSE → DCE →
+/// barrier elimination) with one span per pass; returns the total number of
+/// rewrites. [`crate::optimize`] is this with a disabled trace.
+pub fn optimize_traced(func: &mut Function, trace: &Trace) -> usize {
+    let mut n = 0;
+    n += run_pass(trace, func, "canonicalize", crate::canonicalize);
+    n += run_pass(trace, func, "cse", crate::cse);
+    n += run_pass(trace, func, "licm", crate::licm);
+    n += run_pass(trace, func, "cse", crate::cse);
+    n += run_pass(trace, func, "dce", crate::dce);
+    n += run_pass(trace, func, "barrier-elim", crate::eliminate_barriers);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+    use respec_trace::MetricValue;
+
+    const KERNEL: &str = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %w2 = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %i2 = add %w2, %tx : index
+      %v = load %m[%i] : f32
+      store %v, %m[%i2]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    #[test]
+    fn census_counts_by_kind() {
+        let func = parse_function(KERNEL).unwrap();
+        let census = op_census(&func);
+        assert_eq!(census["load"], 1);
+        assert_eq!(census["store"], 1);
+        assert_eq!(census["parallel"], 2);
+        assert_eq!(census["binary"], 4);
+    }
+
+    #[test]
+    fn traced_pipeline_records_one_span_per_pass() {
+        let mut func = parse_function(KERNEL).unwrap();
+        let trace = respec_trace::Trace::new();
+        let rewrites = optimize_traced(&mut func, &trace);
+        assert!(rewrites > 0, "duplicate index math must be cleaned up");
+        let events = trace.events();
+        assert_eq!(events.len(), 6, "one span per pass");
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "pass:canonicalize",
+                "pass:cse",
+                "pass:licm",
+                "pass:cse",
+                "pass:dce",
+                "pass:barrier-elim"
+            ]
+        );
+        // The duplicated index math (%w2/%i2) must disappear somewhere in
+        // the pipeline, and the span metrics must show exactly where.
+        let first_before = events[0]
+            .metric("ops_before")
+            .and_then(|m| m.as_f64())
+            .unwrap();
+        let last_after = events[5]
+            .metric("ops_after")
+            .and_then(|m| m.as_f64())
+            .unwrap();
+        assert!(
+            last_after < first_before,
+            "pipeline must shrink the op count"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.metric("rewrites"), Some(MetricValue::UInt(n)) if *n > 0)));
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.metric("delta:binary"), Some(MetricValue::Int(d)) if *d < 0)),
+            "some pass must record the removal of the duplicate binary ops"
+        );
+    }
+
+    #[test]
+    fn traced_and_untraced_produce_identical_ir() {
+        let mut traced = parse_function(KERNEL).unwrap();
+        let mut untraced = parse_function(KERNEL).unwrap();
+        let trace = respec_trace::Trace::new();
+        let a = optimize_traced(&mut traced, &trace);
+        let b = crate::optimize(&mut untraced);
+        assert_eq!(a, b);
+        assert_eq!(traced.to_string(), untraced.to_string());
+    }
+}

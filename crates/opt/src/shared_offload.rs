@@ -98,7 +98,11 @@ mod tests {
         assert_eq!(n, 1);
         verify_function(&func).unwrap();
         let launches = respec_ir::kernel::analyze_function(&func).unwrap();
-        assert_eq!(launches[0].shared_allocs.len(), 0, "no shared usage remains, as profiled on AMD");
+        assert_eq!(
+            launches[0].shared_allocs.len(),
+            0,
+            "no shared usage remains, as profiled on AMD"
+        );
         assert!(func.to_string().contains("memref<17x17xf32, global>"));
     }
 

@@ -90,7 +90,11 @@ fn run(src: &str, cfg: Option<CoarsenConfig>) -> Option<Vec<f32>> {
     sim.launch(
         &func,
         [12, 1, 1],
-        &[KernelArg::Buf(ob), KernelArg::Buf(ib), KernelArg::I32(n as i32)],
+        &[
+            KernelArg::Buf(ob),
+            KernelArg::Buf(ib),
+            KernelArg::I32(n as i32),
+        ],
         32,
     )
     .expect("launches");

@@ -110,13 +110,22 @@ impl App for Backprop {
         let pb = sim.mem.alloc_f32(&vec![0.0; blocks as usize * h]);
         let db = sim.mem.alloc_f32(&delta);
         let ob = sim.mem.alloc_f32(&oldw);
-        let forward = module.function("layerforward").expect("layerforward kernel");
-        let adjust = module.function("adjust_weights").expect("adjust_weights kernel");
+        let forward = module
+            .function("layerforward")
+            .expect("layerforward kernel");
+        let adjust = module
+            .function("adjust_weights")
+            .expect("adjust_weights kernel");
         launch_auto(
             sim,
             forward,
             [1, blocks, 1],
-            &[KernelArg::Buf(ib), KernelArg::Buf(wb), KernelArg::Buf(pb), KernelArg::I32(h as i32)],
+            &[
+                KernelArg::Buf(ib),
+                KernelArg::Buf(wb),
+                KernelArg::Buf(pb),
+                KernelArg::I32(h as i32),
+            ],
         )?;
         // Host: sum the per-block partials and squash.
         let partial = sim.mem.read_f32(pb);
@@ -132,7 +141,13 @@ impl App for Backprop {
             sim,
             adjust,
             [1, blocks, 1],
-            &[KernelArg::Buf(db), KernelArg::Buf(ib), KernelArg::Buf(wb), KernelArg::Buf(ob), KernelArg::I32(h as i32)],
+            &[
+                KernelArg::Buf(db),
+                KernelArg::Buf(ib),
+                KernelArg::Buf(wb),
+                KernelArg::Buf(ob),
+                KernelArg::I32(h as i32),
+            ],
         )?;
         let w_out = sim.mem.read_f32(wb);
         let mut out: Vec<f64> = hidden.iter().map(|&v| v as f64).collect();
@@ -172,10 +187,10 @@ impl App for Backprop {
             hidden[j] = 1.0 / (1.0 + (-sum).exp());
         }
         let mut w = weights.clone();
-        for row in 1..=n {
-            for col in 1..=h {
+        for (row, &inp) in input.iter().enumerate().take(n + 1).skip(1) {
+            for (col, &dc) in delta.iter().enumerate().take(h + 1).skip(1) {
                 let idx = (h + 1) * row + col;
-                let dw = 0.3 * delta[col] * input[row];
+                let dw = 0.3 * dc * inp;
                 w[idx] += dw;
             }
         }
@@ -196,6 +211,10 @@ mod tests {
 
     #[test]
     fn backprop_matches_reference() {
-        verify_app(&Backprop::new(Workload::Small), respec_sim::targets::a4000()).unwrap();
+        verify_app(
+            &Backprop::new(Workload::Small),
+            respec_sim::targets::a4000(),
+        )
+        .unwrap();
     }
 }

@@ -160,7 +160,12 @@ impl App for Bfs {
                 break;
             }
         }
-        Ok(sim.mem.read_i32(costb).into_iter().map(|v| v as f64).collect())
+        Ok(sim
+            .mem
+            .read_i32(costb)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect())
     }
 
     fn reference(&self) -> Vec<f64> {
@@ -172,8 +177,9 @@ impl App for Bfs {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for &v in &frontier {
-                for e in row_start[v] as usize..row_start[v + 1] as usize {
-                    let t = col_idx[e] as usize;
+                let (lo, hi) = (row_start[v] as usize, row_start[v + 1] as usize);
+                for &c in &col_idx[lo..hi] {
+                    let t = c as usize;
                     if cost[t] == -1 {
                         cost[t] = cost[v] + 1;
                         next.push(t);

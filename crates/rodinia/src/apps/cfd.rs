@@ -60,7 +60,10 @@ impl Cfd {
     /// Creates the app at the given workload.
     pub fn new(workload: Workload) -> Cfd {
         match workload {
-            Workload::Small => Cfd { cells: 2048, iters: 2 },
+            Workload::Small => Cfd {
+                cells: 2048,
+                iters: 2,
+            },
             Workload::Large => Cfd {
                 cells: 32768,
                 iters: 4,
@@ -81,7 +84,11 @@ impl Cfd {
         for i in 0..n {
             let (r, c) = (i / side, i % side);
             neigh.push(if c > 0 { (i - 1) as i32 } else { -1 });
-            neigh.push(if c + 1 < side && i + 1 < n { (i + 1) as i32 } else { -1 });
+            neigh.push(if c + 1 < side && i + 1 < n {
+                (i + 1) as i32
+            } else {
+                -1
+            });
             neigh.push(if r > 0 { (i - side) as i32 } else { -1 });
             neigh.push(if i + side < n { (i + side) as i32 } else { -1 });
         }
@@ -157,7 +164,12 @@ impl App for Cfd {
         let (density, momx, momy, energy, neigh) = self.inputs();
         let mut src = [density, momx, momy, energy];
         for _ in 0..self.iters {
-            let mut dst = [vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]];
+            let mut dst = [
+                vec![0.0f32; n],
+                vec![0.0f32; n],
+                vec![0.0f32; n],
+                vec![0.0f32; n],
+            ];
             for i in 0..n {
                 let d = src[0][i];
                 let mx = src[1][i];

@@ -96,7 +96,12 @@ impl App for Gaussian {
             sim.launch(
                 fan1,
                 [g1, 1, 1],
-                &[KernelArg::Buf(mb), KernelArg::Buf(ab), KernelArg::I32(n as i32), KernelArg::I32(t as i32)],
+                &[
+                    KernelArg::Buf(mb),
+                    KernelArg::Buf(ab),
+                    KernelArg::I32(n as i32),
+                    KernelArg::I32(t as i32),
+                ],
                 crate::framework::registers_for(sim, fan1),
             )?;
             let cols = (n - t) as i64;
@@ -167,6 +172,10 @@ mod tests {
 
     #[test]
     fn gaussian_matches_reference() {
-        verify_app(&Gaussian::new(Workload::Small), respec_sim::targets::a4000()).unwrap();
+        verify_app(
+            &Gaussian::new(Workload::Small),
+            respec_sim::targets::a4000(),
+        )
+        .unwrap();
     }
 }

@@ -48,7 +48,10 @@ impl Hotspot {
     pub fn new(workload: Workload) -> Hotspot {
         match workload {
             Workload::Small => Hotspot { size: 64, steps: 4 },
-            Workload::Large => Hotspot { size: 256, steps: 16 },
+            Workload::Large => Hotspot {
+                size: 256,
+                steps: 16,
+            },
         }
     }
 
@@ -59,7 +62,10 @@ impl Hotspot {
 
     fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
         let n = self.size * self.size;
-        let temp: Vec<f32> = random_f32(31, n).into_iter().map(|v| 320.0 + 10.0 * v).collect();
+        let temp: Vec<f32> = random_f32(31, n)
+            .into_iter()
+            .map(|v| 320.0 + 10.0 * v)
+            .collect();
         let power: Vec<f32> = random_f32(32, n).into_iter().map(|v| v * 0.5).collect();
         (temp, power)
     }
@@ -111,7 +117,12 @@ impl App for Hotspot {
             )?;
             std::mem::swap(&mut src, &mut dst);
         }
-        Ok(sim.mem.read_f32(src).into_iter().map(|v| v as f64).collect())
+        Ok(sim
+            .mem
+            .read_f32(src)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect())
     }
 
     fn reference(&self) -> Vec<f64> {

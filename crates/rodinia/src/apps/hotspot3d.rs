@@ -64,7 +64,10 @@ impl Hotspot3D {
 
     fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
         let n = self.nx * self.ny * self.nz;
-        let temp: Vec<f64> = random_f64(81, n).into_iter().map(|v| 320.0 + v * 10.0).collect();
+        let temp: Vec<f64> = random_f64(81, n)
+            .into_iter()
+            .map(|v| 320.0 + v * 10.0)
+            .collect();
         let power: Vec<f64> = random_f64(82, n).into_iter().map(|v| v * 0.01).collect();
         (temp, power)
     }
@@ -95,7 +98,9 @@ impl App for Hotspot3D {
         let pb = sim.mem.alloc_f64(&power);
         let mut src = sim.mem.alloc_f64(&temp);
         let mut dst = sim.mem.alloc_f64(&vec![0.0; n]);
-        let kernel = module.function("hotspot3d_kernel").expect("hotspot3D kernel");
+        let kernel = module
+            .function("hotspot3d_kernel")
+            .expect("hotspot3D kernel");
         let grid = [(nx / 16) as i64, (ny / 8) as i64, (nz / 2) as i64];
         for _ in 0..self.steps {
             launch_auto(
@@ -160,6 +165,10 @@ mod tests {
 
     #[test]
     fn hotspot3d_matches_reference() {
-        verify_app(&Hotspot3D::new(Workload::Small), respec_sim::targets::mi210()).unwrap();
+        verify_app(
+            &Hotspot3D::new(Workload::Small),
+            respec_sim::targets::mi210(),
+        )
+        .unwrap();
     }
 }

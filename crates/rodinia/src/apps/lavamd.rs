@@ -75,6 +75,9 @@ pub struct LavaMd {
 
 const PAR: usize = 64;
 
+/// Input arrays: positions (rx, ry, rz), charges, neighbor-box lists.
+type LavaMdInputs = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<i32>);
+
 impl LavaMd {
     /// Creates the app at the given workload.
     pub fn new(workload: Workload) -> LavaMd {
@@ -84,7 +87,7 @@ impl LavaMd {
         }
     }
 
-    fn inputs(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<i32>) {
+    fn inputs(&self) -> LavaMdInputs {
         let n = self.boxes * PAR;
         let rx = random_f64(91, n);
         let ry = random_f64(92, n);

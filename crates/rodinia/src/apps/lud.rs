@@ -117,7 +117,11 @@ impl Lud {
 
     /// Creates the app with an explicit matrix size (multiple of 16).
     pub fn with_size(size: usize) -> Lud {
-        assert_eq!(size % 16, 0, "lud matrices are multiples of the 16-wide tile");
+        assert_eq!(
+            size % 16,
+            0,
+            "lud matrices are multiples of the 16-wide tile"
+        );
         Lud { size }
     }
 
@@ -161,13 +165,23 @@ impl App for Lud {
         let n = self.size;
         let a = self.input();
         let mb = sim.mem.alloc_f32(&a);
-        let diagonal = module.function("lud_diagonal").expect("lud_diagonal kernel");
-        let perimeter = module.function("lud_perimeter").expect("lud_perimeter kernel");
-        let internal = module.function("lud_internal").expect("lud_internal kernel");
+        let diagonal = module
+            .function("lud_diagonal")
+            .expect("lud_diagonal kernel");
+        let perimeter = module
+            .function("lud_perimeter")
+            .expect("lud_perimeter kernel");
+        let internal = module
+            .function("lud_internal")
+            .expect("lud_internal kernel");
         let nb = n / 16;
         for step in 0..nb {
             let offset = (step * 16) as i32;
-            let args = [KernelArg::Buf(mb), KernelArg::I32(n as i32), KernelArg::I32(offset)];
+            let args = [
+                KernelArg::Buf(mb),
+                KernelArg::I32(n as i32),
+                KernelArg::I32(offset),
+            ];
             launch_auto(sim, diagonal, [1, 1, 1], &args)?;
             let rest = (nb - step - 1) as i64;
             if rest > 0 {
@@ -218,7 +232,9 @@ mod tests {
         let app = Lud::new(Workload::Small);
         let module = crate::framework::compile_app(&app).unwrap();
         let internal = module.function("lud_internal").unwrap();
-        let launch = respec_ir::kernel::analyze_function(internal).unwrap().remove(0);
+        let launch = respec_ir::kernel::analyze_function(internal)
+            .unwrap()
+            .remove(0);
         assert_eq!(launch.shared_bytes(internal), 2 * 16 * 16 * 4);
         assert_eq!(launch.threads_per_block(), 256);
     }

@@ -36,8 +36,14 @@ impl Nn {
     }
 
     fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
-        let lat: Vec<f32> = random_f32(61, self.records).into_iter().map(|v| v * 90.0).collect();
-        let lon: Vec<f32> = random_f32(62, self.records).into_iter().map(|v| v * 180.0).collect();
+        let lat: Vec<f32> = random_f32(61, self.records)
+            .into_iter()
+            .map(|v| v * 90.0)
+            .collect();
+        let lon: Vec<f32> = random_f32(62, self.records)
+            .into_iter()
+            .map(|v| v * 180.0)
+            .collect();
         (lat, lon)
     }
 

@@ -199,6 +199,10 @@ mod tests {
         let launch = respec_ir::kernel::analyze_function(k).unwrap().remove(0);
         let bytes = launch.shared_bytes(k);
         assert_eq!(bytes, 17 * 17 * 4 + 16 * 16 * 4, "2180 bytes per block");
-        assert_eq!(bytes / launch.threads_per_block() as u64, 136, "the paper's 136 B/thread");
+        assert_eq!(
+            bytes / launch.threads_per_block() as u64,
+            136,
+            "the paper's 136 B/thread"
+        );
     }
 }

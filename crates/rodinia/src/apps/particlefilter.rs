@@ -57,7 +57,9 @@ impl ParticleFilter {
     }
 
     fn observations(&self) -> Vec<(f64, f64)> {
-        (0..self.frames).map(|f| (1.0 + f as f64, 0.5 * f as f64)).collect()
+        (0..self.frames)
+            .map(|f| (1.0 + f as f64, 0.5 * f as f64))
+            .collect()
     }
 }
 
@@ -150,6 +152,10 @@ mod tests {
 
     #[test]
     fn particlefilter_matches_reference() {
-        verify_app(&ParticleFilter::new(Workload::Small), respec_sim::targets::rx6800()).unwrap();
+        verify_app(
+            &ParticleFilter::new(Workload::Small),
+            respec_sim::targets::rx6800(),
+        )
+        .unwrap();
     }
 }

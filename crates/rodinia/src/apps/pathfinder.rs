@@ -41,8 +41,14 @@ impl Pathfinder {
     /// Creates the app at the given workload.
     pub fn new(workload: Workload) -> Pathfinder {
         match workload {
-            Workload::Small => Pathfinder { cols: 1024, rows: 8 },
-            Workload::Large => Pathfinder { cols: 8192, rows: 24 },
+            Workload::Small => Pathfinder {
+                cols: 1024,
+                rows: 8,
+            },
+            Workload::Large => Pathfinder {
+                cols: 8192,
+                rows: 24,
+            },
         }
     }
 
@@ -81,7 +87,9 @@ impl App for Pathfinder {
         let wb = sim.mem.alloc_i32(&wall);
         let mut src = sim.mem.alloc_i32(&wall[..self.cols]);
         let mut dst = sim.mem.alloc_i32(&vec![0; self.cols]);
-        let kernel = module.function("dynproc_kernel").expect("pathfinder kernel");
+        let kernel = module
+            .function("dynproc_kernel")
+            .expect("pathfinder kernel");
         let g = ceil_div(self.cols as i64, 256);
         for t in 0..self.rows - 1 {
             launch_auto(
@@ -98,7 +106,12 @@ impl App for Pathfinder {
             )?;
             std::mem::swap(&mut src, &mut dst);
         }
-        Ok(sim.mem.read_i32(src).into_iter().map(|v| v as f64).collect())
+        Ok(sim
+            .mem
+            .read_i32(src)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect())
     }
 
     fn reference(&self) -> Vec<f64> {
@@ -129,6 +142,10 @@ mod tests {
 
     #[test]
     fn pathfinder_matches_reference_exactly() {
-        verify_app(&Pathfinder::new(Workload::Small), respec_sim::targets::a100()).unwrap();
+        verify_app(
+            &Pathfinder::new(Workload::Small),
+            respec_sim::targets::a100(),
+        )
+        .unwrap();
     }
 }

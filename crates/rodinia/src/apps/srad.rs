@@ -133,7 +133,12 @@ impl App for SradV1 {
                 sim,
                 reduce,
                 [rblocks, 1, 1],
-                &[KernelArg::Buf(src), KernelArg::Buf(sb), KernelArg::Buf(s2b), KernelArg::I32(n as i32)],
+                &[
+                    KernelArg::Buf(src),
+                    KernelArg::Buf(sb),
+                    KernelArg::Buf(s2b),
+                    KernelArg::I32(n as i32),
+                ],
             )?;
             let sums = sim.mem.read_f32(sb);
             let sums2 = sim.mem.read_f32(s2b);
@@ -157,7 +162,12 @@ impl App for SradV1 {
             )?;
             std::mem::swap(&mut src, &mut dst);
         }
-        Ok(sim.mem.read_f32(src).into_iter().map(|v| v as f64).collect())
+        Ok(sim
+            .mem
+            .read_f32(src)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect())
     }
 
     fn reference(&self) -> Vec<f64> {

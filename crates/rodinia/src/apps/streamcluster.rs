@@ -145,6 +145,10 @@ mod tests {
 
     #[test]
     fn streamcluster_matches_reference() {
-        verify_app(&StreamCluster::new(Workload::Small), respec_sim::targets::a4000()).unwrap();
+        verify_app(
+            &StreamCluster::new(Workload::Small),
+            respec_sim::targets::a4000(),
+        )
+        .unwrap();
     }
 }

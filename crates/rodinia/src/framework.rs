@@ -125,7 +125,10 @@ pub fn registers_for(sim: &GpuSim, func: &Function) -> u32 {
     match respec_ir::kernel::analyze_function(func) {
         Ok(launches) => launches
             .iter()
-            .map(|l| respec_backend::compile_launch(func, l, sim.target.max_regs_per_thread).regs_per_thread)
+            .map(|l| {
+                respec_backend::compile_launch(func, l, sim.target.max_regs_per_thread)
+                    .regs_per_thread
+            })
             .max()
             .unwrap_or(32),
         Err(_) => 32,
@@ -185,7 +188,17 @@ pub fn random_f32(seed: u64, len: usize) -> Vec<f32> {
 
 /// Deterministic pseudo-random `f64` vector in `[0, 1)`.
 pub fn random_f64(seed: u64, len: usize) -> Vec<f64> {
-    random_f32(seed, len).into_iter().map(|v| v as f64).collect()
+    random_f32(seed, len)
+        .into_iter()
+        .map(|v| v as f64)
+        .collect()
+}
+
+/// Ceiling division for grid-size computation (`i64::div_ceil` is not yet
+/// stable for signed integers on this toolchain).
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    (a + b - 1) / b
 }
 
 #[cfg(test)]
@@ -208,11 +221,4 @@ mod tests {
         assert_eq!(max_abs_err(&[1.0], &[1.0, 2.0]), f64::INFINITY);
         assert_eq!(max_abs_err(&[], &[]), 0.0);
     }
-}
-
-/// Ceiling division for grid-size computation (`i64::div_ceil` is not yet
-/// stable for signed integers on this toolchain).
-pub fn ceil_div(a: i64, b: i64) -> i64 {
-    debug_assert!(b > 0);
-    (a + b - 1) / b
 }

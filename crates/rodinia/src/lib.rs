@@ -32,8 +32,8 @@ pub mod apps;
 mod framework;
 
 pub use framework::{
-    compile_app, launch_auto, max_abs_err, random_f32, random_f64, registers_for, run_app, verify_app, App,
-    AppError, Workload,
+    compile_app, launch_auto, max_abs_err, random_f32, random_f64, registers_for, run_app,
+    verify_app, App, AppError, Workload,
 };
 
 pub use apps::{all_apps, all_apps_sized};
@@ -55,7 +55,8 @@ mod tests {
     #[test]
     fn all_apps_compile() {
         for app in all_apps() {
-            compile_app(app.as_ref()).unwrap_or_else(|e| panic!("{} failed to compile: {e}", app.name()));
+            compile_app(app.as_ref())
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", app.name()));
         }
     }
 }

@@ -6,7 +6,9 @@
 
 use std::fmt;
 
-use respec_ir::{BinOp, CmpPred, Function, MemSpace, OpId, OpKind, RegionId, ScalarType, UnOp, Value};
+use respec_ir::{
+    BinOp, CmpPred, Function, MemSpace, OpId, OpKind, RegionId, ScalarType, UnOp, Value,
+};
 
 use crate::memory::DeviceMemory;
 use crate::value::{MemVal, RtVal, Store};
@@ -120,7 +122,9 @@ impl ThreadCounters {
 
     /// Iterates over `(op_index, issue_count)` pairs of this phase.
     pub fn issues(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.touched.iter().map(move |&t| (t, self.issue[t as usize]))
+        self.touched
+            .iter()
+            .map(move |&t| (t, self.issue[t as usize]))
     }
 }
 
@@ -164,7 +168,13 @@ pub fn classify(func: &Function, op: OpId) -> Option<InstClass> {
         OpKind::Cmp(_) | OpKind::Select => Some(InstClass::IntAlu),
         OpKind::Load | OpKind::Store => {
             let mem_ty = func
-                .value_type(operation.operands[if matches!(operation.kind, OpKind::Store) { 1 } else { 0 }])
+                .value_type(
+                    operation.operands[if matches!(operation.kind, OpKind::Store) {
+                        1
+                    } else {
+                        0
+                    }],
+                )
                 .as_memref()?;
             Some(match mem_ty.space {
                 MemSpace::Shared => InstClass::SharedMem,
@@ -196,10 +206,21 @@ pub enum StepEvent {
 #[derive(Clone, Copy, Debug)]
 enum FrameKind {
     Root,
-    For { op: OpId, iv: i64, ub: i64, step: i64 },
-    If { op: OpId },
-    WhileCond { op: OpId },
-    WhileBody { op: OpId },
+    For {
+        op: OpId,
+        iv: i64,
+        ub: i64,
+        step: i64,
+    },
+    If {
+        op: OpId,
+    },
+    WhileCond {
+        op: OpId,
+    },
+    WhileBody {
+        op: OpId,
+    },
     Alt,
 }
 
@@ -305,7 +326,9 @@ impl<'f> Interp<'f> {
                 StepEvent::Ran => {}
                 StepEvent::Done => return Ok(()),
                 StepEvent::Barrier => return Err(SimError::new("barrier outside thread scope")),
-                StepEvent::Launch(_) => return Err(SimError::new("nested parallel in serial scope")),
+                StepEvent::Launch(_) => {
+                    return Err(SimError::new("nested parallel in serial scope"))
+                }
             }
         }
     }
@@ -345,7 +368,12 @@ impl<'f> Interp<'f> {
                         self.done = true;
                         return Ok(StepEvent::Done);
                     }
-                    FrameKind::For { op: for_op, iv, ub, step } => {
+                    FrameKind::For {
+                        op: for_op,
+                        iv,
+                        ub,
+                        step,
+                    } => {
                         // Loop back-edge: one branch issue.
                         if let Some(c) = cx.counters.as_deref_mut() {
                             c.bump(op_id);
@@ -383,7 +411,9 @@ impl<'f> Interp<'f> {
                     }
                     FrameKind::Alt => {}
                     FrameKind::WhileCond { .. } => {
-                        return Err(SimError::new("while condition region must end in `condition`"))
+                        return Err(SimError::new(
+                            "while condition region must end in `condition`",
+                        ))
                     }
                     FrameKind::WhileBody { op: while_op } => {
                         let cond_region = func.op(while_op).regions[0];
@@ -550,7 +580,11 @@ impl<'f> Interp<'f> {
                 self.store.set(op.results[0], RtVal::Int(*value));
             }
             OpKind::ConstFloat { value, ty } => {
-                let v = if *ty == ScalarType::F32 { *value as f32 as f64 } else { *value };
+                let v = if *ty == ScalarType::F32 {
+                    *value as f32 as f64
+                } else {
+                    *value
+                };
                 self.store.set(op.results[0], RtVal::Float(v));
             }
             OpKind::Binary(b) => {
@@ -627,8 +661,11 @@ impl<'f> Interp<'f> {
                 let mut operand_iter = op.operands.iter();
                 for (d, &extent) in mem_ty.shape.iter().enumerate() {
                     dims[d] = if extent < 0 {
-                        self.get(cx, *operand_iter.next().expect("verified dynamic dim operand"))?
-                            .as_int()
+                        self.get(
+                            cx,
+                            *operand_iter.next().expect("verified dynamic dim operand"),
+                        )?
+                        .as_int()
                     } else {
                         extent
                     };
@@ -652,15 +689,22 @@ impl<'f> Interp<'f> {
                 for (d, &v) in op.operands[1..].iter().enumerate() {
                     idx[d] = self.get(cx, v)?.as_int();
                 }
-                let flat = mem
-                    .flatten(&idx[..mem.rank as usize])
-                    .ok_or_else(|| SimError::new(format!("out-of-bounds load at {op_id:?}: index {idx:?} in {:?}", mem)))?;
+                let flat = mem.flatten(&idx[..mem.rank as usize]).ok_or_else(|| {
+                    SimError::new(format!(
+                        "out-of-bounds load at {op_id:?}: index {idx:?} in {:?}",
+                        mem
+                    ))
+                })?;
                 let elem = cx.mem.elem_type(mem.buf);
                 let (f, i) = cx
                     .mem
                     .load_scalar(mem.buf, flat)
                     .ok_or_else(|| SimError::new(format!("out-of-bounds load at {op_id:?}")))?;
-                let v = if elem.is_float() { RtVal::Float(f) } else { RtVal::Int(i) };
+                let v = if elem.is_float() {
+                    RtVal::Float(f)
+                } else {
+                    RtVal::Int(i)
+                };
                 self.store.set(op.results[0], v);
                 if let Some(c) = cx.counters.as_deref_mut() {
                     let occ = c.bump(op_id);
@@ -681,9 +725,12 @@ impl<'f> Interp<'f> {
                 for (d, &v) in op.operands[2..].iter().enumerate() {
                     idx[d] = self.get(cx, v)?.as_int();
                 }
-                let flat = mem
-                    .flatten(&idx[..mem.rank as usize])
-                    .ok_or_else(|| SimError::new(format!("out-of-bounds store at {op_id:?}: index {idx:?} in {:?}", mem)))?;
+                let flat = mem.flatten(&idx[..mem.rank as usize]).ok_or_else(|| {
+                    SimError::new(format!(
+                        "out-of-bounds store at {op_id:?}: index {idx:?} in {:?}",
+                        mem
+                    ))
+                })?;
                 let elem = cx.mem.elem_type(mem.buf);
                 let (f, i) = match val {
                     RtVal::Float(f) => (f, 0),
@@ -729,7 +776,11 @@ fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, Si
             BinOp::Pow => a.powf(c),
             other => return Err(SimError::new(format!("{other:?} on floats"))),
         };
-        let out = if ty == ScalarType::F32 { wide as f32 as f64 } else { wide };
+        let out = if ty == ScalarType::F32 {
+            wide as f32 as f64
+        } else {
+            wide
+        };
         Ok(RtVal::Float(out))
     } else {
         let (a, c) = (l.as_int(), r.as_int());
@@ -779,7 +830,11 @@ fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
             UnOp::Ceil => a.ceil(),
             UnOp::Not => return Err(SimError::new("logical not on a float")),
         };
-        let out = if ty == ScalarType::F32 { wide as f32 as f64 } else { wide };
+        let out = if ty == ScalarType::F32 {
+            wide as f32 as f64
+        } else {
+            wide
+        };
         Ok(RtVal::Float(out))
     } else {
         let a = v.as_int();
@@ -811,12 +866,20 @@ fn cast_value(v: RtVal, from: ScalarType, to: ScalarType) -> RtVal {
     match (from.is_float(), to.is_float()) {
         (true, true) => {
             let f = v.as_float();
-            RtVal::Float(if to == ScalarType::F32 { f as f32 as f64 } else { f })
+            RtVal::Float(if to == ScalarType::F32 {
+                f as f32 as f64
+            } else {
+                f
+            })
         }
         (true, false) => RtVal::Int(truncate_int(v.as_float() as i64, to)),
         (false, true) => {
             let f = v.as_int() as f64;
-            RtVal::Float(if to == ScalarType::F32 { f as f32 as f64 } else { f })
+            RtVal::Float(if to == ScalarType::F32 {
+                f as f32 as f64
+            } else {
+                f
+            })
         }
         (false, false) => RtVal::Int(truncate_int(v.as_int(), to)),
     }
@@ -827,7 +890,10 @@ mod tests {
     use super::*;
     use respec_ir::parse_function;
 
-    fn run_serial_func(src: &str, bind: impl FnOnce(&Function, &mut Store, &mut DeviceMemory)) -> (DeviceMemory, Store) {
+    fn run_serial_func(
+        src: &str,
+        bind: impl FnOnce(&Function, &mut Store, &mut DeviceMemory),
+    ) -> (DeviceMemory, Store) {
         let func = parse_function(src).unwrap();
         respec_ir::verify_function(&func).unwrap();
         let mut mem = DeviceMemory::new();

@@ -2,6 +2,7 @@
 //! lock-step execution around barriers, and statistics collection.
 
 use respec_ir::{Function, MemSpace, OpId, Value};
+use respec_trace::Trace;
 
 use crate::cache::Cache;
 use crate::interp::{Interp, SimError, StepCx, StepEvent, ThreadCounters};
@@ -63,6 +64,7 @@ pub struct GpuSim {
     /// measurement scope (§VII-A).
     pub launch_log: Vec<KernelTiming>,
     total_stats: ExecStats,
+    trace: Trace,
 }
 
 /// One entry of [`GpuSim::launch_log`].
@@ -79,7 +81,9 @@ pub struct KernelTiming {
 impl GpuSim {
     /// Creates a simulator for the given target.
     pub fn new(target: TargetDesc) -> GpuSim {
-        let l1 = (0..target.sm_count).map(|_| Cache::new(target.l1_bytes, 32, 8)).collect();
+        let l1 = (0..target.sm_count)
+            .map(|_| Cache::new(target.l1_bytes, 32, 8))
+            .collect();
         let l2 = Cache::new(target.l2_bytes, 32, 16);
         GpuSim {
             target,
@@ -89,7 +93,21 @@ impl GpuSim {
             elapsed_seconds: 0.0,
             launch_log: Vec::new(),
             total_stats: ExecStats::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a trace: every subsequent [`GpuSim::launch`] records a
+    /// `launch:<kernel>` span with occupancy, coalescing/cache counters and
+    /// the timing-model breakdown. Tracing is observational only — it never
+    /// changes simulated results.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The currently attached trace handle (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Aggregate execution counters over every launch so far.
@@ -100,7 +118,11 @@ impl GpuSim {
     /// Total kernel time of all launches of `name` (the paper's *kernel*
     /// measurement).
     pub fn kernel_seconds(&self, name: &str) -> f64 {
-        self.launch_log.iter().filter(|t| t.kernel == name).map(|t| t.seconds).sum()
+        self.launch_log
+            .iter()
+            .filter(|t| t.kernel == name)
+            .map(|t| t.seconds)
+            .sum()
     }
 
     /// Total kernel time across every launch (the composite measurement
@@ -144,6 +166,9 @@ impl GpuSim {
         args: &[KernelArg],
         regs_per_thread: u32,
     ) -> Result<LaunchReport, SimError> {
+        let mut span = self.trace.span("sim", format!("launch:{}", func.name()));
+        span.record("grid", format!("{}x{}x{}", grid[0], grid[1], grid[2]));
+        span.record("regs_per_thread", regs_per_thread);
         let params = func.params().to_vec();
         if params.len() != args.len() + 3 {
             return Err(SimError::new(format!(
@@ -188,7 +213,8 @@ impl GpuSim {
                 StepEvent::Done => break,
                 StepEvent::Barrier => return Err(SimError::new("barrier at host level")),
                 StepEvent::Launch(par_op) => {
-                    let seg = self.run_block_parallel(func, par_op, &host.store, regs_per_thread)?;
+                    let seg =
+                        self.run_block_parallel(func, par_op, &host.store, regs_per_thread)?;
                     stats.accumulate(&seg.stats);
                     total_blocks += seg.blocks;
                     match &dominant {
@@ -219,6 +245,54 @@ impl GpuSim {
             seconds,
             stats: stats.clone(),
         });
+        if span.is_recording() {
+            // Shape and occupancy.
+            span.record("blocks", total_blocks);
+            span.record("threads", stats.threads);
+            span.record("warps", stats.warps);
+            span.record("occupancy", occ.occupancy);
+            span.record("blocks_per_sm", occ.blocks_per_sm);
+            span.record("active_warps_per_sm", occ.active_warps_per_sm);
+            span.record("occupancy_limiter", occ.limiter.to_string());
+            // Coalescing and the cache hierarchy.
+            span.record("global_load_requests", stats.global_load_requests);
+            span.record("global_store_requests", stats.global_store_requests);
+            span.record("read_sectors", stats.read_sectors);
+            span.record("write_sectors", stats.write_sectors);
+            span.record("l1_read_hits", stats.l1_read_hits);
+            span.record("l2_read_hits", stats.l2_read_hits);
+            span.record("dram_read_sectors", stats.dram_read_sectors);
+            span.record("dram_write_sectors", stats.dram_write_sectors);
+            if stats.read_sectors > 0 {
+                span.record(
+                    "l1_hit_rate",
+                    stats.l1_read_hits as f64 / stats.read_sectors as f64,
+                );
+                let l1_misses = stats.read_sectors - stats.l1_read_hits;
+                if l1_misses > 0 {
+                    span.record("l2_hit_rate", stats.l2_read_hits as f64 / l1_misses as f64);
+                }
+            }
+            span.record("dram_bytes", stats.dram_bytes());
+            span.record("shared_read_requests", stats.shared_read_requests);
+            span.record("shared_write_requests", stats.shared_write_requests);
+            span.record("shared_conflict_extra", stats.shared_conflict_extra);
+            span.record("barrier_waits", stats.barrier_waits);
+            // Timing-model breakdown (whole-launch estimate).
+            span.record("cycles:issue", total_timing.issue_cycles);
+            span.record("cycles:int", total_timing.int_cycles);
+            span.record("cycles:fp32", total_timing.fp32_cycles);
+            span.record("cycles:fp64", total_timing.fp64_cycles);
+            span.record("cycles:sfu", total_timing.sfu_cycles);
+            span.record("cycles:lsu", total_timing.lsu_cycles);
+            span.record("cycles:l2", total_timing.l2_cycles);
+            span.record("cycles:dram", total_timing.dram_cycles);
+            span.record("cycles:latency", total_timing.latency_cycles);
+            span.record("cycles:sched", total_timing.sched_cycles);
+            span.record("cycles:total", total_timing.total_cycles);
+            span.record("bound_by", total_timing.bound_by());
+            span.record("kernel_seconds", seconds);
+        }
         Ok(LaunchReport {
             kernel: func.name().to_string(),
             kernel_seconds: seconds,
@@ -248,8 +322,10 @@ impl GpuSim {
         }
         let blocks = extents.iter().take(rank).product::<i64>().max(0) as u64;
 
-        let mut stats = ExecStats::default();
-        stats.blocks = blocks;
+        let mut stats = ExecStats {
+            blocks,
+            ..ExecStats::default()
+        };
 
         // Pools reused across blocks (allocated lazily at first thread loop).
         let mut pool: Vec<Interp<'_>> = Vec::new();
@@ -290,7 +366,9 @@ impl GpuSim {
                         match ev {
                             StepEvent::Done => break,
                             StepEvent::Barrier => {
-                                return Err(SimError::new("barrier outside the thread-parallel loop"))
+                                return Err(SimError::new(
+                                    "barrier outside the thread-parallel loop",
+                                ))
                             }
                             StepEvent::Launch(thread_op) => {
                                 let tp = self.run_thread_parallel(
@@ -322,7 +400,8 @@ impl GpuSim {
             }
         }
         stats.threads = blocks * threads_per_block_seen as u64;
-        stats.warps = blocks * (threads_per_block_seen as u64).div_ceil(self.target.warp_size as u64);
+        stats.warps =
+            blocks * (threads_per_block_seen as u64).div_ceil(self.target.warp_size as u64);
 
         let res = BlockResources {
             threads: threads_per_block_seen.max(1),
@@ -370,11 +449,10 @@ impl GpuSim {
         }
 
         // Initialize every thread (x fastest, matching CUDA linearization).
-        for t in 0..threads {
+        for (t, interp) in pool.iter_mut().enumerate().take(threads) {
             let tx = t as i64 % extents[0];
             let ty = (t as i64 / extents[0]) % extents[1];
             let tz = t as i64 / (extents[0] * extents[1]);
-            let interp = &mut pool[t];
             interp.restart(region);
             let ivs = [tx, ty, tz];
             for (d, a) in args.iter().enumerate() {
@@ -411,14 +489,22 @@ impl GpuSim {
                         StepEvent::Done => {}
                         StepEvent::Barrier => all_done = false,
                         StepEvent::Launch(_) => {
-                            return Err(SimError::new("parallel loop nested inside the thread level"))
+                            return Err(SimError::new(
+                                "parallel loop nested inside the thread level",
+                            ))
                         }
                         StepEvent::Ran => unreachable!("run_phase filters Ran"),
                     }
                 }
                 // Merge this warp's phase.
                 let counters: Vec<&ThreadCounters> = (lo..hi).map(|t| &counter_pool[t]).collect();
-                merger.merge_warp_phase(&self.target, &counters, &mut self.l1[sm_id], &mut self.l2, stats);
+                merger.merge_warp_phase(
+                    &self.target,
+                    &counters,
+                    &mut self.l1[sm_id],
+                    &mut self.l2,
+                    stats,
+                );
             }
             if all_done {
                 break;
@@ -556,7 +642,12 @@ mod tests {
             .launch(
                 &func,
                 [4, 1, 1],
-                &[KernelArg::Buf(yb), KernelArg::Buf(xb), KernelArg::F32(2.0), KernelArg::I32(n as i32)],
+                &[
+                    KernelArg::Buf(yb),
+                    KernelArg::Buf(xb),
+                    KernelArg::F32(2.0),
+                    KernelArg::I32(n as i32),
+                ],
                 32,
             )
             .unwrap();
@@ -584,12 +675,105 @@ mod tests {
             .launch(
                 &func,
                 [1, 1, 1],
-                &[KernelArg::Buf(yb), KernelArg::Buf(xb), KernelArg::F32(1.0), KernelArg::I32(100)],
+                &[
+                    KernelArg::Buf(yb),
+                    KernelArg::Buf(xb),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(100),
+                ],
                 32,
             )
             .unwrap();
         assert_eq!(sim.mem.read_f32(yb), vec![2.0f32; 100]);
         assert_eq!(report.blocks, 1);
+    }
+
+    #[test]
+    fn traced_launch_records_a_span_with_counters() {
+        let func = compile_saxpy();
+        let n = 1024usize;
+        let mut sim = GpuSim::new(a100());
+        let trace = Trace::new();
+        sim.set_trace(trace.clone());
+        let y: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let x: Vec<f32> = vec![1.0; n];
+        let yb = sim.mem.alloc_f32(&y);
+        let xb = sim.mem.alloc_f32(&x);
+        let report = sim
+            .launch(
+                &func,
+                [4, 1, 1],
+                &[
+                    KernelArg::Buf(yb),
+                    KernelArg::Buf(xb),
+                    KernelArg::F32(2.0),
+                    KernelArg::I32(n as i32),
+                ],
+                32,
+            )
+            .unwrap();
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.name, "launch:saxpy");
+        assert_eq!(ev.category, "sim");
+        // Occupancy, coalescing and timing metrics mirror the report.
+        assert_eq!(
+            ev.metric("occupancy").and_then(|m| m.as_f64()),
+            Some(report.occupancy.occupancy)
+        );
+        assert_eq!(
+            ev.metric("occupancy_limiter").and_then(|m| m.as_str()),
+            Some(report.occupancy.limiter.to_string().as_str())
+        );
+        assert_eq!(
+            ev.metric("read_sectors").and_then(|m| m.as_f64()),
+            Some(report.stats.read_sectors as f64)
+        );
+        assert_eq!(
+            ev.metric("kernel_seconds").and_then(|m| m.as_f64()),
+            Some(report.kernel_seconds)
+        );
+        assert!(ev.metric("l1_hit_rate").is_some());
+        assert!(ev.metric("cycles:total").is_some());
+        assert!(ev.metric("bound_by").is_some());
+    }
+
+    #[test]
+    fn traced_and_untraced_launches_agree() {
+        let func = compile_saxpy();
+        let n = 512usize;
+        let run = |trace: Option<Trace>| {
+            let mut sim = GpuSim::new(a100());
+            if let Some(t) = trace {
+                sim.set_trace(t);
+            }
+            let yb = sim.mem.alloc_f32(&vec![1.0; n]);
+            let xb = sim.mem.alloc_f32(&vec![3.0; n]);
+            let report = sim
+                .launch(
+                    &func,
+                    [2, 1, 1],
+                    &[
+                        KernelArg::Buf(yb),
+                        KernelArg::Buf(xb),
+                        KernelArg::F32(2.0),
+                        KernelArg::I32(n as i32),
+                    ],
+                    32,
+                )
+                .unwrap();
+            (
+                report.kernel_seconds,
+                report.stats.clone(),
+                sim.mem.read_f32(yb),
+            )
+        };
+        let (s0, st0, out0) = run(None);
+        let (s1, st1, out1) = run(Some(Trace::new()));
+        assert_eq!(s0, s1);
+        assert_eq!(st0, st1);
+        assert_eq!(out0, out1);
     }
 
     #[test]

@@ -56,7 +56,9 @@ mod timing;
 mod value;
 
 pub use cache::{bank_conflict_factor, coalesce_sectors, Cache};
-pub use interp::{classify, InstClass, Interp, MemEvent, SimError, StepCx, StepEvent, ThreadCounters};
+pub use interp::{
+    classify, InstClass, Interp, MemEvent, SimError, StepCx, StepEvent, ThreadCounters,
+};
 pub use launch::{launch_once, GpuSim, KernelArg, KernelTiming, LaunchReport};
 pub use memory::{BufferId, DeviceMemory};
 pub use occupancy::{occupancy, BlockResources, Infeasible, Limiter, Occupancy};

@@ -38,7 +38,7 @@ impl DeviceMemory {
     fn alloc_raw(&mut self, elem: ScalarType, bytes: usize) -> BufferId {
         let id = BufferId(self.buffers.len() as u32);
         let base_addr = self.next_addr;
-        self.next_addr += (bytes as u64 + ALIGN - 1) / ALIGN * ALIGN + ALIGN;
+        self.next_addr += (bytes as u64).div_ceil(ALIGN) * ALIGN + ALIGN;
         self.buffers.push(Buffer {
             elem,
             data: vec![0; bytes],
@@ -154,7 +154,10 @@ impl DeviceMemory {
     pub fn read_f32(&self, id: BufferId) -> Vec<f32> {
         let b = &self.buffers[id.0 as usize];
         assert_eq!(b.elem, ScalarType::F32);
-        b.data.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+        b.data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
     }
 
     /// Reads the buffer as `f64` values.
@@ -171,7 +174,10 @@ impl DeviceMemory {
     pub fn read_i32(&self, id: BufferId) -> Vec<i32> {
         let b = &self.buffers[id.0 as usize];
         assert_eq!(b.elem, ScalarType::I32);
-        b.data.chunks_exact(4).map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+        b.data
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
     }
 
     /// Loads the element at flat index `idx` as a raw scalar value: integers
@@ -190,14 +196,20 @@ impl DeviceMemory {
         }
         let bytes = &b.data[off..off + sz];
         Some(match b.elem {
-            ScalarType::F32 => (f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64, 0),
+            ScalarType::F32 => (
+                f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as f64,
+                0,
+            ),
             ScalarType::F64 => (
                 f64::from_le_bytes([
                     bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
                 ]),
                 0,
             ),
-            ScalarType::I32 => (0.0, i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as i64),
+            ScalarType::I32 => (
+                0.0,
+                i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as i64,
+            ),
             ScalarType::I64 | ScalarType::Index => (
                 0.0,
                 i64::from_le_bytes([
@@ -224,7 +236,9 @@ impl DeviceMemory {
             ScalarType::F32 => b.data[off..off + 4].copy_from_slice(&(f as f32).to_le_bytes()),
             ScalarType::F64 => b.data[off..off + 8].copy_from_slice(&f.to_le_bytes()),
             ScalarType::I32 => b.data[off..off + 4].copy_from_slice(&(i as i32).to_le_bytes()),
-            ScalarType::I64 | ScalarType::Index => b.data[off..off + 8].copy_from_slice(&i.to_le_bytes()),
+            ScalarType::I64 | ScalarType::Index => {
+                b.data[off..off + 8].copy_from_slice(&i.to_le_bytes())
+            }
             ScalarType::I1 => b.data[off] = (i != 0) as u8,
         }
         true

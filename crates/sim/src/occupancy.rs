@@ -74,7 +74,10 @@ impl fmt::Display for Infeasible {
                 write!(f, "block uses {bytes} B of shared memory, limit is {max} B")
             }
             Infeasible::TooManyRegisters { regs, max } => {
-                write!(f, "kernel needs {regs} registers per thread, limit is {max}")
+                write!(
+                    f,
+                    "kernel needs {regs} registers per thread, limit is {max}"
+                )
             }
         }
     }
@@ -115,11 +118,10 @@ pub fn occupancy(target: &TargetDesc, res: BlockResources) -> Result<Occupancy, 
     // units of 8 regs/thread (simplified ptxas behaviour).
     let regs_per_thread_alloc = res.regs_per_thread.max(16).div_ceil(8) * 8;
     let by_regs = target.regs_per_sm / (regs_per_thread_alloc * padded_threads).max(1);
-    let by_shared = if res.shared_bytes == 0 {
-        u32::MAX
-    } else {
-        (target.shared_per_sm / res.shared_bytes) as u32
-    };
+    let by_shared = target
+        .shared_per_sm
+        .checked_div(res.shared_bytes)
+        .map_or(u32::MAX, |b| b as u32);
     let by_blocks = target.max_blocks_per_sm;
 
     let (blocks_per_sm, limiter) = [

@@ -233,8 +233,7 @@ impl WarpMerger {
                     }
                     let g = &mut self.groups[self.group_count];
                     g.lanes.clear();
-                    g.space_store =
-                        ev.is_store as u8 | ((ev.space == MemSpace::Shared) as u8) << 1;
+                    g.space_store = ev.is_store as u8 | ((ev.space == MemSpace::Shared) as u8) << 1;
                     self.group_count += 1;
                     (self.group_count - 1) as u32
                 });
@@ -360,22 +359,40 @@ mod tests {
         let mut l2 = Cache::new(t.l2_bytes, 32, 16);
         let mut stats = ExecStats::default();
         let lanes: Vec<(u64, u8)> = (0..32).map(|i| (0x1000 + i * 4, 4)).collect();
-        replay_access(&t, &lanes, false, MemSpace::Global, &mut l1, &mut l2, &mut stats);
+        replay_access(
+            &t,
+            &lanes,
+            false,
+            MemSpace::Global,
+            &mut l1,
+            &mut l2,
+            &mut stats,
+        );
         assert_eq!(stats.global_load_requests, 1);
         assert_eq!(stats.read_sectors, 4);
         assert_eq!(stats.dram_read_sectors, 4); // cold caches
-        // Re-reading hits L1.
-        replay_access(&t, &lanes, false, MemSpace::Global, &mut l1, &mut l2, &mut stats);
+                                                // Re-reading hits L1.
+        replay_access(
+            &t,
+            &lanes,
+            false,
+            MemSpace::Global,
+            &mut l1,
+            &mut l2,
+            &mut stats,
+        );
         assert_eq!(stats.l1_read_hits, 4);
     }
 
     #[test]
     fn stats_accumulate() {
         let mut a = ExecStats::default();
-        let mut b = ExecStats::default();
-        b.read_sectors = 5;
+        let mut b = ExecStats {
+            read_sectors: 5,
+            blocks: 2,
+            ..ExecStats::default()
+        };
         b.issues[0] = 3;
-        b.blocks = 2;
         a.accumulate(&b);
         a.accumulate(&b);
         assert_eq!(a.read_sectors, 10);

@@ -114,8 +114,12 @@ pub fn estimate(target: &TargetDesc, stats: &ExecStats, occ: &Occupancy, blocks:
     let busy_sms = (blocks.min(target.sm_count as u64)).max(1) as f64;
     // Warps actually resident on each *busy* SM: bounded both by the
     // occupancy limit and by how many blocks there are to distribute.
-    let warps_per_block = (occ.active_warps_per_sm as f64 / occ.blocks_per_sm.max(1) as f64).max(1.0);
-    let blocks_per_busy_sm = (blocks as f64 / busy_sms).ceil().min(occ.blocks_per_sm as f64).max(1.0);
+    let warps_per_block =
+        (occ.active_warps_per_sm as f64 / occ.blocks_per_sm.max(1) as f64).max(1.0);
+    let blocks_per_busy_sm = (blocks as f64 / busy_sms)
+        .ceil()
+        .min(occ.blocks_per_sm as f64)
+        .max(1.0);
     let active_warps = (blocks_per_busy_sm * warps_per_block).max(1.0);
 
     let issues = |c: InstClass| stats.issues_of(c) as f64;
@@ -139,7 +143,8 @@ pub fn estimate(target: &TargetDesc, stats: &ExecStats, occ: &Occupancy, blocks:
     let sector_overflow = (sectors - requests * 4.0).max(0.0) / 4.0;
     let lsu_requests = requests
         + sector_overflow
-        + (stats.shared_read_requests + stats.shared_write_requests + stats.shared_conflict_extra) as f64;
+        + (stats.shared_read_requests + stats.shared_write_requests + stats.shared_conflict_extra)
+            as f64;
     let lsu_cycles = lsu_requests / (target.lsu_per_sm_per_cycle * busy_sms);
 
     // ---- bandwidth bounds (whole-GPU) ----
@@ -155,7 +160,8 @@ pub fn estimate(target: &TargetDesc, stats: &ExecStats, occ: &Occupancy, blocks:
     let l2_eff = (in_flight / REQUESTS_FOR_PEAK_L2).min(1.0) * sm_fraction.max(0.25);
     let l2_traffic = (stats.l2_to_l1_read_bytes() + stats.l1_to_l2_write_bytes()) as f64;
     let l2_cycles = l2_traffic / (target.l2_bw / target.clock_hz) / l2_eff.max(1e-3);
-    let dram_cycles = stats.dram_bytes() as f64 / (target.dram_bw / target.clock_hz) / dram_eff.max(1e-3);
+    let dram_cycles =
+        stats.dram_bytes() as f64 / (target.dram_bw / target.clock_hz) / dram_eff.max(1e-3);
 
     // ---- latency bound ----
     // Average exposed latency per issue, weighted by where loads hit.
@@ -168,13 +174,14 @@ pub fn estimate(target: &TargetDesc, stats: &ExecStats, occ: &Occupancy, blocks:
     } else {
         target.l1_latency
     };
-    let latency_weighted = (issues(InstClass::IntAlu) + issues(InstClass::Fp32) + issues(InstClass::Fp64))
-        * target.alu_latency
-        + issues(InstClass::Special) * 2.0 * target.alu_latency
-        + issues(InstClass::GlobalMem) * mem_latency
-        + issues(InstClass::SharedMem) * target.l1_latency
-        + issues(InstClass::Branch) * target.alu_latency
-        + issues(InstClass::Barrier) * 2.0 * target.alu_latency;
+    let latency_weighted =
+        (issues(InstClass::IntAlu) + issues(InstClass::Fp32) + issues(InstClass::Fp64))
+            * target.alu_latency
+            + issues(InstClass::Special) * 2.0 * target.alu_latency
+            + issues(InstClass::GlobalMem) * mem_latency
+            + issues(InstClass::SharedMem) * target.l1_latency
+            + issues(InstClass::Branch) * target.alu_latency
+            + issues(InstClass::Barrier) * 2.0 * target.alu_latency;
     // Exposed latency is amortized over the warps each busy SM can swap in,
     // with an ILP credit for long per-warp streams: unroll-and-interleave
     // lengthens each warp's stream with *independent* instances, so the
@@ -182,7 +189,8 @@ pub fn estimate(target: &TargetDesc, stats: &ExecStats, occ: &Occupancy, blocks:
     // rationale for coarsening).
     let issues_per_warp = stats.total_issues() as f64 / (stats.warps.max(1) as f64);
     let ilp_credit = (issues_per_warp / BASELINE_ISSUES_PER_WARP).max(1.0);
-    let latency_cycles = latency_weighted * DEPENDENCY_FACTOR / busy_sms / active_warps / ilp_credit;
+    let latency_cycles =
+        latency_weighted * DEPENDENCY_FACTOR / busy_sms / active_warps / ilp_credit;
 
     let max_bound = [
         issue_cycles,
@@ -243,7 +251,15 @@ mod tests {
     #[test]
     fn estimates_are_positive_and_bounded() {
         let t = a100();
-        let occ = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let occ = occupancy(
+            &t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
         let timing = estimate(&t, &base_stats(), &occ, 4096);
         assert!(timing.seconds > 0.0);
         assert!(timing.total_cycles >= timing.fp32_cycles);
@@ -255,8 +271,24 @@ mod tests {
     fn lower_occupancy_increases_latency_bound_time() {
         let t = a100();
         let stats = base_stats();
-        let high = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
-        let low = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 255, shared_bytes: 0 }).unwrap();
+        let high = occupancy(
+            &t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
+        let low = occupancy(
+            &t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 255,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
         let t_high = estimate(&t, &stats, &high, 4096);
         let t_low = estimate(&t, &stats, &low, 4096);
         assert!(t_low.latency_cycles > t_high.latency_cycles);
@@ -265,7 +297,15 @@ mod tests {
     #[test]
     fn more_dram_traffic_costs_more() {
         let t = a4000();
-        let occ = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let occ = occupancy(
+            &t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
         let mut worse = base_stats();
         worse.dram_read_sectors *= 8;
         let a = estimate(&t, &base_stats(), &occ, 4096);
@@ -276,11 +316,22 @@ mod tests {
     #[test]
     fn fewer_blocks_than_sms_wastes_the_machine() {
         let t = a100();
-        let occ = occupancy(&t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let occ = occupancy(
+            &t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
         // Same total work done by 8 blocks vs 4096 blocks.
         let a = estimate(&t, &base_stats(), &occ, 8);
         let b = estimate(&t, &base_stats(), &occ, 4096);
-        assert!(a.seconds > b.seconds, "compute-bound work on 8 blocks cannot use 108 SMs");
+        assert!(
+            a.seconds > b.seconds,
+            "compute-bound work on 8 blocks cannot use 108 SMs"
+        );
     }
 
     #[test]
@@ -289,10 +340,24 @@ mod tests {
         s.issues[2] = 5_000_000; // fp64
         let a4000_t = a4000();
         let a100_t = a100();
-        let occ4000 =
-            occupancy(&a4000_t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
-        let occ100 =
-            occupancy(&a100_t, BlockResources { threads: 256, regs_per_thread: 32, shared_bytes: 0 }).unwrap();
+        let occ4000 = occupancy(
+            &a4000_t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
+        let occ100 = occupancy(
+            &a100_t,
+            BlockResources {
+                threads: 256,
+                regs_per_thread: 32,
+                shared_bytes: 0,
+            },
+        )
+        .unwrap();
         let t_a4000 = estimate(&a4000_t, &s, &occ4000, 4096);
         let t_a100 = estimate(&a100_t, &s, &occ100, 4096);
         assert!(

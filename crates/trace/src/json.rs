@@ -1,0 +1,325 @@
+//! Dependency-free JSON helpers: string/number emission for the exporters,
+//! a line-oriented writer for machine-readable benchmark rows, and a strict
+//! syntax validator used by tests (and available to downstream tooling).
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite JSON number; non-finite values become `null` (JSON has
+/// no NaN/Infinity).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            let _ = write!(out, "{:.1}", v);
+        } else {
+            let _ = write!(out, "{}", v);
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Builder for one flat JSON object rendered on a single line — the row
+/// format of the `--json` benchmark outputs.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    fields: usize,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.fields > 0 {
+            self.buf.push(',');
+        }
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+        self.fields += 1;
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.key(key);
+        write_str(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObject {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds an optional float field (`null` when absent or non-finite).
+    pub fn opt_f64(mut self, key: &str, value: Option<f64>) -> JsonObject {
+        self.key(key);
+        match value {
+            Some(v) => write_f64(&mut self.buf, v),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> JsonObject {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObject {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+/// Validates that `s` is one syntactically correct JSON value.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len()
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("unescaped control byte at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_the_validator() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn object_builder_emits_valid_rows() {
+        let row = JsonObject::new()
+            .str("app", "lud")
+            .f64("speedup", 1.25)
+            .opt_f64("missing", None)
+            .i64("n", -3)
+            .u64("blocks", 12)
+            .bool("ok", true)
+            .finish();
+        validate(&row).unwrap();
+        assert!(row.starts_with("{\"app\":\"lud\""));
+        assert!(row.contains("\"missing\":null"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = String::new();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate("{\"a\":[1,2.5,-3e2,true,null,\"x\"]}").unwrap();
+        assert!(validate("{").is_err());
+        assert!(validate("{\"a\":}").is_err());
+        assert!(validate("[1,]").is_err());
+        assert!(validate("\"\\q\"").is_err());
+        assert!(validate("1 2").is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! # respec-trace — pipeline-wide observability
+//!
+//! The paper's whole argument rests on *feedback*: alternatives are pruned
+//! with backend register/spill signals, winners are picked by timing-driven
+//! optimization (§VI), and the evaluation explains speedups with profiled
+//! hardware counters (Table II). This crate records the story of those
+//! decisions as a structured event stream:
+//!
+//! * **Spans** — RAII guards measuring wall time of a named phase
+//!   (`trace.span("pass", "pass:cse")`), with arbitrary key/value metrics
+//!   attached before the guard drops.
+//! * **Instants** — point events (a pruned alternative, a selected winner).
+//! * **Counters** — named numeric samples.
+//!
+//! A [`Trace`] handle is cheap to clone and thread-safe; every pipeline
+//! layer takes one. [`Trace::disabled`] is a no-op handle: recording costs
+//! one branch on a `None`, so instrumented hot paths stay hot. Tracing is
+//! strictly observational — a traced and an untraced run produce identical
+//! IR and identical simulated timings (enforced by a property test in the
+//! `respec` facade).
+//!
+//! Two exporters ship with the recorder:
+//!
+//! * [`Trace::chrome_trace`] — the Chrome trace-event JSON format; open the
+//!   file in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! * [`Trace::json_lines`] — one JSON object per event, for `jq`-style
+//!   post-processing and perf-trajectory tracking across commits.
+//!
+//! ```
+//! use respec_trace::Trace;
+//!
+//! let trace = Trace::new();
+//! {
+//!     let mut span = trace.span("pass", "pass:cse");
+//!     span.record("rewrites", 3i64);
+//! } // span closes here
+//! trace.instant("tune", "pruned", &[("reason".into(), "spill".into())]);
+//! assert_eq!(trace.events().len(), 2);
+//! let json = trace.chrome_trace();
+//! respec_trace::json::validate(&json).expect("exporter emits valid JSON");
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod json;
+mod report;
+
+pub use report::{SpanStat, TraceSummary};
+
+// ---------------------------------------------------------------------------
+// Values and events
+// ---------------------------------------------------------------------------
+
+/// A metric value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl MetricValue {
+    /// Numeric view (integers widened, strings/bools `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetricValue::Int(v) => Some(*v as f64),
+            MetricValue::UInt(v) => Some(*v as f64),
+            MetricValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MetricValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for MetricValue {
+    fn from(v: i64) -> MetricValue {
+        MetricValue::Int(v)
+    }
+}
+
+impl From<i32> for MetricValue {
+    fn from(v: i32) -> MetricValue {
+        MetricValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for MetricValue {
+    fn from(v: u64) -> MetricValue {
+        MetricValue::UInt(v)
+    }
+}
+
+impl From<u32> for MetricValue {
+    fn from(v: u32) -> MetricValue {
+        MetricValue::UInt(v as u64)
+    }
+}
+
+impl From<usize> for MetricValue {
+    fn from(v: usize) -> MetricValue {
+        MetricValue::UInt(v as u64)
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> MetricValue {
+        MetricValue::Float(v)
+    }
+}
+
+impl From<bool> for MetricValue {
+    fn from(v: bool) -> MetricValue {
+        MetricValue::Bool(v)
+    }
+}
+
+impl From<&str> for MetricValue {
+    fn from(v: &str) -> MetricValue {
+        MetricValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for MetricValue {
+    fn from(v: String) -> MetricValue {
+        MetricValue::Str(v)
+    }
+}
+
+/// Key/value metric list attached to events.
+pub type Metrics = Vec<(String, MetricValue)>;
+
+/// What kind of record an event is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: `t_ns` is the start, `dur_ns` the duration.
+    Span,
+    /// A point event.
+    Instant,
+    /// A numeric sample.
+    Counter,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Record kind.
+    pub kind: EventKind,
+    /// Event name (`pass:cse`, `candidate`, `launch:lud_diagonal`, …).
+    pub name: String,
+    /// Category (`pass`, `tune`, `sim`, …) — the Chrome trace `cat` field.
+    pub category: &'static str,
+    /// Start time in nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Duration in nanoseconds ([`EventKind::Span`] only).
+    pub dur_ns: u64,
+    /// Small dense id of the recording thread.
+    pub tid: u64,
+    /// Attached metrics.
+    pub metrics: Metrics,
+}
+
+impl TraceEvent {
+    /// Looks up a metric by key.
+    pub fn metric(&self, key: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    next_tid: AtomicU64,
+}
+
+thread_local! {
+    /// Dense per-(trace, thread) id, assigned on first record from a thread.
+    static THREAD_TID: std::cell::RefCell<Vec<(usize, u64)>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A cheaply clonable, thread-safe handle to one event stream.
+///
+/// `Trace::disabled()` carries no storage: every recording call reduces to
+/// a branch on `None`, so instrumentation can stay in hot paths
+/// unconditionally.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Trace {
+        Trace {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                next_tid: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// Creates a no-op handle: all recording calls do nothing.
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_ns(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn tid(inner: &Arc<Inner>) -> u64 {
+        let key = Arc::as_ptr(inner) as usize;
+        THREAD_TID.with(|map| {
+            let mut map = map.borrow_mut();
+            if let Some((_, tid)) = map.iter().find(|(k, _)| *k == key) {
+                return *tid;
+            }
+            let tid = inner.next_tid.fetch_add(1, Ordering::Relaxed);
+            map.push((key, tid));
+            tid
+        })
+    }
+
+    /// Opens a span; it records itself when the returned guard drops (or
+    /// on [`Span::close`]). Use [`Span::record`] to attach metrics.
+    pub fn span(&self, category: &'static str, name: impl Into<String>) -> Span {
+        match &self.inner {
+            None => Span { state: None },
+            Some(inner) => Span {
+                state: Some(SpanState {
+                    inner: Arc::clone(inner),
+                    name: name.into(),
+                    category,
+                    start_ns: Self::now_ns(inner),
+                    metrics: Vec::new(),
+                }),
+            },
+        }
+    }
+
+    /// Records a point event with metrics.
+    pub fn instant(
+        &self,
+        category: &'static str,
+        name: impl Into<String>,
+        metrics: &[(String, MetricValue)],
+    ) {
+        if let Some(inner) = &self.inner {
+            let ev = TraceEvent {
+                kind: EventKind::Instant,
+                name: name.into(),
+                category,
+                t_ns: Self::now_ns(inner),
+                dur_ns: 0,
+                tid: Self::tid(inner),
+                metrics: metrics.to_vec(),
+            };
+            inner.events.lock().expect("trace lock").push(ev);
+        }
+    }
+
+    /// Records a numeric sample.
+    pub fn counter(
+        &self,
+        category: &'static str,
+        name: impl Into<String>,
+        value: impl Into<MetricValue>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let ev = TraceEvent {
+                kind: EventKind::Counter,
+                name: name.into(),
+                category,
+                t_ns: Self::now_ns(inner),
+                dur_ns: 0,
+                tid: Self::tid(inner),
+                metrics: vec![("value".to_string(), value.into())],
+            };
+            inner.events.lock().expect("trace lock").push(ev);
+        }
+    }
+
+    /// Snapshot of all events recorded so far, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.events.lock().expect("trace lock").clone(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.events.lock().expect("trace lock").len(),
+        }
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all recorded events (the handle stays enabled).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().expect("trace lock").clear();
+        }
+    }
+
+    /// Aggregated per-name statistics (see [`TraceSummary`]).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::from_events(&self.events())
+    }
+
+    /// Exports the Chrome trace-event JSON format (open in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>). Spans become `"X"`
+    /// (complete) events; instants `"i"`; counters `"C"`.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.events())
+    }
+
+    /// Exports one JSON object per event, newline-separated.
+    pub fn json_lines(&self) -> String {
+        json_lines(&self.events())
+    }
+}
+
+fn push_event(state: &SpanState, end_ns: u64) {
+    let ev = TraceEvent {
+        kind: EventKind::Span,
+        name: state.name.clone(),
+        category: state.category,
+        t_ns: state.start_ns,
+        dur_ns: end_ns.saturating_sub(state.start_ns),
+        tid: Trace::tid(&state.inner),
+        metrics: state.metrics.clone(),
+    };
+    state.inner.events.lock().expect("trace lock").push(ev);
+}
+
+#[derive(Debug)]
+struct SpanState {
+    inner: Arc<Inner>,
+    name: String,
+    category: &'static str,
+    start_ns: u64,
+    metrics: Metrics,
+}
+
+/// RAII span guard; records a [`EventKind::Span`] event on drop.
+#[derive(Debug)]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+impl Span {
+    /// Whether this guard came from an enabled trace (use to skip expensive
+    /// metric computation on disabled traces).
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Attaches a metric to the span (no-op on a disabled trace).
+    pub fn record(&mut self, key: impl Into<String>, value: impl Into<MetricValue>) {
+        if let Some(state) = &mut self.state {
+            state.metrics.push((key.into(), value.into()));
+        }
+    }
+
+    /// Attaches several metrics at once.
+    pub fn record_all(&mut self, metrics: &[(String, MetricValue)]) {
+        if let Some(state) = &mut self.state {
+            state.metrics.extend_from_slice(metrics);
+        }
+    }
+
+    /// Closes the span now (equivalent to dropping it).
+    pub fn close(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let end = Trace::now_ns(&state.inner);
+            push_event(&state, end);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+fn write_args(out: &mut String, metrics: &Metrics) {
+    out.push('{');
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(out, k);
+        out.push(':');
+        match v {
+            MetricValue::Int(x) => out.push_str(&x.to_string()),
+            MetricValue::UInt(x) => out.push_str(&x.to_string()),
+            MetricValue::Float(x) => json::write_f64(out, *x),
+            MetricValue::Str(s) => json::write_str(out, s),
+            MetricValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, &ev.name);
+        out.push_str(",\"cat\":");
+        json::write_str(&mut out, ev.category);
+        let (ph, extra) = match ev.kind {
+            EventKind::Span => ("X", true),
+            EventKind::Instant => ("i", false),
+            EventKind::Counter => ("C", false),
+        };
+        out.push_str(",\"ph\":\"");
+        out.push_str(ph);
+        out.push('"');
+        // Chrome expects microsecond timestamps.
+        out.push_str(",\"ts\":");
+        json::write_f64(&mut out, ev.t_ns as f64 / 1e3);
+        if extra {
+            out.push_str(",\"dur\":");
+            json::write_f64(&mut out, ev.dur_ns as f64 / 1e3);
+        }
+        if ev.kind == EventKind::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&ev.tid.to_string());
+        out.push_str(",\"args\":");
+        write_args(&mut out, &ev.metrics);
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders events as newline-separated JSON objects.
+pub fn json_lines(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        out.push_str("{\"kind\":");
+        json::write_str(
+            &mut out,
+            match ev.kind {
+                EventKind::Span => "span",
+                EventKind::Instant => "instant",
+                EventKind::Counter => "counter",
+            },
+        );
+        out.push_str(",\"name\":");
+        json::write_str(&mut out, &ev.name);
+        out.push_str(",\"cat\":");
+        json::write_str(&mut out, ev.category);
+        out.push_str(",\"t_ns\":");
+        out.push_str(&ev.t_ns.to_string());
+        if ev.kind == EventKind::Span {
+            out.push_str(",\"dur_ns\":");
+            out.push_str(&ev.dur_ns.to_string());
+        }
+        out.push_str(",\"tid\":");
+        out.push_str(&ev.tid.to_string());
+        out.push_str(",\"metrics\":");
+        write_args(&mut out, &ev.metrics);
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_a_noop() {
+        let t = Trace::disabled();
+        let mut s = t.span("pass", "pass:test");
+        s.record("k", 1i64);
+        drop(s);
+        t.instant("tune", "e", &[]);
+        t.counter("sim", "c", 2u64);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert_eq!(
+            t.chrome_trace(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+        assert_eq!(t.json_lines(), "");
+    }
+
+    #[test]
+    fn span_records_metrics_and_duration() {
+        let t = Trace::new();
+        {
+            let mut s = t.span("pass", "pass:cse");
+            s.record("rewrites", 5i64);
+            s.record("label", "x");
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::Span);
+        assert_eq!(evs[0].name, "pass:cse");
+        assert_eq!(evs[0].metric("rewrites"), Some(&MetricValue::Int(5)));
+        assert_eq!(evs[0].metric("label").and_then(|m| m.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn clear_keeps_the_handle_enabled() {
+        let t = Trace::new();
+        t.counter("sim", "c", 1u64);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+        t.counter("sim", "c", 2u64);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_event_stream() {
+        let t = Trace::new();
+        let t2 = t.clone();
+        t.instant("a", "one", &[]);
+        t2.instant("b", "two", &[]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t2.len(), 2);
+    }
+}

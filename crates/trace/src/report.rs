@@ -1,0 +1,137 @@
+//! Aggregated views over an event stream: per-span-name timing statistics
+//! and category counts, the raw material for the `respec` facade's
+//! `TraceReport`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{EventKind, TraceEvent};
+
+/// Aggregate of every span with the same name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Category of the first occurrence.
+    pub category: &'static str,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total duration over all occurrences, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single occurrence, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Aggregated statistics over one recorded event stream.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Per-name span statistics, sorted by descending total time.
+    pub spans: Vec<SpanStat>,
+    /// Instant-event counts per name (sorted by name).
+    pub instants: Vec<(String, u64)>,
+    /// Total number of recorded events of any kind.
+    pub events: usize,
+}
+
+impl TraceSummary {
+    /// Builds a summary from an event snapshot.
+    pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
+        let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+        let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Span => {
+                    let stat = spans.entry(ev.name.clone()).or_insert_with(|| SpanStat {
+                        name: ev.name.clone(),
+                        category: ev.category,
+                        count: 0,
+                        total_ns: 0,
+                        max_ns: 0,
+                    });
+                    stat.count += 1;
+                    stat.total_ns += ev.dur_ns;
+                    stat.max_ns = stat.max_ns.max(ev.dur_ns);
+                }
+                EventKind::Instant => *instants.entry(ev.name.clone()).or_insert(0) += 1,
+                EventKind::Counter => {}
+            }
+        }
+        let mut spans: Vec<SpanStat> = spans.into_values().collect();
+        spans.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        TraceSummary {
+            spans,
+            instants: instants.into_iter().collect(),
+            events: events.len(),
+        }
+    }
+
+    /// Looks up the statistics of one span name.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Count of instant events with the given name.
+    pub fn instant_count(&self, name: &str) -> u64 {
+        self.instants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} events recorded", self.events)?;
+        if !self.spans.is_empty() {
+            writeln!(
+                f,
+                "{:<32} {:>8} {:>12} {:>12}",
+                "span", "count", "total(ms)", "max(ms)"
+            )?;
+            for s in &self.spans {
+                writeln!(
+                    f,
+                    "{:<32} {:>8} {:>12.3} {:>12.3}",
+                    s.name,
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.max_ns as f64 / 1e6
+                )?;
+            }
+        }
+        for (name, count) in &self.instants {
+            writeln!(f, "instant {name:<24} x{count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Trace;
+
+    #[test]
+    fn summary_aggregates_spans_by_name() {
+        let t = Trace::new();
+        for i in 0..3 {
+            let mut s = t.span("pass", "pass:cse");
+            s.record("i", i as i64);
+        }
+        t.span("pass", "pass:dce").close();
+        t.instant("tune", "pruned", &[]);
+        t.instant("tune", "pruned", &[]);
+        let sum = t.summary();
+        assert_eq!(sum.events, 6);
+        assert_eq!(sum.span("pass:cse").unwrap().count, 3);
+        assert_eq!(sum.span("pass:dce").unwrap().count, 1);
+        assert_eq!(sum.instant_count("pruned"), 2);
+        let text = sum.to_string();
+        assert!(text.contains("pass:cse"));
+        assert!(text.contains("x2"));
+    }
+}

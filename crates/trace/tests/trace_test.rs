@@ -1,0 +1,164 @@
+//! Integration tests for the trace recorder: nested spans, cross-thread
+//! recording, and the shape of both exporters.
+
+use std::thread;
+
+use respec_trace::{json, EventKind, MetricValue, Trace};
+
+#[test]
+fn nested_spans_record_in_close_order_with_containment() {
+    let trace = Trace::new();
+    {
+        let mut outer = trace.span("compile", "outer");
+        outer.record("phase", "all");
+        {
+            let mut inner = trace.span("pass", "inner");
+            inner.record("rewrites", 3i64);
+        }
+        {
+            let _inner2 = trace.span("pass", "inner2");
+        }
+    }
+    let events = trace.events();
+    // Spans record at close, so children precede the parent.
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["inner", "inner2", "outer"]);
+    let inner = &events[0];
+    let inner2 = &events[1];
+    let outer = &events[2];
+    // The parent's interval contains both children.
+    assert!(outer.t_ns <= inner.t_ns);
+    assert!(inner.t_ns + inner.dur_ns <= outer.t_ns + outer.dur_ns);
+    assert!(inner.t_ns + inner.dur_ns <= inner2.t_ns);
+    assert_eq!(outer.metric("phase").and_then(|m| m.as_str()), Some("all"));
+    assert_eq!(inner.metric("rewrites"), Some(&MetricValue::Int(3)));
+}
+
+#[test]
+fn cross_thread_recording_collects_everything_with_distinct_tids() {
+    let trace = Trace::new();
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let t = trace.clone();
+            thread::spawn(move || {
+                for j in 0..8 {
+                    let mut span = t.span("worker", format!("work:{i}:{j}"));
+                    span.record("iteration", j as i64);
+                }
+                t.counter("worker", format!("done:{i}"), 1u64);
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().unwrap();
+    }
+    let events = trace.events();
+    assert_eq!(events.len(), 4 * 9, "8 spans + 1 counter per thread");
+    // Each spawned thread got its own dense tid.
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 4, "one tid per recording thread");
+    // Every event made it, attributed to exactly one thread.
+    for i in 0..4 {
+        let of_thread: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with(&format!("work:{i}:")) || e.name == format!("done:{i}"))
+            .collect();
+        assert_eq!(of_thread.len(), 9);
+        assert!(of_thread.iter().all(|e| e.tid == of_thread[0].tid));
+    }
+}
+
+#[test]
+fn chrome_trace_has_the_expected_shape() {
+    let trace = Trace::new();
+    {
+        let mut s = trace.span("pass", "pass:cse");
+        s.record("rewrites", 2i64);
+        s.record("note", "a \"quoted\" string\nwith newline");
+    }
+    trace.instant("tune", "candidate", &[("pruned".into(), true.into())]);
+    trace.counter("sim", "sectors", 128u64);
+
+    let out = trace.chrome_trace();
+    json::validate(&out).expect("valid JSON document");
+    assert!(out.starts_with("{\"traceEvents\":["));
+    assert!(out.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    // One phase letter per event kind.
+    assert!(
+        out.contains("\"ph\":\"X\""),
+        "span becomes a complete event"
+    );
+    assert!(out.contains("\"ph\":\"i\""), "instant event");
+    assert!(out.contains("\"ph\":\"C\""), "counter event");
+    assert!(out.contains("\"name\":\"pass:cse\""));
+    assert!(out.contains("\"cat\":\"pass\""));
+    assert!(out.contains("\"rewrites\":2"));
+    assert!(out.contains("\"pruned\":true"));
+    // Escaping survives the round trip.
+    assert!(out.contains("a \\\"quoted\\\" string\\nwith newline"));
+    // Spans carry a duration; all events a pid/tid.
+    assert!(out.contains("\"dur\":"));
+    assert!(out.contains("\"pid\":1"));
+}
+
+#[test]
+fn json_lines_emits_one_valid_object_per_event() {
+    let trace = Trace::new();
+    {
+        let _s = trace.span("pass", "pass:dce");
+    }
+    trace.instant("tune", "winner", &[("seconds".into(), 1.5f64.into())]);
+    trace.counter("sim", "hits", 7u64);
+
+    let out = trace.json_lines();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for line in &lines {
+        json::validate(line).expect("each line is a standalone JSON object");
+    }
+    assert!(lines[0].contains("\"kind\":\"span\""));
+    assert!(lines[0].contains("\"dur_ns\":"));
+    assert!(lines[1].contains("\"kind\":\"instant\""));
+    assert!(lines[1].contains("\"seconds\":1.5"));
+    assert!(lines[2].contains("\"kind\":\"counter\""));
+    assert!(lines[2].contains("\"value\":7"));
+}
+
+#[test]
+fn exporters_are_empty_but_valid_on_an_empty_trace() {
+    let trace = Trace::new();
+    json::validate(&trace.chrome_trace()).unwrap();
+    assert_eq!(trace.json_lines(), "");
+}
+
+#[test]
+fn summary_aggregates_across_threads() {
+    let trace = Trace::new();
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let t = trace.clone();
+            thread::spawn(move || {
+                let _s = t.span("pass", "pass:cse");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let summary = trace.summary();
+    let stat = summary.span("pass:cse").expect("aggregated");
+    assert_eq!(stat.count, 3);
+    assert!(stat.total_ns >= stat.max_ns);
+}
+
+#[test]
+fn span_close_is_equivalent_to_drop() {
+    let trace = Trace::new();
+    let mut s = trace.span("pass", "pass:x");
+    s.record("k", 1i64);
+    s.close();
+    assert_eq!(trace.len(), 1);
+    assert_eq!(trace.events()[0].kind, EventKind::Span);
+}

@@ -20,8 +20,9 @@ use std::fmt;
 use respec_backend::{compile_launch, BackendReport};
 use respec_ir::kernel::analyze_function;
 use respec_ir::Function;
-use respec_opt::{coarsen_function, optimize, split_total, CoarsenConfig};
+use respec_opt::{coarsen_function, optimize_traced, split_total, CoarsenConfig};
 use respec_sim::{SimError, TargetDesc};
+use respec_trace::{MetricValue, Trace};
 
 /// Which coarsening strategy generates the candidate set (the paper's
 /// Fig. 13 axes).
@@ -86,10 +87,16 @@ impl fmt::Display for PruneReason {
         match self {
             PruneReason::Illegal(m) => write!(f, "illegal: {m}"),
             PruneReason::SharedMemory { bytes, limit } => {
-                write!(f, "shared memory {bytes} B exceeds the {limit} B block limit")
+                write!(
+                    f,
+                    "shared memory {bytes} B exceeds the {limit} B block limit"
+                )
             }
             PruneReason::Spill { regs, spill_units } => {
-                write!(f, "would spill {spill_units} register units (demand {regs})")
+                write!(
+                    f,
+                    "would spill {spill_units} register units (demand {regs})"
+                )
             }
             PruneReason::RunFailed(m) => write!(f, "measurement failed: {m}"),
         }
@@ -144,7 +151,11 @@ impl TuneResult {
 ///
 /// `block_dims` are the kernel's static block dimensions; grid dimensions
 /// are dynamic, so block factors are only bounded by the totals themselves.
-pub fn candidate_configs(strategy: Strategy, totals: &[i64], block_dims: &[i64]) -> Vec<CoarsenConfig> {
+pub fn candidate_configs(
+    strategy: Strategy,
+    totals: &[i64],
+    block_dims: &[i64],
+) -> Vec<CoarsenConfig> {
     let dims3 = |v: &[i64]| -> [Option<i64>; 3] {
         [
             Some(v.first().copied().unwrap_or(1)),
@@ -158,8 +169,16 @@ pub fn candidate_configs(strategy: Strategy, totals: &[i64], block_dims: &[i64])
     // left alone.
     let grid_dims: [Option<i64>; 3] = [
         None,
-        if block_dims.get(1).copied().unwrap_or(1) > 1 { None } else { Some(1) },
-        if block_dims.get(2).copied().unwrap_or(1) > 1 { None } else { Some(1) },
+        if block_dims.get(1).copied().unwrap_or(1) > 1 {
+            None
+        } else {
+            Some(1)
+        },
+        if block_dims.get(2).copied().unwrap_or(1) > 1 {
+            None
+        } else {
+            Some(1)
+        },
     ];
 
     let thread_factor = |t: i64| split_total(t, &thread_dims, true);
@@ -196,7 +215,10 @@ pub fn candidate_configs(strategy: Strategy, totals: &[i64], block_dims: &[i64])
             for &b in totals {
                 for &t in totals {
                     if let (Some(bf), Some(tf)) = (block_factor(b), thread_factor(t)) {
-                        push(CoarsenConfig { block: bf, thread: tf });
+                        push(CoarsenConfig {
+                            block: bf,
+                            thread: tf,
+                        });
                     }
                 }
             }
@@ -220,8 +242,70 @@ pub fn tune_kernel(
     func: &Function,
     target: &TargetDesc,
     configs: &[CoarsenConfig],
-    mut run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
+    run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
 ) -> Result<TuneResult, TuneError> {
+    tune_kernel_traced(func, target, configs, run, &Trace::disabled())
+}
+
+/// Decision-log metrics for one candidate: the pruning stage it stopped at
+/// (or `"measure"` if it was timed) and the human-readable reason.
+fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, MetricValue)> {
+    let mut m: Vec<(String, MetricValue)> = vec![
+        ("config".into(), candidate.config.to_string().into()),
+        ("shared_bytes".into(), candidate.shared_bytes.into()),
+        ("pruned".into(), candidate.pruned.is_some().into()),
+    ];
+    let stage = match &candidate.pruned {
+        Some(PruneReason::Illegal(_)) => "legality",
+        Some(PruneReason::SharedMemory { .. }) => "shared-memory",
+        Some(PruneReason::Spill { .. }) => "spill",
+        Some(PruneReason::RunFailed(_)) => "measure",
+        None => "measure",
+    };
+    m.push(("stage".into(), stage.into()));
+    if let Some(reason) = &candidate.pruned {
+        m.push(("reason".into(), reason.to_string().into()));
+    }
+    match &candidate.pruned {
+        Some(PruneReason::SharedMemory { bytes, limit }) => {
+            m.push(("shmem_limit".into(), (*limit).into()));
+            m.push(("shmem_over_by".into(), (bytes - limit).into()));
+        }
+        Some(PruneReason::Spill { regs, spill_units }) => {
+            m.push(("reg_demand".into(), (*regs).into()));
+            m.push(("spill_units".into(), (*spill_units).into()));
+        }
+        _ => {}
+    }
+    if let Some(r) = &candidate.backend {
+        m.push(("regs_per_thread".into(), r.regs_per_thread.into()));
+    }
+    if let Some(r) = regs {
+        m.push(("launch_regs".into(), r.into()));
+    }
+    if let Some(s) = candidate.seconds {
+        m.push(("seconds".into(), s.into()));
+    }
+    m
+}
+
+/// [`tune_kernel`] with a decision log: the whole search runs under a
+/// `tune:<kernel>` span, every candidate records one `candidate` event
+/// carrying its configuration, the decision point that eliminated it and
+/// why (shared memory over budget, predicted spilling, illegal coarsening,
+/// failed measurement) or its measured time, and the selected version is
+/// recorded as a `winner` event. Cleanup passes run on each candidate under
+/// the same trace, so per-pass spans nest inside the tuning timeline.
+pub fn tune_kernel_traced(
+    func: &Function,
+    target: &TargetDesc,
+    configs: &[CoarsenConfig],
+    mut run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
+    trace: &Trace,
+) -> Result<TuneResult, TuneError> {
+    let mut tune_span = trace.span("tune", format!("tune:{}", func.name()));
+    tune_span.record("candidates", configs.len());
+
     let mut candidates = Vec::with_capacity(configs.len());
     let mut best: Option<(Function, CoarsenConfig, f64, u32)> = None;
 
@@ -234,84 +318,119 @@ pub fn tune_kernel(
             seconds: None,
             pruned: None,
         };
-        if let Err(e) = coarsen_function(&mut version, config) {
-            candidate.pruned = Some(PruneReason::Illegal(e.message));
-            candidates.push(candidate);
-            continue;
-        }
-        optimize(&mut version);
-
-        // Decision point 2: early shared-memory pruning.
-        let launches = match analyze_function(&version) {
-            Ok(l) => l,
-            Err(e) => {
+        let mut launch_regs = None;
+        // Decision point 1: legality (barrier duplication, non-divisor
+        // factors) surfaces as a coarsening error.
+        'eval: {
+            if let Err(e) = coarsen_function(&mut version, config) {
                 candidate.pruned = Some(PruneReason::Illegal(e.message));
-                candidates.push(candidate);
-                continue;
+                break 'eval;
             }
-        };
-        let shared: u64 = launches.iter().map(|l| l.shared_bytes(&version)).max().unwrap_or(0);
-        candidate.shared_bytes = shared;
-        if shared > target.shared_per_block {
-            candidate.pruned = Some(PruneReason::SharedMemory {
-                bytes: shared,
-                limit: target.shared_per_block,
-            });
-            candidates.push(candidate);
-            continue;
-        }
+            optimize_traced(&mut version, trace);
 
-        // Decision point 3: register/spill pruning (worst launch governs).
-        let mut worst_regs = 0u32;
-        let mut spill_units = 0u32;
-        let mut report = None;
-        for l in &launches {
-            let r = compile_launch(&version, l, target.max_regs_per_thread);
-            worst_regs = worst_regs.max(r.regs_per_thread + r.spill_units);
-            spill_units = spill_units.max(r.spill_units);
-            report = Some(r);
-        }
-        candidate.backend = report;
-        if spill_units > 0 && !config.is_identity() {
-            candidate.pruned = Some(PruneReason::Spill {
-                regs: worst_regs,
-                spill_units,
-            });
-            candidates.push(candidate);
-            continue;
-        }
-        let regs = worst_regs.min(target.max_regs_per_thread);
+            // Decision point 2: early shared-memory pruning.
+            let launches = match analyze_function(&version) {
+                Ok(l) => l,
+                Err(e) => {
+                    candidate.pruned = Some(PruneReason::Illegal(e.message));
+                    break 'eval;
+                }
+            };
+            let shared: u64 = launches
+                .iter()
+                .map(|l| l.shared_bytes(&version))
+                .max()
+                .unwrap_or(0);
+            candidate.shared_bytes = shared;
+            if shared > target.shared_per_block {
+                candidate.pruned = Some(PruneReason::SharedMemory {
+                    bytes: shared,
+                    limit: target.shared_per_block,
+                });
+                break 'eval;
+            }
 
-        // Decision point 4: timing-driven optimization.
-        match run(&version, regs) {
-            Ok(seconds) => {
-                candidate.seconds = Some(seconds);
-                let better = match &best {
-                    None => true,
-                    Some((_, _, t, _)) => seconds < *t,
-                };
-                if better {
-                    best = Some((version, config, seconds, regs));
+            // Decision point 3: register/spill pruning (worst launch governs).
+            let mut worst_regs = 0u32;
+            let mut spill_units = 0u32;
+            let mut report = None;
+            for l in &launches {
+                let r = compile_launch(&version, l, target.max_regs_per_thread);
+                worst_regs = worst_regs.max(r.regs_per_thread + r.spill_units);
+                spill_units = spill_units.max(r.spill_units);
+                report = Some(r);
+            }
+            candidate.backend = report;
+            if spill_units > 0 && !config.is_identity() {
+                candidate.pruned = Some(PruneReason::Spill {
+                    regs: worst_regs,
+                    spill_units,
+                });
+                break 'eval;
+            }
+            let regs = worst_regs.min(target.max_regs_per_thread);
+            launch_regs = Some(regs);
+
+            // Decision point 4: timing-driven optimization.
+            match run(&version, regs) {
+                Ok(seconds) => {
+                    candidate.seconds = Some(seconds);
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, t, _)) => seconds < *t,
+                    };
+                    if better {
+                        best = Some((version, config, seconds, regs));
+                    }
+                }
+                Err(e) => {
+                    candidate.pruned = Some(PruneReason::RunFailed(e.message));
                 }
             }
-            Err(e) => {
-                candidate.pruned = Some(PruneReason::RunFailed(e.message));
-            }
         }
+        trace.instant(
+            "tune",
+            "candidate",
+            &candidate_metrics(&candidate, launch_regs),
+        );
         candidates.push(candidate);
     }
 
     match best {
-        Some((best_func, best_config, best_seconds, best_regs)) => Ok(TuneResult {
-            best: best_func,
-            best_config,
-            best_seconds,
-            best_regs,
-            candidates,
-        }),
-        None => Err(TuneError {
-            message: "no candidate configuration survived pruning and measurement".into(),
-        }),
+        Some((best_func, best_config, best_seconds, best_regs)) => {
+            trace.instant(
+                "tune",
+                "winner",
+                &[
+                    ("config".into(), best_config.to_string().into()),
+                    ("seconds".into(), best_seconds.into()),
+                    ("regs".into(), best_regs.into()),
+                ],
+            );
+            tune_span.record("winner", best_config.to_string());
+            tune_span.record("best_seconds", best_seconds);
+            tune_span.record(
+                "measured",
+                candidates.iter().filter(|c| c.seconds.is_some()).count(),
+            );
+            tune_span.record(
+                "pruned",
+                candidates.iter().filter(|c| c.pruned.is_some()).count(),
+            );
+            Ok(TuneResult {
+                best: best_func,
+                best_config,
+                best_seconds,
+                best_regs,
+                candidates,
+            })
+        }
+        None => {
+            tune_span.record("winner", "none");
+            Err(TuneError {
+                message: "no candidate configuration survived pruning and measurement".into(),
+            })
+        }
     }
 }
 
@@ -324,7 +443,8 @@ mod tests {
     use respec_ir::parse_function;
     use respec_sim::{targets, GpuSim, KernelArg};
 
-    const KERNEL: &str = "func @scale(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+    const KERNEL: &str =
+        "func @scale(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
   %c64 = const 64 : index
   %c1 = const 1 : index
   parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
@@ -350,7 +470,9 @@ mod tests {
         assert!(block_only.iter().all(|c| c.thread_total() == 1));
         let combined = candidate_configs(Strategy::Combined, &DEFAULT_TOTALS, &[64, 1, 1]);
         assert!(combined.len() > thread_only.len());
-        assert!(combined.iter().any(|c| c.block_total() > 1 && c.thread_total() > 1));
+        assert!(combined
+            .iter()
+            .any(|c| c.block_total() > 1 && c.thread_total() > 1));
     }
 
     #[test]
@@ -417,7 +539,9 @@ mod tests {
         let result = tune_kernel(&func, &target, &configs, |version, regs| {
             let mut sim = GpuSim::new(targets::a100());
             let buf = sim.mem.alloc_f32(&vec![1.0; 64 * 16]);
-            Ok(sim.launch(version, [16, 1, 1], &[KernelArg::Buf(buf)], regs)?.kernel_seconds)
+            Ok(sim
+                .launch(version, [16, 1, 1], &[KernelArg::Buf(buf)], regs)?
+                .kernel_seconds)
         })
         .unwrap();
         let pruned: Vec<_> = result
@@ -427,6 +551,91 @@ mod tests {
             .collect();
         assert_eq!(pruned.len(), 1, "block-2 version must be shmem-pruned");
         assert!(result.best_config.is_identity());
+    }
+
+    #[test]
+    fn traced_tuning_logs_every_decision() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = candidate_configs(Strategy::Combined, &[1, 2, 4], &[64, 1, 1]);
+        let trace = Trace::new();
+        let n = 64 * 64;
+        let result = tune_kernel_traced(
+            &func,
+            &target,
+            &configs,
+            |version, regs| {
+                let mut sim = GpuSim::new(targets::a100());
+                let buf = sim.mem.alloc_f32(&vec![1.0; n]);
+                Ok(sim
+                    .launch(version, [64, 1, 1], &[KernelArg::Buf(buf)], regs)?
+                    .kernel_seconds)
+            },
+            &trace,
+        )
+        .unwrap();
+        let events = trace.events();
+        let candidates: Vec<_> = events.iter().filter(|e| e.name == "candidate").collect();
+        assert_eq!(
+            candidates.len(),
+            configs.len(),
+            "one decision event per candidate"
+        );
+        // Every candidate event names its config and the stage it reached.
+        for c in &candidates {
+            assert!(c.metric("config").is_some());
+            assert!(c.metric("stage").is_some());
+        }
+        // Pruned candidates carry a reason; measured ones carry seconds.
+        for (ev, cand) in candidates.iter().zip(&result.candidates) {
+            assert_eq!(
+                ev.metric("pruned"),
+                Some(&MetricValue::Bool(cand.pruned.is_some()))
+            );
+            if cand.pruned.is_some() {
+                assert!(ev.metric("reason").is_some());
+            }
+            if let Some(s) = cand.seconds {
+                assert_eq!(ev.metric("seconds").and_then(|m| m.as_f64()), Some(s));
+            }
+        }
+        let winner = events
+            .iter()
+            .find(|e| e.name == "winner")
+            .expect("winner event");
+        assert_eq!(
+            winner.metric("config").and_then(|m| m.as_str()),
+            Some(result.best_config.to_string().as_str())
+        );
+        // The whole search is wrapped in a tune:<kernel> span, and per-pass
+        // spans from each candidate's cleanup nest inside it.
+        let tune_span = events
+            .iter()
+            .find(|e| e.name == "tune:scale")
+            .expect("tune span");
+        assert!(tune_span.metric("winner").is_some());
+        assert!(events.iter().any(|e| e.name.starts_with("pass:")));
+    }
+
+    #[test]
+    fn traced_and_untraced_tuning_agree() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = candidate_configs(Strategy::Combined, &[1, 2], &[64, 1, 1]);
+        let runner = |version: &Function, regs: u32| {
+            let mut sim = GpuSim::new(targets::a100());
+            let buf = sim.mem.alloc_f32(&vec![1.0; 64 * 64]);
+            Ok(sim
+                .launch(version, [64, 1, 1], &[KernelArg::Buf(buf)], regs)?
+                .kernel_seconds)
+        };
+        let plain = tune_kernel(&func, &target, &configs, runner).unwrap();
+        let trace = Trace::new();
+        let traced = tune_kernel_traced(&func, &target, &configs, runner, &trace).unwrap();
+        assert_eq!(plain.best_config, traced.best_config);
+        assert_eq!(plain.best_seconds, traced.best_seconds);
+        assert_eq!(plain.best.to_string(), traced.best.to_string());
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -11,11 +11,19 @@ use respec_rodinia::{all_apps, compile_app};
 
 fn main() {
     let apps = all_apps();
-    let lud = apps.iter().find(|a| a.name() == "lud").expect("lud is registered");
+    let lud = apps
+        .iter()
+        .find(|a| a.name() == "lud")
+        .expect("lud is registered");
     let module = compile_app(lud.as_ref()).expect("lud compiles");
-    let func = module.function(lud.main_kernel()).expect("main kernel").clone();
+    let func = module
+        .function(lud.main_kernel())
+        .expect("main kernel")
+        .clone();
     let target = targets::a100();
-    let launch = respec::ir::kernel::analyze_function(&func).expect("kernel shape").remove(0);
+    let launch = respec::ir::kernel::analyze_function(&func)
+        .expect("kernel shape")
+        .remove(0);
     println!(
         "tuning {} (block {}x{}, {} B shared/block) on {}",
         lud.main_kernel(),
@@ -37,7 +45,10 @@ fn main() {
     })
     .expect("tuning succeeds");
 
-    println!("{:<28} {:>12} {:>10}  {}", "config", "time(µs)", "speedup", "outcome");
+    println!(
+        "{:<28} {:>12} {:>10}  outcome",
+        "config", "time(µs)", "speedup"
+    );
     let identity = result
         .candidates
         .iter()
@@ -58,7 +69,13 @@ fn main() {
                 identity / s,
                 outcome
             ),
-            None => println!("{:<28} {:>12} {:>10}  {}", c.config.to_string(), "-", "-", outcome),
+            None => println!(
+                "{:<28} {:>12} {:>10}  {}",
+                c.config.to_string(),
+                "-",
+                "-",
+                outcome
+            ),
         }
     }
     println!(

@@ -30,17 +30,23 @@ fn main() -> Result<(), Error> {
     println!("=== original kernel (Fig. 2 representation) ===\n{base}");
 
     let mut threaded = base.clone();
-    let launch = respec::ir::kernel::analyze_function(&threaded).expect("kernel shape").remove(0);
+    let launch = respec::ir::kernel::analyze_function(&threaded)
+        .expect("kernel shape")
+        .remove(0);
     thread_coarsen(&mut threaded, &launch, [2, 1, 1]).expect("legal");
     optimize(&mut threaded);
     println!("=== thread coarsening ×2 (strided, coalescing-friendly indexing) ===");
     println!("note: 16-thread loop, interleaved instances, ONE merged barrier\n{threaded}");
 
     let mut blocked = base.clone();
-    let launch = respec::ir::kernel::analyze_function(&blocked).expect("kernel shape").remove(0);
+    let launch = respec::ir::kernel::analyze_function(&blocked)
+        .expect("kernel shape")
+        .remove(0);
     block_coarsen(&mut blocked, &launch, [3, 1, 1]).expect("legal");
     optimize(&mut blocked);
     println!("=== block coarsening ×3 (contiguous indexing, epilogue grid) ===");
-    println!("note: duplicated shared allocations, grid divided by 3, remainder epilogue\n{blocked}");
+    println!(
+        "note: duplicated shared allocations, grid divided by 3, remainder epilogue\n{blocked}"
+    );
     Ok(())
 }

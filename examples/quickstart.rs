@@ -34,7 +34,12 @@ fn main() -> Result<(), Error> {
         &mut sim,
         "saxpy",
         [grid, 1, 1],
-        &[KernelArg::Buf(y), KernelArg::Buf(x), KernelArg::F32(3.0), KernelArg::I32(n as i32)],
+        &[
+            KernelArg::Buf(y),
+            KernelArg::Buf(x),
+            KernelArg::F32(3.0),
+            KernelArg::I32(n as i32),
+        ],
     )?;
 
     let out = sim.mem.read_f32(y);
@@ -43,10 +48,17 @@ fn main() -> Result<(), Error> {
     println!("=== launch report on {} ===", compiled.target.name);
     println!("kernel time      : {:.3} µs", report.kernel_seconds * 1e6);
     println!("bound by         : {}", report.timing.bound_by());
-    println!("occupancy        : {:.0}% (limited by {})", report.occupancy.occupancy * 100.0, report.occupancy.limiter);
+    println!(
+        "occupancy        : {:.0}% (limited by {})",
+        report.occupancy.occupancy * 100.0,
+        report.occupancy.limiter
+    );
     println!("blocks           : {}", report.blocks);
     println!("warp instructions: {}", report.stats.total_issues());
-    println!("read sectors     : {} ({} from DRAM)", report.stats.read_sectors, report.stats.dram_read_sectors);
+    println!(
+        "read sectors     : {} ({} from DRAM)",
+        report.stats.read_sectors, report.stats.dram_read_sectors
+    );
     println!("result verified  : first element = {}", out[0]);
     Ok(())
 }

@@ -46,10 +46,18 @@ fn run_on(target: TargetDesc) -> Result<(LaunchReport, f64), Error> {
         &mut sim,
         "dot_chunks",
         [blocks, 1, 1],
-        &[KernelArg::Buf(ob), KernelArg::Buf(ab), KernelArg::Buf(bb), KernelArg::I32(n as i32)],
+        &[
+            KernelArg::Buf(ob),
+            KernelArg::Buf(ab),
+            KernelArg::Buf(bb),
+            KernelArg::I32(n),
+        ],
     )?;
     let total: f64 = sim.mem.read_f64(ob).iter().sum();
-    assert!((total - expected).abs() < 1e-6, "dot product must match on every target");
+    assert!(
+        (total - expected).abs() < 1e-6,
+        "dot product must match on every target"
+    );
     Ok((report, total))
 }
 
@@ -59,7 +67,12 @@ fn main() -> Result<(), Error> {
         "{:<14} {:>10} {:>8} {:>12} {:>14} {:>10}",
         "target", "time(µs)", "warps", "issues", "bound-by", "occupancy"
     );
-    for target in [targets::a4000(), targets::rx6800(), targets::a100(), targets::mi210()] {
+    for target in [
+        targets::a4000(),
+        targets::rx6800(),
+        targets::a100(),
+        targets::mi210(),
+    ] {
         let name = target.name;
         let (report, _) = run_on(target)?;
         println!(

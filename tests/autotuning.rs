@@ -14,7 +14,10 @@ fn tune_app_sized(
     workload: respec_rodinia::Workload,
 ) -> (f64, f64, respec::CoarsenConfig) {
     let apps = respec_rodinia::all_apps_sized(workload);
-    let app = apps.iter().find(|a| a.name() == name).expect("app registered");
+    let app = apps
+        .iter()
+        .find(|a| a.name() == name)
+        .expect("app registered");
     let module = compile_app(app.as_ref()).expect("compiles");
     let kernel_name = app.main_kernel().to_string();
     let func = module.function(&kernel_name).expect("main kernel").clone();
@@ -66,7 +69,10 @@ fn combined_never_loses_to_thread_only_on_lud() {
         combined_best <= thread_best + 1e-12,
         "combined ({combined_best:.3e}s with {cfg}) must be at least as good as thread-only ({thread_best:.3e}s)"
     );
-    assert!(combined_best <= identity + 1e-12, "TDO never selects a slower config");
+    assert!(
+        combined_best <= identity + 1e-12,
+        "TDO never selects a slower config"
+    );
 }
 
 #[test]
@@ -79,7 +85,10 @@ fn tdo_improves_gaussian_kernel() {
     // dominated by the shrinking-grid tail, which the paper's full-size
     // runs do not see.
     let apps = all_apps();
-    let app = apps.iter().find(|a| a.name() == "gaussian").expect("registered");
+    let app = apps
+        .iter()
+        .find(|a| a.name() == "gaussian")
+        .expect("registered");
     let module = compile_app(app.as_ref()).expect("compiles");
     let func = module.function("fan2").expect("fan2 kernel").clone();
     let target = targets::a100();
@@ -157,7 +166,12 @@ fn spill_pruning_protects_register_heavy_kernels() {
         let out = sim.mem.alloc_f32(&vec![0.0; 4096 + 64]);
         let inp = sim.mem.alloc_f32(&vec![1.0; 4096 + 64]);
         Ok(sim
-            .launch(version, [64, 1, 1], &[KernelArg::Buf(out), KernelArg::Buf(inp)], regs)?
+            .launch(
+                version,
+                [64, 1, 1],
+                &[KernelArg::Buf(out), KernelArg::Buf(inp)],
+                regs,
+            )?
             .kernel_seconds)
     })
     .expect("tuning succeeds");

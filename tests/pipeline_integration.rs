@@ -46,7 +46,11 @@ fn run_blur(cfg: Option<CoarsenConfig>) -> Vec<f32> {
             &mut sim,
             "blur",
             [(n / 128) as i64, 1, 1],
-            &[KernelArg::Buf(ob), KernelArg::Buf(ib), KernelArg::I32(n as i32)],
+            &[
+                KernelArg::Buf(ob),
+                KernelArg::Buf(ib),
+                KernelArg::I32(n as i32),
+            ],
         )
         .expect("launches");
     sim.mem.read_f32(ob)
@@ -56,11 +60,26 @@ fn run_blur(cfg: Option<CoarsenConfig>) -> Vec<f32> {
 fn every_coarsening_config_is_semantics_preserving() {
     let baseline = run_blur(None);
     let configs = [
-        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
-        CoarsenConfig { block: [1, 1, 1], thread: [4, 1, 1] },
-        CoarsenConfig { block: [4, 1, 1], thread: [2, 1, 1] },
-        CoarsenConfig { block: [3, 1, 1], thread: [1, 1, 1] }, // epilogue path (8 % 3 != 0)
-        CoarsenConfig { block: [7, 1, 1], thread: [1, 1, 1] }, // the paper's prime factor
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [1, 1, 1],
+        },
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [4, 1, 1],
+        },
+        CoarsenConfig {
+            block: [4, 1, 1],
+            thread: [2, 1, 1],
+        },
+        CoarsenConfig {
+            block: [3, 1, 1],
+            thread: [1, 1, 1],
+        }, // epilogue path (8 % 3 != 0)
+        CoarsenConfig {
+            block: [7, 1, 1],
+            thread: [1, 1, 1],
+        }, // the paper's prime factor
     ];
     for cfg in configs {
         let out = run_blur(Some(cfg));
@@ -81,9 +100,18 @@ fn shared_memory_kernel_survives_all_strategies() {
         .collect();
     for cfg in [
         CoarsenConfig::identity(),
-        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
-        CoarsenConfig { block: [1, 1, 1], thread: [2, 1, 1] },
-        CoarsenConfig { block: [2, 1, 1], thread: [4, 1, 1] },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [1, 1, 1],
+        },
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [2, 1, 1],
+        },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [4, 1, 1],
+        },
     ] {
         let compiled = Compiler::new()
             .source(SHARED_KERNEL)
@@ -96,9 +124,18 @@ fn shared_memory_kernel_survives_all_strategies() {
         let ib = sim.mem.alloc_f32(&input);
         let ob = sim.mem.alloc_f32(&vec![0.0; n]);
         compiled
-            .launch(&mut sim, "stage", [8, 1, 1], &[KernelArg::Buf(ob), KernelArg::Buf(ib)])
+            .launch(
+                &mut sim,
+                "stage",
+                [8, 1, 1],
+                &[KernelArg::Buf(ob), KernelArg::Buf(ib)],
+            )
             .expect("launches");
-        assert_eq!(sim.mem.read_f32(ob), expected, "config {cfg} broke barrier semantics");
+        assert_eq!(
+            sim.mem.read_f32(ob),
+            expected,
+            "config {cfg} broke barrier semantics"
+        );
     }
 }
 
@@ -113,8 +150,14 @@ fn alternatives_multi_versioning_round_trip() {
     let mut func = compiled.kernel("stage").clone();
     let configs = vec![
         CoarsenConfig::identity(),
-        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
-        CoarsenConfig { block: [1, 1, 1], thread: [2, 1, 1] },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [1, 1, 1],
+        },
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [2, 1, 1],
+        },
     ];
     let (alt, survivors) = generate_alternatives(&mut func, &configs).expect("generates");
     assert_eq!(survivors.len(), 3);
@@ -125,14 +168,23 @@ fn alternatives_multi_versioning_round_trip() {
     assert!(find_alternatives(&func).is_none());
     respec::ir::verify_function(&func).expect("materialized function verifies");
     let launches = analyze_function(&func).expect("kernel shape");
-    assert_eq!(launches[0].block_dims, vec![64, 1, 1], "thread-2 version selected");
+    assert_eq!(
+        launches[0].block_dims,
+        vec![64, 1, 1],
+        "thread-2 version selected"
+    );
 
     let mut sim = GpuSim::new(targets::a4000());
     let input: Vec<f32> = (0..512).map(|i| i as f32).collect();
     let ib = sim.mem.alloc_f32(&input);
     let ob = sim.mem.alloc_f32(&vec![0.0; 512]);
-    sim.launch(&func, [4, 1, 1], &[KernelArg::Buf(ob), KernelArg::Buf(ib)], 24)
-        .expect("launches");
+    sim.launch(
+        &func,
+        [4, 1, 1],
+        &[KernelArg::Buf(ob), KernelArg::Buf(ib)],
+        24,
+    )
+    .expect("launches");
     let out = sim.mem.read_f32(ob);
     assert_eq!(out[0], input[127] * 2.0);
 }
@@ -151,7 +203,10 @@ fn optimizer_reduces_interleaved_code_size() {
         .source(STENCIL)
         .kernel("blur", [128, 1, 1])
         .target(targets::a100())
-        .coarsen(CoarsenConfig { block: [1, 1, 1], thread: [4, 1, 1] })
+        .coarsen(CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [4, 1, 1],
+        })
         .optimizer(false)
         .compile()
         .expect("compiles");
@@ -159,7 +214,10 @@ fn optimizer_reduces_interleaved_code_size() {
         .source(STENCIL)
         .kernel("blur", [128, 1, 1])
         .target(targets::a100())
-        .coarsen(CoarsenConfig { block: [1, 1, 1], thread: [4, 1, 1] })
+        .coarsen(CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [4, 1, 1],
+        })
         .compile()
         .expect("compiles");
     let size = |f: &respec::Function| f.to_string().lines().count();

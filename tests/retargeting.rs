@@ -31,15 +31,23 @@ fn same_source_runs_on_all_four_targets() {
         let y = sim.mem.alloc_f64(&vec![1.0; 512]);
         let x = sim.mem.alloc_f64(&vec![0.5; 512]);
         compiled
-            .launch(&mut sim, "daxpy_heavy", [4, 1, 1], &[
-                KernelArg::Buf(y),
-                KernelArg::Buf(x),
-                KernelArg::F64(2.0),
-                KernelArg::I32(512),
-            ])
+            .launch(
+                &mut sim,
+                "daxpy_heavy",
+                [4, 1, 1],
+                &[
+                    KernelArg::Buf(y),
+                    KernelArg::Buf(x),
+                    KernelArg::F64(2.0),
+                    KernelArg::I32(512),
+                ],
+            )
             .unwrap_or_else(|e| panic!("launch failed on {}: {e}", target.name));
         let out = sim.mem.read_f64(y);
-        assert!((out[0] - out[511]).abs() < 1e-12, "uniform input ⇒ uniform output");
+        assert!(
+            (out[0] - out[511]).abs() < 1e-12,
+            "uniform input ⇒ uniform output"
+        );
         assert!(out[0] > 1.0);
     }
 }
@@ -57,12 +65,17 @@ fn amd_schedules_wavefronts_of_64() {
         let y = sim.mem.alloc_f64(&vec![1.0; 1024]);
         let x = sim.mem.alloc_f64(&vec![0.5; 1024]);
         compiled
-            .launch(&mut sim, "daxpy_heavy", [8, 1, 1], &[
-                KernelArg::Buf(y),
-                KernelArg::Buf(x),
-                KernelArg::F64(2.0),
-                KernelArg::I32(1024),
-            ])
+            .launch(
+                &mut sim,
+                "daxpy_heavy",
+                [8, 1, 1],
+                &[
+                    KernelArg::Buf(y),
+                    KernelArg::Buf(x),
+                    KernelArg::F64(2.0),
+                    KernelArg::I32(1024),
+                ],
+            )
             .expect("launches")
     };
     let nv = run(targets::a100());
@@ -84,7 +97,10 @@ fn fp64_work_favors_the_fp64_rich_amd_hpc_part() {
     // better on AMD due to fp64 throughput (§VII-D2). Compare a consumer
     // pair: RX6800 has ~1.7x the fp64 FLOPs of the A4000.
     let apps = all_apps();
-    let lavamd = apps.iter().find(|a| a.name() == "lavaMD").expect("registered");
+    let lavamd = apps
+        .iter()
+        .find(|a| a.name() == "lavaMD")
+        .expect("registered");
     let time_on = |target| {
         let module = compile_app(lavamd.as_ref()).expect("compiles");
         let mut sim = GpuSim::new(target);

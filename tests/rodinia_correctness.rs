@@ -11,7 +11,11 @@ use respec::opt::{coarsen_function, optimize, CoarsenConfig};
 use respec::{targets, TargetDesc};
 use respec_rodinia::{all_apps, compile_app, max_abs_err, App};
 
-fn run_with_config(app: &dyn App, target: TargetDesc, cfg: CoarsenConfig) -> Result<Vec<f64>, String> {
+fn run_with_config(
+    app: &dyn App,
+    target: TargetDesc,
+    cfg: CoarsenConfig,
+) -> Result<Vec<f64>, String> {
     let mut module = compile_app(app).map_err(|e| e.to_string())?;
     let name = app.main_kernel().to_string();
     let mut func = module.function(&name).expect("main kernel exists").clone();
@@ -25,7 +29,10 @@ fn run_with_config(app: &dyn App, target: TargetDesc, cfg: CoarsenConfig) -> Res
 
 fn check_app_under_coarsening(name: &str, configs: &[CoarsenConfig]) {
     let apps = all_apps();
-    let app = apps.iter().find(|a| a.name() == name).expect("app registered");
+    let app = apps
+        .iter()
+        .find(|a| a.name() == name)
+        .expect("app registered");
     let reference = app.reference();
     for &cfg in configs {
         match run_with_config(app.as_ref(), targets::a100(), cfg) {
@@ -51,10 +58,22 @@ fn check_app_under_coarsening(name: &str, configs: &[CoarsenConfig]) {
 
 fn standard_configs() -> Vec<CoarsenConfig> {
     vec![
-        CoarsenConfig { block: [2, 1, 1], thread: [1, 1, 1] },
-        CoarsenConfig { block: [1, 1, 1], thread: [2, 1, 1] },
-        CoarsenConfig { block: [2, 1, 1], thread: [2, 1, 1] },
-        CoarsenConfig { block: [3, 1, 1], thread: [1, 1, 1] }, // epilogue
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [1, 1, 1],
+        },
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [2, 1, 1],
+        },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [2, 1, 1],
+        },
+        CoarsenConfig {
+            block: [3, 1, 1],
+            thread: [1, 1, 1],
+        }, // epilogue
     ]
 }
 
@@ -62,9 +81,18 @@ fn standard_configs() -> Vec<CoarsenConfig> {
 fn lud_internal_coarsens_correctly() {
     // Including the paper's 2-D configurations for lud_internal.
     let mut configs = standard_configs();
-    configs.push(CoarsenConfig { block: [2, 2, 1], thread: [1, 1, 1] });
-    configs.push(CoarsenConfig { block: [1, 1, 1], thread: [2, 2, 1] });
-    configs.push(CoarsenConfig { block: [7, 1, 1], thread: [2, 1, 1] }); // the lud optimum shape
+    configs.push(CoarsenConfig {
+        block: [2, 2, 1],
+        thread: [1, 1, 1],
+    });
+    configs.push(CoarsenConfig {
+        block: [1, 1, 1],
+        thread: [2, 2, 1],
+    });
+    configs.push(CoarsenConfig {
+        block: [7, 1, 1],
+        thread: [2, 1, 1],
+    }); // the lud optimum shape
     check_app_under_coarsening("lud", &configs);
 }
 
@@ -76,7 +104,10 @@ fn nw_coarsens_correctly() {
 #[test]
 fn hotspot_coarsens_correctly() {
     let mut configs = standard_configs();
-    configs.push(CoarsenConfig { block: [2, 2, 1], thread: [2, 2, 1] });
+    configs.push(CoarsenConfig {
+        block: [2, 2, 1],
+        thread: [2, 2, 1],
+    });
     check_app_under_coarsening("hotspot", &configs);
 }
 
@@ -109,9 +140,9 @@ fn every_app_runs_on_every_vendor() {
         for target in [targets::a4000(), targets::mi210()] {
             let module = compile_app(app.as_ref()).expect("compiles");
             let mut sim = respec::GpuSim::new(target.clone());
-            let out = app.run(&mut sim, &module).unwrap_or_else(|e| {
-                panic!("{} failed on {}: {e}", app.name(), target.name)
-            });
+            let out = app
+                .run(&mut sim, &module)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", app.name(), target.name));
             let err = max_abs_err(&out, &reference);
             assert!(
                 err <= app.tolerance(),

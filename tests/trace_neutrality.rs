@@ -1,0 +1,157 @@
+//! Property test: tracing is behavior-neutral.
+//!
+//! Random CUDA kernels are compiled and simulated twice — once with a
+//! disabled trace and once with a recording trace through every layer
+//! (compiler passes, simulator launch spans). The printed IR must be
+//! byte-identical, and the simulated kernel time and output bit-identical:
+//! observation must never perturb the pipeline.
+
+use proptest::prelude::*;
+use respec::{targets, CoarsenConfig, Compiler, KernelArg, Trace};
+
+/// A random kernel-body recipe that always produces a valid kernel.
+#[derive(Clone, Debug)]
+struct Recipe {
+    use_guard: bool,
+    use_shared: bool,
+    loop_trips: u8,
+    ops: Vec<u8>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        1u8..5,
+        prop::collection::vec(any::<u8>(), 1..5),
+    )
+        .prop_map(|(use_guard, use_shared, loop_trips, ops)| Recipe {
+            use_guard,
+            use_shared,
+            loop_trips,
+            ops,
+        })
+}
+
+fn source_for(r: &Recipe) -> String {
+    let mut body = String::new();
+    body.push_str("    int i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+    body.push_str("    int tx = threadIdx.x;\n");
+    if r.use_guard {
+        body.push_str("    if (i >= n) return;\n");
+    }
+    body.push_str("    float v = in[i];\n");
+    if r.use_shared {
+        body.push_str("    tile[tx] = v * 2.0f;\n    __syncthreads();\n");
+        body.push_str("    v = v + tile[63 - tx];\n");
+    }
+    body.push_str(&format!(
+        "    for (int k = 0; k < {}; k++) {{\n",
+        r.loop_trips
+    ));
+    for (j, op) in r.ops.iter().enumerate() {
+        let stmt = match op % 4 {
+            0 => "        v = v + 1.5f;\n".to_string(),
+            1 => "        v = v * 1.125f;\n".to_string(),
+            2 => format!("        v = v + (float)k * 0.25f + {j}.0f;\n"),
+            _ => "        v = v - 0.5f;\n".to_string(),
+        };
+        body.push_str(&stmt);
+    }
+    body.push_str("    }\n");
+    body.push_str("    out[i] = v;\n");
+    format!(
+        "__global__ void k(float* out, float* in, int n) {{\n{}{body}}}\n",
+        if r.use_shared {
+            "    __shared__ float tile[64];\n"
+        } else {
+            ""
+        }
+    )
+}
+
+/// Runs the whole pipeline (compile → optimize → simulate) under the given
+/// trace handle; returns the printed IR, the simulated kernel seconds (as
+/// raw bits, to demand exact equality) and the output vector.
+fn pipeline(
+    src: &str,
+    cfg: Option<CoarsenConfig>,
+    trace: Trace,
+) -> Option<(String, u64, Vec<f32>)> {
+    let mut builder = Compiler::new()
+        .source(src)
+        .kernel("k", [64, 1, 1])
+        .target(targets::a4000())
+        .with_trace(trace);
+    if let Some(cfg) = cfg {
+        builder = builder.coarsen(cfg);
+    }
+    let compiled = builder.compile().ok()?;
+    let ir = compiled.kernel("k").to_string();
+    let n = 64 * 12;
+    let mut sim = compiled.simulator();
+    let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.211).cos()).collect();
+    let ib = sim.mem.alloc_f32(&input);
+    let ob = sim.mem.alloc_f32(&vec![0.0; n]);
+    let report = compiled
+        .launch(
+            &mut sim,
+            "k",
+            [12, 1, 1],
+            &[
+                KernelArg::Buf(ob),
+                KernelArg::Buf(ib),
+                KernelArg::I32(n as i32),
+            ],
+        )
+        .expect("launches");
+    Some((ir, report.kernel_seconds.to_bits(), sim.mem.read_f32(ob)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tracing_never_perturbs_ir_or_timing(
+        r in recipe(),
+        bf in 1i64..4,
+        tf_pow in 0u32..3,
+    ) {
+        let src = source_for(&r);
+        let cfg = CoarsenConfig {
+            block: [bf, 1, 1],
+            thread: [1 << tf_pow, 1, 1],
+        };
+        let trace = Trace::new();
+        let untraced = pipeline(&src, Some(cfg), Trace::disabled());
+        let traced = pipeline(&src, Some(cfg), trace.clone());
+        match (untraced, traced) {
+            (None, None) => {} // illegal config in both worlds: consistent
+            (Some((ir0, t0, out0)), Some((ir1, t1, out1))) => {
+                prop_assert_eq!(ir0, ir1, "printed IR must be byte-identical");
+                prop_assert_eq!(t0, t1, "simulated seconds must be bit-identical");
+                prop_assert_eq!(out0, out1, "kernel output must be identical");
+                prop_assert!(!trace.is_empty(), "the traced run must actually record");
+            }
+            (u, t) => prop_assert!(false, "traced/untraced legality diverged: {:?} vs {:?}", u.is_some(), t.is_some()),
+        }
+    }
+}
+
+/// Non-property sanity check: the traced run records events of every layer
+/// while the untraced one records none.
+#[test]
+fn traced_run_records_all_layers() {
+    let src = source_for(&Recipe {
+        use_guard: true,
+        use_shared: true,
+        loop_trips: 2,
+        ops: vec![0, 1, 2],
+    });
+    let trace = Trace::new();
+    pipeline(&src, None, trace.clone()).expect("pipeline runs");
+    let events = trace.events();
+    assert!(events.iter().any(|e| e.category == "pass"));
+    assert!(events.iter().any(|e| e.category == "compile"));
+    assert!(events.iter().any(|e| e.category == "sim"));
+}
