@@ -1,0 +1,60 @@
+//! Tuning-engine throughput baseline: wall-clock of a full Combined-strategy
+//! search per Rodinia app, serial vs parallel, plus the compilation-cache
+//! hit rate.
+//!
+//! Run with `cargo bench --bench tune_throughput`. Pass `--json` to also
+//! write the machine-readable baseline to `BENCH_tune.json` (one JSON object
+//! per app) so future engine changes have a perf trajectory to compare
+//! against; `--large` uses paper-scale workloads, `--parallelism N`
+//! overrides the default of 4 workers.
+
+use respec_rodinia::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = if args.iter().any(|a| a == "--large") {
+        Workload::Large
+    } else {
+        Workload::Small
+    };
+    let parallelism = args
+        .iter()
+        .position(|a| a == "--parallelism")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let totals = [1, 2, 4, 8];
+
+    let rows = respec_bench::tune_throughput_data(workload, &totals, parallelism);
+
+    println!("== tune_throughput: Combined-strategy search, serial vs parallel({parallelism}) ==");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "app", "cands", "serial c/s", "par c/s", "speedup", "hit rate", "serial(s)"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>10} {:>12.1} {:>12.1} {:>9.2}x {:>9.0}% {:>10.3}",
+            r.app,
+            r.candidates,
+            r.serial_rate(),
+            r.parallel_rate(),
+            r.speedup(),
+            r.cache_hit_rate * 100.0,
+            r.serial_seconds,
+        );
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        // cargo runs benches with the package directory as cwd; anchor the
+        // baseline at the workspace root so successive PRs overwrite one file.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .join("BENCH_tune.json");
+        let lines = respec_bench::jsonout::tune_throughput_lines(&rows);
+        std::fs::write(&path, &lines).expect("write BENCH_tune.json");
+        println!("\nwrote {} ({} rows)", path.display(), rows.len());
+    }
+}

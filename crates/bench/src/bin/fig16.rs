@@ -1,11 +1,16 @@
 //! Regenerates Fig. 16: Rodinia composite comparison of clang vs
 //! Polygeist-GPU (no-opt / opt) on the NVIDIA and AMD targets.
 //! Pass `--large` for the paper-scale workloads (slower); `--json` for one
-//! JSON object per row on stdout instead of the tables.
+//! JSON object per row on stdout instead of the tables. TDO searches run on
+//! the parallel tuning engine; `--serial` forces one worker (the numbers
+//! are identical either way — only the wall clock changes).
 use respec::targets;
 use respec_rodinia::Workload;
 
 fn main() {
+    if std::env::args().any(|a| a == "--serial") {
+        std::env::set_var("RESPEC_TUNE_PARALLELISM", "1");
+    }
     let workload = if std::env::args().any(|a| a == "--large") {
         Workload::Large
     } else {

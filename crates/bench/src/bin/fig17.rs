@@ -1,9 +1,14 @@
 //! Regenerates Fig. 17: A4000 (clang) vs A4000 (P-G) vs RX6800 (P-G).
 //! Pass `--large` for the paper-scale workloads (slower); `--json` for one
-//! JSON object per row on stdout instead of the table.
+//! JSON object per row on stdout instead of the table. TDO searches run on
+//! the parallel tuning engine; `--serial` forces one worker (the numbers
+//! are identical either way — only the wall clock changes).
 use respec_rodinia::Workload;
 
 fn main() {
+    if std::env::args().any(|a| a == "--serial") {
+        std::env::set_var("RESPEC_TUNE_PARALLELISM", "1");
+    }
     let workload = if std::env::args().any(|a| a == "--large") {
         Workload::Large
     } else {

@@ -7,7 +7,11 @@
 //! what factor) without depending on absolute simulated times.
 
 use respec::opt::optimize;
-use respec::{candidate_configs, targets, tune_kernel, GpuSim, Module, Strategy, TargetDesc};
+use respec::sim::SimError;
+use respec::{
+    candidate_configs, targets, tune_kernel_pooled, Function, GpuSim, Module, Strategy, TargetDesc,
+    Trace, TuneOptions, TuneResult,
+};
 use respec_rodinia::{all_apps_sized, compile_app, App, Workload};
 
 /// Kernel-measurement filter: the paper discards kernel runs shorter than
@@ -93,36 +97,70 @@ pub fn composite_seconds(
     sim.elapsed_seconds
 }
 
+/// Per-worker measurement runner over a full app run, scoped to one kernel:
+/// drops the candidate version into a module clone, runs the whole app on a
+/// fresh simulator, and reports the filtered main-kernel time. Building one
+/// per worker thread is what lets the engine measure candidates in parallel.
+pub fn app_runner<'a>(
+    app: &'a dyn App,
+    module: &'a Module,
+    target: &'a TargetDesc,
+    kernel: &'a str,
+) -> impl FnMut(&Function, u32) -> Result<f64, SimError> + 'a {
+    move |version, _regs| {
+        let mut m = module.clone();
+        m.add_function(version.clone());
+        let mut sim = GpuSim::new(target.clone());
+        app.run(&mut sim, &m)?;
+        Ok(filtered_kernel_seconds(&sim, kernel))
+    }
+}
+
 /// Autotunes the app's main kernel (kernel-scope objective) and returns the
 /// module with the winner substituted. Falls back to the untuned module if
-/// nothing survives pruning.
+/// nothing survives pruning. Worker count comes from the environment
+/// ([`TuneOptions::from_env`], `RESPEC_TUNE_PARALLELISM`).
 pub fn tuned_module(
     app: &dyn App,
     target: &TargetDesc,
     strategy: Strategy,
     totals: &[i64],
 ) -> Module {
+    tuned_module_with(app, target, strategy, totals, &TuneOptions::from_env()).0
+}
+
+/// [`tuned_module`] with an explicit worker configuration, also returning
+/// the tuning result (when any candidate survived) for inspection.
+pub fn tuned_module_with(
+    app: &dyn App,
+    target: &TargetDesc,
+    strategy: Strategy,
+    totals: &[i64],
+    options: &TuneOptions,
+) -> (Module, Option<TuneResult>) {
     let mut module = compiled_module(app, Pipeline::PolygeistNoOpt);
     let name = app.main_kernel().to_string();
     let func = module.function(&name).expect("main kernel").clone();
     let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
     let configs = candidate_configs(strategy, totals, &launches[0].block_dims);
-    let target_cl = target.clone();
-    let result = tune_kernel(&func, target, &configs, |version, _regs| {
-        let mut m = module.clone();
-        m.add_function(version.clone());
-        let mut sim = GpuSim::new(target_cl.clone());
-        app.run(&mut sim, &m)?;
-        Ok(filtered_kernel_seconds(&sim, &name))
-    });
-    if let Ok(r) = result {
-        module.add_function(r.best);
+    let result = tune_kernel_pooled(
+        &func,
+        target,
+        &configs,
+        options,
+        || app_runner(app, &module, target, &name),
+        &Trace::disabled(),
+    )
+    .ok();
+    if let Some(r) = &result {
+        module.add_function(r.best.clone());
     }
-    module
+    (module, result)
 }
 
 /// Best (minimum) main-kernel time over a strategy's candidate set, plus
-/// the identity time — the Fig. 13 measurement for one app.
+/// the identity time — the Fig. 13 measurement for one app. Candidates are
+/// evaluated on the parallel tuning engine ([`TuneOptions::from_env`]).
 pub fn strategy_best(
     app: &dyn App,
     target: &TargetDesc,
@@ -136,14 +174,14 @@ pub fn strategy_best(
     let configs = candidate_configs(strategy, totals, &launches[0].block_dims);
     let mut identity = f64::INFINITY;
     let mut best = f64::INFINITY;
-    let target_cl = target.clone();
-    let _ = tune_kernel(&func, target, &configs, |version, _regs| {
-        let mut m = module.clone();
-        m.add_function(version.clone());
-        let mut sim = GpuSim::new(target_cl.clone());
-        app.run(&mut sim, &m)?;
-        Ok(filtered_kernel_seconds(&sim, &name))
-    })
+    let _ = tune_kernel_pooled(
+        &func,
+        target,
+        &configs,
+        &TuneOptions::from_env(),
+        || app_runner(app, &module, target, &name),
+        &Trace::disabled(),
+    )
     .map(|r| {
         for c in &r.candidates {
             if let Some(s) = c.seconds {
@@ -155,6 +193,84 @@ pub fn strategy_best(
         }
     });
     (identity, best)
+}
+
+/// Tuning-engine throughput on one app: wall-clock of a full Combined-
+/// strategy search, serial vs parallel (the `tune_throughput` benchmark's
+/// unit of measurement).
+#[derive(Clone, Debug)]
+pub struct TuneThroughputRow {
+    /// Application name.
+    pub app: String,
+    /// Candidate configurations the search evaluated.
+    pub candidates: usize,
+    /// Wall-clock seconds of the serial (`parallelism = 1`) search.
+    pub serial_seconds: f64,
+    /// Wall-clock seconds of the parallel search.
+    pub parallel_seconds: f64,
+    /// Worker count used for the parallel search.
+    pub parallelism: usize,
+    /// Compilation-cache hit rate of the search (identical for both runs —
+    /// cache behavior is deterministic).
+    pub cache_hit_rate: f64,
+}
+
+impl TuneThroughputRow {
+    /// Candidates evaluated per second, serial engine.
+    pub fn serial_rate(&self) -> f64 {
+        self.candidates as f64 / self.serial_seconds.max(1e-12)
+    }
+
+    /// Candidates evaluated per second, parallel engine.
+    pub fn parallel_rate(&self) -> f64 {
+        self.candidates as f64 / self.parallel_seconds.max(1e-12)
+    }
+
+    /// Parallel-over-serial wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        self.serial_seconds / self.parallel_seconds.max(1e-12)
+    }
+}
+
+/// Times a Combined-strategy search per app, once serial and once with
+/// `parallelism` workers.
+pub fn tune_throughput_data(
+    workload: Workload,
+    totals: &[i64],
+    parallelism: usize,
+) -> Vec<TuneThroughputRow> {
+    let target = targets::a100();
+    let mut rows = Vec::new();
+    for app in all_apps_sized(workload) {
+        let start = std::time::Instant::now();
+        let (_, serial) = tuned_module_with(
+            app.as_ref(),
+            &target,
+            Strategy::Combined,
+            totals,
+            &TuneOptions::serial(),
+        );
+        let serial_seconds = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let (_, parallel) = tuned_module_with(
+            app.as_ref(),
+            &target,
+            Strategy::Combined,
+            totals,
+            &TuneOptions::with_parallelism(parallelism),
+        );
+        let parallel_seconds = start.elapsed().as_secs_f64();
+        let result = parallel.as_ref().or(serial.as_ref());
+        rows.push(TuneThroughputRow {
+            app: app.name().to_string(),
+            candidates: result.map(|r| r.candidates.len()).unwrap_or(0),
+            serial_seconds,
+            parallel_seconds,
+            parallelism,
+            cache_hit_rate: result.map(|r| r.stats.cache_hit_rate()).unwrap_or(0.0),
+        });
+    }
+    rows
 }
 
 /// Geometric mean (1.0 for an empty slice).
@@ -700,7 +816,7 @@ pub fn fig17(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)>
 pub mod jsonout {
     use respec::trace::json::JsonObject;
 
-    use super::{Fig13Row, Fig16Row, ProfileRow};
+    use super::{Fig13Row, Fig16Row, ProfileRow, TuneThroughputRow};
 
     /// Fig. 13 rows: per-app best speedup per strategy.
     pub fn fig13_lines(rows: &[Fig13Row]) -> String {
@@ -815,6 +931,31 @@ pub mod jsonout {
         out
     }
 
+    /// Tuning-engine throughput rows (`BENCH_tune.json` baseline):
+    /// candidates/sec serial vs parallel plus the cache hit rate, so later
+    /// engine changes have a perf trajectory to compare against.
+    pub fn tune_throughput_lines(rows: &[TuneThroughputRow]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "tune_throughput")
+                    .str("app", &r.app)
+                    .u64("candidates", r.candidates as u64)
+                    .u64("parallelism", r.parallelism as u64)
+                    .f64("serial_s", r.serial_seconds)
+                    .f64("parallel_s", r.parallel_seconds)
+                    .f64("candidates_per_sec_serial", r.serial_rate())
+                    .f64("candidates_per_sec_parallel", r.parallel_rate())
+                    .f64("speedup", r.speedup())
+                    .f64("cache_hit_rate", r.cache_hit_rate)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
     /// Fig. 17 rows: cross-vendor composite comparison.
     pub fn fig17_lines(rows: &[(String, f64, f64, f64)]) -> String {
         let mut out = String::new();
@@ -911,5 +1052,49 @@ mod tests {
 
         let rows = table2_data(Workload::Small);
         assert_json_lines(&jsonout::table2_lines(&rows), "table2");
+    }
+
+    #[test]
+    fn tuned_module_is_worker_count_invariant() {
+        let apps = all_apps_sized(Workload::Small);
+        let pf = apps
+            .iter()
+            .find(|a| a.name() == "pathfinder")
+            .expect("registered");
+        let t = targets::a100();
+        let (serial, sr) = tuned_module_with(
+            pf.as_ref(),
+            &t,
+            Strategy::Combined,
+            &[1, 2],
+            &TuneOptions::serial(),
+        );
+        let (parallel, pr) = tuned_module_with(
+            pf.as_ref(),
+            &t,
+            Strategy::Combined,
+            &[1, 2],
+            &TuneOptions::with_parallelism(3),
+        );
+        let name = pf.main_kernel();
+        assert_eq!(
+            serial.function(name).unwrap().to_string(),
+            parallel.function(name).unwrap().to_string()
+        );
+        let (sr, pr) = (sr.expect("tunes"), pr.expect("tunes"));
+        assert_eq!(sr.best_config, pr.best_config);
+        assert_eq!(sr.best_seconds.to_bits(), pr.best_seconds.to_bits());
+    }
+
+    #[test]
+    fn tune_throughput_rows_are_json_clean() {
+        let rows = tune_throughput_data(Workload::Small, &[1, 2], 2);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.candidates > 0);
+            assert!(r.serial_seconds > 0.0 && r.parallel_seconds > 0.0);
+            assert!((0.0..=1.0).contains(&r.cache_hit_rate));
+        }
+        assert_json_lines(&jsonout::tune_throughput_lines(&rows), "tune_throughput");
     }
 }

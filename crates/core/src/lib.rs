@@ -61,7 +61,8 @@ pub use respec_opt::{CoarsenConfig, IndexingStyle};
 pub use respec_sim::{targets, GpuSim, KernelArg, LaunchReport, TargetDesc};
 pub use respec_trace::{Trace, TraceSummary};
 pub use respec_tune::{
-    candidate_configs, tune_kernel, tune_kernel_traced, Strategy, TuneResult, DEFAULT_TOTALS,
+    candidate_configs, tune_kernel, tune_kernel_pooled, tune_kernel_traced, Strategy, TuneOptions,
+    TuneResult, TuneStats, DEFAULT_TOTALS,
 };
 
 /// Top-level error type of the pipeline facade.
@@ -292,16 +293,107 @@ impl Compiled {
         run: impl FnMut(&Function, u32) -> Result<f64, respec_sim::SimError>,
     ) -> Result<TuneResult, Error> {
         let func = self.kernel(name).clone();
-        let launches = respec_ir::kernel::analyze_function(&func)
-            .map_err(|e| Error::Builder(e.to_string()))?;
+        let configs = self.candidate_configs_for(&func, strategy, totals)?;
+        let result = tune_kernel_traced(&func, &self.target, &configs, run, &self.trace)?;
+        self.module.add_function(result.best.clone());
+        Ok(result)
+    }
+
+    /// [`Compiled::autotune`] on the parallel tuning engine: candidates are
+    /// evaluated on a worker pool ([`TuneOptions::effective_parallelism`]
+    /// threads), with `make_runner` building one private measurement runner
+    /// per worker. The winner — identical at any worker count — replaces
+    /// the kernel in [`Compiled::module`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuning failures.
+    pub fn autotune_pooled<R, F>(
+        &mut self,
+        name: &str,
+        strategy: Strategy,
+        totals: &[i64],
+        options: &TuneOptions,
+        make_runner: F,
+    ) -> Result<TuneResult, Error>
+    where
+        R: FnMut(&Function, u32) -> Result<f64, respec_sim::SimError>,
+        F: Fn() -> R + Sync,
+    {
+        let func = self.kernel(name).clone();
+        let configs = self.candidate_configs_for(&func, strategy, totals)?;
+        let result = tune_kernel_pooled(
+            &func,
+            &self.target,
+            &configs,
+            options,
+            make_runner,
+            &self.trace,
+        )?;
+        self.module.add_function(result.best.clone());
+        Ok(result)
+    }
+
+    /// Autotunes several kernels concurrently: the worker budget is split
+    /// between kernels (outer) and candidates within each kernel (inner),
+    /// `make_runner(kernel_name)` builds each worker's private runner, and
+    /// winners are installed in the order `names` lists them. On failure
+    /// the first error in that order is returned and no kernel is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first tuning failure in `names` order.
+    pub fn autotune_all<R, F>(
+        &mut self,
+        names: &[&str],
+        strategy: Strategy,
+        totals: &[i64],
+        options: &TuneOptions,
+        make_runner: F,
+    ) -> Result<Vec<TuneResult>, Error>
+    where
+        R: FnMut(&Function, u32) -> Result<f64, respec_sim::SimError>,
+        F: Fn(&str) -> R + Sync,
+    {
+        let mut jobs = Vec::with_capacity(names.len());
+        for &name in names {
+            let func = self.kernel(name).clone();
+            let configs = self.candidate_configs_for(&func, strategy, totals)?;
+            jobs.push((name, func, configs));
+        }
+        let workers = options.effective_parallelism();
+        let outer = workers.min(jobs.len()).max(1);
+        let inner = TuneOptions::with_parallelism((workers / outer).max(1));
+        let target = &self.target;
+        let trace = &self.trace;
+        let results = respec_tune::pool::parallel_map(jobs.len(), outer, |i| {
+            let (name, func, configs) = &jobs[i];
+            tune_kernel_pooled(func, target, configs, &inner, || make_runner(name), trace)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for result in results {
+            out.push(result?);
+        }
+        for result in &out {
+            self.module.add_function(result.best.clone());
+        }
+        Ok(out)
+    }
+
+    /// Candidate set for a kernel's block shape under a strategy.
+    fn candidate_configs_for(
+        &self,
+        func: &Function,
+        strategy: Strategy,
+        totals: &[i64],
+    ) -> Result<Vec<CoarsenConfig>, Error> {
+        let launches =
+            respec_ir::kernel::analyze_function(func).map_err(|e| Error::Builder(e.to_string()))?;
         let block_dims = launches
             .first()
             .map(|l| l.block_dims.clone())
             .unwrap_or_else(|| vec![1, 1, 1]);
-        let configs = candidate_configs(strategy, totals, &block_dims);
-        let result = tune_kernel_traced(&func, &self.target, &configs, run, &self.trace)?;
-        self.module.add_function(result.best.clone());
-        Ok(result)
+        Ok(candidate_configs(strategy, totals, &block_dims))
     }
 }
 
@@ -552,5 +644,103 @@ mod tests {
         assert!(result.best_seconds > 0.0);
         // The module now holds the tuned version under the same name.
         assert!(compiled.module.function("axpy").is_some());
+    }
+
+    fn axpy_runner() -> impl FnMut(&Function, u32) -> Result<f64, respec_sim::SimError> {
+        |func: &Function, regs: u32| {
+            let mut sim = GpuSim::new(targets::a100());
+            let y = sim.mem.alloc_f32(&vec![1.0; 1024]);
+            let x = sim.mem.alloc_f32(&vec![2.0; 1024]);
+            let report = sim.launch(
+                func,
+                [8, 1, 1],
+                &[
+                    KernelArg::Buf(y),
+                    KernelArg::Buf(x),
+                    KernelArg::F32(1.0),
+                    KernelArg::I32(1024),
+                ],
+                regs,
+            )?;
+            Ok(report.kernel_seconds)
+        }
+    }
+
+    #[test]
+    fn pooled_autotune_matches_serial_facade() {
+        let compile = || {
+            Compiler::new()
+                .source(SRC)
+                .kernel("axpy", [128, 1, 1])
+                .target(targets::a100())
+                .compile()
+                .unwrap()
+        };
+        let mut serial = compile();
+        let s = serial
+            .autotune_pooled(
+                "axpy",
+                Strategy::Combined,
+                &[1, 2, 4],
+                &TuneOptions::serial(),
+                axpy_runner,
+            )
+            .unwrap();
+        let mut pooled = compile();
+        let p = pooled
+            .autotune_pooled(
+                "axpy",
+                Strategy::Combined,
+                &[1, 2, 4],
+                &TuneOptions::with_parallelism(3),
+                axpy_runner,
+            )
+            .unwrap();
+        assert_eq!(s.best_config, p.best_config);
+        assert_eq!(s.best_seconds.to_bits(), p.best_seconds.to_bits());
+        assert_eq!(s.best.to_string(), p.best.to_string());
+        assert_eq!(
+            serial.module.function("axpy").unwrap().to_string(),
+            pooled.module.function("axpy").unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn autotune_all_tunes_every_kernel() {
+        let two = r#"
+            __global__ void axpy(float* y, float* x, float a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) y[i] = y[i] + a * x[i];
+            }
+            __global__ void scale(float* y, float* x, float a, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) y[i] = x[i] * a;
+            }
+        "#;
+        let mut compiled = Compiler::new()
+            .source(two)
+            .kernel("axpy", [128, 1, 1])
+            .kernel("scale", [128, 1, 1])
+            .target(targets::a100())
+            .compile()
+            .unwrap();
+        let results = compiled
+            .autotune_all(
+                &["axpy", "scale"],
+                Strategy::Combined,
+                &[1, 2],
+                &TuneOptions::with_parallelism(2),
+                |_name| axpy_runner(),
+            )
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        for (result, name) in results.iter().zip(["axpy", "scale"]) {
+            assert!(result.best_seconds > 0.0);
+            assert_eq!(result.best.name(), name);
+            assert_eq!(
+                compiled.module.function(name).unwrap().to_string(),
+                result.best.to_string()
+            );
+        }
     }
 }

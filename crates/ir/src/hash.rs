@@ -1,0 +1,103 @@
+//! Structural content hashing for functions.
+//!
+//! The autotuner multi-versions a kernel over many coarsening
+//! configurations; distinct configurations frequently canonicalize to the
+//! same IR after cleanup (a factor of 1 in a dimension of extent 1, two
+//! splits of the same total that collapse identically, …). A cheap content
+//! hash lets the tuner detect such duplicates and compile/measure each
+//! unique version exactly once.
+//!
+//! The hash streams the canonical printed form (see [`crate::print`])
+//! through FNV-1a without materializing the text. Because the printer
+//! renumbers values densely in order of first definition, the hash is
+//! invariant to arena layout: two functions that print identically — even
+//! if their internal value/op ids differ after independent transform
+//! histories — hash identically. Collisions are possible in principle
+//! (64-bit FNV) but the tuner only ever compares versions of *one* kernel,
+//! where the candidate count is tiny.
+
+use std::fmt::{self, Write};
+
+use crate::Function;
+
+/// Streaming FNV-1a 64-bit hasher fed by the IR printer.
+struct HashWriter {
+    state: u64,
+}
+
+impl Write for HashWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Hashes a function's canonical printed form.
+///
+/// Two functions hash equal iff their [`Display`](std::fmt::Display)
+/// renderings are byte-identical, independent of internal arena ids.
+pub fn structural_hash(func: &Function) -> u64 {
+    let mut w = HashWriter {
+        state: 0xcbf2_9ce4_8422_2325,
+    };
+    write!(w, "{func}").expect("hash writer is infallible");
+    w.state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_function;
+
+    const KERNEL: &str = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %v = load %m[%i] : f32
+      %d = add %v, %v : f32
+      store %d, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    #[test]
+    fn identical_functions_hash_equal() {
+        let a = parse_function(KERNEL).unwrap();
+        let b = parse_function(KERNEL).unwrap();
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+        assert_eq!(structural_hash(&a), structural_hash(&a.clone()));
+    }
+
+    #[test]
+    fn hash_matches_printed_form_equality() {
+        let a = parse_function(KERNEL).unwrap();
+        // Re-parsing the printed form renumbers the arena from scratch; the
+        // hash must not see the difference.
+        let b = parse_function(&a.to_string()).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn different_bodies_hash_differently() {
+        let a = parse_function(KERNEL).unwrap();
+        let b = parse_function(&KERNEL.replace("add %v, %v", "mul %v, %v")).unwrap();
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn name_participates_in_the_hash() {
+        let a = parse_function(KERNEL).unwrap();
+        let b = parse_function(&KERNEL.replace("@k", "@k2")).unwrap();
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+}

@@ -52,6 +52,7 @@
 
 mod builder;
 mod func;
+mod hash;
 mod ids;
 pub mod kernel;
 mod ops;
@@ -63,8 +64,20 @@ pub mod walk;
 
 pub use builder::FuncBuilder;
 pub use func::{Function, Module, Region};
+pub use hash::structural_hash;
 pub use ids::{OpId, RegionId, Value};
 pub use ops::{BinOp, CmpPred, MemSpace, OpKind, Operation, ParLevel, UnOp};
 pub use parse::{parse_function, parse_module, ParseError};
 pub use types::{MemRefType, ScalarType, Type};
 pub use verify::{verify_function, verify_module, VerifyError};
+
+// The autotuner evaluates candidate kernel versions on worker threads; the
+// arena IR must stay plain (`Send + Sync`) data. Compile-time check so a
+// future `Rc`/`RefCell` sneaking in fails here, not at a distant use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Function>();
+    assert_send_sync::<Module>();
+    assert_send_sync::<Region>();
+    assert_send_sync::<Operation>();
+};

@@ -47,7 +47,11 @@ impl From<SimError> for AppError {
 }
 
 /// One Rodinia-equivalent application.
-pub trait App {
+///
+/// `Send + Sync` is a supertrait so the tuning engine's worker threads can
+/// share an `&dyn App` while measuring candidate kernel versions; apps hold
+/// only immutable configuration, so this costs implementations nothing.
+pub trait App: Send + Sync {
     /// Benchmark name (matches the paper's figures, e.g. `"lud"`).
     fn name(&self) -> &'static str;
 

@@ -162,3 +162,45 @@ fn span_close_is_equivalent_to_drop() {
     assert_eq!(trace.len(), 1);
     assert_eq!(trace.events()[0].kind, EventKind::Span);
 }
+
+#[test]
+fn scoped_worker_threads_record_every_event_with_distinct_tids() {
+    // The tuning engine records backend/measure spans from scoped pool
+    // workers while the main thread holds the tune span: all events must
+    // land in the shared buffer, tagged with their recording thread.
+    let trace = Trace::new();
+    let outer = trace.span("tune", "tune:pool");
+    thread::scope(|scope| {
+        for w in 0..4 {
+            let t = trace.clone();
+            scope.spawn(move || {
+                for i in 0..8 {
+                    let mut s = t.span("tune", "backend");
+                    s.record("worker", w as i64);
+                    s.record("item", i as i64);
+                    drop(s);
+                    t.instant("tune", "candidate", &[("worker".into(), (w as i64).into())]);
+                }
+            });
+        }
+    });
+    drop(outer);
+    let events = trace.events();
+    assert_eq!(
+        events.iter().filter(|e| e.name == "backend").count(),
+        32,
+        "no worker event is lost"
+    );
+    assert_eq!(events.iter().filter(|e| e.name == "candidate").count(), 32);
+    assert_eq!(events.iter().filter(|e| e.name == "tune:pool").count(), 1);
+    let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
+    assert!(
+        tids.len() >= 2,
+        "worker threads get their own tids (got {tids:?})"
+    );
+    // The exporters stay valid on a multi-threaded stream.
+    json::validate(&trace.chrome_trace()).unwrap();
+    for line in trace.json_lines().lines() {
+        json::validate(line).unwrap();
+    }
+}

@@ -1,0 +1,415 @@
+//! The two-phase tuning engine behind every `tune_kernel*` entry point.
+//!
+//! Phase 1 (*prepare*, parallel over configurations): clone the kernel,
+//! coarsen it (decision point 1 — legality), run the cleanup pipeline, and
+//! prune on static shared memory (decision point 2). Surviving versions are
+//! content-hashed ([`respec_ir::structural_hash`]).
+//!
+//! Between the phases the surviving candidates are grouped by IR hash:
+//! distinct configurations that canonicalized to byte-identical IR form one
+//! *group* whose representative — the member with the lowest candidate
+//! index — is the only one that is backend-compiled and measured. Every
+//! other member is a **cache hit** and shares the representative's backend
+//! report and timing.
+//!
+//! Phase 2 (*evaluate*, parallel over groups): backend-compile the version
+//! (decision point 3 — register/spill pruning) and, where a member is
+//! eligible, run the measurement (decision point 4 — TDO). Each worker
+//! builds its own runner from the caller's factory, so simulators are never
+//! shared across threads.
+//!
+//! The join step walks candidates **in generation order** to emit decision
+//! events and select the winner (strictly-smaller time wins; ties keep the
+//! earlier candidate). Because grouping is a pure function of the prepared
+//! IR and both phases produce per-index results independent of scheduling,
+//! serial and parallel runs select byte-identical winners with bit-identical
+//! times and identical decision logs — the contract the determinism proptest
+//! enforces.
+
+use std::collections::HashMap;
+
+use respec_backend::{compile_launch, BackendReport};
+use respec_ir::kernel::{analyze_function, Launch};
+use respec_ir::{structural_hash, Function};
+use respec_opt::{coarsen_function, optimize_traced, CoarsenConfig};
+use respec_sim::{SimError, TargetDesc};
+use respec_trace::Trace;
+
+use crate::pool::parallel_map;
+use crate::{candidate_metrics, Candidate, PruneReason, TuneError, TuneResult, TuneStats};
+
+/// Phase-1 outcome for one candidate configuration.
+pub(crate) enum Prep {
+    /// Eliminated at decision point 1 or 2.
+    Pruned {
+        reason: PruneReason,
+        shared_bytes: u64,
+    },
+    /// Coarsened + optimized and within the shared-memory budget.
+    Ready(Box<PreparedVersion>),
+}
+
+/// A candidate version that survived the compile-side decision points.
+pub(crate) struct PreparedVersion {
+    version: Function,
+    launches: Vec<Launch>,
+    shared_bytes: u64,
+    ir_hash: u64,
+}
+
+/// Runs decision points 1–2 for one configuration.
+pub(crate) fn prepare(
+    func: &Function,
+    config: CoarsenConfig,
+    target: &TargetDesc,
+    trace: &Trace,
+) -> Prep {
+    let mut version = func.clone();
+    if let Err(e) = coarsen_function(&mut version, config) {
+        return Prep::Pruned {
+            reason: PruneReason::Illegal(e.message),
+            shared_bytes: 0,
+        };
+    }
+    optimize_traced(&mut version, trace);
+    let launches = match analyze_function(&version) {
+        Ok(l) => l,
+        Err(e) => {
+            return Prep::Pruned {
+                reason: PruneReason::Illegal(e.message),
+                shared_bytes: 0,
+            }
+        }
+    };
+    let shared: u64 = launches
+        .iter()
+        .map(|l| l.shared_bytes(&version))
+        .max()
+        .unwrap_or(0);
+    if shared > target.shared_per_block {
+        return Prep::Pruned {
+            reason: PruneReason::SharedMemory {
+                bytes: shared,
+                limit: target.shared_per_block,
+            },
+            shared_bytes: shared,
+        };
+    }
+    let ir_hash = structural_hash(&version);
+    Prep::Ready(Box::new(PreparedVersion {
+        version,
+        launches,
+        shared_bytes: shared,
+        ir_hash,
+    }))
+}
+
+/// One set of candidates whose prepared versions are byte-identical IR.
+pub(crate) struct Group {
+    /// Lowest candidate index in the group; its prepared version stands in
+    /// for every member.
+    rep: usize,
+    /// Whether any member is the identity configuration (identity is exempt
+    /// from spill pruning so a baseline always gets measured).
+    has_identity: bool,
+}
+
+/// Deterministic grouping of phase-1 survivors by IR hash.
+pub(crate) struct GroupPlan {
+    groups: Vec<Group>,
+    /// Candidate index → group index, for survivors only.
+    group_of: HashMap<usize, usize>,
+}
+
+pub(crate) fn plan_groups(configs: &[CoarsenConfig], preps: &[Prep]) -> GroupPlan {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut by_hash: HashMap<u64, usize> = HashMap::new();
+    let mut group_of = HashMap::new();
+    for (i, prep) in preps.iter().enumerate() {
+        if let Prep::Ready(p) = prep {
+            let gi = *by_hash.entry(p.ir_hash).or_insert_with(|| {
+                groups.push(Group {
+                    rep: i,
+                    has_identity: false,
+                });
+                groups.len() - 1
+            });
+            groups[gi].has_identity |= configs[i].is_identity();
+            group_of.insert(i, gi);
+        }
+    }
+    GroupPlan { groups, group_of }
+}
+
+/// Phase-2 outcome for one group: backend feedback plus, where eligible,
+/// the shared measurement.
+pub(crate) struct GroupEval {
+    /// The report of the launch that governed the spill decision (highest
+    /// spill count, then highest register demand).
+    backend: Option<BackendReport>,
+    worst_regs: u32,
+    spill_units: u32,
+    launch_regs: u32,
+    /// `None` when every member is spill-pruned, otherwise the measurement
+    /// (`Err` carries the runner's failure message).
+    measured: Option<Result<f64, String>>,
+}
+
+/// Runs decision points 3–4 for one group's representative version.
+pub(crate) fn evaluate_group(
+    group: &Group,
+    preps: &[Prep],
+    target: &TargetDesc,
+    trace: &Trace,
+    run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+) -> GroupEval {
+    let p = match &preps[group.rep] {
+        Prep::Ready(p) => p,
+        Prep::Pruned { .. } => unreachable!("groups are formed from survivors only"),
+    };
+    let mut worst_regs = 0u32;
+    let mut spill_units = 0u32;
+    let mut governing: Option<(u32, u32, BackendReport)> = None;
+    {
+        let mut span = trace.span("tune", "backend");
+        for l in &p.launches {
+            let r = compile_launch(&p.version, l, target.max_regs_per_thread);
+            let demand = r.regs_per_thread + r.spill_units;
+            let key = (r.spill_units, demand);
+            if governing.as_ref().is_none_or(|(s, d, _)| key > (*s, *d)) {
+                governing = Some((r.spill_units, demand, r.clone()));
+            }
+            worst_regs = worst_regs.max(demand);
+            spill_units = spill_units.max(r.spill_units);
+        }
+        span.record("launches", p.launches.len());
+        span.record("reg_demand", worst_regs);
+        span.record("spill_units", spill_units);
+    }
+    let launch_regs = worst_regs.min(target.max_regs_per_thread);
+    // A group is measured iff at least one member survives spill pruning:
+    // spill-free versions always do, spilling versions only when the group
+    // contains the identity configuration.
+    let measured = if spill_units == 0 || group.has_identity {
+        let mut span = trace.span("tune", "measure");
+        let res = run(&p.version, launch_regs);
+        if let Ok(s) = &res {
+            span.record("seconds", *s);
+        }
+        Some(res.map_err(|e| e.message))
+    } else {
+        None
+    };
+    GroupEval {
+        backend: governing.map(|(_, _, r)| r),
+        worst_regs,
+        spill_units,
+        launch_regs,
+        measured,
+    }
+}
+
+/// Joins both phases in candidate generation order: builds the decision
+/// log, emits one `candidate` trace event per configuration, selects the
+/// winner, and records the search summary on the `tune:<kernel>` span.
+pub(crate) fn finalize(
+    func_name: &str,
+    configs: &[CoarsenConfig],
+    preps: Vec<Prep>,
+    plan: GroupPlan,
+    evals: Vec<GroupEval>,
+    parallelism: usize,
+    trace: &Trace,
+) -> Result<TuneResult, TuneError> {
+    let mut tune_span = trace.span("tune", format!("tune:{func_name}"));
+    tune_span.record("candidates", configs.len());
+
+    let mut candidates = Vec::with_capacity(configs.len());
+    let mut best: Option<(usize, f64)> = None;
+    let mut runner_calls_credited = vec![false; evals.len()];
+    let mut runner_calls = 0usize;
+
+    for (i, (&config, prep)) in configs.iter().zip(&preps).enumerate() {
+        let mut candidate = Candidate {
+            config,
+            backend: None,
+            shared_bytes: 0,
+            seconds: None,
+            pruned: None,
+            cache_hit: false,
+        };
+        let mut launch_regs = None;
+        match prep {
+            Prep::Pruned {
+                reason,
+                shared_bytes,
+            } => {
+                candidate.shared_bytes = *shared_bytes;
+                candidate.pruned = Some(reason.clone());
+            }
+            Prep::Ready(p) => {
+                candidate.shared_bytes = p.shared_bytes;
+                let gi = plan.group_of[&i];
+                let group = &plan.groups[gi];
+                let eval = &evals[gi];
+                candidate.cache_hit = group.rep != i;
+                candidate.backend = eval.backend.clone();
+                if eval.spill_units > 0 && !config.is_identity() {
+                    candidate.pruned = Some(PruneReason::Spill {
+                        regs: eval.worst_regs,
+                        spill_units: eval.spill_units,
+                    });
+                } else {
+                    launch_regs = Some(eval.launch_regs);
+                    if !runner_calls_credited[gi] {
+                        runner_calls_credited[gi] = true;
+                        runner_calls += 1;
+                    }
+                    match eval
+                        .measured
+                        .as_ref()
+                        .expect("eligible members imply the group was measured")
+                    {
+                        Ok(seconds) if seconds.is_finite() => {
+                            candidate.seconds = Some(*seconds);
+                            // Strictly-smaller wins; ties keep the earliest
+                            // candidate, so selection is order-independent.
+                            if best.is_none_or(|(_, t)| *seconds < t) {
+                                best = Some((i, *seconds));
+                            }
+                        }
+                        Ok(seconds) => {
+                            // NaN/±inf timings must never become (or shadow)
+                            // an incumbent: treat them as failed runs.
+                            candidate.pruned = Some(PruneReason::RunFailed(format!(
+                                "non-finite measured time ({seconds})"
+                            )));
+                        }
+                        Err(message) => {
+                            candidate.pruned = Some(PruneReason::RunFailed(message.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        trace.instant(
+            "tune",
+            "candidate",
+            &candidate_metrics(&candidate, launch_regs),
+        );
+        candidates.push(candidate);
+    }
+
+    let measured = candidates.iter().filter(|c| c.seconds.is_some()).count();
+    let pruned = candidates.iter().filter(|c| c.pruned.is_some()).count();
+    let cache_hits = candidates.iter().filter(|c| c.cache_hit).count();
+    let stats = TuneStats {
+        cache_hits,
+        cache_misses: plan.groups.len(),
+        runner_calls,
+        measured,
+        pruned,
+        parallelism,
+    };
+    trace.counter("tune", "cache_hits", cache_hits);
+    trace.counter("tune", "cache_misses", plan.groups.len());
+
+    match best {
+        Some((wi, best_seconds)) => {
+            let best_config = configs[wi];
+            let gi = plan.group_of[&wi];
+            let best_regs = evals[gi].launch_regs;
+            let best_func = match &preps[plan.groups[gi].rep] {
+                Prep::Ready(p) => p.version.clone(),
+                Prep::Pruned { .. } => unreachable!("winner survived phase 1"),
+            };
+            trace.instant(
+                "tune",
+                "winner",
+                &[
+                    ("config".into(), best_config.to_string().into()),
+                    ("seconds".into(), best_seconds.into()),
+                    ("regs".into(), best_regs.into()),
+                ],
+            );
+            tune_span.record("winner", best_config.to_string());
+            tune_span.record("best_seconds", best_seconds);
+            tune_span.record("measured", measured);
+            tune_span.record("pruned", pruned);
+            tune_span.record("cache_hits", cache_hits);
+            tune_span.record("unique_versions", plan.groups.len());
+            tune_span.record("parallelism", parallelism);
+            Ok(TuneResult {
+                best: best_func,
+                best_config,
+                best_seconds,
+                best_regs,
+                candidates,
+                stats,
+            })
+        }
+        None => {
+            tune_span.record("winner", "none");
+            Err(TuneError {
+                message: "no candidate configuration survived pruning and measurement".into(),
+            })
+        }
+    }
+}
+
+/// Serial driver: one runner, everything on the calling thread.
+pub(crate) fn tune_serial(
+    func: &Function,
+    target: &TargetDesc,
+    configs: &[CoarsenConfig],
+    run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+    trace: &Trace,
+) -> Result<TuneResult, TuneError> {
+    let preps: Vec<Prep> = configs
+        .iter()
+        .map(|&c| prepare(func, c, target, trace))
+        .collect();
+    let plan = plan_groups(configs, &preps);
+    let evals: Vec<GroupEval> = plan
+        .groups
+        .iter()
+        .map(|g| evaluate_group(g, &preps, target, trace, run))
+        .collect();
+    finalize(func.name(), configs, preps, plan, evals, 1, trace)
+}
+
+/// Parallel driver: `workers` threads, one runner per worker built from
+/// `make_runner`.
+pub(crate) fn tune_parallel<R, F>(
+    func: &Function,
+    target: &TargetDesc,
+    configs: &[CoarsenConfig],
+    workers: usize,
+    make_runner: &F,
+    trace: &Trace,
+) -> Result<TuneResult, TuneError>
+where
+    R: FnMut(&Function, u32) -> Result<f64, SimError>,
+    F: Fn() -> R + Sync,
+{
+    let preps: Vec<Prep> = parallel_map(configs.len(), workers, |i| {
+        prepare(func, configs[i], target, trace)
+    });
+    let plan = plan_groups(configs, &preps);
+    let evals: Vec<GroupEval> =
+        crate::pool::parallel_map_with(plan.groups.len(), workers, make_runner, |run, i| {
+            evaluate_group(&plan.groups[i], &preps, target, trace, run)
+        });
+    finalize(func.name(), configs, preps, plan, evals, workers, trace)
+}
+
+// The engine shares `&Function`, `&TargetDesc` and prepared versions across
+// scoped threads and moves backend reports back; keep the contract explicit.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Function>();
+    assert_send_sync::<TargetDesc>();
+    assert_send_sync::<BackendReport>();
+    assert_send_sync::<Launch>();
+    assert_send_sync::<Trace>();
+};

@@ -14,15 +14,41 @@
 //! 4. **Timing-driven optimization** — surviving versions are run (on the
 //!    simulator, standing in for the paper's profiling mode) and the fastest
 //!    is selected.
+//!
+//! # The tuning engine
+//!
+//! Candidate evaluation is embarrassingly parallel, and the search is the
+//! hot loop of per-target respecialization, so the engine (see [`engine`]
+//! internals) works in two concurrent phases over a zero-dependency scoped
+//! worker pool ([`pool`]):
+//!
+//! * **Prepare** — coarsen + optimize every configuration, prune on
+//!   legality and shared memory, and content-hash the resulting IR
+//!   ([`respec_ir::structural_hash`]).
+//! * **Evaluate** — group candidates whose IR canonicalized identically;
+//!   backend-compile and measure *one representative per group*. The other
+//!   members are cache hits: they share the representative's backend report
+//!   and timing without paying for compilation or a simulator run.
+//!
+//! **Determinism contract:** results are joined in candidate generation
+//! order with strictly-smaller-time selection (ties keep the earlier
+//! candidate), so serial ([`TuneOptions::serial`]) and parallel runs select
+//! byte-identical winners, bit-identical `best_seconds`, and identical
+//! decision logs. A property test (`tests/determinism.rs`) enforces this in
+//! CI. The contract assumes the measurement runner itself is deterministic
+//! per (version, regs) — true for [`respec_sim::GpuSim`]-backed runners.
 
+use std::collections::HashSet;
 use std::fmt;
 
-use respec_backend::{compile_launch, BackendReport};
-use respec_ir::kernel::analyze_function;
+use respec_backend::BackendReport;
 use respec_ir::Function;
-use respec_opt::{coarsen_function, optimize_traced, split_total, CoarsenConfig};
+use respec_opt::{split_total, CoarsenConfig};
 use respec_sim::{SimError, TargetDesc};
 use respec_trace::{MetricValue, Trace};
+
+mod engine;
+pub mod pool;
 
 /// Which coarsening strategy generates the candidate set (the paper's
 /// Fig. 13 axes).
@@ -78,7 +104,7 @@ pub enum PruneReason {
     /// The backend predicts register spilling (decision point 3).
     Spill { regs: u32, spill_units: u32 },
     /// The measurement run failed (e.g. out-of-bounds after an unsound
-    /// user-requested configuration).
+    /// user-requested configuration), or produced a non-finite time.
     RunFailed(String),
 }
 
@@ -108,7 +134,8 @@ impl fmt::Display for PruneReason {
 pub struct Candidate {
     /// The configuration.
     pub config: CoarsenConfig,
-    /// Backend feedback (present once the candidate passed shmem pruning).
+    /// Backend feedback (present once the candidate passed shmem pruning):
+    /// the report of the launch that governed the spill decision.
     pub backend: Option<BackendReport>,
     /// Static shared memory per block.
     pub shared_bytes: u64,
@@ -116,6 +143,95 @@ pub struct Candidate {
     pub seconds: Option<f64>,
     /// Why the candidate was pruned, if it was.
     pub pruned: Option<PruneReason>,
+    /// Whether this candidate's coarsened + optimized IR was byte-identical
+    /// to an earlier candidate's, so backend compilation and measurement
+    /// were skipped and the timing shared.
+    pub cache_hit: bool,
+}
+
+/// Counters describing one tuning run (cache behavior, work performed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Candidates that reused another candidate's compiled version.
+    pub cache_hits: usize,
+    /// Unique IR versions that reached backend compilation (= compilation
+    /// cache misses).
+    pub cache_misses: usize,
+    /// Measurement-runner invocations actually performed.
+    pub runner_calls: usize,
+    /// Candidates with a recorded time.
+    pub measured: usize,
+    /// Candidates eliminated at any decision point.
+    pub pruned: usize,
+    /// Worker threads the engine ran with.
+    pub parallelism: usize,
+}
+
+impl TuneStats {
+    /// Fraction of phase-1 survivors served from the compilation cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Tuning-engine knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Worker threads for candidate evaluation. `0` means one per available
+    /// core ([`std::thread::available_parallelism`]); `1` runs everything
+    /// inline on the calling thread.
+    pub parallelism: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> TuneOptions {
+        TuneOptions::auto()
+    }
+}
+
+impl TuneOptions {
+    /// One worker per available core.
+    pub fn auto() -> TuneOptions {
+        TuneOptions { parallelism: 0 }
+    }
+
+    /// Strictly serial evaluation on the calling thread.
+    pub fn serial() -> TuneOptions {
+        TuneOptions { parallelism: 1 }
+    }
+
+    /// A fixed worker count.
+    pub fn with_parallelism(parallelism: usize) -> TuneOptions {
+        TuneOptions { parallelism }
+    }
+
+    /// Reads `RESPEC_TUNE_PARALLELISM` (worker count, `0` = auto); defaults
+    /// to [`TuneOptions::auto`] when unset or unparsable.
+    pub fn from_env() -> TuneOptions {
+        match std::env::var("RESPEC_TUNE_PARALLELISM")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) => TuneOptions { parallelism: n },
+            None => TuneOptions::auto(),
+        }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_parallelism(&self) -> usize {
+        if self.parallelism > 0 {
+            self.parallelism
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
 }
 
 /// Result of tuning one kernel.
@@ -131,6 +247,8 @@ pub struct TuneResult {
     pub best_regs: u32,
     /// Every candidate with its outcome, in generation order.
     pub candidates: Vec<Candidate>,
+    /// Engine counters: cache behavior, runner calls, worker count.
+    pub stats: TuneStats,
 }
 
 impl TuneResult {
@@ -185,8 +303,9 @@ pub fn candidate_configs(
     let block_factor = |b: i64| split_total(b, &grid_dims, false);
 
     let mut out = vec![CoarsenConfig::identity()];
+    let mut seen: HashSet<CoarsenConfig> = out.iter().copied().collect();
     let mut push = |cfg: CoarsenConfig| {
-        if !out.contains(&cfg) {
+        if seen.insert(cfg) {
             out.push(cfg);
         }
     };
@@ -227,13 +346,15 @@ pub fn candidate_configs(
     out
 }
 
-/// Tunes one kernel: applies each configuration to a clone, prunes by
-/// shared memory and spills, measures survivors with `run`, and returns the
-/// fastest version.
+/// Tunes one kernel serially: applies each configuration to a clone, prunes
+/// by shared memory and spills, measures unique survivors with `run`, and
+/// returns the fastest version.
 ///
 /// `run` receives a fully coarsened + optimized kernel and its register
 /// estimate, and must return the measured time in seconds (typically by
 /// launching it on a [`respec_sim::GpuSim`] with the application workload).
+/// For parallel evaluation use [`tune_kernel_pooled`], which takes a runner
+/// *factory* so every worker gets its own simulator.
 ///
 /// # Errors
 ///
@@ -254,6 +375,7 @@ fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, M
         ("config".into(), candidate.config.to_string().into()),
         ("shared_bytes".into(), candidate.shared_bytes.into()),
         ("pruned".into(), candidate.pruned.is_some().into()),
+        ("cache_hit".into(), candidate.cache_hit.into()),
     ];
     let stage = match &candidate.pruned {
         Some(PruneReason::Illegal(_)) => "legality",
@@ -293,9 +415,12 @@ fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, M
 /// `tune:<kernel>` span, every candidate records one `candidate` event
 /// carrying its configuration, the decision point that eliminated it and
 /// why (shared memory over budget, predicted spilling, illegal coarsening,
-/// failed measurement) or its measured time, and the selected version is
-/// recorded as a `winner` event. Cleanup passes run on each candidate under
-/// the same trace, so per-pass spans nest inside the tuning timeline.
+/// failed measurement) or its measured time plus whether it was served from
+/// the compilation cache, and the selected version is recorded as a
+/// `winner` event. Cleanup passes run on each candidate under the same
+/// trace, so per-pass spans nest inside the tuning timeline; each unique IR
+/// version additionally records a `backend` span (register estimation) and,
+/// when eligible, a `measure` span around its runner invocation.
 pub fn tune_kernel_traced(
     func: &Function,
     target: &TargetDesc,
@@ -303,134 +428,42 @@ pub fn tune_kernel_traced(
     mut run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
 ) -> Result<TuneResult, TuneError> {
-    let mut tune_span = trace.span("tune", format!("tune:{}", func.name()));
-    tune_span.record("candidates", configs.len());
+    engine::tune_serial(func, target, configs, &mut run, trace)
+}
 
-    let mut candidates = Vec::with_capacity(configs.len());
-    let mut best: Option<(Function, CoarsenConfig, f64, u32)> = None;
-
-    for &config in configs {
-        let mut version = func.clone();
-        let mut candidate = Candidate {
-            config,
-            backend: None,
-            shared_bytes: 0,
-            seconds: None,
-            pruned: None,
-        };
-        let mut launch_regs = None;
-        // Decision point 1: legality (barrier duplication, non-divisor
-        // factors) surfaces as a coarsening error.
-        'eval: {
-            if let Err(e) = coarsen_function(&mut version, config) {
-                candidate.pruned = Some(PruneReason::Illegal(e.message));
-                break 'eval;
-            }
-            optimize_traced(&mut version, trace);
-
-            // Decision point 2: early shared-memory pruning.
-            let launches = match analyze_function(&version) {
-                Ok(l) => l,
-                Err(e) => {
-                    candidate.pruned = Some(PruneReason::Illegal(e.message));
-                    break 'eval;
-                }
-            };
-            let shared: u64 = launches
-                .iter()
-                .map(|l| l.shared_bytes(&version))
-                .max()
-                .unwrap_or(0);
-            candidate.shared_bytes = shared;
-            if shared > target.shared_per_block {
-                candidate.pruned = Some(PruneReason::SharedMemory {
-                    bytes: shared,
-                    limit: target.shared_per_block,
-                });
-                break 'eval;
-            }
-
-            // Decision point 3: register/spill pruning (worst launch governs).
-            let mut worst_regs = 0u32;
-            let mut spill_units = 0u32;
-            let mut report = None;
-            for l in &launches {
-                let r = compile_launch(&version, l, target.max_regs_per_thread);
-                worst_regs = worst_regs.max(r.regs_per_thread + r.spill_units);
-                spill_units = spill_units.max(r.spill_units);
-                report = Some(r);
-            }
-            candidate.backend = report;
-            if spill_units > 0 && !config.is_identity() {
-                candidate.pruned = Some(PruneReason::Spill {
-                    regs: worst_regs,
-                    spill_units,
-                });
-                break 'eval;
-            }
-            let regs = worst_regs.min(target.max_regs_per_thread);
-            launch_regs = Some(regs);
-
-            // Decision point 4: timing-driven optimization.
-            match run(&version, regs) {
-                Ok(seconds) => {
-                    candidate.seconds = Some(seconds);
-                    let better = match &best {
-                        None => true,
-                        Some((_, _, t, _)) => seconds < *t,
-                    };
-                    if better {
-                        best = Some((version, config, seconds, regs));
-                    }
-                }
-                Err(e) => {
-                    candidate.pruned = Some(PruneReason::RunFailed(e.message));
-                }
-            }
-        }
-        trace.instant(
-            "tune",
-            "candidate",
-            &candidate_metrics(&candidate, launch_regs),
-        );
-        candidates.push(candidate);
-    }
-
-    match best {
-        Some((best_func, best_config, best_seconds, best_regs)) => {
-            trace.instant(
-                "tune",
-                "winner",
-                &[
-                    ("config".into(), best_config.to_string().into()),
-                    ("seconds".into(), best_seconds.into()),
-                    ("regs".into(), best_regs.into()),
-                ],
-            );
-            tune_span.record("winner", best_config.to_string());
-            tune_span.record("best_seconds", best_seconds);
-            tune_span.record(
-                "measured",
-                candidates.iter().filter(|c| c.seconds.is_some()).count(),
-            );
-            tune_span.record(
-                "pruned",
-                candidates.iter().filter(|c| c.pruned.is_some()).count(),
-            );
-            Ok(TuneResult {
-                best: best_func,
-                best_config,
-                best_seconds,
-                best_regs,
-                candidates,
-            })
-        }
-        None => {
-            tune_span.record("winner", "none");
-            Err(TuneError {
-                message: "no candidate configuration survived pruning and measurement".into(),
-            })
-        }
+/// Parallel timing-driven optimization on a scoped worker pool.
+///
+/// `make_runner` is invoked once per worker thread to build that worker's
+/// private measurement runner (each typically owning its own
+/// [`respec_sim::GpuSim`]); runners never cross threads, so they need no
+/// synchronization. The worker count comes from
+/// [`TuneOptions::effective_parallelism`]; with `parallelism == 1` the
+/// engine runs inline on the calling thread and spawns nothing.
+///
+/// The result — winner, timing, decision log — is **identical at any
+/// worker count** (see the determinism contract in the crate docs).
+///
+/// # Errors
+///
+/// Returns a [`TuneError`] if no candidate survives measurement.
+pub fn tune_kernel_pooled<R, F>(
+    func: &Function,
+    target: &TargetDesc,
+    configs: &[CoarsenConfig],
+    options: &TuneOptions,
+    make_runner: F,
+    trace: &Trace,
+) -> Result<TuneResult, TuneError>
+where
+    R: FnMut(&Function, u32) -> Result<f64, SimError>,
+    F: Fn() -> R + Sync,
+{
+    let workers = options.effective_parallelism();
+    if workers <= 1 {
+        let mut run = make_runner();
+        engine::tune_serial(func, target, configs, &mut run, trace)
+    } else {
+        engine::tune_parallel(func, target, configs, workers, &make_runner, trace)
     }
 }
 
@@ -442,6 +475,7 @@ mod tests {
     use super::*;
     use respec_ir::parse_function;
     use respec_sim::{targets, GpuSim, KernelArg};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     const KERNEL: &str =
         "func @scale(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
@@ -461,6 +495,14 @@ mod tests {
   return
 }";
 
+    fn scale_runner(version: &Function, regs: u32) -> Result<f64, respec_sim::SimError> {
+        let n = 64 * 64;
+        let mut sim = GpuSim::new(targets::a100());
+        let buf = sim.mem.alloc_f32(&vec![1.0; n]);
+        let report = sim.launch(version, [64, 1, 1], &[KernelArg::Buf(buf)], regs)?;
+        Ok(report.kernel_seconds)
+    }
+
     #[test]
     fn candidate_generation_covers_strategies() {
         let thread_only = candidate_configs(Strategy::ThreadOnly, &DEFAULT_TOTALS, &[64, 1, 1]);
@@ -473,6 +515,14 @@ mod tests {
         assert!(combined
             .iter()
             .any(|c| c.block_total() > 1 && c.thread_total() > 1));
+    }
+
+    #[test]
+    fn candidate_generation_is_duplicate_free() {
+        let combined = candidate_configs(Strategy::Combined, &DEFAULT_TOTALS, &[16, 16, 1]);
+        let unique: HashSet<CoarsenConfig> = combined.iter().copied().collect();
+        assert_eq!(unique.len(), combined.len());
+        assert_eq!(combined[0], CoarsenConfig::identity());
     }
 
     #[test]
@@ -502,6 +552,8 @@ mod tests {
         assert!(result.best_seconds > 0.0);
         assert!(result.candidates.iter().any(|c| c.seconds.is_some()));
         assert!(result.speedup_vs_identity().is_some());
+        assert_eq!(result.stats.parallelism, 1);
+        assert!(result.stats.cache_misses > 0);
     }
 
     #[test]
@@ -554,6 +606,129 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_configs_share_one_compilation_and_measurement() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        // Three copies of the identity and two of a thread-2 config: the
+        // engine must compile and measure each unique IR exactly once.
+        let dup = CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [2, 1, 1],
+        };
+        let configs = vec![
+            CoarsenConfig::identity(),
+            dup,
+            CoarsenConfig::identity(),
+            dup,
+            CoarsenConfig::identity(),
+        ];
+        let calls = AtomicUsize::new(0);
+        let trace = Trace::new();
+        let result = tune_kernel_traced(
+            &func,
+            &target,
+            &configs,
+            |version, regs| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                scale_runner(version, regs)
+            },
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "one run per unique IR");
+        assert_eq!(result.stats.cache_misses, 2);
+        assert_eq!(result.stats.cache_hits, 3);
+        assert_eq!(result.stats.runner_calls, 2);
+        assert!((result.stats.cache_hit_rate() - 0.6).abs() < 1e-12);
+        // All five candidates carry a timing; the three duplicates share it.
+        let secs: Vec<f64> = result.candidates.iter().filter_map(|c| c.seconds).collect();
+        assert_eq!(secs.len(), 5);
+        assert_eq!(secs[0].to_bits(), secs[2].to_bits());
+        assert_eq!(secs[0].to_bits(), secs[4].to_bits());
+        assert_eq!(secs[1].to_bits(), secs[3].to_bits());
+        assert!(result.candidates[2].cache_hit && result.candidates[3].cache_hit);
+        assert!(!result.candidates[0].cache_hit && !result.candidates[1].cache_hit);
+        // Trace-level view: one backend span and one measure span per
+        // unique version, not per candidate.
+        let events = trace.events();
+        assert_eq!(events.iter().filter(|e| e.name == "backend").count(), 2);
+        assert_eq!(events.iter().filter(|e| e.name == "measure").count(), 2);
+        assert_eq!(events.iter().filter(|e| e.name == "candidate").count(), 5);
+    }
+
+    #[test]
+    fn non_finite_times_are_pruned_as_failed_runs() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = candidate_configs(Strategy::ThreadOnly, &[1, 2, 4], &[64, 1, 1]);
+        // The identity reports NaN; a NaN incumbent must never survive, and
+        // the winner must be a finite-timed candidate.
+        let result = tune_kernel(&func, &target, &configs, |version, regs| {
+            let launches = respec_ir::kernel::analyze_function(version).unwrap();
+            let coarsened = launches[0].block_dims[0] != 64;
+            if coarsened {
+                scale_runner(version, regs)
+            } else {
+                Ok(f64::NAN)
+            }
+        })
+        .unwrap();
+        assert!(result.best_seconds.is_finite());
+        assert!(!result.best_config.is_identity());
+        let nan_candidate = result
+            .candidates
+            .iter()
+            .find(|c| c.config.is_identity())
+            .unwrap();
+        assert!(matches!(
+            nan_candidate.pruned,
+            Some(PruneReason::RunFailed(_))
+        ));
+        assert!(nan_candidate.seconds.is_none());
+    }
+
+    #[test]
+    fn pooled_tuning_matches_serial_bit_for_bit() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = candidate_configs(Strategy::Combined, &[1, 2, 4], &[64, 1, 1]);
+        let serial = tune_kernel_pooled(
+            &func,
+            &target,
+            &configs,
+            &TuneOptions::serial(),
+            || scale_runner,
+            &Trace::disabled(),
+        )
+        .unwrap();
+        let parallel = tune_kernel_pooled(
+            &func,
+            &target,
+            &configs,
+            &TuneOptions::with_parallelism(4),
+            || scale_runner,
+            &Trace::disabled(),
+        )
+        .unwrap();
+        assert_eq!(serial.best_config, parallel.best_config);
+        assert_eq!(
+            serial.best_seconds.to_bits(),
+            parallel.best_seconds.to_bits()
+        );
+        assert_eq!(serial.best.to_string(), parallel.best.to_string());
+        assert_eq!(serial.candidates.len(), parallel.candidates.len());
+        for (a, b) in serial.candidates.iter().zip(&parallel.candidates) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.seconds.map(f64::to_bits), b.seconds.map(f64::to_bits));
+            assert_eq!(a.pruned, b.pruned);
+            assert_eq!(a.cache_hit, b.cache_hit);
+        }
+        assert_eq!(serial.stats.cache_hits, parallel.stats.cache_hits);
+        assert_eq!(serial.stats.parallelism, 1);
+        assert_eq!(parallel.stats.parallelism, 4);
+    }
+
+    #[test]
     fn traced_tuning_logs_every_decision() {
         let func = parse_function(KERNEL).unwrap();
         let target = targets::a100();
@@ -585,6 +760,7 @@ mod tests {
         for c in &candidates {
             assert!(c.metric("config").is_some());
             assert!(c.metric("stage").is_some());
+            assert!(c.metric("cache_hit").is_some());
         }
         // Pruned candidates carry a reason; measured ones carry seconds.
         for (ev, cand) in candidates.iter().zip(&result.candidates) {
@@ -614,7 +790,10 @@ mod tests {
             .find(|e| e.name == "tune:scale")
             .expect("tune span");
         assert!(tune_span.metric("winner").is_some());
+        assert!(tune_span.metric("cache_hits").is_some());
         assert!(events.iter().any(|e| e.name.starts_with("pass:")));
+        // Cache counters are surfaced through the trace too.
+        assert!(events.iter().any(|e| e.name == "cache_hits"));
     }
 
     #[test]

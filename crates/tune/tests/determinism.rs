@@ -1,0 +1,190 @@
+//! Property test: the tuning engine's determinism contract.
+//!
+//! Serial (`parallelism = 1`) and parallel tuning must select byte-identical
+//! winners with bit-identical timings and emit identical candidate decision
+//! logs, for arbitrary kernels, strategies and factor ladders. CI runs this
+//! with a forced `parallelism > 1` so the threaded path is exercised even on
+//! single-core runners.
+
+use proptest::prelude::*;
+use respec_ir::{parse_function, structural_hash, Function};
+use respec_sim::{targets, SimError};
+use respec_trace::{MetricValue, Trace, TraceEvent};
+use respec_tune::{candidate_configs, tune_kernel_pooled, Strategy as SearchStrategy, TuneOptions};
+
+/// Shape of a randomly generated kernel + search space.
+#[derive(Clone, Debug)]
+struct Case {
+    block_x: i64,
+    extra_ops: u8,
+    use_shared: bool,
+    strategy_pick: u8,
+    totals_mask: u8,
+    fail_parity: bool,
+}
+
+fn case() -> impl Strategy<Value = Case> {
+    (
+        prop_oneof![Just(16i64), Just(32i64), Just(48i64), Just(64i64)],
+        0u8..4,
+        any::<bool>(),
+        0u8..3,
+        1u8..63,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(block_x, extra_ops, use_shared, strategy_pick, totals_mask, fail_parity)| Case {
+                block_x,
+                extra_ops,
+                use_shared,
+                strategy_pick,
+                totals_mask,
+                fail_parity,
+            },
+        )
+}
+
+fn kernel_for(case: &Case) -> Function {
+    let bx = case.block_x;
+    let mut body = String::new();
+    if case.use_shared {
+        body.push_str(&format!("      %sm = alloc() : memref<{bx}xf32, shared>\n"));
+    }
+    body.push_str(
+        "      parallel<thread> (%tx, %ty, %tz) to (%cbx, %c1, %c1) {
+        %w = mul %bx, %cbx : index
+        %i = add %w, %tx : index
+        %v = load %m[%i] : f32
+",
+    );
+    let mut cur = "%v".to_string();
+    for k in 0..case.extra_ops {
+        let next = format!("%e{k}");
+        body.push_str(&format!("        {next} = add {cur}, {cur} : f32\n"));
+        cur = next;
+    }
+    if case.use_shared {
+        body.push_str(&format!(
+            "        store {cur}, %sm[%tx]
+        barrier<thread>
+        %sv = load %sm[%tx] : f32
+        store %sv, %m[%i]
+"
+        ));
+    } else {
+        body.push_str(&format!("        store {cur}, %m[%i]\n"));
+    }
+    body.push_str("        yield\n      }\n");
+    let src = format!(
+        "func @prop(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {{
+  %cbx = const {bx} : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {{
+{body}    yield
+  }}
+  return
+}}"
+    );
+    parse_function(&src).expect("generated kernel parses")
+}
+
+/// Deterministic synthetic runner: the time is a pure function of the
+/// version's structural hash and the register allotment, and versions whose
+/// hash parity matches `fail_parity` fail outright — exercising both the
+/// measurement and the failed-run paths identically on every thread.
+fn runner(fail_parity: bool) -> impl FnMut(&Function, u32) -> Result<f64, SimError> {
+    move |version: &Function, regs: u32| {
+        let h = structural_hash(version);
+        if h.is_multiple_of(2) == fail_parity && h.is_multiple_of(5) {
+            return Err(SimError {
+                message: format!("synthetic failure for hash {h:#x}"),
+            });
+        }
+        Ok(((h % 9973) + 1) as f64 * 1e-7 + regs as f64 * 1e-9)
+    }
+}
+
+/// Candidate decision log: name + metrics of `candidate`/`winner` events,
+/// stripped of timing/thread fields that legitimately differ between runs.
+fn decision_log(trace: &Trace) -> Vec<(String, Vec<(String, MetricValue)>)> {
+    trace
+        .events()
+        .into_iter()
+        .filter(|e: &TraceEvent| e.name == "candidate" || e.name == "winner")
+        .map(|e| (e.name, e.metrics.into_iter().collect()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_tuning_is_bit_identical_to_serial(case in case()) {
+        let func = kernel_for(&case);
+        let target = targets::a100();
+        let strategy = match case.strategy_pick {
+            0 => SearchStrategy::ThreadOnly,
+            1 => SearchStrategy::BlockOnly,
+            _ => SearchStrategy::Combined,
+        };
+        let ladder = [1i64, 2, 4, 8, 16, 32];
+        let totals: Vec<i64> = ladder
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| case.totals_mask >> i & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect();
+        let configs = candidate_configs(strategy, &totals, &[case.block_x, 1, 1]);
+
+        let serial_trace = Trace::new();
+        let serial = tune_kernel_pooled(
+            &func,
+            &target,
+            &configs,
+            &TuneOptions::serial(),
+            || runner(case.fail_parity),
+            &serial_trace,
+        );
+        let parallel_trace = Trace::new();
+        let parallel = tune_kernel_pooled(
+            &func,
+            &target,
+            &configs,
+            &TuneOptions::with_parallelism(4),
+            || runner(case.fail_parity),
+            &parallel_trace,
+        );
+
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(s.best_config, p.best_config);
+                prop_assert_eq!(s.best_seconds.to_bits(), p.best_seconds.to_bits());
+                prop_assert_eq!(s.best_regs, p.best_regs);
+                prop_assert_eq!(s.best.to_string(), p.best.to_string());
+                prop_assert_eq!(s.candidates.len(), p.candidates.len());
+                for (a, b) in s.candidates.iter().zip(&p.candidates) {
+                    prop_assert_eq!(a.config, b.config);
+                    prop_assert_eq!(
+                        a.seconds.map(f64::to_bits),
+                        b.seconds.map(f64::to_bits)
+                    );
+                    prop_assert_eq!(&a.pruned, &b.pruned);
+                    prop_assert_eq!(a.cache_hit, b.cache_hit);
+                }
+                prop_assert_eq!(s.stats.cache_hits, p.stats.cache_hits);
+                prop_assert_eq!(s.stats.cache_misses, p.stats.cache_misses);
+                prop_assert_eq!(s.stats.runner_calls, p.stats.runner_calls);
+            }
+            (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
+            (s, p) => prop_assert!(
+                false,
+                "serial/parallel disagree on success: {:?} vs {:?}",
+                s.map(|r| r.best_config),
+                p.map(|r| r.best_config)
+            ),
+        }
+        // The decision logs — every candidate event with its full metric
+        // set, plus the winner — must match entry for entry.
+        prop_assert_eq!(decision_log(&serial_trace), decision_log(&parallel_trace));
+    }
+}
