@@ -1,0 +1,320 @@
+//! Barrier-divergence checking.
+//!
+//! A scoped barrier is only well-defined when *every* iteration of its
+//! enclosing parallel level reaches it together: a barrier under an `if`
+//! whose condition differs per thread, or inside a loop whose trip count
+//! differs per thread, deadlocks or desynchronizes real GPUs. This pass
+//! walks each parallel loop, computes the uniformity lattice relative to
+//! its induction variables, and flags every barrier nested under
+//! non-uniform control flow.
+//!
+//! Severity: a guard that provably depends on the level's induction
+//! variables is an **error**; a guard that is merely not provably uniform
+//! (data-dependent through memory, unknown call) is a **warning**.
+
+use respec_ir::diag::{barrier_phrase, Diagnostic};
+use respec_ir::{walk, Function, OpId, OpKind, ParLevel, RegionId, Value};
+
+use crate::uniform::{uniformity, Uniformity};
+
+/// Checks every barrier in `func` for convergence. Returns one diagnostic
+/// per problematic barrier, at the strongest applicable severity.
+pub fn check_barriers(func: &Function) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut parallels = Vec::new();
+    walk::walk_ops(func, func.body(), &mut |op| {
+        if matches!(func.op(op).kind, OpKind::Parallel { .. }) {
+            parallels.push(op);
+        }
+    });
+    for par in parallels {
+        let OpKind::Parallel { level } = func.op(par).kind else {
+            unreachable!()
+        };
+        let uni = uniformity(func, par);
+        let mut ctrl: Vec<(&'static str, Vec<Value>, OpId)> = Vec::new();
+        check_region(
+            func,
+            func.op(par).regions[0],
+            level,
+            &uni,
+            &mut ctrl,
+            false,
+            &mut diags,
+        );
+    }
+    diags
+}
+
+fn check_region(
+    func: &Function,
+    region: RegionId,
+    level: ParLevel,
+    uni: &Uniformity,
+    ctrl: &mut Vec<(&'static str, Vec<Value>, OpId)>,
+    shadowed: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for &op in &func.region(region).ops {
+        match &func.op(op).kind {
+            OpKind::Barrier { level: l } if *l == level && !shadowed => {
+                if let Some(d) = judge_barrier(func, op, level, uni, ctrl) {
+                    diags.push(d);
+                }
+            }
+            OpKind::If => {
+                let cond = func.op(op).operands[0];
+                ctrl.push(("if", vec![cond], op));
+                for &r in &func.op(op).regions {
+                    check_region(func, r, level, uni, ctrl, shadowed, diags);
+                }
+                ctrl.pop();
+            }
+            OpKind::For => {
+                let bounds = func.op(op).operands[..3].to_vec();
+                ctrl.push(("for", bounds, op));
+                check_region(
+                    func,
+                    op_region(func, op, 0),
+                    level,
+                    uni,
+                    ctrl,
+                    shadowed,
+                    diags,
+                );
+                ctrl.pop();
+            }
+            OpKind::While => {
+                // The continuation condition lives in the cond region's
+                // terminator; inits feed both regions.
+                let cond_region = op_region(func, op, 0);
+                let mut vals = func.op(op).operands.clone();
+                if let Some(&t) = func.region(cond_region).ops.last() {
+                    vals.extend(func.op(t).operands.iter().copied());
+                }
+                ctrl.push(("while", vals, op));
+                for &r in &func.op(op).regions {
+                    check_region(func, r, level, uni, ctrl, shadowed, diags);
+                }
+                ctrl.pop();
+            }
+            OpKind::Parallel { level: l } => {
+                let nested_same = *l == level;
+                check_region(
+                    func,
+                    op_region(func, op, 0),
+                    level,
+                    uni,
+                    ctrl,
+                    shadowed || nested_same,
+                    diags,
+                );
+            }
+            OpKind::Alternatives { .. } => {
+                for &r in &func.op(op).regions {
+                    check_region(func, r, level, uni, ctrl, shadowed, diags);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn op_region(func: &Function, op: OpId, i: usize) -> RegionId {
+    func.op(op).regions[i]
+}
+
+fn judge_barrier(
+    func: &Function,
+    barrier: OpId,
+    level: ParLevel,
+    uni: &Uniformity,
+    ctrl: &[(&'static str, Vec<Value>, OpId)],
+) -> Option<Diagnostic> {
+    let mut warning: Option<Diagnostic> = None;
+    for (kind, vals, _ctrl_op) in ctrl {
+        if vals.iter().any(|&v| uni.depends_on_ivs(v)) {
+            return Some(
+                Diagnostic::error(
+                    "divergent-barrier",
+                    format!(
+                        "{} under a `{kind}` whose {} depends on {level} induction \
+                         variables: not all iterations reach the barrier together",
+                        barrier_phrase(level),
+                        guard_noun(kind),
+                    ),
+                )
+                .at_op(func, barrier)
+                .with_suggestion(
+                    "hoist the barrier out of the divergent control flow, or make the \
+                     guard uniform across the parallel level",
+                ),
+            );
+        }
+        if warning.is_none() && vals.iter().any(|&v| !uni.is_uniform(v)) {
+            warning = Some(
+                Diagnostic::warning(
+                    "possibly-divergent-barrier",
+                    format!(
+                        "{} under a `{kind}` whose {} is not provably uniform \
+                         across the {level} level",
+                        barrier_phrase(level),
+                        guard_noun(kind),
+                    ),
+                )
+                .at_op(func, barrier)
+                .with_suggestion("prove the guard uniform or hoist the barrier"),
+            );
+        }
+    }
+    warning
+}
+
+fn guard_noun(kind: &str) -> &'static str {
+    match kind {
+        "if" => "condition",
+        "for" => "trip count",
+        _ => "continuation condition",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+    use respec_ir::Severity;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        check_barriers(&parse_function(src).unwrap())
+    }
+
+    #[test]
+    fn convergent_barrier_is_clean() {
+        let d = check(
+            "func @k(%g: index) {
+  %c8 = const 8 : index
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c8) {
+      for %i = %c0 to %c8 step %c1 {
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}",
+        );
+        assert!(d.is_empty(), "unexpected diagnostics: {d:?}");
+    }
+
+    #[test]
+    fn barrier_under_thread_dependent_if_is_an_error() {
+        let d = check(
+            "func @k(%g: index) {
+  %c8 = const 8 : index
+  %c0 = const 0 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c8) {
+      %c = cmp eq %t, %c0
+      if %c {
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "divergent-barrier");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0]
+            .location
+            .as_deref()
+            .unwrap()
+            .contains("barrier<thread>"));
+    }
+
+    #[test]
+    fn barrier_in_thread_dependent_loop_is_an_error() {
+        let d = check(
+            "func @k(%g: index) {
+  %c8 = const 8 : index
+  %c0 = const 0 : index
+  %c1 = const 1 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c8) {
+      for %i = %c0 to %t step %c1 {
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "divergent-barrier");
+    }
+
+    #[test]
+    fn data_dependent_guard_is_a_warning() {
+        let d = check(
+            "func @k(%g: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c0 = const 0 : index
+  %f0 = fconst 0.0 : f32
+  parallel<block> (%b) to (%g) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%t) to (%c8) {
+      %v = load %m[%t] : f32
+      store %v, %sm[%t]
+      %w = load %sm[%c0] : f32
+      %c = cmp lt %w, %f0
+      if %c {
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}",
+        );
+        assert_eq!(d.len(), 1, "diagnostics: {d:?}");
+        assert_eq!(d[0].code, "possibly-divergent-barrier");
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn uniform_guard_is_clean() {
+        let d = check(
+            "func @k(%g: index, %n: index) {
+  %c8 = const 8 : index
+  %c0 = const 0 : index
+  parallel<block> (%b) to (%g) {
+    parallel<thread> (%t) to (%c8) {
+      %c = cmp lt %n, %c0
+      if %c {
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}",
+        );
+        assert!(d.is_empty(), "unexpected diagnostics: {d:?}");
+    }
+}

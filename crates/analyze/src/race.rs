@@ -1,0 +1,720 @@
+//! Static shared-memory race detection.
+//!
+//! For each kernel launch, every load/store of a `shared`-space buffer
+//! inside the thread-parallel loop is decomposed into an affine access
+//! ([`crate::affine`]). Two accesses to the same buffer race when
+//!
+//! 1. at least one is a store,
+//! 2. two *distinct* threads can execute them in the same **barrier
+//!    interval** (no `barrier<thread>` certainly separates them), and
+//! 3. their index expressions can evaluate to the same cell.
+//!
+//! Intervals are computed compositionally over the structured IR: a
+//! running *open set* holds the accesses since the last certain barrier;
+//! a barrier only counts as a separator when it executes on every path
+//! (both arms of uniform `if`s, loops that provably run). Loop bodies are
+//! processed twice so the wrap-around interval — iteration *i* after its
+//! last barrier against iteration *i+1* before its first — is checked,
+//! with the loop's values renamed between instances.
+//!
+//! Severity: when both indices are concrete (thread ivs and constants
+//! after symbolic terms cancel) the checker *decides* the race by
+//! enumerating thread pairs — a hit is an **error** with example thread
+//! ids, a miss is silence. Undecidable cases (symbolic coefficients,
+//! unmodelled guards) are **warnings**.
+
+use std::collections::{HashMap, HashSet};
+
+use respec_ir::diag::Diagnostic;
+use respec_ir::kernel::Launch;
+use respec_ir::{BinOp, CmpPred, Function, OpId, OpKind, RegionId, Value};
+
+use crate::affine::{Affine, AffineCx, Basis};
+use crate::uniform::{uniformity, Uniformity};
+
+/// A guard of the form `thread_iv[dim] == expr` with a uniform right side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Pin {
+    dim: usize,
+    expr: Affine,
+}
+
+#[derive(Clone, Debug)]
+struct Access {
+    op: OpId,
+    is_store: bool,
+    buffer: Value,
+    index: Vec<Affine>,
+    pins: Vec<Pin>,
+    /// Under a non-uniform guard the checker cannot model (range guards,
+    /// data-dependent conditions, non-uniform loops): never an error.
+    unknown_guard: bool,
+}
+
+enum Guard {
+    Uniform,
+    Pins(Vec<Pin>),
+    Unknown,
+}
+
+struct SeqOut {
+    open: Vec<usize>,
+    has_barrier: bool,
+}
+
+/// Cap on the number of thread pairs enumerated when deciding a race;
+/// beyond it the checker degrades to a warning instead of burning time.
+const ENUM_CAP: i64 = 1 << 22;
+
+struct RaceChecker<'f> {
+    func: &'f Function,
+    cx: AffineCx<'f>,
+    uni: Uniformity,
+    block_dims: Vec<i64>,
+    shared: HashSet<Value>,
+    accesses: Vec<Access>,
+    /// Stack of (sequential loop op, instance number) for symbol renaming.
+    loop_instances: Vec<(OpId, u32)>,
+    /// Enclosing sequential loops of each value's defining op.
+    owner_loops: HashMap<Value, Vec<OpId>>,
+    active_pins: Vec<Pin>,
+    unknown_guard_depth: u32,
+    diags: Vec<Diagnostic>,
+    reported: HashSet<(&'static str, OpId, OpId)>,
+}
+
+/// Checks one launch of `func` for shared-memory races.
+pub fn check_races(func: &Function, launch: &Launch) -> Vec<Diagnostic> {
+    let thread_body = func.op(launch.thread_par).regions[0];
+    let thread_ivs = func.region(thread_body).args.clone();
+    let block_body = func.op(launch.block_par).regions[0];
+    let block_ivs = func.region(block_body).args.clone();
+    let shared: HashSet<Value> = launch
+        .shared_allocs
+        .iter()
+        .map(|&a| func.op(a).results[0])
+        .collect();
+    if shared.is_empty() {
+        return Vec::new();
+    }
+    let mut checker = RaceChecker {
+        func,
+        cx: AffineCx::new(func, func.body(), &thread_ivs, &block_ivs),
+        uni: uniformity(func, launch.thread_par),
+        block_dims: launch.block_dims.clone(),
+        shared,
+        accesses: Vec::new(),
+        loop_instances: Vec::new(),
+        owner_loops: owner_loops(func, thread_body),
+        active_pins: Vec::new(),
+        unknown_guard_depth: 0,
+        diags: Vec::new(),
+        reported: HashSet::new(),
+    };
+    checker.process_region(thread_body, Vec::new());
+    checker.diags
+}
+
+/// For every value defined under `scope`, the chain of sequential loops
+/// (`for`/`while`) enclosing its definition, innermost last. Loop region
+/// arguments (ivs, carried values) count as defined by the loop itself.
+fn owner_loops(func: &Function, scope: RegionId) -> HashMap<Value, Vec<OpId>> {
+    let mut map = HashMap::new();
+    let mut stack: Vec<OpId> = Vec::new();
+    fn go(
+        func: &Function,
+        region: RegionId,
+        stack: &mut Vec<OpId>,
+        map: &mut HashMap<Value, Vec<OpId>>,
+    ) {
+        for &op in &func.region(region).ops {
+            let is_loop = matches!(func.op(op).kind, OpKind::For | OpKind::While);
+            for &r in &func.op(op).results {
+                map.insert(r, stack.clone());
+            }
+            if is_loop {
+                stack.push(op);
+            }
+            for &r in &func.op(op).regions {
+                for &a in &func.region(r).args {
+                    map.insert(a, stack.clone());
+                }
+                go(func, r, stack, map);
+            }
+            if is_loop {
+                stack.pop();
+            }
+        }
+    }
+    go(func, scope, &mut stack, &mut map);
+    map
+}
+
+impl<'f> RaceChecker<'f> {
+    /// Loop-instance tag for a symbol: distinguishes the same value seen
+    /// in different iterations of the loops currently being unrolled.
+    fn tag_of(&self, v: Value) -> u32 {
+        let mut tag = 0u32;
+        if let Some(chain) = self.owner_loops.get(&v) {
+            for l in chain {
+                if let Some(&(_, inst)) = self.loop_instances.iter().find(|(op, _)| op == l) {
+                    tag = tag.wrapping_mul(2).wrapping_add(inst);
+                }
+            }
+        }
+        tag
+    }
+
+    fn affine(&self, v: Value) -> Affine {
+        self.cx.build(v, &|x| self.tag_of(x))
+    }
+
+    fn process_region(&mut self, region: RegionId, mut open: Vec<usize>) -> SeqOut {
+        let ops = self.func.region(region).ops.clone();
+        let mut has_barrier = false;
+        for op in ops {
+            let operation = self.func.op(op).clone();
+            match &operation.kind {
+                OpKind::Load if self.shared.contains(&operation.operands[0]) => {
+                    self.record(
+                        op,
+                        false,
+                        operation.operands[0],
+                        &operation.operands[1..],
+                        &mut open,
+                    );
+                }
+                OpKind::Store if self.shared.contains(&operation.operands[1]) => {
+                    self.record(
+                        op,
+                        true,
+                        operation.operands[1],
+                        &operation.operands[2..],
+                        &mut open,
+                    );
+                }
+                OpKind::Barrier {
+                    level: respec_ir::ParLevel::Thread,
+                } => {
+                    open.clear();
+                    has_barrier = true;
+                }
+                OpKind::If => {
+                    let (open2, sync) = self.process_if(&operation, open);
+                    open = open2;
+                    has_barrier |= sync;
+                }
+                OpKind::For => {
+                    let (open2, sync) = self.process_for(op, &operation, open);
+                    open = open2;
+                    has_barrier |= sync;
+                }
+                OpKind::While => {
+                    let entry = open.clone();
+                    let nonuniform = operation.operands.iter().any(|&v| !self.uni.is_uniform(v));
+                    if nonuniform {
+                        self.unknown_guard_depth += 1;
+                    }
+                    let rc = self.process_region(operation.regions[0], open);
+                    self.loop_instances.push((op, 0));
+                    let r1 = self.process_region(operation.regions[1], rc.open);
+                    self.loop_instances.last_mut().unwrap().1 = 1;
+                    let r2 = self.process_region(operation.regions[1], r1.open);
+                    self.loop_instances.pop();
+                    if nonuniform {
+                        self.unknown_guard_depth -= 1;
+                    }
+                    // The body may run zero times, so the entry set stays
+                    // open; a while never certainly separates.
+                    open = union(r2.open, entry);
+                }
+                OpKind::Alternatives { .. } => {
+                    let mut outs: Vec<usize> = Vec::new();
+                    let mut all_sync = !operation.regions.is_empty();
+                    for &r in &operation.regions {
+                        let ri = self.process_region(r, open.clone());
+                        all_sync &= ri.has_barrier;
+                        outs = union(outs, ri.open);
+                    }
+                    open = outs;
+                    has_barrier |= all_sync;
+                }
+                OpKind::Parallel { .. } => {
+                    // Unexpected nesting: analyze the body conservatively
+                    // in the same interval context.
+                    let r = self.process_region(operation.regions[0], open);
+                    open = r.open;
+                }
+                _ => {}
+            }
+        }
+        SeqOut { open, has_barrier }
+    }
+
+    fn process_if(
+        &mut self,
+        operation: &respec_ir::Operation,
+        open: Vec<usize>,
+    ) -> (Vec<usize>, bool) {
+        let cond = operation.operands[0];
+        let then_region = operation.regions[0];
+        let else_region = operation.regions.get(1).copied();
+        match self.classify_guard(cond) {
+            Guard::Uniform => {
+                // Every thread takes the same arm: the arms are exclusive
+                // and the whole `if` separates only if both arms do.
+                let r1 = self.process_region(then_region, open.clone());
+                let r2 = match else_region {
+                    Some(r) => self.process_region(r, open.clone()),
+                    None => SeqOut {
+                        open,
+                        has_barrier: false,
+                    },
+                };
+                (union(r1.open, r2.open), r1.has_barrier && r2.has_barrier)
+            }
+            guard => {
+                // Divergent: different threads can sit in different arms at
+                // the same time, so the arms share one running interval. A
+                // barrier below a divergent guard is already reported by
+                // the divergence checker; it cannot be trusted to separate.
+                let pins = match guard {
+                    Guard::Pins(p) => p,
+                    _ => {
+                        self.unknown_guard_depth += 1;
+                        Vec::new()
+                    }
+                };
+                let unknown = pins.is_empty();
+                let npins = pins.len();
+                self.active_pins.extend(pins);
+                let r1 = self.process_region(then_region, open);
+                self.active_pins.truncate(self.active_pins.len() - npins);
+                let r2 = match else_region {
+                    Some(r) => self.process_region(r, r1.open),
+                    None => r1,
+                };
+                if unknown {
+                    self.unknown_guard_depth -= 1;
+                }
+                (r2.open, false)
+            }
+        }
+    }
+
+    fn process_for(
+        &mut self,
+        op: OpId,
+        operation: &respec_ir::Operation,
+        open: Vec<usize>,
+    ) -> (Vec<usize>, bool) {
+        let entry = open.clone();
+        let bounds = &operation.operands[..3];
+        let uniform = bounds.iter().all(|&v| self.uni.is_uniform(v));
+        if !uniform {
+            self.unknown_guard_depth += 1;
+        }
+        self.loop_instances.push((op, 0));
+        let r1 = self.process_region(operation.regions[0], open);
+        self.loop_instances.last_mut().unwrap().1 = 1;
+        let r2 = self.process_region(operation.regions[0], r1.open);
+        self.loop_instances.pop();
+        if !uniform {
+            self.unknown_guard_depth -= 1;
+        }
+        let certainly_runs = {
+            let c = |v: Value| self.func.const_int_value(v);
+            match (c(bounds[0]), c(bounds[1]), c(bounds[2])) {
+                (Some(lb), Some(ub), Some(step)) => step > 0 && lb < ub,
+                _ => false,
+            }
+        };
+        if r1.has_barrier && uniform && certainly_runs {
+            (r2.open, true)
+        } else if r1.has_barrier {
+            // The loop may be skipped (or its barrier divergent): its
+            // barrier separates iterations internally but the accesses
+            // open at entry stay open across it.
+            (union(r2.open, entry), false)
+        } else {
+            (r2.open, false)
+        }
+    }
+
+    fn classify_guard(&self, cond: Value) -> Guard {
+        if self.uni.is_uniform(cond) {
+            return Guard::Uniform;
+        }
+        match self.collect_pins(cond, 0) {
+            Some(pins) if !pins.is_empty() => Guard::Pins(pins),
+            _ => Guard::Unknown,
+        }
+    }
+
+    /// Decomposes `cond` into a conjunction of thread-iv pins
+    /// (`tx == expr && ty == expr && …`); `None` if any conjunct fails.
+    fn collect_pins(&self, cond: Value, depth: u32) -> Option<Vec<Pin>> {
+        if depth > 8 {
+            return None;
+        }
+        let op = self.cx.def_of(cond)?;
+        match &self.func.op(op).kind {
+            OpKind::Binary(BinOp::And) => {
+                let a = self.collect_pins(self.func.op(op).operands[0], depth + 1)?;
+                let b = self.collect_pins(self.func.op(op).operands[1], depth + 1)?;
+                Some([a, b].concat())
+            }
+            OpKind::Cmp(CmpPred::Eq) => {
+                let lhs = self.affine(self.func.op(op).operands[0]);
+                let rhs = self.affine(self.func.op(op).operands[1]);
+                let d = lhs.sub(&rhs);
+                let mut tterms = d
+                    .terms
+                    .iter()
+                    .filter_map(|&(b, c)| Some((b.thread_dim()?, c)));
+                let (dim, coeff) = tterms.next()?;
+                if tterms.next().is_some() || coeff.abs() != 1 {
+                    return None;
+                }
+                // d = coeff·t_dim + rest = 0  ⇒  t_dim = −rest/coeff.
+                let mut rest = d.clone();
+                rest.terms.retain(|(b, _)| b.thread_dim().is_none());
+                let expr = rest.scale(-coeff);
+                // The pinned-to expression must be uniform.
+                let uniform = expr.terms.iter().all(|&(b, _)| match b {
+                    Basis::Sym(v, _) => self.uni.is_uniform(v),
+                    Basis::Block(_) => true,
+                    Basis::Thread(_) => false,
+                });
+                uniform.then_some(vec![Pin { dim, expr }])
+            }
+            _ => None,
+        }
+    }
+
+    fn record(
+        &mut self,
+        op: OpId,
+        is_store: bool,
+        buffer: Value,
+        idxs: &[Value],
+        open: &mut Vec<usize>,
+    ) {
+        let index: Vec<Affine> = idxs.iter().map(|&v| self.affine(v)).collect();
+        let acc = Access {
+            op,
+            is_store,
+            buffer,
+            index,
+            pins: self.active_pins.clone(),
+            unknown_guard: self.unknown_guard_depth > 0,
+        };
+        if is_store {
+            self.check_pair(&acc, &acc);
+        }
+        for &o in open.iter() {
+            let other = self.accesses[o].clone();
+            if other.buffer == buffer && (is_store || other.is_store) {
+                self.check_pair(&acc, &other);
+            }
+        }
+        let id = self.accesses.len();
+        self.accesses.push(acc);
+        open.push(id);
+    }
+
+    fn check_pair(&mut self, a: &Access, b: &Access) {
+        let code: &'static str = if a.is_store && b.is_store {
+            "race-ww"
+        } else {
+            "race-rw"
+        };
+        let key = if a.op.index() <= b.op.index() {
+            (code, a.op, b.op)
+        } else {
+            (code, b.op, a.op)
+        };
+        if self.reported.contains(&key) {
+            return;
+        }
+        match self.decide(a, b) {
+            Verdict::Safe => {}
+            Verdict::Definite(t, t2) => {
+                self.reported.insert(key);
+                self.diags.push(self.race_diag(code, a, b, Some((t, t2))));
+            }
+            Verdict::Possible(why) => {
+                self.reported.insert(key);
+                let mut d = self.race_diag(code, a, b, None);
+                d.severity = respec_ir::Severity::Warning;
+                d.message = format!("possible {} ({why})", d.message);
+                self.diags.push(d);
+            }
+        }
+    }
+
+    fn race_diag(
+        &self,
+        code: &'static str,
+        a: &Access,
+        b: &Access,
+        example: Option<(Vec<i64>, Vec<i64>)>,
+    ) -> Diagnostic {
+        let what = match code {
+            "race-ww" => "write-write race",
+            _ => "read-write race",
+        };
+        let other = if a.op == b.op {
+            "itself (two threads, one op)".to_string()
+        } else {
+            respec_ir::diag::op_path(self.func, b.op)
+        };
+        let threads = match &example {
+            Some((t, t2)) => format!(
+                "; e.g. threads ({}) and ({}) touch the same cell",
+                fmt_tuple(t),
+                fmt_tuple(t2)
+            ),
+            None => String::new(),
+        };
+        Diagnostic::error(
+            code,
+            format!(
+                "{what} on shared buffer: conflicts with {other} in the same barrier interval{threads}"
+            ),
+        )
+        .at_op(self.func, a.op)
+        .with_suggestion(
+            "separate the accesses with barrier<thread>, or make the per-thread \
+             indexing injective",
+        )
+    }
+
+    fn decide(&self, a: &Access, b: &Access) -> Verdict {
+        if a.index.len() != b.index.len() {
+            return Verdict::Possible("buffer accessed at different ranks".into());
+        }
+        if a.unknown_guard || b.unknown_guard {
+            // An unmodelled guard restricts which threads execute the
+            // access, so a found collision might involve excluded
+            // threads: only a `Safe` answer can be trusted.
+            if let Verdict::Safe = self.decide_concrete(a, b) {
+                return Verdict::Safe;
+            }
+            return Verdict::Possible(
+                "access guarded by a condition the analysis cannot model".into(),
+            );
+        }
+        self.decide_concrete(a, b)
+    }
+
+    /// Decides the pair when everything is concrete.
+    fn decide_concrete(&self, a: &Access, b: &Access) -> Verdict {
+        let ndims = self.block_dims.len();
+        // Per index dimension, symbolic terms must cancel exactly;
+        // otherwise the equation is undecidable.
+        for (ia, ib) in a.index.iter().zip(&b.index) {
+            let sa: Vec<(Basis, i64)> = ia.sym_terms().collect();
+            let sb: Vec<(Basis, i64)> = ib.sym_terms().collect();
+            if sa != sb {
+                return Verdict::Possible("symbolic index terms do not cancel".into());
+            }
+            // Matching terms only cancel when the symbol is uniform across
+            // threads: a thread-varying symbol (say `tx / 16`) takes
+            // *different* values in the two threads of the pair, so nothing
+            // about the difference of the indices is known.
+            for &(basis, _) in &sa {
+                if let Basis::Sym(v, _) = basis {
+                    if !self.uni.is_uniform(v) {
+                        return Verdict::Possible(
+                            "index depends on a thread-varying value the analysis cannot model"
+                                .into(),
+                        );
+                    }
+                }
+            }
+        }
+        // Pins: concrete pins fix a thread coordinate; symbolic pins only
+        // help when both sides pin the same dim to the same expression.
+        let mut fixed_a: Vec<Option<i64>> = vec![None; ndims];
+        let mut fixed_b: Vec<Option<i64>> = vec![None; ndims];
+        let mut tied: Vec<bool> = vec![false; ndims];
+        for (pins, fixed) in [(&a.pins, &mut fixed_a), (&b.pins, &mut fixed_b)] {
+            for p in pins.iter() {
+                if let Some(c) = p.expr.as_const() {
+                    if !(0..self.block_dims[p.dim]).contains(&c) {
+                        // Guard can never hold: the access is dead code.
+                        return Verdict::Safe;
+                    }
+                    fixed[p.dim] = Some(c);
+                }
+            }
+        }
+        for (d, tie) in tied.iter_mut().enumerate() {
+            let sym_a = a
+                .pins
+                .iter()
+                .find(|p| p.dim == d && p.expr.as_const().is_none());
+            let sym_b = b
+                .pins
+                .iter()
+                .find(|p| p.dim == d && p.expr.as_const().is_none());
+            match (sym_a, sym_b) {
+                (None, None) => {}
+                (Some(pa), Some(pb)) if pa.expr == pb.expr => *tie = true,
+                _ => {
+                    return Verdict::Possible("thread coordinate pinned to a symbolic value".into())
+                }
+            }
+        }
+        // Fast path: identical thread coefficients and no pins — the
+        // per-dimension equations depend only on Δ = t' − t, so enumerate
+        // the (much smaller) difference box instead of thread pairs.
+        let unconstrained = fixed_a.iter().all(Option::is_none)
+            && fixed_b.iter().all(Option::is_none)
+            && tied.iter().all(|&t| !t);
+        let coeffs_equal = a
+            .index
+            .iter()
+            .zip(&b.index)
+            .all(|(ia, ib)| ia.thread_coeffs(ndims) == ib.thread_coeffs(ndims));
+        if unconstrained && coeffs_equal {
+            return self.search_delta(a, b);
+        }
+        // Enumerate thread pairs (t, t') with t ≠ t'.
+        let mut space: i64 = 1;
+        for d in 0..ndims {
+            let ra = if fixed_a[d].is_some() {
+                1
+            } else {
+                self.block_dims[d]
+            };
+            let rb = if fixed_b[d].is_some() || tied[d] {
+                1
+            } else {
+                self.block_dims[d]
+            };
+            space = space.saturating_mul(ra).saturating_mul(rb);
+        }
+        if space > ENUM_CAP {
+            return Verdict::Possible("thread space too large to decide".into());
+        }
+        let mut t = vec![0i64; ndims];
+        let mut t2 = vec![0i64; ndims];
+        if self.search(a, b, &fixed_a, &fixed_b, &tied, 0, &mut t, &mut t2) {
+            Verdict::Definite(t, t2)
+        } else {
+            Verdict::Safe
+        }
+    }
+
+    /// Enumerates Δ = t' − t over the difference box, valid when both
+    /// accesses have identical thread coefficients (the equations are
+    /// then translation-invariant in t).
+    fn search_delta(&self, a: &Access, b: &Access) -> Verdict {
+        let ndims = self.block_dims.len();
+        let mut delta = vec![0i64; ndims];
+        fn go(
+            dims: &[i64],
+            d: usize,
+            delta: &mut Vec<i64>,
+            check: &dyn Fn(&[i64]) -> bool,
+        ) -> bool {
+            if d == dims.len() {
+                return delta.iter().any(|&x| x != 0) && check(delta);
+            }
+            for v in -(dims[d] - 1)..dims[d] {
+                delta[d] = v;
+                if go(dims, d + 1, delta, check) {
+                    return true;
+                }
+            }
+            false
+        }
+        let check = |delta: &[i64]| -> bool {
+            let t: Vec<i64> = delta.iter().map(|&x| (-x).max(0)).collect();
+            let t2: Vec<i64> = t.iter().zip(delta).map(|(&a, &d)| a + d).collect();
+            a.index
+                .iter()
+                .zip(&b.index)
+                .all(|(ia, ib)| ia.eval_threads(&t) == ib.eval_threads(&t2))
+        };
+        if go(&self.block_dims, 0, &mut delta, &check) {
+            let t: Vec<i64> = delta.iter().map(|&x| (-x).max(0)).collect();
+            let t2: Vec<i64> = t.iter().zip(&delta).map(|(&a, &d)| a + d).collect();
+            Verdict::Definite(t, t2)
+        } else {
+            Verdict::Safe
+        }
+    }
+
+    /// Depth-first enumeration over thread coordinates; dimension `d` of
+    /// both `t` and `t2` is chosen per level.
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        a: &Access,
+        b: &Access,
+        fixed_a: &[Option<i64>],
+        fixed_b: &[Option<i64>],
+        tied: &[bool],
+        d: usize,
+        t: &mut Vec<i64>,
+        t2: &mut Vec<i64>,
+    ) -> bool {
+        if d == self.block_dims.len() {
+            if t == t2 {
+                return false;
+            }
+            return a
+                .index
+                .iter()
+                .zip(&b.index)
+                .all(|(ia, ib)| ia.eval_threads(t) == ib.eval_threads(t2));
+        }
+        let range_a: Vec<i64> = match fixed_a[d] {
+            Some(c) => vec![c],
+            None => (0..self.block_dims[d]).collect(),
+        };
+        for &va in &range_a {
+            t[d] = va;
+            let range_b: Vec<i64> = if tied[d] {
+                vec![va]
+            } else {
+                match fixed_b[d] {
+                    Some(c) => vec![c],
+                    None => (0..self.block_dims[d]).collect(),
+                }
+            };
+            for &vb in &range_b {
+                t2[d] = vb;
+                if self.search(a, b, fixed_a, fixed_b, tied, d + 1, t, t2) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+enum Verdict {
+    Safe,
+    Definite(Vec<i64>, Vec<i64>),
+    Possible(String),
+}
+
+fn union(mut a: Vec<usize>, b: Vec<usize>) -> Vec<usize> {
+    for x in b {
+        if !a.contains(&x) {
+            a.push(x);
+        }
+    }
+    a
+}
+
+fn fmt_tuple(t: &[i64]) -> String {
+    t.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}

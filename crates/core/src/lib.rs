@@ -47,6 +47,7 @@
 
 use std::fmt;
 
+pub use respec_analyze as analyze;
 pub use respec_backend as backend;
 pub use respec_frontend as frontend;
 pub use respec_ir as ir;
@@ -55,8 +56,9 @@ pub use respec_sim as sim;
 pub use respec_trace as trace;
 pub use respec_tune as tune;
 
+pub use respec_analyze::AnalysisReport;
 pub use respec_frontend::KernelSpec;
-pub use respec_ir::{Function, Module};
+pub use respec_ir::{Diagnostic, Function, Module, Severity};
 pub use respec_opt::{CoarsenConfig, IndexingStyle};
 pub use respec_sim::{targets, GpuSim, KernelArg, LaunchReport, TargetDesc};
 pub use respec_trace::{Trace, TraceSummary};
@@ -64,6 +66,15 @@ pub use respec_tune::{
     candidate_configs, tune_kernel, tune_kernel_pooled, tune_kernel_traced, Strategy, TuneOptions,
     TuneResult, TuneStats, DEFAULT_TOTALS,
 };
+
+/// One-line import for the common facade workflow:
+/// `use respec::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        targets, CoarsenConfig, Compiled, Compiler, Diagnostic, Error, GpuSim, KernelArg,
+        LaunchReport, Severity, Strategy, TargetDesc, Trace, TuneOptions, TuneResult,
+    };
+}
 
 /// Top-level error type of the pipeline facade.
 #[derive(Clone, Debug)]
@@ -76,6 +87,9 @@ pub enum Error {
     Sim(respec_sim::SimError),
     /// Tuning failure.
     Tune(respec_tune::TuneError),
+    /// The static race/barrier gate found a legality error the input
+    /// kernel did not have (the transformation pipeline broke the kernel).
+    Analysis(Diagnostic),
     /// Configuration error in the builder itself.
     Builder(String),
 }
@@ -87,12 +101,34 @@ impl fmt::Display for Error {
             Error::Coarsen(e) => e.fmt(f),
             Error::Sim(e) => e.fmt(f),
             Error::Tune(e) => e.fmt(f),
+            Error::Analysis(d) => d.fmt(f),
             Error::Builder(m) => write!(f, "builder error: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Every facade failure renders as one [`Diagnostic`], so CLIs and test
+/// harnesses report pipeline errors and analysis findings uniformly.
+impl From<Error> for Diagnostic {
+    fn from(e: Error) -> Diagnostic {
+        match e {
+            Error::Frontend(e) => e.into(),
+            Error::Coarsen(e) => Diagnostic::error("coarsen-error", e.message),
+            Error::Sim(e) => e.into(),
+            Error::Tune(e) => Diagnostic::error("tune-error", e.message),
+            Error::Analysis(d) => d,
+            Error::Builder(m) => Diagnostic::error("builder-error", m),
+        }
+    }
+}
+
+impl From<respec_opt::GateError> for Error {
+    fn from(e: respec_opt::GateError) -> Error {
+        Error::Analysis(e.into())
+    }
+}
 
 impl From<respec_frontend::CompileError> for Error {
     fn from(e: respec_frontend::CompileError) -> Error {
@@ -181,12 +217,16 @@ impl Compiler {
         self
     }
 
-    /// Runs the pipeline.
+    /// Runs the pipeline. Coarsening and optimization run under the static
+    /// race/barrier gate ([`respec_opt::AnalysisGate`]): a transformation
+    /// that introduces a legality error the input kernel lacked is a hard
+    /// [`Error::Analysis`].
     ///
     /// # Errors
     ///
     /// Returns an [`Error`] if no kernel/target was declared, the source
-    /// fails to compile, or coarsening is illegal.
+    /// fails to compile, coarsening is illegal, or the pipeline introduced
+    /// a race/divergent barrier.
     pub fn compile(self) -> Result<Compiled, Error> {
         if self.specs.is_empty() {
             return Err(Error::Builder(
@@ -201,6 +241,7 @@ impl Compiler {
             respec_frontend::compile_cuda(&self.source, &self.specs)?
         };
         for func in module.functions_mut() {
+            let gate = respec_opt::AnalysisGate::before(func);
             if let Some(cfg) = self.coarsen {
                 let mut span = self
                     .trace
@@ -211,6 +252,7 @@ impl Compiler {
             if self.run_optimizer {
                 respec_opt::optimize_traced(func, &self.trace);
             }
+            gate.check(func, "respecialize")?;
             let _span = self
                 .trace
                 .span("compile", format!("verify:{}", func.name()));
@@ -221,6 +263,50 @@ impl Compiler {
             target,
             trace: self.trace,
         })
+    }
+
+    /// Runs the frontend and the static race/barrier analyzer without
+    /// binding a target: the same coarsening/optimization the builder is
+    /// configured with is applied, and *all* findings — including
+    /// pre-existing errors and undecidable warnings — are returned instead
+    /// of being gated.
+    ///
+    /// ```
+    /// use respec::Compiler;
+    ///
+    /// let report = Compiler::new()
+    ///     .source("__global__ void id(float* d) { d[threadIdx.x] = d[threadIdx.x]; }")
+    ///     .kernel("id", [64, 1, 1])
+    ///     .analyze()?;
+    /// assert!(report.is_clean());
+    /// # Ok::<(), respec::Error>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if no kernel was declared, the source fails to
+    /// compile, or coarsening is illegal. Analysis findings are *not*
+    /// errors — they come back in the [`AnalysisReport`].
+    pub fn analyze(self) -> Result<AnalysisReport, Error> {
+        if self.specs.is_empty() {
+            return Err(Error::Builder(
+                "no kernels declared; call .kernel(...)".into(),
+            ));
+        }
+        let mut module = {
+            let _span = self.trace.span("compile", "frontend");
+            respec_frontend::compile_cuda(&self.source, &self.specs)?
+        };
+        for func in module.functions_mut() {
+            if let Some(cfg) = self.coarsen {
+                respec_opt::coarsen_function(func, cfg)?;
+            }
+            if self.run_optimizer {
+                respec_opt::optimize_traced(func, &self.trace);
+            }
+        }
+        let _span = self.trace.span("compile", "analyze");
+        Ok(respec_analyze::analyze_module(&module))
     }
 }
 
@@ -261,6 +347,15 @@ impl Compiled {
         TraceReport::from_trace(&self.trace)
     }
 
+    /// Static race/barrier findings for every kernel in the compiled
+    /// module, errors first. A clean report
+    /// ([`AnalysisReport::is_clean`]) means the compiled code has no
+    /// decidable shared-memory race or divergent barrier; warnings flag
+    /// accesses the symbolic analysis could not decide.
+    pub fn diagnostics(&self) -> AnalysisReport {
+        respec_analyze::analyze_module(&self.module)
+    }
+
     /// Launches a kernel with backend-derived register counts.
     ///
     /// # Errors
@@ -278,9 +373,16 @@ impl Compiled {
         Ok(sim.launch(func, grid, args, regs)?)
     }
 
-    /// Autotunes one kernel over a strategy's candidate set (§VI TDO): the
-    /// `run` closure measures one candidate; the winner replaces the kernel
-    /// in [`Compiled::module`].
+    /// Autotunes one kernel over the candidate set described by `options`
+    /// (§VI TDO): the `run` closure measures one candidate; the winner
+    /// replaces the kernel in [`Compiled::module`].
+    ///
+    /// This is a thin serial wrapper over the pooled engine
+    /// ([`Compiled::autotune_pooled`]): the single `run` closure becomes the
+    /// one runner of a one-worker pool, so both entry points share the
+    /// whole decision path. `options.parallelism` is ignored — one `FnMut`
+    /// runner cannot be shared across workers; pass a runner *factory* to
+    /// `autotune_pooled` for parallel evaluation.
     ///
     /// # Errors
     ///
@@ -288,15 +390,20 @@ impl Compiled {
     pub fn autotune(
         &mut self,
         name: &str,
-        strategy: Strategy,
-        totals: &[i64],
-        run: impl FnMut(&Function, u32) -> Result<f64, respec_sim::SimError>,
+        options: &TuneOptions,
+        run: impl FnMut(&Function, u32) -> Result<f64, respec_sim::SimError> + Send,
     ) -> Result<TuneResult, Error> {
-        let func = self.kernel(name).clone();
-        let configs = self.candidate_configs_for(&func, strategy, totals)?;
-        let result = tune_kernel_traced(&func, &self.target, &configs, run, &self.trace)?;
-        self.module.add_function(result.best.clone());
-        Ok(result)
+        let serial = TuneOptions {
+            parallelism: 1,
+            ..options.clone()
+        };
+        let run = std::sync::Mutex::new(Some(run));
+        self.autotune_pooled(name, &serial, || {
+            run.lock()
+                .expect("runner lock")
+                .take()
+                .expect("the one-worker engine builds exactly one runner")
+        })
     }
 
     /// [`Compiled::autotune`] on the parallel tuning engine: candidates are
@@ -311,8 +418,6 @@ impl Compiled {
     pub fn autotune_pooled<R, F>(
         &mut self,
         name: &str,
-        strategy: Strategy,
-        totals: &[i64],
         options: &TuneOptions,
         make_runner: F,
     ) -> Result<TuneResult, Error>
@@ -321,7 +426,7 @@ impl Compiled {
         F: Fn() -> R + Sync,
     {
         let func = self.kernel(name).clone();
-        let configs = self.candidate_configs_for(&func, strategy, totals)?;
+        let configs = self.candidate_configs_for(&func, options.strategy, &options.totals)?;
         let result = tune_kernel_pooled(
             &func,
             &self.target,
@@ -346,8 +451,6 @@ impl Compiled {
     pub fn autotune_all<R, F>(
         &mut self,
         names: &[&str],
-        strategy: Strategy,
-        totals: &[i64],
         options: &TuneOptions,
         make_runner: F,
     ) -> Result<Vec<TuneResult>, Error>
@@ -358,7 +461,7 @@ impl Compiled {
         let mut jobs = Vec::with_capacity(names.len());
         for &name in names {
             let func = self.kernel(name).clone();
-            let configs = self.candidate_configs_for(&func, strategy, totals)?;
+            let configs = self.candidate_configs_for(&func, options.strategy, &options.totals)?;
             jobs.push((name, func, configs));
         }
         let workers = options.effective_parallelism();
@@ -479,6 +582,69 @@ mod tests {
     }
 
     #[test]
+    fn analyze_reports_clean_for_safe_kernels() {
+        let report = Compiler::new()
+            .source(SRC)
+            .kernel("axpy", [128, 1, 1])
+            .analyze()
+            .unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn analyze_flags_a_racy_kernel() {
+        // Every thread writes cell 0 of a shared tile with no barrier — a
+        // decidable write-write race the analyzer reports as an error,
+        // surfaced through the facade without binding a target.
+        let report = Compiler::new()
+            .source(
+                r#"
+                __global__ void bad(float* d) {
+                    __shared__ float tile[32];
+                    tile[0] = d[threadIdx.x];
+                    d[threadIdx.x] = tile[0];
+                }
+            "#,
+            )
+            .kernel("bad", [32, 1, 1])
+            .analyze()
+            .unwrap();
+        assert!(!report.is_clean());
+        assert!(report.errors().any(|d| d.code.starts_with("race-")));
+    }
+
+    #[test]
+    fn compiled_diagnostics_cover_the_module() {
+        let compiled = Compiler::new()
+            .source(SRC)
+            .kernel("axpy", [128, 1, 1])
+            .target(targets::a100())
+            .coarsen(CoarsenConfig {
+                block: [2, 1, 1],
+                thread: [2, 1, 1],
+            })
+            .compile()
+            .unwrap();
+        assert!(compiled.diagnostics().is_clean());
+    }
+
+    #[test]
+    fn every_facade_error_renders_as_a_diagnostic() {
+        let builder_err = Compiler::new().source(SRC).compile().unwrap_err();
+        let d = Diagnostic::from(builder_err);
+        assert_eq!(d.code, "builder-error");
+        assert!(d.is_error());
+        let frontend_err = Compiler::new()
+            .source("__global__ void broken(")
+            .kernel("broken", [1, 1, 1])
+            .target(targets::a100())
+            .compile()
+            .unwrap_err();
+        let d = Diagnostic::from(frontend_err);
+        assert!(d.code.starts_with("frontend-"));
+    }
+
+    #[test]
     fn compile_launch_round_trip() {
         let compiled = Compiler::new()
             .source(SRC)
@@ -564,23 +730,27 @@ mod tests {
             )
             .unwrap();
         compiled
-            .autotune("axpy", Strategy::Combined, &[1, 2], |func, regs| {
-                let mut s = GpuSim::new(targets::a100());
-                let b = s.mem.alloc_f32(&vec![1.0; 512]);
-                let c = s.mem.alloc_f32(&vec![2.0; 512]);
-                Ok(s.launch(
-                    func,
-                    [4, 1, 1],
-                    &[
-                        KernelArg::Buf(b),
-                        KernelArg::Buf(c),
-                        KernelArg::F32(1.0),
-                        KernelArg::I32(512),
-                    ],
-                    regs,
-                )?
-                .kernel_seconds)
-            })
+            .autotune(
+                "axpy",
+                &TuneOptions::serial().totals(&[1, 2]),
+                |func, regs| {
+                    let mut s = GpuSim::new(targets::a100());
+                    let b = s.mem.alloc_f32(&vec![1.0; 512]);
+                    let c = s.mem.alloc_f32(&vec![2.0; 512]);
+                    Ok(s.launch(
+                        func,
+                        [4, 1, 1],
+                        &[
+                            KernelArg::Buf(b),
+                            KernelArg::Buf(c),
+                            KernelArg::F32(1.0),
+                            KernelArg::I32(512),
+                        ],
+                        regs,
+                    )?
+                    .kernel_seconds)
+                },
+            )
             .unwrap();
         let report = compiled.trace_report();
         assert!(
@@ -623,23 +793,27 @@ mod tests {
             .compile()
             .unwrap();
         let result = compiled
-            .autotune("axpy", Strategy::Combined, &[1, 2], |func, regs| {
-                let mut sim = GpuSim::new(targets::a100());
-                let y = sim.mem.alloc_f32(&vec![1.0; 1024]);
-                let x = sim.mem.alloc_f32(&vec![2.0; 1024]);
-                let report = sim.launch(
-                    func,
-                    [8, 1, 1],
-                    &[
-                        KernelArg::Buf(y),
-                        KernelArg::Buf(x),
-                        KernelArg::F32(1.0),
-                        KernelArg::I32(1024),
-                    ],
-                    regs,
-                )?;
-                Ok(report.kernel_seconds)
-            })
+            .autotune(
+                "axpy",
+                &TuneOptions::serial().totals(&[1, 2]),
+                |func, regs| {
+                    let mut sim = GpuSim::new(targets::a100());
+                    let y = sim.mem.alloc_f32(&vec![1.0; 1024]);
+                    let x = sim.mem.alloc_f32(&vec![2.0; 1024]);
+                    let report = sim.launch(
+                        func,
+                        [8, 1, 1],
+                        &[
+                            KernelArg::Buf(y),
+                            KernelArg::Buf(x),
+                            KernelArg::F32(1.0),
+                            KernelArg::I32(1024),
+                        ],
+                        regs,
+                    )?;
+                    Ok(report.kernel_seconds)
+                },
+            )
             .unwrap();
         assert!(result.best_seconds > 0.0);
         // The module now holds the tuned version under the same name.
@@ -680,9 +854,7 @@ mod tests {
         let s = serial
             .autotune_pooled(
                 "axpy",
-                Strategy::Combined,
-                &[1, 2, 4],
-                &TuneOptions::serial(),
+                &TuneOptions::serial().totals(&[1, 2, 4]),
                 axpy_runner,
             )
             .unwrap();
@@ -690,9 +862,7 @@ mod tests {
         let p = pooled
             .autotune_pooled(
                 "axpy",
-                Strategy::Combined,
-                &[1, 2, 4],
-                &TuneOptions::with_parallelism(3),
+                &TuneOptions::with_parallelism(3).totals(&[1, 2, 4]),
                 axpy_runner,
             )
             .unwrap();
@@ -727,9 +897,7 @@ mod tests {
         let results = compiled
             .autotune_all(
                 &["axpy", "scale"],
-                Strategy::Combined,
-                &[1, 2],
-                &TuneOptions::with_parallelism(2),
+                &TuneOptions::with_parallelism(2).totals(&[1, 2]),
                 |_name| axpy_runner(),
             )
             .unwrap();

@@ -81,6 +81,16 @@ impl From<FrontendError> for CompileError {
     }
 }
 
+impl From<CompileError> for respec_ir::Diagnostic {
+    fn from(e: CompileError) -> respec_ir::Diagnostic {
+        let code = match &e {
+            CompileError::Parse(_) => "frontend-parse",
+            CompileError::Lower(_) => "frontend-lower",
+        };
+        respec_ir::Diagnostic::error(code, e.to_string())
+    }
+}
+
 /// Compiles CUDA source to an IR module containing one function per kernel
 /// named in `specs`.
 ///

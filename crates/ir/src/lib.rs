@@ -51,6 +51,7 @@
 //! ```
 
 mod builder;
+pub mod diag;
 mod func;
 mod hash;
 mod ids;
@@ -63,6 +64,7 @@ mod verify;
 pub mod walk;
 
 pub use builder::FuncBuilder;
+pub use diag::{Diagnostic, Severity};
 pub use func::{Function, Module, Region};
 pub use hash::structural_hash;
 pub use ids::{OpId, RegionId, Value};

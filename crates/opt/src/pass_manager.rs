@@ -4,9 +4,11 @@
 //! where compile time and IR churn go.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
+use respec_analyze::{analyze_function, introduced_errors, Baseline};
 use respec_ir::walk::walk_ops;
-use respec_ir::{Function, OpKind};
+use respec_ir::{Diagnostic, Function, OpKind};
 use respec_trace::Trace;
 
 /// Number of ops reachable from the function body, per op-kind label.
@@ -78,6 +80,122 @@ pub fn run_pass(
         }
     }
     rewrites
+}
+
+/// A transformation introduced an error-grade legality finding (a shared-
+/// memory race or divergent barrier the input did not have). Produced by
+/// [`AnalysisGate::check`] and [`run_gated`].
+#[derive(Clone, Debug)]
+pub struct GateError {
+    /// Name of the stage that tripped the gate.
+    pub stage: String,
+    /// The findings that exceed the pre-transformation baseline.
+    pub introduced: Vec<Diagnostic>,
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage `{}` introduced {} legality error(s); first: {}",
+            self.stage,
+            self.introduced.len(),
+            self.introduced
+                .first()
+                .map(|d| d.message.as_str())
+                .unwrap_or("<none>"),
+        )
+    }
+}
+
+impl std::error::Error for GateError {}
+
+impl From<GateError> for Diagnostic {
+    fn from(e: GateError) -> Diagnostic {
+        match e.introduced.into_iter().next() {
+            Some(mut d) => {
+                d.message = format!("introduced by stage `{}`: {}", e.stage, d.message);
+                d
+            }
+            None => Diagnostic::error(
+                "gate-error",
+                format!("stage `{}` tripped the gate", e.stage),
+            ),
+        }
+    }
+}
+
+/// Legality gate around transformation stages: snapshot the error-grade
+/// findings of the input, transform, and fail hard if new errors appeared.
+///
+/// Budgets are compared *per diagnostic code, by count* — transformations
+/// legitimately move, duplicate and renumber operations, so locations are
+/// not stable across a stage, but a stage that turns a race-free kernel
+/// into a racy one always raises some error count.
+pub struct AnalysisGate {
+    baseline: Baseline,
+}
+
+impl AnalysisGate {
+    /// Snapshots `func`'s current error-grade findings as the budget.
+    pub fn before(func: &Function) -> AnalysisGate {
+        AnalysisGate {
+            baseline: Baseline::of(func),
+        }
+    }
+
+    /// The snapshotted baseline.
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// Re-analyzes `func` after a transformation; any error exceeding the
+    /// baseline budget fails the stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GateError`] carrying the introduced diagnostics.
+    pub fn check(&self, func: &Function, stage: &str) -> Result<(), GateError> {
+        let report = analyze_function(func);
+        let introduced = introduced_errors(&self.baseline, &report);
+        if introduced.is_empty() {
+            Ok(())
+        } else {
+            Err(GateError {
+                stage: stage.to_string(),
+                introduced,
+            })
+        }
+    }
+}
+
+/// Runs `transform` under the legality gate and a `gate:<name>` span: the
+/// error baseline is snapshotted before, and the stage fails if the
+/// transformed function has error-grade findings the input did not.
+///
+/// # Errors
+///
+/// Returns a [`GateError`] when the transformation introduced a race or a
+/// divergent barrier; the function is left in its transformed state so the
+/// caller can inspect (or discard) it.
+pub fn run_gated<T>(
+    trace: &Trace,
+    func: &mut Function,
+    name: &str,
+    transform: impl FnOnce(&mut Function) -> T,
+) -> Result<T, GateError> {
+    let gate = AnalysisGate::before(func);
+    let out = transform(func);
+    let result = gate.check(func, name);
+    if trace.is_enabled() {
+        let mut span = trace.span("gate", format!("gate:{name}"));
+        span.record("function", func.name());
+        span.record(
+            "introduced_errors",
+            result.as_ref().err().map_or(0, |e| e.introduced.len()) as u64,
+        );
+    }
+    result.map(|()| out)
 }
 
 /// The standard cleanup pipeline (canonicalize → CSE → LICM → CSE → DCE →
@@ -171,6 +289,98 @@ mod tests {
                 .any(|e| matches!(e.metric("delta:binary"), Some(MetricValue::Int(d)) if *d < 0)),
             "some pass must record the removal of the duplicate binary ops"
         );
+    }
+
+    const STAGED: &str = "func @s(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c7 = const 7 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %f = cast %tx : f32
+      store %f, %sm[%tx]
+      barrier<thread>
+      %n = sub %c7, %tx : index
+      %v = load %sm[%n] : f32
+      store %v, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    /// A deliberately illegal "pass": deletes every thread barrier without
+    /// checking who depends on it.
+    fn drop_barriers(func: &mut Function) -> usize {
+        let mut dropped = 0;
+        let regions: Vec<_> = (0..func.num_regions())
+            .map(respec_ir::RegionId::from_index)
+            .collect();
+        for r in regions {
+            let before = func.region(r).ops.len();
+            let kept: Vec<_> = func
+                .region(r)
+                .ops
+                .iter()
+                .copied()
+                .filter(|&o| !matches!(func.op(o).kind, OpKind::Barrier { .. }))
+                .collect();
+            dropped += before - kept.len();
+            func.region_mut(r).ops = kept;
+        }
+        dropped
+    }
+
+    #[test]
+    fn gate_trips_on_a_pass_that_introduces_a_race() {
+        let mut func = parse_function(STAGED).unwrap();
+        let err = run_gated(
+            &respec_trace::Trace::disabled(),
+            &mut func,
+            "drop-barriers",
+            drop_barriers,
+        )
+        .unwrap_err();
+        assert!(
+            err.introduced.iter().any(|d| d.code.starts_with("race-")),
+            "{err}"
+        );
+        // The error converts into the diagnostics currency with the stage
+        // recorded in the message.
+        let d: respec_ir::Diagnostic = err.into();
+        assert!(d.is_error());
+        assert!(d.message.contains("drop-barriers"));
+    }
+
+    #[test]
+    fn gate_passes_legal_stages_and_records_a_span() {
+        let mut func = parse_function(STAGED).unwrap();
+        let trace = respec_trace::Trace::new();
+        let rewrites = run_gated(&trace, &mut func, "optimize", crate::optimize).unwrap();
+        let _ = rewrites;
+        let events = trace.events();
+        let gate = events.iter().find(|e| e.name == "gate:optimize").unwrap();
+        assert_eq!(
+            gate.metric("introduced_errors").and_then(|m| m.as_f64()),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn gate_keeps_preexisting_errors_within_budget() {
+        // A kernel that is *already* racy: the gate must not blame a
+        // harmless cleanup stage for errors the input carried in.
+        let mut func = parse_function(STAGED).unwrap();
+        drop_barriers(&mut func);
+        run_gated(
+            &respec_trace::Trace::disabled(),
+            &mut func,
+            "optimize",
+            crate::optimize,
+        )
+        .expect("the race predates the stage");
     }
 
     #[test]

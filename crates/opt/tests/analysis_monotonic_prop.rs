@@ -1,0 +1,96 @@
+//! Property test: the transformation pipeline is *analysis-monotonic* —
+//! coarsening plus cleanup never introduces a static race or
+//! barrier-divergence error the uncoarsened kernel lacked.
+//!
+//! Random CUDA kernels (guards, loops, shared staging, barriers) are
+//! compiled, analyzed to capture the baseline, coarsened with random
+//! configurations, and re-analyzed: `introduced_errors` must stay empty.
+//! This is the compile-time counterpart of the semantics property in
+//! `coarsen_semantics_prop.rs`.
+
+use proptest::prelude::*;
+use respec_analyze::{analyze_function, introduced_errors, Baseline};
+use respec_frontend::{compile_cuda, KernelSpec};
+use respec_opt::{coarsen_function, optimize, CoarsenConfig};
+
+/// A random kernel-body recipe that always produces a valid kernel.
+#[derive(Clone, Debug)]
+struct Recipe {
+    use_guard: bool,
+    use_shared: bool,
+    mirror_read: bool,
+    loop_trips: u8,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 1u8..6).prop_map(
+        |(use_guard, use_shared, mirror_read, loop_trips)| Recipe {
+            use_guard,
+            use_shared,
+            mirror_read,
+            loop_trips,
+        },
+    )
+}
+
+fn source_for(r: &Recipe) -> String {
+    let mut body = String::new();
+    body.push_str("    int i = blockIdx.x * blockDim.x + threadIdx.x;\n");
+    body.push_str("    int tx = threadIdx.x;\n");
+    if r.use_guard {
+        body.push_str("    if (i >= n) return;\n");
+    }
+    body.push_str("    float v = in[i];\n");
+    if r.use_shared {
+        body.push_str("    tile[tx] = v * 2.0f;\n    __syncthreads();\n");
+        if r.mirror_read {
+            body.push_str("    v = v + tile[63 - tx];\n");
+        } else {
+            body.push_str("    v = v + tile[tx];\n");
+        }
+    }
+    body.push_str(&format!(
+        "    for (int k = 0; k < {}; k++) {{ v = v + 0.5f; }}\n",
+        r.loop_trips
+    ));
+    body.push_str("    out[i] = v;\n");
+    format!(
+        "__global__ void k(float* out, float* in, int n) {{\n{}{body}}}\n",
+        if r.use_shared {
+            "    __shared__ float tile[64];\n"
+        } else {
+            ""
+        }
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coarsening_never_introduces_analysis_errors(
+        r in recipe(),
+        bf in 1i64..6,
+        tf_pow in 0u32..4,
+    ) {
+        let src = source_for(&r);
+        let module = compile_cuda(&src, &[KernelSpec::new("k", [64, 1, 1])]).expect("compiles");
+        let func = module.function("k").expect("kernel");
+        let base = Baseline::of(func);
+        let cfg = CoarsenConfig {
+            block: [bf, 1, 1],
+            thread: [1 << tf_pow, 1, 1],
+        };
+        let mut version = func.clone();
+        if coarsen_function(&mut version, cfg).is_ok() {
+            optimize(&mut version);
+            let report = analyze_function(&version);
+            let introduced = introduced_errors(&base, &report);
+            prop_assert!(
+                introduced.is_empty(),
+                "source:\n{}\nconfig: {} introduced: {:#?}",
+                src, cfg, introduced
+            );
+        }
+    }
+}

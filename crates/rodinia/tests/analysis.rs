@@ -1,0 +1,117 @@
+//! Cross-validation of the static legality analysis on the Rodinia suite.
+//!
+//! Every application kernel must be error-clean (the apps are correct GPU
+//! programs), and must stay error-clean after coarsening at several
+//! configurations (coarsening is legality-preserving). The dynamic
+//! shared-memory sanitizer in `respec-sim` then checks the other
+//! direction: running every app with last-writer shadow tracking enabled
+//! must observe no race either — a static verdict the execution disagrees
+//! with fails the suite.
+
+use respec_analyze::{analyze_function, introduced_errors, Baseline};
+use respec_opt::{coarsen_function, optimize, CoarsenConfig};
+use respec_rodinia::{all_apps, compile_app, run_app};
+use respec_sim::{targets, GpuSim};
+
+#[test]
+fn rodinia_kernels_are_statically_error_clean() {
+    for app in all_apps() {
+        let module = compile_app(app.as_ref()).expect("app compiles");
+        for func in module.functions() {
+            let report = analyze_function(func);
+            assert!(
+                report.is_clean(),
+                "{}::{} has static errors: {:#?}",
+                app.name(),
+                func.name(),
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn coarsening_preserves_static_cleanliness() {
+    let configs = [
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [2, 1, 1],
+        },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [1, 1, 1],
+        },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [2, 1, 1],
+        },
+    ];
+    for app in all_apps() {
+        let module = compile_app(app.as_ref()).expect("app compiles");
+        let func = module.function(app.main_kernel()).expect("main kernel");
+        let base = Baseline::of(func);
+        for config in configs {
+            let mut version = func.clone();
+            if coarsen_function(&mut version, config).is_err() {
+                // Indivisible geometry for this app: nothing to check.
+                continue;
+            }
+            optimize(&mut version);
+            let report = analyze_function(&version);
+            let introduced = introduced_errors(&base, &report);
+            assert!(
+                introduced.is_empty(),
+                "{} at {config:?} introduced: {introduced:#?}",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_sanitizer_agrees_with_static_verdict() {
+    // Identity plus the three coarsening shapes of the static test: for
+    // every app × config, the static error-clean verdict must match what
+    // the shadow-memory sanitizer observes over a full application run.
+    let configs = [
+        CoarsenConfig::identity(),
+        CoarsenConfig {
+            block: [1, 1, 1],
+            thread: [2, 1, 1],
+        },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [1, 1, 1],
+        },
+        CoarsenConfig {
+            block: [2, 1, 1],
+            thread: [2, 1, 1],
+        },
+    ];
+    for app in all_apps() {
+        let module = compile_app(app.as_ref()).expect("app compiles");
+        for config in configs {
+            let mut m = module.clone();
+            if !config.is_identity() {
+                let func = module.function(app.main_kernel()).expect("main kernel");
+                let mut version = func.clone();
+                if coarsen_function(&mut version, config).is_err() {
+                    continue;
+                }
+                optimize(&mut version);
+                m.add_function(version);
+            }
+            let static_clean = m.functions().all(|f| analyze_function(f).is_clean());
+            let mut sim = GpuSim::new(targets::a100());
+            sim.set_sanitize_shared(true);
+            run_app(app.as_ref(), &mut sim, &m).expect("app runs under the sanitizer");
+            let races = sim.take_races();
+            assert_eq!(
+                static_clean,
+                races.is_empty(),
+                "{} at {config:?}: static clean = {static_clean}, dynamic races = {races:#?}",
+                app.name()
+            );
+        }
+    }
+}

@@ -36,6 +36,12 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+impl From<SimError> for respec_ir::Diagnostic {
+    fn from(e: SimError) -> Self {
+        respec_ir::Diagnostic::error("sim-error", e.message)
+    }
+}
+
 /// A memory access observed during execution, keyed for warp-level grouping
 /// by `(op, occ)` — the same static instruction at the same dynamic
 /// occurrence across threads forms one warp access.
@@ -255,6 +261,28 @@ pub struct Interp<'f> {
     scratch: Vec<RtVal>,
 }
 
+/// Checked integer extraction: unverified IR can bind any runtime kind to
+/// any value, so kind mismatches surface as errors, not panics.
+#[inline]
+pub(crate) fn want_int(v: RtVal) -> Result<i64, SimError> {
+    v.try_int()
+        .ok_or_else(|| SimError::new(format!("expected an integer value, found {v:?}")))
+}
+
+/// Checked float extraction; see [`want_int`].
+#[inline]
+pub(crate) fn want_float(v: RtVal) -> Result<f64, SimError> {
+    v.try_float()
+        .ok_or_else(|| SimError::new(format!("expected a float value, found {v:?}")))
+}
+
+/// Checked memref extraction; see [`want_int`].
+#[inline]
+pub(crate) fn want_mem(v: RtVal) -> Result<MemVal, SimError> {
+    v.try_mem()
+        .ok_or_else(|| SimError::new(format!("expected a memref value, found {v:?}")))
+}
+
 /// Value lookup through the scope chain (free function so callers can hold
 /// disjoint field borrows of `Interp`).
 #[inline]
@@ -310,11 +338,11 @@ impl<'f> Interp<'f> {
         get_from(&self.store, cx.parents, v)
     }
 
-    fn scalar_ty(&self, v: Value) -> ScalarType {
+    fn scalar_ty(&self, v: Value) -> Result<ScalarType, SimError> {
         self.func
             .value_type(v)
             .as_scalar()
-            .expect("verified IR guarantees scalar type here")
+            .ok_or_else(|| SimError::new(format!("expected a scalar-typed value, got {v:?}")))
     }
 
     /// Runs until the scope finishes, treating barriers and nested parallels
@@ -431,7 +459,7 @@ impl<'f> Interp<'f> {
                 return Ok(StepEvent::Ran);
             }
             OpKind::Condition => {
-                let flag = self.get(cx, op.operands[0])?.as_int() != 0;
+                let flag = want_int(self.get(cx, op.operands[0])?)? != 0;
                 self.scratch.clear();
                 for &v in &op.operands[1..] {
                     let val = get_from(&self.store, cx.parents, v)?;
@@ -484,9 +512,9 @@ impl<'f> Interp<'f> {
             }
             OpKind::Parallel { .. } => Ok(StepEvent::Launch(op_id)),
             OpKind::For => {
-                let lb = self.get(cx, op.operands[0])?.as_int();
-                let ub = self.get(cx, op.operands[1])?.as_int();
-                let step = self.get(cx, op.operands[2])?.as_int();
+                let lb = want_int(self.get(cx, op.operands[0])?)?;
+                let ub = want_int(self.get(cx, op.operands[1])?)?;
+                let step = want_int(self.get(cx, op.operands[2])?)?;
                 if step <= 0 {
                     return Err(SimError::new("for loop step must be positive"));
                 }
@@ -542,8 +570,11 @@ impl<'f> Interp<'f> {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let cond = self.get(cx, op.operands[0])?.as_int() != 0;
-                let region = op.regions[if cond { 0 } else { 1 }];
+                let cond = want_int(self.get(cx, op.operands[0])?)? != 0;
+                let region = *op
+                    .regions
+                    .get(if cond { 0 } else { 1 })
+                    .ok_or_else(|| SimError::new("`if` without both arm regions"))?;
                 self.frames.push(Frame {
                     region,
                     idx: 0,
@@ -552,7 +583,9 @@ impl<'f> Interp<'f> {
                 Ok(StepEvent::Ran)
             }
             OpKind::Alternatives { selected } => {
-                let region = op.regions[selected.unwrap_or(0)];
+                let region = *op.regions.get(selected.unwrap_or(0)).ok_or_else(|| {
+                    SimError::new("`alternatives` selects a region it does not have")
+                })?;
                 self.frames.push(Frame {
                     region,
                     idx: 0,
@@ -591,7 +624,7 @@ impl<'f> Interp<'f> {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let ty = self.scalar_ty(op.results[0]);
+                let ty = self.scalar_ty(op.results[0])?;
                 let l = self.get(cx, op.operands[0])?;
                 let r = self.get(cx, op.operands[1])?;
                 let result = eval_binary(*b, ty, l, r)?;
@@ -601,7 +634,7 @@ impl<'f> Interp<'f> {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let ty = self.scalar_ty(op.results[0]);
+                let ty = self.scalar_ty(op.results[0])?;
                 let v = self.get(cx, op.operands[0])?;
                 let result = eval_unary(*u, ty, v)?;
                 self.store.set(op.results[0], result);
@@ -610,11 +643,11 @@ impl<'f> Interp<'f> {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let ty = self.scalar_ty(op.operands[0]);
+                let ty = self.scalar_ty(op.operands[0])?;
                 let l = self.get(cx, op.operands[0])?;
                 let r = self.get(cx, op.operands[1])?;
                 let flag = if ty.is_float() {
-                    let (a, b) = (l.as_float(), r.as_float());
+                    let (a, b) = (want_float(l)?, want_float(r)?);
                     match p {
                         CmpPred::Eq => a == b,
                         CmpPred::Ne => a != b,
@@ -624,7 +657,7 @@ impl<'f> Interp<'f> {
                         CmpPred::Ge => a >= b,
                     }
                 } else {
-                    let (a, b) = (l.as_int(), r.as_int());
+                    let (a, b) = (want_int(l)?, want_int(r)?);
                     match p {
                         CmpPred::Eq => a == b,
                         CmpPred::Ne => a != b,
@@ -640,14 +673,14 @@ impl<'f> Interp<'f> {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let flag = self.get(cx, op.operands[0])?.as_int() != 0;
+                let flag = want_int(self.get(cx, op.operands[0])?)? != 0;
                 let v = self.get(cx, op.operands[if flag { 1 } else { 2 }])?;
                 self.store.set(op.results[0], v);
             }
             OpKind::Cast { to } => {
-                let from = self.scalar_ty(op.operands[0]);
+                let from = self.scalar_ty(op.operands[0])?;
                 let v = self.get(cx, op.operands[0])?;
-                let out = cast_value(v, from, *to);
+                let out = cast_value(v, from, *to)?;
                 self.store.set(op.results[0], out);
             }
             OpKind::Alloc { space } => {
@@ -655,17 +688,16 @@ impl<'f> Interp<'f> {
                     .func
                     .value_type(op.results[0])
                     .as_memref()
-                    .expect("alloc produces a memref")
+                    .ok_or_else(|| SimError::new("alloc result is not memref-typed"))?
                     .clone();
                 let mut dims = [1i64; 3];
                 let mut operand_iter = op.operands.iter();
                 for (d, &extent) in mem_ty.shape.iter().enumerate() {
                     dims[d] = if extent < 0 {
-                        self.get(
-                            cx,
-                            *operand_iter.next().expect("verified dynamic dim operand"),
-                        )?
-                        .as_int()
+                        let v = *operand_iter
+                            .next()
+                            .ok_or_else(|| SimError::new("alloc missing a dynamic dim operand"))?;
+                        want_int(self.get(cx, v)?)?
                     } else {
                         extent
                     };
@@ -684,10 +716,10 @@ impl<'f> Interp<'f> {
                 );
             }
             OpKind::Load => {
-                let mem = self.get(cx, op.operands[0])?.as_mem();
+                let mem = want_mem(self.get(cx, op.operands[0])?)?;
                 let mut idx = [0i64; 3];
                 for (d, &v) in op.operands[1..].iter().enumerate() {
-                    idx[d] = self.get(cx, v)?.as_int();
+                    idx[d] = want_int(self.get(cx, v)?)?;
                 }
                 let flat = mem.flatten(&idx[..mem.rank as usize]).ok_or_else(|| {
                     SimError::new(format!(
@@ -720,10 +752,10 @@ impl<'f> Interp<'f> {
             }
             OpKind::Store => {
                 let val = self.get(cx, op.operands[0])?;
-                let mem = self.get(cx, op.operands[1])?.as_mem();
+                let mem = want_mem(self.get(cx, op.operands[1])?)?;
                 let mut idx = [0i64; 3];
                 for (d, &v) in op.operands[2..].iter().enumerate() {
-                    idx[d] = self.get(cx, v)?.as_int();
+                    idx[d] = want_int(self.get(cx, v)?)?;
                 }
                 let flat = mem.flatten(&idx[..mem.rank as usize]).ok_or_else(|| {
                     SimError::new(format!(
@@ -753,7 +785,7 @@ impl<'f> Interp<'f> {
                 }
             }
             OpKind::Dim { index } => {
-                let mem = self.get(cx, op.operands[0])?.as_mem();
+                let mem = want_mem(self.get(cx, op.operands[0])?)?;
                 self.store.set(op.results[0], RtVal::Int(mem.dim(*index)));
             }
             other => return Err(SimError::new(format!("unhandled op kind {other:?}"))),
@@ -764,7 +796,7 @@ impl<'f> Interp<'f> {
 
 fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, SimError> {
     if ty.is_float() {
-        let (a, c) = (l.as_float(), r.as_float());
+        let (a, c) = (want_float(l)?, want_float(r)?);
         let wide = match b {
             BinOp::Add => a + c,
             BinOp::Sub => a - c,
@@ -783,7 +815,7 @@ fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, Si
         };
         Ok(RtVal::Float(out))
     } else {
-        let (a, c) = (l.as_int(), r.as_int());
+        let (a, c) = (want_int(l)?, want_int(r)?);
         let wide = match b {
             BinOp::Add => a.wrapping_add(c),
             BinOp::Sub => a.wrapping_sub(c),
@@ -815,7 +847,7 @@ fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, Si
 
 fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
     if ty.is_float() {
-        let a = v.as_float();
+        let a = want_float(v)?;
         let wide = match u {
             UnOp::Neg => -a,
             UnOp::Abs => a.abs(),
@@ -837,7 +869,7 @@ fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
         };
         Ok(RtVal::Float(out))
     } else {
-        let a = v.as_int();
+        let a = want_int(v)?;
         let out = match u {
             UnOp::Neg => a.wrapping_neg(),
             UnOp::Abs => a.wrapping_abs(),
@@ -862,27 +894,27 @@ fn truncate_int(v: i64, ty: ScalarType) -> i64 {
     }
 }
 
-fn cast_value(v: RtVal, from: ScalarType, to: ScalarType) -> RtVal {
-    match (from.is_float(), to.is_float()) {
+fn cast_value(v: RtVal, from: ScalarType, to: ScalarType) -> Result<RtVal, SimError> {
+    Ok(match (from.is_float(), to.is_float()) {
         (true, true) => {
-            let f = v.as_float();
+            let f = want_float(v)?;
             RtVal::Float(if to == ScalarType::F32 {
                 f as f32 as f64
             } else {
                 f
             })
         }
-        (true, false) => RtVal::Int(truncate_int(v.as_float() as i64, to)),
+        (true, false) => RtVal::Int(truncate_int(want_float(v)? as i64, to)),
         (false, true) => {
-            let f = v.as_int() as f64;
+            let f = want_int(v)? as f64;
             RtVal::Float(if to == ScalarType::F32 {
                 f as f32 as f64
             } else {
                 f
             })
         }
-        (false, false) => RtVal::Int(truncate_int(v.as_int(), to)),
-    }
+        (false, false) => RtVal::Int(truncate_int(want_int(v)?, to)),
+    })
 }
 
 #[cfg(test)]
@@ -1054,6 +1086,38 @@ mod tests {
         assert_eq!(loads[3].occ, 3);
         assert_eq!(loads[1].addr - loads[0].addr, 4);
         assert_eq!(mem.read_f32(buf), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn malformed_ir_errors_instead_of_panicking() {
+        // These parse but would all be rejected by the verifier; when driven
+        // unverified the interpreter must surface errors, never panic.
+        let cases = [
+            // `if` on a float condition.
+            "func @bad_if() {\n  %f = fconst 1.0 : f32\n  if %f {\n    yield\n  }\n  return\n}",
+            // Integer add with a float operand.
+            "func @bad_add() {\n  %f = fconst 1.0 : f32\n  %c = const 1 : i32\n  %s = add %f, %c : i32\n  return\n}",
+            // Float compare on integers mislabels the operand kinds.
+            "func @bad_cmp() {\n  %f = fconst 1.0 : f32\n  %c = const 1 : i32\n  %p = cmp lt %f, %c\n  return\n}",
+            // For bounds that are floats.
+            "func @bad_for() {\n  %f = fconst 0.0 : f32\n  %c1 = const 1 : index\n  %c4 = const 4 : index\n  for %i = %f to %c4 step %c1 {\n    yield\n  }\n  return\n}",
+        ];
+        for src in cases {
+            let func = parse_function(src).expect("parses");
+            let mut mem = DeviceMemory::new();
+            let mut interp = Interp::new(&func, func.body());
+            let mut cx = StepCx {
+                mem: &mut mem,
+                parents: &[],
+                counters: None,
+                record_allocs: None,
+            };
+            let err = interp.run_serial(&mut cx).unwrap_err();
+            // Errors convert into the unified diagnostics currency.
+            let diag: respec_ir::Diagnostic = err.into();
+            assert!(diag.is_error());
+            assert_eq!(diag.code, "sim-error");
+        }
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Kernel launch orchestration: grid/block/warp expansion, phase-wise
 //! lock-step execution around barriers, and statistics collection.
 
-use respec_ir::{Function, MemSpace, OpId, Value};
+use std::collections::{HashMap, HashSet};
+
+use respec_ir::{diag, Diagnostic, Function, MemSpace, OpId, Value};
 use respec_trace::Trace;
 
 use crate::cache::Cache;
-use crate::interp::{Interp, SimError, StepCx, StepEvent, ThreadCounters};
+use crate::interp::{want_int, Interp, SimError, StepCx, StepEvent, ThreadCounters};
 use crate::memory::{BufferId, DeviceMemory};
 use crate::occupancy::{occupancy, BlockResources, Occupancy};
 use crate::stats::{ExecStats, WarpMerger};
@@ -30,6 +32,82 @@ pub enum KernelArg {
     Buf(BufferId),
 }
 
+/// Per-launch execution options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaunchOptions {
+    /// The backend's per-thread register estimate (occupancy input).
+    pub regs_per_thread: u32,
+    /// Run the shared-memory sanitizer: track the last writer of every
+    /// shared cell per barrier interval and record conflicting accesses by
+    /// distinct threads as [`RaceRecord`]s. Observational only — results
+    /// and timing estimates are unchanged.
+    pub sanitize_shared: bool,
+}
+
+impl LaunchOptions {
+    /// Options with the given register estimate and the sanitizer off.
+    pub fn new(regs_per_thread: u32) -> LaunchOptions {
+        LaunchOptions {
+            regs_per_thread,
+            sanitize_shared: false,
+        }
+    }
+
+    /// Enables or disables the shared-memory sanitizer.
+    pub fn sanitize(mut self, on: bool) -> LaunchOptions {
+        self.sanitize_shared = on;
+        self
+    }
+}
+
+impl Default for LaunchOptions {
+    fn default() -> LaunchOptions {
+        LaunchOptions::new(32)
+    }
+}
+
+/// A dynamic shared-memory race observed by the sanitizer: two distinct
+/// threads of one block touched the same shared cell in the same barrier
+/// interval, at least one of them writing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RaceRecord {
+    /// Kernel name.
+    pub kernel: String,
+    /// `"race-ww"` for write-write, `"race-rw"` for read-write.
+    pub code: &'static str,
+    /// Raw op index of the access that completed the race (observed second).
+    pub op_a: u32,
+    /// Raw op index of the conflicting access.
+    pub op_b: u32,
+    /// Simulated byte address of the contended cell.
+    pub addr: u64,
+    /// Linear thread ids of the two conflicting threads.
+    pub threads: (u32, u32),
+}
+
+impl RaceRecord {
+    /// Renders the record as a [`Diagnostic`] located at `op_a` of `func`.
+    pub fn to_diagnostic(&self, func: &Function) -> Diagnostic {
+        let what = if self.code == "race-ww" {
+            "write-write race"
+        } else {
+            "read-write race"
+        };
+        Diagnostic::error(
+            self.code,
+            format!(
+                "sanitizer: {what} on shared memory at address {:#x}: threads {} and {} \
+                 conflict with {} in the same barrier interval",
+                self.addr,
+                self.threads.0,
+                self.threads.1,
+                diag::op_path(func, OpId::from_index(self.op_b as usize)),
+            ),
+        )
+        .at_op(func, OpId::from_index(self.op_a as usize))
+    }
+}
+
 /// Result of one simulated kernel launch.
 #[derive(Clone, Debug)]
 pub struct LaunchReport {
@@ -45,6 +123,8 @@ pub struct LaunchReport {
     pub occupancy: Occupancy,
     /// Total blocks launched (all segments, incl. coarsening epilogues).
     pub blocks: u64,
+    /// Races the shared-memory sanitizer observed (empty when disabled).
+    pub races: Vec<RaceRecord>,
 }
 
 /// A simulated GPU: device memory, cache hierarchy, a target description and
@@ -65,6 +145,8 @@ pub struct GpuSim {
     pub launch_log: Vec<KernelTiming>,
     total_stats: ExecStats,
     trace: Trace,
+    sanitize_shared: bool,
+    races: Vec<RaceRecord>,
 }
 
 /// One entry of [`GpuSim::launch_log`].
@@ -94,7 +176,27 @@ impl GpuSim {
             launch_log: Vec::new(),
             total_stats: ExecStats::default(),
             trace: Trace::disabled(),
+            sanitize_shared: false,
+            races: Vec::new(),
         }
+    }
+
+    /// Turns the shared-memory sanitizer on or off for subsequent launches
+    /// (including launches an application drives internally). Observational
+    /// only: simulated results and timings are unchanged; observed races
+    /// accumulate in [`GpuSim::races`].
+    pub fn set_sanitize_shared(&mut self, on: bool) {
+        self.sanitize_shared = on;
+    }
+
+    /// Races the sanitizer has observed over all launches so far.
+    pub fn races(&self) -> &[RaceRecord] {
+        &self.races
+    }
+
+    /// Removes and returns all accumulated sanitizer race records.
+    pub fn take_races(&mut self) -> Vec<RaceRecord> {
+        std::mem::take(&mut self.races)
     }
 
     /// Attaches a trace: every subsequent [`GpuSim::launch`] records a
@@ -166,6 +268,28 @@ impl GpuSim {
         args: &[KernelArg],
         regs_per_thread: u32,
     ) -> Result<LaunchReport, SimError> {
+        let opts = LaunchOptions::new(regs_per_thread).sanitize(self.sanitize_shared);
+        self.launch_with(func, grid, args, opts)
+    }
+
+    /// [`GpuSim::launch`] with explicit [`LaunchOptions`] (register
+    /// estimate, shared-memory sanitizer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on argument mismatches, out-of-bounds
+    /// accesses, or malformed kernels.
+    pub fn launch_with(
+        &mut self,
+        func: &Function,
+        grid: [i64; 3],
+        args: &[KernelArg],
+        opts: LaunchOptions,
+    ) -> Result<LaunchReport, SimError> {
+        let regs_per_thread = opts.regs_per_thread;
+        let mut sanitizer = opts
+            .sanitize_shared
+            .then(|| Sanitizer::new(func.name().to_string()));
         let mut span = self.trace.span("sim", format!("launch:{}", func.name()));
         span.record("grid", format!("{}x{}x{}", grid[0], grid[1], grid[2]));
         span.record("regs_per_thread", regs_per_thread);
@@ -213,8 +337,13 @@ impl GpuSim {
                 StepEvent::Done => break,
                 StepEvent::Barrier => return Err(SimError::new("barrier at host level")),
                 StepEvent::Launch(par_op) => {
-                    let seg =
-                        self.run_block_parallel(func, par_op, &host.store, regs_per_thread)?;
+                    let seg = self.run_block_parallel(
+                        func,
+                        par_op,
+                        &host.store,
+                        regs_per_thread,
+                        &mut sanitizer,
+                    )?;
                     stats.accumulate(&seg.stats);
                     total_blocks += seg.blocks;
                     match &dominant {
@@ -292,7 +421,13 @@ impl GpuSim {
             span.record("cycles:total", total_timing.total_cycles);
             span.record("bound_by", total_timing.bound_by());
             span.record("kernel_seconds", seconds);
+            if opts.sanitize_shared {
+                let n = sanitizer.as_ref().map_or(0, |s| s.races.len());
+                span.record("sanitizer_races", n as u64);
+            }
         }
+        let races = sanitizer.map(|s| s.races).unwrap_or_default();
+        self.races.extend(races.iter().cloned());
         Ok(LaunchReport {
             kernel: func.name().to_string(),
             kernel_seconds: seconds,
@@ -300,6 +435,7 @@ impl GpuSim {
             timing,
             occupancy: occ,
             blocks: total_blocks,
+            races,
         })
     }
 
@@ -309,13 +445,14 @@ impl GpuSim {
         par_op: OpId,
         host_store: &Store,
         regs_per_thread: u32,
+        sanitizer: &mut Option<Sanitizer>,
     ) -> Result<Segment, SimError> {
         let op = func.op(par_op).clone();
         let block_region = op.regions[0];
         let rank = op.operands.len();
         let mut extents = [1i64; 3];
         for (d, ub) in op.operands.iter().enumerate() {
-            extents[d] = lookup(host_store, &[], *ub)?.as_int();
+            extents[d] = want_int(lookup(host_store, &[], *ub)?)?;
             if extents[d] < 0 {
                 return Err(SimError::new("negative grid extent"));
             }
@@ -381,6 +518,7 @@ impl GpuSim {
                                     &mut counter_pool,
                                     &mut merger,
                                     &mut stats,
+                                    sanitizer,
                                 )?;
                                 threads_per_block_seen = threads_per_block_seen.max(tp);
                             }
@@ -430,6 +568,7 @@ impl GpuSim {
         counter_pool: &mut Vec<ThreadCounters>,
         merger: &mut WarpMerger,
         stats: &mut ExecStats,
+        sanitizer: &mut Option<Sanitizer>,
     ) -> Result<u32, SimError> {
         let op = func.op(thread_op).clone();
         let region = op.regions[0];
@@ -437,7 +576,7 @@ impl GpuSim {
         let rank = op.operands.len();
         let mut extents = [1i64; 3];
         for (d, ub) in op.operands.iter().enumerate() {
-            extents[d] = lookup(block_store, &[host_store], *ub)?.as_int();
+            extents[d] = want_int(lookup(block_store, &[host_store], *ub)?)?;
             if extents[d] <= 0 {
                 return Err(SimError::new("thread extents must be positive"));
             }
@@ -467,6 +606,12 @@ impl GpuSim {
         loop {
             let mut all_done = true;
             let mut any_progress = false;
+            // One iteration of this loop is one barrier interval: every live
+            // thread runs up to its next barrier, so the sanitizer's shadow
+            // cells are valid exactly for the duration of one round.
+            if let Some(s) = sanitizer.as_mut() {
+                s.new_interval();
+            }
             for w in 0..warps {
                 let lo = w * warp_size;
                 let hi = ((w + 1) * warp_size).min(threads);
@@ -485,6 +630,9 @@ impl GpuSim {
                         pool[t].run_phase(&mut cx)?
                     };
                     any_progress = true;
+                    if let Some(s) = sanitizer.as_mut() {
+                        s.observe(t as u32, &counter_pool[t].events);
+                    }
                     match ev {
                         StepEvent::Done => {}
                         StepEvent::Barrier => all_done = false,
@@ -550,6 +698,84 @@ struct Segment {
     timing: Timing,
     occupancy: Occupancy,
     blocks: u64,
+}
+
+/// Shared-memory shadow state for the sanitizer: per barrier interval, the
+/// first writer and the readers of every touched shared cell.
+#[derive(Default)]
+struct Cell {
+    writer: Option<(u32, u32)>,
+    readers: Vec<(u32, u32)>,
+}
+
+struct Sanitizer {
+    kernel: String,
+    cells: HashMap<u64, Cell>,
+    reported: HashSet<(&'static str, u32, u32)>,
+    races: Vec<RaceRecord>,
+}
+
+impl Sanitizer {
+    fn new(kernel: String) -> Sanitizer {
+        Sanitizer {
+            kernel,
+            cells: HashMap::new(),
+            reported: HashSet::new(),
+            races: Vec::new(),
+        }
+    }
+
+    /// Starts a new barrier interval: all shadow cells are forgotten.
+    fn new_interval(&mut self) {
+        self.cells.clear();
+    }
+
+    /// Feeds one thread's phase events ((thread, op) pairs per cell) into
+    /// the shadow state, recording conflicts with *other* threads.
+    fn observe(&mut self, t: u32, events: &[crate::interp::MemEvent]) {
+        for e in events {
+            if e.space != MemSpace::Shared {
+                continue;
+            }
+            let cell = self.cells.entry(e.addr).or_default();
+            let mut hits: Vec<(&'static str, u32, u32, u32)> = Vec::new();
+            if e.is_store {
+                if let Some((wt, wop)) = cell.writer {
+                    if wt != t {
+                        hits.push(("race-ww", e.op, wop, wt));
+                    }
+                }
+                if let Some(&(rt, rop)) = cell.readers.iter().find(|&&(rt, _)| rt != t) {
+                    hits.push(("race-rw", e.op, rop, rt));
+                }
+                if cell.writer.is_none() {
+                    cell.writer = Some((t, e.op));
+                }
+            } else {
+                if let Some((wt, wop)) = cell.writer {
+                    if wt != t {
+                        hits.push(("race-rw", e.op, wop, wt));
+                    }
+                }
+                if !cell.readers.iter().any(|&(rt, _)| rt == t) {
+                    cell.readers.push((t, e.op));
+                }
+            }
+            for (code, op_a, op_b, other_t) in hits {
+                let key = (code, op_a.min(op_b), op_a.max(op_b));
+                if self.reported.insert(key) {
+                    self.races.push(RaceRecord {
+                        kernel: self.kernel.clone(),
+                        code,
+                        op_a,
+                        op_b,
+                        addr: e.addr,
+                        threads: (t, other_t),
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Convenience wrapper: allocates, launches once and returns the report.
@@ -771,6 +997,121 @@ mod tests {
         };
         let (s0, st0, out0) = run(None);
         let (s1, st1, out1) = run(Some(Trace::new()));
+        assert_eq!(s0, s1);
+        assert_eq!(st0, st1);
+        assert_eq!(out0, out1);
+    }
+
+    #[test]
+    fn sanitizer_catches_seeded_shared_race() {
+        // Every thread stores to sm[0]: a write-write race, plus read-write
+        // races against the unguarded loads.
+        let func = respec_ir::parse_function(
+            "func @racy(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c0 = const 0 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %f = cast %tx : f32
+      store %f, %sm[%c0]
+      %v = load %sm[%tx] : f32
+      store %v, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let mut sim = GpuSim::new(a100());
+        sim.set_sanitize_shared(true);
+        let mb = sim.mem.alloc_f32(&[0.0; 8]);
+        let report = sim
+            .launch(&func, [1, 1, 1], &[KernelArg::Buf(mb)], 32)
+            .unwrap();
+        assert!(
+            report.races.iter().any(|r| r.code == "race-ww"),
+            "expected a write-write race, got {:?}",
+            report.races
+        );
+        assert!(!sim.races().is_empty());
+        // The record renders as a located diagnostic.
+        let d = report.races[0].to_diagnostic(&func);
+        assert!(d.is_error());
+        assert!(d.location.as_deref().unwrap().contains("@racy"));
+    }
+
+    #[test]
+    fn sanitizer_accepts_barrier_separated_accesses() {
+        // Staged exchange: write own cell, barrier, read the neighbour's.
+        let func = respec_ir::parse_function(
+            "func @stage(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c7 = const 7 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %f = cast %tx : f32
+      store %f, %sm[%tx]
+      barrier<thread>
+      %n = sub %c7, %tx : index
+      %v = load %sm[%n] : f32
+      store %v, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let mut sim = GpuSim::new(a100());
+        sim.set_sanitize_shared(true);
+        let mb = sim.mem.alloc_f32(&[0.0; 8]);
+        let report = sim
+            .launch(&func, [1, 1, 1], &[KernelArg::Buf(mb)], 32)
+            .unwrap();
+        assert!(report.races.is_empty(), "clean kernel: {:?}", report.races);
+        assert_eq!(
+            sim.mem.read_f32(mb),
+            vec![7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn sanitizer_is_observational_only() {
+        let func = compile_saxpy();
+        let n = 256usize;
+        let run = |sanitize: bool| {
+            let mut sim = GpuSim::new(a100());
+            sim.set_sanitize_shared(sanitize);
+            let yb = sim.mem.alloc_f32(&vec![1.0; n]);
+            let xb = sim.mem.alloc_f32(&vec![2.0; n]);
+            let report = sim
+                .launch(
+                    &func,
+                    [1, 1, 1],
+                    &[
+                        KernelArg::Buf(yb),
+                        KernelArg::Buf(xb),
+                        KernelArg::F32(3.0),
+                        KernelArg::I32(n as i32),
+                    ],
+                    32,
+                )
+                .unwrap();
+            (
+                report.kernel_seconds,
+                report.stats.clone(),
+                sim.mem.read_f32(yb),
+            )
+        };
+        let (s0, st0, out0) = run(false);
+        let (s1, st1, out1) = run(true);
         assert_eq!(s0, s1);
         assert_eq!(st0, st1);
         assert_eq!(out0, out1);

@@ -59,7 +59,9 @@ pub use cache::{bank_conflict_factor, coalesce_sectors, Cache};
 pub use interp::{
     classify, InstClass, Interp, MemEvent, SimError, StepCx, StepEvent, ThreadCounters,
 };
-pub use launch::{launch_once, GpuSim, KernelArg, KernelTiming, LaunchReport};
+pub use launch::{
+    launch_once, GpuSim, KernelArg, KernelTiming, LaunchOptions, LaunchReport, RaceRecord,
+};
 pub use memory::{BufferId, DeviceMemory};
 pub use occupancy::{occupancy, BlockResources, Infeasible, Limiter, Occupancy};
 pub use stats::{merge_warp_phase, replay_access, ExecStats, WarpMerger, NUM_CLASSES};

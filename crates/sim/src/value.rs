@@ -108,6 +108,30 @@ impl RtVal {
             other => panic!("expected memref runtime value, found {other:?}"),
         }
     }
+
+    /// Integer payload, or `None` on a kind mismatch (unverified IR).
+    pub fn try_int(self) -> Option<i64> {
+        match self {
+            RtVal::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Float payload, or `None` on a kind mismatch (unverified IR).
+    pub fn try_float(self) -> Option<f64> {
+        match self {
+            RtVal::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Memref payload, or `None` on a kind mismatch (unverified IR).
+    pub fn try_mem(self) -> Option<MemVal> {
+        match self {
+            RtVal::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// A value store with O(1) bulk reset: entries written under an older epoch

@@ -1,9 +1,11 @@
 //! The two-phase tuning engine behind every `tune_kernel*` entry point.
 //!
 //! Phase 1 (*prepare*, parallel over configurations): clone the kernel,
-//! coarsen it (decision point 1 — legality), run the cleanup pipeline, and
-//! prune on static shared memory (decision point 2). Surviving versions are
-//! content-hashed ([`respec_ir::structural_hash`]).
+//! coarsen it (decision point 1 — legality), run the cleanup pipeline,
+//! reject versions the static race/barrier analyzer says the pipeline
+//! broke (errors beyond the input kernel's baseline), and prune on static
+//! shared memory (decision point 2). Surviving versions are content-hashed
+//! ([`respec_ir::structural_hash`]).
 //!
 //! Between the phases the surviving candidates are grouped by IR hash:
 //! distinct configurations that canonicalized to byte-identical IR form one
@@ -28,6 +30,7 @@
 
 use std::collections::HashMap;
 
+use respec_analyze::{introduced_errors, Baseline};
 use respec_backend::{compile_launch, BackendReport};
 use respec_ir::kernel::{analyze_function, Launch};
 use respec_ir::{structural_hash, Function};
@@ -57,11 +60,15 @@ pub(crate) struct PreparedVersion {
     ir_hash: u64,
 }
 
-/// Runs decision points 1–2 for one configuration.
+/// Runs decision points 1–2 for one configuration, plus the static
+/// race/barrier legality gate in between: a version whose coarsened +
+/// optimized IR has analyzer errors the input kernel (`baseline`) lacked
+/// is rejected before any backend compilation or measurement.
 pub(crate) fn prepare(
     func: &Function,
     config: CoarsenConfig,
     target: &TargetDesc,
+    baseline: &Baseline,
     trace: &Trace,
 ) -> Prep {
     let mut version = func.clone();
@@ -86,6 +93,17 @@ pub(crate) fn prepare(
         .map(|l| l.shared_bytes(&version))
         .max()
         .unwrap_or(0);
+    let report = respec_analyze::analyze_function(&version);
+    let introduced = introduced_errors(baseline, &report);
+    if !introduced.is_empty() {
+        return Prep::Pruned {
+            reason: PruneReason::StaticallyUnsafe {
+                errors: introduced.len(),
+                first: introduced[0].message.clone(),
+            },
+            shared_bytes: shared,
+        };
+    }
     if shared > target.shared_per_block {
         return Prep::Pruned {
             reason: PruneReason::SharedMemory {
@@ -303,16 +321,22 @@ pub(crate) fn finalize(
     let measured = candidates.iter().filter(|c| c.seconds.is_some()).count();
     let pruned = candidates.iter().filter(|c| c.pruned.is_some()).count();
     let cache_hits = candidates.iter().filter(|c| c.cache_hit).count();
+    let statically_rejected = candidates
+        .iter()
+        .filter(|c| matches!(c.pruned, Some(PruneReason::StaticallyUnsafe { .. })))
+        .count();
     let stats = TuneStats {
         cache_hits,
         cache_misses: plan.groups.len(),
         runner_calls,
         measured,
         pruned,
+        statically_rejected,
         parallelism,
     };
     trace.counter("tune", "cache_hits", cache_hits);
     trace.counter("tune", "cache_misses", plan.groups.len());
+    trace.counter("tune", "statically_rejected", statically_rejected);
 
     match best {
         Some((wi, best_seconds)) => {
@@ -336,6 +360,7 @@ pub(crate) fn finalize(
             tune_span.record("best_seconds", best_seconds);
             tune_span.record("measured", measured);
             tune_span.record("pruned", pruned);
+            tune_span.record("statically_rejected", statically_rejected);
             tune_span.record("cache_hits", cache_hits);
             tune_span.record("unique_versions", plan.groups.len());
             tune_span.record("parallelism", parallelism);
@@ -365,9 +390,10 @@ pub(crate) fn tune_serial(
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
 ) -> Result<TuneResult, TuneError> {
+    let baseline = Baseline::of(func);
     let preps: Vec<Prep> = configs
         .iter()
-        .map(|&c| prepare(func, c, target, trace))
+        .map(|&c| prepare(func, c, target, &baseline, trace))
         .collect();
     let plan = plan_groups(configs, &preps);
     let evals: Vec<GroupEval> = plan
@@ -392,8 +418,9 @@ where
     R: FnMut(&Function, u32) -> Result<f64, SimError>,
     F: Fn() -> R + Sync,
 {
+    let baseline = Baseline::of(func);
     let preps: Vec<Prep> = parallel_map(configs.len(), workers, |i| {
-        prepare(func, configs[i], target, trace)
+        prepare(func, configs[i], target, &baseline, trace)
     });
     let plan = plan_groups(configs, &preps);
     let evals: Vec<GroupEval> =
@@ -412,4 +439,138 @@ const _: () = {
     assert_send_sync::<BackendReport>();
     assert_send_sync::<Launch>();
     assert_send_sync::<Trace>();
+    assert_send_sync::<Baseline>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::parse_function;
+    use respec_sim::targets;
+    use respec_trace::MetricValue;
+
+    /// Staged exchange through shared memory: store, barrier, mirrored
+    /// load. Race-free, so the analyzer keeps it.
+    const SAFE: &str = "func @safe(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c7 = const 7 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %v = load %m[%tx] : f32
+      store %v, %sm[%tx]
+      barrier<thread>
+      %j = sub %c7, %tx : index
+      %r = load %sm[%j] : f32
+      store %r, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    /// Every thread stores to shared cell 0 with no barrier: a definite
+    /// write-write race the analyzer reports as an error.
+    const RACY: &str = "func @racy(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c0 = const 0 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %v = load %m[%tx] : f32
+      store %v, %sm[%c0]
+      %r = load %sm[%c0] : f32
+      store %r, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    #[test]
+    fn prepare_rejects_versions_with_introduced_errors() {
+        // An empty baseline stands in for a legality-preserving pipeline
+        // whose transform broke the kernel: every analyzer error counts as
+        // introduced.
+        let func = parse_function(RACY).unwrap();
+        let target = targets::a100();
+        let prep = prepare(
+            &func,
+            CoarsenConfig::identity(),
+            &target,
+            &Baseline::default(),
+            &Trace::disabled(),
+        );
+        match prep {
+            Prep::Pruned {
+                reason: PruneReason::StaticallyUnsafe { errors, first },
+                ..
+            } => {
+                assert!(errors > 0);
+                assert!(!first.is_empty());
+            }
+            _ => panic!("racy version must be statically rejected"),
+        }
+    }
+
+    #[test]
+    fn prepare_tolerates_preexisting_errors_within_budget() {
+        // The same racy kernel measured against its *own* baseline passes:
+        // the gate rejects only errors the pipeline introduced.
+        let func = parse_function(RACY).unwrap();
+        let target = targets::a100();
+        let prep = prepare(
+            &func,
+            CoarsenConfig::identity(),
+            &target,
+            &Baseline::of(&func),
+            &Trace::disabled(),
+        );
+        assert!(matches!(prep, Prep::Ready(_)));
+    }
+
+    #[test]
+    fn statically_rejected_candidates_are_counted_and_traced() {
+        // Join path: one surviving candidate and one statically rejected
+        // one must produce `statically_rejected == 1` in the stats, the
+        // trace counter, and a `static-analysis` stage on the candidate
+        // event.
+        let safe = parse_function(SAFE).unwrap();
+        let racy = parse_function(RACY).unwrap();
+        let target = targets::a100();
+        let trace = Trace::new();
+        let configs = vec![CoarsenConfig::identity(), CoarsenConfig::identity()];
+        let preps = vec![
+            prepare(&safe, configs[0], &target, &Baseline::of(&safe), &trace),
+            prepare(&racy, configs[1], &target, &Baseline::default(), &trace),
+        ];
+        let plan = plan_groups(&configs, &preps);
+        let mut run = |_: &Function, _: u32| Ok(1e-3);
+        let evals: Vec<GroupEval> = plan
+            .groups
+            .iter()
+            .map(|g| evaluate_group(g, &preps, &target, &trace, &mut run))
+            .collect();
+        let result = finalize("safe", &configs, preps, plan, evals, 1, &trace).unwrap();
+        assert_eq!(result.stats.statically_rejected, 1);
+        assert_eq!(result.stats.pruned, 1);
+        assert!(matches!(
+            result.candidates[1].pruned,
+            Some(PruneReason::StaticallyUnsafe { .. })
+        ));
+        let events = trace.events();
+        let counter = events
+            .iter()
+            .find(|e| e.name == "statically_rejected")
+            .expect("statically_rejected counter");
+        assert_eq!(counter.metric("value"), Some(&MetricValue::from(1usize)));
+        assert!(events.iter().any(|e| {
+            e.name == "candidate"
+                && e.metric("stage").and_then(|m| m.as_str()) == Some("static-analysis")
+        }));
+    }
+}

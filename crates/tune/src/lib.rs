@@ -5,7 +5,11 @@
 //! pipeline then narrows the set at successive decision points:
 //!
 //! 1. **Legality** — configurations whose unroll-and-interleave would
-//!    duplicate a barrier are dropped during generation.
+//!    duplicate a barrier are dropped during generation, and the static
+//!    race/barrier analyzer ([`respec_analyze`]) rejects any version whose
+//!    coarsened + optimized IR has legality errors the input kernel lacked
+//!    (`PruneReason::StaticallyUnsafe`, counted in
+//!    [`TuneStats::statically_rejected`]).
 //! 2. **Early shared-memory pruning** — static shared memory is known right
 //!    after coarsening; versions exceeding the target's per-block limit are
 //!    discarded before any further compilation.
@@ -99,6 +103,16 @@ pub enum PruneReason {
     /// Coarsening itself was illegal (barrier duplication, non-divisor
     /// thread factor, …).
     Illegal(String),
+    /// The static analyzer found a legality error (shared-memory race,
+    /// divergent barrier) in this version that the input kernel did not
+    /// have: the transformation pipeline broke the kernel, so the candidate
+    /// is rejected before any backend work.
+    StaticallyUnsafe {
+        /// Number of introduced error-level findings.
+        errors: usize,
+        /// The first introduced finding, rendered.
+        first: String,
+    },
     /// Static shared memory exceeds the per-block budget (decision point 2).
     SharedMemory { bytes: u64, limit: u64 },
     /// The backend predicts register spilling (decision point 3).
@@ -112,6 +126,12 @@ impl fmt::Display for PruneReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PruneReason::Illegal(m) => write!(f, "illegal: {m}"),
+            PruneReason::StaticallyUnsafe { errors, first } => {
+                write!(
+                    f,
+                    "statically unsafe ({errors} introduced error(s)): {first}"
+                )
+            }
             PruneReason::SharedMemory { bytes, limit } => {
                 write!(
                     f,
@@ -163,6 +183,9 @@ pub struct TuneStats {
     pub measured: usize,
     /// Candidates eliminated at any decision point.
     pub pruned: usize,
+    /// Candidates rejected by the static race/barrier analyzer: their
+    /// coarsened + optimized IR had legality errors the input kernel lacked.
+    pub statically_rejected: usize,
     /// Worker threads the engine ran with.
     pub parallelism: usize,
 }
@@ -179,13 +202,20 @@ impl TuneStats {
     }
 }
 
-/// Tuning-engine knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Tuning knobs: the single entry path for configuring a search. Worker
+/// count drives the engine; strategy and totals drive candidate generation
+/// in the facade-level `autotune` helpers (lower-level `tune_kernel*` entry
+/// points take an explicit config list instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TuneOptions {
     /// Worker threads for candidate evaluation. `0` means one per available
     /// core ([`std::thread::available_parallelism`]); `1` runs everything
     /// inline on the calling thread.
     pub parallelism: usize,
+    /// Candidate-generation strategy ([`candidate_configs`]).
+    pub strategy: Strategy,
+    /// Total coarsening factors to explore ([`DEFAULT_TOTALS`] by default).
+    pub totals: Vec<i64>,
 }
 
 impl Default for TuneOptions {
@@ -197,17 +227,39 @@ impl Default for TuneOptions {
 impl TuneOptions {
     /// One worker per available core.
     pub fn auto() -> TuneOptions {
-        TuneOptions { parallelism: 0 }
+        TuneOptions {
+            parallelism: 0,
+            strategy: Strategy::Combined,
+            totals: DEFAULT_TOTALS.to_vec(),
+        }
     }
 
     /// Strictly serial evaluation on the calling thread.
     pub fn serial() -> TuneOptions {
-        TuneOptions { parallelism: 1 }
+        TuneOptions {
+            parallelism: 1,
+            ..TuneOptions::auto()
+        }
     }
 
     /// A fixed worker count.
     pub fn with_parallelism(parallelism: usize) -> TuneOptions {
-        TuneOptions { parallelism }
+        TuneOptions {
+            parallelism,
+            ..TuneOptions::auto()
+        }
+    }
+
+    /// Sets the candidate-generation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> TuneOptions {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the total coarsening factors to explore.
+    pub fn totals(mut self, totals: &[i64]) -> TuneOptions {
+        self.totals = totals.to_vec();
+        self
     }
 
     /// Reads `RESPEC_TUNE_PARALLELISM` (worker count, `0` = auto); defaults
@@ -217,7 +269,7 @@ impl TuneOptions {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
         {
-            Some(n) => TuneOptions { parallelism: n },
+            Some(n) => TuneOptions::with_parallelism(n),
             None => TuneOptions::auto(),
         }
     }
@@ -379,6 +431,7 @@ fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, M
     ];
     let stage = match &candidate.pruned {
         Some(PruneReason::Illegal(_)) => "legality",
+        Some(PruneReason::StaticallyUnsafe { .. }) => "static-analysis",
         Some(PruneReason::SharedMemory { .. }) => "shared-memory",
         Some(PruneReason::Spill { .. }) => "spill",
         Some(PruneReason::RunFailed(_)) => "measure",
@@ -389,6 +442,9 @@ fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, M
         m.push(("reason".into(), reason.to_string().into()));
     }
     match &candidate.pruned {
+        Some(PruneReason::StaticallyUnsafe { errors, .. }) => {
+            m.push(("introduced_errors".into(), (*errors).into()));
+        }
         Some(PruneReason::SharedMemory { bytes, limit }) => {
             m.push(("shmem_limit".into(), (*limit).into()));
             m.push(("shmem_over_by".into(), (bytes - limit).into()));
@@ -654,6 +710,26 @@ mod tests {
         assert_eq!(events.iter().filter(|e| e.name == "backend").count(), 2);
         assert_eq!(events.iter().filter(|e| e.name == "measure").count(), 2);
         assert_eq!(events.iter().filter(|e| e.name == "candidate").count(), 5);
+    }
+
+    #[test]
+    fn static_gate_passes_safe_kernels_and_reports_zero() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        let configs = candidate_configs(Strategy::Combined, &[1, 2], &[64, 1, 1]);
+        let trace = Trace::new();
+        let result = tune_kernel_traced(&func, &target, &configs, scale_runner, &trace).unwrap();
+        assert_eq!(result.stats.statically_rejected, 0);
+        assert!(!result
+            .candidates
+            .iter()
+            .any(|c| matches!(c.pruned, Some(PruneReason::StaticallyUnsafe { .. }))));
+        // The counter is emitted even when zero, so dashboards can tell
+        // "gate ran, nothing rejected" from "gate absent".
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.name == "statically_rejected"));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! cargo run --release --example autotune_lud
 //! ```
 
-use respec::{candidate_configs, targets, tune_kernel, GpuSim, Strategy};
+use respec::prelude::*;
+use respec::{candidate_configs, tune_kernel};
 use respec_rodinia::{all_apps, compile_app};
 
 fn main() {

@@ -6,7 +6,7 @@
 //! ```
 
 use respec::opt::{block_coarsen, optimize, thread_coarsen};
-use respec::{targets, Compiler, Error};
+use respec::prelude::*;
 
 const SOURCE: &str = r#"
 __global__ void stage(float* out, float* in) {

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use respec::{targets, Compiler, Error, KernelArg};
+use respec::prelude::*;
 
 const SOURCE: &str = r#"
 __global__ void saxpy(float* y, float* x, float a, int n) {

@@ -6,7 +6,7 @@
 //! cargo run --example retarget_amd
 //! ```
 
-use respec::{targets, Compiler, Error, KernelArg, LaunchReport, TargetDesc};
+use respec::prelude::*;
 
 const SOURCE: &str = r#"
 __global__ void dot_chunks(double* out, double* a, double* b, int n) {

@@ -10,7 +10,7 @@
 
 use std::io::Write;
 
-use respec::{targets, Compiler, Strategy, Trace};
+use respec::prelude::*;
 use respec_rodinia::all_apps;
 
 fn main() {
@@ -43,12 +43,13 @@ fn main() {
     let result = compiled
         .autotune(
             lud.main_kernel(),
-            Strategy::Combined,
-            &[1, 2, 4, 8, 16],
+            &TuneOptions::serial()
+                .strategy(Strategy::Combined)
+                .totals(&[1, 2, 4, 8, 16]),
             |version, _regs| {
                 let mut m = module.clone();
                 m.add_function(version.clone());
-                let mut sim = respec::GpuSim::new(targets::a100());
+                let mut sim = GpuSim::new(targets::a100());
                 lud.run(&mut sim, &m)?;
                 Ok(sim.elapsed_seconds)
             },
