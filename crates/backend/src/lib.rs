@@ -74,20 +74,65 @@ impl BackendReport {
     }
 }
 
+/// A backend compilation failure (the ptxas-error analogue).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl BackendError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> BackendError {
+        BackendError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// Compiles the thread code of `launch` and reports register demand, spill
 /// estimate (against `max_regs_per_thread`) and kernel statistics.
+///
+/// Panics on malformed launches; callers that must survive arbitrary input
+/// (e.g. the resilient tuning engine) use [`try_compile_launch`].
 pub fn compile_launch(func: &Function, launch: &Launch, max_regs_per_thread: u32) -> BackendReport {
-    let region = func.op(launch.thread_par).regions[0];
+    try_compile_launch(func, launch, max_regs_per_thread)
+        .unwrap_or_else(|e| panic!("compile_launch: {e}"))
+}
+
+/// Fallible [`compile_launch`]: validates the launch shape and returns a
+/// [`BackendError`] instead of panicking when the thread-parallel op has no
+/// body region to lower.
+pub fn try_compile_launch(
+    func: &Function,
+    launch: &Launch,
+    max_regs_per_thread: u32,
+) -> Result<BackendReport, BackendError> {
+    let op = func.op(launch.thread_par);
+    let region = *op.regions.first().ok_or_else(|| {
+        BackendError::new(format!(
+            "kernel {}: thread-parallel op has no body region",
+            func.name()
+        ))
+    })?;
     let prog = lower_region_to_visa(func, region);
     let pressure = max_pressure(&prog) + RESERVED_REGS;
     let spill_units = pressure.saturating_sub(max_regs_per_thread);
     let regs_per_thread = pressure.min(max_regs_per_thread);
-    BackendReport {
+    Ok(BackendReport {
         regs_per_thread,
         spill_units,
         inst_count: prog.insts.len(),
         stats: kernel_stats(func, region, 32.0),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +176,33 @@ mod tests {
         assert!(report.regs_per_thread < 64);
         assert!(!report.spills());
         assert!(report.inst_count > 5);
+    }
+
+    #[test]
+    fn try_compile_launch_matches_infallible_path() {
+        let func = kernel(4);
+        let launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
+        let report = try_compile_launch(&func, &launch, 255).expect("well-formed kernel");
+        assert_eq!(report, compile_launch(&func, &launch, 255));
+    }
+
+    #[test]
+    fn try_compile_launch_rejects_bodyless_thread_op() {
+        let func = kernel(1);
+        let mut launch = respec_ir::kernel::analyze_function(&func)
+            .unwrap()
+            .remove(0);
+        // Point the launch at an op without regions (a leaf const op) to
+        // model a structurally broken kernel shape.
+        let leaf = (0..func.num_ops())
+            .map(respec_ir::OpId::from_index)
+            .find(|&id| func.op(id).regions.is_empty())
+            .expect("some leaf op");
+        launch.thread_par = leaf;
+        let err = try_compile_launch(&func, &launch, 255).unwrap_err();
+        assert!(err.message.contains("no body region"), "{}", err.message);
     }
 
     #[test]

@@ -153,6 +153,21 @@ pub fn tuned_module_with(
     )
     .ok();
     if let Some(r) = &result {
+        // Surface best-effort degradation (injected faults, lost
+        // candidates) without failing the harness: the winner is still the
+        // best *surviving* candidate.
+        if let Some(d) = r.degraded() {
+            eprintln!(
+                "tuned_module[{}]: degraded search — {} fault(s) injected, {} retries, \
+                 {} recovered, {} abandoned, {} candidate(s) lost",
+                app.name(),
+                d.faults_injected,
+                d.retries,
+                d.recovered,
+                d.abandoned,
+                d.lost.len()
+            );
+        }
         module.add_function(r.best.clone());
     }
     (module, result)

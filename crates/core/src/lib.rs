@@ -60,19 +60,23 @@ pub use respec_analyze::AnalysisReport;
 pub use respec_frontend::KernelSpec;
 pub use respec_ir::{Diagnostic, Function, Module, Severity};
 pub use respec_opt::{CoarsenConfig, IndexingStyle};
-pub use respec_sim::{targets, GpuSim, KernelArg, LaunchReport, TargetDesc};
+pub use respec_sim::{
+    targets, FaultKind, FaultPlan, FaultSite, FaultSpec, GpuSim, KernelArg, LaunchReport,
+    TargetDesc,
+};
 pub use respec_trace::{Trace, TraceSummary};
 pub use respec_tune::{
-    candidate_configs, tune_kernel, tune_kernel_pooled, tune_kernel_traced, Strategy, TuneOptions,
-    TuneResult, TuneStats, DEFAULT_TOTALS,
+    candidate_configs, tune_kernel, tune_kernel_pooled, tune_kernel_traced, DegradedReport,
+    RetryPolicy, Strategy, TuneErrorKind, TuneOptions, TuneResult, TuneStats, DEFAULT_TOTALS,
 };
 
 /// One-line import for the common facade workflow:
 /// `use respec::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        targets, CoarsenConfig, Compiled, Compiler, Diagnostic, Error, GpuSim, KernelArg,
-        LaunchReport, Severity, Strategy, TargetDesc, Trace, TuneOptions, TuneResult,
+        targets, CoarsenConfig, Compiled, Compiler, Diagnostic, Error, FaultPlan, FaultSpec,
+        GpuSim, KernelArg, LaunchReport, RetryPolicy, Severity, Strategy, TargetDesc, Trace,
+        TuneOptions, TuneResult,
     };
 }
 
@@ -383,6 +387,13 @@ impl Compiled {
     /// whole decision path. `options.parallelism` is ignored — one `FnMut`
     /// runner cannot be shared across workers; pass a runner *factory* to
     /// `autotune_pooled` for parallel evaluation.
+    ///
+    /// The search is **best-effort** when `options.fault_plan` is active or
+    /// runs fail for real: faulted candidates are retried
+    /// ([`TuneOptions::retry`]), re-elected within their cache group and
+    /// finally demoted, and a winner is still returned as long as *some*
+    /// candidate survives — inspect [`TuneResult::degraded`] for what was
+    /// lost. Only a search with no survivors errors ([`TuneErrorKind`]).
     ///
     /// # Errors
     ///

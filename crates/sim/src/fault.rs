@@ -1,0 +1,432 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! The paper's timing-driven optimization (§VI) is a serving loop: it
+//! compiles and measures dozens of kernel versions, and on real hardware
+//! individual steps fail without warning — ptxas rejects a version, a
+//! launch traps, a measurement hangs or comes back polluted by thermal
+//! noise. This module models those failures as *injectable faults* so the
+//! rest of the system can be tested (and hardened) against them without any
+//! real hardware flaking involved.
+//!
+//! A [`FaultPlan`] is a pure value: a seed plus a [`FaultSpec`] of
+//! per-site fault rates. Whether a fault fires at a given *(site, key,
+//! attempt)* triple is a deterministic function of the plan — no RNG state,
+//! no wall clock — so a faulted run is exactly reproducible from its seed,
+//! independent of thread scheduling, and a *retry* (same site and key,
+//! higher attempt number) re-rolls the decision, which is what makes
+//! injected faults transient and recoverable.
+//!
+//! Three sites mirror the three failure classes of a real tuning loop:
+//!
+//! | site | fault | real-world analogue |
+//! |---|---|---|
+//! | [`FaultSite::Compile`] | [`FaultKind::CompileReject`] | ptxas/backend error |
+//! | [`FaultSite::Launch`] | [`FaultKind::LaunchTrap`] | launch failure, device trap |
+//! | [`FaultSite::Timing`] | [`FaultKind::TimeoutExceeded`] | hung measurement |
+//! | [`FaultSite::Timing`] | [`FaultKind::NoisyTiming`] | thermal/contention noise |
+//!
+//! A noisy timing multiplies the measured seconds by a deterministic factor
+//! **strictly greater than one** (noise on real GPUs is overwhelmingly a
+//! slowdown: throttling, contention, cold caches). That directional
+//! guarantee is what lets the chaos tests state an exact winner-preservation
+//! property: a noise-free measurement can never be displaced by a noisy one.
+
+use std::fmt;
+
+use crate::interp::SimError;
+
+/// Where in the compile/launch/measure path a fault is injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Backend compilation of a candidate version.
+    Compile,
+    /// The simulator (or device) launch itself.
+    Launch,
+    /// The timing measurement of a launch that ran.
+    Timing,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultSite::Compile => "compile",
+            FaultSite::Launch => "launch",
+            FaultSite::Timing => "timing",
+        })
+    }
+}
+
+/// The typed failure a fault decision produces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The backend rejected the version (ptxas error analogue). Hard fault:
+    /// the attempt yields no artifact.
+    CompileReject,
+    /// The launch trapped (illegal address, device fault analogue). Hard
+    /// fault: the attempt yields no measurement.
+    LaunchTrap,
+    /// The measurement exceeded its deadline (hung kernel analogue). Hard
+    /// fault: the attempt's timing is discarded.
+    TimeoutExceeded,
+    /// The measurement completed but the reported time is perturbed by
+    /// `factor` (> 1, a slowdown). Soft fault: the attempt still yields a
+    /// usable — if pessimistic — timing, so it is neither retried nor
+    /// abandoned.
+    NoisyTiming {
+        /// Multiplier applied to the true measured seconds; always > 1.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label (trace events, diagnostics).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CompileReject => "compile-reject",
+            FaultKind::LaunchTrap => "launch-trap",
+            FaultKind::TimeoutExceeded => "timeout",
+            FaultKind::NoisyTiming { .. } => "noisy-timing",
+        }
+    }
+}
+
+/// One injected fault: what fired, where, and for which decision triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fault {
+    /// Injection site.
+    pub site: FaultSite,
+    /// Typed failure.
+    pub kind: FaultKind,
+    /// Caller-chosen stable identity of the work item (candidate index,
+    /// kernel-name hash, …).
+    pub key: u64,
+    /// Retry ordinal the decision was made for.
+    pub attempt: u32,
+}
+
+impl Fault {
+    /// `true` for [`FaultKind::NoisyTiming`] — the only fault that still
+    /// yields a usable measurement.
+    pub fn is_noise(&self) -> bool {
+        matches!(self.kind, FaultKind::NoisyTiming { .. })
+    }
+
+    /// Renders the fault as the [`SimError`] a runner would surface.
+    pub fn to_sim_error(&self) -> SimError {
+        SimError::new(self.to_string())
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected fault: {} at {} site (key {}, attempt {})",
+            self.kind.label(),
+            self.site,
+            self.key,
+            self.attempt
+        )
+    }
+}
+
+/// Per-site fault rates in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability of [`FaultKind::CompileReject`] per compile attempt.
+    pub compile_rate: f64,
+    /// Probability of [`FaultKind::LaunchTrap`] per launch attempt.
+    pub launch_rate: f64,
+    /// Probability of [`FaultKind::TimeoutExceeded`] per measurement.
+    pub timeout_rate: f64,
+    /// Probability of [`FaultKind::NoisyTiming`] per measurement that was
+    /// not timed out.
+    pub noise_rate: f64,
+    /// Upper bound of the noise multiplier; factors are drawn
+    /// deterministically from `(1, max_noise_factor]`.
+    pub max_noise_factor: f64,
+}
+
+impl FaultSpec {
+    /// All rates zero: nothing ever fires.
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            compile_rate: 0.0,
+            launch_rate: 0.0,
+            timeout_rate: 0.0,
+            noise_rate: 0.0,
+            max_noise_factor: 3.0,
+        }
+    }
+
+    /// The same rate for every *hard* fault (compile, launch, timeout);
+    /// noise stays off.
+    pub fn uniform(rate: f64) -> FaultSpec {
+        FaultSpec {
+            compile_rate: rate,
+            launch_rate: rate,
+            timeout_rate: rate,
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Sets the noisy-timing rate.
+    pub fn with_noise(mut self, rate: f64) -> FaultSpec {
+        self.noise_rate = rate;
+        self
+    }
+
+    /// `true` when no fault can ever fire.
+    pub fn is_zero(&self) -> bool {
+        self.compile_rate <= 0.0
+            && self.launch_rate <= 0.0
+            && self.timeout_rate <= 0.0
+            && self.noise_rate <= 0.0
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec::none()
+    }
+}
+
+/// A deterministic fault schedule: seed + rates. Copyable, thread-safe and
+/// stateless — every decision is a pure function of
+/// `(seed, site, key, attempt)`, so serial and parallel consumers of the
+/// same plan observe the very same faults.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (rates all zero).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            spec: FaultSpec::none(),
+        }
+    }
+
+    /// A plan from a seed and a rate spec.
+    pub fn new(seed: u64, spec: FaultSpec) -> FaultPlan {
+        FaultPlan { seed, spec }
+    }
+
+    /// The seed the plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The rate spec the plan was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// `true` when some fault can fire (any rate positive).
+    pub fn is_active(&self) -> bool {
+        !self.spec.is_zero()
+    }
+
+    /// Reads a plan from the environment: `RESPEC_FAULT_SEED` (u64, default
+    /// 0), `RESPEC_FAULT_RATE` (uniform hard-fault rate) and
+    /// `RESPEC_FAULT_NOISE` (noisy-timing rate). Disabled when neither rate
+    /// variable is set.
+    pub fn from_env() -> FaultPlan {
+        let parse_f64 = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+        };
+        let seed = std::env::var("RESPEC_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        let rate = parse_f64("RESPEC_FAULT_RATE");
+        let noise = parse_f64("RESPEC_FAULT_NOISE");
+        if rate.is_none() && noise.is_none() {
+            return FaultPlan::disabled();
+        }
+        let spec = FaultSpec::uniform(rate.unwrap_or(0.0)).with_noise(noise.unwrap_or(0.0));
+        FaultPlan::new(seed, spec)
+    }
+
+    /// Decides whether a fault fires at `site` for work item `key` on retry
+    /// ordinal `attempt`. Pure and deterministic: the same triple always
+    /// yields the same answer for the same plan, and a different `attempt`
+    /// re-rolls it — that is what makes injected hard faults *transient*
+    /// (recoverable by retrying) rather than sticky.
+    pub fn decide(&self, site: FaultSite, key: u64, attempt: u32) -> Option<Fault> {
+        if !self.is_active() {
+            return None;
+        }
+        let fault = |kind| {
+            Some(Fault {
+                site,
+                kind,
+                key,
+                attempt,
+            })
+        };
+        match site {
+            FaultSite::Compile => {
+                if self.roll(1, key, attempt) < self.spec.compile_rate {
+                    return fault(FaultKind::CompileReject);
+                }
+            }
+            FaultSite::Launch => {
+                if self.roll(2, key, attempt) < self.spec.launch_rate {
+                    return fault(FaultKind::LaunchTrap);
+                }
+            }
+            FaultSite::Timing => {
+                if self.roll(3, key, attempt) < self.spec.timeout_rate {
+                    return fault(FaultKind::TimeoutExceeded);
+                }
+                if self.roll(4, key, attempt) < self.spec.noise_rate {
+                    // Strictly > 1: the slowest legal factor is 1 + 1% of
+                    // the configured headroom, the fastest the full bound.
+                    let headroom = (self.spec.max_noise_factor - 1.0).max(0.01);
+                    let u = self.roll(5, key, attempt).max(0.01);
+                    return fault(FaultKind::NoisyTiming {
+                        factor: 1.0 + headroom * u,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Uniform draw in `[0, 1)` from the decision triple, with `salt`
+    /// separating independent rolls at the same triple.
+    fn roll(&self, salt: u64, key: u64, attempt: u32) -> f64 {
+        let mut h = self.seed ^ mix(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = mix(h ^ key);
+        h = mix(h ^ u64::from(attempt));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed bijective mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a hash of a string — a stable work-item key for name-addressed
+/// sites (e.g. per-kernel launch faults in the simulator).
+pub fn key_of(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        for key in 0..64 {
+            for attempt in 0..4 {
+                for site in [FaultSite::Compile, FaultSite::Launch, FaultSite::Timing] {
+                    assert_eq!(plan.decide(site, key, attempt), None);
+                }
+            }
+        }
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7, FaultSpec::uniform(0.5).with_noise(0.3));
+        let b = FaultPlan::new(7, FaultSpec::uniform(0.5).with_noise(0.3));
+        let c = FaultPlan::new(8, FaultSpec::uniform(0.5).with_noise(0.3));
+        let mut diverged = false;
+        for key in 0..256 {
+            for attempt in 0..4 {
+                for site in [FaultSite::Compile, FaultSite::Launch, FaultSite::Timing] {
+                    assert_eq!(a.decide(site, key, attempt), b.decide(site, key, attempt));
+                    diverged |= a.decide(site, key, attempt) != c.decide(site, key, attempt);
+                }
+            }
+        }
+        assert!(diverged, "different seeds must produce different schedules");
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        let plan = FaultPlan::new(42, FaultSpec::uniform(0.25));
+        let n = 4000u64;
+        let hits = (0..n)
+            .filter(|&k| plan.decide(FaultSite::Compile, k, 0).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn full_rate_always_fires_and_retries_reroll_lower_rates() {
+        let sure = FaultPlan::new(1, FaultSpec::uniform(1.0));
+        assert!(sure.decide(FaultSite::Launch, 9, 0).is_some());
+        assert!(sure.decide(FaultSite::Launch, 9, 1).is_some());
+        // At rate 0.5 some key must fault on attempt 0 and recover on a
+        // retry — the transient-fault contract.
+        let half = FaultPlan::new(1, FaultSpec::uniform(0.5));
+        let recovers = (0..512).any(|k| {
+            half.decide(FaultSite::Launch, k, 0).is_some()
+                && half.decide(FaultSite::Launch, k, 1).is_none()
+        });
+        assert!(recovers);
+    }
+
+    #[test]
+    fn noise_factors_are_strict_slowdowns_within_bound() {
+        let plan = FaultPlan::new(3, FaultSpec::none().with_noise(1.0));
+        for key in 0..256 {
+            match plan.decide(FaultSite::Timing, key, 0) {
+                Some(Fault {
+                    kind: FaultKind::NoisyTiming { factor },
+                    ..
+                }) => {
+                    assert!(factor > 1.0, "factor {factor} must be > 1");
+                    assert!(factor <= plan.spec().max_noise_factor);
+                }
+                other => panic!("noise rate 1.0 must fire, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn faults_render_as_sim_errors() {
+        let f = Fault {
+            site: FaultSite::Launch,
+            kind: FaultKind::LaunchTrap,
+            key: 5,
+            attempt: 2,
+        };
+        let e = f.to_sim_error();
+        assert!(e.message.contains("injected fault"));
+        assert!(e.message.contains("launch-trap"));
+        assert!(!f.is_noise());
+        assert!(Fault {
+            kind: FaultKind::NoisyTiming { factor: 1.5 },
+            ..f
+        }
+        .is_noise());
+    }
+
+    #[test]
+    fn key_of_is_stable() {
+        assert_eq!(key_of("lud_diagonal"), key_of("lud_diagonal"));
+        assert_ne!(key_of("lud_diagonal"), key_of("lud_perimeter"));
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 mod cache;
+pub mod fault;
 mod interp;
 mod launch;
 mod memory;
@@ -56,6 +57,7 @@ mod timing;
 mod value;
 
 pub use cache::{bank_conflict_factor, coalesce_sectors, Cache};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use interp::{
     classify, InstClass, Interp, MemEvent, SimError, StepCx, StepEvent, ThreadCounters,
 };

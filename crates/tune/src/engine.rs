@@ -20,26 +20,77 @@
 //! builds its own runner from the caller's factory, so simulators are never
 //! shared across threads.
 //!
+//! # Resilience
+//!
+//! Evaluation survives failure instead of aborting the search. Any step of
+//! a member's evaluation can fail — a backend error or injected
+//! `CompileReject`, a runner error, panic or injected `LaunchTrap`, an
+//! injected `TimeoutExceeded` — and each failure costs exactly that
+//! attempt:
+//!
+//! * **Retry with backoff** — failed attempts are re-tried up to
+//!   [`crate::RetryPolicy::max_retries`] times under a *virtual* clock
+//!   (exponential backoff plus measured run cost; no wall time), bounded by
+//!   [`crate::RetryPolicy::deadline`]. Injected faults re-roll per attempt,
+//!   so transient faults genuinely recover.
+//! * **Re-election** — when a group's representative exhausts its retries,
+//!   the next member (in candidate order) is elected and evaluated instead
+//!   of discarding the whole group. Members share byte-identical IR, so a
+//!   successful re-election preserves the measurement bit-for-bit under a
+//!   deterministic runner.
+//! * **Demotion, not abortion** — members that exhaust every option are
+//!   demoted to `PruneReason::{CompileFailed, RunFailed, TimedOut}`;
+//!   the search continues and reports the loss via
+//!   [`crate::TuneResult::degraded`].
+//!
+//! Runner panics are caught per-attempt ([`std::panic::catch_unwind`]); a
+//! panicking candidate is demoted like any failed run and the worker keeps
+//! serving other groups. Faults are keyed by *candidate index* and attempt
+//! number — never by thread or schedule — so serial and parallel runs under
+//! the same [`respec_sim::FaultPlan`] observe identical faults.
+//!
 //! The join step walks candidates **in generation order** to emit decision
 //! events and select the winner (strictly-smaller time wins; ties keep the
 //! earlier candidate). Because grouping is a pure function of the prepared
 //! IR and both phases produce per-index results independent of scheduling,
 //! serial and parallel runs select byte-identical winners with bit-identical
 //! times and identical decision logs — the contract the determinism proptest
-//! enforces.
+//! enforces, now including the fault/retry/re-election machinery.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use respec_analyze::{introduced_errors, Baseline};
-use respec_backend::{compile_launch, BackendReport};
+use respec_backend::{try_compile_launch, BackendReport};
 use respec_ir::kernel::{analyze_function, Launch};
 use respec_ir::{structural_hash, Function};
 use respec_opt::{coarsen_function, optimize_traced, CoarsenConfig};
-use respec_sim::{SimError, TargetDesc};
+use respec_sim::{FaultKind, FaultPlan, FaultSite, SimError, TargetDesc};
 use respec_trace::Trace;
 
-use crate::pool::parallel_map;
-use crate::{candidate_metrics, Candidate, PruneReason, TuneError, TuneResult, TuneStats};
+use crate::pool::{panic_message, parallel_map};
+use crate::{
+    candidate_metrics, Candidate, PruneReason, RetryPolicy, TuneError, TuneErrorKind, TuneResult,
+    TuneStats,
+};
+
+/// Fault schedule + retry policy, threaded through both drivers.
+pub(crate) struct Resilience {
+    /// What to inject, where, and when.
+    pub plan: FaultPlan,
+    /// How hard to fight back.
+    pub retry: RetryPolicy,
+}
+
+impl Resilience {
+    /// No injection, default retry policy — the plain tuning path.
+    pub fn disabled() -> Resilience {
+        Resilience {
+            plan: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
 
 /// Phase-1 outcome for one candidate configuration.
 pub(crate) enum Prep {
@@ -122,11 +173,33 @@ pub(crate) fn prepare(
     }))
 }
 
+/// [`prepare`], with panics demoted to an `Illegal` prune so one broken
+/// transform never kills the search. Used identically by the serial and
+/// parallel drivers to keep them symmetric.
+pub(crate) fn prepare_caught(
+    func: &Function,
+    config: CoarsenConfig,
+    target: &TargetDesc,
+    baseline: &Baseline,
+    trace: &Trace,
+) -> Prep {
+    catch_unwind(AssertUnwindSafe(|| {
+        prepare(func, config, target, baseline, trace)
+    }))
+    .unwrap_or_else(|payload| Prep::Pruned {
+        reason: PruneReason::Illegal(format!("prepare panicked: {}", panic_message(payload))),
+        shared_bytes: 0,
+    })
+}
+
 /// One set of candidates whose prepared versions are byte-identical IR.
 pub(crate) struct Group {
     /// Lowest candidate index in the group; its prepared version stands in
     /// for every member.
     rep: usize,
+    /// Every member's candidate index, ascending — the re-election order
+    /// when evaluation of earlier members is abandoned.
+    members: Vec<usize>,
     /// Whether any member is the identity configuration (identity is exempt
     /// from spill pruning so a baseline always gets measured).
     has_identity: bool,
@@ -148,10 +221,12 @@ pub(crate) fn plan_groups(configs: &[CoarsenConfig], preps: &[Prep]) -> GroupPla
             let gi = *by_hash.entry(p.ir_hash).or_insert_with(|| {
                 groups.push(Group {
                     rep: i,
+                    members: Vec::new(),
                     has_identity: false,
                 });
                 groups.len() - 1
             });
+            groups[gi].members.push(i);
             groups[gi].has_identity |= configs[i].is_identity();
             group_of.insert(i, gi);
         }
@@ -159,42 +234,131 @@ pub(crate) fn plan_groups(configs: &[CoarsenConfig], preps: &[Prep]) -> GroupPla
     GroupPlan { groups, group_of }
 }
 
-/// Phase-2 outcome for one group: backend feedback plus, where eligible,
-/// the shared measurement.
-pub(crate) struct GroupEval {
+/// A member whose evaluation was abandoned (retry budget or deadline
+/// exhausted) with the reason it will be demoted to.
+pub(crate) struct MemberFailure {
+    member: usize,
+    reason: PruneReason,
+}
+
+/// Fault/retry accounting for one group's evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct FaultTally {
+    /// Faults injected (hard + noise).
+    injected: usize,
+    /// Re-attempts performed.
+    retries: usize,
+    /// Injected hard faults in chains that eventually succeeded.
+    recovered: usize,
+    /// Injected hard faults in chains that were abandoned.
+    abandoned: usize,
+    /// Injected noisy-timing faults.
+    noise: usize,
+    /// Measurement-runner invocations actually performed.
+    runner_invocations: usize,
+}
+
+/// Backend feedback shared by every member of a group (byte-identical IR).
+struct CompiledInfo {
     /// The report of the launch that governed the spill decision (highest
     /// spill count, then highest register demand).
+    backend: BackendReport,
+    worst_regs: u32,
+    spill_units: u32,
+    launch_regs: u32,
+}
+
+/// Phase-2 outcome for one group: backend feedback, the shared measurement
+/// (when some member produced one), the member that produced it, the
+/// members lost along the way, and the fault/retry tally.
+pub(crate) struct GroupEval {
     backend: Option<BackendReport>,
     worst_regs: u32,
     spill_units: u32,
     launch_regs: u32,
-    /// `None` when every member is spill-pruned, otherwise the measurement
-    /// (`Err` carries the runner's failure message).
-    measured: Option<Result<f64, String>>,
+    /// The shared measurement in seconds; `None` when the group was
+    /// spill-pruned or every member was abandoned. Non-finite values are
+    /// demoted in `finalize`.
+    measured: Option<f64>,
+    /// Whether `measured` was perturbed by an injected `NoisyTiming`.
+    noisy: bool,
+    /// The member whose evaluation concluded the group (measurement or
+    /// spill verdict); `None` when every member was abandoned.
+    elected: Option<usize>,
+    /// Members abandoned before `elected` (or all members, when none won).
+    failures: Vec<MemberFailure>,
+    tally: FaultTally,
 }
 
-/// Runs decision points 3–4 for one group's representative version.
-pub(crate) fn evaluate_group(
-    group: &Group,
-    preps: &[Prep],
+/// Outcome of one evaluation attempt for one member.
+enum AttemptOutcome {
+    /// Compiled, but the group is spill-ineligible for measurement:
+    /// terminal, successful, no timing.
+    SpillPruned,
+    /// A measurement was produced.
+    Measured { seconds: f64, noisy: bool },
+    /// The attempt failed; `injected` separates injected faults (which
+    /// re-roll on retry) from real failures.
+    Failed { reason: PruneReason, injected: bool },
+}
+
+fn record_fault(trace: &Trace, site: FaultSite, kind: &FaultKind, member: usize, attempt: u32) {
+    trace.instant(
+        "tune",
+        "fault",
+        &[
+            ("site".into(), site.to_string().into()),
+            ("kind".into(), kind.label().into()),
+            ("candidate".into(), member.into()),
+            ("attempt".into(), attempt.into()),
+        ],
+    );
+}
+
+/// One compile(+measure) attempt for `member`. Compilation is performed at
+/// most once per member chain (`compiled` caches it across retries, like a
+/// real build cache would).
+#[allow(clippy::too_many_arguments)]
+fn attempt_once(
+    member: usize,
+    attempt: u32,
+    p: &PreparedVersion,
+    has_identity: bool,
     target: &TargetDesc,
+    res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
-) -> GroupEval {
-    let p = match &preps[group.rep] {
-        Prep::Ready(p) => p,
-        Prep::Pruned { .. } => unreachable!("groups are formed from survivors only"),
-    };
-    let mut worst_regs = 0u32;
-    let mut spill_units = 0u32;
-    let mut governing: Option<(u32, u32, BackendReport)> = None;
-    {
+    compiled: &mut Option<CompiledInfo>,
+    tally: &mut FaultTally,
+    clock: &mut f64,
+) -> AttemptOutcome {
+    let key = member as u64;
+    if compiled.is_none() {
+        if let Some(f) = res.plan.decide(FaultSite::Compile, key, attempt) {
+            tally.injected += 1;
+            record_fault(trace, f.site, &f.kind, member, attempt);
+            return AttemptOutcome::Failed {
+                reason: PruneReason::CompileFailed(f.to_string()),
+                injected: true,
+            };
+        }
+        let mut worst_regs = 0u32;
+        let mut spill_units = 0u32;
+        let mut governing: Option<(u32, u32, BackendReport)> = None;
         let mut span = trace.span("tune", "backend");
         for l in &p.launches {
-            let r = compile_launch(&p.version, l, target.max_regs_per_thread);
+            let r = match try_compile_launch(&p.version, l, target.max_regs_per_thread) {
+                Ok(r) => r,
+                Err(e) => {
+                    return AttemptOutcome::Failed {
+                        reason: PruneReason::CompileFailed(e.message),
+                        injected: false,
+                    }
+                }
+            };
             let demand = r.regs_per_thread + r.spill_units;
-            let key = (r.spill_units, demand);
-            if governing.as_ref().is_none_or(|(s, d, _)| key > (*s, *d)) {
+            let gkey = (r.spill_units, demand);
+            if governing.as_ref().is_none_or(|(s, d, _)| gkey > (*s, *d)) {
                 governing = Some((r.spill_units, demand, r.clone()));
             }
             worst_regs = worst_regs.max(demand);
@@ -203,28 +367,266 @@ pub(crate) fn evaluate_group(
         span.record("launches", p.launches.len());
         span.record("reg_demand", worst_regs);
         span.record("spill_units", spill_units);
+        *compiled = Some(CompiledInfo {
+            backend: governing
+                .map(|(_, _, r)| r)
+                .expect("kernels have at least one launch"),
+            worst_regs,
+            spill_units,
+            launch_regs: worst_regs.min(target.max_regs_per_thread),
+        });
     }
-    let launch_regs = worst_regs.min(target.max_regs_per_thread);
+    let info = compiled.as_ref().expect("compiled just above");
     // A group is measured iff at least one member survives spill pruning:
     // spill-free versions always do, spilling versions only when the group
     // contains the identity configuration.
-    let measured = if spill_units == 0 || group.has_identity {
-        let mut span = trace.span("tune", "measure");
-        let res = run(&p.version, launch_regs);
-        if let Ok(s) = &res {
-            span.record("seconds", *s);
-        }
-        Some(res.map_err(|e| e.message))
-    } else {
-        None
-    };
-    GroupEval {
-        backend: governing.map(|(_, _, r)| r),
-        worst_regs,
-        spill_units,
-        launch_regs,
-        measured,
+    if info.spill_units > 0 && !has_identity {
+        return AttemptOutcome::SpillPruned;
     }
+    if let Some(f) = res.plan.decide(FaultSite::Launch, key, attempt) {
+        tally.injected += 1;
+        record_fault(trace, f.site, &f.kind, member, attempt);
+        return AttemptOutcome::Failed {
+            reason: PruneReason::RunFailed(f.to_string()),
+            injected: true,
+        };
+    }
+    tally.runner_invocations += 1;
+    let mut span = trace.span("tune", "measure");
+    let outcome = catch_unwind(AssertUnwindSafe(|| run(&p.version, info.launch_regs)));
+    let seconds = match outcome {
+        Err(payload) => {
+            return AttemptOutcome::Failed {
+                reason: PruneReason::RunFailed(format!(
+                    "runner panicked: {}",
+                    panic_message(payload)
+                )),
+                injected: false,
+            }
+        }
+        Ok(Err(e)) => {
+            return AttemptOutcome::Failed {
+                reason: PruneReason::RunFailed(e.message),
+                injected: false,
+            }
+        }
+        Ok(Ok(s)) => s,
+    };
+    if seconds.is_finite() && seconds > 0.0 {
+        *clock += seconds;
+    }
+    match res.plan.decide(FaultSite::Timing, key, attempt) {
+        Some(f) => {
+            tally.injected += 1;
+            record_fault(trace, f.site, &f.kind, member, attempt);
+            match f.kind {
+                FaultKind::NoisyTiming { factor } => {
+                    tally.noise += 1;
+                    let noisy_seconds = seconds * factor;
+                    span.record("seconds", noisy_seconds);
+                    span.record("noisy", true);
+                    AttemptOutcome::Measured {
+                        seconds: noisy_seconds,
+                        noisy: true,
+                    }
+                }
+                _ => AttemptOutcome::Failed {
+                    reason: PruneReason::TimedOut(f.to_string()),
+                    injected: true,
+                },
+            }
+        }
+        None => {
+            span.record("seconds", seconds);
+            AttemptOutcome::Measured {
+                seconds,
+                noisy: false,
+            }
+        }
+    }
+}
+
+/// Result of one member's full retry chain.
+enum MemberOutcome {
+    /// The member concluded the group (measurement or spill verdict).
+    Done { measured: Option<f64>, noisy: bool },
+    /// The member was abandoned; the group re-elects the next member.
+    Abandoned { reason: PruneReason },
+}
+
+/// Evaluates one member under the retry policy's virtual clock: backoff
+/// (`backoff_base * 2^(k-1)`) accrues before retry `k`, measured run cost
+/// accrues after every run, and the chain is abandoned once the clock
+/// reaches the deadline or the retry budget is spent.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_member(
+    member: usize,
+    p: &PreparedVersion,
+    has_identity: bool,
+    target: &TargetDesc,
+    res: &Resilience,
+    trace: &Trace,
+    run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+    compiled: &mut Option<CompiledInfo>,
+    tally: &mut FaultTally,
+) -> MemberOutcome {
+    let mut clock = 0.0f64;
+    let mut chain_faults = 0usize;
+    let mut attempt = 0u32;
+    loop {
+        if attempt > 0 {
+            tally.retries += 1;
+            clock += res.retry.backoff_base * f64::powi(2.0, attempt as i32 - 1);
+        }
+        if clock >= res.retry.deadline {
+            tally.abandoned += chain_faults;
+            return MemberOutcome::Abandoned {
+                reason: PruneReason::TimedOut(format!(
+                    "virtual deadline {}s exceeded after {} attempt(s)",
+                    res.retry.deadline, attempt
+                )),
+            };
+        }
+        match attempt_once(
+            member,
+            attempt,
+            p,
+            has_identity,
+            target,
+            res,
+            trace,
+            run,
+            compiled,
+            tally,
+            &mut clock,
+        ) {
+            AttemptOutcome::SpillPruned => {
+                tally.recovered += chain_faults;
+                return MemberOutcome::Done {
+                    measured: None,
+                    noisy: false,
+                };
+            }
+            AttemptOutcome::Measured { seconds, noisy } => {
+                tally.recovered += chain_faults;
+                return MemberOutcome::Done {
+                    measured: Some(seconds),
+                    noisy,
+                };
+            }
+            AttemptOutcome::Failed { reason, injected } => {
+                if injected {
+                    chain_faults += 1;
+                }
+                attempt += 1;
+                if attempt > res.retry.max_retries {
+                    tally.abandoned += chain_faults;
+                    return MemberOutcome::Abandoned { reason };
+                }
+            }
+        }
+    }
+}
+
+/// Runs decision points 3–4 for one group, walking members in candidate
+/// order: the first member whose chain concludes (measurement or spill
+/// verdict) is *elected* and its result stands in for the group; abandoned
+/// members are recorded as failures and demoted individually.
+pub(crate) fn evaluate_group(
+    group: &Group,
+    preps: &[Prep],
+    target: &TargetDesc,
+    res: &Resilience,
+    trace: &Trace,
+    run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+) -> GroupEval {
+    let p = match &preps[group.rep] {
+        Prep::Ready(p) => p,
+        Prep::Pruned { .. } => unreachable!("groups are formed from survivors only"),
+    };
+    let mut eval = GroupEval {
+        backend: None,
+        worst_regs: 0,
+        spill_units: 0,
+        launch_regs: 0,
+        measured: None,
+        noisy: false,
+        elected: None,
+        failures: Vec::new(),
+        tally: FaultTally::default(),
+    };
+    // The compile cache spans the whole group: members share byte-identical
+    // IR, so once any member's compile succeeded the result is reused by
+    // retries *and* re-elected members.
+    let mut compiled: Option<CompiledInfo> = None;
+    for &m in &group.members {
+        let outcome = evaluate_member(
+            m,
+            p,
+            group.has_identity,
+            target,
+            res,
+            trace,
+            run,
+            &mut compiled,
+            &mut eval.tally,
+        );
+        match outcome {
+            MemberOutcome::Done { measured, noisy } => {
+                eval.measured = measured;
+                eval.noisy = noisy;
+                eval.elected = Some(m);
+                break;
+            }
+            MemberOutcome::Abandoned { reason } => {
+                eval.failures.push(MemberFailure { member: m, reason });
+            }
+        }
+    }
+    if let Some(info) = compiled {
+        eval.backend = Some(info.backend);
+        eval.worst_regs = info.worst_regs;
+        eval.spill_units = info.spill_units;
+        eval.launch_regs = info.launch_regs;
+    }
+    eval
+}
+
+/// [`evaluate_group`] with a final panic net: a panic outside the runner
+/// (an engine bug or a pathological trace sink) demotes the whole group
+/// instead of killing the tune, identically in serial and parallel mode.
+pub(crate) fn evaluate_group_caught(
+    group: &Group,
+    preps: &[Prep],
+    target: &TargetDesc,
+    res: &Resilience,
+    trace: &Trace,
+    run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+) -> GroupEval {
+    catch_unwind(AssertUnwindSafe(|| {
+        evaluate_group(group, preps, target, res, trace, run)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = format!("evaluation panicked: {}", panic_message(payload));
+        GroupEval {
+            backend: None,
+            worst_regs: 0,
+            spill_units: 0,
+            launch_regs: 0,
+            measured: None,
+            noisy: false,
+            elected: None,
+            failures: group
+                .members
+                .iter()
+                .map(|&m| MemberFailure {
+                    member: m,
+                    reason: PruneReason::RunFailed(msg.clone()),
+                })
+                .collect(),
+            tally: FaultTally::default(),
+        }
+    })
 }
 
 /// Joins both phases in candidate generation order: builds the decision
@@ -244,8 +646,6 @@ pub(crate) fn finalize(
 
     let mut candidates = Vec::with_capacity(configs.len());
     let mut best: Option<(usize, f64)> = None;
-    let mut runner_calls_credited = vec![false; evals.len()];
-    let mut runner_calls = 0usize;
 
     for (i, (&config, prep)) in configs.iter().zip(&preps).enumerate() {
         let mut candidate = Candidate {
@@ -255,6 +655,7 @@ pub(crate) fn finalize(
             seconds: None,
             pruned: None,
             cache_hit: false,
+            noisy: false,
         };
         let mut launch_regs = None;
         match prep {
@@ -268,44 +669,45 @@ pub(crate) fn finalize(
             Prep::Ready(p) => {
                 candidate.shared_bytes = p.shared_bytes;
                 let gi = plan.group_of[&i];
-                let group = &plan.groups[gi];
                 let eval = &evals[gi];
-                candidate.cache_hit = group.rep != i;
                 candidate.backend = eval.backend.clone();
-                if eval.spill_units > 0 && !config.is_identity() {
-                    candidate.pruned = Some(PruneReason::Spill {
-                        regs: eval.worst_regs,
-                        spill_units: eval.spill_units,
-                    });
+                if let Some(failure) = eval.failures.iter().find(|f| f.member == i) {
+                    // This member did its own (failed) evaluation work: it
+                    // is demoted individually and shares nothing.
+                    candidate.pruned = Some(failure.reason.clone());
                 } else {
-                    launch_regs = Some(eval.launch_regs);
-                    if !runner_calls_credited[gi] {
-                        runner_calls_credited[gi] = true;
-                        runner_calls += 1;
-                    }
-                    match eval
-                        .measured
-                        .as_ref()
-                        .expect("eligible members imply the group was measured")
-                    {
-                        Ok(seconds) if seconds.is_finite() => {
-                            candidate.seconds = Some(*seconds);
+                    candidate.cache_hit = eval.elected.is_some() && eval.elected != Some(i);
+                    if eval.spill_units > 0 && !config.is_identity() {
+                        candidate.pruned = Some(PruneReason::Spill {
+                            regs: eval.worst_regs,
+                            spill_units: eval.spill_units,
+                        });
+                    } else if let Some(seconds) = eval.measured {
+                        launch_regs = Some(eval.launch_regs);
+                        if seconds.is_finite() {
+                            candidate.seconds = Some(seconds);
+                            candidate.noisy = eval.noisy;
                             // Strictly-smaller wins; ties keep the earliest
                             // candidate, so selection is order-independent.
-                            if best.is_none_or(|(_, t)| *seconds < t) {
-                                best = Some((i, *seconds));
+                            if best.is_none_or(|(_, t)| seconds < t) {
+                                best = Some((i, seconds));
                             }
-                        }
-                        Ok(seconds) => {
+                        } else {
                             // NaN/±inf timings must never become (or shadow)
                             // an incumbent: treat them as failed runs.
                             candidate.pruned = Some(PruneReason::RunFailed(format!(
                                 "non-finite measured time ({seconds})"
                             )));
                         }
-                        Err(message) => {
-                            candidate.pruned = Some(PruneReason::RunFailed(message.clone()));
-                        }
+                    } else if eval.elected.is_none() {
+                        // Every evaluated member was abandoned and this one
+                        // never got a turn (it would have, had re-election
+                        // continued — it is in `failures` otherwise). Only
+                        // possible when `failures` covers all members, so
+                        // this arm is defensive.
+                        candidate.pruned = Some(PruneReason::RunFailed(
+                            "every group member was abandoned".into(),
+                        ));
                     }
                 }
             }
@@ -325,18 +727,39 @@ pub(crate) fn finalize(
         .iter()
         .filter(|c| matches!(c.pruned, Some(PruneReason::StaticallyUnsafe { .. })))
         .count();
+    let tally = evals.iter().fold(FaultTally::default(), |mut acc, e| {
+        acc.injected += e.tally.injected;
+        acc.retries += e.tally.retries;
+        acc.recovered += e.tally.recovered;
+        acc.abandoned += e.tally.abandoned;
+        acc.noise += e.tally.noise;
+        acc.runner_invocations += e.tally.runner_invocations;
+        acc
+    });
     let stats = TuneStats {
         cache_hits,
         cache_misses: plan.groups.len(),
-        runner_calls,
+        runner_calls: tally.runner_invocations,
         measured,
         pruned,
         statically_rejected,
+        faults_injected: tally.injected,
+        retries: tally.retries,
+        recovered: tally.recovered,
+        abandoned: tally.abandoned,
+        noise_faults: tally.noise,
         parallelism,
     };
     trace.counter("tune", "cache_hits", cache_hits);
     trace.counter("tune", "cache_misses", plan.groups.len());
     trace.counter("tune", "statically_rejected", statically_rejected);
+    if stats.faults_injected > 0 {
+        trace.counter("tune", "faults_injected", stats.faults_injected);
+        trace.counter("tune", "fault_retries", stats.retries);
+        trace.counter("tune", "faults_recovered", stats.recovered);
+        trace.counter("tune", "faults_abandoned", stats.abandoned);
+        trace.counter("tune", "noise_faults", stats.noise_faults);
+    }
 
     match best {
         Some((wi, best_seconds)) => {
@@ -364,6 +787,11 @@ pub(crate) fn finalize(
             tune_span.record("cache_hits", cache_hits);
             tune_span.record("unique_versions", plan.groups.len());
             tune_span.record("parallelism", parallelism);
+            if stats.faults_injected > 0 {
+                tune_span.record("faults_injected", stats.faults_injected);
+                tune_span.record("faults_recovered", stats.recovered);
+                tune_span.record("faults_abandoned", stats.abandoned);
+            }
             Ok(TuneResult {
                 best: best_func,
                 best_config,
@@ -375,9 +803,24 @@ pub(crate) fn finalize(
         }
         None => {
             tune_span.record("winner", "none");
-            Err(TuneError {
-                message: "no candidate configuration survived pruning and measurement".into(),
-            })
+            if stats.faults_injected > 0 {
+                Err(TuneError {
+                    message: format!(
+                        "no candidate configuration survived pruning and measurement \
+                         ({} fault(s) injected, {} abandoned)",
+                        stats.faults_injected, stats.abandoned
+                    ),
+                    kind: TuneErrorKind::AllFaulted {
+                        faults_injected: stats.faults_injected,
+                        abandoned: stats.abandoned,
+                    },
+                })
+            } else {
+                Err(TuneError {
+                    message: "no candidate configuration survived pruning and measurement".into(),
+                    kind: TuneErrorKind::NoSurvivors,
+                })
+            }
         }
     }
 }
@@ -389,23 +832,25 @@ pub(crate) fn tune_serial(
     configs: &[CoarsenConfig],
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
+    res: &Resilience,
 ) -> Result<TuneResult, TuneError> {
     let baseline = Baseline::of(func);
     let preps: Vec<Prep> = configs
         .iter()
-        .map(|&c| prepare(func, c, target, &baseline, trace))
+        .map(|&c| prepare_caught(func, c, target, &baseline, trace))
         .collect();
     let plan = plan_groups(configs, &preps);
     let evals: Vec<GroupEval> = plan
         .groups
         .iter()
-        .map(|g| evaluate_group(g, &preps, target, trace, run))
+        .map(|g| evaluate_group_caught(g, &preps, target, res, trace, run))
         .collect();
     finalize(func.name(), configs, preps, plan, evals, 1, trace)
 }
 
 /// Parallel driver: `workers` threads, one runner per worker built from
 /// `make_runner`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn tune_parallel<R, F>(
     func: &Function,
     target: &TargetDesc,
@@ -413,6 +858,7 @@ pub(crate) fn tune_parallel<R, F>(
     workers: usize,
     make_runner: &F,
     trace: &Trace,
+    res: &Resilience,
 ) -> Result<TuneResult, TuneError>
 where
     R: FnMut(&Function, u32) -> Result<f64, SimError>,
@@ -420,12 +866,12 @@ where
 {
     let baseline = Baseline::of(func);
     let preps: Vec<Prep> = parallel_map(configs.len(), workers, |i| {
-        prepare(func, configs[i], target, &baseline, trace)
+        prepare_caught(func, configs[i], target, &baseline, trace)
     });
     let plan = plan_groups(configs, &preps);
     let evals: Vec<GroupEval> =
         crate::pool::parallel_map_with(plan.groups.len(), workers, make_runner, |run, i| {
-            evaluate_group(&plan.groups[i], &preps, target, trace, run)
+            evaluate_group_caught(&plan.groups[i], &preps, target, res, trace, run)
         });
     finalize(func.name(), configs, preps, plan, evals, workers, trace)
 }
@@ -440,13 +886,14 @@ const _: () = {
     assert_send_sync::<Launch>();
     assert_send_sync::<Trace>();
     assert_send_sync::<Baseline>();
+    assert_send_sync::<FaultPlan>();
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use respec_ir::parse_function;
-    use respec_sim::targets;
+    use respec_sim::{targets, FaultSpec};
     use respec_trace::MetricValue;
 
     /// Staged exchange through shared memory: store, barrier, mirrored
@@ -550,10 +997,11 @@ mod tests {
         ];
         let plan = plan_groups(&configs, &preps);
         let mut run = |_: &Function, _: u32| Ok(1e-3);
+        let res = Resilience::disabled();
         let evals: Vec<GroupEval> = plan
             .groups
             .iter()
-            .map(|g| evaluate_group(g, &preps, &target, &trace, &mut run))
+            .map(|g| evaluate_group(g, &preps, &target, &res, &trace, &mut run))
             .collect();
         let result = finalize("safe", &configs, preps, plan, evals, 1, &trace).unwrap();
         assert_eq!(result.stats.statically_rejected, 1);
@@ -572,5 +1020,219 @@ mod tests {
             e.name == "candidate"
                 && e.metric("stage").and_then(|m| m.as_str()) == Some("static-analysis")
         }));
+    }
+
+    fn one_group_plan(func: &Function) -> (Vec<CoarsenConfig>, Vec<Prep>, GroupPlan) {
+        let target = targets::a100();
+        let configs = vec![
+            CoarsenConfig::identity(),
+            CoarsenConfig::identity(),
+            CoarsenConfig::identity(),
+        ];
+        let baseline = Baseline::of(func);
+        let preps: Vec<Prep> = configs
+            .iter()
+            .map(|&c| prepare(func, c, &target, &baseline, &Trace::disabled()))
+            .collect();
+        let plan = plan_groups(&configs, &preps);
+        (configs, preps, plan)
+    }
+
+    #[test]
+    fn transient_launch_fault_recovers_by_retry() {
+        let func = parse_function(SAFE).unwrap();
+        let target = targets::a100();
+        let (_configs, preps, plan) = one_group_plan(&func);
+        // Find a seed where member 0 faults the launch on attempt 0 but not
+        // on attempt 1: the retry must recover it.
+        let spec = FaultSpec {
+            launch_rate: 0.5,
+            ..FaultSpec::none()
+        };
+        let seed = (0..2000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s, spec);
+                p.decide(FaultSite::Launch, 0, 0).is_some()
+                    && p.decide(FaultSite::Launch, 0, 1).is_none()
+            })
+            .expect("such a seed exists");
+        let res = Resilience {
+            plan: FaultPlan::new(seed, spec),
+            retry: RetryPolicy::default(),
+        };
+        let mut run = |_: &Function, _: u32| Ok(1e-3);
+        let eval = evaluate_group(
+            &plan.groups[0],
+            &preps,
+            &target,
+            &res,
+            &Trace::disabled(),
+            &mut run,
+        );
+        assert_eq!(eval.elected, Some(0), "retry must keep the representative");
+        assert_eq!(eval.measured, Some(1e-3));
+        assert!(eval.failures.is_empty());
+        assert_eq!(eval.tally.injected, 1);
+        assert_eq!(eval.tally.recovered, 1);
+        assert_eq!(eval.tally.abandoned, 0);
+        assert!(eval.tally.retries >= 1);
+    }
+
+    #[test]
+    fn abandoned_representative_re_elects_next_member() {
+        let func = parse_function(SAFE).unwrap();
+        let target = targets::a100();
+        let (_configs, preps, plan) = one_group_plan(&func);
+        // Launch faults always fire for member 0 (every attempt) but we
+        // need member 1 to survive. Key-dependent decisions give us that:
+        // find a seed where member 0 faults on attempts 0..=2 and member 1
+        // is clean on its attempt 0.
+        let spec = FaultSpec {
+            launch_rate: 0.5,
+            ..FaultSpec::none()
+        };
+        let seed = (0..20000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s, spec);
+                (0..3).all(|a| p.decide(FaultSite::Launch, 0, a).is_some())
+                    && p.decide(FaultSite::Launch, 1, 0).is_none()
+            })
+            .expect("such a seed exists");
+        let res = Resilience {
+            plan: FaultPlan::new(seed, spec),
+            retry: RetryPolicy::default(),
+        };
+        let mut run = |_: &Function, _: u32| Ok(2e-3);
+        let eval = evaluate_group(
+            &plan.groups[0],
+            &preps,
+            &target,
+            &res,
+            &Trace::disabled(),
+            &mut run,
+        );
+        assert_eq!(eval.elected, Some(1), "member 1 must be re-elected");
+        assert_eq!(eval.measured, Some(2e-3));
+        assert_eq!(eval.failures.len(), 1);
+        assert_eq!(eval.failures[0].member, 0);
+        assert!(matches!(eval.failures[0].reason, PruneReason::RunFailed(_)));
+        assert_eq!(eval.tally.abandoned, 3, "three abandoned injected faults");
+        assert_eq!(eval.tally.recovered, 0);
+    }
+
+    #[test]
+    fn virtual_deadline_bounds_the_retry_chain() {
+        let func = parse_function(SAFE).unwrap();
+        let target = targets::a100();
+        let (_configs, preps, plan) = one_group_plan(&func);
+        // Every launch faults; a deadline smaller than the first backoff
+        // abandons after exactly one attempt per member.
+        let res = Resilience {
+            plan: FaultPlan::new(
+                3,
+                FaultSpec {
+                    launch_rate: 1.0,
+                    ..FaultSpec::none()
+                },
+            ),
+            retry: RetryPolicy::default()
+                .with_max_retries(10)
+                .with_deadline(1e-6),
+        };
+        let mut calls = 0usize;
+        let mut run = |_: &Function, _: u32| {
+            calls += 1;
+            Ok(1e-3)
+        };
+        let eval = evaluate_group(
+            &plan.groups[0],
+            &preps,
+            &target,
+            &res,
+            &Trace::disabled(),
+            &mut run,
+        );
+        assert_eq!(calls, 0, "every launch trapped before the runner");
+        assert_eq!(eval.elected, None);
+        assert_eq!(eval.failures.len(), 3, "every member abandoned");
+        assert!(eval
+            .failures
+            .iter()
+            .all(|f| matches!(f.reason, PruneReason::TimedOut(_))));
+        // One injected fault per member before its deadline cut in.
+        assert_eq!(eval.tally.injected, 3);
+        assert_eq!(eval.tally.abandoned, 3);
+    }
+
+    #[test]
+    fn compile_cache_spans_retries_and_reelection() {
+        // With launch faults only, the group compiles exactly once no
+        // matter how many attempts and re-elections happen.
+        let func = parse_function(SAFE).unwrap();
+        let target = targets::a100();
+        let (_configs, preps, plan) = one_group_plan(&func);
+        let res = Resilience {
+            plan: FaultPlan::new(
+                9,
+                FaultSpec {
+                    launch_rate: 1.0,
+                    ..FaultSpec::none()
+                },
+            ),
+            retry: RetryPolicy::default(),
+        };
+        let trace = Trace::new();
+        let mut run = |_: &Function, _: u32| Ok(1e-3);
+        let eval = evaluate_group(&plan.groups[0], &preps, &target, &res, &trace, &mut run);
+        assert_eq!(eval.elected, None);
+        assert!(eval.backend.is_some(), "compile result survives the losses");
+        let backends = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "backend")
+            .count();
+        assert_eq!(backends, 1, "one compile for the whole group");
+        // 3 members × 3 attempts, all injected, all abandoned.
+        assert_eq!(eval.tally.injected, 9);
+        assert_eq!(eval.tally.abandoned, 9);
+        assert_eq!(eval.tally.recovered, 0);
+        assert_eq!(eval.tally.runner_invocations, 0);
+    }
+
+    #[test]
+    fn noisy_timing_fault_slows_but_keeps_the_candidate() {
+        // Noise is not a hard fault: with a 100% noise rate the first
+        // member still measures (slower, flagged) with no retry and no
+        // loss, and the ledger books it as injected-but-not-recoverable.
+        let func = parse_function(SAFE).unwrap();
+        let target = targets::a100();
+        let (_configs, preps, plan) = one_group_plan(&func);
+        let res = Resilience {
+            plan: FaultPlan::new(5, FaultSpec::none().with_noise(1.0)),
+            retry: RetryPolicy::default(),
+        };
+        let mut run = |_: &Function, _: u32| Ok(1e-3);
+        let eval = evaluate_group(
+            &plan.groups[0],
+            &preps,
+            &target,
+            &res,
+            &Trace::disabled(),
+            &mut run,
+        );
+        assert_eq!(eval.elected, Some(0));
+        assert!(eval.noisy, "measurement must be flagged as noisy");
+        let seconds = eval.measured.expect("noisy candidate still measures");
+        assert!(
+            seconds > 1e-3,
+            "noise must be a strict slowdown: {seconds} vs 1e-3"
+        );
+        assert!(eval.failures.is_empty());
+        assert_eq!(eval.tally.injected, 1);
+        assert_eq!(eval.tally.noise, 1);
+        assert_eq!(eval.tally.recovered, 0);
+        assert_eq!(eval.tally.abandoned, 0);
+        assert_eq!(eval.tally.retries, 0);
+        assert_eq!(eval.tally.runner_invocations, 1);
     }
 }

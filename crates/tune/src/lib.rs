@@ -48,7 +48,7 @@ use std::fmt;
 use respec_backend::BackendReport;
 use respec_ir::Function;
 use respec_opt::{split_total, CoarsenConfig};
-use respec_sim::{SimError, TargetDesc};
+use respec_sim::{FaultPlan, SimError, TargetDesc};
 use respec_trace::{MetricValue, Trace};
 
 mod engine;
@@ -76,11 +76,32 @@ impl fmt::Display for Strategy {
     }
 }
 
+/// Structured classification of a [`TuneError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TuneErrorKind {
+    /// Every candidate was eliminated by the ordinary decision points
+    /// (legality, shared memory, spilling, failed measurement) — no fault
+    /// injection was involved.
+    NoSurvivors,
+    /// Faults were injected and *every* candidate that could have produced
+    /// a measurement was lost to them: the degradation was total.
+    AllFaulted {
+        /// Total faults injected over the whole search.
+        faults_injected: usize,
+        /// Injected hard faults whose retry chains were abandoned.
+        abandoned: usize,
+    },
+    /// A simulator error outside the candidate-evaluation loop.
+    Sim,
+}
+
 /// Error produced by the tuning pipeline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TuneError {
     /// Human-readable reason.
     pub message: String,
+    /// Structured classification.
+    pub kind: TuneErrorKind,
 }
 
 impl fmt::Display for TuneError {
@@ -93,7 +114,10 @@ impl std::error::Error for TuneError {}
 
 impl From<SimError> for TuneError {
     fn from(e: SimError) -> TuneError {
-        TuneError { message: e.message }
+        TuneError {
+            message: e.message,
+            kind: TuneErrorKind::Sim,
+        }
     }
 }
 
@@ -118,8 +142,15 @@ pub enum PruneReason {
     /// The backend predicts register spilling (decision point 3).
     Spill { regs: u32, spill_units: u32 },
     /// The measurement run failed (e.g. out-of-bounds after an unsound
-    /// user-requested configuration), or produced a non-finite time.
+    /// user-requested configuration, a runner panic, or an injected launch
+    /// trap), or produced a non-finite time.
     RunFailed(String),
+    /// Backend compilation failed for this candidate's version (real
+    /// backend error or injected `CompileReject`) and retries exhausted.
+    CompileFailed(String),
+    /// The candidate's measurement exceeded its deadline (injected
+    /// `TimeoutExceeded` or virtual-time retry budget exhaustion).
+    TimedOut(String),
 }
 
 impl fmt::Display for PruneReason {
@@ -145,6 +176,8 @@ impl fmt::Display for PruneReason {
                 )
             }
             PruneReason::RunFailed(m) => write!(f, "measurement failed: {m}"),
+            PruneReason::CompileFailed(m) => write!(f, "backend compile failed: {m}"),
+            PruneReason::TimedOut(m) => write!(f, "timed out: {m}"),
         }
     }
 }
@@ -167,6 +200,9 @@ pub struct Candidate {
     /// to an earlier candidate's, so backend compilation and measurement
     /// were skipped and the timing shared.
     pub cache_hit: bool,
+    /// Whether the timing this candidate carries was perturbed by an
+    /// injected `NoisyTiming` fault (always a slowdown).
+    pub noisy: bool,
 }
 
 /// Counters describing one tuning run (cache behavior, work performed).
@@ -186,6 +222,22 @@ pub struct TuneStats {
     /// Candidates rejected by the static race/barrier analyzer: their
     /// coarsened + optimized IR had legality errors the input kernel lacked.
     pub statically_rejected: usize,
+    /// Faults injected over the whole search (hard faults *and* noisy
+    /// timings).
+    pub faults_injected: usize,
+    /// Re-attempts performed after failed compile/launch/measure steps.
+    pub retries: usize,
+    /// Injected hard faults whose retry chain eventually succeeded (the
+    /// member compiled/measured on a later attempt).
+    pub recovered: usize,
+    /// Injected hard faults whose retry chain was abandoned (budget or
+    /// deadline exhausted); the member was demoted to a prune reason.
+    pub abandoned: usize,
+    /// Injected `NoisyTiming` faults: the measurement survived with a
+    /// perturbed (slower) time, so these are neither recovered nor
+    /// abandoned. Invariant: `recovered + abandoned ==
+    /// faults_injected - noise_faults`.
+    pub noise_faults: usize,
     /// Worker threads the engine ran with.
     pub parallelism: usize,
 }
@@ -202,11 +254,65 @@ impl TuneStats {
     }
 }
 
+/// Bounded, deterministic retry policy for faulted candidates.
+///
+/// All budgets are **virtual-time**: no wall clock enters the decision
+/// path. A member's virtual clock accumulates an exponential backoff
+/// (`backoff_base * 2^(attempt-1)`) before each retry plus the measured
+/// seconds of every run it performed; when the clock reaches `deadline`
+/// the chain is abandoned. Virtual time makes retry/abandon decisions a
+/// pure function of the fault schedule and the (deterministic) runner, so
+/// serial and parallel tunes decide identically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-attempts per group member after a failed compile/launch/measure
+    /// (0 = fail on the first fault).
+    pub max_retries: u32,
+    /// Virtual backoff before retry `k`: `backoff_base * 2^(k-1)` seconds.
+    pub backoff_base: f64,
+    /// Per-member virtual-time budget in seconds (backoffs + run costs);
+    /// infinite by default.
+    pub deadline: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: 1e-3,
+            deadline: f64::INFINITY,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries, no deadline: every fault is immediately fatal for its
+    /// candidate.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> RetryPolicy {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the per-member virtual-time deadline in seconds.
+    pub fn with_deadline(mut self, deadline: f64) -> RetryPolicy {
+        self.deadline = deadline;
+        self
+    }
+}
+
 /// Tuning knobs: the single entry path for configuring a search. Worker
 /// count drives the engine; strategy and totals drive candidate generation
 /// in the facade-level `autotune` helpers (lower-level `tune_kernel*` entry
 /// points take an explicit config list instead).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TuneOptions {
     /// Worker threads for candidate evaluation. `0` means one per available
     /// core ([`std::thread::available_parallelism`]); `1` runs everything
@@ -216,6 +322,11 @@ pub struct TuneOptions {
     pub strategy: Strategy,
     /// Total coarsening factors to explore ([`DEFAULT_TOTALS`] by default).
     pub totals: Vec<i64>,
+    /// Deterministic fault-injection schedule for chaos testing (disabled
+    /// by default).
+    pub fault_plan: FaultPlan,
+    /// Retry/deadline policy applied when candidate evaluation faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for TuneOptions {
@@ -231,6 +342,8 @@ impl TuneOptions {
             parallelism: 0,
             strategy: Strategy::Combined,
             totals: DEFAULT_TOTALS.to_vec(),
+            fault_plan: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -262,16 +375,31 @@ impl TuneOptions {
         self
     }
 
-    /// Reads `RESPEC_TUNE_PARALLELISM` (worker count, `0` = auto); defaults
-    /// to [`TuneOptions::auto`] when unset or unparsable.
+    /// Sets the fault-injection schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> TuneOptions {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the retry/deadline policy for faulted candidates.
+    pub fn retry(mut self, retry: RetryPolicy) -> TuneOptions {
+        self.retry = retry;
+        self
+    }
+
+    /// Reads `RESPEC_TUNE_PARALLELISM` (worker count, `0` = auto) and the
+    /// fault-injection variables `RESPEC_FAULT_SEED` / `RESPEC_FAULT_RATE` /
+    /// `RESPEC_FAULT_NOISE` ([`FaultPlan::from_env`]); defaults to
+    /// [`TuneOptions::auto`] when unset or unparsable.
     pub fn from_env() -> TuneOptions {
-        match std::env::var("RESPEC_TUNE_PARALLELISM")
+        let base = match std::env::var("RESPEC_TUNE_PARALLELISM")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
         {
             Some(n) => TuneOptions::with_parallelism(n),
             None => TuneOptions::auto(),
-        }
+        };
+        base.fault_plan(FaultPlan::from_env())
     }
 
     /// The concrete worker count this configuration resolves to.
@@ -303,6 +431,25 @@ pub struct TuneResult {
     pub stats: TuneStats,
 }
 
+/// Best-effort degradation report: what a tune lost to faults and failed
+/// runs while still producing a winner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradedReport {
+    /// Faults injected over the whole search (incl. noisy timings).
+    pub faults_injected: usize,
+    /// Re-attempts the engine performed.
+    pub retries: usize,
+    /// Injected hard faults recovered by retry.
+    pub recovered: usize,
+    /// Injected hard faults abandoned after the retry budget/deadline.
+    pub abandoned: usize,
+    /// Noisy-timing faults (measurement kept, time perturbed upward).
+    pub noise_faults: usize,
+    /// Candidates lost to evaluation failures — compile failures, failed
+    /// or timed-out runs — with the reason each was demoted.
+    pub lost: Vec<(CoarsenConfig, PruneReason)>,
+}
+
 impl TuneResult {
     /// Speedup of the winner relative to the identity configuration, when
     /// the identity was measured.
@@ -313,6 +460,35 @@ impl TuneResult {
             .find(|c| c.config.is_identity())
             .and_then(|c| c.seconds)?;
         Some(id / self.best_seconds)
+    }
+
+    /// `Some` when the search was degraded: faults were injected, or
+    /// candidates were lost to compile/run/timeout failures. `None` means
+    /// the winner came out of a fully clean search.
+    pub fn degraded(&self) -> Option<DegradedReport> {
+        let lost: Vec<(CoarsenConfig, PruneReason)> = self
+            .candidates
+            .iter()
+            .filter_map(|c| match &c.pruned {
+                Some(
+                    r @ (PruneReason::CompileFailed(_)
+                    | PruneReason::RunFailed(_)
+                    | PruneReason::TimedOut(_)),
+                ) => Some((c.config, r.clone())),
+                _ => None,
+            })
+            .collect();
+        if self.stats.faults_injected == 0 && lost.is_empty() {
+            return None;
+        }
+        Some(DegradedReport {
+            faults_injected: self.stats.faults_injected,
+            retries: self.stats.retries,
+            recovered: self.stats.recovered,
+            abandoned: self.stats.abandoned,
+            noise_faults: self.stats.noise_faults,
+            lost,
+        })
     }
 }
 
@@ -434,10 +610,15 @@ fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, M
         Some(PruneReason::StaticallyUnsafe { .. }) => "static-analysis",
         Some(PruneReason::SharedMemory { .. }) => "shared-memory",
         Some(PruneReason::Spill { .. }) => "spill",
+        Some(PruneReason::CompileFailed(_)) => "compile",
+        Some(PruneReason::TimedOut(_)) => "timeout",
         Some(PruneReason::RunFailed(_)) => "measure",
         None => "measure",
     };
     m.push(("stage".into(), stage.into()));
+    if candidate.noisy {
+        m.push(("noisy".into(), true.into()));
+    }
     if let Some(reason) = &candidate.pruned {
         m.push(("reason".into(), reason.to_string().into()));
     }
@@ -484,7 +665,14 @@ pub fn tune_kernel_traced(
     mut run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
 ) -> Result<TuneResult, TuneError> {
-    engine::tune_serial(func, target, configs, &mut run, trace)
+    engine::tune_serial(
+        func,
+        target,
+        configs,
+        &mut run,
+        trace,
+        &engine::Resilience::disabled(),
+    )
 }
 
 /// Parallel timing-driven optimization on a scoped worker pool.
@@ -515,11 +703,23 @@ where
     F: Fn() -> R + Sync,
 {
     let workers = options.effective_parallelism();
+    let resilience = engine::Resilience {
+        plan: options.fault_plan,
+        retry: options.retry,
+    };
     if workers <= 1 {
         let mut run = make_runner();
-        engine::tune_serial(func, target, configs, &mut run, trace)
+        engine::tune_serial(func, target, configs, &mut run, trace, &resilience)
     } else {
-        engine::tune_parallel(func, target, configs, workers, &make_runner, trace)
+        engine::tune_parallel(
+            func,
+            target,
+            configs,
+            workers,
+            &make_runner,
+            trace,
+            &resilience,
+        )
     }
 }
 

@@ -1,0 +1,271 @@
+//! Chaos differential property test: the resilient tuning engine under a
+//! randomized fault schedule.
+//!
+//! For arbitrary kernels, candidate ladders, fault seeds and fault rates,
+//! the faulted tune must
+//!
+//! 1. never panic (every fault, runner failure and retry is absorbed),
+//! 2. keep the fault accounting identity
+//!    `recovered + abandoned == faults_injected - noise_faults`,
+//! 3. agree with the fault-free tune **restricted to survivors**: whenever
+//!    the fault-free winner comes out of the faulted search with its exact
+//!    un-noisy timing, it must *be* the faulted winner (injected noise is
+//!    strictly a slowdown, so a surviving clean winner can never be
+//!    shadowed), and
+//! 4. fail only with the structured [`TuneErrorKind::AllFaulted`] when the
+//!    fault-free search had survivors — total loss must be attributable to
+//!    injection, never silent.
+//!
+//! `RESPEC_FAULT_SEED` (when set) is folded into every generated seed so CI
+//! can sweep fresh schedules without editing the test.
+
+use proptest::prelude::*;
+use respec_ir::{parse_function, structural_hash, Function};
+use respec_sim::{targets, FaultPlan, FaultSpec, SimError};
+use respec_trace::Trace;
+use respec_tune::{
+    candidate_configs, tune_kernel_pooled, PruneReason, Strategy as SearchStrategy, TuneErrorKind,
+    TuneOptions, TuneResult,
+};
+
+/// Shape of a randomly generated kernel + search space + fault schedule.
+#[derive(Clone, Debug)]
+struct Case {
+    block_x: i64,
+    extra_ops: u8,
+    use_shared: bool,
+    totals_mask: u8,
+    fail_parity: bool,
+    fault_seed: u64,
+    rate_pick: u8,
+    noise_pick: u8,
+}
+
+fn case() -> impl Strategy<Value = Case> {
+    (
+        prop_oneof![Just(16i64), Just(32i64), Just(64i64)],
+        0u8..4,
+        any::<bool>(),
+        1u8..63,
+        any::<bool>(),
+        any::<u64>(),
+        0u8..3,
+        0u8..2,
+    )
+        .prop_map(
+            |(
+                block_x,
+                extra_ops,
+                use_shared,
+                totals_mask,
+                fail_parity,
+                fault_seed,
+                rate_pick,
+                noise_pick,
+            )| {
+                Case {
+                    block_x,
+                    extra_ops,
+                    use_shared,
+                    totals_mask,
+                    fail_parity,
+                    fault_seed,
+                    rate_pick,
+                    noise_pick,
+                }
+            },
+        )
+}
+
+fn kernel_for(case: &Case) -> Function {
+    let bx = case.block_x;
+    let mut body = String::new();
+    if case.use_shared {
+        body.push_str(&format!("      %sm = alloc() : memref<{bx}xf32, shared>\n"));
+    }
+    body.push_str(
+        "      parallel<thread> (%tx, %ty, %tz) to (%cbx, %c1, %c1) {
+        %w = mul %bx, %cbx : index
+        %i = add %w, %tx : index
+        %v = load %m[%i] : f32
+",
+    );
+    let mut cur = "%v".to_string();
+    for k in 0..case.extra_ops {
+        let next = format!("%e{k}");
+        body.push_str(&format!("        {next} = add {cur}, {cur} : f32\n"));
+        cur = next;
+    }
+    if case.use_shared {
+        body.push_str(&format!(
+            "        store {cur}, %sm[%tx]
+        barrier<thread>
+        %sv = load %sm[%tx] : f32
+        store %sv, %m[%i]
+"
+        ));
+    } else {
+        body.push_str(&format!("        store {cur}, %m[%i]\n"));
+    }
+    body.push_str("        yield\n      }\n");
+    let src = format!(
+        "func @chaos(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {{
+  %cbx = const {bx} : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {{
+{body}    yield
+  }}
+  return
+}}"
+    );
+    parse_function(&src).expect("generated kernel parses")
+}
+
+/// Deterministic synthetic runner; versions whose hash parity matches
+/// `fail_parity` fail outright, so real (non-injected) failures are in the
+/// mix alongside injected ones.
+fn runner(fail_parity: bool) -> impl FnMut(&Function, u32) -> Result<f64, SimError> {
+    move |version: &Function, regs: u32| {
+        let h = structural_hash(version);
+        if h.is_multiple_of(2) == fail_parity && h.is_multiple_of(5) {
+            return Err(SimError {
+                message: format!("synthetic failure for hash {h:#x}"),
+            });
+        }
+        Ok(((h % 9973) + 1) as f64 * 1e-7 + regs as f64 * 1e-9)
+    }
+}
+
+/// CI sweep hook: fold `RESPEC_FAULT_SEED` into the generated seed so a job
+/// matrix explores disjoint schedules with the same proptest corpus.
+fn env_seed() -> u64 {
+    std::env::var("RESPEC_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+fn check_accounting(r: &TuneResult) {
+    assert_eq!(
+        r.stats.recovered + r.stats.abandoned,
+        r.stats.faults_injected - r.stats.noise_faults,
+        "fault accounting identity violated: {:?}",
+        r.stats
+    );
+    assert!(r.stats.noise_faults <= r.stats.faults_injected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn faulted_tuning_degrades_gracefully_and_agrees_on_survivors(case in case()) {
+        let func = kernel_for(&case);
+        let target = targets::a100();
+        let ladder = [1i64, 2, 4, 8, 16, 32];
+        let totals: Vec<i64> = ladder
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| case.totals_mask >> i & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect();
+        let configs = candidate_configs(SearchStrategy::Combined, &totals, &[case.block_x, 1, 1]);
+
+        let clean = tune_kernel_pooled(
+            &func,
+            &target,
+            &configs,
+            &TuneOptions::serial(),
+            || runner(case.fail_parity),
+            &Trace::disabled(),
+        );
+
+        let rate = [0.1, 0.5, 0.9][case.rate_pick as usize];
+        let noise = [0.0, 0.3][case.noise_pick as usize];
+        let spec = FaultSpec::uniform(rate).with_noise(noise);
+        let plan = FaultPlan::new(case.fault_seed ^ env_seed(), spec);
+        let faulted = tune_kernel_pooled(
+            &func,
+            &target,
+            &configs,
+            &TuneOptions::serial().fault_plan(plan),
+            || runner(case.fail_parity),
+            &Trace::disabled(),
+        );
+
+        match (&clean, &faulted) {
+            (_, Ok(f)) => {
+                check_accounting(f);
+                // degraded() iff something was actually lost or injected.
+                let lost = f.candidates.iter().any(|c| matches!(
+                    c.pruned,
+                    Some(PruneReason::CompileFailed(_)
+                        | PruneReason::RunFailed(_)
+                        | PruneReason::TimedOut(_))
+                ));
+                prop_assert_eq!(
+                    f.degraded().is_some(),
+                    f.stats.faults_injected > 0 || lost,
+                    "degraded() must reflect injection/loss exactly"
+                );
+                if let Some(d) = f.degraded() {
+                    prop_assert_eq!(d.faults_injected, f.stats.faults_injected);
+                    prop_assert_eq!(d.abandoned, f.stats.abandoned);
+                    prop_assert_eq!(d.lost.is_empty(), !lost);
+                }
+
+                // Survivor-restricted differential check: if the fault-free
+                // winner survived the chaos un-noisy with its exact timing,
+                // it must still be the winner.
+                if let Ok(c) = &clean {
+                    let wi = configs
+                        .iter()
+                        .position(|&cfg| cfg == c.best_config)
+                        .expect("winner config is in the ladder");
+                    let survivor = &f.candidates[wi];
+                    if !survivor.noisy
+                        && survivor.seconds.map(f64::to_bits)
+                            == Some(c.best_seconds.to_bits())
+                    {
+                        prop_assert_eq!(f.best_config, c.best_config);
+                        prop_assert_eq!(
+                            f.best_seconds.to_bits(),
+                            c.best_seconds.to_bits()
+                        );
+                        prop_assert_eq!(f.best.to_string(), c.best.to_string());
+                    }
+                    // Noise only slows candidates down, so a faulted search
+                    // can never report a better time than the clean one.
+                    prop_assert!(f.best_seconds >= c.best_seconds - 1e-18);
+                }
+            }
+            (Ok(_), Err(fe)) => {
+                // The clean search had survivors; losing all of them must be
+                // attributed to injection, with counts.
+                match fe.kind {
+                    TuneErrorKind::AllFaulted { faults_injected, abandoned } => {
+                        prop_assert!(faults_injected > 0);
+                        prop_assert!(abandoned > 0);
+                        prop_assert!(abandoned <= faults_injected);
+                    }
+                    k => prop_assert!(
+                        false,
+                        "expected AllFaulted, got {k:?}: {}",
+                        fe.message
+                    ),
+                }
+                prop_assert!(fe.message.contains("no candidate"));
+            }
+            (Err(_), Err(_)) => {}
+        }
+
+        // The clean run reports zero fault activity.
+        if let Ok(c) = &clean {
+            prop_assert_eq!(c.stats.faults_injected, 0);
+            prop_assert_eq!(c.stats.recovered, 0);
+            prop_assert_eq!(c.stats.abandoned, 0);
+            prop_assert_eq!(c.stats.noise_faults, 0);
+            prop_assert!(c.candidates.iter().all(|cand| !cand.noisy));
+        }
+    }
+}

@@ -2,13 +2,16 @@
 //!
 //! Serial (`parallelism = 1`) and parallel tuning must select byte-identical
 //! winners with bit-identical timings and emit identical candidate decision
-//! logs, for arbitrary kernels, strategies and factor ladders. CI runs this
-//! with a forced `parallelism > 1` so the threaded path is exercised even on
-//! single-core runners.
+//! logs, for arbitrary kernels, strategies and factor ladders — **including
+//! under an active fault-injection schedule**: faults are keyed by candidate
+//! and attempt, never by thread, so the same `FaultPlan` produces the same
+//! injected faults, the same retries/re-elections and the same stats at any
+//! worker count. CI runs this with a forced `parallelism > 1` so the
+//! threaded path is exercised even on single-core runners.
 
 use proptest::prelude::*;
 use respec_ir::{parse_function, structural_hash, Function};
-use respec_sim::{targets, SimError};
+use respec_sim::{targets, FaultPlan, FaultSpec, SimError};
 use respec_trace::{MetricValue, Trace, TraceEvent};
 use respec_tune::{candidate_configs, tune_kernel_pooled, Strategy as SearchStrategy, TuneOptions};
 
@@ -21,6 +24,9 @@ struct Case {
     strategy_pick: u8,
     totals_mask: u8,
     fail_parity: bool,
+    fault_seed: u64,
+    fault_rate_pick: u8,
+    noise_pick: u8,
 }
 
 fn case() -> impl Strategy<Value = Case> {
@@ -30,16 +36,22 @@ fn case() -> impl Strategy<Value = Case> {
         any::<bool>(),
         0u8..3,
         1u8..63,
-        any::<bool>(),
+        (any::<bool>(), any::<u64>(), 0u8..3, 0u8..2),
     )
         .prop_map(
-            |(block_x, extra_ops, use_shared, strategy_pick, totals_mask, fail_parity)| Case {
-                block_x,
-                extra_ops,
-                use_shared,
-                strategy_pick,
-                totals_mask,
-                fail_parity,
+            |(block_x, extra_ops, use_shared, strategy_pick, totals_mask, rest)| {
+                let (fail_parity, fault_seed, fault_rate_pick, noise_pick) = rest;
+                Case {
+                    block_x,
+                    extra_ops,
+                    use_shared,
+                    strategy_pick,
+                    totals_mask,
+                    fail_parity,
+                    fault_seed,
+                    fault_rate_pick,
+                    noise_pick,
+                }
             },
         )
 }
@@ -115,6 +127,29 @@ fn decision_log(trace: &Trace) -> Vec<(String, Vec<(String, MetricValue)>)> {
         .collect()
 }
 
+/// Fault events with their full metric set. Workers interleave these in
+/// arbitrary order, so the comparison is over the *sorted* multiset — the
+/// set of injected faults is deterministic even though emission order is
+/// not.
+fn fault_log(trace: &Trace) -> Vec<String> {
+    let mut log: Vec<String> = trace
+        .events()
+        .into_iter()
+        .filter(|e: &TraceEvent| e.name == "fault")
+        .map(|e| {
+            let mut metrics: Vec<String> = e
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{k}={v:?}"))
+                .collect();
+            metrics.sort();
+            metrics.join(",")
+        })
+        .collect();
+    log.sort();
+    log
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -136,12 +171,22 @@ proptest! {
             .collect();
         let configs = candidate_configs(strategy, &totals, &[case.block_x, 1, 1]);
 
+        // A third of the cases tune fault-free; the rest run under an
+        // active schedule whose seed/rates the two runs share exactly.
+        let rate = [0.0, 0.1, 0.5][case.fault_rate_pick as usize];
+        let noise = [0.0, 0.2][case.noise_pick as usize];
+        let plan = if rate == 0.0 && noise == 0.0 {
+            FaultPlan::disabled()
+        } else {
+            FaultPlan::new(case.fault_seed, FaultSpec::uniform(rate).with_noise(noise))
+        };
+
         let serial_trace = Trace::new();
         let serial = tune_kernel_pooled(
             &func,
             &target,
             &configs,
-            &TuneOptions::serial(),
+            &TuneOptions::serial().fault_plan(plan),
             || runner(case.fail_parity),
             &serial_trace,
         );
@@ -150,7 +195,7 @@ proptest! {
             &func,
             &target,
             &configs,
-            &TuneOptions::with_parallelism(4),
+            &TuneOptions::with_parallelism(4).fault_plan(plan),
             || runner(case.fail_parity),
             &parallel_trace,
         );
@@ -170,10 +215,18 @@ proptest! {
                     );
                     prop_assert_eq!(&a.pruned, &b.pruned);
                     prop_assert_eq!(a.cache_hit, b.cache_hit);
+                    prop_assert_eq!(a.noisy, b.noisy);
                 }
                 prop_assert_eq!(s.stats.cache_hits, p.stats.cache_hits);
                 prop_assert_eq!(s.stats.cache_misses, p.stats.cache_misses);
                 prop_assert_eq!(s.stats.runner_calls, p.stats.runner_calls);
+                // The whole fault ledger must match, not just the totals.
+                prop_assert_eq!(s.stats.faults_injected, p.stats.faults_injected);
+                prop_assert_eq!(s.stats.retries, p.stats.retries);
+                prop_assert_eq!(s.stats.recovered, p.stats.recovered);
+                prop_assert_eq!(s.stats.abandoned, p.stats.abandoned);
+                prop_assert_eq!(s.stats.noise_faults, p.stats.noise_faults);
+                prop_assert_eq!(s.degraded(), p.degraded());
             }
             (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
             (s, p) => prop_assert!(
@@ -184,7 +237,9 @@ proptest! {
             ),
         }
         // The decision logs — every candidate event with its full metric
-        // set, plus the winner — must match entry for entry.
+        // set, plus the winner — must match entry for entry; the injected
+        // fault sets must match as sorted multisets.
         prop_assert_eq!(decision_log(&serial_trace), decision_log(&parallel_trace));
+        prop_assert_eq!(fault_log(&serial_trace), fault_log(&parallel_trace));
     }
 }

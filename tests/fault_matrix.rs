@@ -1,0 +1,256 @@
+//! Seeded fault-matrix integration test: the resilient tuning engine over
+//! real Rodinia apps at escalating fault rates.
+//!
+//! For each app × rate cell the engine must (a) never panic, (b) keep the
+//! fault accounting identity, (c) return a winner whose substituted module
+//! still verifies against the app's sequential reference, (d) report
+//! degradation exactly when faults or losses occurred, and (e) — the
+//! differential guarantee — select the fault-free winner whenever that
+//! candidate survived the chaos with its exact un-noisy timing.
+//!
+//! The schedule honors `RESPEC_FAULT_SEED` (folded into each cell's seed)
+//! and `RESPEC_TUNE_PARALLELISM` (worker count), so a CI matrix sweeps
+//! fresh fault schedules at several worker counts without edits here.
+
+use respec::{
+    candidate_configs, targets, tune_kernel_pooled, FaultPlan, FaultSpec, Strategy, Trace,
+    TuneErrorKind, TuneOptions, TuneResult,
+};
+use respec_rodinia::{all_apps_sized, compile_app, max_abs_err, App, Workload};
+
+const APPS: [&str; 3] = ["lud", "pathfinder", "gaussian"];
+const RATES: [f64; 3] = [0.0, 0.1, 0.5];
+const NOISE: f64 = 0.2;
+const TOTALS: [i64; 2] = [1, 2];
+
+fn env_u64(name: &str) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Per-cell fault plan: deterministic in (app, rate), perturbed by
+/// `RESPEC_FAULT_SEED` for CI sweeps. Rate 0 means injection off.
+fn plan_for(app_idx: usize, rate_idx: usize) -> FaultPlan {
+    let rate = RATES[rate_idx];
+    if rate == 0.0 {
+        return FaultPlan::disabled();
+    }
+    let seed = (app_idx as u64 * 1009 + rate_idx as u64 + 1) ^ env_u64("RESPEC_FAULT_SEED");
+    FaultPlan::new(seed, FaultSpec::uniform(rate).with_noise(NOISE))
+}
+
+fn options_for(plan: FaultPlan) -> TuneOptions {
+    // Honor RESPEC_TUNE_PARALLELISM like the bench harness does, but pin
+    // the fault schedule to this cell's plan.
+    let parallelism = std::env::var("RESPEC_TUNE_PARALLELISM")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1);
+    TuneOptions::with_parallelism(parallelism.max(1)).fault_plan(plan)
+}
+
+fn tune_cell(app: &dyn App, plan: FaultPlan) -> Result<TuneResult, respec::tune::TuneError> {
+    let module = compile_app(app).expect("app compiles");
+    let kernel = app.main_kernel().to_string();
+    let func = module.function(&kernel).expect("main kernel").clone();
+    let target = targets::a100();
+    let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
+    let configs = candidate_configs(Strategy::Combined, &TOTALS, &launches[0].block_dims);
+    tune_kernel_pooled(
+        &func,
+        &target,
+        &configs,
+        &options_for(plan),
+        || {
+            let module = &module;
+            let kernel = kernel.clone();
+            move |version: &respec::Function, _regs: u32| {
+                let mut m = module.clone();
+                m.add_function(version.clone());
+                let mut sim = respec::GpuSim::new(targets::a100());
+                app.run(&mut sim, &m)?;
+                let max = sim
+                    .launch_log
+                    .iter()
+                    .filter(|t| t.kernel == kernel)
+                    .map(|t| t.seconds)
+                    .fold(0.0f64, f64::max);
+                Ok(sim.kernel_seconds_above(&kernel, max * 0.25))
+            }
+        },
+        &Trace::disabled(),
+    )
+}
+
+/// Substitutes the winner into the module and verifies the full app output
+/// against the sequential reference.
+fn verify_winner(app: &dyn App, result: &TuneResult) {
+    let mut module = compile_app(app).expect("app compiles");
+    module.add_function(result.best.clone());
+    let mut sim = respec::GpuSim::new(targets::a100());
+    let out = app.run(&mut sim, &module).expect("tuned module runs");
+    let err = max_abs_err(&out, &app.reference());
+    assert!(
+        err <= app.tolerance(),
+        "{}: tuned winner {} produced wrong output (err {err:.3e})",
+        app.name(),
+        result.best_config
+    );
+}
+
+/// The environment path: `TuneOptions::from_env` picks up
+/// `RESPEC_FAULT_SEED` / `RESPEC_FAULT_RATE` / `RESPEC_FAULT_NOISE` and
+/// `RESPEC_TUNE_PARALLELISM`, so any existing harness becomes a chaos
+/// harness without code changes. With no fault variables set this runs the
+/// clean path; either way the engine must stay robust and any winner must
+/// verify.
+#[test]
+fn env_driven_injection_is_robust() {
+    let apps = all_apps_sized(Workload::Small);
+    let app = apps
+        .iter()
+        .find(|a| a.name() == "lud")
+        .expect("lud registered");
+    let module = compile_app(app.as_ref()).expect("app compiles");
+    let kernel = app.main_kernel().to_string();
+    let func = module.function(&kernel).expect("main kernel").clone();
+    let target = targets::a100();
+    let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
+    let configs = candidate_configs(Strategy::Combined, &TOTALS, &launches[0].block_dims);
+    let options = TuneOptions::from_env();
+    let outcome = tune_kernel_pooled(
+        &func,
+        &target,
+        &configs,
+        &options,
+        || {
+            let module = &module;
+            let kernel = kernel.clone();
+            move |version: &respec::Function, _regs: u32| {
+                let mut m = module.clone();
+                m.add_function(version.clone());
+                let mut sim = respec::GpuSim::new(targets::a100());
+                app.run(&mut sim, &m)?;
+                let max = sim
+                    .launch_log
+                    .iter()
+                    .filter(|t| t.kernel == kernel)
+                    .map(|t| t.seconds)
+                    .fold(0.0f64, f64::max);
+                Ok(sim.kernel_seconds_above(&kernel, max * 0.25))
+            }
+        },
+        &Trace::disabled(),
+    );
+    match outcome {
+        Ok(result) => {
+            assert_eq!(
+                result.stats.recovered + result.stats.abandoned,
+                result.stats.faults_injected - result.stats.noise_faults,
+                "accounting identity violated: {:?}",
+                result.stats
+            );
+            if !options.fault_plan.is_active() {
+                assert_eq!(result.stats.faults_injected, 0);
+            }
+            verify_winner(app.as_ref(), &result);
+        }
+        Err(e) => {
+            assert!(
+                options.fault_plan.is_active(),
+                "fault-free env run must succeed: {}",
+                e.message
+            );
+            assert!(matches!(e.kind, TuneErrorKind::AllFaulted { .. }));
+        }
+    }
+}
+
+#[test]
+fn fault_matrix_over_rodinia_apps() {
+    let apps = all_apps_sized(Workload::Small);
+    for (app_idx, name) in APPS.iter().enumerate() {
+        let app = apps
+            .iter()
+            .find(|a| a.name() == *name)
+            .expect("app registered");
+
+        // Rate 0 first: the clean baseline every faulted cell is compared
+        // against.
+        let clean = tune_cell(app.as_ref(), plan_for(app_idx, 0))
+            .expect("fault-free tuning succeeds on Small workloads");
+        assert_eq!(clean.stats.faults_injected, 0, "{name}: clean run injected");
+        assert!(
+            clean.degraded().is_none(),
+            "{name}: clean run must not be degraded: {:?}",
+            clean.degraded()
+        );
+        verify_winner(app.as_ref(), &clean);
+
+        for (rate_idx, &rate) in RATES.iter().enumerate().skip(1) {
+            let plan = plan_for(app_idx, rate_idx);
+            match tune_cell(app.as_ref(), plan) {
+                Ok(result) => {
+                    // Accounting identity holds at every rate.
+                    assert_eq!(
+                        result.stats.recovered + result.stats.abandoned,
+                        result.stats.faults_injected - result.stats.noise_faults,
+                        "{name}@{}: accounting identity violated: {:?}",
+                        rate,
+                        result.stats
+                    );
+                    // Whenever a winner is returned its output verifies.
+                    verify_winner(app.as_ref(), &result);
+                    // Degraded exactly when faults were injected or
+                    // candidates lost.
+                    let lost = result.degraded().map_or(0, |d| d.lost.len());
+                    assert_eq!(
+                        result.degraded().is_some(),
+                        result.stats.faults_injected > 0 || lost > 0,
+                        "{name}@{}: degraded() disagrees with the stats",
+                        rate
+                    );
+                    // Differential winner check: a surviving un-noisy clean
+                    // winner must stay the winner.
+                    let wi = result
+                        .candidates
+                        .iter()
+                        .position(|c| c.config == clean.best_config)
+                        .expect("clean winner config is in the ladder");
+                    let survivor = &result.candidates[wi];
+                    if !survivor.noisy
+                        && survivor.seconds.map(f64::to_bits) == Some(clean.best_seconds.to_bits())
+                    {
+                        assert_eq!(
+                            result.best_config, clean.best_config,
+                            "{name}@{}: surviving clean winner was shadowed",
+                            rate
+                        );
+                        assert_eq!(result.best_seconds.to_bits(), clean.best_seconds.to_bits());
+                    }
+                }
+                Err(e) => {
+                    // Total loss must be structured and attributed to
+                    // injection — the clean cell above proved survivors
+                    // exist without it.
+                    match e.kind {
+                        TuneErrorKind::AllFaulted {
+                            faults_injected,
+                            abandoned,
+                        } => {
+                            assert!(faults_injected > 0);
+                            assert!(abandoned > 0);
+                        }
+                        k => panic!(
+                            "{name}@{}: expected AllFaulted, got {k:?}: {}",
+                            rate, e.message
+                        ),
+                    }
+                    assert!(e.message.contains("no candidate"));
+                }
+            }
+        }
+    }
+}
