@@ -10,7 +10,7 @@ use respec::opt::optimize;
 use respec::sim::SimError;
 use respec::{
     candidate_configs, targets, tune_kernel_pooled, Function, GpuSim, Module, Strategy, TargetDesc,
-    Trace, TuneOptions, TuneResult,
+    Trace, TuneOptions, TuneResult, TuningCache,
 };
 use respec_rodinia::{all_apps_sized, compile_app, App, Workload};
 
@@ -126,7 +126,8 @@ pub fn tuned_module(
     strategy: Strategy,
     totals: &[i64],
 ) -> Module {
-    tuned_module_with(app, target, strategy, totals, &TuneOptions::from_env()).0
+    let options = TuneOptions::from_env().expect("invalid RESPEC_* environment");
+    tuned_module_with(app, target, strategy, totals, &options).0
 }
 
 /// [`tuned_module`] with an explicit worker configuration, also returning
@@ -193,7 +194,7 @@ pub fn strategy_best(
         &func,
         target,
         &configs,
-        &TuneOptions::from_env(),
+        &TuneOptions::from_env().expect("invalid RESPEC_* environment"),
         || app_runner(app, &module, target, &name),
         &Trace::disabled(),
     )
@@ -228,6 +229,15 @@ pub struct TuneThroughputRow {
     /// Compilation-cache hit rate of the search (identical for both runs —
     /// cache behavior is deterministic).
     pub cache_hit_rate: f64,
+    /// Wall-clock seconds of a serial search against a fresh persistent
+    /// cache directory (misses everywhere, populates the store).
+    pub cold_cache_seconds: f64,
+    /// Wall-clock seconds of the identical search re-run against the
+    /// now-populated store: the stored winner replays, zero compiles and
+    /// zero measurements.
+    pub warm_cache_seconds: f64,
+    /// Persistent-cache hits of the warm run (1 = winner replay).
+    pub warm_persistent_hits: usize,
 }
 
 impl TuneThroughputRow {
@@ -245,10 +255,16 @@ impl TuneThroughputRow {
     pub fn speedup(&self) -> f64 {
         self.serial_seconds / self.parallel_seconds.max(1e-12)
     }
+
+    /// Cold-over-warm wall-clock speedup of the persistent cache.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_cache_seconds / self.warm_cache_seconds.max(1e-12)
+    }
 }
 
-/// Times a Combined-strategy search per app, once serial and once with
-/// `parallelism` workers.
+/// Times a Combined-strategy search per app: once serial, once with
+/// `parallelism` workers, and cold-then-warm against a fresh persistent
+/// cache directory (removed afterwards).
 pub fn tune_throughput_data(
     workload: Workload,
     totals: &[i64],
@@ -276,6 +292,37 @@ pub fn tune_throughput_data(
         );
         let parallel_seconds = start.elapsed().as_secs_f64();
         let result = parallel.as_ref().or(serial.as_ref());
+
+        let cache_dir = std::env::temp_dir().join(format!(
+            "respec-bench-cache-{}-{}",
+            std::process::id(),
+            app.name()
+        ));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cached_options = || {
+            let cache = TuningCache::open(&cache_dir).expect("bench cache dir");
+            TuneOptions::serial().cache(std::sync::Arc::new(cache))
+        };
+        let start = std::time::Instant::now();
+        let _ = tuned_module_with(
+            app.as_ref(),
+            &target,
+            Strategy::Combined,
+            totals,
+            &cached_options(),
+        );
+        let cold_cache_seconds = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let (_, warm) = tuned_module_with(
+            app.as_ref(),
+            &target,
+            Strategy::Combined,
+            totals,
+            &cached_options(),
+        );
+        let warm_cache_seconds = start.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&cache_dir);
+
         rows.push(TuneThroughputRow {
             app: app.name().to_string(),
             candidates: result.map(|r| r.candidates.len()).unwrap_or(0),
@@ -283,6 +330,9 @@ pub fn tune_throughput_data(
             parallel_seconds,
             parallelism,
             cache_hit_rate: result.map(|r| r.stats.cache_hit_rate()).unwrap_or(0.0),
+            cold_cache_seconds,
+            warm_cache_seconds,
+            warm_persistent_hits: warm.map(|r| r.stats.persistent_hits).unwrap_or(0),
         });
     }
     rows
@@ -964,6 +1014,10 @@ pub mod jsonout {
                     .f64("candidates_per_sec_parallel", r.parallel_rate())
                     .f64("speedup", r.speedup())
                     .f64("cache_hit_rate", r.cache_hit_rate)
+                    .f64("cold_cache_s", r.cold_cache_seconds)
+                    .f64("warm_cache_s", r.warm_cache_seconds)
+                    .f64("warm_speedup", r.warm_speedup())
+                    .u64("warm_persistent_hits", r.warm_persistent_hits as u64)
                     .finish(),
             );
             out.push('\n');

@@ -46,9 +46,12 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 pub use respec_analyze as analyze;
 pub use respec_backend as backend;
+pub use respec_cache as cache;
 pub use respec_frontend as frontend;
 pub use respec_ir as ir;
 pub use respec_opt as opt;
@@ -57,6 +60,7 @@ pub use respec_trace as trace;
 pub use respec_tune as tune;
 
 pub use respec_analyze::AnalysisReport;
+pub use respec_cache::{Lookup, StoredReport, StoredWinner, TuningCache};
 pub use respec_frontend::KernelSpec;
 pub use respec_ir::{Diagnostic, Function, Module, Severity};
 pub use respec_opt::{CoarsenConfig, IndexingStyle};
@@ -76,7 +80,7 @@ pub mod prelude {
     pub use crate::{
         targets, CoarsenConfig, Compiled, Compiler, Diagnostic, Error, FaultPlan, FaultSpec,
         GpuSim, KernelArg, LaunchReport, RetryPolicy, Severity, Strategy, TargetDesc, Trace,
-        TuneOptions, TuneResult,
+        TuneOptions, TuneResult, TuningCache,
     };
 }
 
@@ -96,6 +100,10 @@ pub enum Error {
     Analysis(Diagnostic),
     /// Configuration error in the builder itself.
     Builder(String),
+    /// The persistent tuning cache directory could not be opened or
+    /// created (corrupt *entries* are never errors — they degrade to
+    /// misses — but an unusable cache *directory* is).
+    Cache(String),
 }
 
 impl fmt::Display for Error {
@@ -107,6 +115,7 @@ impl fmt::Display for Error {
             Error::Tune(e) => e.fmt(f),
             Error::Analysis(d) => d.fmt(f),
             Error::Builder(m) => write!(f, "builder error: {m}"),
+            Error::Cache(m) => write!(f, "tuning cache error: {m}"),
         }
     }
 }
@@ -124,6 +133,7 @@ impl From<Error> for Diagnostic {
             Error::Tune(e) => Diagnostic::error("tune-error", e.message),
             Error::Analysis(d) => d,
             Error::Builder(m) => Diagnostic::error("builder-error", m),
+            Error::Cache(m) => Diagnostic::error("cache-error", m),
         }
     }
 }
@@ -168,6 +178,7 @@ pub struct Compiler {
     coarsen: Option<CoarsenConfig>,
     run_optimizer: bool,
     trace: Trace,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Compiler {
@@ -221,6 +232,18 @@ impl Compiler {
         self
     }
 
+    /// Attaches a persistent tuning cache rooted at `dir` (created on
+    /// first use): autotune calls on the [`Compiled`] artifact replay
+    /// stored winners, skip backend compiles whose reports are stored, and
+    /// warm-start candidate ordering from winners recorded for other
+    /// targets. Without this call the `RESPEC_CACHE_DIR` environment
+    /// variable (read at [`Compiler::compile`] time) selects the
+    /// directory; an explicit `with_cache` wins over the environment.
+    pub fn with_cache(mut self, dir: impl Into<PathBuf>) -> Compiler {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Runs the pipeline. Coarsening and optimization run under the static
     /// race/barrier gate ([`respec_opt::AnalysisGate`]): a transformation
     /// that introduces a legality error the input kernel lacked is a hard
@@ -262,10 +285,19 @@ impl Compiler {
                 .span("compile", format!("verify:{}", func.name()));
             respec_ir::verify_function(func).map_err(|e| Error::Builder(e.to_string()))?;
         }
+        let cache = match &self.cache_dir {
+            Some(dir) => Some(Arc::new(TuningCache::open(dir).map_err(|e| {
+                Error::Cache(format!("cannot open {}: {e}", dir.display()))
+            })?)),
+            None => TuningCache::from_env()
+                .map_err(|e| Error::Cache(format!("cannot open RESPEC_CACHE_DIR: {e}")))?
+                .map(Arc::new),
+        };
         Ok(Compiled {
             module,
             target,
             trace: self.trace,
+            cache,
         })
     }
 
@@ -324,6 +356,10 @@ pub struct Compiled {
     /// The trace handle events were recorded into (disabled unless the
     /// builder was given one via [`Compiler::with_trace`]).
     pub trace: Trace,
+    /// The persistent tuning cache autotune calls consult ([`None`]
+    /// unless [`Compiler::with_cache`] or `RESPEC_CACHE_DIR` selected a
+    /// directory).
+    pub cache: Option<Arc<TuningCache>>,
 }
 
 impl Compiled {
@@ -438,11 +474,12 @@ impl Compiled {
     {
         let func = self.kernel(name).clone();
         let configs = self.candidate_configs_for(&func, options.strategy, &options.totals)?;
+        let options = self.options_with_cache(options);
         let result = tune_kernel_pooled(
             &func,
             &self.target,
             &configs,
-            options,
+            &options,
             make_runner,
             &self.trace,
         )?;
@@ -477,7 +514,8 @@ impl Compiled {
         }
         let workers = options.effective_parallelism();
         let outer = workers.min(jobs.len()).max(1);
-        let inner = TuneOptions::with_parallelism((workers / outer).max(1));
+        let inner =
+            self.options_with_cache(&TuneOptions::with_parallelism((workers / outer).max(1)));
         let target = &self.target;
         let trace = &self.trace;
         let results = respec_tune::pool::parallel_map(jobs.len(), outer, |i| {
@@ -492,6 +530,16 @@ impl Compiled {
             self.module.add_function(result.best.clone());
         }
         Ok(out)
+    }
+
+    /// `options` with this artifact's persistent cache injected, unless
+    /// the caller already chose one explicitly.
+    fn options_with_cache(&self, options: &TuneOptions) -> TuneOptions {
+        let mut options = options.clone();
+        if options.cache.is_none() {
+            options.cache = self.cache.clone();
+        }
+        options
     }
 
     /// Candidate set for a kernel's block shape under a strategy.
@@ -521,6 +569,9 @@ pub struct TraceReport {
     pub tune_events: usize,
     /// Simulated kernel-launch spans (category `sim`).
     pub launch_spans: usize,
+    /// Persistent-cache events — lookups, warm-starts, counters (category
+    /// `cache`).
+    pub cache_events: usize,
     /// All events recorded, any category.
     pub total_events: usize,
     /// Aggregated per-name statistics.
@@ -535,6 +586,7 @@ impl TraceReport {
             pass_spans: events.iter().filter(|e| e.category == "pass").count(),
             tune_events: events.iter().filter(|e| e.category == "tune").count(),
             launch_spans: events.iter().filter(|e| e.category == "sim").count(),
+            cache_events: events.iter().filter(|e| e.category == "cache").count(),
             total_events: events.len(),
             summary: TraceSummary::from_events(&events),
         }
@@ -545,8 +597,12 @@ impl fmt::Display for TraceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} events ({} pass spans, {} tuning events, {} launch spans)",
-            self.total_events, self.pass_spans, self.tune_events, self.launch_spans
+            "{} events ({} pass spans, {} tuning events, {} launch spans, {} cache events)",
+            self.total_events,
+            self.pass_spans,
+            self.tune_events,
+            self.launch_spans,
+            self.cache_events
         )?;
         self.summary.fmt(f)
     }
@@ -884,6 +940,53 @@ mod tests {
             serial.module.function("axpy").unwrap().to_string(),
             pooled.module.function("axpy").unwrap().to_string()
         );
+    }
+
+    #[test]
+    fn with_cache_makes_the_second_autotune_a_pure_replay() {
+        let dir = std::env::temp_dir().join(format!(
+            "respec-facade-cache-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let compile = || {
+            Compiler::new()
+                .source(SRC)
+                .kernel("axpy", [128, 1, 1])
+                .target(targets::a100())
+                .with_cache(&dir)
+                .compile()
+                .unwrap()
+        };
+        let mut cold = compile();
+        let c = cold
+            .autotune(
+                "axpy",
+                &TuneOptions::serial().totals(&[1, 2]),
+                axpy_runner(),
+            )
+            .unwrap();
+        assert_eq!(c.stats.persistent_hits, 0);
+        assert!(c.stats.persistent_misses > 0, "cold run misses everything");
+        let mut warm = compile();
+        let w = warm
+            .autotune(
+                "axpy",
+                &TuneOptions::serial().totals(&[1, 2]),
+                axpy_runner(),
+            )
+            .unwrap();
+        assert_eq!(w.stats.persistent_hits, 1, "the stored winner replays");
+        assert_eq!(w.stats.runner_calls, 0, "replay never launches a runner");
+        assert_eq!(w.best_config, c.best_config);
+        assert_eq!(w.best_seconds.to_bits(), c.best_seconds.to_bits());
+        assert_eq!(w.best.to_string(), c.best.to_string());
+        assert_eq!(
+            warm.module.function("axpy").unwrap().to_string(),
+            cold.module.function("axpy").unwrap().to_string()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,17 +20,79 @@ use std::fmt::{self, Write};
 
 use crate::Function;
 
-/// Streaming FNV-1a 64-bit hasher fed by the IR printer.
-struct HashWriter {
+/// Version of the structural-hash scheme: the printer grammar plus the
+/// byte-stream encoding below. Bump whenever either changes so persisted
+/// artifacts keyed by a structural hash (the on-disk tuning cache) are
+/// invalidated instead of silently matching stale content.
+pub const STRUCTURAL_HASH_VERSION: u32 = 1;
+
+/// Streaming FNV-1a 64-bit hasher over an explicit byte encoding.
+///
+/// This is the one hash primitive persisted artifacts are allowed to use:
+/// it has no dependence on `std::hash` (whose output is explicitly not
+/// stable across Rust releases or platforms), so a key computed today
+/// matches a key computed by any future build of the same
+/// [`STRUCTURAL_HASH_VERSION`].
+#[derive(Clone, Debug)]
+pub struct StableHasher {
     state: u64,
 }
 
-impl Write for HashWriter {
-    fn write_str(&mut self, s: &str) -> fmt::Result {
-        for b in s.bytes() {
-            self.state ^= u64::from(b);
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher with the standard FNV-1a offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.state ^= u64::from(*b);
             self.state = self.state.wrapping_mul(0x100_0000_01b3);
         }
+    }
+
+    /// Feeds a string's UTF-8 bytes followed by a NUL separator, so
+    /// adjacent strings cannot collide by concatenation.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        self.write_bytes(&[0]);
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` as little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern (bit-exact, so `-0.0`
+    /// and `0.0` hash differently — keys must be bit-stable, not
+    /// numerically fuzzy).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The 64-bit digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Write for StableHasher {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
         Ok(())
     }
 }
@@ -40,11 +102,9 @@ impl Write for HashWriter {
 /// Two functions hash equal iff their [`Display`](std::fmt::Display)
 /// renderings are byte-identical, independent of internal arena ids.
 pub fn structural_hash(func: &Function) -> u64 {
-    let mut w = HashWriter {
-        state: 0xcbf2_9ce4_8422_2325,
-    };
+    let mut w = StableHasher::new();
     write!(w, "{func}").expect("hash writer is infallible");
-    w.state
+    w.finish()
 }
 
 #[cfg(test)]
@@ -99,5 +159,31 @@ mod tests {
         let a = parse_function(KERNEL).unwrap();
         let b = parse_function(&KERNEL.replace("@k", "@k2")).unwrap();
         assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn stable_hasher_digests_are_pinned() {
+        // Golden digests: these values are part of the on-disk cache-key
+        // contract. If this test fails, the encoding changed — bump
+        // STRUCTURAL_HASH_VERSION rather than updating the constants.
+        let mut h = StableHasher::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write_str("respec");
+        h.write_u64(7);
+        h.write_i64(-3);
+        h.write_f64(1.5);
+        assert_eq!(h.finish(), 0xb672_b7d8_e150_77b9);
+        assert_eq!(STRUCTURAL_HASH_VERSION, 1);
+    }
+
+    #[test]
+    fn string_separator_prevents_concatenation_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
     }
 }

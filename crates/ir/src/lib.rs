@@ -66,7 +66,7 @@ pub mod walk;
 pub use builder::FuncBuilder;
 pub use diag::{Diagnostic, Severity};
 pub use func::{Function, Module, Region};
-pub use hash::structural_hash;
+pub use hash::{structural_hash, StableHasher, STRUCTURAL_HASH_VERSION};
 pub use ids::{OpId, RegionId, Value};
 pub use ops::{BinOp, CmpPred, MemSpace, OpKind, Operation, ParLevel, UnOp};
 pub use parse::{parse_function, parse_module, ParseError};

@@ -1,10 +1,12 @@
 //! Property tests: every randomly generated well-formed function must
-//! verify, print, and re-parse to a textually identical function.
+//! verify, print, and re-parse to a textually identical function — and the
+//! same fixed-point property must hold for the committed Rodinia corpus
+//! (the golden snapshots in `tests/goldens/`).
 
 use proptest::prelude::*;
 use respec_ir::{
-    parse_function, verify_function, BinOp, CmpPred, FuncBuilder, Function, MemSpace, ParLevel,
-    ScalarType, Type, UnOp, Value,
+    parse_function, parse_module, verify_function, BinOp, CmpPred, FuncBuilder, Function, MemSpace,
+    ParLevel, ScalarType, Type, UnOp, Value,
 };
 
 /// A recipe for one random operation appended to a straight-line pool.
@@ -192,5 +194,49 @@ proptest! {
         let reparsed = parse_function(&printed).expect("printed function must parse");
         verify_function(&reparsed).expect("reparsed function must verify");
         prop_assert_eq!(printed, reparsed.to_string());
+    }
+}
+
+/// The same fixed-point property over the committed Rodinia corpus: every
+/// golden snapshot (real frontend output after the canonical pipeline, one
+/// module per app) parses, verifies, and re-prints byte-identically. This
+/// is the invariant the persistent tuning cache leans on when it stores
+/// winners as printed IR and the structural hash keys entries by the
+/// canonical text.
+#[test]
+fn rodinia_corpus_round_trips_byte_identically() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("tests/goldens");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/goldens exists (regenerate with RESPEC_UPDATE_GOLDENS=1)")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "the golden corpus must not be empty");
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("read golden");
+        let module =
+            parse_module(&src).unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+        for func in module.functions() {
+            verify_function(func).unwrap_or_else(|e| panic!("{} must verify: {e}", path.display()));
+        }
+        let p1 = module.to_string();
+        let reparsed = parse_module(&p1)
+            .unwrap_or_else(|e| panic!("{} reprint must parse: {e}", path.display()));
+        assert_eq!(
+            p1,
+            reparsed.to_string(),
+            "{} print→parse→print must reach a fixed point",
+            path.display()
+        );
+        assert_eq!(
+            src,
+            p1,
+            "{} golden text must already be in canonical printed form",
+            path.display()
+        );
     }
 }

@@ -68,7 +68,9 @@ pub use interleave::{
     parent_region, region_contains_barrier, unroll_interleave, IndexingStyle, InterleaveError,
 };
 pub use licm::licm;
-pub use pass_manager::{op_census, optimize_traced, run_gated, run_pass, AnalysisGate, GateError};
+pub use pass_manager::{
+    op_census, optimize_traced, run_gated, run_pass, AnalysisGate, GateError, PIPELINE_VERSION,
+};
 pub use shared_offload::{offload_shared_to_global, OFFLOAD_BYTES_PER_THREAD, SMALL_L1_BYTES};
 
 use respec_ir::Function;

@@ -11,6 +11,13 @@ use respec_ir::walk::walk_ops;
 use respec_ir::{Diagnostic, Function, OpKind};
 use respec_trace::Trace;
 
+/// Version of the canonical cleanup pipeline (pass set, pass order, and
+/// the rewrites each pass may perform). Persisted artifacts derived from
+/// pipeline output — golden IR snapshots, the on-disk tuning cache — embed
+/// this number; bump it whenever a pass change can alter the produced IR
+/// so stale entries invalidate instead of silently matching.
+pub const PIPELINE_VERSION: u32 = 1;
+
 /// Number of ops reachable from the function body, per op-kind label.
 pub fn op_census(func: &Function) -> BTreeMap<&'static str, u64> {
     let mut census = BTreeMap::new();

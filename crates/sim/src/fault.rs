@@ -130,6 +130,40 @@ impl fmt::Display for Fault {
     }
 }
 
+/// A `RESPEC_*` environment variable that is set but invalid.
+///
+/// Configuration read from the environment fails loudly: a typo'd fault
+/// rate or worker count silently falling back to defaults would make a
+/// chaos or perf run test something other than what the operator asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvConfigError {
+    /// The environment variable at fault.
+    pub var: &'static str,
+    /// The raw value it held.
+    pub value: String,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl EnvConfigError {
+    /// Creates an error for one rejected variable.
+    pub fn new(var: &'static str, value: impl Into<String>, reason: impl Into<String>) -> Self {
+        EnvConfigError {
+            var,
+            value: value.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for EnvConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}={:?}: {}", self.var, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for EnvConfigError {}
+
 /// Per-site fault rates in `[0, 1]`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultSpec {
@@ -231,26 +265,45 @@ impl FaultPlan {
     }
 
     /// Reads a plan from the environment: `RESPEC_FAULT_SEED` (u64, default
-    /// 0), `RESPEC_FAULT_RATE` (uniform hard-fault rate) and
-    /// `RESPEC_FAULT_NOISE` (noisy-timing rate). Disabled when neither rate
-    /// variable is set.
-    pub fn from_env() -> FaultPlan {
-        let parse_f64 = |name: &str| {
-            std::env::var(name)
-                .ok()
-                .and_then(|v| v.trim().parse::<f64>().ok())
+    /// 0), `RESPEC_FAULT_RATE` (uniform hard-fault rate in `[0, 1]`) and
+    /// `RESPEC_FAULT_NOISE` (noisy-timing rate in `[0, 1]`). Disabled when
+    /// neither rate variable is set.
+    ///
+    /// # Errors
+    ///
+    /// A variable that is set but unparsable (or a rate outside `[0, 1]`)
+    /// is an [`EnvConfigError`], never silently ignored: a chaos run whose
+    /// misspelled rate quietly disables injection would report a clean
+    /// search that tested nothing.
+    pub fn from_env() -> Result<FaultPlan, EnvConfigError> {
+        let parse_rate = |name: &'static str| -> Result<Option<f64>, EnvConfigError> {
+            match std::env::var(name) {
+                Err(_) => Ok(None),
+                Ok(raw) => {
+                    let rate: f64 = raw
+                        .trim()
+                        .parse()
+                        .map_err(|_| EnvConfigError::new(name, &raw, "not a number"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(EnvConfigError::new(name, &raw, "rate outside [0, 1]"));
+                    }
+                    Ok(Some(rate))
+                }
+            }
         };
-        let seed = std::env::var("RESPEC_FAULT_SEED")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .unwrap_or(0);
-        let rate = parse_f64("RESPEC_FAULT_RATE");
-        let noise = parse_f64("RESPEC_FAULT_NOISE");
+        let seed = match std::env::var("RESPEC_FAULT_SEED") {
+            Err(_) => 0,
+            Ok(raw) => raw.trim().parse::<u64>().map_err(|_| {
+                EnvConfigError::new("RESPEC_FAULT_SEED", &raw, "not an unsigned 64-bit integer")
+            })?,
+        };
+        let rate = parse_rate("RESPEC_FAULT_RATE")?;
+        let noise = parse_rate("RESPEC_FAULT_NOISE")?;
         if rate.is_none() && noise.is_none() {
-            return FaultPlan::disabled();
+            return Ok(FaultPlan::disabled());
         }
         let spec = FaultSpec::uniform(rate.unwrap_or(0.0)).with_noise(noise.unwrap_or(0.0));
-        FaultPlan::new(seed, spec)
+        Ok(FaultPlan::new(seed, spec))
     }
 
     /// Decides whether a fault fires at `site` for work item `key` on retry
@@ -428,5 +481,82 @@ mod tests {
     fn key_of_is_stable() {
         assert_eq!(key_of("lud_diagonal"), key_of("lud_diagonal"));
         assert_ne!(key_of("lud_diagonal"), key_of("lud_perimeter"));
+    }
+
+    /// Serializes tests that mutate process-global environment variables.
+    pub(crate) fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn with_env<T>(vars: &[(&str, Option<&str>)], f: impl FnOnce() -> T) -> T {
+        let _guard = env_lock();
+        let saved: Vec<(String, Option<String>)> = [
+            "RESPEC_FAULT_SEED",
+            "RESPEC_FAULT_RATE",
+            "RESPEC_FAULT_NOISE",
+        ]
+        .iter()
+        .map(|k| (k.to_string(), std::env::var(k).ok()))
+        .collect();
+        for (k, _) in &saved {
+            std::env::remove_var(k);
+        }
+        for (k, v) in vars {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        let out = f();
+        for (k, v) in saved {
+            match v {
+                Some(v) => std::env::set_var(&k, v),
+                None => std::env::remove_var(&k),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn from_env_reads_a_valid_plan() {
+        let plan = with_env(
+            &[
+                ("RESPEC_FAULT_SEED", Some("42")),
+                ("RESPEC_FAULT_RATE", Some("0.25")),
+                ("RESPEC_FAULT_NOISE", Some("0.5")),
+            ],
+            FaultPlan::from_env,
+        )
+        .expect("valid environment");
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.spec().compile_rate, 0.25);
+        assert_eq!(plan.spec().noise_rate, 0.5);
+        let unset = with_env(&[], FaultPlan::from_env).unwrap();
+        assert!(!unset.is_active());
+    }
+
+    #[test]
+    fn from_env_rejects_garbage_instead_of_ignoring_it() {
+        let err = with_env(&[("RESPEC_FAULT_RATE", Some("banana"))], || {
+            FaultPlan::from_env()
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "RESPEC_FAULT_RATE");
+        assert_eq!(err.value, "banana");
+        assert!(err.to_string().contains("RESPEC_FAULT_RATE"));
+
+        let err = with_env(&[("RESPEC_FAULT_SEED", Some("-1"))], || {
+            FaultPlan::from_env()
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "RESPEC_FAULT_SEED");
+
+        let err = with_env(&[("RESPEC_FAULT_NOISE", Some("1.5"))], || {
+            FaultPlan::from_env()
+        })
+        .unwrap_err();
+        assert_eq!(err.var, "RESPEC_FAULT_NOISE");
+        assert!(err.reason.contains("[0, 1]"));
     }
 }

@@ -57,7 +57,7 @@ mod timing;
 mod value;
 
 pub use cache::{bank_conflict_factor, coalesce_sectors, Cache};
-pub use fault::{Fault, FaultKind, FaultPlan, FaultSite, FaultSpec};
+pub use fault::{EnvConfigError, Fault, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use interp::{
     classify, InstClass, Interp, MemEvent, SimError, StepCx, StepEvent, ThreadCounters,
 };

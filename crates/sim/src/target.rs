@@ -82,6 +82,55 @@ pub struct TargetDesc {
 }
 
 impl TargetDesc {
+    /// Stable 64-bit fingerprint of every field that influences compile
+    /// feedback, pruning, or simulated timing — i.e. everything a tuning
+    /// decision can depend on. Two descriptors fingerprint equal iff they
+    /// describe the same machine, so the fingerprint is a sound persistent
+    /// cache-key component: a respecialized winner cached for one target
+    /// can never be served for a differently-parameterized one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = respec_ir::StableHasher::new();
+        h.write_str(self.name);
+        h.write_str(match self.vendor {
+            Vendor::Nvidia => "nvidia",
+            Vendor::Amd => "amd",
+        });
+        for v in [
+            u64::from(self.warp_size),
+            u64::from(self.sm_count),
+            u64::from(self.regs_per_sm),
+            u64::from(self.max_regs_per_thread),
+            u64::from(self.max_threads_per_sm),
+            u64::from(self.max_blocks_per_sm),
+            u64::from(self.max_threads_per_block),
+            self.shared_per_sm,
+            self.shared_per_block,
+            u64::from(self.shared_banks),
+            self.l2_bytes,
+            self.l1_bytes,
+            self.global_bytes,
+        ] {
+            h.write_u64(v);
+        }
+        for v in [
+            self.clock_hz,
+            self.fp32_flops,
+            self.fp64_flops,
+            self.sfu_ops,
+            self.issue_per_sm_per_cycle,
+            self.lsu_per_sm_per_cycle,
+            self.dram_bw,
+            self.l2_bw,
+            self.dram_latency,
+            self.l2_latency,
+            self.l1_latency,
+            self.alu_latency,
+        ] {
+            h.write_f64(v);
+        }
+        h.finish()
+    }
+
     /// Warps per SM when fully occupied.
     pub fn max_warps_per_sm(&self) -> u32 {
         self.max_threads_per_sm / self.warp_size
@@ -265,6 +314,25 @@ mod tests {
     fn rx6800_has_tiny_l1_compared_to_a4000() {
         // This asymmetry drives the paper's `nw` analysis (§VII-D2).
         assert!(rx6800().l1_bytes * 4 < a4000().l1_bytes);
+    }
+
+    #[test]
+    fn fingerprints_separate_targets_and_parameter_tweaks() {
+        let ts = all_targets();
+        for (i, a) in ts.iter().enumerate() {
+            assert_eq!(a.fingerprint(), a.clone().fingerprint(), "deterministic");
+            for b in &ts[i + 1..] {
+                assert_ne!(a.fingerprint(), b.fingerprint(), "{} vs {}", a.name, b.name);
+            }
+        }
+        // Any tuning-relevant field change must change the fingerprint.
+        let mut t = a100();
+        let base = t.fingerprint();
+        t.max_regs_per_thread -= 1;
+        assert_ne!(t.fingerprint(), base);
+        let mut t = a100();
+        t.dram_bw *= 1.0000001;
+        assert_ne!(t.fingerprint(), base);
     }
 
     #[test]

@@ -285,6 +285,25 @@ impl Trace {
         }
     }
 
+    /// Records one persistent-cache lookup as a `cache_lookup` instant in
+    /// the `cache` category. `kind` names the entry class (`winner`,
+    /// `report`), `outcome` is `hit`, `miss` or `stale`, and a non-empty
+    /// `detail` — the staleness reason — is attached verbatim. These events
+    /// feed the cache tallies in [`TraceSummary`].
+    pub fn cache_lookup(&self, kind: &'static str, outcome: &'static str, detail: &str) {
+        if self.inner.is_none() {
+            return;
+        }
+        let mut metrics: Vec<(String, MetricValue)> = vec![
+            ("kind".to_string(), kind.into()),
+            ("outcome".to_string(), outcome.into()),
+        ];
+        if !detail.is_empty() {
+            metrics.push(("detail".to_string(), detail.into()));
+        }
+        self.instant("cache", "cache_lookup", &metrics);
+    }
+
     /// Records a numeric sample.
     pub fn counter(
         &self,

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::{EventKind, TraceEvent};
+use crate::{EventKind, MetricValue, TraceEvent};
 
 /// Aggregate of every span with the same name.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,6 +31,14 @@ pub struct TraceSummary {
     pub instants: Vec<(String, u64)>,
     /// Total number of recorded events of any kind.
     pub events: usize,
+    /// Persistent-cache lookups that hit, tallied from `cache_lookup`
+    /// instants in the `cache` category.
+    pub cache_hits: u64,
+    /// Persistent-cache lookups that missed (including stale entries).
+    pub cache_misses: u64,
+    /// Stale persistent-cache entries demoted to misses (version bump,
+    /// truncation, corruption).
+    pub cache_invalidations: u64,
 }
 
 impl TraceSummary {
@@ -38,7 +46,20 @@ impl TraceSummary {
     pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
         let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
         let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+        let (mut cache_hits, mut cache_misses, mut cache_invalidations) = (0, 0, 0);
         for ev in events {
+            if ev.kind == EventKind::Instant && ev.category == "cache" && ev.name == "cache_lookup"
+            {
+                match lookup_outcome(ev) {
+                    Some("hit") => cache_hits += 1,
+                    Some("miss") => cache_misses += 1,
+                    Some("stale") => {
+                        cache_misses += 1;
+                        cache_invalidations += 1;
+                    }
+                    _ => {}
+                }
+            }
             match ev.kind {
                 EventKind::Span => {
                     let stat = spans.entry(ev.name.clone()).or_insert_with(|| SpanStat {
@@ -66,6 +87,9 @@ impl TraceSummary {
             spans,
             instants: instants.into_iter().collect(),
             events: events.len(),
+            cache_hits,
+            cache_misses,
+            cache_invalidations,
         }
     }
 
@@ -82,6 +106,14 @@ impl TraceSummary {
             .map(|(_, c)| *c)
             .unwrap_or(0)
     }
+}
+
+/// The `outcome` metric of one `cache_lookup` instant, if present.
+fn lookup_outcome(ev: &TraceEvent) -> Option<&str> {
+    ev.metrics.iter().find_map(|(k, v)| match v {
+        MetricValue::Str(s) if k == "outcome" => Some(s.as_str()),
+        _ => None,
+    })
 }
 
 impl fmt::Display for TraceSummary {
@@ -106,6 +138,13 @@ impl fmt::Display for TraceSummary {
         }
         for (name, count) in &self.instants {
             writeln!(f, "instant {name:<24} x{count}")?;
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            writeln!(
+                f,
+                "cache: {} hits, {} misses ({} invalidations)",
+                self.cache_hits, self.cache_misses, self.cache_invalidations
+            )?;
         }
         Ok(())
     }
@@ -133,5 +172,21 @@ mod tests {
         let text = sum.to_string();
         assert!(text.contains("pass:cse"));
         assert!(text.contains("x2"));
+    }
+
+    #[test]
+    fn summary_tallies_cache_lookups_by_outcome() {
+        let t = Trace::new();
+        t.cache_lookup("winner", "miss", "");
+        t.cache_lookup("report", "hit", "");
+        t.cache_lookup("report", "stale", "format version 0 != 1");
+        let sum = t.summary();
+        assert_eq!(sum.cache_hits, 1);
+        assert_eq!(sum.cache_misses, 2, "stale counts as a miss too");
+        assert_eq!(sum.cache_invalidations, 1);
+        assert_eq!(sum.instant_count("cache_lookup"), 3);
+        assert!(sum
+            .to_string()
+            .contains("cache: 1 hits, 2 misses (1 invalidations)"));
     }
 }

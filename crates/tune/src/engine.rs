@@ -62,8 +62,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use respec_analyze::{introduced_errors, Baseline};
 use respec_backend::{try_compile_launch, BackendReport};
+use respec_cache::{Lookup, StoredReport, StoredWinner, TuningCache};
 use respec_ir::kernel::{analyze_function, Launch};
-use respec_ir::{structural_hash, Function};
+use respec_ir::{parse_function, structural_hash, Function};
 use respec_opt::{coarsen_function, optimize_traced, CoarsenConfig};
 use respec_sim::{FaultKind, FaultPlan, FaultSite, SimError, TargetDesc};
 use respec_trace::Trace;
@@ -89,6 +90,312 @@ impl Resilience {
             plan: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Tally of persistent-cache traffic over one search, folded into
+/// [`TuneStats`] at the end.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PersistentCounters {
+    hits: usize,
+    misses: usize,
+    warm_starts: usize,
+    invalidations: usize,
+}
+
+impl PersistentCounters {
+    fn apply(&self, stats: &mut TuneStats) {
+        stats.persistent_hits = self.hits;
+        stats.persistent_misses = self.misses;
+        stats.warm_starts = self.warm_starts;
+        stats.invalidations = self.invalidations;
+    }
+}
+
+/// One search's view of the persistent [`TuningCache`]: the cache handle
+/// plus the three content keys every lookup and store derives from —
+/// the structural hash of the *input* kernel, the target fingerprint, and
+/// the search fingerprint over the candidate configuration list (nothing
+/// else — deliberately fault-plan-free, so chaos and clean runs share
+/// entries).
+///
+/// All cache traffic happens on the driver thread, outside the worker
+/// pool: lookups before evaluation, stores after. Workers never touch the
+/// cache, which keeps the determinism contract untouched — a warm and a
+/// cold search differ only in *which work is skipped*, never in the
+/// results joined.
+pub(crate) struct PersistentCx<'a> {
+    cache: &'a TuningCache,
+    input_hash: u64,
+    target_fp: u64,
+    search_fp: u64,
+}
+
+impl<'a> PersistentCx<'a> {
+    fn new(
+        cache: &'a TuningCache,
+        func: &Function,
+        target: &TargetDesc,
+        configs: &[CoarsenConfig],
+    ) -> PersistentCx<'a> {
+        PersistentCx {
+            cache,
+            input_hash: structural_hash(func),
+            target_fp: target.fingerprint(),
+            search_fp: TuningCache::search_fingerprint(configs),
+        }
+    }
+
+    /// Books one lookup outcome: counters + a per-lookup trace event. A
+    /// stale entry counts as both a miss and an invalidation.
+    fn book<T>(
+        &self,
+        lookup: Lookup<T>,
+        kind: &'static str,
+        trace: &Trace,
+        counters: &mut PersistentCounters,
+    ) -> Option<T> {
+        match lookup {
+            Lookup::Hit(t) => {
+                counters.hits += 1;
+                trace.cache_lookup(kind, "hit", "");
+                Some(t)
+            }
+            Lookup::Miss => {
+                counters.misses += 1;
+                trace.cache_lookup(kind, "miss", "");
+                None
+            }
+            Lookup::Stale(reason) => {
+                counters.misses += 1;
+                counters.invalidations += 1;
+                trace.cache_lookup(kind, "stale", &reason);
+                None
+            }
+        }
+    }
+
+    /// Short-circuits the whole search from a stored winner under the
+    /// exact `(input IR, target, search)` key: the winner is replayed —
+    /// bit-identical config, timing and registers, zero backend compiles,
+    /// zero runner calls. Any defect in the entry (including unparsable
+    /// stored IR) demotes it to an invalidation and the search proceeds.
+    fn replay_winner(
+        &self,
+        func_name: &str,
+        parallelism: usize,
+        trace: &Trace,
+        counters: &mut PersistentCounters,
+    ) -> Option<TuneResult> {
+        let stored = match self
+            .cache
+            .load_winner(self.input_hash, self.target_fp, self.search_fp)
+        {
+            Lookup::Hit(w) => w,
+            other => {
+                let _ = self.book(other, "winner", trace, counters);
+                return None;
+            }
+        };
+        let best = match parse_function(&stored.ir) {
+            Ok(f) => f,
+            Err(e) => {
+                counters.misses += 1;
+                counters.invalidations += 1;
+                trace.cache_lookup(
+                    "winner",
+                    "stale",
+                    &format!("stored winner IR unparsable: {e}"),
+                );
+                return None;
+            }
+        };
+        counters.hits += 1;
+        trace.cache_lookup("winner", "hit", "");
+        let seconds = stored.seconds();
+        let mut span = trace.span("tune", format!("tune:{func_name}"));
+        span.record("winner", stored.config.to_string());
+        span.record("best_seconds", seconds);
+        span.record("cached", true);
+        span.record("parallelism", parallelism);
+        trace.instant(
+            "tune",
+            "winner",
+            &[
+                ("config".into(), stored.config.to_string().into()),
+                ("seconds".into(), seconds.into()),
+                ("regs".into(), stored.regs.into()),
+                ("cached".into(), true.into()),
+            ],
+        );
+        Some(TuneResult {
+            best,
+            best_config: stored.config,
+            best_seconds: seconds,
+            best_regs: stored.regs,
+            candidates: vec![Candidate {
+                config: stored.config,
+                backend: None,
+                shared_bytes: 0,
+                seconds: Some(seconds),
+                pruned: None,
+                cache_hit: true,
+                noisy: false,
+            }],
+            stats: TuneStats {
+                measured: 1,
+                parallelism,
+                ..TuneStats::default()
+            },
+        })
+    }
+
+    /// Resolves each group representative's backend report from the store
+    /// (keyed by the *prepared version's* IR hash): a hit pre-fills the
+    /// group's compile cache, so evaluation skips that backend compile
+    /// entirely.
+    fn preload_reports(
+        &self,
+        plan: &GroupPlan,
+        preps: &[Prep],
+        trace: &Trace,
+        counters: &mut PersistentCounters,
+    ) -> Vec<Option<CompiledInfo>> {
+        plan.groups
+            .iter()
+            .map(|g| {
+                let p = match &preps[g.rep] {
+                    Prep::Ready(p) => p,
+                    Prep::Pruned { .. } => unreachable!("groups are formed from survivors only"),
+                };
+                self.book(
+                    self.cache.load_report(p.ir_hash, self.target_fp),
+                    "report",
+                    trace,
+                    counters,
+                )
+                .map(CompiledInfo::from_stored)
+            })
+            .collect()
+    }
+
+    /// Group evaluation order, warm-started from winners recorded for the
+    /// same input kernel on *other* targets (the paper's "A Few Fit Most"
+    /// transfer): hinted groups are evaluated first. Pure prioritization —
+    /// the winner selection in `finalize` is evaluation-order-independent,
+    /// so reordering cannot change any result.
+    fn warm_order(
+        &self,
+        configs: &[CoarsenConfig],
+        plan: &GroupPlan,
+        trace: &Trace,
+        counters: &mut PersistentCounters,
+    ) -> Vec<usize> {
+        let mut first: Vec<usize> = Vec::new();
+        for hint in self
+            .cache
+            .cross_target_winners(self.input_hash, self.target_fp)
+        {
+            let Some(ci) = configs.iter().position(|c| *c == hint.config) else {
+                continue;
+            };
+            let Some(&gi) = plan.group_of.get(&ci) else {
+                continue;
+            };
+            if !first.contains(&gi) {
+                first.push(gi);
+                counters.warm_starts += 1;
+                trace.instant(
+                    "cache",
+                    "warm_start",
+                    &[
+                        ("config".into(), hint.config.to_string().into()),
+                        (
+                            "source_target".into(),
+                            format!("{:016x}", hint.target).into(),
+                        ),
+                    ],
+                );
+            }
+        }
+        let mut order = first.clone();
+        order.extend((0..plan.groups.len()).filter(|gi| !first.contains(gi)));
+        order
+    }
+
+    /// Persists the backend reports of groups that compiled fresh this
+    /// run. Best-effort: a failed store is traced and otherwise ignored —
+    /// the cache must never be able to fail a search.
+    fn store_fresh_reports(
+        &self,
+        plan: &GroupPlan,
+        preps: &[Prep],
+        evals: &[GroupEval],
+        was_preloaded: &[bool],
+        trace: &Trace,
+    ) {
+        for (gi, eval) in evals.iter().enumerate() {
+            if was_preloaded[gi] {
+                continue;
+            }
+            let Some(backend) = &eval.backend else {
+                continue;
+            };
+            let p = match &preps[plan.groups[gi].rep] {
+                Prep::Ready(p) => p,
+                Prep::Pruned { .. } => unreachable!("groups are formed from survivors only"),
+            };
+            let stored = StoredReport {
+                backend: backend.clone(),
+                worst_regs: eval.worst_regs,
+                spill_units: eval.spill_units,
+                launch_regs: eval.launch_regs,
+            };
+            if let Err(e) = self.cache.store_report(p.ir_hash, self.target_fp, &stored) {
+                trace.instant(
+                    "cache",
+                    "store_failed",
+                    &[
+                        ("kind".into(), "report".into()),
+                        ("error".into(), e.to_string().into()),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Persists the search's winner under the exact search key, as the
+    /// canonical printed IR (round-trip-stable by the printer/parser
+    /// property) plus bit-exact timing. Best-effort, like report stores.
+    fn store_winner(&self, result: &TuneResult, trace: &Trace) {
+        let stored = StoredWinner {
+            config: result.best_config,
+            seconds_bits: result.best_seconds.to_bits(),
+            regs: result.best_regs,
+            ir: result.best.to_string(),
+            target: self.target_fp,
+        };
+        if let Err(e) = self
+            .cache
+            .store_winner(self.input_hash, self.search_fp, &stored)
+        {
+            trace.instant(
+                "cache",
+                "store_failed",
+                &[
+                    ("kind".into(), "winner".into()),
+                    ("error".into(), e.to_string().into()),
+                ],
+            );
+        }
+    }
+
+    /// Emits the search's cache counters into the trace.
+    fn emit_counters(&self, trace: &Trace, c: &PersistentCounters) {
+        trace.counter("cache", "persistent_hits", c.hits);
+        trace.counter("cache", "persistent_misses", c.misses);
+        trace.counter("cache", "warm_starts", c.warm_starts);
+        trace.counter("cache", "invalidations", c.invalidations);
     }
 }
 
@@ -259,13 +566,25 @@ pub(crate) struct FaultTally {
 }
 
 /// Backend feedback shared by every member of a group (byte-identical IR).
-struct CompiledInfo {
+#[derive(Clone)]
+pub(crate) struct CompiledInfo {
     /// The report of the launch that governed the spill decision (highest
     /// spill count, then highest register demand).
     backend: BackendReport,
     worst_regs: u32,
     spill_units: u32,
     launch_regs: u32,
+}
+
+impl CompiledInfo {
+    fn from_stored(s: StoredReport) -> CompiledInfo {
+        CompiledInfo {
+            backend: s.backend,
+            worst_regs: s.worst_regs,
+            spill_units: s.spill_units,
+            launch_regs: s.launch_regs,
+        }
+    }
 }
 
 /// Phase-2 outcome for one group: backend feedback, the shared measurement
@@ -539,6 +858,7 @@ pub(crate) fn evaluate_group(
     res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+    preloaded: Option<CompiledInfo>,
 ) -> GroupEval {
     let p = match &preps[group.rep] {
         Prep::Ready(p) => p,
@@ -557,8 +877,9 @@ pub(crate) fn evaluate_group(
     };
     // The compile cache spans the whole group: members share byte-identical
     // IR, so once any member's compile succeeded the result is reused by
-    // retries *and* re-elected members.
-    let mut compiled: Option<CompiledInfo> = None;
+    // retries *and* re-elected members. A report preloaded from the
+    // persistent cache seeds it, and the group then never compiles at all.
+    let mut compiled: Option<CompiledInfo> = preloaded;
     for &m in &group.members {
         let outcome = evaluate_member(
             m,
@@ -602,9 +923,10 @@ pub(crate) fn evaluate_group_caught(
     res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
+    preloaded: Option<CompiledInfo>,
 ) -> GroupEval {
     catch_unwind(AssertUnwindSafe(|| {
-        evaluate_group(group, preps, target, res, trace, run)
+        evaluate_group(group, preps, target, res, trace, run, preloaded)
     }))
     .unwrap_or_else(|payload| {
         let msg = format!("evaluation panicked: {}", panic_message(payload));
@@ -749,6 +1071,9 @@ pub(crate) fn finalize(
         abandoned: tally.abandoned,
         noise_faults: tally.noise,
         parallelism,
+        // Persistent-cache traffic is accounted by the drivers, which own
+        // the counters; a cache-less search reports zeros.
+        ..TuneStats::default()
     };
     trace.counter("tune", "cache_hits", cache_hits);
     trace.counter("tune", "cache_misses", plan.groups.len());
@@ -833,23 +1158,68 @@ pub(crate) fn tune_serial(
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
     res: &Resilience,
+    cache: Option<&TuningCache>,
 ) -> Result<TuneResult, TuneError> {
+    let mut counters = PersistentCounters::default();
+    let cx = cache.map(|c| PersistentCx::new(c, func, target, configs));
+    if let Some(cx) = &cx {
+        if let Some(mut result) = cx.replay_winner(func.name(), 1, trace, &mut counters) {
+            cx.emit_counters(trace, &counters);
+            counters.apply(&mut result.stats);
+            return Ok(result);
+        }
+    }
     let baseline = Baseline::of(func);
     let preps: Vec<Prep> = configs
         .iter()
         .map(|&c| prepare_caught(func, c, target, &baseline, trace))
         .collect();
     let plan = plan_groups(configs, &preps);
-    let evals: Vec<GroupEval> = plan
-        .groups
-        .iter()
-        .map(|g| evaluate_group_caught(g, &preps, target, res, trace, run))
+    let mut preloaded: Vec<Option<CompiledInfo>> = match &cx {
+        Some(cx) => cx.preload_reports(&plan, &preps, trace, &mut counters),
+        None => plan.groups.iter().map(|_| None).collect(),
+    };
+    let was_preloaded: Vec<bool> = preloaded.iter().map(Option::is_some).collect();
+    let order: Vec<usize> = match &cx {
+        Some(cx) => cx.warm_order(configs, &plan, trace, &mut counters),
+        None => (0..plan.groups.len()).collect(),
+    };
+    let mut slots: Vec<Option<GroupEval>> = plan.groups.iter().map(|_| None).collect();
+    for &gi in &order {
+        let pre = preloaded[gi].take();
+        slots[gi] = Some(evaluate_group_caught(
+            &plan.groups[gi],
+            &preps,
+            target,
+            res,
+            trace,
+            run,
+            pre,
+        ));
+    }
+    let evals: Vec<GroupEval> = slots
+        .into_iter()
+        .map(|e| e.expect("every group is evaluated exactly once"))
         .collect();
-    finalize(func.name(), configs, preps, plan, evals, 1, trace)
+    if let Some(cx) = &cx {
+        cx.store_fresh_reports(&plan, &preps, &evals, &was_preloaded, trace);
+    }
+    let outcome = finalize(func.name(), configs, preps, plan, evals, 1, trace);
+    match &cx {
+        Some(cx) => {
+            cx.emit_counters(trace, &counters);
+            let mut result = outcome?;
+            cx.store_winner(&result, trace);
+            counters.apply(&mut result.stats);
+            Ok(result)
+        }
+        None => outcome,
+    }
 }
 
 /// Parallel driver: `workers` threads, one runner per worker built from
-/// `make_runner`.
+/// `make_runner`. All persistent-cache traffic stays on the driver thread;
+/// workers only receive an already-resolved preloaded report (or `None`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tune_parallel<R, F>(
     func: &Function,
@@ -859,21 +1229,70 @@ pub(crate) fn tune_parallel<R, F>(
     make_runner: &F,
     trace: &Trace,
     res: &Resilience,
+    cache: Option<&TuningCache>,
 ) -> Result<TuneResult, TuneError>
 where
     R: FnMut(&Function, u32) -> Result<f64, SimError>,
     F: Fn() -> R + Sync,
 {
+    let mut counters = PersistentCounters::default();
+    let cx = cache.map(|c| PersistentCx::new(c, func, target, configs));
+    if let Some(cx) = &cx {
+        if let Some(mut result) = cx.replay_winner(func.name(), workers, trace, &mut counters) {
+            cx.emit_counters(trace, &counters);
+            counters.apply(&mut result.stats);
+            return Ok(result);
+        }
+    }
     let baseline = Baseline::of(func);
     let preps: Vec<Prep> = parallel_map(configs.len(), workers, |i| {
         prepare_caught(func, configs[i], target, &baseline, trace)
     });
     let plan = plan_groups(configs, &preps);
-    let evals: Vec<GroupEval> =
-        crate::pool::parallel_map_with(plan.groups.len(), workers, make_runner, |run, i| {
-            evaluate_group_caught(&plan.groups[i], &preps, target, res, trace, run)
+    let preloaded: Vec<Option<CompiledInfo>> = match &cx {
+        Some(cx) => cx.preload_reports(&plan, &preps, trace, &mut counters),
+        None => plan.groups.iter().map(|_| None).collect(),
+    };
+    let was_preloaded: Vec<bool> = preloaded.iter().map(Option::is_some).collect();
+    let order: Vec<usize> = match &cx {
+        Some(cx) => cx.warm_order(configs, &plan, trace, &mut counters),
+        None => (0..plan.groups.len()).collect(),
+    };
+    let by_slot: Vec<GroupEval> =
+        crate::pool::parallel_map_with(order.len(), workers, make_runner, |run, slot| {
+            let gi = order[slot];
+            evaluate_group_caught(
+                &plan.groups[gi],
+                &preps,
+                target,
+                res,
+                trace,
+                run,
+                preloaded[gi].clone(),
+            )
         });
-    finalize(func.name(), configs, preps, plan, evals, workers, trace)
+    let mut slots: Vec<Option<GroupEval>> = plan.groups.iter().map(|_| None).collect();
+    for (slot, eval) in by_slot.into_iter().enumerate() {
+        slots[order[slot]] = Some(eval);
+    }
+    let evals: Vec<GroupEval> = slots
+        .into_iter()
+        .map(|e| e.expect("every group is evaluated exactly once"))
+        .collect();
+    if let Some(cx) = &cx {
+        cx.store_fresh_reports(&plan, &preps, &evals, &was_preloaded, trace);
+    }
+    let outcome = finalize(func.name(), configs, preps, plan, evals, workers, trace);
+    match &cx {
+        Some(cx) => {
+            cx.emit_counters(trace, &counters);
+            let mut result = outcome?;
+            cx.store_winner(&result, trace);
+            counters.apply(&mut result.stats);
+            Ok(result)
+        }
+        None => outcome,
+    }
 }
 
 // The engine shares `&Function`, `&TargetDesc` and prepared versions across
@@ -1001,7 +1420,7 @@ mod tests {
         let evals: Vec<GroupEval> = plan
             .groups
             .iter()
-            .map(|g| evaluate_group(g, &preps, &target, &res, &trace, &mut run))
+            .map(|g| evaluate_group(g, &preps, &target, &res, &trace, &mut run, None))
             .collect();
         let result = finalize("safe", &configs, preps, plan, evals, 1, &trace).unwrap();
         assert_eq!(result.stats.statically_rejected, 1);
@@ -1068,6 +1487,7 @@ mod tests {
             &res,
             &Trace::disabled(),
             &mut run,
+            None,
         );
         assert_eq!(eval.elected, Some(0), "retry must keep the representative");
         assert_eq!(eval.measured, Some(1e-3));
@@ -1110,6 +1530,7 @@ mod tests {
             &res,
             &Trace::disabled(),
             &mut run,
+            None,
         );
         assert_eq!(eval.elected, Some(1), "member 1 must be re-elected");
         assert_eq!(eval.measured, Some(2e-3));
@@ -1151,6 +1572,7 @@ mod tests {
             &res,
             &Trace::disabled(),
             &mut run,
+            None,
         );
         assert_eq!(calls, 0, "every launch trapped before the runner");
         assert_eq!(eval.elected, None);
@@ -1183,7 +1605,15 @@ mod tests {
         };
         let trace = Trace::new();
         let mut run = |_: &Function, _: u32| Ok(1e-3);
-        let eval = evaluate_group(&plan.groups[0], &preps, &target, &res, &trace, &mut run);
+        let eval = evaluate_group(
+            &plan.groups[0],
+            &preps,
+            &target,
+            &res,
+            &trace,
+            &mut run,
+            None,
+        );
         assert_eq!(eval.elected, None);
         assert!(eval.backend.is_some(), "compile result survives the losses");
         let backends = trace
@@ -1219,6 +1649,7 @@ mod tests {
             &res,
             &Trace::disabled(),
             &mut run,
+            None,
         );
         assert_eq!(eval.elected, Some(0));
         assert!(eval.noisy, "measurement must be flagged as noisy");

@@ -44,15 +44,18 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 use respec_backend::BackendReport;
 use respec_ir::Function;
 use respec_opt::{split_total, CoarsenConfig};
-use respec_sim::{FaultPlan, SimError, TargetDesc};
+use respec_sim::{EnvConfigError, FaultPlan, SimError, TargetDesc};
 use respec_trace::{MetricValue, Trace};
 
 mod engine;
 pub mod pool;
+
+pub use respec_cache::{Lookup, StoredReport, StoredWinner, TuningCache};
 
 /// Which coarsening strategy generates the candidate set (the paper's
 /// Fig. 13 axes).
@@ -240,6 +243,20 @@ pub struct TuneStats {
     pub noise_faults: usize,
     /// Worker threads the engine ran with.
     pub parallelism: usize,
+    /// Lookups served by the persistent [`TuningCache`]: stored winners
+    /// replayed and stored backend reports reused. Zero without a cache.
+    pub persistent_hits: usize,
+    /// Persistent-cache lookups that found no usable entry (absent or
+    /// stale). Zero without a cache.
+    pub persistent_misses: usize,
+    /// Groups whose evaluation was prioritized because a winner for the
+    /// same input IR was recorded on *another* target ("A Few Fit Most"
+    /// cross-target transfer). Zero without a cache.
+    pub warm_starts: usize,
+    /// Persistent entries rejected as stale — truncated, garbled, or
+    /// written under a different pipeline/hash/format version. Every
+    /// invalidation also counts as a persistent miss.
+    pub invalidations: usize,
 }
 
 impl TuneStats {
@@ -327,6 +344,9 @@ pub struct TuneOptions {
     pub fault_plan: FaultPlan,
     /// Retry/deadline policy applied when candidate evaluation faults.
     pub retry: RetryPolicy,
+    /// Persistent tuning cache consulted before compile+measure work and
+    /// updated with fresh reports and winners (none by default).
+    pub cache: Option<Arc<TuningCache>>,
 }
 
 impl Default for TuneOptions {
@@ -344,6 +364,7 @@ impl TuneOptions {
             totals: DEFAULT_TOTALS.to_vec(),
             fault_plan: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
+            cache: None,
         }
     }
 
@@ -387,19 +408,49 @@ impl TuneOptions {
         self
     }
 
-    /// Reads `RESPEC_TUNE_PARALLELISM` (worker count, `0` = auto) and the
+    /// Attaches a persistent tuning cache: the engine resolves group
+    /// representatives from stored backend reports, short-circuits the
+    /// search on an exact stored winner, and warm-starts candidate ordering
+    /// from winners recorded on other targets.
+    pub fn cache(mut self, cache: Arc<TuningCache>) -> TuneOptions {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Reads `RESPEC_TUNE_PARALLELISM` (worker count, `0` = auto), the
     /// fault-injection variables `RESPEC_FAULT_SEED` / `RESPEC_FAULT_RATE` /
-    /// `RESPEC_FAULT_NOISE` ([`FaultPlan::from_env`]); defaults to
-    /// [`TuneOptions::auto`] when unset or unparsable.
-    pub fn from_env() -> TuneOptions {
-        let base = match std::env::var("RESPEC_TUNE_PARALLELISM")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(n) => TuneOptions::with_parallelism(n),
-            None => TuneOptions::auto(),
-        };
-        base.fault_plan(FaultPlan::from_env())
+    /// `RESPEC_FAULT_NOISE` ([`FaultPlan::from_env`]) and the persistent
+    /// cache directory `RESPEC_CACHE_DIR` ([`TuningCache::from_env`]);
+    /// defaults to [`TuneOptions::auto`] for every unset variable.
+    ///
+    /// # Errors
+    ///
+    /// A variable that is set but invalid — a non-numeric worker count, a
+    /// fault rate outside `[0, 1]`, an uncreatable cache directory — is an
+    /// [`EnvConfigError`], never silently ignored: a perf or chaos run
+    /// whose typo'd knob quietly fell back to defaults would measure
+    /// something other than what the operator asked for.
+    pub fn from_env() -> Result<TuneOptions, EnvConfigError> {
+        let mut options = TuneOptions::auto();
+        if let Ok(raw) = std::env::var("RESPEC_TUNE_PARALLELISM") {
+            options.parallelism = raw.trim().parse::<usize>().map_err(|_| {
+                EnvConfigError::new(
+                    "RESPEC_TUNE_PARALLELISM",
+                    &raw,
+                    "not a worker count (unsigned integer; 0 = one per core)",
+                )
+            })?;
+        }
+        options.fault_plan = FaultPlan::from_env()?;
+        let cache = TuningCache::from_env().map_err(|e| {
+            EnvConfigError::new(
+                "RESPEC_CACHE_DIR",
+                std::env::var("RESPEC_CACHE_DIR").unwrap_or_default(),
+                format!("cache directory cannot be opened: {e}"),
+            )
+        })?;
+        options.cache = cache.map(Arc::new);
+        Ok(options)
     }
 
     /// The concrete worker count this configuration resolves to.
@@ -672,6 +723,7 @@ pub fn tune_kernel_traced(
         &mut run,
         trace,
         &engine::Resilience::disabled(),
+        None,
     )
 }
 
@@ -707,9 +759,10 @@ where
         plan: options.fault_plan,
         retry: options.retry,
     };
+    let cache = options.cache.as_deref();
     if workers <= 1 {
         let mut run = make_runner();
-        engine::tune_serial(func, target, configs, &mut run, trace, &resilience)
+        engine::tune_serial(func, target, configs, &mut run, trace, &resilience, cache)
     } else {
         engine::tune_parallel(
             func,
@@ -719,6 +772,7 @@ where
             &make_runner,
             trace,
             &resilience,
+            cache,
         )
     }
 }
@@ -1105,5 +1159,45 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.message.contains("no candidate"));
+    }
+
+    /// One test covers every variable `from_env` reads: environment
+    /// mutation is process-global, so serializing the cases inside a
+    /// single test avoids cross-test races over the same variables.
+    #[test]
+    fn from_env_rejects_invalid_values_with_structured_errors() {
+        const VARS: &[&str] = &[
+            "RESPEC_TUNE_PARALLELISM",
+            "RESPEC_FAULT_SEED",
+            "RESPEC_FAULT_RATE",
+            "RESPEC_FAULT_NOISE",
+            "RESPEC_CACHE_DIR",
+        ];
+        let saved: Vec<Option<String>> = VARS.iter().map(|v| std::env::var(v).ok()).collect();
+        for v in VARS {
+            std::env::remove_var(v);
+        }
+
+        std::env::set_var("RESPEC_TUNE_PARALLELISM", "many");
+        let err = TuneOptions::from_env().unwrap_err();
+        assert_eq!(err.var, "RESPEC_TUNE_PARALLELISM");
+        assert!(err.to_string().contains("many"), "error names the value");
+
+        std::env::set_var("RESPEC_TUNE_PARALLELISM", "4");
+        std::env::set_var("RESPEC_FAULT_SEED", "0x12");
+        let err = TuneOptions::from_env().unwrap_err();
+        assert_eq!(err.var, "RESPEC_FAULT_SEED", "fault-plan errors propagate");
+
+        std::env::remove_var("RESPEC_FAULT_SEED");
+        let options = TuneOptions::from_env().expect("a valid environment parses");
+        assert_eq!(options.parallelism, 4);
+        assert!(options.cache.is_none(), "no cache dir requested");
+
+        for (v, old) in VARS.iter().zip(saved) {
+            match old {
+                Some(val) => std::env::set_var(v, val),
+                None => std::env::remove_var(v),
+            }
+        }
     }
 }

@@ -119,7 +119,7 @@ fn env_driven_injection_is_robust() {
     let target = targets::a100();
     let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
     let configs = candidate_configs(Strategy::Combined, &TOTALS, &launches[0].block_dims);
-    let options = TuneOptions::from_env();
+    let options = TuneOptions::from_env().expect("invalid RESPEC_* environment");
     let outcome = tune_kernel_pooled(
         &func,
         &target,
