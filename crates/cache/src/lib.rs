@@ -150,8 +150,11 @@ impl TuningCache {
     ///
     /// # Errors
     ///
-    /// Propagates the `create_dir_all` failure — an unopenable cache is a
-    /// configuration error, unlike a corrupt *entry*, which is a miss.
+    /// Fails when the directory cannot be created, when the path exists
+    /// but is not a directory, or when the directory is not writable
+    /// (checked with a create-and-delete probe file) — an unusable cache
+    /// is a configuration error, unlike a corrupt *entry*, which is a
+    /// miss.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<TuningCache> {
         TuningCache::open_versioned(dir, PIPELINE_VERSION)
     }
@@ -164,6 +167,24 @@ impl TuningCache {
     ) -> io::Result<TuningCache> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        // `create_dir_all` succeeds without creating anything when the
+        // path already exists — even when it is a regular file on some
+        // platforms' error paths, and always when it is an existing
+        // directory we cannot write to. Probe both now: an unusable cache
+        // must fail at configuration time with a real error, not at the
+        // first `store` deep inside a tuning run.
+        let meta = fs::metadata(&dir)?;
+        if !meta.is_dir() {
+            return Err(io::Error::other(format!(
+                "{} exists and is not a directory",
+                dir.display()
+            )));
+        }
+        let probe = dir.join(format!(".respec-cache-probe-{}", std::process::id()));
+        fs::write(&probe, b"probe").map_err(|e| {
+            io::Error::new(e.kind(), format!("{} is not writable: {e}", dir.display()))
+        })?;
+        let _ = fs::remove_file(&probe);
         Ok(TuningCache {
             dir,
             pipeline_version,
@@ -645,6 +666,41 @@ mod tests {
             ir: "func @k() {\n  return\n}".into(),
             target: 0xfeed,
         }
+    }
+
+    #[test]
+    fn open_rejects_a_path_that_is_a_regular_file() {
+        let path = temp_cache_dir("file-collision");
+        std::fs::write(&path, b"not a directory").unwrap();
+        let err = TuningCache::open(&path).expect_err("a file is not a cache directory");
+        assert!(
+            err.to_string().contains("not a directory")
+                || err.kind() == io::ErrorKind::AlreadyExists,
+            "error must name the misconfiguration: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_a_path_under_a_regular_file() {
+        let file = temp_cache_dir("parent-file");
+        std::fs::write(&file, b"blocker").unwrap();
+        let nested = file.join("cache");
+        TuningCache::open(&nested).expect_err("cannot create a directory under a file");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn open_probes_writability_and_leaves_no_probe_behind() {
+        let dir = temp_cache_dir("probe");
+        let cache = TuningCache::open(&dir).unwrap();
+        // The probe file must not linger as a fake cache entry.
+        assert_eq!(cache.entry_paths().unwrap(), Vec::<PathBuf>::new());
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "probe file must be removed after the writability check"
+        );
     }
 
     #[test]

@@ -5,26 +5,36 @@
 //! same IR after cleanup (a factor of 1 in a dimension of extent 1, two
 //! splits of the same total that collapse identically, …). A cheap content
 //! hash lets the tuner detect such duplicates and compile/measure each
-//! unique version exactly once.
+//! unique version exactly once. The tuning-service front-end additionally
+//! uses the hash as its request-coalescing key, which puts it on the
+//! daemon's admission path.
 //!
-//! The hash streams the canonical printed form (see [`crate::print`])
-//! through FNV-1a without materializing the text. Because the printer
-//! renumbers values densely in order of first definition, the hash is
-//! invariant to arena layout: two functions that print identically — even
-//! if their internal value/op ids differ after independent transform
-//! histories — hash identically. Collisions are possible in principle
-//! (64-bit FNV) but the tuner only ever compares versions of *one* kernel,
-//! where the candidate count is tiny.
+//! The hash walks the IR structure directly — no text is materialized and
+//! no per-op clones or name strings are allocated — but it encodes exactly
+//! the information the canonical printer (see [`crate::print`]) would
+//! emit, in the printer's traversal order, with the printer's dense
+//! first-use value numbering. Two functions therefore hash equal iff their
+//! printed forms are byte-identical, independent of internal arena ids;
+//! `tests/hash_equiv_prop.rs` pins this equivalence property against a
+//! print-and-hash reference. Collisions are possible in principle (64-bit
+//! FNV) but the tuner only ever compares versions of *one* kernel, where
+//! the candidate count is tiny.
 
 use std::fmt::{self, Write};
 
+use crate::ids::{RegionId, Value};
+use crate::ops::{OpKind, Operation};
 use crate::Function;
 
 /// Version of the structural-hash scheme: the printer grammar plus the
 /// byte-stream encoding below. Bump whenever either changes so persisted
 /// artifacts keyed by a structural hash (the on-disk tuning cache) are
 /// invalidated instead of silently matching stale content.
-pub const STRUCTURAL_HASH_VERSION: u32 = 1;
+///
+/// Version history: 1 streamed the printed text through FNV-1a; 2 encodes
+/// the same structure directly (tags + dense value numbers + attribute
+/// fields), skipping the printer.
+pub const STRUCTURAL_HASH_VERSION: u32 = 2;
 
 /// Streaming FNV-1a 64-bit hasher over an explicit byte encoding.
 ///
@@ -97,14 +107,282 @@ impl Write for StableHasher {
     }
 }
 
-/// Hashes a function's canonical printed form.
+/// Hashes a function's structure directly, without printing it.
 ///
 /// Two functions hash equal iff their [`Display`](std::fmt::Display)
-/// renderings are byte-identical, independent of internal arena ids.
+/// renderings are byte-identical, independent of internal arena ids: the
+/// walk below visits values in exactly the order the printer names them
+/// and feeds the same attribute content the printer renders, so the
+/// printer's dense `%0, %1, …` renumbering is reproduced as dense integer
+/// numbers without allocating any text.
 pub fn structural_hash(func: &Function) -> u64 {
-    let mut w = StableHasher::new();
-    write!(w, "{func}").expect("hash writer is infallible");
-    w.finish()
+    let mut w = HashWalker {
+        func,
+        hasher: StableHasher::new(),
+        numbers: vec![u32::MAX; func.num_values()],
+        next: 0,
+    };
+    w.hasher.write_str("func");
+    w.hasher.write_str(func.name());
+    let params = func.params();
+    w.hasher.write_u64(params.len() as u64);
+    for &p in params {
+        w.value(p);
+        w.ty_of(p);
+    }
+    w.region(func.body());
+    w.hasher.finish()
+}
+
+/// The structural walker: mirrors the printer's traversal exactly.
+///
+/// Every `value()` call below corresponds 1:1, in order, to a `name()`
+/// call in [`crate::print`]; every attribute write corresponds to a piece
+/// of printed text. Keeping that correspondence is what preserves the
+/// "hash equal ⟺ print equal" contract — when the printer grammar
+/// changes, this walk must change with it (and
+/// [`STRUCTURAL_HASH_VERSION`] must be bumped).
+struct HashWalker<'f> {
+    func: &'f Function,
+    hasher: StableHasher,
+    /// Dense printer-order number per value (indexed by arena id);
+    /// `u32::MAX` = not yet named.
+    numbers: Vec<u32>,
+    next: u32,
+}
+
+impl HashWalker<'_> {
+    /// Names a value in printer order and feeds its dense number.
+    fn value(&mut self, v: Value) {
+        let slot = &mut self.numbers[v.index()];
+        if *slot == u32::MAX {
+            *slot = self.next;
+            self.next += 1;
+        }
+        let n = *slot;
+        self.hasher.write_u64(u64::from(n));
+    }
+
+    /// Feeds a value list: length, then each dense number.
+    fn values(&mut self, vs: &[Value]) {
+        self.hasher.write_u64(vs.len() as u64);
+        for &v in vs {
+            self.value(v);
+        }
+    }
+
+    /// Feeds something by its `Display` rendering plus a NUL separator —
+    /// used for types and parallel levels, whose printed text is their
+    /// identity.
+    fn display(&mut self, d: impl fmt::Display) {
+        write!(self.hasher, "{d}").expect("hash writer is infallible");
+        self.hasher.write_bytes(&[0]);
+    }
+
+    /// Feeds the type of a value (what the printer renders after `:`).
+    fn ty_of(&mut self, v: Value) {
+        self.display(self.func.value_type(v));
+    }
+
+    /// Feeds a region body op by op, in order.
+    fn region(&mut self, region: RegionId) {
+        let func = self.func;
+        let ops = &func.region(region).ops;
+        self.hasher.write_u64(ops.len() as u64);
+        for &op in ops {
+            self.op(func.op(op));
+        }
+    }
+
+    fn op(&mut self, op: &Operation) {
+        match &op.kind {
+            OpKind::ConstInt { value, ty } => {
+                self.hasher.write_str("const");
+                self.values(&op.results);
+                self.hasher.write_i64(*value);
+                self.display(ty);
+            }
+            OpKind::ConstFloat { value, ty } => {
+                self.hasher.write_str("fconst");
+                self.values(&op.results);
+                // The printer renders floats with `{:?}`; hashing that
+                // rendering (not the bit pattern) keeps print-equality:
+                // e.g. all NaN payloads print — and must hash — the same.
+                write!(self.hasher, "{value:?}").expect("hash writer is infallible");
+                self.hasher.write_bytes(&[0]);
+                self.display(ty);
+            }
+            OpKind::Binary(b) => {
+                self.hasher.write_str(b.mnemonic());
+                self.values(&op.results);
+                self.values(&op.operands);
+                self.ty_of(op.results[0]);
+            }
+            OpKind::Unary(u) => {
+                self.hasher.write_str(u.mnemonic());
+                self.values(&op.results);
+                self.values(&op.operands);
+                self.ty_of(op.results[0]);
+            }
+            OpKind::Cmp(p) => {
+                self.hasher.write_str("cmp");
+                self.hasher.write_str(p.mnemonic());
+                self.values(&op.results);
+                self.values(&op.operands);
+            }
+            OpKind::Select => {
+                self.hasher.write_str("select");
+                self.values(&op.results);
+                self.values(&op.operands);
+                self.ty_of(op.results[0]);
+            }
+            OpKind::Cast { to } => {
+                self.hasher.write_str("cast");
+                self.values(&op.results);
+                self.values(&op.operands);
+                self.display(to);
+            }
+            // The printer renders the address space only through the result
+            // memref type, so the `space` attribute itself must not be
+            // hashed separately.
+            OpKind::Alloc { .. } => {
+                self.hasher.write_str("alloc");
+                self.values(&op.results);
+                self.values(&op.operands);
+                self.ty_of(op.results[0]);
+            }
+            OpKind::Load => {
+                self.hasher.write_str("load");
+                self.values(&op.results);
+                self.value(op.operands[0]);
+                self.values(&op.operands[1..]);
+                self.ty_of(op.results[0]);
+            }
+            OpKind::Store => {
+                self.hasher.write_str("store");
+                self.value(op.operands[0]);
+                self.value(op.operands[1]);
+                self.values(&op.operands[2..]);
+            }
+            OpKind::Dim { index } => {
+                self.hasher.write_str("dim");
+                self.values(&op.results);
+                self.value(op.operands[0]);
+                self.hasher.write_u64(*index as u64);
+            }
+            OpKind::For => {
+                self.hasher.write_str("for");
+                self.values(&op.results);
+                let func = self.func;
+                let region = op.regions[0];
+                let args = &func.region(region).args;
+                // Printer order: induction variable, lb, ub, step, then
+                // iter pairs (region arg, then its init operand).
+                self.value(args[0]);
+                self.value(op.operands[0]);
+                self.value(op.operands[1]);
+                self.value(op.operands[2]);
+                self.hasher.write_u64((args.len() - 1) as u64);
+                for (i, &arg) in args.iter().enumerate().skip(1) {
+                    self.value(arg);
+                    self.value(op.operands[2 + i]);
+                }
+                self.region(region);
+            }
+            OpKind::While => {
+                self.hasher.write_str("while");
+                self.values(&op.results);
+                let func = self.func;
+                let cond_region = op.regions[0];
+                let body_region = op.regions[1];
+                // Printer order: (cond arg = init) pairs, the condition
+                // region body, the body-region args, the body region.
+                let cond_args = &func.region(cond_region).args;
+                self.hasher.write_u64(cond_args.len() as u64);
+                for (&arg, &init) in cond_args.iter().zip(&op.operands) {
+                    self.value(arg);
+                    self.value(init);
+                }
+                self.region(cond_region);
+                let body_args = &func.region(body_region).args;
+                self.hasher.write_u64(body_args.len() as u64);
+                for &arg in body_args.iter() {
+                    self.value(arg);
+                }
+                self.region(body_region);
+            }
+            OpKind::If => {
+                self.hasher.write_str("if");
+                self.values(&op.results);
+                self.value(op.operands[0]);
+                self.region(op.regions[0]);
+                let else_region = op.regions[1];
+                // The printer skips a trivial `else { yield }` arm — its
+                // content is not part of the canonical text, so it must not
+                // be part of the hash either. (The printer's condition is
+                // purely the op count, mirrored here verbatim.)
+                let trivial_else =
+                    op.results.is_empty() && self.func.region(else_region).ops.len() == 1;
+                if trivial_else {
+                    self.hasher.write_bytes(&[0]);
+                } else {
+                    self.hasher.write_bytes(&[1]);
+                    self.region(else_region);
+                }
+            }
+            OpKind::Parallel { level } => {
+                self.hasher.write_str("parallel");
+                self.display(level);
+                let region = op.regions[0];
+                let args = &self.func.region(region).args;
+                self.hasher.write_u64(args.len() as u64);
+                for &arg in args.iter() {
+                    self.value(arg);
+                }
+                self.values(&op.operands);
+                self.region(region);
+            }
+            OpKind::Barrier { level } => {
+                self.hasher.write_str("barrier");
+                self.display(level);
+            }
+            OpKind::Yield => {
+                self.hasher.write_str("yield");
+                self.values(&op.operands);
+            }
+            OpKind::Condition => {
+                self.hasher.write_str("condition");
+                self.values(&op.operands);
+            }
+            OpKind::Alternatives { selected } => {
+                self.hasher.write_str("alternatives");
+                match selected {
+                    Some(i) => {
+                        self.hasher.write_bytes(&[1]);
+                        self.hasher.write_u64(*i as u64);
+                    }
+                    None => self.hasher.write_bytes(&[0]),
+                }
+                self.hasher.write_u64(op.regions.len() as u64);
+                for &region in &op.regions {
+                    self.region(region);
+                }
+            }
+            OpKind::Call { callee } => {
+                self.hasher.write_str("call");
+                self.values(&op.results);
+                self.hasher.write_str(callee);
+                self.values(&op.operands);
+                for &r in &op.results {
+                    self.ty_of(r);
+                }
+            }
+            OpKind::Return => {
+                self.hasher.write_str("return");
+                self.values(&op.operands);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +406,15 @@ mod tests {
   }
   return
 }";
+
+    /// The version-1 reference: hash of the canonical printed text. The
+    /// direct walk must agree with it on *equality* (not on digests).
+    fn print_hash(func: &Function) -> u64 {
+        let mut w = StableHasher::new();
+        use std::fmt::Write as _;
+        write!(w, "{func}").expect("hash writer is infallible");
+        w.finish()
+    }
 
     #[test]
     fn identical_functions_hash_equal() {
@@ -162,6 +449,20 @@ mod tests {
     }
 
     #[test]
+    fn direct_hash_tracks_print_hash_equality() {
+        // Spot equivalence check (the proptest in tests/ is the real pin):
+        // equal prints ⟹ equal direct hashes, different prints ⟹
+        // different direct hashes, on a kernel that exercises nesting.
+        let a = parse_function(KERNEL).unwrap();
+        let b = parse_function(&a.to_string()).unwrap();
+        let c = parse_function(&KERNEL.replace("add %w, %tx", "mul %w, %tx")).unwrap();
+        assert_eq!(print_hash(&a), print_hash(&b));
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+        assert_ne!(print_hash(&a), print_hash(&c));
+        assert_ne!(structural_hash(&a), structural_hash(&c));
+    }
+
+    #[test]
     fn stable_hasher_digests_are_pinned() {
         // Golden digests: these values are part of the on-disk cache-key
         // contract. If this test fails, the encoding changed — bump
@@ -173,7 +474,7 @@ mod tests {
         h.write_i64(-3);
         h.write_f64(1.5);
         assert_eq!(h.finish(), 0xb672_b7d8_e150_77b9);
-        assert_eq!(STRUCTURAL_HASH_VERSION, 1);
+        assert_eq!(STRUCTURAL_HASH_VERSION, 2);
     }
 
     #[test]

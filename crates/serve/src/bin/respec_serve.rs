@@ -1,0 +1,76 @@
+//! The respec tuning daemon.
+//!
+//! ```text
+//! respec-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!              [--client-cap N] [--shards N] [--cache-dir PATH]
+//!              [--workload small|large]
+//! ```
+//!
+//! Prints `LISTENING <addr>` on stdout once it accepts connections (with
+//! `--addr 127.0.0.1:0` this is how callers discover the port), then
+//! blocks until a `shutdown` request has fully drained.
+
+use std::process::ExitCode;
+
+use respec_rodinia::Workload;
+use respec_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: respec-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--client-cap N] [--shards N] [--cache-dir PATH] [--workload small|large]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7177".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = parse(&value()),
+            "--queue-cap" => config.queue_cap = parse(&value()),
+            "--client-cap" => config.client_cap = parse(&value()),
+            "--shards" => config.shards = parse(&value()),
+            "--cache-dir" => config.cache_dir = Some(value().into()),
+            "--workload" => {
+                config.workload = match value().as_str() {
+                    "small" => Workload::Small,
+                    "large" => Workload::Large,
+                    other => {
+                        eprintln!("respec-serve: unknown workload {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("respec-serve: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The discovery line CI and scripts key on; flush so pipes see it
+    // before the long block below.
+    println!("LISTENING {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    println!("respec-serve: drained, exiting");
+    ExitCode::SUCCESS
+}
+
+fn parse(raw: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("respec-serve: not a count: {raw:?}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,140 @@
+//! Event streaming: server lifecycle events and per-job tune traces,
+//! broadcast as JSON lines to subscribed connections.
+//!
+//! Every line written to a connection — responses *and* events — goes
+//! through that connection's [`ConnWriter`], whose internal lock makes
+//! each line atomic: a streamed event can interleave *between* a
+//! request's response lines, never *inside* one.
+
+use std::io::{self, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use respec_trace::json::JsonObject;
+
+/// Serialized line writer for one connection.
+pub struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Wraps a stream (typically a `try_clone` of the reader's stream).
+    pub fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(stream),
+        }
+    }
+
+    /// Writes one line atomically (appends the newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors — the caller drops the connection.
+    pub fn send_line(&self, line: &str) -> io::Result<()> {
+        let mut stream = self.stream.lock().expect("writer lock");
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()
+    }
+
+    /// Shuts down the underlying stream (both directions), unblocking the
+    /// connection's reader thread.
+    pub fn disconnect(&self) {
+        let stream = self.stream.lock().expect("writer lock");
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Broadcast hub for the streamed event feed.
+#[derive(Default)]
+pub struct EventHub {
+    subscribers: Mutex<Vec<(u64, Arc<ConnWriter>)>>,
+    seq: AtomicU64,
+}
+
+impl EventHub {
+    /// Creates an empty hub.
+    pub fn new() -> EventHub {
+        EventHub::default()
+    }
+
+    /// Registers a connection's writer under its connection id.
+    pub fn subscribe(&self, conn_id: u64, writer: Arc<ConnWriter>) {
+        let mut subs = self.subscribers.lock().expect("hub lock");
+        if subs.iter().all(|(id, _)| *id != conn_id) {
+            subs.push((conn_id, writer));
+        }
+    }
+
+    /// Removes a connection (on close).
+    pub fn unsubscribe(&self, conn_id: u64) {
+        self.subscribers
+            .lock()
+            .expect("hub lock")
+            .retain(|(id, _)| *id != conn_id);
+    }
+
+    /// Whether anyone is listening (used to skip trace collection).
+    pub fn has_subscribers(&self) -> bool {
+        !self.subscribers.lock().expect("hub lock").is_empty()
+    }
+
+    /// Broadcasts one event. `fields` is the event payload; the hub adds
+    /// the `event` kind and a monotonic `seq`. Subscribers whose
+    /// connection fails are dropped.
+    pub fn emit(&self, kind: &str, fields: JsonObject) {
+        let mut subs = self.subscribers.lock().expect("hub lock");
+        if subs.is_empty() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let line = JsonObject::new()
+            .str("event", kind)
+            .u64("seq", seq)
+            .merge_line(fields);
+        subs.retain(|(_, writer)| writer.send_line(&line).is_ok());
+    }
+}
+
+/// Extension used by the hub: concatenates two flat objects into one
+/// rendered line. (Kept local to the serve crate — `JsonObject` itself
+/// stays a plain builder.)
+trait MergeLine {
+    fn merge_line(self, tail: JsonObject) -> String;
+}
+
+impl MergeLine for JsonObject {
+    fn merge_line(self, tail: JsonObject) -> String {
+        let head = self.finish();
+        let tail = tail.finish();
+        let head_body = &head[1..head.len() - 1];
+        let tail_body = &tail[1..tail.len() - 1];
+        if tail_body.is_empty() {
+            head
+        } else {
+            format!("{{{head_body},{tail_body}}}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_line_concatenates_flat_objects() {
+        let line = JsonObject::new()
+            .str("event", "start")
+            .u64("seq", 3)
+            .merge_line(JsonObject::new().str("app", "lud").u64("n", 1));
+        respec_trace::json::validate(&line).unwrap();
+        assert_eq!(line, r#"{"event":"start","seq":3,"app":"lud","n":1}"#);
+        let empty_tail = JsonObject::new()
+            .str("event", "stop")
+            .u64("seq", 4)
+            .merge_line(JsonObject::new());
+        respec_trace::json::validate(&empty_tail).unwrap();
+    }
+}

@@ -1,0 +1,722 @@
+//! Wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. The protocol is deliberately flat (no nested
+//! objects in responses) so responses can be built with
+//! [`respec_trace::json::JsonObject`] and parsed by the minimal
+//! [`Json`] reader below without allocating trees of depth > 2.
+//!
+//! Robustness contract (pinned by `tests/protocol.rs`): a malformed,
+//! truncated, or unknown request yields a structured `{"ok":false,…}`
+//! error response and the connection stays usable; an *oversized* line
+//! ([`MAX_LINE_BYTES`]) yields a structured error followed by connection
+//! close, because the stream can no longer be resynchronized cheaply; a
+//! mid-request disconnect is a clean close. None of these may panic or
+//! wedge a worker.
+
+use std::io::{self, BufRead};
+
+use respec_trace::json::JsonObject;
+use respec_tune::Strategy;
+
+/// Hard cap on one request line (bytes, newline included). Oversized
+/// lines are rejected without buffering the excess.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Default totals explored when a tune request does not name any.
+pub const DEFAULT_REQUEST_TOTALS: [i64; 4] = [1, 2, 4, 8];
+
+/// Machine-readable error codes of `{"ok":false}` responses.
+pub mod codes {
+    /// Request line exceeded [`super::MAX_LINE_BYTES`]; connection closes.
+    pub const OVERSIZED: &str = "oversized";
+    /// Request line is not syntactically valid JSON.
+    pub const BAD_JSON: &str = "bad-json";
+    /// Request is valid JSON but not a valid request object.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// `op` names no protocol operation.
+    pub const UNKNOWN_OP: &str = "unknown-op";
+    /// `app` names no registered workload.
+    pub const UNKNOWN_APP: &str = "unknown-app";
+    /// `target` names no registered device.
+    pub const UNKNOWN_TARGET: &str = "unknown-target";
+    /// Admission control rejected the request (queue bounds).
+    pub const OVERLOADED: &str = "overloaded";
+    /// The daemon is draining and accepts no new work.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The tune ran but produced no winner, or a worker was lost.
+    pub const TUNE_FAILED: &str = "tune-failed";
+}
+
+/// A parsed JSON value — the minimal tree the protocol needs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value (rejecting trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first syntax error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer, when it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, pos)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len() {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogates map to the replacement character; the
+                        // protocol never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            0x00..=0x1f => return Err(format!("unescaped control byte at {pos}")),
+            _ => {
+                // Copy one UTF-8 scalar (the input came from a &str, so
+                // boundaries are valid).
+                let start = *pos;
+                let len = utf8_len(b[start]);
+                let chunk = std::str::from_utf8(&b[start..(start + len).min(b.len())])
+                    .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number".to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number at byte {start}"))
+}
+
+// ---------------------------------------------------------------------------
+// Bounded line reading
+// ---------------------------------------------------------------------------
+
+/// Outcome of reading one request line.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// End of stream before any byte of a new line — clean close.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the buffered prefix was
+    /// discarded and the connection should be closed after the error
+    /// response.
+    Oversized,
+}
+
+/// Reads one newline-terminated line, enforcing [`MAX_LINE_BYTES`].
+///
+/// A final unterminated fragment (client disconnected mid-request) is
+/// treated as [`LineRead::Eof`] — there is nobody left to answer.
+///
+/// # Errors
+///
+/// Propagates transport errors other than a clean EOF.
+pub fn read_line_capped(reader: &mut impl BufRead) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF: a clean close between requests, or a truncated final
+            // fragment (no newline). Either way the connection is done.
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let take = &available[..nl];
+                if buf.len() + take.len() > MAX_LINE_BYTES {
+                    let consume = nl + 1;
+                    reader.consume(consume);
+                    return Ok(LineRead::Oversized);
+                }
+                buf.extend_from_slice(take);
+                reader.consume(nl + 1);
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                return Ok(LineRead::Line(line));
+            }
+            None => {
+                let len = available.len();
+                if buf.len() + len > MAX_LINE_BYTES {
+                    reader.consume(len);
+                    discard_to_newline(reader)?;
+                    return Ok(LineRead::Oversized);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Discards input up to and including the next newline (or EOF), so the
+/// stream is line-synchronized again after an oversized request.
+fn discard_to_newline(reader: &mut impl BufRead) -> io::Result<()> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                reader.consume(nl + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One protocol operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Server counters.
+    Stats,
+    /// Registered workload listing.
+    Apps,
+    /// Resolve a workload: compile (from the registry's prepared form) and
+    /// report its structural identity on a target. Cheap; runs inline.
+    Compile {
+        /// Registered workload name.
+        app: String,
+        /// Registered target name.
+        target: String,
+    },
+    /// Autotune a workload's main kernel on a target.
+    Tune {
+        /// Registered workload name.
+        app: String,
+        /// Registered target name.
+        target: String,
+        /// Total coarsening factors to explore.
+        totals: Vec<i64>,
+        /// Candidate-generation strategy.
+        strategy: Strategy,
+    },
+    /// Subscribe this connection to the streamed event feed.
+    Subscribe,
+    /// Drain in-flight work and exit.
+    Shutdown,
+}
+
+/// A parsed request envelope: operation plus tenant/request identity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Echoed verbatim in the response, when the client sent one.
+    pub id: Option<String>,
+    /// Tenant identity for fair scheduling; `"anon"` when absent.
+    pub client: String,
+    /// The operation.
+    pub request: Request,
+}
+
+/// A structured protocol error (the `"ok":false` family).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// One of [`codes`].
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl WireError {
+    /// Creates an error with the given code and detail.
+    pub fn new(code: &'static str, detail: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Parses one request line into an envelope.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] with code `bad-json`, `bad-request` or
+/// `unknown-op`; app/target validation happens later, against the
+/// registry.
+pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
+    let value = Json::parse(line).map_err(|e| WireError::new(codes::BAD_JSON, e))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(WireError::new(
+            codes::BAD_REQUEST,
+            "request must be a JSON object",
+        ));
+    }
+    let id = match value.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => {
+            return Err(WireError::new(codes::BAD_REQUEST, "id must be a string"));
+        }
+    };
+    let client = match value.get("client") {
+        None | Some(Json::Null) => "anon".to_string(),
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(_) => {
+            return Err(WireError::new(
+                codes::BAD_REQUEST,
+                "client must be a non-empty string",
+            ));
+        }
+    };
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new(codes::BAD_REQUEST, "missing op field"))?;
+    let str_field = |name: &str| -> Result<String, WireError> {
+        value
+            .get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| WireError::new(codes::BAD_REQUEST, format!("missing {name} field")))
+    };
+    let request = match op {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "apps" => Request::Apps,
+        "subscribe" => Request::Subscribe,
+        "shutdown" => Request::Shutdown,
+        "compile" => Request::Compile {
+            app: str_field("app")?,
+            target: str_field("target")?,
+        },
+        "tune" => {
+            let totals = match value.get("totals") {
+                None | Some(Json::Null) => DEFAULT_REQUEST_TOTALS.to_vec(),
+                Some(v) => {
+                    let items = v.as_arr().ok_or_else(|| {
+                        WireError::new(codes::BAD_REQUEST, "totals must be an array")
+                    })?;
+                    if items.is_empty() || items.len() > 16 {
+                        return Err(WireError::new(
+                            codes::BAD_REQUEST,
+                            "totals must hold 1..=16 factors",
+                        ));
+                    }
+                    items
+                        .iter()
+                        .map(|t| {
+                            t.as_i64()
+                                .filter(|&t| (1..=1024).contains(&t))
+                                .ok_or_else(|| {
+                                    WireError::new(
+                                        codes::BAD_REQUEST,
+                                        "totals entries must be integers in 1..=1024",
+                                    )
+                                })
+                        })
+                        .collect::<Result<Vec<i64>, WireError>>()?
+                }
+            };
+            let strategy = match value.get("strategy").and_then(Json::as_str) {
+                None => Strategy::Combined,
+                Some("combined") => Strategy::Combined,
+                Some("thread-only") => Strategy::ThreadOnly,
+                Some("block-only") => Strategy::BlockOnly,
+                Some(other) => {
+                    return Err(WireError::new(
+                        codes::BAD_REQUEST,
+                        format!("unknown strategy {other:?}"),
+                    ));
+                }
+            };
+            Request::Tune {
+                app: str_field("app")?,
+                target: str_field("target")?,
+                totals,
+                strategy,
+            }
+        }
+        other => {
+            return Err(WireError::new(
+                codes::UNKNOWN_OP,
+                format!("unknown op {other:?}"),
+            ));
+        }
+    };
+    Ok(Envelope {
+        id,
+        client,
+        request,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Starts a success response for `op`, echoing the request id.
+pub fn ok_response(op: &str, id: Option<&str>) -> JsonObject {
+    let base = JsonObject::new().bool("ok", true).str("op", op);
+    match id {
+        Some(id) => base.str("id", id),
+        None => base,
+    }
+}
+
+/// Renders a complete error response line (no trailing newline).
+pub fn error_response(op: Option<&str>, id: Option<&str>, err: &WireError) -> String {
+    let mut obj = JsonObject::new().bool("ok", false);
+    if let Some(op) = op {
+        obj = obj.str("op", op);
+    }
+    if let Some(id) = id {
+        obj = obj.str("id", id);
+    }
+    obj.str("error", err.code)
+        .str("detail", &err.detail)
+        .finish()
+}
+
+/// Formats a 64-bit key/hash/bit-pattern as fixed-width hex — the wire
+/// form of every identity field, so "bit-identical" comparisons are plain
+/// string equality.
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_full_tune_request() {
+        let env = parse_request(
+            r#"{"op":"tune","id":"r1","client":"c1","app":"lud","target":"a100","totals":[1,2],"strategy":"combined"}"#,
+        )
+        .unwrap();
+        assert_eq!(env.id.as_deref(), Some("r1"));
+        assert_eq!(env.client, "c1");
+        assert_eq!(
+            env.request,
+            Request::Tune {
+                app: "lud".into(),
+                target: "a100".into(),
+                totals: vec![1, 2],
+                strategy: Strategy::Combined,
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_apply_when_fields_are_absent() {
+        let env = parse_request(r#"{"op":"tune","app":"nw","target":"a4000"}"#).unwrap();
+        assert_eq!(env.client, "anon");
+        assert_eq!(env.id, None);
+        match env.request {
+            Request::Tune {
+                totals, strategy, ..
+            } => {
+                assert_eq!(totals, DEFAULT_REQUEST_TOTALS.to_vec());
+                assert_eq!(strategy, Strategy::Combined);
+            }
+            other => panic!("expected tune, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_yield_structured_codes() {
+        assert_eq!(parse_request("{").unwrap_err().code, codes::BAD_JSON);
+        assert_eq!(parse_request("42").unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(
+            parse_request(r#"{"op":"fly"}"#).unwrap_err().code,
+            codes::UNKNOWN_OP
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"tune","app":"lud"}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"tune","app":"lud","target":"a100","totals":[0]}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn error_responses_are_valid_json() {
+        let line = error_response(
+            Some("tune"),
+            Some("r9"),
+            &WireError::new(codes::OVERLOADED, "queue full \"now\""),
+        );
+        respec_trace::json::validate(&line).unwrap();
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some(codes::OVERLOADED)
+        );
+    }
+
+    #[test]
+    fn capped_reader_splits_lines_and_flags_oversize() {
+        let data = format!(
+            "{{\"op\":\"ping\"}}\n{}\n{{\"op\":\"stats\"}}\n",
+            "x".repeat(MAX_LINE_BYTES + 10)
+        );
+        let mut reader = BufReader::new(data.as_bytes());
+        assert!(matches!(
+            read_line_capped(&mut reader).unwrap(),
+            LineRead::Line(l) if l == "{\"op\":\"ping\"}"
+        ));
+        assert!(matches!(
+            read_line_capped(&mut reader).unwrap(),
+            LineRead::Oversized
+        ));
+        // The reader resynchronizes on the next newline even though the
+        // server chooses to close instead.
+        assert!(matches!(
+            read_line_capped(&mut reader).unwrap(),
+            LineRead::Line(l) if l == "{\"op\":\"stats\"}"
+        ));
+        assert!(matches!(
+            read_line_capped(&mut reader).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn json_parser_round_trips_builder_output() {
+        let line = ok_response("tune", Some("id-1"))
+            .str("app", "lud")
+            .f64("tune_ms", 12.5)
+            .u64("compiles", 3)
+            .finish();
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("app").and_then(Json::as_str), Some("lud"));
+        assert_eq!(parsed.get("compiles").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn hex64_is_fixed_width() {
+        assert_eq!(hex64(0xab), "00000000000000ab");
+        assert_eq!(hex64(u64::MAX), "ffffffffffffffff");
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end daemon semantics over real TCP: coalescing with
+//! bit-identical winners, warm-cache zero-compile replay, and the
+//! drain-based shutdown contract.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use respec_serve::{Json, ServeConfig, Server};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, stream }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).expect("send");
+        self.stream.write_all(b"\n").expect("send newline");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("recv");
+        assert!(!response.is_empty(), "connection closed unexpectedly");
+        respec_trace::json::validate(response.trim_end()).expect("response is valid json");
+        Json::parse(response.trim_end()).expect("response parses")
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("respec-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tune_line(id: &str, client: &str, app: &str, target: &str) -> String {
+    format!(r#"{{"op":"tune","id":"{id}","client":"{client}","app":"{app}","target":"{target}"}}"#)
+}
+
+fn str_field<'j>(json: &'j Json, key: &str) -> &'j str {
+    json.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("missing field {key}"))
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_bit_identical_winners() {
+    let cache_dir = temp_cache_dir("coalesce");
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // A blocker occupies the single worker so the herd's shared job is
+    // guaranteed to still be queued (hence coalescable) while everyone
+    // submits.
+    let blocker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.request(&tune_line("blk", "blocker", "lud", "mi210"))
+    });
+    std::thread::sleep(Duration::from_millis(50));
+
+    let herd = 4;
+    let barrier = Arc::new(Barrier::new(herd));
+    let waiters: Vec<_> = (0..herd)
+        .map(|i| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                barrier.wait();
+                client.request(&tune_line(
+                    &format!("h{i}"),
+                    &format!("tenant-{i}"),
+                    "gaussian",
+                    "a100",
+                ))
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = waiters
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+    let blocker_response = blocker.join().expect("blocker");
+    assert_eq!(
+        blocker_response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "blocker tune failed: {blocker_response:?}"
+    );
+
+    // Every waiter sees the exact same winner: config, measured-seconds
+    // bit pattern, winner hash, registers — string equality on the wire.
+    let first = &responses[0];
+    assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+    for response in &responses {
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        for key in ["winner_config", "seconds_bits", "winner_hash", "input_hash"] {
+            assert_eq!(
+                str_field(response, key),
+                str_field(first, key),
+                "waiters disagree on {key}"
+            );
+        }
+        assert_eq!(
+            response.get("best_regs").and_then(Json::as_i64),
+            first.get("best_regs").and_then(Json::as_i64)
+        );
+    }
+    // One request created the job, the rest attached to it.
+    let coalesced = responses
+        .iter()
+        .filter(|r| r.get("coalesced").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert!(
+        coalesced >= herd - 1,
+        "expected >= {} coalesced responses, got {coalesced}",
+        herd - 1
+    );
+
+    let mut control = Client::connect(addr);
+    let stats = control.request(r#"{"op":"stats"}"#);
+    assert!(
+        stats.get("coalesced").and_then(Json::as_i64).unwrap_or(0) >= (herd as i64 - 1),
+        "server did not count the coalesced herd: {stats:?}"
+    );
+
+    // Warm replay: the same key again, after completion, is served from
+    // the persistent cache with zero compiles and zero runner calls —
+    // and the same winner.
+    let warm = control.request(&tune_line("warm", "latecomer", "gaussian", "a100"));
+    assert_eq!(warm.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        warm.get("compiles").and_then(Json::as_i64),
+        Some(0),
+        "{warm:?}"
+    );
+    assert_eq!(warm.get("runner_calls").and_then(Json::as_i64), Some(0));
+    assert!(
+        warm.get("persistent_hits")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            > 0
+    );
+    for key in ["winner_config", "seconds_bits", "winner_hash"] {
+        assert_eq!(str_field(&warm, key), str_field(first, key));
+    }
+
+    let ack = control.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    server.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn shutdown_drains_accepted_work_and_rejects_new_work() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Occupy the worker with a deliberately slow search (a deep totals
+    // ladder), then queue one more tune behind it. The drain must still
+    // be in progress when the late request below arrives.
+    let running = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.request(
+            r#"{"op":"tune","id":"r1","client":"a","app":"lud","target":"a4000","totals":[1,2,4,8,16,32]}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.request(&tune_line("r2", "b", "hotspot", "rx6800"))
+    });
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Connect the probe clients while the accept loop is certainly
+    // still running, then ask for shutdown while both tunes are in
+    // flight.
+    let mut late = Client::connect(addr);
+    let mut control = Client::connect(addr);
+    let ack = control.request(r#"{"op":"shutdown","id":"bye"}"#);
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true));
+
+    // The supervisor flips the scheduler into draining asynchronously;
+    // wait until `stats` confirms it before probing the rejection path.
+    for _ in 0..200 {
+        let stats = control.request(r#"{"op":"stats"}"#);
+        if stats.get("draining").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // New tune work is now rejected with a structured code…
+    let rejected = late.request(&tune_line("r3", "c", "bfs", "a100"));
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        rejected.get("error").and_then(Json::as_str),
+        Some("shutting-down")
+    );
+
+    // …but both accepted tunes still complete with real winners.
+    for handle in [running, queued] {
+        let response = handle.join().expect("accepted client");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "accepted work must be answered during drain: {response:?}"
+        );
+        assert!(!str_field(&response, "winner_config").is_empty());
+    }
+    server.join();
+}

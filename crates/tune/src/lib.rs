@@ -1193,6 +1193,22 @@ mod tests {
         assert_eq!(options.parallelism, 4);
         assert!(options.cache.is_none(), "no cache dir requested");
 
+        // A cache dir that exists but is a regular file must surface as a
+        // structured error naming the variable, not a panic or a silently
+        // ignored cache.
+        let blocker =
+            std::env::temp_dir().join(format!("respec-tune-env-cache-file-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        std::env::set_var("RESPEC_CACHE_DIR", &blocker);
+        let err = TuneOptions::from_env().unwrap_err();
+        assert_eq!(err.var, "RESPEC_CACHE_DIR");
+        assert!(
+            err.to_string().contains("cache directory cannot be opened"),
+            "error explains the failure: {err}"
+        );
+        let _ = std::fs::remove_file(&blocker);
+        std::env::remove_var("RESPEC_CACHE_DIR");
+
         for (v, old) in VARS.iter().zip(saved) {
             match old {
                 Some(val) => std::env::set_var(v, val),
