@@ -45,6 +45,31 @@ impl ConnWriter {
         let stream = self.stream.lock().expect("writer lock");
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
+
+    /// Whether the peer has closed its write half (read would see EOF).
+    ///
+    /// Used by readers parked on a tune waiter to notice a vanished
+    /// client instead of blocking the full waiter timeout. Only the
+    /// connection's own reader thread may call this — it briefly toggles
+    /// the (shared) socket to non-blocking to `peek`, which is safe here
+    /// because concurrent writers serialize on the same stream lock and
+    /// nobody else reads the socket.
+    pub fn peer_closed(&self) -> bool {
+        let stream = self.stream.lock().expect("writer lock");
+        if stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let closed = match stream.peek(&mut probe) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => false,
+            Err(_) => true,
+        };
+        let _ = stream.set_nonblocking(false);
+        closed
+    }
 }
 
 /// Broadcast hub for the streamed event feed.
@@ -84,17 +109,32 @@ impl EventHub {
     /// Broadcasts one event. `fields` is the event payload; the hub adds
     /// the `event` kind and a monotonic `seq`. Subscribers whose
     /// connection fails are dropped.
+    ///
+    /// The subscriber list is snapshotted and the hub lock released
+    /// *before* any socket write: a slow or stalled subscriber must never
+    /// wedge the hub (and with it every worker and reader that emits).
+    /// Subscriber sockets carry a write timeout (set at accept), so one
+    /// emit blocks at most that long before the offender is dropped.
+    /// Consequence: events raced by concurrent emitters can reach a
+    /// subscriber out of `seq` order; `seq` is the total order.
     pub fn emit(&self, kind: &str, fields: JsonObject) {
-        let mut subs = self.subscribers.lock().expect("hub lock");
-        if subs.is_empty() {
-            return;
-        }
+        let subs: Vec<(u64, Arc<ConnWriter>)> = {
+            let subs = self.subscribers.lock().expect("hub lock");
+            if subs.is_empty() {
+                return;
+            }
+            subs.clone()
+        };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let line = JsonObject::new()
             .str("event", kind)
             .u64("seq", seq)
             .merge_line(fields);
-        subs.retain(|(_, writer)| writer.send_line(&line).is_ok());
+        for (conn_id, writer) in subs {
+            if writer.send_line(&line).is_err() {
+                self.unsubscribe(conn_id);
+            }
+        }
     }
 }
 

@@ -42,5 +42,5 @@ pub use scheduler::{JobKey, Scheduler, Submit, TuneJob, TuneOutcome};
 pub use server::{ServeConfig, Server, ServerStats};
 pub use wire::{
     codes, error_response, hex64, ok_response, parse_request, read_line_capped, Envelope, Json,
-    LineRead, Request, WireError, DEFAULT_REQUEST_TOTALS, MAX_LINE_BYTES,
+    LineRead, Request, WireError, DEFAULT_REQUEST_TOTALS, MAX_JSON_DEPTH, MAX_LINE_BYTES,
 };

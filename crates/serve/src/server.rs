@@ -13,9 +13,10 @@
 //!   clients), runs the serial tune engine against the job's cache
 //!   shard, and fans the single outcome out to every coalesced waiter.
 //! * A **supervisor** thread sleeps until shutdown is requested, then
-//!   drains the scheduler, joins the workers (all accepted waiters are
-//!   answered first), stops the accept loop, unblocks every reader and
-//!   joins them.
+//!   drains the scheduler, joins the workers (every accepted waiter's
+//!   outcome is now in its reader's channel), stops the accept loop,
+//!   waits for the readers to flush those responses to their sockets,
+//!   and only then disconnects and joins every reader.
 //!
 //! Shutdown contract: after a `shutdown` request is acknowledged, no new
 //! tune work is admitted (`shutting-down` rejections), every previously
@@ -28,7 +29,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,24 @@ use crate::wire::{
 /// drain contract answers every waiter, so this only fires if a worker
 /// panicked; it turns a wedged connection into a structured error.
 const WAITER_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Poll granularity of the tune wait: between channel polls the reader
+/// probes its connection, so a client that disconnected mid-tune releases
+/// the thread within one interval instead of pinning it for the full
+/// [`WAITER_TIMEOUT`].
+const WAITER_POLL: Duration = Duration::from_millis(250);
+
+/// Write timeout on every accepted socket. A peer that stops reading
+/// (full socket buffer) fails its next write within this bound instead of
+/// blocking the writer forever — load-bearing for the event hub, where a
+/// stalled subscriber would otherwise wedge every emitting worker and
+/// reader.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on the supervisor's wait for readers to flush accepted
+/// tune responses to their sockets before it cuts connections. Generous:
+/// a flush needs at most one waiter poll plus one socket write timeout.
+const RESPONSE_FLUSH_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -150,6 +169,13 @@ struct Shared {
     conns: Mutex<HashMap<u64, Arc<ConnWriter>>>,
     /// Reader-thread handles, joined by the supervisor.
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Readers holding an accepted tune waiter whose response has not yet
+    /// been written to (or abandoned at) the socket. The supervisor waits
+    /// for this to reach zero before disconnecting, so joining the
+    /// workers (channel delivery) is never mistaken for the response
+    /// actually reaching the client (socket delivery).
+    inflight_responses: Mutex<u64>,
+    responses_flushed: Condvar,
     next_conn: AtomicU64,
     /// Bound listener address, set once at startup (the supervisor's
     /// self-connection needs it).
@@ -162,6 +188,54 @@ impl Shared {
             if let Some(tx) = self.shutdown_tx.lock().expect("shutdown lock").take() {
                 let _ = tx.send(());
             }
+        }
+    }
+
+    /// Marks this reader as owing a socket write for a tune request.
+    /// Taken *before* the scheduler submission so the supervisor can
+    /// never observe an accepted waiter without its in-flight marker.
+    fn begin_response(self: &Arc<Self>) -> ResponseGuard {
+        *self.inflight_responses.lock().expect("inflight lock") += 1;
+        ResponseGuard {
+            shared: self.clone(),
+        }
+    }
+
+    /// Blocks until every in-flight tune response has been written to (or
+    /// abandoned at) its socket, bounded by [`RESPONSE_FLUSH_TIMEOUT`].
+    fn await_responses_flushed(&self) {
+        let deadline = Instant::now() + RESPONSE_FLUSH_TIMEOUT;
+        let mut inflight = self.inflight_responses.lock().expect("inflight lock");
+        while *inflight > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return;
+            };
+            inflight = self
+                .responses_flushed
+                .wait_timeout(inflight, left)
+                .expect("inflight lock")
+                .0;
+        }
+    }
+}
+
+/// RAII marker for one pending tune response; dropping it (response
+/// written, client found dead, or the reader unwinding) releases the
+/// supervisor's flush wait.
+struct ResponseGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ResponseGuard {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .shared
+            .inflight_responses
+            .lock()
+            .expect("inflight lock");
+        *inflight -= 1;
+        if *inflight == 0 {
+            self.shared.responses_flushed.notify_all();
         }
     }
 }
@@ -207,6 +281,8 @@ impl Server {
             completed_seq: AtomicU64::new(0),
             conns: Mutex::new(HashMap::new()),
             readers: Mutex::new(Vec::new()),
+            inflight_responses: Mutex::new(0),
+            responses_flushed: Condvar::new(),
             next_conn: AtomicU64::new(0),
             addr_cell: Mutex::new(Some(addr)),
         });
@@ -238,7 +314,8 @@ impl Server {
                 // 1. Stop admitting tune work; let queued jobs finish.
                 shared.scheduler.drain();
                 // 2. Workers exit once the queue is empty; joining them
-                //    guarantees every accepted waiter has been answered.
+                //    guarantees every accepted waiter's outcome has been
+                //    delivered into its reader's channel.
                 for handle in worker_handles {
                     let _ = handle.join();
                 }
@@ -249,9 +326,14 @@ impl Server {
                 //    self-connection unblocks `accept()`.
                 let _ = TcpStream::connect(shared.addr());
                 let _ = accept.join();
-                // 4. Unblock every reader still parked in `read()`. All
-                //    tune answers were delivered in step 2, so cutting
-                //    the sockets loses nothing.
+                // 4. Channel delivery (step 2) is not socket delivery:
+                //    readers still need to wake and write the response.
+                //    Wait for every in-flight tune response to reach its
+                //    socket before cutting connections, so no accepted
+                //    waiter's answer is lost to the disconnect below.
+                shared.await_responses_flushed();
+                // 5. Unblock every reader still parked in `read()`; only
+                //    idle connections remain.
                 for writer in shared.conns.lock().expect("conns lock").values() {
                     writer.disconnect();
                 }
@@ -305,6 +387,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // The timeout applies to the shared socket (responses and
+        // events): a peer that stops reading fails its writes within the
+        // bound instead of blocking the event hub or a reader forever.
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
         let Ok(clone) = stream.try_clone() else {
             continue;
         };
@@ -326,7 +412,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 handle_connection(&conn_shared, stream, &writer, conn_id);
             })
             .expect("spawn reader");
-        shared.readers.lock().expect("readers lock").push(handle);
+        let mut readers = shared.readers.lock().expect("readers lock");
+        // Reap exited readers as new connections arrive, so a long-lived
+        // daemon does not accumulate one handle per connection ever
+        // served. Dropping a finished handle detaches a thread that has
+        // already terminated; shutdown still joins the live remainder.
+        readers.retain(|h| !h.is_finished());
+        readers.push(handle);
     }
 }
 
@@ -483,6 +575,12 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, conn_id: u64, env: E
                 enqueued: Instant::now(),
             };
             let (tx, rx) = channel();
+            // Mark the pending socket write *before* submitting: from the
+            // instant the scheduler holds the waiter, the shutdown
+            // sequence must not cut sockets until this reader has written
+            // (or abandoned) its response. Dropped on every path out of
+            // this arm.
+            let _pending = shared.begin_response();
             let coalesced = match shared.scheduler.submit(job, tx) {
                 Submit::Rejected(err) => {
                     if err.code == codes::SHUTTING_DOWN {
@@ -526,13 +624,34 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, conn_id: u64, env: E
                     true
                 }
             };
-            let outcome = match rx.recv_timeout(WAITER_TIMEOUT) {
-                Ok(outcome) => outcome,
-                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
-                    let err = WireError::new(codes::TUNE_FAILED, "worker lost or timed out");
-                    return writer
-                        .send_line(&error_response(Some("tune"), id, &err))
-                        .is_ok();
+            // Short polls instead of one long block: each timeout probes
+            // the connection, so a client that disconnected mid-tune
+            // frees this thread within one poll interval instead of
+            // pinning it (and its coalesced waiter slot) for the full
+            // WAITER_TIMEOUT. The worker's eventual send to the dropped
+            // receiver fails harmlessly.
+            let deadline = Instant::now() + WAITER_TIMEOUT;
+            let outcome = loop {
+                match rx.recv_timeout(WAITER_POLL) {
+                    Ok(outcome) => break outcome,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        let err = WireError::new(codes::TUNE_FAILED, "worker lost");
+                        return writer
+                            .send_line(&error_response(Some("tune"), id, &err))
+                            .is_ok();
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if Instant::now() >= deadline {
+                            let err =
+                                WireError::new(codes::TUNE_FAILED, "worker lost or timed out");
+                            return writer
+                                .send_line(&error_response(Some("tune"), id, &err))
+                                .is_ok();
+                        }
+                        if writer.peer_closed() {
+                            return false;
+                        }
+                    }
                 }
             };
             writer

@@ -7,7 +7,8 @@
 //! [`Json`] reader below without allocating trees of depth > 2.
 //!
 //! Robustness contract (pinned by `tests/protocol.rs`): a malformed,
-//! truncated, or unknown request yields a structured `{"ok":false,…}`
+//! truncated, or unknown request — including one nested deeper than
+//! [`MAX_JSON_DEPTH`] — yields a structured `{"ok":false,…}`
 //! error response and the connection stays usable; an *oversized* line
 //! ([`MAX_LINE_BYTES`]) yields a structured error followed by connection
 //! close, because the stream can no longer be resynchronized cheaply; a
@@ -22,6 +23,13 @@ use respec_tune::Strategy;
 /// Hard cap on one request line (bytes, newline included). Oversized
 /// lines are rejected without buffering the excess.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Hard cap on JSON nesting depth. The parser is recursive-descent, so
+/// without a bound a line of tens of thousands of `[` bytes (well under
+/// [`MAX_LINE_BYTES`]) would overflow the reader thread's stack and
+/// abort the daemon; past this depth it returns a `bad-json` error
+/// instead. The protocol itself never nests deeper than 2.
+pub const MAX_JSON_DEPTH: usize = 64;
 
 /// Default totals explored when a tune request does not name any.
 pub const DEFAULT_REQUEST_TOTALS: [i64; 4] = [1, 2, 4, 8];
@@ -74,7 +82,7 @@ impl Json {
     pub fn parse(s: &str) -> Result<Json, String> {
         let bytes = s.as_bytes();
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -137,7 +145,12 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth >= MAX_JSON_DEPTH {
+        return Err(format!(
+            "nesting exceeds {MAX_JSON_DEPTH} levels at byte {pos}"
+        ));
+    }
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -157,7 +170,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(b, pos)?;
+                let value = parse_value(b, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -179,7 +192,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -656,6 +669,30 @@ mod tests {
                 .code,
             codes::BAD_REQUEST
         );
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        // Well under MAX_LINE_BYTES, far over any sane nesting: without
+        // the depth bound this recursed ~40k frames and aborted.
+        for bomb in ["[".repeat(40_000), "{\"k\":".repeat(8_000)] {
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.contains("nesting"), "got {err:?}");
+            assert_eq!(parse_request(&bomb).unwrap_err().code, codes::BAD_JSON);
+        }
+        // The bound is exact: depth MAX_JSON_DEPTH - 1 still parses.
+        let deepest = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH - 1),
+            "]".repeat(MAX_JSON_DEPTH - 1)
+        );
+        assert!(Json::parse(&deepest).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(Json::parse(&too_deep).is_err());
     }
 
     #[test]

@@ -165,6 +165,35 @@ fn fuzzed_byte_mutations_never_panic_or_wedge_the_server() {
 }
 
 #[test]
+fn deeply_nested_json_yields_bad_json_not_a_crash() {
+    // Far beyond MAX_JSON_DEPTH but well under the line cap: without a
+    // recursion bound this overflowed the reader thread's stack and
+    // aborted the whole daemon.
+    let mut client = Client::connect();
+    for bomb in [
+        "[".repeat(40_000),
+        "{\"k\":".repeat(8_000),
+        format!("{}1{}", "[".repeat(500), "]".repeat(500)),
+    ] {
+        let response = client.request(&bomb);
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "nesting bomb accepted: {response:?}"
+        );
+        assert_eq!(
+            response.get("error").and_then(Json::as_str),
+            Some("bad-json"),
+            "wrong code: {response:?}"
+        );
+    }
+    // The same connection still serves real work, and so does the server.
+    let pong = client.request(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+    assert_alive();
+}
+
+#[test]
 fn truncated_requests_and_mid_request_disconnects_close_cleanly() {
     // Half a request, then the client vanishes.
     let mut client = Client::connect();
@@ -226,6 +255,16 @@ fn a_dedicated_abused_server_still_shuts_down_cleanly() {
     assert!(line.contains("\"ok\":false"), "garbage got: {line:?}");
     let (mut fragment, _) = connect();
     fragment.write_all(br#"{"op":"#).expect("send");
+    // …an accepted tune whose client vanishes mid-flight (its reader
+    // must notice the dead peer and release the waiter, not pin the
+    // thread; the worker's answer to the dropped channel is discarded)…
+    let (mut ghost, ghost_reader) = connect();
+    ghost
+        .write_all(
+            b"{\"op\":\"tune\",\"client\":\"ghost\",\"app\":\"gaussian\",\"target\":\"a100\",\"totals\":[1]}\n",
+        )
+        .expect("send");
+    drop((ghost, ghost_reader));
     // …then a clean shutdown, with the wedgeable connections still open.
     let (mut control, mut control_reader) = connect();
     control
