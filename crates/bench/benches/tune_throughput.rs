@@ -29,12 +29,12 @@ fn main() {
 
     println!("== tune_throughput: Combined-strategy search, serial vs parallel({parallelism}) ==");
     println!(
-        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "app", "cands", "serial c/s", "par c/s", "speedup", "hit rate", "serial(s)"
+        "{:<16} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "app", "cands", "serial c/s", "par c/s", "speedup", "hit rate", "serial(s)", "dedup hit"
     );
     for r in &rows {
         println!(
-            "{:<16} {:>10} {:>12.1} {:>12.1} {:>9.2}x {:>9.0}% {:>10.3}",
+            "{:<16} {:>10} {:>12.1} {:>12.1} {:>9.2}x {:>9.0}% {:>10.3} {:>9.0}%",
             r.app,
             r.candidates,
             r.serial_rate(),
@@ -42,6 +42,25 @@ fn main() {
             r.speedup(),
             r.cache_hit_rate * 100.0,
             r.serial_seconds,
+            r.dedup_cache_hit_rate * 100.0,
+        );
+    }
+
+    println!("\n== per-phase breakdown of the serial search (busy seconds) ==");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "app", "prepare", "compile", "measure", "overhead", "wall"
+    );
+    for r in &rows {
+        let t = &r.serial_timings;
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            r.app,
+            t.prepare_seconds,
+            t.compile_seconds,
+            t.measure_seconds,
+            t.pool_overhead_seconds,
+            t.wall_seconds,
         );
     }
 

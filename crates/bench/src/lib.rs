@@ -9,8 +9,8 @@
 use respec::opt::optimize;
 use respec::sim::SimError;
 use respec::{
-    candidate_configs, targets, tune_kernel_pooled, Function, GpuSim, Module, Strategy, TargetDesc,
-    Trace, TuneOptions, TuneResult, TuningCache,
+    candidate_configs, targets, tune_kernel_pooled, CoarsenConfig, ExecMode, Function, GpuSim,
+    Module, PhaseTimings, Strategy, TargetDesc, Trace, TuneOptions, TuneResult, TuningCache,
 };
 use respec_rodinia::{all_apps_sized, compile_app, App, Workload};
 
@@ -238,6 +238,20 @@ pub struct TuneThroughputRow {
     pub warm_cache_seconds: f64,
     /// Persistent-cache hits of the warm run (1 = winner replay).
     pub warm_persistent_hits: usize,
+    /// Per-phase breakdown of the serial search (busy seconds).
+    pub serial_timings: PhaseTimings,
+    /// Per-phase breakdown of the parallel search (busy seconds summed
+    /// across workers; see [`PhaseTimings`]).
+    pub parallel_timings: PhaseTimings,
+    /// Candidate count of the dedup-visible sweep (see
+    /// [`dedup_sweep_configs`]): literal duplicates included.
+    pub dedup_candidates: usize,
+    /// Unique IR groups of the dedup-visible sweep (compiles performed).
+    pub dedup_unique: usize,
+    /// In-run compilation-cache hit rate of the dedup-visible sweep —
+    /// nonzero by construction, unlike the generated default sweep whose
+    /// configs are duplicate-free and lower to pairwise-distinct IR.
+    pub dedup_cache_hit_rate: f64,
 }
 
 impl TuneThroughputRow {
@@ -259,6 +273,62 @@ impl TuneThroughputRow {
     /// Cold-over-warm wall-clock speedup of the persistent cache.
     pub fn warm_speedup(&self) -> f64 {
         self.cold_cache_seconds / self.warm_cache_seconds.max(1e-12)
+    }
+}
+
+/// Client-style sweep containing entries that lower to identical IR, so
+/// the engine's structural-hash dedup is visible in the in-run cache hit
+/// rate. The *generated* sweep ([`candidate_configs`]) can never hit this
+/// cache: it is duplicate-free by construction and distinct factors bake
+/// into distinct loop structure. User-assembled grids are not so tidy —
+/// this models the two ways they converge: per-dimension factors that
+/// don't divide the kernel's block shape are clamped to 1 (collapsing
+/// grid cells on kernels with unit dimensions), and the identity arrives
+/// under its no-op alias (block-factor product 1 performs no rewrite).
+pub fn dedup_sweep_configs(block_dims: &[i64]) -> Vec<CoarsenConfig> {
+    let dim = |i: usize| block_dims.get(i).copied().unwrap_or(1).max(1);
+    let clamp = |f: i64, d: i64| if d % f == 0 { f } else { 1 };
+    let mut out = Vec::new();
+    for &b in &[1i64, 2] {
+        for &tx in &[1i64, 2] {
+            for &ty in &[1i64, 2] {
+                out.push(CoarsenConfig {
+                    block: [b, 1, 1],
+                    thread: [clamp(tx, dim(0)), clamp(ty, dim(1)), 1],
+                });
+            }
+        }
+    }
+    out.push(CoarsenConfig {
+        block: [-1, -1, 1],
+        thread: [1, 1, 1],
+    });
+    out
+}
+
+/// Runs the dedup-visible sweep serially on an app's main kernel and
+/// returns `(candidates, unique_groups, cache_hit_rate)`.
+pub fn dedup_sweep_stats(app: &dyn App, target: &TargetDesc) -> (usize, usize, f64) {
+    let module = compiled_module(app, Pipeline::PolygeistNoOpt);
+    let name = app.main_kernel().to_string();
+    let func = module.function(&name).expect("main kernel").clone();
+    let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
+    let configs = dedup_sweep_configs(&launches[0].block_dims);
+    let result = tune_kernel_pooled(
+        &func,
+        target,
+        &configs,
+        &TuneOptions::serial(),
+        || app_runner(app, &module, target, &name),
+        &Trace::disabled(),
+    );
+    match result {
+        Ok(r) => (
+            configs.len(),
+            r.stats.cache_misses,
+            r.stats.cache_hit_rate(),
+        ),
+        Err(_) => (configs.len(), 0, 0.0),
     }
 }
 
@@ -323,6 +393,9 @@ pub fn tune_throughput_data(
         let warm_cache_seconds = start.elapsed().as_secs_f64();
         let _ = std::fs::remove_dir_all(&cache_dir);
 
+        let (dedup_candidates, dedup_unique, dedup_cache_hit_rate) =
+            dedup_sweep_stats(app.as_ref(), &target);
+
         rows.push(TuneThroughputRow {
             app: app.name().to_string(),
             candidates: result.map(|r| r.candidates.len()).unwrap_or(0),
@@ -333,6 +406,91 @@ pub fn tune_throughput_data(
             cold_cache_seconds,
             warm_cache_seconds,
             warm_persistent_hits: warm.map(|r| r.stats.persistent_hits).unwrap_or(0),
+            serial_timings: serial.as_ref().map(|r| r.timings).unwrap_or_default(),
+            parallel_timings: parallel.as_ref().map(|r| r.timings).unwrap_or_default(),
+            dedup_candidates,
+            dedup_unique,
+            dedup_cache_hit_rate,
+        });
+    }
+    rows
+}
+
+/// Interpreter throughput on one app: warp-level instruction issues
+/// retired per wall-clock second under scalar vs warp-vectorized
+/// execution (the `interp_throughput` microbenchmark's unit of
+/// measurement). Both modes execute the identical instruction stream —
+/// the counters are part of the scalar↔vectorized equivalence contract —
+/// so the issue count is reported once.
+#[derive(Clone, Debug)]
+pub struct InterpThroughputRow {
+    /// Application name.
+    pub app: String,
+    /// Warp-level instruction issues of one full app run, summed over
+    /// every launch (identical across execution modes).
+    pub total_issues: u64,
+    /// Host wall-clock seconds of one full app run, scalar interpreter.
+    pub scalar_seconds: f64,
+    /// Host wall-clock seconds of one full app run, warp-vectorized
+    /// interpreter.
+    pub warp_seconds: f64,
+}
+
+impl InterpThroughputRow {
+    /// Warp-level issues per host second, scalar interpreter.
+    pub fn scalar_ops_per_sec(&self) -> f64 {
+        self.total_issues as f64 / self.scalar_seconds.max(1e-12)
+    }
+
+    /// Warp-level issues per host second, warp-vectorized interpreter.
+    pub fn warp_ops_per_sec(&self) -> f64 {
+        self.total_issues as f64 / self.warp_seconds.max(1e-12)
+    }
+
+    /// Warp-vectorized-over-scalar wall-clock speedup.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_seconds / self.warp_seconds.max(1e-12)
+    }
+}
+
+/// Times `repeats` full app runs per execution mode per app and reports
+/// the mean seconds per run alongside the issue count. The first run of
+/// each mode is an untimed warm-up so one-time costs (decode, lazy
+/// allocations, page faults) don't pollute the smallest workloads.
+pub fn interp_throughput_data(workload: Workload, repeats: usize) -> Vec<InterpThroughputRow> {
+    let target = targets::a100();
+    let repeats = repeats.max(1);
+    let mut rows = Vec::new();
+    for app in all_apps_sized(workload) {
+        let module = compiled_module(app.as_ref(), Pipeline::PolygeistNoOpt);
+        let timed_run = |mode: ExecMode| -> (f64, u64) {
+            let mut issues = 0u64;
+            let mut seconds = 0.0;
+            for rep in 0..=repeats {
+                let mut sim = GpuSim::new(target.clone());
+                sim.set_exec_mode(mode);
+                let started = std::time::Instant::now();
+                app.run(&mut sim, &module).expect("app runs");
+                if rep > 0 {
+                    seconds += started.elapsed().as_secs_f64();
+                }
+                issues = sim.launch_log.iter().map(|t| t.stats.total_issues()).sum();
+            }
+            (seconds / repeats as f64, issues)
+        };
+        let (scalar_seconds, scalar_issues) = timed_run(ExecMode::Scalar);
+        let (warp_seconds, warp_issues) = timed_run(ExecMode::WarpVectorized);
+        assert_eq!(
+            scalar_issues,
+            warp_issues,
+            "issue counters diverged between execution modes on {}",
+            app.name()
+        );
+        rows.push(InterpThroughputRow {
+            app: app.name().to_string(),
+            total_issues: scalar_issues,
+            scalar_seconds,
+            warp_seconds,
         });
     }
     rows
@@ -871,6 +1029,130 @@ pub fn fig17(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)>
 }
 
 // ---------------------------------------------------------------------------
+// Baseline comparison (`bench_compare`)
+// ---------------------------------------------------------------------------
+
+/// One app's before/after delta between two `BENCH_tune.json` baselines.
+#[derive(Clone, Debug)]
+pub struct BenchDelta {
+    /// Application name.
+    pub app: String,
+    /// Serial wall seconds in the old baseline.
+    pub old_serial_s: f64,
+    /// Serial wall seconds in the new baseline.
+    pub new_serial_s: f64,
+    /// Parallel wall seconds in the old baseline.
+    pub old_parallel_s: f64,
+    /// Parallel wall seconds in the new baseline.
+    pub new_parallel_s: f64,
+}
+
+impl BenchDelta {
+    /// Old-over-new serial speedup (> 1 = the new engine is faster).
+    pub fn serial_speedup(&self) -> f64 {
+        self.old_serial_s / self.new_serial_s.max(1e-12)
+    }
+
+    /// Old-over-new parallel speedup (> 1 = the new engine is faster).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.old_parallel_s / self.new_parallel_s.max(1e-12)
+    }
+}
+
+/// Parses one `BENCH_tune.json` baseline (JSON lines) into
+/// `(app, serial_s, parallel_s)` tuples, in file order.
+fn parse_baseline(content: &str) -> Result<Vec<(String, f64, f64)>, String> {
+    use respec::trace::json::Json;
+    let mut rows = Vec::new();
+    for (ln, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        if obj.get("figure").and_then(Json::as_str) != Some("tune_throughput") {
+            continue;
+        }
+        let field = |key: &str| {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: missing numeric field {key:?}", ln + 1))
+        };
+        let app = obj
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing field \"app\"", ln + 1))?
+            .to_string();
+        rows.push((app, field("serial_s")?, field("parallel_s")?));
+    }
+    Ok(rows)
+}
+
+/// Diffs two `BENCH_tune.json` baselines: per-app old-over-new speedup of
+/// the serial and parallel searches, for apps present in both files.
+pub fn bench_compare(old: &str, new: &str) -> Result<Vec<BenchDelta>, String> {
+    let old_rows = parse_baseline(old)?;
+    let new_rows = parse_baseline(new)?;
+    let mut deltas = Vec::new();
+    for (app, old_serial_s, old_parallel_s) in old_rows {
+        if let Some((_, new_serial_s, new_parallel_s)) = new_rows.iter().find(|(a, _, _)| *a == app)
+        {
+            deltas.push(BenchDelta {
+                app,
+                old_serial_s,
+                new_serial_s: *new_serial_s,
+                old_parallel_s,
+                new_parallel_s: *new_parallel_s,
+            });
+        }
+    }
+    if deltas.is_empty() {
+        return Err("no app appears in both baselines".into());
+    }
+    Ok(deltas)
+}
+
+/// Prints a [`bench_compare`] result as a table with geomean footer.
+pub fn print_bench_compare(deltas: &[BenchDelta]) {
+    println!("== bench_compare: old vs new BENCH_tune.json (speedup > 1 = new is faster) ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "app", "old ser(s)", "new ser(s)", "speedup", "old par(s)", "new par(s)", "speedup"
+    );
+    for d in deltas {
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>9.2}x {:>12.3} {:>12.3} {:>9.2}x",
+            d.app,
+            d.old_serial_s,
+            d.new_serial_s,
+            d.serial_speedup(),
+            d.old_parallel_s,
+            d.new_parallel_s,
+            d.parallel_speedup()
+        );
+    }
+    println!(
+        "{:<16} {:>12} {:>12} {:>9.2}x {:>12} {:>12} {:>9.2}x   (geomean)",
+        "geomean",
+        "",
+        "",
+        geomean(
+            &deltas
+                .iter()
+                .map(BenchDelta::serial_speedup)
+                .collect::<Vec<_>>()
+        ),
+        "",
+        "",
+        geomean(
+            &deltas
+                .iter()
+                .map(BenchDelta::parallel_speedup)
+                .collect::<Vec<_>>()
+        )
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable output (`--json`)
 // ---------------------------------------------------------------------------
 
@@ -881,7 +1163,7 @@ pub fn fig17(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)>
 pub mod jsonout {
     use respec::trace::json::JsonObject;
 
-    use super::{Fig13Row, Fig16Row, ProfileRow, TuneThroughputRow};
+    use super::{Fig13Row, Fig16Row, InterpThroughputRow, ProfileRow, TuneThroughputRow};
 
     /// Fig. 13 rows: per-app best speedup per strategy.
     pub fn fig13_lines(rows: &[Fig13Row]) -> String {
@@ -1018,6 +1300,46 @@ pub mod jsonout {
                     .f64("warm_cache_s", r.warm_cache_seconds)
                     .f64("warm_speedup", r.warm_speedup())
                     .u64("warm_persistent_hits", r.warm_persistent_hits as u64)
+                    .f64("serial_prepare_s", r.serial_timings.prepare_seconds)
+                    .f64("serial_compile_s", r.serial_timings.compile_seconds)
+                    .f64("serial_measure_s", r.serial_timings.measure_seconds)
+                    .f64(
+                        "serial_pool_overhead_s",
+                        r.serial_timings.pool_overhead_seconds,
+                    )
+                    .f64("parallel_prepare_s", r.parallel_timings.prepare_seconds)
+                    .f64("parallel_compile_s", r.parallel_timings.compile_seconds)
+                    .f64("parallel_measure_s", r.parallel_timings.measure_seconds)
+                    .f64(
+                        "parallel_pool_overhead_s",
+                        r.parallel_timings.pool_overhead_seconds,
+                    )
+                    .u64("dedup_candidates", r.dedup_candidates as u64)
+                    .u64("dedup_unique", r.dedup_unique as u64)
+                    .f64("dedup_cache_hit_rate", r.dedup_cache_hit_rate)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Interpreter-throughput rows (`BENCH_interp.json` baseline):
+    /// warp-level issues per host second, scalar vs warp-vectorized, so
+    /// interpreter changes have a perf trajectory to compare against.
+    pub fn interp_throughput_lines(rows: &[InterpThroughputRow]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "interp_throughput")
+                    .str("app", &r.app)
+                    .u64("total_issues", r.total_issues)
+                    .f64("scalar_s", r.scalar_seconds)
+                    .f64("warp_s", r.warp_seconds)
+                    .f64("scalar_ops_per_sec", r.scalar_ops_per_sec())
+                    .f64("warp_ops_per_sec", r.warp_ops_per_sec())
+                    .f64("speedup", r.speedup())
                     .finish(),
             );
             out.push('\n');
@@ -1163,7 +1485,56 @@ mod tests {
             assert!(r.candidates > 0);
             assert!(r.serial_seconds > 0.0 && r.parallel_seconds > 0.0);
             assert!((0.0..=1.0).contains(&r.cache_hit_rate));
+            // The phase breakdown accounts for real work and never exceeds
+            // the wall clock by more than the worker fan-out allows.
+            assert!(r.serial_timings.wall_seconds > 0.0);
+            assert!(r.serial_timings.prepare_seconds > 0.0);
+            assert!(r.serial_timings.measure_seconds > 0.0);
+            assert!(r.serial_timings.pool_overhead_seconds >= 0.0);
+            assert!(r.parallel_timings.wall_seconds > 0.0);
+            // The dedup-visible sweep hits the in-run cache by construction.
+            assert!(r.dedup_candidates > r.dedup_unique);
+            assert!(r.dedup_cache_hit_rate > 0.0);
         }
         assert_json_lines(&jsonout::tune_throughput_lines(&rows), "tune_throughput");
+    }
+
+    #[test]
+    fn interp_throughput_rows_are_json_clean() {
+        let rows = interp_throughput_data(Workload::Small, 1);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.total_issues > 0, "{} executed no instructions", r.app);
+            assert!(r.scalar_seconds > 0.0 && r.warp_seconds > 0.0);
+            assert!(r.scalar_ops_per_sec() > 0.0 && r.warp_ops_per_sec() > 0.0);
+        }
+        assert_json_lines(
+            &jsonout::interp_throughput_lines(&rows),
+            "interp_throughput",
+        );
+    }
+
+    #[test]
+    fn bench_compare_diffs_baselines_by_app() {
+        let old = concat!(
+            "{\"figure\":\"tune_throughput\",\"app\":\"lud\",\"serial_s\":2.0,\"parallel_s\":1.0}\n",
+            "{\"figure\":\"tune_throughput\",\"app\":\"nw\",\"serial_s\":4.0,\"parallel_s\":2.0}\n",
+            "{\"figure\":\"tune_throughput\",\"app\":\"gone\",\"serial_s\":1.0,\"parallel_s\":1.0}\n",
+        );
+        let new = concat!(
+            "{\"figure\":\"tune_throughput\",\"app\":\"lud\",\"serial_s\":1.0,\"parallel_s\":0.5}\n",
+            "{\"figure\":\"tune_throughput\",\"app\":\"nw\",\"serial_s\":8.0,\"parallel_s\":4.0}\n",
+            "{\"figure\":\"fig13\",\"app\":\"lud\",\"thread_only\":1.0}\n",
+        );
+        let deltas = bench_compare(old, new).unwrap();
+        assert_eq!(deltas.len(), 2, "only apps present in both baselines");
+        assert_eq!(deltas[0].app, "lud");
+        assert!((deltas[0].serial_speedup() - 2.0).abs() < 1e-12);
+        assert!((deltas[0].parallel_speedup() - 2.0).abs() < 1e-12);
+        assert_eq!(deltas[1].app, "nw");
+        assert!((deltas[1].serial_speedup() - 0.5).abs() < 1e-12);
+        // Malformed input is an error, not a panic.
+        assert!(bench_compare("not json", new).is_err());
+        assert!(bench_compare(old, "").is_err());
     }
 }

@@ -1,0 +1,116 @@
+//! Scalar ↔ warp-vectorized execution differential.
+//!
+//! The warp-vectorized interpreter is a pure performance rewrite of the
+//! scalar one: for every Rodinia app and every coarsening shape, both
+//! backends must produce bit-identical timing estimates and identical
+//! execution counters, and the tuning engine must pick the same winner at
+//! the same simulated time regardless of which backend measured it.
+
+use respec::opt::coarsen_function;
+use respec::{targets, tune_kernel_pooled, CoarsenConfig, ExecMode, GpuSim, Strategy};
+use respec::{Trace, TuneOptions};
+use respec_bench::{compiled_module, Pipeline};
+use respec_rodinia::{all_apps_sized, Workload};
+
+/// Coarsening shapes spanning the rewrite space: identity, thread-only,
+/// block-only, and combined.
+fn shapes() -> Vec<CoarsenConfig> {
+    [[1, 1], [2, 1], [1, 2], [2, 2]]
+        .iter()
+        .map(|&[b, t]| CoarsenConfig {
+            block: [b, 1, 1],
+            thread: [t, 1, 1],
+        })
+        .collect()
+}
+
+#[test]
+fn scalar_and_vectorized_runs_are_bit_identical() {
+    let target = targets::a100();
+    for app in all_apps_sized(Workload::Small) {
+        let base = compiled_module(app.as_ref(), Pipeline::PolygeistNoOpt);
+        let name = app.main_kernel().to_string();
+        for cfg in shapes() {
+            let mut module = base.clone();
+            let mut func = module.function(&name).expect("main kernel").clone();
+            if coarsen_function(&mut func, cfg).is_err() {
+                continue; // shape illegal for this kernel — nothing to compare
+            }
+            module.add_function(func);
+            let run = |mode: ExecMode| {
+                let mut sim = GpuSim::new(target.clone());
+                sim.set_exec_mode(mode);
+                app.run(&mut sim, &module).expect("app runs");
+                sim
+            };
+            let scalar = run(ExecMode::Scalar);
+            let warp = run(ExecMode::WarpVectorized);
+            let ctx = format!("{} {:?}", app.name(), cfg);
+            assert_eq!(
+                scalar.launch_log.len(),
+                warp.launch_log.len(),
+                "launch count diverged: {ctx}"
+            );
+            for (s, w) in scalar.launch_log.iter().zip(&warp.launch_log) {
+                assert_eq!(s.kernel, w.kernel, "launch order diverged: {ctx}");
+                assert_eq!(
+                    s.seconds.to_bits(),
+                    w.seconds.to_bits(),
+                    "timing estimate diverged on {}: {ctx}",
+                    s.kernel
+                );
+                assert_eq!(s.stats, w.stats, "counters diverged on {}: {ctx}", s.kernel);
+            }
+            assert_eq!(
+                scalar.elapsed_seconds.to_bits(),
+                warp.elapsed_seconds.to_bits(),
+                "composite time diverged: {ctx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tuning_winner_is_independent_of_execution_mode() {
+    let target = targets::a100();
+    let totals = [1, 2];
+    for app in all_apps_sized(Workload::Small).into_iter().take(3) {
+        let module = compiled_module(app.as_ref(), Pipeline::PolygeistNoOpt);
+        let name = app.main_kernel().to_string();
+        let func = module.function(&name).expect("main kernel").clone();
+        let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
+        let configs =
+            respec::candidate_configs(Strategy::Combined, &totals, &launches[0].block_dims);
+        let tune = |mode: ExecMode| {
+            tune_kernel_pooled(
+                &func,
+                &target,
+                &configs,
+                &TuneOptions::serial(),
+                || {
+                    let (app, module, target, name) = (&app, &module, &target, &name);
+                    move |version: &respec::Function, _regs: u32| {
+                        let mut m = module.clone();
+                        m.add_function(version.clone());
+                        let mut sim = GpuSim::new(target.clone());
+                        sim.set_exec_mode(mode);
+                        app.run(&mut sim, &m)?;
+                        Ok(respec_bench::filtered_kernel_seconds(&sim, name))
+                    }
+                },
+                &Trace::disabled(),
+            )
+            .expect("search completes")
+        };
+        let scalar = tune(ExecMode::Scalar);
+        let warp = tune(ExecMode::WarpVectorized);
+        assert_eq!(scalar.best_config, warp.best_config, "{}", app.name());
+        assert_eq!(
+            scalar.best_seconds.to_bits(),
+            warp.best_seconds.to_bits(),
+            "{}",
+            app.name()
+        );
+        assert_eq!(scalar.stats, warp.stats, "{}", app.name());
+    }
+}

@@ -1,0 +1,75 @@
+//! CI perf gate: the parallel tuning engine must not lose to the serial
+//! one on a multi-core machine.
+//!
+//! Ignored by default because the assertion is only meaningful with real
+//! cores: on a single-core container the parallel engine pays thread
+//! overhead for no concurrency and legitimately lands near (or below)
+//! 1.0×. The `tune-perf-smoke` CI job runs it explicitly, in release
+//! mode, on a multi-core runner:
+//!
+//! ```text
+//! cargo test --release -p respec-bench --test perf_smoke -- --ignored
+//! ```
+
+use respec::{targets, tune_kernel_pooled, Strategy, Trace, TuneOptions};
+use respec_bench::{app_runner, compiled_module, Pipeline};
+use respec_rodinia::{all_apps_sized, Workload};
+
+/// Reduced sweep: a handful of apps, small totals, one serial and one
+/// 4-worker search each. Aggregate wall-clock is compared so one noisy
+/// app can't flip the verdict.
+#[test]
+#[ignore = "perf gate — run explicitly on a multi-core CI runner"]
+fn parallel_engine_beats_or_matches_serial() {
+    let target = targets::a100();
+    let totals = [1, 2, 4];
+    let mut serial_total = 0.0;
+    let mut parallel_total = 0.0;
+    for app in all_apps_sized(Workload::Small).into_iter().take(4) {
+        let module = compiled_module(app.as_ref(), Pipeline::PolygeistNoOpt);
+        let name = app.main_kernel().to_string();
+        let func = module.function(&name).expect("main kernel").clone();
+        let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
+        let configs =
+            respec::candidate_configs(Strategy::Combined, &totals, &launches[0].block_dims);
+        let timed = |options: &TuneOptions| {
+            let started = std::time::Instant::now();
+            let result = tune_kernel_pooled(
+                &func,
+                &target,
+                &configs,
+                options,
+                || app_runner(app.as_ref(), &module, &target, &name),
+                &Trace::disabled(),
+            )
+            .expect("search completes");
+            (started.elapsed().as_secs_f64(), result)
+        };
+        // Warm-up evaluates every candidate once so lazy one-time costs
+        // (first-touch pages, cache files) don't land on either side.
+        let _ = timed(&TuneOptions::serial());
+        let (serial_s, serial) = timed(&TuneOptions::serial());
+        let (parallel_s, parallel) = timed(&TuneOptions::with_parallelism(4));
+        assert_eq!(serial.best_config, parallel.best_config, "{}", app.name());
+        assert_eq!(
+            serial.best_seconds.to_bits(),
+            parallel.best_seconds.to_bits(),
+            "{}",
+            app.name()
+        );
+        eprintln!(
+            "perf_smoke[{}]: serial {serial_s:.3}s parallel {parallel_s:.3}s ({:.2}x)",
+            app.name(),
+            serial_s / parallel_s.max(1e-12),
+        );
+        serial_total += serial_s;
+        parallel_total += parallel_s;
+    }
+    let speedup = serial_total / parallel_total.max(1e-12);
+    eprintln!("perf_smoke: aggregate speedup {speedup:.2}x (gate: >= 1.0)");
+    assert!(
+        speedup >= 1.0,
+        "parallel engine lost to serial: {serial_total:.3}s serial vs \
+         {parallel_total:.3}s parallel ({speedup:.2}x)"
+    );
+}

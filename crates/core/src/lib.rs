@@ -65,13 +65,14 @@ pub use respec_frontend::KernelSpec;
 pub use respec_ir::{Diagnostic, Function, Module, Severity};
 pub use respec_opt::{CoarsenConfig, IndexingStyle};
 pub use respec_sim::{
-    targets, FaultKind, FaultPlan, FaultSite, FaultSpec, GpuSim, KernelArg, LaunchReport,
+    targets, ExecMode, FaultKind, FaultPlan, FaultSite, FaultSpec, GpuSim, KernelArg, LaunchReport,
     TargetDesc,
 };
 pub use respec_trace::{Trace, TraceSummary};
 pub use respec_tune::{
     candidate_configs, tune_kernel, tune_kernel_pooled, tune_kernel_traced, DegradedReport,
-    RetryPolicy, Strategy, TuneErrorKind, TuneOptions, TuneResult, TuneStats, DEFAULT_TOTALS,
+    PhaseTimings, RetryPolicy, Strategy, TuneErrorKind, TuneOptions, TuneResult, TuneStats,
+    DEFAULT_TOTALS,
 };
 
 /// One-line import for the common facade workflow:

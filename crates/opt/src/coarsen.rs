@@ -270,6 +270,51 @@ pub fn block_coarsen(
     Ok(())
 }
 
+/// Validates `cfg` against every launch of `func` without mutating it.
+///
+/// This is exactly the set of checks [`coarsen_function`] performs before
+/// its first rewrite — missing block-parallel loop, launch-analysis
+/// failures, factor positivity and thread-factor divisibility — producing
+/// byte-identical messages, so callers holding a borrowed function can
+/// prune illegal configurations before paying for a clone. A passing
+/// precheck does **not** guarantee [`coarsen_function`] succeeds: legality
+/// that only surfaces mid-rewrite (e.g. barrier duplication during
+/// unroll-and-interleave) is still discovered while transforming. For the
+/// identity configuration a passing precheck *is* exhaustive, because
+/// identity coarsening performs no rewrite at all.
+///
+/// # Errors
+///
+/// The first error [`coarsen_function`] would report from its pre-rewrite
+/// checks, in the same order.
+pub fn coarsen_precheck(func: &Function, cfg: CoarsenConfig) -> Result<(), CoarsenError> {
+    let block_pars = respec_ir::kernel::block_parallels_in(func, func.body());
+    if block_pars.is_empty() {
+        return Err(CoarsenError::new("region contains no block-parallel loop"));
+    }
+    for bp in block_pars {
+        let launch = analyze_launch(func, bp).map_err(|e| CoarsenError::new(e.to_string()))?;
+        for (d, &f) in cfg.thread.iter().enumerate() {
+            if f < 1 {
+                return Err(CoarsenError::new("factors must be >= 1"));
+            }
+            let dim = launch.block_dims.get(d).copied().unwrap_or(1);
+            if dim % f != 0 {
+                return Err(CoarsenError::new(format!(
+                    "thread factor {f} does not divide block dimension {dim} (d{d})"
+                )));
+            }
+        }
+        // Block factors are only inspected when block coarsening actually
+        // runs: `block_coarsen` no-ops on a factor *product* of one before
+        // any validation, and the precheck must not reject what it accepts.
+        if cfg.block.iter().product::<i64>() != 1 && cfg.block.iter().any(|&f| f < 1) {
+            return Err(CoarsenError::new("factors must be >= 1"));
+        }
+    }
+    Ok(())
+}
+
 /// Applies a combined configuration to every launch of a kernel function,
 /// thread factors first (so block coarsening jams the already-coarsened
 /// thread loop).
@@ -341,6 +386,49 @@ mod tests {
   }
   return
 }";
+
+    #[test]
+    fn precheck_agrees_with_coarsen_on_prevalidated_errors() {
+        // Every error coarsen_function raises before its first rewrite must
+        // come out of the borrowed precheck with the identical message, and
+        // configurations the precheck passes must not fail those same
+        // checks when applied for real.
+        let cases = [
+            CoarsenConfig::identity(),
+            CoarsenConfig {
+                block: [1, 1, 1],
+                thread: [4, 1, 1],
+            },
+            CoarsenConfig {
+                block: [2, 1, 1],
+                thread: [3, 1, 1], // 3 does not divide 64
+            },
+            CoarsenConfig {
+                block: [1, 1, 1],
+                thread: [0, 1, 1], // factor < 1
+            },
+            CoarsenConfig {
+                block: [-1, -1, 1], // product 1: block_coarsen no-ops
+                thread: [1, 1, 1],
+            },
+        ];
+        let pristine = parse_function(KERNEL).unwrap();
+        for cfg in cases {
+            let pre = coarsen_precheck(&pristine, cfg);
+            let mut func = pristine.clone();
+            let real = coarsen_function(&mut func, cfg);
+            match (pre, real) {
+                (Ok(()), Ok(())) => {}
+                (Err(p), Err(r)) => assert_eq!(p.message, r.message, "{cfg:?}"),
+                (p, r) => panic!("precheck/coarsen disagree for {cfg:?}: {p:?} vs {r:?}"),
+            }
+        }
+        // A function with no block-parallel loop fails both ways.
+        let flat = parse_function("func @f(%x: index) {\n  return\n}").unwrap();
+        let pre = coarsen_precheck(&flat, CoarsenConfig::identity()).unwrap_err();
+        let real = coarsen_function(&mut flat.clone(), CoarsenConfig::identity()).unwrap_err();
+        assert_eq!(pre.message, real.message);
+    }
 
     #[test]
     fn thread_coarsen_requires_divisors() {

@@ -58,8 +58,8 @@ pub use alternatives::{
 pub use barrier_elim::eliminate_barriers;
 pub use canon::canonicalize;
 pub use coarsen::{
-    block_coarsen, coarsen_function, coarsen_function_region, thread_coarsen, CoarsenConfig,
-    CoarsenError,
+    block_coarsen, coarsen_function, coarsen_function_region, coarsen_precheck, thread_coarsen,
+    CoarsenConfig, CoarsenError,
 };
 pub use cse::cse;
 pub use dce::dce;

@@ -4,7 +4,8 @@
 //! JSON object on one line. The protocol is deliberately flat (no nested
 //! objects in responses) so responses can be built with
 //! [`respec_trace::json::JsonObject`] and parsed by the minimal
-//! [`Json`] reader below without allocating trees of depth > 2.
+//! [`Json`] reader (shared via `respec_trace::json`) without allocating
+//! trees of depth > 2.
 //!
 //! Robustness contract (pinned by `tests/protocol.rs`): a malformed,
 //! truncated, or unknown request — including one nested deeper than
@@ -24,12 +25,12 @@ use respec_tune::Strategy;
 /// lines are rejected without buffering the excess.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
-/// Hard cap on JSON nesting depth. The parser is recursive-descent, so
-/// without a bound a line of tens of thousands of `[` bytes (well under
-/// [`MAX_LINE_BYTES`]) would overflow the reader thread's stack and
-/// abort the daemon; past this depth it returns a `bad-json` error
-/// instead. The protocol itself never nests deeper than 2.
-pub const MAX_JSON_DEPTH: usize = 64;
+// The parser used to live here; it moved down to `respec_trace::json` so
+// benchmark tooling below this crate can read JSON baselines too. The
+// depth cap still guards the daemon: a line of tens of thousands of `[`
+// bytes (well under MAX_LINE_BYTES) yields a `bad-json` error instead of
+// overflowing the reader thread's stack.
+pub use respec_trace::json::{Json, MAX_JSON_DEPTH};
 
 /// Default totals explored when a tune request does not name any.
 pub const DEFAULT_REQUEST_TOTALS: [i64; 4] = [1, 2, 4, 8];
@@ -54,253 +55,6 @@ pub mod codes {
     pub const SHUTTING_DOWN: &str = "shutting-down";
     /// The tune ran but produced no winner, or a worker was lost.
     pub const TUNE_FAILED: &str = "tune-failed";
-}
-
-/// A parsed JSON value — the minimal tree the protocol needs.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Parses one complete JSON value (rejecting trailing garbage).
-    ///
-    /// # Errors
-    ///
-    /// Returns a message naming the first syntax error.
-    pub fn parse(s: &str) -> Result<Json, String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos, 0)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    /// Object field lookup (first match).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as an integer, when it is one.
-    pub fn as_i64(&self) -> Option<i64> {
-        match self {
-            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The element list, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
-    if depth >= MAX_JSON_DEPTH {
-        return Err(format!(
-            "nesting exceeds {MAX_JSON_DEPTH} levels at byte {pos}"
-        ));
-    }
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                let value = parse_value(b, pos, depth + 1)?;
-                fields.push((key, value));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos, depth + 1)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, "null").map(|()| Json::Null),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, pos)),
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    if b.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    while *pos < b.len() {
-        match b[*pos] {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        if *pos + 4 >= b.len() {
-                            return Err(format!("bad \\u escape at byte {pos}"));
-                        }
-                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                        // Surrogates map to the replacement character; the
-                        // protocol never emits them.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            0x00..=0x1f => return Err(format!("unescaped control byte at {pos}")),
-            _ => {
-                // Copy one UTF-8 scalar (the input came from a &str, so
-                // boundaries are valid).
-                let start = *pos;
-                let len = utf8_len(b[start]);
-                let chunk = std::str::from_utf8(&b[start..(start + len).min(b.len())])
-                    .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
-                out.push_str(chunk);
-                *pos += len;
-            }
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
-    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(format!("bad literal at byte {pos}"))
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while *pos < b.len()
-        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number".to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("bad number at byte {start}"))
 }
 
 // ---------------------------------------------------------------------------

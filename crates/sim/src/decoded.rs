@@ -1,0 +1,376 @@
+//! Pre-decoded instruction stream.
+//!
+//! [`DecodedProgram::decode`] resolves every operation of a function once —
+//! operand/result value slots, scalar types, pre-rounded constants, region
+//! targets — into a dense `Vec<DecodedOp>` indexed by `OpId`. The
+//! interpreter inner loop then dispatches on the decoded form instead of
+//! re-matching `OpKind`, re-deriving result types, and re-walking operand
+//! vectors on every dynamic step.
+//!
+//! Decode never fails: malformed operations (which previously panicked when
+//! driven unverified) decode into [`DecodedOp::Invalid`] carrying the error
+//! message and whether the op would have counted an issue before failing, so
+//! execution-time behavior — including the bump-then-error ordering of
+//! arithmetic ops — is preserved exactly.
+
+use respec_ir::{BinOp, CmpPred, Function, MemSpace, OpKind, RegionId, ScalarType, UnOp, Value};
+
+/// A value slot: the raw index of an SSA [`Value`].
+pub(crate) type Slot = u32;
+
+#[inline]
+pub(crate) fn slot_value(s: Slot) -> Value {
+    Value::from_index(s as usize)
+}
+
+/// One operation, resolved to direct slot indices and immediate payloads.
+#[derive(Debug)]
+pub(crate) enum DecodedOp {
+    ConstInt {
+        out: Slot,
+        value: i64,
+    },
+    ConstFloat {
+        out: Slot,
+        /// Already rounded to f32 precision when the result type is F32.
+        value: f64,
+    },
+    Binary {
+        out: Slot,
+        l: Slot,
+        r: Slot,
+        op: BinOp,
+        ty: ScalarType,
+    },
+    Unary {
+        out: Slot,
+        v: Slot,
+        op: UnOp,
+        ty: ScalarType,
+    },
+    Cmp {
+        out: Slot,
+        l: Slot,
+        r: Slot,
+        pred: CmpPred,
+        float: bool,
+    },
+    Select {
+        out: Slot,
+        c: Slot,
+        t: Slot,
+        f: Slot,
+    },
+    Cast {
+        out: Slot,
+        v: Slot,
+        from: ScalarType,
+        to: ScalarType,
+    },
+    Alloc {
+        out: Slot,
+        elem: ScalarType,
+        space: MemSpace,
+        rank: usize,
+        shape: Box<[i64]>,
+        /// All operands, consumed in order for dynamic extents.
+        dyn_ops: Box<[Slot]>,
+    },
+    Load {
+        out: Slot,
+        mem: Slot,
+        idx: Box<[Slot]>,
+    },
+    Store {
+        val: Slot,
+        mem: Slot,
+        idx: Box<[Slot]>,
+    },
+    Dim {
+        out: Slot,
+        mem: Slot,
+        index: usize,
+    },
+    For {
+        lb: Slot,
+        ub: Slot,
+        step: Slot,
+        iters: Box<[Slot]>,
+        body: RegionId,
+    },
+    While {
+        inits: Box<[Slot]>,
+        cond: RegionId,
+    },
+    If {
+        cond: Slot,
+        then_r: Option<RegionId>,
+        else_r: Option<RegionId>,
+    },
+    Alternatives {
+        region: Option<RegionId>,
+    },
+    Parallel,
+    Barrier,
+    Yield {
+        vals: Box<[Slot]>,
+    },
+    Condition {
+        flag: Slot,
+        vals: Box<[Slot]>,
+    },
+    Return,
+    Call {
+        callee: String,
+    },
+    /// Decode-time malformation: executing this op reports `msg` as a
+    /// simulation error. `bump` preserves the issue-count-then-fail ordering
+    /// of arithmetic ops.
+    Invalid {
+        bump: bool,
+        msg: String,
+    },
+}
+
+/// A function decoded for execution, shared by every interpreter of one
+/// launch via `Arc`.
+#[derive(Debug)]
+pub(crate) struct DecodedProgram {
+    /// Decoded op per `OpId` index.
+    pub(crate) steps: Vec<DecodedOp>,
+    /// Per region: whether the region or any transitively nested region
+    /// contains an `Alloc` (warps over such regions start in scalar mode —
+    /// allocation order must match per-lane execution).
+    pub(crate) region_has_alloc: Vec<bool>,
+}
+
+impl DecodedProgram {
+    pub(crate) fn decode(func: &Function) -> DecodedProgram {
+        let steps = (0..func.num_ops())
+            .map(|i| decode_op(func, respec_ir::OpId::from_index(i)))
+            .collect();
+        DecodedProgram {
+            steps,
+            region_has_alloc: region_alloc_flags(func),
+        }
+    }
+}
+
+fn region_alloc_flags(func: &Function) -> Vec<bool> {
+    let n = func.num_regions();
+    // 0 = unvisited, 1 = visited/false (also breaks malformed cycles),
+    // 2 = visited/true.
+    let mut memo = vec![0u8; n];
+    for r in 0..n {
+        dfs_alloc(func, r, &mut memo);
+    }
+    memo.iter().map(|&m| m == 2).collect()
+}
+
+fn dfs_alloc(func: &Function, r: usize, memo: &mut [u8]) -> bool {
+    if memo[r] != 0 {
+        return memo[r] == 2;
+    }
+    memo[r] = 1;
+    let mut has = false;
+    let region = func.region(RegionId::from_index(r));
+    for &op_id in &region.ops {
+        let op = func.op(op_id);
+        if matches!(op.kind, OpKind::Alloc { .. }) {
+            has = true;
+        }
+        for &sub in &op.regions {
+            if sub.index() < memo.len() && dfs_alloc(func, sub.index(), memo) {
+                has = true;
+            }
+        }
+    }
+    if has {
+        memo[r] = 2;
+    }
+    has
+}
+
+fn decode_op(func: &Function, id: respec_ir::OpId) -> DecodedOp {
+    let op = func.op(id);
+    let slots = |vs: &[Value]| -> Box<[Slot]> { vs.iter().map(|v| v.index() as Slot).collect() };
+    // Checked accessors: a missing operand/result previously panicked when
+    // unverified IR was driven; decode it into an execution-time error.
+    let operand = |i: usize| op.operands.get(i).map(|v| v.index() as Slot);
+    let result0 = || op.results.first().map(|v| v.index() as Slot);
+    let scalar_of = |v: Value| func.value_type(v).as_scalar();
+    let bad = |bump: bool, msg: String| DecodedOp::Invalid { bump, msg };
+    let missing = |bump: bool, what: &str| DecodedOp::Invalid {
+        bump,
+        msg: format!("malformed {what}: missing operand or result"),
+    };
+    // Matches `Interp::scalar_ty`'s message for a non-scalar value.
+    let not_scalar =
+        |bump: bool, v: Value| bad(bump, format!("expected a scalar-typed value, got {v:?}"));
+
+    match &op.kind {
+        OpKind::ConstInt { value, .. } => match result0() {
+            Some(out) => DecodedOp::ConstInt { out, value: *value },
+            None => missing(false, "const"),
+        },
+        OpKind::ConstFloat { value, ty } => match result0() {
+            Some(out) => DecodedOp::ConstFloat {
+                out,
+                value: if *ty == ScalarType::F32 {
+                    *value as f32 as f64
+                } else {
+                    *value
+                },
+            },
+            None => missing(false, "fconst"),
+        },
+        OpKind::Binary(b) => match (result0(), operand(0), operand(1)) {
+            (Some(out), Some(l), Some(r)) => match scalar_of(op.results[0]) {
+                Some(ty) => DecodedOp::Binary {
+                    out,
+                    l,
+                    r,
+                    op: *b,
+                    ty,
+                },
+                None => not_scalar(true, op.results[0]),
+            },
+            _ => missing(true, "binary op"),
+        },
+        OpKind::Unary(u) => match (result0(), operand(0)) {
+            (Some(out), Some(v)) => match scalar_of(op.results[0]) {
+                Some(ty) => DecodedOp::Unary { out, v, op: *u, ty },
+                None => not_scalar(true, op.results[0]),
+            },
+            _ => missing(true, "unary op"),
+        },
+        OpKind::Cmp(p) => match (result0(), operand(0), operand(1)) {
+            (Some(out), Some(l), Some(r)) => match scalar_of(op.operands[0]) {
+                Some(ty) => DecodedOp::Cmp {
+                    out,
+                    l,
+                    r,
+                    pred: *p,
+                    float: ty.is_float(),
+                },
+                None => not_scalar(true, op.operands[0]),
+            },
+            _ => missing(true, "cmp"),
+        },
+        OpKind::Select => match (result0(), operand(0), operand(1), operand(2)) {
+            (Some(out), Some(c), Some(t), Some(f)) => DecodedOp::Select { out, c, t, f },
+            _ => missing(true, "select"),
+        },
+        OpKind::Cast { to } => match (result0(), operand(0)) {
+            (Some(out), Some(v)) => match scalar_of(op.operands[0]) {
+                Some(from) => DecodedOp::Cast {
+                    out,
+                    v,
+                    from,
+                    to: *to,
+                },
+                None => not_scalar(false, op.operands[0]),
+            },
+            _ => missing(false, "cast"),
+        },
+        OpKind::Alloc { space } => {
+            let Some(out) = result0() else {
+                return missing(false, "alloc");
+            };
+            let Some(mem_ty) = func.value_type(op.results[0]).as_memref() else {
+                return bad(false, "alloc result is not memref-typed".to_string());
+            };
+            if mem_ty.shape.len() > 3 {
+                return bad(false, "allocation rank exceeds 3".to_string());
+            }
+            DecodedOp::Alloc {
+                out,
+                elem: mem_ty.elem,
+                space: *space,
+                rank: mem_ty.rank(),
+                shape: mem_ty.shape.clone().into_boxed_slice(),
+                dyn_ops: slots(&op.operands),
+            }
+        }
+        OpKind::Load => match (result0(), operand(0)) {
+            (Some(out), Some(mem)) => {
+                if op.operands.len() > 4 {
+                    bad(false, "load with more than 3 indices".to_string())
+                } else {
+                    DecodedOp::Load {
+                        out,
+                        mem,
+                        idx: slots(&op.operands[1..]),
+                    }
+                }
+            }
+            _ => missing(false, "load"),
+        },
+        OpKind::Store => match (operand(0), operand(1)) {
+            (Some(val), Some(mem)) => {
+                if op.operands.len() > 5 {
+                    bad(false, "store with more than 3 indices".to_string())
+                } else {
+                    DecodedOp::Store {
+                        val,
+                        mem,
+                        idx: slots(&op.operands[2..]),
+                    }
+                }
+            }
+            _ => missing(false, "store"),
+        },
+        OpKind::Dim { index } => match (result0(), operand(0)) {
+            (Some(out), Some(mem)) => DecodedOp::Dim {
+                out,
+                mem,
+                index: *index,
+            },
+            _ => missing(false, "dim"),
+        },
+        OpKind::For => match (operand(0), operand(1), operand(2), op.regions.first()) {
+            (Some(lb), Some(ub), Some(step), Some(&body)) => DecodedOp::For {
+                lb,
+                ub,
+                step,
+                iters: slots(&op.operands[3..]),
+                body,
+            },
+            _ => missing(false, "for"),
+        },
+        OpKind::While => match op.regions.first() {
+            Some(&cond) => DecodedOp::While {
+                inits: slots(&op.operands),
+                cond,
+            },
+            None => missing(false, "while"),
+        },
+        OpKind::If => match operand(0) {
+            Some(cond) => DecodedOp::If {
+                cond,
+                then_r: op.regions.first().copied(),
+                else_r: op.regions.get(1).copied(),
+            },
+            None => missing(true, "if"),
+        },
+        OpKind::Alternatives { selected } => DecodedOp::Alternatives {
+            region: op.regions.get(selected.unwrap_or(0)).copied(),
+        },
+        OpKind::Parallel { .. } => DecodedOp::Parallel,
+        OpKind::Barrier { .. } => DecodedOp::Barrier,
+        OpKind::Yield => DecodedOp::Yield {
+            vals: slots(&op.operands),
+        },
+        OpKind::Condition => match operand(0) {
+            Some(flag) => DecodedOp::Condition {
+                flag,
+                vals: slots(&op.operands[1..]),
+            },
+            None => missing(false, "condition"),
+        },
+        OpKind::Return => DecodedOp::Return,
+        OpKind::Call { callee } => DecodedOp::Call {
+            callee: callee.clone(),
+        },
+    }
+}

@@ -3,15 +3,28 @@
 //! One [`Interp`] executes one scope (host code, one block, or one thread) as
 //! an explicit machine over a frame stack, so execution can *suspend* at
 //! barriers and at parallel loops (which the launch orchestrator expands).
+//!
+//! The inner loop dispatches over a pre-decoded instruction stream
+//! ([`crate::decoded::DecodedProgram`]): operand/result slots, scalar types
+//! and region targets are resolved once per kernel, not re-derived per step.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use respec_ir::{
     BinOp, CmpPred, Function, MemSpace, OpId, OpKind, RegionId, ScalarType, UnOp, Value,
 };
 
+use crate::decoded::{slot_value, DecodedOp, DecodedProgram};
 use crate::memory::DeviceMemory;
 use crate::value::{MemVal, RtVal, Store};
+
+/// Counts every [`Interp`] construction (`new`/`with_program`), *not*
+/// restarts. Allocation-regression tests assert that the launch loop reuses
+/// interpreters across blocks instead of rebuilding them.
+#[doc(hidden)]
+pub static INTERP_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// Error produced by simulated execution.
 #[derive(Clone, Debug, PartialEq)]
@@ -111,7 +124,7 @@ impl ThreadCounters {
     }
 
     #[inline]
-    fn bump(&mut self, op: OpId) -> u32 {
+    pub(crate) fn bump(&mut self, op: OpId) -> u32 {
         let i = op.index();
         if self.issue[i] == 0 {
             self.touched.push(i as u32);
@@ -210,7 +223,7 @@ pub enum StepEvent {
 }
 
 #[derive(Clone, Copy, Debug)]
-enum FrameKind {
+pub(crate) enum FrameKind {
     Root,
     For {
         op: OpId,
@@ -231,10 +244,10 @@ enum FrameKind {
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Frame {
-    region: RegionId,
-    idx: usize,
-    kind: FrameKind,
+pub(crate) struct Frame {
+    pub(crate) region: RegionId,
+    pub(crate) idx: usize,
+    pub(crate) kind: FrameKind,
 }
 
 /// Execution context shared by the interpreters of one scope tree.
@@ -254,6 +267,7 @@ pub struct StepCx<'a> {
 #[derive(Clone, Debug)]
 pub struct Interp<'f> {
     func: &'f Function,
+    program: Arc<DecodedProgram>,
     frames: Vec<Frame>,
     /// Values defined by this scope.
     pub store: Store,
@@ -286,7 +300,7 @@ pub(crate) fn want_mem(v: RtVal) -> Result<MemVal, SimError> {
 /// Value lookup through the scope chain (free function so callers can hold
 /// disjoint field borrows of `Interp`).
 #[inline]
-fn get_from(store: &Store, parents: &[&Store], v: Value) -> Result<RtVal, SimError> {
+pub(crate) fn get_from(store: &Store, parents: &[&Store], v: Value) -> Result<RtVal, SimError> {
     if let Some(val) = store.get(v) {
         return Ok(val);
     }
@@ -299,11 +313,24 @@ fn get_from(store: &Store, parents: &[&Store], v: Value) -> Result<RtVal, SimErr
 }
 
 impl<'f> Interp<'f> {
-    /// Creates an interpreter for `region` of `func`. Region arguments must
-    /// be bound into [`Interp::store`] by the caller before stepping.
+    /// Creates an interpreter for `region` of `func`, decoding the function.
+    /// Region arguments must be bound into [`Interp::store`] by the caller
+    /// before stepping. Callers that drive many interpreters over one
+    /// function should decode once and share via [`Interp::with_program`].
     pub fn new(func: &'f Function, region: RegionId) -> Interp<'f> {
+        Interp::with_program(func, Arc::new(DecodedProgram::decode(func)), region)
+    }
+
+    /// Creates an interpreter over an already-decoded program.
+    pub(crate) fn with_program(
+        func: &'f Function,
+        program: Arc<DecodedProgram>,
+        region: RegionId,
+    ) -> Interp<'f> {
+        INTERP_BUILDS.fetch_add(1, Ordering::Relaxed);
         Interp {
             func,
+            program,
             frames: vec![Frame {
                 region,
                 idx: 0,
@@ -328,6 +355,16 @@ impl<'f> Interp<'f> {
         self.done = false;
     }
 
+    /// Restarts the interpreter mid-execution at an arbitrary frame stack
+    /// (warp divergence despool). Local bindings are cleared; the caller
+    /// rebinds the lane's live values into [`Interp::store`].
+    pub(crate) fn adopt_frames(&mut self, frames: &[Frame]) {
+        self.frames.clear();
+        self.frames.extend_from_slice(frames);
+        self.store.reset();
+        self.done = false;
+    }
+
     /// Returns `true` once the scope has finished.
     pub fn is_done(&self) -> bool {
         self.done
@@ -338,19 +375,18 @@ impl<'f> Interp<'f> {
         get_from(&self.store, cx.parents, v)
     }
 
-    fn scalar_ty(&self, v: Value) -> Result<ScalarType, SimError> {
-        self.func
-            .value_type(v)
-            .as_scalar()
-            .ok_or_else(|| SimError::new(format!("expected a scalar-typed value, got {v:?}")))
+    #[inline]
+    fn get_slot(&self, cx: &StepCx<'_>, s: u32) -> Result<RtVal, SimError> {
+        self.get(cx, slot_value(s))
     }
 
     /// Runs until the scope finishes, treating barriers and nested parallels
     /// as errors — the mode for host-level and block-level straight-line
     /// code outside parallel loops.
     pub fn run_serial(&mut self, cx: &mut StepCx<'_>) -> Result<(), SimError> {
+        let program = Arc::clone(&self.program);
         loop {
-            match self.step(cx)? {
+            match self.step_in(&program, cx)? {
                 StepEvent::Ran => {}
                 StepEvent::Done => return Ok(()),
                 StepEvent::Barrier => return Err(SimError::new("barrier outside thread scope")),
@@ -363,8 +399,9 @@ impl<'f> Interp<'f> {
 
     /// Runs until a barrier, a nested parallel, or completion.
     pub fn run_phase(&mut self, cx: &mut StepCx<'_>) -> Result<StepEvent, SimError> {
+        let program = Arc::clone(&self.program);
         loop {
-            match self.step(cx)? {
+            match self.step_in(&program, cx)? {
                 StepEvent::Ran => {}
                 other => return Ok(other),
             }
@@ -373,6 +410,15 @@ impl<'f> Interp<'f> {
 
     /// Executes one operation.
     pub fn step(&mut self, cx: &mut StepCx<'_>) -> Result<StepEvent, SimError> {
+        let program = Arc::clone(&self.program);
+        self.step_in(&program, cx)
+    }
+
+    fn step_in(
+        &mut self,
+        program: &DecodedProgram,
+        cx: &mut StepCx<'_>,
+    ) -> Result<StepEvent, SimError> {
         if self.done {
             return Ok(StepEvent::Done);
         }
@@ -381,13 +427,13 @@ impl<'f> Interp<'f> {
         let ops = &func.region(frame.region).ops;
         debug_assert!(frame.idx < ops.len(), "regions are terminator-closed");
         let op_id = ops[frame.idx];
-        let op = func.op(op_id);
+        let decoded = &program.steps[op_id.index()];
 
-        match &op.kind {
-            OpKind::Yield => {
+        match decoded {
+            DecodedOp::Yield { vals } => {
                 self.scratch.clear();
-                for &v in &op.operands {
-                    let val = get_from(&self.store, cx.parents, v)?;
+                for &s in vals.iter() {
+                    let val = get_from(&self.store, cx.parents, slot_value(s))?;
                     self.scratch.push(val);
                 }
                 let fr = self.frames.pop().expect("frame stack non-empty");
@@ -458,11 +504,11 @@ impl<'f> Interp<'f> {
                 }
                 return Ok(StepEvent::Ran);
             }
-            OpKind::Condition => {
-                let flag = want_int(self.get(cx, op.operands[0])?)? != 0;
+            DecodedOp::Condition { flag, vals } => {
+                let flag = want_int(self.get_slot(cx, *flag)?)? != 0;
                 self.scratch.clear();
-                for &v in &op.operands[1..] {
-                    let val = get_from(&self.store, cx.parents, v)?;
+                for &s in vals.iter() {
+                    let val = get_from(&self.store, cx.parents, slot_value(s))?;
                     self.scratch.push(val);
                 }
                 let fr = self.frames.pop().expect("frame stack non-empty");
@@ -474,7 +520,11 @@ impl<'f> Interp<'f> {
                     c.bump(op_id);
                 }
                 if flag {
-                    let body = func.op(while_op).regions[1];
+                    let body = *func
+                        .op(while_op)
+                        .regions
+                        .get(1)
+                        .ok_or_else(|| SimError::new("while without a body region"))?;
                     let args = &func.region(body).args;
                     for (a, v) in args.iter().zip(&self.scratch) {
                         self.store.set(*a, *v);
@@ -492,7 +542,7 @@ impl<'f> Interp<'f> {
                 }
                 return Ok(StepEvent::Ran);
             }
-            OpKind::Return => {
+            DecodedOp::Return => {
                 self.done = true;
                 return Ok(StepEvent::Done);
             }
@@ -503,35 +553,40 @@ impl<'f> Interp<'f> {
         // resumes *after* the op.
         self.frames.last_mut().expect("frame stack non-empty").idx += 1;
 
-        match &op.kind {
-            OpKind::Barrier { .. } => {
+        match decoded {
+            DecodedOp::Barrier => {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
                 Ok(StepEvent::Barrier)
             }
-            OpKind::Parallel { .. } => Ok(StepEvent::Launch(op_id)),
-            OpKind::For => {
-                let lb = want_int(self.get(cx, op.operands[0])?)?;
-                let ub = want_int(self.get(cx, op.operands[1])?)?;
-                let step = want_int(self.get(cx, op.operands[2])?)?;
+            DecodedOp::Parallel => Ok(StepEvent::Launch(op_id)),
+            DecodedOp::For {
+                lb,
+                ub,
+                step,
+                iters,
+                body,
+            } => {
+                let lb = want_int(self.get_slot(cx, *lb)?)?;
+                let ub = want_int(self.get_slot(cx, *ub)?)?;
+                let step = want_int(self.get_slot(cx, *step)?)?;
                 if step <= 0 {
                     return Err(SimError::new("for loop step must be positive"));
                 }
                 self.scratch.clear();
-                for &v in &op.operands[3..] {
-                    let val = get_from(&self.store, cx.parents, v)?;
+                for &s in iters.iter() {
+                    let val = get_from(&self.store, cx.parents, slot_value(s))?;
                     self.scratch.push(val);
                 }
-                let body = op.regions[0];
                 if lb < ub {
-                    let args = &func.region(body).args;
+                    let args = &func.region(*body).args;
                     self.store.set(args[0], RtVal::Int(lb));
                     for (a, v) in args[1..].iter().zip(&self.scratch) {
                         self.store.set(*a, *v);
                     }
                     self.frames.push(Frame {
-                        region: body,
+                        region: *body,
                         idx: 0,
                         kind: FrameKind::For {
                             op: op_id,
@@ -548,32 +603,33 @@ impl<'f> Interp<'f> {
                 }
                 Ok(StepEvent::Ran)
             }
-            OpKind::While => {
+            DecodedOp::While { inits, cond } => {
                 self.scratch.clear();
-                for &v in &op.operands {
-                    let val = get_from(&self.store, cx.parents, v)?;
+                for &s in inits.iter() {
+                    let val = get_from(&self.store, cx.parents, slot_value(s))?;
                     self.scratch.push(val);
                 }
-                let cond_region = op.regions[0];
-                let args = &func.region(cond_region).args;
+                let args = &func.region(*cond).args;
                 for (a, v) in args.iter().zip(&self.scratch) {
                     self.store.set(*a, *v);
                 }
                 self.frames.push(Frame {
-                    region: cond_region,
+                    region: *cond,
                     idx: 0,
                     kind: FrameKind::WhileCond { op: op_id },
                 });
                 Ok(StepEvent::Ran)
             }
-            OpKind::If => {
+            DecodedOp::If {
+                cond,
+                then_r,
+                else_r,
+            } => {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let cond = want_int(self.get(cx, op.operands[0])?)? != 0;
-                let region = *op
-                    .regions
-                    .get(if cond { 0 } else { 1 })
+                let taken = want_int(self.get_slot(cx, *cond)?)? != 0;
+                let region = if taken { *then_r } else { *else_r }
                     .ok_or_else(|| SimError::new("`if` without both arm regions"))?;
                 self.frames.push(Frame {
                     region,
@@ -582,8 +638,8 @@ impl<'f> Interp<'f> {
                 });
                 Ok(StepEvent::Ran)
             }
-            OpKind::Alternatives { selected } => {
-                let region = *op.regions.get(selected.unwrap_or(0)).ok_or_else(|| {
+            DecodedOp::Alternatives { region } => {
+                let region = region.ok_or_else(|| {
                     SimError::new("`alternatives` selects a region it does not have")
                 })?;
                 self.frames.push(Frame {
@@ -593,111 +649,90 @@ impl<'f> Interp<'f> {
                 });
                 Ok(StepEvent::Ran)
             }
-            OpKind::Call { callee } => Err(SimError::new(format!(
+            DecodedOp::Call { callee } => Err(SimError::new(format!(
                 "call to @{callee}: the simulator requires fully inlined kernels"
             ))),
             _ => {
-                self.exec_simple(cx, op_id)?;
+                self.exec_simple(cx, decoded, op_id)?;
                 Ok(StepEvent::Ran)
             }
         }
     }
 
-    fn exec_simple(&mut self, cx: &mut StepCx<'_>, op_id: OpId) -> Result<(), SimError> {
-        // Borrow through a copied `&Function` so `self.store` stays mutable
-        // without cloning the operation on the hot path.
-        let func = self.func;
-        let op = func.op(op_id);
-        match &op.kind {
-            OpKind::ConstInt { value, .. } => {
-                self.store.set(op.results[0], RtVal::Int(*value));
+    fn exec_simple(
+        &mut self,
+        cx: &mut StepCx<'_>,
+        decoded: &DecodedOp,
+        op_id: OpId,
+    ) -> Result<(), SimError> {
+        match decoded {
+            DecodedOp::ConstInt { out, value } => {
+                self.store.set(slot_value(*out), RtVal::Int(*value));
             }
-            OpKind::ConstFloat { value, ty } => {
-                let v = if *ty == ScalarType::F32 {
-                    *value as f32 as f64
-                } else {
-                    *value
-                };
-                self.store.set(op.results[0], RtVal::Float(v));
+            DecodedOp::ConstFloat { out, value } => {
+                self.store.set(slot_value(*out), RtVal::Float(*value));
             }
-            OpKind::Binary(b) => {
+            DecodedOp::Binary { out, l, r, op, ty } => {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let ty = self.scalar_ty(op.results[0])?;
-                let l = self.get(cx, op.operands[0])?;
-                let r = self.get(cx, op.operands[1])?;
-                let result = eval_binary(*b, ty, l, r)?;
-                self.store.set(op.results[0], result);
+                let l = self.get_slot(cx, *l)?;
+                let r = self.get_slot(cx, *r)?;
+                let result = eval_binary(*op, *ty, l, r)?;
+                self.store.set(slot_value(*out), result);
             }
-            OpKind::Unary(u) => {
+            DecodedOp::Unary { out, v, op, ty } => {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let ty = self.scalar_ty(op.results[0])?;
-                let v = self.get(cx, op.operands[0])?;
-                let result = eval_unary(*u, ty, v)?;
-                self.store.set(op.results[0], result);
+                let v = self.get_slot(cx, *v)?;
+                let result = eval_unary(*op, *ty, v)?;
+                self.store.set(slot_value(*out), result);
             }
-            OpKind::Cmp(p) => {
+            DecodedOp::Cmp {
+                out,
+                l,
+                r,
+                pred,
+                float,
+            } => {
                 if let Some(c) = cx.counters.as_deref_mut() {
                     c.bump(op_id);
                 }
-                let ty = self.scalar_ty(op.operands[0])?;
-                let l = self.get(cx, op.operands[0])?;
-                let r = self.get(cx, op.operands[1])?;
-                let flag = if ty.is_float() {
-                    let (a, b) = (want_float(l)?, want_float(r)?);
-                    match p {
-                        CmpPred::Eq => a == b,
-                        CmpPred::Ne => a != b,
-                        CmpPred::Lt => a < b,
-                        CmpPred::Le => a <= b,
-                        CmpPred::Gt => a > b,
-                        CmpPred::Ge => a >= b,
-                    }
-                } else {
-                    let (a, b) = (want_int(l)?, want_int(r)?);
-                    match p {
-                        CmpPred::Eq => a == b,
-                        CmpPred::Ne => a != b,
-                        CmpPred::Lt => a < b,
-                        CmpPred::Le => a <= b,
-                        CmpPred::Gt => a > b,
-                        CmpPred::Ge => a >= b,
-                    }
-                };
-                self.store.set(op.results[0], RtVal::Int(flag as i64));
+                let l = self.get_slot(cx, *l)?;
+                let r = self.get_slot(cx, *r)?;
+                let flag = eval_cmp(*pred, *float, l, r)?;
+                self.store.set(slot_value(*out), RtVal::Int(flag as i64));
             }
-            OpKind::Select => {
-                if let Some(c) = cx.counters.as_deref_mut() {
-                    c.bump(op_id);
+            DecodedOp::Select { out, c, t, f } => {
+                if let Some(cnt) = cx.counters.as_deref_mut() {
+                    cnt.bump(op_id);
                 }
-                let flag = want_int(self.get(cx, op.operands[0])?)? != 0;
-                let v = self.get(cx, op.operands[if flag { 1 } else { 2 }])?;
-                self.store.set(op.results[0], v);
+                let flag = want_int(self.get_slot(cx, *c)?)? != 0;
+                let v = self.get_slot(cx, if flag { *t } else { *f })?;
+                self.store.set(slot_value(*out), v);
             }
-            OpKind::Cast { to } => {
-                let from = self.scalar_ty(op.operands[0])?;
-                let v = self.get(cx, op.operands[0])?;
-                let out = cast_value(v, from, *to)?;
-                self.store.set(op.results[0], out);
+            DecodedOp::Cast { out, v, from, to } => {
+                let v = self.get_slot(cx, *v)?;
+                let result = cast_value(v, *from, *to)?;
+                self.store.set(slot_value(*out), result);
             }
-            OpKind::Alloc { space } => {
-                let mem_ty = self
-                    .func
-                    .value_type(op.results[0])
-                    .as_memref()
-                    .ok_or_else(|| SimError::new("alloc result is not memref-typed"))?
-                    .clone();
+            DecodedOp::Alloc {
+                out,
+                elem,
+                space,
+                rank,
+                shape,
+                dyn_ops,
+            } => {
                 let mut dims = [1i64; 3];
-                let mut operand_iter = op.operands.iter();
-                for (d, &extent) in mem_ty.shape.iter().enumerate() {
+                let mut operand_iter = dyn_ops.iter();
+                for (d, &extent) in shape.iter().enumerate() {
                     dims[d] = if extent < 0 {
-                        let v = *operand_iter
+                        let s = *operand_iter
                             .next()
                             .ok_or_else(|| SimError::new("alloc missing a dynamic dim operand"))?;
-                        want_int(self.get(cx, v)?)?
+                        want_int(self.get_slot(cx, s)?)?
                     } else {
                         extent
                     };
@@ -705,25 +740,25 @@ impl<'f> Interp<'f> {
                         return Err(SimError::new("negative allocation extent"));
                     }
                 }
-                let total: i64 = dims.iter().take(mem_ty.rank().max(1)).product();
-                let buf = cx.mem.alloc(mem_ty.elem, total.max(0) as usize);
+                let total: i64 = dims.iter().take((*rank).max(1)).product();
+                let buf = cx.mem.alloc(*elem, total.max(0) as usize);
                 if let Some(rec) = cx.record_allocs.as_deref_mut() {
                     rec.push(buf);
                 }
                 self.store.set(
-                    op.results[0],
-                    RtVal::Mem(MemVal::new(buf, mem_ty.rank() as u8, dims, *space)),
+                    slot_value(*out),
+                    RtVal::Mem(MemVal::new(buf, *rank as u8, dims, *space)),
                 );
             }
-            OpKind::Load => {
-                let mem = want_mem(self.get(cx, op.operands[0])?)?;
-                let mut idx = [0i64; 3];
-                for (d, &v) in op.operands[1..].iter().enumerate() {
-                    idx[d] = want_int(self.get(cx, v)?)?;
+            DecodedOp::Load { out, mem, idx } => {
+                let mem = want_mem(self.get_slot(cx, *mem)?)?;
+                let mut index = [0i64; 3];
+                for (d, &s) in idx.iter().enumerate() {
+                    index[d] = want_int(self.get_slot(cx, s)?)?;
                 }
-                let flat = mem.flatten(&idx[..mem.rank as usize]).ok_or_else(|| {
+                let flat = mem.flatten(&index[..mem.rank as usize]).ok_or_else(|| {
                     SimError::new(format!(
-                        "out-of-bounds load at {op_id:?}: index {idx:?} in {:?}",
+                        "out-of-bounds load at {op_id:?}: index {index:?} in {:?}",
                         mem
                     ))
                 })?;
@@ -737,7 +772,7 @@ impl<'f> Interp<'f> {
                 } else {
                     RtVal::Int(i)
                 };
-                self.store.set(op.results[0], v);
+                self.store.set(slot_value(*out), v);
                 if let Some(c) = cx.counters.as_deref_mut() {
                     let occ = c.bump(op_id);
                     c.events.push(MemEvent {
@@ -750,16 +785,16 @@ impl<'f> Interp<'f> {
                     });
                 }
             }
-            OpKind::Store => {
-                let val = self.get(cx, op.operands[0])?;
-                let mem = want_mem(self.get(cx, op.operands[1])?)?;
-                let mut idx = [0i64; 3];
-                for (d, &v) in op.operands[2..].iter().enumerate() {
-                    idx[d] = want_int(self.get(cx, v)?)?;
+            DecodedOp::Store { val, mem, idx } => {
+                let val = self.get_slot(cx, *val)?;
+                let mem = want_mem(self.get_slot(cx, *mem)?)?;
+                let mut index = [0i64; 3];
+                for (d, &s) in idx.iter().enumerate() {
+                    index[d] = want_int(self.get_slot(cx, s)?)?;
                 }
-                let flat = mem.flatten(&idx[..mem.rank as usize]).ok_or_else(|| {
+                let flat = mem.flatten(&index[..mem.rank as usize]).ok_or_else(|| {
                     SimError::new(format!(
-                        "out-of-bounds store at {op_id:?}: index {idx:?} in {:?}",
+                        "out-of-bounds store at {op_id:?}: index {index:?} in {:?}",
                         mem
                     ))
                 })?;
@@ -784,9 +819,18 @@ impl<'f> Interp<'f> {
                     });
                 }
             }
-            OpKind::Dim { index } => {
-                let mem = want_mem(self.get(cx, op.operands[0])?)?;
-                self.store.set(op.results[0], RtVal::Int(mem.dim(*index)));
+            DecodedOp::Dim { out, mem, index } => {
+                let mem = want_mem(self.get_slot(cx, *mem)?)?;
+                self.store
+                    .set(slot_value(*out), RtVal::Int(mem.dim(*index)));
+            }
+            DecodedOp::Invalid { bump, msg } => {
+                if *bump {
+                    if let Some(c) = cx.counters.as_deref_mut() {
+                        c.bump(op_id);
+                    }
+                }
+                return Err(SimError::new(msg.clone()));
             }
             other => return Err(SimError::new(format!("unhandled op kind {other:?}"))),
         }
@@ -794,7 +838,31 @@ impl<'f> Interp<'f> {
     }
 }
 
-fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, SimError> {
+pub(crate) fn eval_cmp(pred: CmpPred, float: bool, l: RtVal, r: RtVal) -> Result<bool, SimError> {
+    Ok(if float {
+        let (a, b) = (want_float(l)?, want_float(r)?);
+        match pred {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    } else {
+        let (a, b) = (want_int(l)?, want_int(r)?);
+        match pred {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    })
+}
+
+pub(crate) fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, SimError> {
     if ty.is_float() {
         let (a, c) = (want_float(l)?, want_float(r)?);
         let wide = match b {
@@ -845,7 +913,7 @@ fn eval_binary(b: BinOp, ty: ScalarType, l: RtVal, r: RtVal) -> Result<RtVal, Si
     }
 }
 
-fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
+pub(crate) fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
     if ty.is_float() {
         let a = want_float(v)?;
         let wide = match u {
@@ -886,7 +954,7 @@ fn eval_unary(u: UnOp, ty: ScalarType, v: RtVal) -> Result<RtVal, SimError> {
     }
 }
 
-fn truncate_int(v: i64, ty: ScalarType) -> i64 {
+pub(crate) fn truncate_int(v: i64, ty: ScalarType) -> i64 {
     match ty {
         ScalarType::I1 => v & 1,
         ScalarType::I32 => v as i32 as i64,
@@ -894,7 +962,7 @@ fn truncate_int(v: i64, ty: ScalarType) -> i64 {
     }
 }
 
-fn cast_value(v: RtVal, from: ScalarType, to: ScalarType) -> Result<RtVal, SimError> {
+pub(crate) fn cast_value(v: RtVal, from: ScalarType, to: ScalarType) -> Result<RtVal, SimError> {
     Ok(match (from.is_float(), to.is_float()) {
         (true, true) => {
             let f = want_float(v)?;

@@ -2,11 +2,13 @@
 //! lock-step execution around barriers, and statistics collection.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
 
 use respec_ir::{diag, Diagnostic, Function, MemSpace, OpId, Value};
 use respec_trace::Trace;
 
 use crate::cache::Cache;
+use crate::decoded::DecodedProgram;
 use crate::fault::{self, FaultKind, FaultPlan, FaultSite};
 use crate::interp::{want_int, Interp, SimError, StepCx, StepEvent, ThreadCounters};
 use crate::memory::{BufferId, DeviceMemory};
@@ -15,6 +17,7 @@ use crate::stats::{ExecStats, WarpMerger};
 use crate::target::TargetDesc;
 use crate::timing::{estimate, Timing, LAUNCH_OVERHEAD_S};
 use crate::value::{MemVal, RtVal, Store};
+use crate::warp::{WarpCx, WarpInterp, WarpPhase};
 
 /// A host-side kernel argument.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,6 +79,35 @@ impl LaunchOptions {
 impl Default for LaunchOptions {
     fn default() -> LaunchOptions {
         LaunchOptions::new(32)
+    }
+}
+
+/// How the launcher executes the threads of a warp.
+///
+/// Both modes are bit-identical in simulated results, statistics and timing
+/// estimates for any kernel that completes; the vectorized mode exists to
+/// make simulation — and therefore autotuning throughput — faster, with the
+/// scalar mode kept as the reference for differential testing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One scalar interpreter per thread (the reference mode).
+    Scalar,
+    /// One lock-step machine per warp while control flow is uniform,
+    /// despooling each lane into a scalar interpreter on divergence (the
+    /// default).
+    WarpVectorized,
+}
+
+impl ExecMode {
+    /// Reads `RESPEC_SIM_EXEC` once per process: `scalar` selects
+    /// [`ExecMode::Scalar`]; `warp`, an unset variable, or any other value
+    /// (leniently) selects the default [`ExecMode::WarpVectorized`].
+    fn from_env() -> ExecMode {
+        static MODE: OnceLock<ExecMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("RESPEC_SIM_EXEC") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => ExecMode::Scalar,
+            _ => ExecMode::WarpVectorized,
+        })
     }
 }
 
@@ -162,6 +194,7 @@ pub struct GpuSim {
     races: Vec<RaceRecord>,
     fault_plan: FaultPlan,
     launch_seq: u32,
+    exec_mode: ExecMode,
 }
 
 /// One entry of [`GpuSim::launch_log`].
@@ -195,7 +228,21 @@ impl GpuSim {
             races: Vec::new(),
             fault_plan: FaultPlan::disabled(),
             launch_seq: 0,
+            exec_mode: ExecMode::from_env(),
         }
+    }
+
+    /// Selects scalar or warp-vectorized thread execution for subsequent
+    /// launches. Both modes are bit-identical in results, statistics and
+    /// timing. Defaults to [`ExecMode::WarpVectorized`]; the process-wide
+    /// default can be overridden with `RESPEC_SIM_EXEC=scalar`.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The currently selected execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Installs a fault-injection plan for subsequent launches (including
@@ -351,7 +398,10 @@ impl GpuSim {
                 args.len()
             )));
         }
-        let mut host = Interp::new(func, func.body());
+        // Decode the kernel once; every interpreter of this launch — host,
+        // block, per-thread scalar and per-warp vectorized — shares it.
+        let program = Arc::new(DecodedProgram::decode(func));
+        let mut host = Interp::with_program(func, Arc::clone(&program), func.body());
         for (d, p) in params[..3].iter().enumerate() {
             host.store.set(*p, RtVal::Int(grid[d]));
         }
@@ -368,6 +418,20 @@ impl GpuSim {
             };
             host.store.set(*p, v);
         }
+
+        // Interpreter scratch shared across every segment, block and thread
+        // of this launch: pools are allocated once and restarted, never
+        // rebuilt per block.
+        let mut scratch = LaunchScratch {
+            threads: ThreadScratch {
+                pool: Vec::new(),
+                counter_pool: Vec::new(),
+                warp_pool: Vec::new(),
+                merger: WarpMerger::new(func),
+                program: Arc::clone(&program),
+            },
+            block_interp: Interp::with_program(func, program, func.body()),
+        };
 
         let mut stats = ExecStats::default();
         let mut dominant: Option<(Timing, Occupancy, u64)> = None;
@@ -392,6 +456,7 @@ impl GpuSim {
                         &host.store,
                         regs_per_thread,
                         &mut sanitizer,
+                        &mut scratch,
                     )?;
                     stats.accumulate(&seg.stats);
                     total_blocks += seg.blocks;
@@ -503,13 +568,14 @@ impl GpuSim {
         })
     }
 
-    fn run_block_parallel(
+    fn run_block_parallel<'f>(
         &mut self,
-        func: &Function,
+        func: &'f Function,
         par_op: OpId,
         host_store: &Store,
         regs_per_thread: u32,
         sanitizer: &mut Option<Sanitizer>,
+        scratch: &mut LaunchScratch<'f>,
     ) -> Result<Segment, SimError> {
         let op = func.op(par_op).clone();
         let block_region = op.regions[0];
@@ -528,12 +594,6 @@ impl GpuSim {
             ..ExecStats::default()
         };
 
-        // Pools reused across blocks (allocated lazily at first thread loop).
-        let mut pool: Vec<Interp<'_>> = Vec::new();
-        let mut counter_pool: Vec<ThreadCounters> = Vec::new();
-        let mut merger = WarpMerger::new(func);
-
-        let mut block_interp = Interp::new(func, block_region);
         let block_args = func.region(block_region).args.clone();
 
         let mut shared_bytes_seen = 0u64;
@@ -548,10 +608,10 @@ impl GpuSim {
                     }
                     let sm_id = (linear % self.target.sm_count as u64) as usize;
                     let mark = self.mem.mark();
-                    block_interp.restart(block_region);
+                    scratch.block_interp.restart(block_region);
                     let ivs = [bx, by, bz];
                     for (d, a) in block_args.iter().enumerate() {
-                        block_interp.store.set(*a, RtVal::Int(ivs[d]));
+                        scratch.block_interp.store.set(*a, RtVal::Int(ivs[d]));
                     }
                     let mut shared_allocs: Vec<BufferId> = Vec::new();
                     loop {
@@ -562,7 +622,7 @@ impl GpuSim {
                                 counters: None,
                                 record_allocs: Some(&mut shared_allocs),
                             };
-                            block_interp.run_phase(&mut cx)?
+                            scratch.block_interp.run_phase(&mut cx)?
                         };
                         match ev {
                             StepEvent::Done => break,
@@ -576,11 +636,9 @@ impl GpuSim {
                                     func,
                                     thread_op,
                                     host_store,
-                                    &block_interp.store,
+                                    &scratch.block_interp.store,
                                     sm_id,
-                                    &mut pool,
-                                    &mut counter_pool,
-                                    &mut merger,
+                                    &mut scratch.threads,
                                     &mut stats,
                                     sanitizer,
                                 )?;
@@ -628,9 +686,7 @@ impl GpuSim {
         host_store: &Store,
         block_store: &Store,
         sm_id: usize,
-        pool: &mut Vec<Interp<'f>>,
-        counter_pool: &mut Vec<ThreadCounters>,
-        merger: &mut WarpMerger,
+        scratch: &mut ThreadScratch<'f>,
         stats: &mut ExecStats,
         sanitizer: &mut Option<Sanitizer>,
     ) -> Result<u32, SimError> {
@@ -646,25 +702,68 @@ impl GpuSim {
             }
         }
         let threads: usize = extents.iter().take(rank.max(1)).product::<i64>() as usize;
-        while pool.len() < threads {
-            pool.push(Interp::new(func, region));
-            counter_pool.push(ThreadCounters::new(func.num_ops()));
-        }
-
-        // Initialize every thread (x fastest, matching CUDA linearization).
-        for (t, interp) in pool.iter_mut().enumerate().take(threads) {
-            let tx = t as i64 % extents[0];
-            let ty = (t as i64 / extents[0]) % extents[1];
-            let tz = t as i64 / (extents[0] * extents[1]);
-            interp.restart(region);
-            let ivs = [tx, ty, tz];
-            for (d, a) in args.iter().enumerate() {
-                interp.store.set(*a, RtVal::Int(ivs[d]));
-            }
+        while scratch.counter_pool.len() < threads {
+            scratch
+                .counter_pool
+                .push(ThreadCounters::new(func.num_ops()));
         }
 
         let warp_size = self.target.warp_size as usize;
         let warps = threads.div_ceil(warp_size);
+
+        // Regions that allocate must run per-lane from the start so buffer
+        // ids are handed out in scalar order; everything else starts in
+        // lock-step and despools only on observed divergence.
+        let vectorize = self.exec_mode == ExecMode::WarpVectorized
+            && !scratch.program.region_has_alloc[region.index()];
+
+        // Linear thread id -> (tx, ty, tz), x fastest (CUDA linearization).
+        let ivs_of = |t: usize| {
+            [
+                t as i64 % extents[0],
+                (t as i64 / extents[0]) % extents[1],
+                t as i64 / (extents[0] * extents[1]),
+            ]
+        };
+
+        if vectorize {
+            while scratch.warp_pool.len() < warps {
+                scratch.warp_pool.push(WarpInterp::new(
+                    func,
+                    Arc::clone(&scratch.program),
+                    warp_size,
+                ));
+            }
+            for w in 0..warps {
+                let lo = w * warp_size;
+                let lanes = ((w + 1) * warp_size).min(threads) - lo;
+                let wi = &mut scratch.warp_pool[w];
+                wi.restart(region, lanes);
+                for (d, a) in args.iter().enumerate() {
+                    wi.set_with(*a, |lane| RtVal::Int(ivs_of(lo + lane)[d]));
+                }
+            }
+        } else {
+            while scratch.pool.len() < threads {
+                scratch.pool.push(Interp::with_program(
+                    func,
+                    Arc::clone(&scratch.program),
+                    region,
+                ));
+            }
+            // Initialize every thread.
+            for (t, interp) in scratch.pool.iter_mut().enumerate().take(threads) {
+                interp.restart(region);
+                let ivs = ivs_of(t);
+                for (d, a) in args.iter().enumerate() {
+                    interp.store.set(*a, RtVal::Int(ivs[d]));
+                }
+            }
+        }
+        // Warps that have despooled to per-lane scalar execution (vectorized
+        // runs only; divergence is permanent for the rest of the launch).
+        let mut despooled = vec![!vectorize; warps];
+
         // Phase loop: run every thread to its next barrier (or completion),
         // merge warp statistics, repeat until all threads are done.
         loop {
@@ -676,41 +775,110 @@ impl GpuSim {
             if let Some(s) = sanitizer.as_mut() {
                 s.new_interval();
             }
-            for w in 0..warps {
+            for (w, despooled_w) in despooled.iter_mut().enumerate() {
                 let lo = w * warp_size;
                 let hi = ((w + 1) * warp_size).min(threads);
-                for t in lo..hi {
-                    if pool[t].is_done() {
-                        continue;
-                    }
-                    counter_pool[t].reset();
-                    let ev = {
-                        let mut cx = StepCx {
-                            mem: &mut self.mem,
-                            parents: &[block_store, host_store],
-                            counters: Some(&mut counter_pool[t]),
-                            record_allocs: None,
-                        };
-                        pool[t].run_phase(&mut cx)?
-                    };
-                    any_progress = true;
-                    if let Some(s) = sanitizer.as_mut() {
-                        s.observe(t as u32, &counter_pool[t].events);
-                    }
-                    match ev {
-                        StepEvent::Done => {}
-                        StepEvent::Barrier => all_done = false,
-                        StepEvent::Launch(_) => {
-                            return Err(SimError::new(
-                                "parallel loop nested inside the thread level",
-                            ))
+                if !*despooled_w {
+                    let done = scratch.warp_pool[w].is_done();
+                    if !done {
+                        for t in lo..hi {
+                            scratch.counter_pool[t].reset();
                         }
-                        StepEvent::Ran => unreachable!("run_phase filters Ran"),
+                        let phase = {
+                            let mut cx = WarpCx {
+                                mem: &mut self.mem,
+                                parents: &[block_store, host_store],
+                                counters: &mut scratch.counter_pool[lo..hi],
+                            };
+                            scratch.warp_pool[w].run_phase(&mut cx)?
+                        };
+                        any_progress = true;
+                        match phase {
+                            WarpPhase::Done => {}
+                            WarpPhase::Barrier => all_done = false,
+                            WarpPhase::Diverged => {
+                                // Despool every lane into a scalar machine —
+                                // the program counter sits *at* the divergent
+                                // op — and finish the phase per lane without
+                                // resetting the partial counters.
+                                while scratch.pool.len() < hi {
+                                    scratch.pool.push(Interp::with_program(
+                                        func,
+                                        Arc::clone(&scratch.program),
+                                        region,
+                                    ));
+                                }
+                                for lane in 0..(hi - lo) {
+                                    scratch.warp_pool[w]
+                                        .despool_into(lane, &mut scratch.pool[lo + lane]);
+                                }
+                                *despooled_w = true;
+                                for t in lo..hi {
+                                    let ev = {
+                                        let mut cx = StepCx {
+                                            mem: &mut self.mem,
+                                            parents: &[block_store, host_store],
+                                            counters: Some(&mut scratch.counter_pool[t]),
+                                            record_allocs: None,
+                                        };
+                                        scratch.pool[t].run_phase(&mut cx)?
+                                    };
+                                    match ev {
+                                        StepEvent::Done => {}
+                                        StepEvent::Barrier => all_done = false,
+                                        StepEvent::Launch(_) => {
+                                            return Err(SimError::new(
+                                                "parallel loop nested inside the thread level",
+                                            ))
+                                        }
+                                        StepEvent::Ran => unreachable!("run_phase filters Ran"),
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(s) = sanitizer.as_mut() {
+                            for t in lo..hi {
+                                s.observe(t as u32, &scratch.counter_pool[t].events);
+                            }
+                        }
+                    }
+                } else {
+                    for t in lo..hi {
+                        if scratch.pool[t].is_done() {
+                            continue;
+                        }
+                        scratch.counter_pool[t].reset();
+                        let ev = {
+                            let mut cx = StepCx {
+                                mem: &mut self.mem,
+                                parents: &[block_store, host_store],
+                                counters: Some(&mut scratch.counter_pool[t]),
+                                record_allocs: None,
+                            };
+                            scratch.pool[t].run_phase(&mut cx)?
+                        };
+                        any_progress = true;
+                        if let Some(s) = sanitizer.as_mut() {
+                            s.observe(t as u32, &scratch.counter_pool[t].events);
+                        }
+                        match ev {
+                            StepEvent::Done => {}
+                            StepEvent::Barrier => all_done = false,
+                            StepEvent::Launch(_) => {
+                                return Err(SimError::new(
+                                    "parallel loop nested inside the thread level",
+                                ))
+                            }
+                            StepEvent::Ran => unreachable!("run_phase filters Ran"),
+                        }
                     }
                 }
-                // Merge this warp's phase.
-                let counters: Vec<&ThreadCounters> = (lo..hi).map(|t| &counter_pool[t]).collect();
-                merger.merge_warp_phase(
+                // Merge this warp's phase (unconditionally, exactly like the
+                // per-thread reference loop, which also re-merges the stale
+                // final-phase counters of warps that finished early).
+                let counters: Vec<&ThreadCounters> =
+                    (lo..hi).map(|t| &scratch.counter_pool[t]).collect();
+                scratch.merger.merge_warp_phase(
                     &self.target,
                     &counters,
                     &mut self.l1[sm_id],
@@ -764,6 +932,29 @@ struct Segment {
     blocks: u64,
 }
 
+/// Interpreter machinery of the thread-parallel loop, reused across every
+/// block and segment of one launch.
+struct ThreadScratch<'f> {
+    /// The kernel decoded once, shared by every interpreter via `Arc`.
+    program: Arc<DecodedProgram>,
+    /// Scalar per-thread interpreters (grown to the widest block seen).
+    pool: Vec<Interp<'f>>,
+    /// Per-thread counters (grown to the widest block seen).
+    counter_pool: Vec<ThreadCounters>,
+    /// Warp lock-step machines, one per warp of the widest block seen.
+    warp_pool: Vec<WarpInterp<'f>>,
+    /// Warp statistics merger (per-op instruction classes precomputed once).
+    merger: WarpMerger,
+}
+
+/// Per-launch interpreter scratch: allocated once in
+/// [`GpuSim::launch_with`], restarted everywhere else.
+struct LaunchScratch<'f> {
+    threads: ThreadScratch<'f>,
+    /// Interpreter for block-scope straight-line code.
+    block_interp: Interp<'f>,
+}
+
 /// Shared-memory shadow state for the sanitizer: per barrier interval, the
 /// first writer and the readers of every touched shared cell.
 #[derive(Default)]
@@ -772,9 +963,31 @@ struct Cell {
     readers: Vec<(u32, u32)>,
 }
 
+/// One dense-arena slot; its cell is valid only while `epoch` matches the
+/// sanitizer's current barrier interval (lazy clearing instead of a wipe
+/// of the whole arena per interval).
+#[derive(Default)]
+struct ArenaCell {
+    epoch: u32,
+    cell: Cell,
+}
+
+/// Byte span the dense arena covers above the first observed shared address
+/// — larger than any real GPU's shared memory, so in practice every access
+/// lands in the arena. Addresses outside the span (or below the first one
+/// observed) fall back to the sparse hash map.
+const SANITIZER_ARENA_SPAN: usize = 1 << 18;
+
 struct Sanitizer {
     kernel: String,
-    cells: HashMap<u64, Cell>,
+    /// First shared address observed this launch, the arena's base. Shared
+    /// allocations are released per block and reuse the same address range,
+    /// so one base covers the whole launch.
+    base: Option<u64>,
+    arena: Vec<ArenaCell>,
+    epoch: u32,
+    /// Sparse overflow for addresses outside the arena span.
+    overflow: HashMap<u64, Cell>,
     reported: HashSet<(&'static str, u32, u32)>,
     races: Vec<RaceRecord>,
 }
@@ -783,15 +996,53 @@ impl Sanitizer {
     fn new(kernel: String) -> Sanitizer {
         Sanitizer {
             kernel,
-            cells: HashMap::new(),
+            base: None,
+            arena: Vec::new(),
+            epoch: 1,
+            overflow: HashMap::new(),
             reported: HashSet::new(),
             races: Vec::new(),
         }
     }
 
-    /// Starts a new barrier interval: all shadow cells are forgotten.
+    /// Starts a new barrier interval: all shadow cells are forgotten (arena
+    /// cells lazily, by epoch mismatch).
     fn new_interval(&mut self) {
-        self.cells.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: stale cells could alias the recycled
+            // epoch value, so clear the arena eagerly this once.
+            for slot in &mut self.arena {
+                slot.epoch = 0;
+                slot.cell.writer = None;
+                slot.cell.readers.clear();
+            }
+            self.epoch = 1;
+        }
+        self.overflow.clear();
+    }
+
+    /// The shadow cell for `addr`: a dense-arena slot when the address lands
+    /// in the covered span, a hash-map entry otherwise.
+    fn cell_mut(&mut self, addr: u64) -> &mut Cell {
+        let base = *self.base.get_or_insert(addr);
+        if addr >= base && addr - base < SANITIZER_ARENA_SPAN as u64 {
+            let off = (addr - base) as usize;
+            if off >= self.arena.len() {
+                let len = (off + 1).next_power_of_two().max(256);
+                self.arena
+                    .resize_with(len.min(SANITIZER_ARENA_SPAN), ArenaCell::default);
+            }
+            let slot = &mut self.arena[off];
+            if slot.epoch != self.epoch {
+                slot.epoch = self.epoch;
+                slot.cell.writer = None;
+                slot.cell.readers.clear();
+            }
+            &mut slot.cell
+        } else {
+            self.overflow.entry(addr).or_default()
+        }
     }
 
     /// Feeds one thread's phase events ((thread, op) pairs per cell) into
@@ -801,7 +1052,7 @@ impl Sanitizer {
             if e.space != MemSpace::Shared {
                 continue;
             }
-            let cell = self.cells.entry(e.addr).or_default();
+            let cell = self.cell_mut(e.addr);
             let mut hits: Vec<(&'static str, u32, u32, u32)> = Vec::new();
             if e.is_store {
                 if let Some((wt, wop)) = cell.writer {
@@ -1179,6 +1430,199 @@ mod tests {
         assert_eq!(s0, s1);
         assert_eq!(st0, st1);
         assert_eq!(out0, out1);
+    }
+
+    #[test]
+    fn scalar_and_vectorized_saxpy_agree_bitwise() {
+        let func = compile_saxpy();
+        // Not a multiple of the block size: the straddling warp diverges at
+        // the bounds guard and must despool mid-phase.
+        let n = 1000usize;
+        let run = |mode: ExecMode| {
+            let mut sim = GpuSim::new(a100());
+            sim.set_exec_mode(mode);
+            let y: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let x: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+            let yb = sim.mem.alloc_f32(&y);
+            let xb = sim.mem.alloc_f32(&x);
+            let report = sim
+                .launch(
+                    &func,
+                    [4, 1, 1],
+                    &[
+                        KernelArg::Buf(yb),
+                        KernelArg::Buf(xb),
+                        KernelArg::F32(2.0),
+                        KernelArg::I32(n as i32),
+                    ],
+                    32,
+                )
+                .unwrap();
+            (
+                report.kernel_seconds.to_bits(),
+                report.stats.clone(),
+                sim.mem.read_f32(yb),
+            )
+        };
+        let scalar = run(ExecMode::Scalar);
+        let warp = run(ExecMode::WarpVectorized);
+        assert_eq!(scalar.0, warp.0, "kernel_seconds must be bit-identical");
+        assert_eq!(scalar.1, warp.1, "stats must be identical");
+        assert_eq!(scalar.2, warp.2, "memory must be identical");
+    }
+
+    #[test]
+    fn divergent_loop_trip_counts_agree_across_modes() {
+        // Per-lane loop bound: the warp diverges at the `for` header.
+        let func = respec_ir::parse_function(
+            "func @dloop(%gx: index, %gy: index, %gz: index, %m: memref<?xi32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c0 = const 0 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %z = const 0 : i32
+      %s = for %i = %c0 to %tx step %c1 iter (%acc = %z) {
+        %ii = cast %i : i32
+        %nx = add %acc, %ii : i32
+        yield %nx
+      }
+      store %s, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let run = |mode: ExecMode| {
+            let mut sim = GpuSim::new(a100());
+            sim.set_exec_mode(mode);
+            let mb = sim.mem.alloc_i32(&[0; 8]);
+            let report = sim
+                .launch(&func, [1, 1, 1], &[KernelArg::Buf(mb)], 32)
+                .unwrap();
+            (
+                report.kernel_seconds.to_bits(),
+                report.stats.clone(),
+                sim.mem.read_i32(mb),
+            )
+        };
+        let scalar = run(ExecMode::Scalar);
+        let warp = run(ExecMode::WarpVectorized);
+        assert_eq!(scalar.0, warp.0);
+        assert_eq!(scalar.1, warp.1);
+        assert_eq!(scalar.2, warp.2);
+        // m[t] = sum of 0..t.
+        assert_eq!(warp.2, vec![0, 0, 1, 3, 6, 10, 15, 21]);
+    }
+
+    #[test]
+    fn divergence_then_barrier_agrees_across_modes() {
+        // Diverge at an `if`, then synchronize: the despooled warp must keep
+        // running per-lane in later barrier intervals.
+        let func = respec_ir::parse_function(
+            "func @divbar(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c4 = const 4 : index
+  %c7 = const 7 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %f = cast %tx : f32
+      store %f, %sm[%tx]
+      %lt = cmp lt %tx, %c4
+      if %lt {
+        %d = add %f, %f : f32
+        store %d, %sm[%tx]
+        yield
+      }
+      barrier<thread>
+      %n = sub %c7, %tx : index
+      %v = load %sm[%n] : f32
+      store %v, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let run = |mode: ExecMode| {
+            let mut sim = GpuSim::new(a100());
+            sim.set_exec_mode(mode);
+            sim.set_sanitize_shared(true);
+            let mb = sim.mem.alloc_f32(&[0.0; 8]);
+            let report = sim
+                .launch(&func, [1, 1, 1], &[KernelArg::Buf(mb)], 32)
+                .unwrap();
+            (
+                report.kernel_seconds.to_bits(),
+                report.stats.clone(),
+                sim.mem.read_f32(mb),
+                report.races,
+            )
+        };
+        let scalar = run(ExecMode::Scalar);
+        let warp = run(ExecMode::WarpVectorized);
+        assert_eq!(scalar.0, warp.0);
+        assert_eq!(scalar.1, warp.1);
+        assert_eq!(scalar.2, warp.2);
+        assert_eq!(scalar.3, warp.3);
+        assert!(warp.3.is_empty(), "barrier-separated: {:?}", warp.3);
+        // Threads 0..4 doubled their cell before the exchange.
+        assert_eq!(warp.2, vec![7.0, 6.0, 5.0, 4.0, 6.0, 4.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn sanitizer_races_agree_across_modes() {
+        // The racy kernel's *memory* may legitimately differ between modes
+        // (per-op vs per-thread interleaving of racing accesses), but the
+        // observed event streams — and therefore race records, stats and
+        // timing — must not.
+        let func = respec_ir::parse_function(
+            "func @racy(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c1 = const 1 : index
+  %c0 = const 0 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<8xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c1, %c1) {
+      %f = cast %tx : f32
+      store %f, %sm[%c0]
+      %v = load %sm[%c0] : f32
+      store %v, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}",
+        )
+        .unwrap();
+        let run = |mode: ExecMode| {
+            let mut sim = GpuSim::new(a100());
+            sim.set_exec_mode(mode);
+            sim.set_sanitize_shared(true);
+            let mb = sim.mem.alloc_f32(&[0.0; 8]);
+            let report = sim
+                .launch(&func, [1, 1, 1], &[KernelArg::Buf(mb)], 32)
+                .unwrap();
+            (
+                report.kernel_seconds.to_bits(),
+                report.stats.clone(),
+                report.races,
+            )
+        };
+        let scalar = run(ExecMode::Scalar);
+        let warp = run(ExecMode::WarpVectorized);
+        assert_eq!(scalar.0, warp.0);
+        assert_eq!(scalar.1, warp.1);
+        assert_eq!(scalar.2, warp.2);
+        assert!(warp.2.iter().any(|r| r.code == "race-ww"));
     }
 
     #[test]

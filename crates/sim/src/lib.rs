@@ -46,6 +46,7 @@
 //! ```
 
 mod cache;
+mod decoded;
 pub mod fault;
 mod interp;
 mod launch;
@@ -55,14 +56,16 @@ mod stats;
 pub mod target;
 mod timing;
 mod value;
+mod warp;
 
 pub use cache::{bank_conflict_factor, coalesce_sectors, Cache};
 pub use fault::{EnvConfigError, Fault, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use interp::{
     classify, InstClass, Interp, MemEvent, SimError, StepCx, StepEvent, ThreadCounters,
+    INTERP_BUILDS,
 };
 pub use launch::{
-    launch_once, GpuSim, KernelArg, KernelTiming, LaunchOptions, LaunchReport, RaceRecord,
+    launch_once, ExecMode, GpuSim, KernelArg, KernelTiming, LaunchOptions, LaunchReport, RaceRecord,
 };
 pub use memory::{BufferId, DeviceMemory};
 pub use occupancy::{occupancy, BlockResources, Infeasible, Limiter, Occupancy};

@@ -1,0 +1,651 @@
+//! Warp-vectorized interpreter: one machine steps a whole warp of lanes in
+//! lock-step through uniform operations.
+//!
+//! Instead of one [`Interp`] per thread re-walking the region tree, a
+//! [`WarpInterp`] keeps a *single* frame stack (control flow is uniform
+//! until proven otherwise) and a flat value-major register file
+//! `vals[value * stride + lane]`, so the per-op cost is one decoded-op
+//! dispatch plus a tight lane loop.
+//!
+//! Divergence is detected *before* any state is mutated: at a `for` header,
+//! an `if` condition, a `while` condition flag, and at `alloc` (allocation
+//! order must match per-lane execution), the per-lane inputs are peeked
+//! first. If they disagree across lanes the warp reports
+//! [`WarpPhase::Diverged`] with the program counter still pointing *at* the
+//! divergent op; the launcher then despools every lane into a scalar
+//! [`Interp`] (via [`WarpInterp::despool_into`]) which replays the op with
+//! identical semantics, counters and memory effects. Lock-step execution
+//! bumps every lane's [`ThreadCounters`] per op exactly as scalar stepping
+//! would, so stats — and therefore simulated timing — are bit-identical
+//! between the two modes for any kernel that completes.
+
+use std::sync::Arc;
+
+use respec_ir::{Function, RegionId, Value};
+
+use crate::decoded::{slot_value, DecodedOp, DecodedProgram, Slot};
+use crate::interp::{
+    eval_binary, eval_cmp, eval_unary, want_int, want_mem, Frame, FrameKind, Interp, MemEvent,
+    SimError, ThreadCounters,
+};
+use crate::memory::DeviceMemory;
+use crate::value::{RtVal, Store};
+
+/// Execution context for one warp phase. Mirrors `StepCx` but carries one
+/// counter set per lane; warps never record allocations (alloc despools).
+pub(crate) struct WarpCx<'a> {
+    pub(crate) mem: &'a mut DeviceMemory,
+    /// Value stores of enclosing scopes (innermost first).
+    pub(crate) parents: &'a [&'a Store],
+    /// Per-lane counters; `counters.len()` equals the lane count.
+    pub(crate) counters: &'a mut [ThreadCounters],
+}
+
+/// Outcome of [`WarpInterp::run_phase`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum WarpPhase {
+    /// Every lane finished the scope.
+    Done,
+    /// Every lane reached the same barrier and suspended.
+    Barrier,
+    /// Lanes disagree on control flow (or reached an `alloc`); the program
+    /// counter points at the divergent op. Despool each lane into a scalar
+    /// interpreter and continue per-lane.
+    Diverged,
+}
+
+enum WarpStep {
+    Ran,
+    Done,
+    Barrier,
+    Diverged,
+}
+
+/// A warp of lanes executing one region tree in lock-step.
+pub(crate) struct WarpInterp<'f> {
+    func: &'f Function,
+    program: Arc<DecodedProgram>,
+    /// Lane capacity (target warp width); `lanes <= stride`.
+    stride: usize,
+    lanes: usize,
+    frames: Vec<Frame>,
+    /// Value-major register file: `vals[value * stride + lane]`.
+    vals: Vec<RtVal>,
+    /// Shared binding epochs (control is uniform, so all lanes of a value
+    /// bind together): `epochs[value] == cur` means bound.
+    epochs: Vec<u32>,
+    cur: u32,
+    done: bool,
+    /// Gather buffer, operand-major: `scratch[k * lanes + lane]`.
+    scratch: Vec<RtVal>,
+}
+
+impl<'f> WarpInterp<'f> {
+    pub(crate) fn new(
+        func: &'f Function,
+        program: Arc<DecodedProgram>,
+        stride: usize,
+    ) -> WarpInterp<'f> {
+        let stride = stride.max(1);
+        WarpInterp {
+            func,
+            program,
+            stride,
+            lanes: 0,
+            frames: Vec::new(),
+            vals: vec![RtVal::Int(0); func.num_values() * stride],
+            epochs: vec![0; func.num_values()],
+            cur: 0,
+            done: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Rewinds the warp to the start of `region` with `lanes` active lanes,
+    /// clearing all bindings without reallocating.
+    pub(crate) fn restart(&mut self, region: RegionId, lanes: usize) {
+        debug_assert!(lanes >= 1 && lanes <= self.stride);
+        self.lanes = lanes;
+        self.frames.clear();
+        self.frames.push(Frame {
+            region,
+            idx: 0,
+            kind: FrameKind::Root,
+        });
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            self.epochs.fill(0);
+            self.cur = 1;
+        }
+        self.done = false;
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Binds `v` per lane (e.g. thread ids) before stepping.
+    pub(crate) fn set_with(&mut self, v: Value, mut f: impl FnMut(usize) -> RtVal) {
+        let base = v.index() * self.stride;
+        for lane in 0..self.lanes {
+            self.vals[base + lane] = f(lane);
+        }
+        self.epochs[v.index()] = self.cur;
+    }
+
+    /// Copies one lane's live state into a scalar interpreter. The scalar
+    /// machine resumes with the same frame stack — its program counter at
+    /// the op the warp stopped on — and every epoch-current value bound.
+    pub(crate) fn despool_into(&self, lane: usize, target: &mut Interp<'f>) {
+        target.adopt_frames(&self.frames);
+        for (v, &e) in self.epochs.iter().enumerate() {
+            if e == self.cur {
+                target
+                    .store
+                    .set(Value::from_index(v), self.vals[v * self.stride + lane]);
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, parents: &[&Store], slot: Slot, lane: usize) -> Result<RtVal, SimError> {
+        let v = slot as usize;
+        if self.epochs[v] == self.cur {
+            return Ok(self.vals[v * self.stride + lane]);
+        }
+        for p in parents {
+            if let Some(val) = p.get(slot_value(slot)) {
+                return Ok(val);
+            }
+        }
+        Err(SimError::new(format!(
+            "use of unbound value {:?}",
+            slot_value(slot)
+        )))
+    }
+
+    #[inline]
+    fn stamp(&mut self, slot: Slot) {
+        self.epochs[slot as usize] = self.cur;
+    }
+
+    fn set_uniform(&mut self, v: Value, val: RtVal) {
+        let base = v.index() * self.stride;
+        for lane in 0..self.lanes {
+            self.vals[base + lane] = val;
+        }
+        self.epochs[v.index()] = self.cur;
+    }
+
+    /// Gathers `slots` per lane into the scratch buffer, operand-major.
+    fn gather(&mut self, parents: &[&Store], slots: &[Slot]) -> Result<usize, SimError> {
+        self.scratch.clear();
+        for &s in slots {
+            for lane in 0..self.lanes {
+                let v = self.get(parents, s, lane)?;
+                self.scratch.push(v);
+            }
+        }
+        Ok(slots.len())
+    }
+
+    /// Binds gathered scratch chunks to `targets`, truncating to the shorter
+    /// list exactly like the scalar interpreter's `zip`.
+    fn scatter(&mut self, targets: &[Value], count: usize) {
+        let n = targets.len().min(count);
+        for (k, &t) in targets.iter().take(n).enumerate() {
+            let base = t.index() * self.stride;
+            for lane in 0..self.lanes {
+                self.vals[base + lane] = self.scratch[k * self.lanes + lane];
+            }
+            self.epochs[t.index()] = self.cur;
+        }
+    }
+
+    /// Peeks an integer condition in every lane; `Ok(None)` means the lanes
+    /// disagree (or a non-lead lane holds a non-integer — the scalar replay
+    /// surfaces that lane's own error). Reads only; no counters move.
+    fn peek_uniform_int(&self, parents: &[&Store], slot: Slot) -> Result<Option<i64>, SimError> {
+        let v0 = want_int(self.get(parents, slot, 0)?)?;
+        for lane in 1..self.lanes {
+            match self.get(parents, slot, lane)?.try_int() {
+                Some(v) if v == v0 => {}
+                _ => return Ok(None),
+            }
+        }
+        Ok(Some(v0))
+    }
+
+    /// Runs until a barrier, divergence, or completion.
+    pub(crate) fn run_phase(&mut self, cx: &mut WarpCx<'_>) -> Result<WarpPhase, SimError> {
+        if self.done {
+            return Ok(WarpPhase::Done);
+        }
+        let program = Arc::clone(&self.program);
+        loop {
+            match self.step_in(&program, cx)? {
+                WarpStep::Ran => {}
+                WarpStep::Done => return Ok(WarpPhase::Done),
+                WarpStep::Barrier => return Ok(WarpPhase::Barrier),
+                WarpStep::Diverged => return Ok(WarpPhase::Diverged),
+            }
+        }
+    }
+
+    fn step_in(
+        &mut self,
+        program: &DecodedProgram,
+        cx: &mut WarpCx<'_>,
+    ) -> Result<WarpStep, SimError> {
+        let func = self.func;
+        let frame = *self.frames.last().expect("non-done warp has frames");
+        let ops = &func.region(frame.region).ops;
+        debug_assert!(frame.idx < ops.len(), "regions are terminator-closed");
+        let op_id = ops[frame.idx];
+        let decoded = &program.steps[op_id.index()];
+
+        // Terminators handle the frame stack themselves.
+        match decoded {
+            DecodedOp::Yield { vals } => {
+                let n = self.gather(cx.parents, vals)?;
+                let fr = self.frames.pop().expect("frame stack non-empty");
+                match fr.kind {
+                    FrameKind::Root => {
+                        self.done = true;
+                        return Ok(WarpStep::Done);
+                    }
+                    FrameKind::For {
+                        op: for_op,
+                        iv,
+                        ub,
+                        step,
+                    } => {
+                        // Loop back-edge: one branch issue per lane.
+                        for c in cx.counters.iter_mut() {
+                            c.bump(op_id);
+                        }
+                        let next = iv + step;
+                        let body = func.op(for_op).regions[0];
+                        if next < ub {
+                            let arg0 = func.region(body).args[0];
+                            self.set_uniform(arg0, RtVal::Int(next));
+                            self.scatter(&func.region(body).args[1..], n);
+                            self.frames.push(Frame {
+                                region: body,
+                                idx: 0,
+                                kind: FrameKind::For {
+                                    op: for_op,
+                                    iv: next,
+                                    ub,
+                                    step,
+                                },
+                            });
+                        } else {
+                            self.scatter(&func.op(for_op).results, n);
+                        }
+                    }
+                    FrameKind::If { op: if_op } => {
+                        self.scatter(&func.op(if_op).results, n);
+                    }
+                    FrameKind::Alt => {}
+                    FrameKind::WhileCond { .. } => {
+                        return Err(SimError::new(
+                            "while condition region must end in `condition`",
+                        ))
+                    }
+                    FrameKind::WhileBody { op: while_op } => {
+                        let cond_region = func.op(while_op).regions[0];
+                        self.scatter(&func.region(cond_region).args, n);
+                        self.frames.push(Frame {
+                            region: cond_region,
+                            idx: 0,
+                            kind: FrameKind::WhileCond { op: while_op },
+                        });
+                    }
+                }
+                return Ok(WarpStep::Ran);
+            }
+            DecodedOp::Condition { flag, vals } => {
+                // Divergence checkpoint: peek the flag before mutating.
+                let Some(f0) = self.peek_uniform_int(cx.parents, *flag)? else {
+                    return Ok(WarpStep::Diverged);
+                };
+                let taken = f0 != 0;
+                let n = self.gather(cx.parents, vals)?;
+                let fr = self.frames.pop().expect("frame stack non-empty");
+                let while_op = match fr.kind {
+                    FrameKind::WhileCond { op } => op,
+                    _ => return Err(SimError::new("`condition` outside while condition region")),
+                };
+                for c in cx.counters.iter_mut() {
+                    c.bump(op_id);
+                }
+                if taken {
+                    let body = *func
+                        .op(while_op)
+                        .regions
+                        .get(1)
+                        .ok_or_else(|| SimError::new("while without a body region"))?;
+                    self.scatter(&func.region(body).args, n);
+                    self.frames.push(Frame {
+                        region: body,
+                        idx: 0,
+                        kind: FrameKind::WhileBody { op: while_op },
+                    });
+                } else {
+                    self.scatter(&func.op(while_op).results, n);
+                }
+                return Ok(WarpStep::Ran);
+            }
+            DecodedOp::Return => {
+                self.done = true;
+                return Ok(WarpStep::Done);
+            }
+            // Divergence checkpoints that must fire *before* the program
+            // counter advances, so the scalar replay re-executes the op.
+            DecodedOp::For { lb, ub, step, .. }
+                if self.peek_uniform_int(cx.parents, *lb)?.is_none()
+                    || self.peek_uniform_int(cx.parents, *ub)?.is_none()
+                    || self.peek_uniform_int(cx.parents, *step)?.is_none() =>
+            {
+                return Ok(WarpStep::Diverged);
+            }
+            DecodedOp::If { cond, .. } => {
+                let uniform = {
+                    // The scalar interpreter bumps `if` before reading the
+                    // condition; peek with try_int so a bad lead-lane value
+                    // despools and errors with the bump in place.
+                    let v0 = self.get(cx.parents, *cond, 0)?.try_int();
+                    match v0 {
+                        None => false,
+                        Some(v0) => {
+                            let mut same = true;
+                            for lane in 1..self.lanes {
+                                match self.get(cx.parents, *cond, lane)?.try_int() {
+                                    Some(v) if (v != 0) == (v0 != 0) => {}
+                                    _ => {
+                                        same = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            same
+                        }
+                    }
+                };
+                if !uniform {
+                    return Ok(WarpStep::Diverged);
+                }
+            }
+            DecodedOp::Alloc { .. } => {
+                // Allocation order must match scalar lane-major execution;
+                // nothing has been allocated lock-step up to here, so the
+                // despooled lanes reproduce it exactly.
+                return Ok(WarpStep::Diverged);
+            }
+            _ => {}
+        }
+
+        // Non-terminator: advance the program counter first so suspension
+        // resumes *after* the op.
+        self.frames.last_mut().expect("frame stack non-empty").idx += 1;
+
+        match decoded {
+            DecodedOp::Barrier => {
+                for c in cx.counters.iter_mut() {
+                    c.bump(op_id);
+                }
+                Ok(WarpStep::Barrier)
+            }
+            DecodedOp::Parallel => Err(SimError::new(
+                "parallel loop nested inside the thread level",
+            )),
+            DecodedOp::For {
+                lb,
+                ub,
+                step,
+                iters,
+                body,
+            } => {
+                // Uniformity was established above; lane 0 speaks for all.
+                let lb = want_int(self.get(cx.parents, *lb, 0)?)?;
+                let ub = want_int(self.get(cx.parents, *ub, 0)?)?;
+                let step = want_int(self.get(cx.parents, *step, 0)?)?;
+                if step <= 0 {
+                    return Err(SimError::new("for loop step must be positive"));
+                }
+                let n = self.gather(cx.parents, iters)?;
+                if lb < ub {
+                    let arg0 = func.region(*body).args[0];
+                    self.set_uniform(arg0, RtVal::Int(lb));
+                    self.scatter(&func.region(*body).args[1..], n);
+                    self.frames.push(Frame {
+                        region: *body,
+                        idx: 0,
+                        kind: FrameKind::For {
+                            op: op_id,
+                            iv: lb,
+                            ub,
+                            step,
+                        },
+                    });
+                } else {
+                    self.scatter(&func.op(op_id).results, n);
+                }
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::While { inits, cond } => {
+                let n = self.gather(cx.parents, inits)?;
+                self.scatter(&func.region(*cond).args, n);
+                self.frames.push(Frame {
+                    region: *cond,
+                    idx: 0,
+                    kind: FrameKind::WhileCond { op: op_id },
+                });
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::If {
+                cond,
+                then_r,
+                else_r,
+            } => {
+                for c in cx.counters.iter_mut() {
+                    c.bump(op_id);
+                }
+                let taken = want_int(self.get(cx.parents, *cond, 0)?)? != 0;
+                let region = if taken { *then_r } else { *else_r }
+                    .ok_or_else(|| SimError::new("`if` without both arm regions"))?;
+                self.frames.push(Frame {
+                    region,
+                    idx: 0,
+                    kind: FrameKind::If { op: op_id },
+                });
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Alternatives { region } => {
+                let region = region.ok_or_else(|| {
+                    SimError::new("`alternatives` selects a region it does not have")
+                })?;
+                self.frames.push(Frame {
+                    region,
+                    idx: 0,
+                    kind: FrameKind::Alt,
+                });
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Call { callee } => Err(SimError::new(format!(
+                "call to @{callee}: the simulator requires fully inlined kernels"
+            ))),
+            DecodedOp::ConstInt { out, value } => {
+                self.set_uniform(slot_value(*out), RtVal::Int(*value));
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::ConstFloat { out, value } => {
+                self.set_uniform(slot_value(*out), RtVal::Float(*value));
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Binary { out, l, r, op, ty } => {
+                for c in cx.counters.iter_mut() {
+                    c.bump(op_id);
+                }
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let lv = self.get(cx.parents, *l, lane)?;
+                    let rv = self.get(cx.parents, *r, lane)?;
+                    self.vals[base + lane] = eval_binary(*op, *ty, lv, rv)?;
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Unary { out, v, op, ty } => {
+                for c in cx.counters.iter_mut() {
+                    c.bump(op_id);
+                }
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let vv = self.get(cx.parents, *v, lane)?;
+                    self.vals[base + lane] = eval_unary(*op, *ty, vv)?;
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Cmp {
+                out,
+                l,
+                r,
+                pred,
+                float,
+            } => {
+                for c in cx.counters.iter_mut() {
+                    c.bump(op_id);
+                }
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let lv = self.get(cx.parents, *l, lane)?;
+                    let rv = self.get(cx.parents, *r, lane)?;
+                    let flag = eval_cmp(*pred, *float, lv, rv)?;
+                    self.vals[base + lane] = RtVal::Int(flag as i64);
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Select { out, c, t, f } => {
+                for cnt in cx.counters.iter_mut() {
+                    cnt.bump(op_id);
+                }
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let flag = want_int(self.get(cx.parents, *c, lane)?)? != 0;
+                    let v = self.get(cx.parents, if flag { *t } else { *f }, lane)?;
+                    self.vals[base + lane] = v;
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Cast { out, v, from, to } => {
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let vv = self.get(cx.parents, *v, lane)?;
+                    self.vals[base + lane] = crate::interp::cast_value(vv, *from, *to)?;
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Load { out, mem, idx } => {
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let mem = want_mem(self.get(cx.parents, *mem, lane)?)?;
+                    let mut index = [0i64; 3];
+                    for (d, &s) in idx.iter().enumerate() {
+                        index[d] = want_int(self.get(cx.parents, s, lane)?)?;
+                    }
+                    let flat = mem.flatten(&index[..mem.rank as usize]).ok_or_else(|| {
+                        SimError::new(format!(
+                            "out-of-bounds load at {op_id:?}: index {index:?} in {:?}",
+                            mem
+                        ))
+                    })?;
+                    let elem = cx.mem.elem_type(mem.buf);
+                    let (f, i) = cx
+                        .mem
+                        .load_scalar(mem.buf, flat)
+                        .ok_or_else(|| SimError::new(format!("out-of-bounds load at {op_id:?}")))?;
+                    self.vals[base + lane] = if elem.is_float() {
+                        RtVal::Float(f)
+                    } else {
+                        RtVal::Int(i)
+                    };
+                    let c = &mut cx.counters[lane];
+                    let occ = c.bump(op_id);
+                    c.events.push(MemEvent {
+                        op: op_id.index() as u32,
+                        occ,
+                        addr: cx.mem.base_addr(mem.buf) + flat as u64 * elem.size_bytes(),
+                        bytes: elem.size_bytes() as u8,
+                        space: mem.space,
+                        is_store: false,
+                    });
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Store { val, mem, idx } => {
+                for lane in 0..self.lanes {
+                    let v = self.get(cx.parents, *val, lane)?;
+                    let mem = want_mem(self.get(cx.parents, *mem, lane)?)?;
+                    let mut index = [0i64; 3];
+                    for (d, &s) in idx.iter().enumerate() {
+                        index[d] = want_int(self.get(cx.parents, s, lane)?)?;
+                    }
+                    let flat = mem.flatten(&index[..mem.rank as usize]).ok_or_else(|| {
+                        SimError::new(format!(
+                            "out-of-bounds store at {op_id:?}: index {index:?} in {:?}",
+                            mem
+                        ))
+                    })?;
+                    let elem = cx.mem.elem_type(mem.buf);
+                    let (f, i) = match v {
+                        RtVal::Float(f) => (f, 0),
+                        RtVal::Int(i) => (0.0, i),
+                        RtVal::Mem(_) => return Err(SimError::new("cannot store a memref")),
+                    };
+                    if !cx.mem.store_scalar(mem.buf, flat, f, i) {
+                        return Err(SimError::new(format!("out-of-bounds store at {op_id:?}")));
+                    }
+                    let c = &mut cx.counters[lane];
+                    let occ = c.bump(op_id);
+                    c.events.push(MemEvent {
+                        op: op_id.index() as u32,
+                        occ,
+                        addr: cx.mem.base_addr(mem.buf) + flat as u64 * elem.size_bytes(),
+                        bytes: elem.size_bytes() as u8,
+                        space: mem.space,
+                        is_store: true,
+                    });
+                }
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Dim { out, mem, index } => {
+                let base = *out as usize * self.stride;
+                for lane in 0..self.lanes {
+                    let mem = want_mem(self.get(cx.parents, *mem, lane)?)?;
+                    self.vals[base + lane] = RtVal::Int(mem.dim(*index));
+                }
+                self.stamp(*out);
+                Ok(WarpStep::Ran)
+            }
+            DecodedOp::Invalid { bump, msg } => {
+                if *bump {
+                    for c in cx.counters.iter_mut() {
+                        c.bump(op_id);
+                    }
+                }
+                Err(SimError::new(msg.clone()))
+            }
+            DecodedOp::Alloc { .. }
+            | DecodedOp::Yield { .. }
+            | DecodedOp::Condition { .. }
+            | DecodedOp::Return => unreachable!("handled before the pc advance"),
+        }
+    }
+}

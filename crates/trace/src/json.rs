@@ -112,8 +112,99 @@ impl JsonObject {
 }
 
 // ---------------------------------------------------------------------------
-// Validator
+// Parser / validator
 // ---------------------------------------------------------------------------
+
+/// Hard cap on JSON nesting depth. The parser is recursive-descent, so
+/// without a bound a line of tens of thousands of `[` bytes would
+/// overflow the caller's stack and abort the process; past this depth it
+/// returns an error instead. No producer in this workspace nests deeper
+/// than 2.
+pub const MAX_JSON_DEPTH: usize = 64;
+
+/// A parsed JSON value — the minimal tree the workspace's line-oriented
+/// formats need (benchmark baselines, the serve wire protocol).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value (rejecting trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first syntax error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer, when it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
 
 /// Validates that `s` is one syntactically correct JSON value.
 ///
@@ -121,15 +212,7 @@ impl JsonObject {
 ///
 /// Returns a message naming the byte offset of the first syntax error.
 pub fn validate(s: &str) -> Result<(), String> {
-    let bytes = s.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(())
+    Json::parse(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -138,108 +221,141 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {}", c as char, pos))
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth >= MAX_JSON_DEPTH {
+        return Err(format!(
+            "nesting exceeds {MAX_JSON_DEPTH} levels at byte {pos}"
+        ));
     }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_lit(b, pos, b"true"),
-        Some(b'f') => parse_lit(b, pos, b"false"),
-        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
         Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, pos)),
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    expect(b, pos, b'{')?;
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(());
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
     }
-    loop {
-        skip_ws(b, pos);
-        parse_string(b, pos)?;
-        skip_ws(b, pos);
-        expect(b, pos, b':')?;
-        parse_value(b, pos)?;
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    expect(b, pos, b'[')?;
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(());
-    }
-    loop {
-        parse_value(b, pos)?;
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-        }
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
-    expect(b, pos, b'"')?;
+    *pos += 1;
+    let mut out = String::new();
     while *pos < b.len() {
         match b[*pos] {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        if *pos + 4 >= b.len()
-                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
+                        if *pos + 4 >= b.len() {
                             return Err(format!("bad \\u escape at byte {pos}"));
                         }
-                        *pos += 5;
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogates map to the replacement character; no
+                        // producer in this workspace emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
+                *pos += 1;
             }
             0x00..=0x1f => return Err(format!("unescaped control byte at {pos}")),
-            _ => *pos += 1,
+            _ => {
+                // Copy one UTF-8 scalar (the input came from a &str, so
+                // boundaries are valid).
+                let start = *pos;
+                let len = utf8_len(b[start]);
+                let chunk = std::str::from_utf8(&b[start..(start + len).min(b.len())])
+                    .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
         }
     }
     Err("unterminated string".to_string())
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
-    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
         *pos += lit.len();
         Ok(())
     } else {
@@ -247,7 +363,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
     }
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -277,7 +393,10 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at byte {start}"));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number".to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number at byte {start}"))
 }
 
 #[cfg(test)]
@@ -321,5 +440,38 @@ mod tests {
         assert!(validate("[1,]").is_err());
         assert!(validate("\"\\q\"").is_err());
         assert!(validate("1 2").is_err());
+        assert!(validate("1.").is_err());
+        assert!(validate("3e").is_err());
+    }
+
+    #[test]
+    fn parser_builds_the_value_tree() {
+        let v = Json::parse("{\"app\":\"lud\",\"n\":3,\"xs\":[1.5,true,null]}").unwrap();
+        assert_eq!(v.get("app").and_then(Json::as_str), Some("lud"));
+        assert_eq!(v.get("n").and_then(Json::as_i64), Some(3));
+        let xs = v.get("xs").and_then(Json::as_arr).unwrap();
+        assert_eq!(xs[0].as_f64(), Some(1.5));
+        assert_eq!(xs[1].as_bool(), Some(true));
+        assert_eq!(xs[2], Json::Null);
+        // Escapes decode; builder output round-trips through the parser.
+        let row = JsonObject::new().str("k", "a\"b\\c\nd").finish();
+        let back = Json::parse(&row).unwrap();
+        assert_eq!(back.get("k").and_then(Json::as_str), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn parser_depth_bound_is_exact() {
+        let deepest = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH - 1),
+            "]".repeat(MAX_JSON_DEPTH - 1)
+        );
+        assert!(Json::parse(&deepest).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(Json::parse(&too_deep).unwrap_err().contains("nesting"));
     }
 }

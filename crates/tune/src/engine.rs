@@ -59,20 +59,22 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
 
 use respec_analyze::{introduced_errors, Baseline};
 use respec_backend::{try_compile_launch, BackendReport};
 use respec_cache::{Lookup, StoredReport, StoredWinner, TuningCache};
 use respec_ir::kernel::{analyze_function, Launch};
 use respec_ir::{parse_function, structural_hash, Function};
-use respec_opt::{coarsen_function, optimize_traced, CoarsenConfig};
+use respec_opt::{coarsen_function, coarsen_precheck, optimize_traced, CoarsenConfig};
 use respec_sim::{FaultKind, FaultPlan, FaultSite, SimError, TargetDesc};
 use respec_trace::Trace;
 
 use crate::pool::{panic_message, parallel_map};
 use crate::{
-    candidate_metrics, Candidate, PruneReason, RetryPolicy, TuneError, TuneErrorKind, TuneResult,
-    TuneStats,
+    candidate_metrics, Candidate, PhaseTimings, PruneReason, RetryPolicy, TuneError, TuneErrorKind,
+    TuneResult, TuneStats,
 };
 
 /// Fault schedule + retry policy, threaded through both drivers.
@@ -247,6 +249,7 @@ impl<'a> PersistentCx<'a> {
                 parallelism,
                 ..TuneStats::default()
             },
+            timings: PhaseTimings::default(),
         })
     }
 
@@ -400,6 +403,12 @@ impl<'a> PersistentCx<'a> {
 }
 
 /// Phase-1 outcome for one candidate configuration.
+///
+/// Cloning is cheap by construction — prepared versions sit behind an
+/// [`Arc`] — so candidates whose configurations are literally equal share
+/// one prepared version instead of each paying a deep kernel copy
+/// (copy-on-write at the candidate level; see [`ConfigDedup`]).
+#[derive(Clone)]
 pub(crate) enum Prep {
     /// Eliminated at decision point 1 or 2.
     Pruned {
@@ -407,7 +416,7 @@ pub(crate) enum Prep {
         shared_bytes: u64,
     },
     /// Coarsened + optimized and within the shared-memory budget.
-    Ready(Box<PreparedVersion>),
+    Ready(Arc<PreparedVersion>),
 }
 
 /// A candidate version that survived the compile-side decision points.
@@ -418,10 +427,46 @@ pub(crate) struct PreparedVersion {
     ir_hash: u64,
 }
 
+/// A kernel version that clones lazily: candidates borrow the input
+/// function until a transform actually needs `&mut`, and the one deep copy
+/// a unique configuration requires happens at that point — never earlier,
+/// and never at all for configurations pruned by the borrowed-side
+/// legality precheck.
+enum CowVersion<'a> {
+    Borrowed(&'a Function),
+    Owned(Box<Function>),
+}
+
+impl<'a> CowVersion<'a> {
+    fn to_mut(&mut self) -> &mut Function {
+        if let CowVersion::Borrowed(f) = self {
+            *self = CowVersion::Owned(Box::new((*f).clone()));
+        }
+        match self {
+            CowVersion::Owned(f) => f,
+            CowVersion::Borrowed(_) => unreachable!("made owned just above"),
+        }
+    }
+
+    fn into_owned(self) -> Function {
+        match self {
+            CowVersion::Borrowed(f) => f.clone(),
+            CowVersion::Owned(f) => *f,
+        }
+    }
+}
+
 /// Runs decision points 1–2 for one configuration, plus the static
 /// race/barrier legality gate in between: a version whose coarsened +
 /// optimized IR has analyzer errors the input kernel (`baseline`) lacked
 /// is rejected before any backend compilation or measurement.
+///
+/// The input kernel is **not cloned up front**: a borrowed legality
+/// precheck ([`respec_opt::coarsen_precheck`]) rejects illegal
+/// configurations first (no copy at all), the identity configuration skips
+/// the coarsening walk entirely (identity coarsening is validation-only,
+/// which the precheck just performed), and the deep copy happens at the
+/// first genuinely mutating step.
 pub(crate) fn prepare(
     func: &Function,
     config: CoarsenConfig,
@@ -429,14 +474,23 @@ pub(crate) fn prepare(
     baseline: &Baseline,
     trace: &Trace,
 ) -> Prep {
-    let mut version = func.clone();
-    if let Err(e) = coarsen_function(&mut version, config) {
+    if let Err(e) = coarsen_precheck(func, config) {
         return Prep::Pruned {
             reason: PruneReason::Illegal(e.message),
             shared_bytes: 0,
         };
     }
-    optimize_traced(&mut version, trace);
+    let mut version = CowVersion::Borrowed(func);
+    if !config.is_identity() {
+        if let Err(e) = coarsen_function(version.to_mut(), config) {
+            return Prep::Pruned {
+                reason: PruneReason::Illegal(e.message),
+                shared_bytes: 0,
+            };
+        }
+    }
+    optimize_traced(version.to_mut(), trace);
+    let version = version.into_owned();
     let launches = match analyze_function(&version) {
         Ok(l) => l,
         Err(e) => {
@@ -472,12 +526,63 @@ pub(crate) fn prepare(
         };
     }
     let ir_hash = structural_hash(&version);
-    Prep::Ready(Box::new(PreparedVersion {
+    Prep::Ready(Arc::new(PreparedVersion {
         version,
         launches,
         shared_bytes: shared,
         ir_hash,
     }))
+}
+
+/// Candidate-level copy-on-write over the configuration list: every
+/// candidate index maps to the *first* index carrying an `==`
+/// configuration, and only those primary indices are prepared. Duplicate
+/// candidates then share the primary's [`Prep`] through its `Arc` —
+/// zero clones, zero coarsening, zero optimization, zero hashing for the
+/// copies. Grouping, evaluation and the decision log still see one entry
+/// per candidate, so results are unchanged.
+struct ConfigDedup {
+    /// Candidate index → index of the first candidate with the same config.
+    first_of: Vec<usize>,
+    /// Indices that are the first of their configuration, ascending.
+    primaries: Vec<usize>,
+}
+
+impl ConfigDedup {
+    fn new(configs: &[CoarsenConfig]) -> ConfigDedup {
+        let mut first_index: HashMap<CoarsenConfig, usize> = HashMap::new();
+        let mut first_of = Vec::with_capacity(configs.len());
+        let mut primaries = Vec::new();
+        for (i, c) in configs.iter().enumerate() {
+            let f = *first_index.entry(*c).or_insert(i);
+            if f == i {
+                primaries.push(i);
+            }
+            first_of.push(f);
+        }
+        ConfigDedup {
+            first_of,
+            primaries,
+        }
+    }
+
+    /// Expands per-primary preps back to one [`Prep`] per candidate;
+    /// duplicates receive a cheap clone sharing the primary's `Arc`.
+    fn scatter(&self, unique: Vec<Prep>) -> Vec<Prep> {
+        debug_assert_eq!(unique.len(), self.primaries.len());
+        let mut by_index: Vec<Option<Prep>> = vec![None; self.first_of.len()];
+        for (&ci, p) in self.primaries.iter().zip(unique) {
+            by_index[ci] = Some(p);
+        }
+        self.first_of
+            .iter()
+            .map(|&f| {
+                by_index[f]
+                    .clone()
+                    .expect("every first-of index is a prepared primary")
+            })
+            .collect()
+    }
 }
 
 /// [`prepare`], with panics demoted to an `Illegal` prune so one broken
@@ -565,6 +670,17 @@ pub(crate) struct FaultTally {
     runner_invocations: usize,
 }
 
+/// Wall-clock spent inside the two expensive evaluation steps of one
+/// group, summed over every attempt of every member. Pure diagnostics —
+/// these feed [`PhaseTimings`], never a decision.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PhaseAcc {
+    /// Seconds inside backend compilation.
+    compile: f64,
+    /// Seconds inside measurement runners (including panicking runs).
+    measure: f64,
+}
+
 /// Backend feedback shared by every member of a group (byte-identical IR).
 #[derive(Clone)]
 pub(crate) struct CompiledInfo {
@@ -607,6 +723,8 @@ pub(crate) struct GroupEval {
     /// Members abandoned before `elected` (or all members, when none won).
     failures: Vec<MemberFailure>,
     tally: FaultTally,
+    /// Compile/measure wall-clock spent evaluating this group.
+    phase: PhaseAcc,
 }
 
 /// Outcome of one evaluation attempt for one member.
@@ -650,6 +768,7 @@ fn attempt_once(
     compiled: &mut Option<CompiledInfo>,
     tally: &mut FaultTally,
     clock: &mut f64,
+    phase: &mut PhaseAcc,
 ) -> AttemptOutcome {
     let key = member as u64;
     if compiled.is_none() {
@@ -661,6 +780,7 @@ fn attempt_once(
                 injected: true,
             };
         }
+        let compile_started = Instant::now();
         let mut worst_regs = 0u32;
         let mut spill_units = 0u32;
         let mut governing: Option<(u32, u32, BackendReport)> = None;
@@ -669,10 +789,11 @@ fn attempt_once(
             let r = match try_compile_launch(&p.version, l, target.max_regs_per_thread) {
                 Ok(r) => r,
                 Err(e) => {
+                    phase.compile += compile_started.elapsed().as_secs_f64();
                     return AttemptOutcome::Failed {
                         reason: PruneReason::CompileFailed(e.message),
                         injected: false,
-                    }
+                    };
                 }
             };
             let demand = r.regs_per_thread + r.spill_units;
@@ -686,6 +807,7 @@ fn attempt_once(
         span.record("launches", p.launches.len());
         span.record("reg_demand", worst_regs);
         span.record("spill_units", spill_units);
+        phase.compile += compile_started.elapsed().as_secs_f64();
         *compiled = Some(CompiledInfo {
             backend: governing
                 .map(|(_, _, r)| r)
@@ -712,7 +834,9 @@ fn attempt_once(
     }
     tally.runner_invocations += 1;
     let mut span = trace.span("tune", "measure");
+    let measure_started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| run(&p.version, info.launch_regs)));
+    phase.measure += measure_started.elapsed().as_secs_f64();
     let seconds = match outcome {
         Err(payload) => {
             return AttemptOutcome::Failed {
@@ -788,6 +912,7 @@ fn evaluate_member(
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
     compiled: &mut Option<CompiledInfo>,
     tally: &mut FaultTally,
+    phase: &mut PhaseAcc,
 ) -> MemberOutcome {
     let mut clock = 0.0f64;
     let mut chain_faults = 0usize;
@@ -818,6 +943,7 @@ fn evaluate_member(
             compiled,
             tally,
             &mut clock,
+            phase,
         ) {
             AttemptOutcome::SpillPruned => {
                 tally.recovered += chain_faults;
@@ -874,6 +1000,7 @@ pub(crate) fn evaluate_group(
         elected: None,
         failures: Vec::new(),
         tally: FaultTally::default(),
+        phase: PhaseAcc::default(),
     };
     // The compile cache spans the whole group: members share byte-identical
     // IR, so once any member's compile succeeded the result is reused by
@@ -891,6 +1018,7 @@ pub(crate) fn evaluate_group(
             run,
             &mut compiled,
             &mut eval.tally,
+            &mut eval.phase,
         );
         match outcome {
             MemberOutcome::Done { measured, noisy } => {
@@ -947,6 +1075,7 @@ pub(crate) fn evaluate_group_caught(
                 })
                 .collect(),
             tally: FaultTally::default(),
+            phase: PhaseAcc::default(),
         }
     })
 }
@@ -1124,6 +1253,7 @@ pub(crate) fn finalize(
                 best_regs,
                 candidates,
                 stats,
+                timings: PhaseTimings::default(),
             })
         }
         None => {
@@ -1160,20 +1290,31 @@ pub(crate) fn tune_serial(
     res: &Resilience,
     cache: Option<&TuningCache>,
 ) -> Result<TuneResult, TuneError> {
+    let wall = Instant::now();
     let mut counters = PersistentCounters::default();
     let cx = cache.map(|c| PersistentCx::new(c, func, target, configs));
     if let Some(cx) = &cx {
         if let Some(mut result) = cx.replay_winner(func.name(), 1, trace, &mut counters) {
             cx.emit_counters(trace, &counters);
             counters.apply(&mut result.stats);
+            result.timings.wall_seconds = wall.elapsed().as_secs_f64();
             return Ok(result);
         }
     }
     let baseline = Baseline::of(func);
-    let preps: Vec<Prep> = configs
+    let dedup = ConfigDedup::new(configs);
+    let mut prepare_busy = 0.0;
+    let unique: Vec<Prep> = dedup
+        .primaries
         .iter()
-        .map(|&c| prepare_caught(func, c, target, &baseline, trace))
+        .map(|&i| {
+            let started = Instant::now();
+            let prep = prepare_caught(func, configs[i], target, &baseline, trace);
+            prepare_busy += started.elapsed().as_secs_f64();
+            prep
+        })
         .collect();
+    let preps = dedup.scatter(unique);
     let plan = plan_groups(configs, &preps);
     let mut preloaded: Vec<Option<CompiledInfo>> = match &cx {
         Some(cx) => cx.preload_reports(&plan, &preps, trace, &mut counters),
@@ -1204,7 +1345,11 @@ pub(crate) fn tune_serial(
     if let Some(cx) = &cx {
         cx.store_fresh_reports(&plan, &preps, &evals, &was_preloaded, trace);
     }
-    let outcome = finalize(func.name(), configs, preps, plan, evals, 1, trace);
+    let phase = sum_phases(&evals);
+    let mut outcome = finalize(func.name(), configs, preps, plan, evals, 1, trace);
+    if let Ok(result) = &mut outcome {
+        result.timings = phase_timings(wall.elapsed().as_secs_f64(), prepare_busy, phase, 1);
+    }
     match &cx {
         Some(cx) => {
             cx.emit_counters(trace, &counters);
@@ -1214,6 +1359,35 @@ pub(crate) fn tune_serial(
             Ok(result)
         }
         None => outcome,
+    }
+}
+
+/// Sums the per-group phase accumulators into one busy-time total.
+fn sum_phases(evals: &[GroupEval]) -> PhaseAcc {
+    evals.iter().fold(PhaseAcc::default(), |mut acc, e| {
+        acc.compile += e.phase.compile;
+        acc.measure += e.phase.measure;
+        acc
+    })
+}
+
+/// Assembles the [`PhaseTimings`] breakdown: busy seconds are summed
+/// across workers, so the unattributed pool overhead is what the wall
+/// clock saw beyond `busy / workers` (clamped at zero — timer skew on a
+/// loaded machine can make the busy share exceed the wall reading).
+fn phase_timings(
+    wall_seconds: f64,
+    prepare_busy: f64,
+    phase: PhaseAcc,
+    workers: usize,
+) -> PhaseTimings {
+    let busy = prepare_busy + phase.compile + phase.measure;
+    PhaseTimings {
+        prepare_seconds: prepare_busy,
+        compile_seconds: phase.compile,
+        measure_seconds: phase.measure,
+        pool_overhead_seconds: (wall_seconds - busy / workers.max(1) as f64).max(0.0),
+        wall_seconds,
     }
 }
 
@@ -1235,19 +1409,33 @@ where
     R: FnMut(&Function, u32) -> Result<f64, SimError>,
     F: Fn() -> R + Sync,
 {
+    let wall = Instant::now();
     let mut counters = PersistentCounters::default();
     let cx = cache.map(|c| PersistentCx::new(c, func, target, configs));
     if let Some(cx) = &cx {
         if let Some(mut result) = cx.replay_winner(func.name(), workers, trace, &mut counters) {
             cx.emit_counters(trace, &counters);
             counters.apply(&mut result.stats);
+            result.timings.wall_seconds = wall.elapsed().as_secs_f64();
             return Ok(result);
         }
     }
     let baseline = Baseline::of(func);
-    let preps: Vec<Prep> = parallel_map(configs.len(), workers, |i| {
-        prepare_caught(func, configs[i], target, &baseline, trace)
+    let dedup = ConfigDedup::new(configs);
+    let timed: Vec<(Prep, f64)> = parallel_map(dedup.primaries.len(), workers, |k| {
+        let started = Instant::now();
+        let prep = prepare_caught(func, configs[dedup.primaries[k]], target, &baseline, trace);
+        (prep, started.elapsed().as_secs_f64())
     });
+    let mut prepare_busy = 0.0;
+    let unique: Vec<Prep> = timed
+        .into_iter()
+        .map(|(prep, seconds)| {
+            prepare_busy += seconds;
+            prep
+        })
+        .collect();
+    let preps = dedup.scatter(unique);
     let plan = plan_groups(configs, &preps);
     let preloaded: Vec<Option<CompiledInfo>> = match &cx {
         Some(cx) => cx.preload_reports(&plan, &preps, trace, &mut counters),
@@ -1282,7 +1470,11 @@ where
     if let Some(cx) = &cx {
         cx.store_fresh_reports(&plan, &preps, &evals, &was_preloaded, trace);
     }
-    let outcome = finalize(func.name(), configs, preps, plan, evals, workers, trace);
+    let phase = sum_phases(&evals);
+    let mut outcome = finalize(func.name(), configs, preps, plan, evals, workers, trace);
+    if let Ok(result) = &mut outcome {
+        result.timings = phase_timings(wall.elapsed().as_secs_f64(), prepare_busy, phase, workers);
+    }
     match &cx {
         Some(cx) => {
             cx.emit_counters(trace, &counters);

@@ -465,6 +465,30 @@ impl TuneOptions {
     }
 }
 
+/// Wall-clock breakdown of one tuning run's hot path.
+///
+/// These are **real** wall times (unlike the virtual clocks in
+/// [`RetryPolicy`]) and are therefore *outside* the determinism contract:
+/// serial and parallel tunes of the same kernel produce identical
+/// candidates and stats but different timings. `prepare`/`compile`/
+/// `measure` are *busy* seconds summed across workers, so with N workers
+/// their sum can exceed `wall_seconds`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Busy seconds cloning, coarsening, optimizing, and hashing candidate
+    /// versions (summed across workers).
+    pub prepare_seconds: f64,
+    /// Busy seconds in backend compilation (summed across workers).
+    pub compile_seconds: f64,
+    /// Busy seconds in measurement-runner calls (summed across workers).
+    pub measure_seconds: f64,
+    /// Wall seconds not explained by busy work: `wall - busy / workers`,
+    /// clamped at zero. Scheduling, stealing, and synchronization overhead.
+    pub pool_overhead_seconds: f64,
+    /// End-to-end wall seconds of the tune.
+    pub wall_seconds: f64,
+}
+
 /// Result of tuning one kernel.
 #[derive(Clone, Debug)]
 pub struct TuneResult {
@@ -480,6 +504,9 @@ pub struct TuneResult {
     pub candidates: Vec<Candidate>,
     /// Engine counters: cache behavior, runner calls, worker count.
     pub stats: TuneStats,
+    /// Per-phase wall-clock breakdown (not part of the determinism
+    /// contract; see [`PhaseTimings`]).
+    pub timings: PhaseTimings,
 }
 
 /// Best-effort degradation report: what a tune lost to faults and failed
@@ -964,6 +991,51 @@ mod tests {
         assert_eq!(events.iter().filter(|e| e.name == "backend").count(), 2);
         assert_eq!(events.iter().filter(|e| e.name == "measure").count(), 2);
         assert_eq!(events.iter().filter(|e| e.name == "candidate").count(), 5);
+        // Prepare-level dedup: the optimize pipeline (one `pass:dce` span
+        // per prepared version) runs once per unique config, not per
+        // candidate — duplicates never clone or re-optimize the kernel.
+        assert_eq!(events.iter().filter(|e| e.name == "pass:dce").count(), 2);
+        // The phase breakdown observed real work.
+        assert!(result.timings.wall_seconds > 0.0);
+        assert!(result.timings.prepare_seconds > 0.0);
+        assert!(result.timings.measure_seconds > 0.0);
+    }
+
+    #[test]
+    fn distinct_configs_with_identical_ir_share_one_group() {
+        let func = parse_function(KERNEL).unwrap();
+        let target = targets::a100();
+        // `block_coarsen` treats any block-factor product of 1 as a no-op,
+        // so [-1, -1, 1] is a *distinct* config that lowers to exactly the
+        // identity's IR. The structural-hash grouping must fold both into
+        // one group: one backend compile, one measurement, shared timing.
+        let noop = CoarsenConfig {
+            block: [-1, -1, 1],
+            thread: [1, 1, 1],
+        };
+        let configs = vec![CoarsenConfig::identity(), noop];
+        let calls = AtomicUsize::new(0);
+        let trace = Trace::new();
+        let result = tune_kernel_traced(
+            &func,
+            &target,
+            &configs,
+            |version, regs| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                scale_runner(version, regs)
+            },
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "one run for one group");
+        assert_eq!(result.stats.cache_misses, 1, "identical IR = one group");
+        assert_eq!(result.stats.cache_hits, 1);
+        let events = trace.events();
+        assert_eq!(events.iter().filter(|e| e.name == "backend").count(), 1);
+        let secs: Vec<f64> = result.candidates.iter().filter_map(|c| c.seconds).collect();
+        assert_eq!(secs.len(), 2);
+        assert_eq!(secs[0].to_bits(), secs[1].to_bits());
+        assert!(result.candidates[1].cache_hit && !result.candidates[0].cache_hit);
     }
 
     #[test]

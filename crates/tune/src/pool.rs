@@ -1,12 +1,22 @@
-//! Zero-dependency scoped worker pool.
+//! Zero-dependency scoped work-stealing pool.
 //!
 //! The tuning engine fans candidate evaluation out over
-//! [`std::thread::scope`] threads. There is no queue and no channel: an
-//! atomic cursor hands out item indices, each worker pulls the next index
-//! until the range is exhausted, and results land in per-index slots so the
-//! output order is always the input order regardless of which worker
-//! finished when. The same helper drives the multi-kernel loop in the
-//! `respec` facade.
+//! [`std::thread::scope`] threads. Work distribution is batched
+//! work-stealing rather than a shared cursor: the index range `0..n` is
+//! split into contiguous per-worker chunks up front (one deque per worker,
+//! zero contention while a worker drains its own chunk), and a worker whose
+//! deque runs dry *steals half* of a victim's remaining items in one lock
+//! acquisition. Stolen items land in the thief's own deque, so they are
+//! re-stealable and load keeps balancing until the range is exhausted.
+//! Results land in per-index slots, so the output order is always the input
+//! order regardless of which worker finished when. The same helper drives
+//! the multi-kernel loop in the `respec` facade.
+//!
+//! Jobs here are compiles and simulator runs — milliseconds each — so the
+//! design pushes all synchronization off the per-item path: a worker takes
+//! one item per lock of its *own* uncontended deque and only touches a
+//! shared lock when stealing, instead of every worker hitting one atomic
+//! cursor for every item.
 //!
 //! Panic isolation: a job that panics must cost exactly its own item, not
 //! the whole tune. [`parallel_map_catch_with`] catches the unwind, converts
@@ -15,6 +25,7 @@
 //! go through poison-tolerant lock accessors so a panic between `lock()`
 //! and the store can never poison its way into a crash of the collector.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -30,11 +41,75 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Locks `slot` even if a previous holder panicked: the stored `Option<T>`
-/// stays structurally valid across an unwind, so the poison flag carries no
-/// information here.
-fn lock_unpoisoned<T>(slot: &Mutex<Option<T>>) -> std::sync::MutexGuard<'_, Option<T>> {
-    slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Locks `m` even if a previous holder panicked: every structure we guard
+/// (result slots, index deques) stays structurally valid across an unwind,
+/// so the poison flag carries no information here.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The index deques, one per worker, plus the count of items not yet
+/// completed (the termination signal: deques can be momentarily empty while
+/// items are in flight on a worker, so emptiness alone cannot end the run).
+struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    remaining: AtomicUsize,
+}
+
+impl StealQueues {
+    /// Splits `0..n` into `workers` contiguous chunks, one per deque, so
+    /// neighbouring indices stay on one worker until stolen.
+    fn new(n: usize, workers: usize) -> StealQueues {
+        let deques = (0..workers)
+            .map(|w| {
+                let lo = w * n / workers;
+                let hi = (w + 1) * n / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        StealQueues {
+            deques,
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    /// Next item for worker `me`: its own deque's front, else half of the
+    /// first non-empty victim's back (deposited into `me`'s deque, minus
+    /// the one returned). `None` only when every deque is empty right now.
+    fn next(&self, me: usize) -> Option<usize> {
+        if let Some(i) = lock_unpoisoned(&self.deques[me]).pop_front() {
+            return Some(i);
+        }
+        let workers = self.deques.len();
+        for step in 1..workers {
+            let victim = (me + step) % workers;
+            let mut stolen = {
+                let mut v = lock_unpoisoned(&self.deques[victim]);
+                let len = v.len();
+                if len == 0 {
+                    continue;
+                }
+                // Steal the back half: the victim keeps the front of its
+                // contiguous run, the thief takes the far end.
+                v.split_off(len - len.div_ceil(2))
+            };
+            let first = stolen.pop_front().expect("stole at least one item");
+            if !stolen.is_empty() {
+                lock_unpoisoned(&self.deques[me]).append(&mut stolen);
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    /// Books one completed item; returns `true` when it was the last.
+    fn complete_one(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    fn all_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
 }
 
 /// Maps `job` over `0..n` on up to `workers` threads, catching panics
@@ -81,19 +156,35 @@ where
         let mut state: Option<S> = None;
         return (0..n).map(|i| run_one(&mut state, i)).collect();
     }
-    let next = AtomicUsize::new(0);
+    let workers = workers.min(n);
+    let queues = StealQueues::new(n, workers);
     let slots: Vec<Mutex<Option<Result<T, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| {
+        for me in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let run_one = &run_one;
+            scope.spawn(move || {
                 let mut state: Option<S> = None;
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                    match queues.next(me) {
+                        Some(i) => {
+                            let out = run_one(&mut state, i);
+                            *lock_unpoisoned(&slots[i]) = Some(out);
+                            if queues.complete_one() {
+                                break;
+                            }
+                        }
+                        // Deques are dry but items may still be in flight on
+                        // other workers (whose deques can refill via steals):
+                        // spin politely until the last completion lands.
+                        None => {
+                            if queues.all_done() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
                     }
-                    let out = run_one(&mut state, i);
-                    *lock_unpoisoned(&slots[i]) = Some(out);
                 }
             });
         }
@@ -298,5 +389,28 @@ mod tests {
         assert_eq!(out.len(), 64);
         assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 32);
         assert_eq!(out.iter().filter(|r| r.is_err()).count(), 32);
+    }
+
+    #[test]
+    fn stealing_drains_a_skewed_initial_split() {
+        // 7 items on 3 workers: chunks are [0,1], [2,3], [4,5,6]. Make one
+        // worker's chunk artificially slow so the others must steal across
+        // chunk boundaries to finish; every index still completes exactly
+        // once and in-order in the output.
+        let out = parallel_map(7, 3, |i| {
+            if i < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..7).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_items_completes() {
+        // workers is clamped to n; no thread may wait forever on an empty
+        // deque.
+        let out = parallel_map(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
     }
 }
