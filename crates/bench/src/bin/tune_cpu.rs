@@ -1,0 +1,31 @@
+//! Regenerates `BENCH_cpu.json`: every Rodinia app autotuned for the
+//! simulated CPU targets (and the A100 for contrast) through the unchanged
+//! tuning entry path. Pass `--large` for paper-scale workloads, `--json`
+//! for one JSON object per row on stdout instead of the table, and
+//! `--totals a,b,c` to override the coarsening-totals ladder.
+use respec_rodinia::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = if args.iter().any(|a| a == "--large") {
+        Workload::Large
+    } else {
+        Workload::Small
+    };
+    let totals: Vec<i64> = args
+        .iter()
+        .position(|a| a == "--totals")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--totals takes integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    if args.iter().any(|a| a == "--json") {
+        let rows = respec_bench::cpu_tune_data(workload, &totals);
+        print!("{}", respec_bench::jsonout::cpu_tune_lines(&rows));
+    } else {
+        respec_bench::cpu_tune(workload, &totals);
+    }
+}

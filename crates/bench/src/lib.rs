@@ -10,7 +10,8 @@ use respec::opt::optimize;
 use respec::sim::SimError;
 use respec::{
     candidate_configs, targets, tune_kernel_pooled, CoarsenConfig, ExecMode, Function, GpuSim,
-    Module, PhaseTimings, Strategy, TargetDesc, Trace, TuneOptions, TuneResult, TuningCache,
+    Module, PhaseTimings, Strategy, TargetDesc, TargetModel, Trace, TuneOptions, TuneResult,
+    TuningCache,
 };
 use respec_rodinia::{all_apps_sized, compile_app, App, Workload};
 
@@ -104,13 +105,13 @@ pub fn composite_seconds(
 pub fn app_runner<'a>(
     app: &'a dyn App,
     module: &'a Module,
-    target: &'a TargetDesc,
+    target: &'a dyn TargetModel,
     kernel: &'a str,
 ) -> impl FnMut(&Function, u32) -> Result<f64, SimError> + 'a {
     move |version, _regs| {
         let mut m = module.clone();
         m.add_function(version.clone());
-        let mut sim = GpuSim::new(target.clone());
+        let mut sim = GpuSim::for_model(target);
         app.run(&mut sim, &m)?;
         Ok(filtered_kernel_seconds(&sim, kernel))
     }
@@ -122,7 +123,7 @@ pub fn app_runner<'a>(
 /// ([`TuneOptions::from_env`], `RESPEC_TUNE_PARALLELISM`).
 pub fn tuned_module(
     app: &dyn App,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     strategy: Strategy,
     totals: &[i64],
 ) -> Module {
@@ -134,7 +135,7 @@ pub fn tuned_module(
 /// the tuning result (when any candidate survived) for inspection.
 pub fn tuned_module_with(
     app: &dyn App,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     strategy: Strategy,
     totals: &[i64],
     options: &TuneOptions,
@@ -1029,6 +1030,106 @@ pub fn fig17(workload: Workload, totals: &[i64]) -> Vec<(String, f64, f64, f64)>
 }
 
 // ---------------------------------------------------------------------------
+// CPU retargeting sweep (`BENCH_cpu.json`)
+// ---------------------------------------------------------------------------
+
+/// One row of the CPU retargeting sweep: an app autotuned for one target
+/// (GPU or CPU) through the unchanged tuning entry path.
+#[derive(Clone, Debug)]
+pub struct CpuTuneRow {
+    /// Application name.
+    pub app: String,
+    /// Protocol name of the target.
+    pub target: String,
+    /// Target kind tag (`"gpu"` / `"cpu"`).
+    pub kind: String,
+    /// Winning coarsening configuration (per-core tile shape on CPUs).
+    pub winner: String,
+    /// Main-kernel seconds of the winner.
+    pub best_seconds: f64,
+    /// Candidate configurations generated for the search.
+    pub candidates: usize,
+    /// Candidates that were actually measured (not pruned/deduplicated).
+    pub measured: usize,
+}
+
+/// Targets of the CPU retargeting sweep: one GPU for contrast, then the
+/// simulated CPUs — so winner divergence is visible in one table.
+pub fn cpu_tune_target_names() -> Vec<&'static str> {
+    vec!["a100", "cpu-desktop8", "cpu-server64"]
+}
+
+/// Tunes every app's main kernel on the sweep targets (serial engine, so
+/// rows are deterministic) and reports the winner per app × target. For
+/// CPU targets the engine lowers each coarsened candidate to the tiled
+/// multicore form before hashing and measuring, so the searched space is
+/// the per-core tile ladder.
+pub fn cpu_tune_data(workload: Workload, totals: &[i64]) -> Vec<CpuTuneRow> {
+    let options = TuneOptions::serial();
+    let mut rows = Vec::new();
+    for app in all_apps_sized(workload) {
+        for name in cpu_tune_target_names() {
+            let target = targets::by_name(name).expect("sweep target registered");
+            let (_, result) = tuned_module_with(
+                app.as_ref(),
+                target.as_ref(),
+                Strategy::Combined,
+                totals,
+                &options,
+            );
+            let result = result.expect("tune produces a winner");
+            rows.push(CpuTuneRow {
+                app: app.name().to_string(),
+                target: name.to_string(),
+                kind: target.kind().tag().to_string(),
+                winner: result.best_config.to_string(),
+                best_seconds: result.best_seconds,
+                candidates: result.candidates.len(),
+                measured: result
+                    .candidates
+                    .iter()
+                    .filter(|c| c.seconds.is_some())
+                    .count(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the [`cpu_tune_data`] sweep as a table, flagging apps whose GPU
+/// and CPU winners diverge.
+pub fn cpu_tune(workload: Workload, totals: &[i64]) -> Vec<CpuTuneRow> {
+    let rows = cpu_tune_data(workload, totals);
+    println!("== CPU retargeting sweep: winner per app x target ==");
+    println!(
+        "{:<14} {:<14} {:>5} {:>28} {:>12} {:>6}/{:<6}",
+        "app", "target", "kind", "winner", "time(us)", "meas", "cands"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<14} {:>5} {:>28} {:>12.3} {:>6}/{:<6}",
+            r.app,
+            r.target,
+            r.kind,
+            r.winner,
+            r.best_seconds * 1e6,
+            r.measured,
+            r.candidates
+        );
+    }
+    let diverging = rows
+        .iter()
+        .filter(|r| r.kind == "gpu")
+        .filter(|g| {
+            rows.iter()
+                .any(|c| c.app == g.app && c.kind == "cpu" && c.winner != g.winner)
+        })
+        .count();
+    println!("apps whose CPU winner differs from the GPU winner: {diverging}");
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Baseline comparison (`bench_compare`)
 // ---------------------------------------------------------------------------
 
@@ -1045,6 +1146,11 @@ pub struct BenchDelta {
     pub old_parallel_s: f64,
     /// Parallel wall seconds in the new baseline.
     pub new_parallel_s: f64,
+    /// Summed CPU-target winner seconds in the old baseline (present when
+    /// the baseline carries `cpu_tune` rows, e.g. `BENCH_cpu.json`).
+    pub old_cpu_s: Option<f64>,
+    /// Summed CPU-target winner seconds in the new baseline.
+    pub new_cpu_s: Option<f64>,
 }
 
 impl BenchDelta {
@@ -1057,19 +1163,35 @@ impl BenchDelta {
     pub fn parallel_speedup(&self) -> f64 {
         self.old_parallel_s / self.new_parallel_s.max(1e-12)
     }
+
+    /// Old-over-new CPU winner speedup, when both baselines carry CPU rows.
+    pub fn cpu_speedup(&self) -> Option<f64> {
+        match (self.old_cpu_s, self.new_cpu_s) {
+            (Some(old), Some(new)) => Some(old / new.max(1e-12)),
+            _ => None,
+        }
+    }
 }
 
+/// Engine-throughput rows of one baseline: `(app, serial_s, parallel_s)`.
+type EngineRows = Vec<(String, f64, f64)>;
+/// Per-app summed CPU winner seconds of one baseline.
+type CpuSeconds = Vec<(String, f64)>;
+
 /// Parses one `BENCH_tune.json` baseline (JSON lines) into
-/// `(app, serial_s, parallel_s)` tuples, in file order.
-fn parse_baseline(content: &str) -> Result<Vec<(String, f64, f64)>, String> {
+/// `(app, serial_s, parallel_s)` tuples, in file order, plus per-app summed
+/// CPU winner seconds from any `cpu_tune` rows mixed into the stream.
+fn parse_baseline(content: &str) -> Result<(EngineRows, CpuSeconds), String> {
     use respec::trace::json::Json;
     let mut rows = Vec::new();
+    let mut cpu: Vec<(String, f64)> = Vec::new();
     for (ln, line) in content.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let obj = Json::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
-        if obj.get("figure").and_then(Json::as_str) != Some("tune_throughput") {
+        let figure = obj.get("figure").and_then(Json::as_str);
+        if figure != Some("tune_throughput") && figure != Some("cpu_tune") {
             continue;
         }
         let field = |key: &str| {
@@ -1082,26 +1204,61 @@ fn parse_baseline(content: &str) -> Result<Vec<(String, f64, f64)>, String> {
             .and_then(Json::as_str)
             .ok_or_else(|| format!("line {}: missing field \"app\"", ln + 1))?
             .to_string();
-        rows.push((app, field("serial_s")?, field("parallel_s")?));
+        if figure == Some("cpu_tune") {
+            if obj.get("kind").and_then(Json::as_str) != Some("cpu") {
+                continue;
+            }
+            let seconds = field("best_s")?;
+            match cpu.iter_mut().find(|(a, _)| *a == app) {
+                Some((_, total)) => *total += seconds,
+                None => cpu.push((app, seconds)),
+            }
+        } else {
+            rows.push((app, field("serial_s")?, field("parallel_s")?));
+        }
     }
-    Ok(rows)
+    Ok((rows, cpu))
 }
 
-/// Diffs two `BENCH_tune.json` baselines: per-app old-over-new speedup of
-/// the serial and parallel searches, for apps present in both files.
+/// Diffs two baselines: per-app old-over-new speedup of the serial and
+/// parallel searches (`BENCH_tune.json` rows) and of the CPU retargeting
+/// winners (`cpu_tune` rows, `BENCH_cpu.json`), for apps present in both
+/// files. Either row family alone is enough to produce deltas.
 pub fn bench_compare(old: &str, new: &str) -> Result<Vec<BenchDelta>, String> {
-    let old_rows = parse_baseline(old)?;
-    let new_rows = parse_baseline(new)?;
+    let (old_rows, old_cpu) = parse_baseline(old)?;
+    let (new_rows, new_cpu) = parse_baseline(new)?;
+    let cpu_of =
+        |set: &[(String, f64)], app: &str| set.iter().find(|(a, _)| a == app).map(|(_, s)| *s);
     let mut deltas = Vec::new();
     for (app, old_serial_s, old_parallel_s) in old_rows {
         if let Some((_, new_serial_s, new_parallel_s)) = new_rows.iter().find(|(a, _, _)| *a == app)
         {
             deltas.push(BenchDelta {
+                old_cpu_s: cpu_of(&old_cpu, &app),
+                new_cpu_s: cpu_of(&new_cpu, &app),
                 app,
                 old_serial_s,
                 new_serial_s: *new_serial_s,
                 old_parallel_s,
                 new_parallel_s: *new_parallel_s,
+            });
+        }
+    }
+    // CPU-only baselines (two BENCH_cpu.json files): synthesize rows for
+    // apps that have CPU data on both sides but no engine-throughput rows.
+    for (app, old_s) in &old_cpu {
+        if deltas.iter().any(|d| d.app == *app) {
+            continue;
+        }
+        if let Some(new_s) = cpu_of(&new_cpu, app) {
+            deltas.push(BenchDelta {
+                app: app.clone(),
+                old_serial_s: 0.0,
+                new_serial_s: 0.0,
+                old_parallel_s: 0.0,
+                new_parallel_s: 0.0,
+                old_cpu_s: Some(*old_s),
+                new_cpu_s: Some(new_s),
             });
         }
     }
@@ -1111,44 +1268,86 @@ pub fn bench_compare(old: &str, new: &str) -> Result<Vec<BenchDelta>, String> {
     Ok(deltas)
 }
 
-/// Prints a [`bench_compare`] result as a table with geomean footer.
+/// Prints a [`bench_compare`] result as a table with geomean footer. Rows
+/// that carry only one family of data show `-` in the other columns, and
+/// the geomean footer covers whatever is present.
 pub fn print_bench_compare(deltas: &[BenchDelta]) {
-    println!("== bench_compare: old vs new BENCH_tune.json (speedup > 1 = new is faster) ==");
+    let fmt_s = |has: bool, v: f64| {
+        if has {
+            format!("{v:.3}")
+        } else {
+            "-".into()
+        }
+    };
+    // CPU winner times are simulated kernel seconds (sub-microsecond), not
+    // wall clock — scientific notation keeps them readable.
+    let fmt_cpu = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.3e}"),
+        None => "-".into(),
+    };
+    let fmt_x = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.2}x"),
+        None => "-".into(),
+    };
+    println!("== bench_compare: old vs new baselines (speedup > 1 = new is faster) ==");
     println!(
-        "{:<16} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
-        "app", "old ser(s)", "new ser(s)", "speedup", "old par(s)", "new par(s)", "speedup"
+        "{:<16} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "app",
+        "old ser(s)",
+        "new ser(s)",
+        "speedup",
+        "old par(s)",
+        "new par(s)",
+        "speedup",
+        "old cpu(s)",
+        "new cpu(s)",
+        "speedup"
     );
+    let mut serial = Vec::new();
+    let mut parallel = Vec::new();
+    let mut cpu = Vec::new();
     for d in deltas {
+        let has_engine = d.old_serial_s > 0.0 || d.new_serial_s > 0.0;
+        if has_engine {
+            serial.push(d.serial_speedup());
+            parallel.push(d.parallel_speedup());
+        }
+        if let Some(s) = d.cpu_speedup() {
+            cpu.push(s);
+        }
         println!(
-            "{:<16} {:>12.3} {:>12.3} {:>9.2}x {:>12.3} {:>12.3} {:>9.2}x",
+            "{:<16} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
             d.app,
-            d.old_serial_s,
-            d.new_serial_s,
-            d.serial_speedup(),
-            d.old_parallel_s,
-            d.new_parallel_s,
-            d.parallel_speedup()
+            fmt_s(has_engine, d.old_serial_s),
+            fmt_s(has_engine, d.new_serial_s),
+            fmt_x(has_engine.then(|| d.serial_speedup())),
+            fmt_s(has_engine, d.old_parallel_s),
+            fmt_s(has_engine, d.new_parallel_s),
+            fmt_x(has_engine.then(|| d.parallel_speedup())),
+            fmt_cpu(d.old_cpu_s),
+            fmt_cpu(d.new_cpu_s),
+            fmt_x(d.cpu_speedup())
         );
     }
+    let footer = |vals: &[f64]| {
+        if vals.is_empty() {
+            "-".into()
+        } else {
+            format!("{:.2}x", geomean(vals))
+        }
+    };
     println!(
-        "{:<16} {:>12} {:>12} {:>9.2}x {:>12} {:>12} {:>9.2}x   (geomean)",
+        "{:<16} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>10}   (geomean)",
         "geomean",
         "",
         "",
-        geomean(
-            &deltas
-                .iter()
-                .map(BenchDelta::serial_speedup)
-                .collect::<Vec<_>>()
-        ),
+        footer(&serial),
         "",
         "",
-        geomean(
-            &deltas
-                .iter()
-                .map(BenchDelta::parallel_speedup)
-                .collect::<Vec<_>>()
-        )
+        footer(&parallel),
+        "",
+        "",
+        footer(&cpu)
     );
 }
 
@@ -1163,7 +1362,31 @@ pub fn print_bench_compare(deltas: &[BenchDelta]) {
 pub mod jsonout {
     use respec::trace::json::JsonObject;
 
-    use super::{Fig13Row, Fig16Row, InterpThroughputRow, ProfileRow, TuneThroughputRow};
+    use super::{
+        CpuTuneRow, Fig13Row, Fig16Row, InterpThroughputRow, ProfileRow, TuneThroughputRow,
+    };
+
+    /// CPU retargeting rows (`BENCH_cpu.json`): winner config and time per
+    /// app × target, GPU and CPU side by side so divergence is greppable.
+    pub fn cpu_tune_lines(rows: &[CpuTuneRow]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "cpu_tune")
+                    .str("app", &r.app)
+                    .str("target", &r.target)
+                    .str("kind", &r.kind)
+                    .str("winner", &r.winner)
+                    .f64("best_s", r.best_seconds)
+                    .u64("candidates", r.candidates as u64)
+                    .u64("measured", r.measured as u64)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
 
     /// Fig. 13 rows: per-app best speedup per strategy.
     pub fn fig13_lines(rows: &[Fig13Row]) -> String {

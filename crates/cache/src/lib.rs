@@ -14,11 +14,13 @@
 //! content keys:
 //!
 //! * **Compile reports** ([`StoredReport`]) are keyed by
-//!   `(structural IR hash of the prepared version, target fingerprint)` —
-//!   plus the pipeline and hash-scheme versions recorded inside the entry.
+//!   `(target kind, structural IR hash of the prepared version, target
+//!   fingerprint)` — plus the pipeline and hash-scheme versions recorded
+//!   inside the entry.
 //! * **Tuning winners** ([`StoredWinner`]) are keyed by
-//!   `(structural IR hash of the *input* kernel, target fingerprint,
-//!   search fingerprint)`, where the search fingerprint digests the
+//!   `(target kind, structural IR hash of the *input* kernel, target
+//!   fingerprint, search fingerprint)`, where the target kind is the
+//!   family tag (`"gpu"` / `"cpu"`) and the search fingerprint digests the
 //!   candidate configuration list and nothing else — deliberately
 //!   *fault-plan-free*, so a chaos run and a clean run share entries.
 //!
@@ -55,7 +57,13 @@ use respec_opt::{CoarsenConfig, PIPELINE_VERSION};
 
 /// On-disk entry format version (the `respec-cache-v<N>` header). Bump on
 /// any change to the entry grammar.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 made every key target-**kind**-aware (`gpu`/`cpu` tag in file names
+/// and a `target_kind` grammar line): fingerprints of different target
+/// families live in disjoint hash domains already, but the kind tag makes
+/// the separation structural — a CPU entry can never collide with or
+/// warm-start a GPU entry even if fingerprints were to collide.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension of cache entries.
 const EXT: &str = "rcache";
@@ -114,6 +122,9 @@ pub struct StoredWinner {
     pub ir: String,
     /// Fingerprint of the target the winner was measured on.
     pub target: u64,
+    /// Kind tag of that target (`TargetKind::tag()`: `"gpu"` / `"cpu"`).
+    /// Part of the key — cross-kind lookups always miss.
+    pub target_kind: String,
 }
 
 impl StoredWinner {
@@ -232,16 +243,23 @@ impl TuningCache {
 
     // -- reports ----------------------------------------------------------
 
-    /// Looks up the compile report for a prepared version on a target.
-    pub fn load_report(&self, version_hash: u64, target: u64) -> Lookup<StoredReport> {
-        match self.read_entry(&report_name(version_hash, target)) {
+    /// Looks up the compile report for a prepared version on a target of
+    /// the given kind (`"gpu"` / `"cpu"`).
+    pub fn load_report(
+        &self,
+        target_kind: &str,
+        version_hash: u64,
+        target: u64,
+    ) -> Lookup<StoredReport> {
+        match self.read_entry(&report_name(target_kind, version_hash, target)) {
             Ok(Some(lines)) => self.parse_report(&lines),
             Ok(None) => Lookup::Miss,
             Err(e) => Lookup::Stale(e),
         }
     }
 
-    /// Stores the compile report for a prepared version on a target.
+    /// Stores the compile report for a prepared version on a target of the
+    /// given kind.
     ///
     /// # Errors
     ///
@@ -249,6 +267,7 @@ impl TuningCache {
     /// best-effort.
     pub fn store_report(
         &self,
+        target_kind: &str,
         version_hash: u64,
         target: u64,
         report: &StoredReport,
@@ -257,6 +276,7 @@ impl TuningCache {
         let b = &report.backend;
         let s = &b.stats;
         text.push_str(&format!("version_hash {version_hash:016x}\n"));
+        text.push_str(&format!("target_kind {target_kind}\n"));
         text.push_str(&format!("target {target:016x}\n"));
         text.push_str(&format!("regs_per_thread {}\n", b.regs_per_thread));
         text.push_str(&format!("backend_spill_units {}\n", b.spill_units));
@@ -280,7 +300,10 @@ impl TuningCache {
         .collect();
         text.push_str(&format!("stats {}\n", stat_bits.join(" ")));
         text.push_str("end\n");
-        self.write_atomic(&report_name(version_hash, target), text.as_bytes())
+        self.write_atomic(
+            &report_name(target_kind, version_hash, target),
+            text.as_bytes(),
+        )
     }
 
     fn parse_report(&self, lines: &[String]) -> Lookup<StoredReport> {
@@ -288,6 +311,7 @@ impl TuningCache {
         match (|| -> Result<StoredReport, String> {
             fields.expect_kind("report")?;
             fields.next_kv("version_hash")?;
+            fields.next_kv("target_kind")?;
             fields.next_kv("target")?;
             let regs_per_thread = fields.get_u32("regs_per_thread")?;
             let backend_spill_units = fields.get_u32("backend_spill_units")?;
@@ -326,9 +350,16 @@ impl TuningCache {
 
     // -- winners ----------------------------------------------------------
 
-    /// Looks up the winner of a search over `(input IR, target, search)`.
-    pub fn load_winner(&self, input_hash: u64, target: u64, search: u64) -> Lookup<StoredWinner> {
-        match self.read_entry(&winner_name(input_hash, target, search)) {
+    /// Looks up the winner of a search over `(kind, input IR, target,
+    /// search)`.
+    pub fn load_winner(
+        &self,
+        target_kind: &str,
+        input_hash: u64,
+        target: u64,
+        search: u64,
+    ) -> Lookup<StoredWinner> {
+        match self.read_entry(&winner_name(target_kind, input_hash, target, search)) {
             Ok(Some(lines)) => self.parse_winner(&lines),
             Ok(None) => Lookup::Miss,
             Err(e) => Lookup::Stale(e),
@@ -350,6 +381,7 @@ impl TuningCache {
         let mut text = self.header("winner");
         let c = winner.config;
         text.push_str(&format!("input_hash {input_hash:016x}\n"));
+        text.push_str(&format!("target_kind {}\n", winner.target_kind));
         text.push_str(&format!("target {:016x}\n", winner.target));
         text.push_str(&format!("search {search:016x}\n"));
         text.push_str(&format!(
@@ -365,7 +397,7 @@ impl TuningCache {
         }
         text.push_str("end\n");
         self.write_atomic(
-            &winner_name(input_hash, winner.target, search),
+            &winner_name(&winner.target_kind, input_hash, winner.target, search),
             text.as_bytes(),
         )
     }
@@ -375,6 +407,7 @@ impl TuningCache {
         match (|| -> Result<StoredWinner, String> {
             fields.expect_kind("winner")?;
             fields.next_kv("input_hash")?;
+            let target_kind = fields.next_kv("target_kind")?.trim().to_string();
             let target = fields.get_hex("target")?;
             fields.next_kv("search")?;
             let cfg = fields.get_i64_list("config", 6)?;
@@ -390,6 +423,7 @@ impl TuningCache {
                 regs,
                 ir,
                 target,
+                target_kind,
             })
         })() {
             Ok(w) => Lookup::Hit(w),
@@ -398,14 +432,23 @@ impl TuningCache {
     }
 
     /// Every readable, version-current winner recorded for `input_hash` on
-    /// a target *other* than `exclude_target` — the cross-target transfer
-    /// set a retargeted search warm-starts from. Results are ordered by
-    /// file name, so consumers are deterministic given a directory state;
-    /// unreadable entries are skipped (they surface as invalidations only
-    /// when looked up directly).
-    pub fn cross_target_winners(&self, input_hash: u64, exclude_target: u64) -> Vec<StoredWinner> {
-        let prefix = format!("w-{input_hash:016x}-");
-        let skip = format!("w-{input_hash:016x}-{exclude_target:016x}-");
+    /// a target *other* than `exclude_target`, within the same target
+    /// kind — the cross-target transfer set a retargeted search
+    /// warm-starts from. Warm starts never cross the GPU/CPU divide: the
+    /// two families have opposite preferences (few heavy threads vs many
+    /// light ones), so a cross-kind hint would prioritize exactly the
+    /// wrong configurations. Results are ordered by file name, so
+    /// consumers are deterministic given a directory state; unreadable
+    /// entries are skipped (they surface as invalidations only when
+    /// looked up directly).
+    pub fn cross_target_winners(
+        &self,
+        target_kind: &str,
+        input_hash: u64,
+        exclude_target: u64,
+    ) -> Vec<StoredWinner> {
+        let prefix = format!("w-{target_kind}-{input_hash:016x}-");
+        let skip = format!("w-{target_kind}-{input_hash:016x}-{exclude_target:016x}-");
         let mut names: Vec<String> = match fs::read_dir(&self.dir) {
             Ok(rd) => rd
                 .filter_map(|e| e.ok())
@@ -509,12 +552,12 @@ fn concat_header() -> String {
     format!("respec-cache-v{FORMAT_VERSION}")
 }
 
-fn report_name(version_hash: u64, target: u64) -> String {
-    format!("r-{version_hash:016x}-{target:016x}.{EXT}")
+fn report_name(kind: &str, version_hash: u64, target: u64) -> String {
+    format!("r-{kind}-{version_hash:016x}-{target:016x}.{EXT}")
 }
 
-fn winner_name(input_hash: u64, target: u64, search: u64) -> String {
-    format!("w-{input_hash:016x}-{target:016x}-{search:016x}.{EXT}")
+fn winner_name(kind: &str, input_hash: u64, target: u64, search: u64) -> String {
+    format!("w-{kind}-{input_hash:016x}-{target:016x}-{search:016x}.{EXT}")
 }
 
 /// Ordered field reader over an entry's body lines (after the 4-line
@@ -665,6 +708,7 @@ mod tests {
             regs: 32,
             ir: "func @k() {\n  return\n}".into(),
             target: 0xfeed,
+            target_kind: "gpu".into(),
         }
     }
 
@@ -706,12 +750,12 @@ mod tests {
     #[test]
     fn report_round_trips_bit_exactly() {
         let cache = TuningCache::open(temp_cache_dir("report")).unwrap();
-        assert_eq!(cache.load_report(1, 2), Lookup::Miss);
+        assert_eq!(cache.load_report("gpu", 1, 2), Lookup::Miss);
         let report = sample_report();
-        cache.store_report(1, 2, &report).unwrap();
-        assert_eq!(cache.load_report(1, 2), Lookup::Hit(report));
+        cache.store_report("gpu", 1, 2, &report).unwrap();
+        assert_eq!(cache.load_report("gpu", 1, 2), Lookup::Hit(report));
         // A different key is an independent entry.
-        assert_eq!(cache.load_report(1, 3), Lookup::Miss);
+        assert_eq!(cache.load_report("gpu", 1, 3), Lookup::Miss);
     }
 
     #[test]
@@ -719,7 +763,7 @@ mod tests {
         let cache = TuningCache::open(temp_cache_dir("winner")).unwrap();
         let w = sample_winner();
         cache.store_winner(7, 9, &w).unwrap();
-        let got = cache.load_winner(7, 0xfeed, 9).hit().expect("hit");
+        let got = cache.load_winner("gpu", 7, 0xfeed, 9).hit().expect("hit");
         assert_eq!(got, w);
         assert_eq!(got.seconds().to_bits(), w.seconds_bits);
     }
@@ -727,37 +771,46 @@ mod tests {
     #[test]
     fn truncated_and_garbled_entries_are_stale_not_errors() {
         let cache = TuningCache::open(temp_cache_dir("corrupt")).unwrap();
-        cache.store_report(5, 6, &sample_report()).unwrap();
+        cache.store_report("gpu", 5, 6, &sample_report()).unwrap();
         cache.store_winner(7, 9, &sample_winner()).unwrap();
         for path in cache.entry_paths().unwrap() {
             let full = fs::read_to_string(&path).unwrap();
             // Truncation: drop the tail (loses the end marker / blob).
             fs::write(&path, &full[..full.len() / 2]).unwrap();
         }
-        assert!(matches!(cache.load_report(5, 6), Lookup::Stale(_)));
-        assert!(matches!(cache.load_winner(7, 0xfeed, 9), Lookup::Stale(_)));
+        assert!(matches!(cache.load_report("gpu", 5, 6), Lookup::Stale(_)));
+        assert!(matches!(
+            cache.load_winner("gpu", 7, 0xfeed, 9),
+            Lookup::Stale(_)
+        ));
         // Garbage bytes.
         for path in cache.entry_paths().unwrap() {
             fs::write(&path, b"\x00\xff not a cache entry \x00").unwrap();
         }
-        assert!(matches!(cache.load_report(5, 6), Lookup::Stale(_)));
-        assert!(matches!(cache.load_winner(7, 0xfeed, 9), Lookup::Stale(_)));
+        assert!(matches!(cache.load_report("gpu", 5, 6), Lookup::Stale(_)));
+        assert!(matches!(
+            cache.load_winner("gpu", 7, 0xfeed, 9),
+            Lookup::Stale(_)
+        ));
     }
 
     #[test]
     fn bumped_pipeline_version_invalidates_entries() {
         let dir = temp_cache_dir("pipeline");
         let old = TuningCache::open_versioned(&dir, 1).unwrap();
-        old.store_report(5, 6, &sample_report()).unwrap();
+        old.store_report("gpu", 5, 6, &sample_report()).unwrap();
         old.store_winner(7, 9, &sample_winner()).unwrap();
         let new = TuningCache::open_versioned(&dir, 2).unwrap();
-        match new.load_report(5, 6) {
+        match new.load_report("gpu", 5, 6) {
             Lookup::Stale(reason) => assert!(reason.contains("pipeline"), "{reason}"),
             other => panic!("expected stale, got {other:?}"),
         }
-        assert!(matches!(new.load_winner(7, 0xfeed, 9), Lookup::Stale(_)));
+        assert!(matches!(
+            new.load_winner("gpu", 7, 0xfeed, 9),
+            Lookup::Stale(_)
+        ));
         // The old version still reads its own entries.
-        assert!(matches!(old.load_report(5, 6), Lookup::Hit(_)));
+        assert!(matches!(old.load_report("gpu", 5, 6), Lookup::Hit(_)));
     }
 
     #[test]
@@ -775,10 +828,47 @@ mod tests {
         cache.store_winner(7, 9, &there).unwrap();
         // A winner for a *different kernel* must never be a hint.
         cache.store_winner(8, 9, &there).unwrap();
-        let hints = cache.cross_target_winners(7, 0xaaaa);
+        let hints = cache.cross_target_winners("gpu", 7, 0xaaaa);
         assert_eq!(hints.len(), 1);
         assert_eq!(hints[0].config, there.config);
         assert_eq!(hints[0].target, 0xbbbb);
+    }
+
+    #[test]
+    fn cross_kind_lookups_always_miss() {
+        // The same fingerprints under a different target kind must be
+        // invisible: a CPU search can never replay, preload, or
+        // warm-start from a GPU entry (and vice versa).
+        let cache = TuningCache::open(temp_cache_dir("kind")).unwrap();
+        let w = sample_winner(); // target_kind: "gpu"
+        cache.store_winner(7, 9, &w).unwrap();
+        cache.store_report("gpu", 1, 2, &sample_report()).unwrap();
+
+        assert_eq!(cache.load_winner("cpu", 7, 0xfeed, 9), Lookup::Miss);
+        assert_eq!(cache.load_report("cpu", 1, 2), Lookup::Miss);
+        assert!(
+            cache.cross_target_winners("cpu", 7, 0).is_empty(),
+            "warm starts must not cross the gpu/cpu divide"
+        );
+        // Same-kind lookups still hit.
+        assert!(matches!(
+            cache.load_winner("gpu", 7, 0xfeed, 9),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(cache.load_report("gpu", 1, 2), Lookup::Hit(_)));
+        assert_eq!(cache.cross_target_winners("gpu", 7, 0).len(), 1);
+
+        // A CPU winner under the same hashes coexists as an independent
+        // entry rather than clobbering the GPU one.
+        let mut cw = sample_winner();
+        cw.target_kind = "cpu".into();
+        cw.config = CoarsenConfig {
+            block: [8, 1, 1],
+            thread: [1, 1, 1],
+        };
+        cache.store_winner(7, 9, &cw).unwrap();
+        assert_eq!(cache.load_winner("cpu", 7, 0xfeed, 9), Lookup::Hit(cw));
+        assert_eq!(cache.load_winner("gpu", 7, 0xfeed, 9), Lookup::Hit(w));
     }
 
     #[test]
@@ -799,8 +889,8 @@ mod tests {
     #[test]
     fn writes_leave_no_temp_files_behind() {
         let cache = TuningCache::open(temp_cache_dir("atomic")).unwrap();
-        cache.store_report(1, 1, &sample_report()).unwrap();
-        cache.store_report(1, 1, &sample_report()).unwrap();
+        cache.store_report("gpu", 1, 1, &sample_report()).unwrap();
+        cache.store_report("gpu", 1, 1, &sample_report()).unwrap();
         let leftovers: Vec<_> = fs::read_dir(cache.dir())
             .unwrap()
             .filter_map(|e| e.ok())

@@ -65,8 +65,8 @@ pub use respec_frontend::KernelSpec;
 pub use respec_ir::{Diagnostic, Function, Module, Severity};
 pub use respec_opt::{CoarsenConfig, IndexingStyle};
 pub use respec_sim::{
-    targets, ExecMode, FaultKind, FaultPlan, FaultSite, FaultSpec, GpuSim, KernelArg, LaunchReport,
-    TargetDesc,
+    targets, CpuTargetDesc, ExecMode, FaultKind, FaultPlan, FaultSite, FaultSpec, GpuSim,
+    KernelArg, LaunchReport, TargetDesc, TargetKind, TargetModel,
 };
 pub use respec_trace::{Trace, TraceSummary};
 pub use respec_tune::{
@@ -79,9 +79,9 @@ pub use respec_tune::{
 /// `use respec::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        targets, CoarsenConfig, Compiled, Compiler, Diagnostic, Error, FaultPlan, FaultSpec,
-        GpuSim, KernelArg, LaunchReport, RetryPolicy, Severity, Strategy, TargetDesc, Trace,
-        TuneOptions, TuneResult, TuningCache,
+        targets, CoarsenConfig, Compiled, Compiler, CpuTargetDesc, Diagnostic, Error, FaultPlan,
+        FaultSpec, GpuSim, KernelArg, LaunchReport, RetryPolicy, Severity, Strategy, TargetDesc,
+        TargetKind, TargetModel, Trace, TuneOptions, TuneResult, TuningCache,
     };
 }
 
@@ -175,7 +175,7 @@ impl From<respec_tune::TuneError> for Error {
 pub struct Compiler {
     source: String,
     specs: Vec<KernelSpec>,
-    target: Option<TargetDesc>,
+    target: Option<Arc<dyn TargetModel>>,
     coarsen: Option<CoarsenConfig>,
     run_optimizer: bool,
     trace: Trace,
@@ -203,9 +203,18 @@ impl Compiler {
         self
     }
 
-    /// Selects the target GPU model (see [`targets`]). Retargeting a CUDA
-    /// program to AMD is nothing more than picking an AMD descriptor here.
-    pub fn target(mut self, target: TargetDesc) -> Compiler {
+    /// Selects the target model (see [`targets`]). Retargeting a CUDA
+    /// program to AMD is nothing more than picking an AMD descriptor here —
+    /// and retargeting it to a multicore CPU is picking a
+    /// [`CpuTargetDesc`]: any [`TargetModel`] implementation binds.
+    pub fn target(mut self, target: impl TargetModel + 'static) -> Compiler {
+        self.target = Some(Arc::new(target));
+        self
+    }
+
+    /// [`Compiler::target`] for an already-shared model, e.g. one resolved
+    /// by name through [`targets::by_name`].
+    pub fn target_model(mut self, target: Arc<dyn TargetModel>) -> Compiler {
         self.target = Some(target);
         self
     }
@@ -352,8 +361,8 @@ impl Compiler {
 pub struct Compiled {
     /// The compiled module (host + device in one unit, as in the paper).
     pub module: Module,
-    /// The target descriptor.
-    pub target: TargetDesc,
+    /// The bound target model (a GPU [`TargetDesc`] or a [`CpuTargetDesc`]).
+    pub target: Arc<dyn TargetModel>,
     /// The trace handle events were recorded into (disabled unless the
     /// builder was given one via [`Compiler::with_trace`]).
     pub trace: Trace,
@@ -376,9 +385,10 @@ impl Compiled {
     }
 
     /// Creates a fresh simulator for the bound target, recording into the
-    /// same trace as compilation (if one is attached).
+    /// same trace as compilation (if one is attached). CPU targets get the
+    /// cores × SIMD-lanes projection of the machine.
     pub fn simulator(&self) -> GpuSim {
-        let mut sim = GpuSim::new(self.target.clone());
+        let mut sim = GpuSim::for_model(self.target.as_ref());
         sim.set_trace(self.trace.clone());
         sim
     }
@@ -410,7 +420,7 @@ impl Compiled {
         args: &[KernelArg],
     ) -> Result<LaunchReport, Error> {
         let func = self.kernel(name);
-        let regs = registers_for(&self.target, func);
+        let regs = registers_for(self.target.as_ref(), func);
         Ok(sim.launch(func, grid, args, regs)?)
     }
 
@@ -478,7 +488,7 @@ impl Compiled {
         let options = self.options_with_cache(options);
         let result = tune_kernel_pooled(
             &func,
-            &self.target,
+            self.target.as_ref(),
             &configs,
             &options,
             make_runner,
@@ -517,7 +527,7 @@ impl Compiled {
         let outer = workers.min(jobs.len()).max(1);
         let inner =
             self.options_with_cache(&TuneOptions::with_parallelism((workers / outer).max(1)));
-        let target = &self.target;
+        let target = self.target.as_ref();
         let trace = &self.trace;
         let results = respec_tune::pool::parallel_map(jobs.len(), outer, |i| {
             let (name, func, configs) = &jobs[i];
@@ -610,12 +620,13 @@ impl fmt::Display for TraceReport {
 }
 
 /// Backend register estimate for a kernel on a target.
-pub fn registers_for(target: &TargetDesc, func: &Function) -> u32 {
+pub fn registers_for(target: &dyn TargetModel, func: &Function) -> u32 {
     match respec_ir::kernel::analyze_function(func) {
         Ok(launches) => launches
             .iter()
             .map(|l| {
-                respec_backend::compile_launch(func, l, target.max_regs_per_thread).regs_per_thread
+                respec_backend::compile_launch(func, l, target.max_regs_per_thread())
+                    .regs_per_thread
             })
             .max()
             .unwrap_or(32),

@@ -1,0 +1,702 @@
+//! GPU-to-CPU lowering: block/thread parallelism onto cores × SIMD lanes.
+//!
+//! Reproduces the transpilation recipe of "High-Performance GPU-to-CPU
+//! Transpilation and Optimization via High-Level Parallel Constructs"
+//! (Moses/Ivanov et al., PAPERS.md) at the IR level:
+//!
+//! * the **block**-parallel loop is left intact — blocks are the unit the
+//!   CPU target model maps onto cores (`sm_count` = cores), and coarsening
+//!   factors become per-core tile sizes exactly as on the GPU;
+//! * the **thread**-parallel loop of width `B` is rewritten to width
+//!   `W = min(simd_lanes, B)` with each lane running a sequential tile
+//!   loop `for t in lane, lane+W, .. < B` — lane-strided so that at every
+//!   tile step adjacent lanes touch adjacent elements, i.e. the natural
+//!   vectorizable/unit-stride schedule for a SIMD unit;
+//! * **shared memory** is demoted to `local` (stack / private-cache
+//!   resident) buffers — a CPU core's "shared memory" is just its cache;
+//! * **barriers** become loop fission: the thread body is split at every
+//!   top-level `barrier<thread>` into consecutive tile loops, with
+//!   scalar values that cross a fission cut spilled to per-thread `local`
+//!   buffers (`memref<B x ty, local>`) and constants rematerialized.
+//!
+//! Kernels the fission rewrite cannot prove safe — barriers nested under
+//! control flow, block-level barriers, or a non-scalar value crossing a
+//! cut — take the **fallback tier**: the thread loop is left at full
+//! width (the simulator's phase-wise lock-step execution models a
+//! fiber-per-thread schedule) and only the shared→local demotion applies.
+//!
+//! Both tiers preserve the launch invariants `analyze_launch` checks, so
+//! the lowered IR flows through the unchanged tuner, occupancy model and
+//! interpreter. Fission only applies to race-free kernels (the tuner's
+//! analyze gate runs first), whose results are independent of execution
+//! order within a barrier-delimited phase — so GPU-sim and CPU-sim
+//! execution produce bit-identical buffers (`cpu_differential.rs`).
+
+use std::collections::{HashMap, HashSet};
+
+use respec_ir::kernel::{analyze_function, Launch};
+use respec_ir::walk::{clone_op, walk_ops};
+use respec_ir::{
+    BinOp, Function, MemRefType, MemSpace, Module, OpId, OpKind, ParLevel, RegionId, ScalarType,
+    Type, Value,
+};
+
+use crate::interleave::{parent_region, region_contains_barrier};
+
+/// Parameters of the CPU lowering, bridged from a CPU target model by the
+/// tuning engine (this crate deliberately does not depend on `respec-sim`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuLoweringParams {
+    /// SIMD lane count of the target (`TargetModel::exec_width`); the
+    /// lowered thread loop has at most this many parallel iterations.
+    pub lanes: i64,
+}
+
+/// What the lowering did, for tests, traces and bench reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuLowerSummary {
+    /// Launches whose thread loop was tiled (and possibly fissioned).
+    pub fissioned: usize,
+    /// Launches left at full thread width (fiber-style fallback tier).
+    pub fallback: usize,
+    /// `shared` allocations demoted to `local`.
+    pub demoted_shared: usize,
+    /// Cross-fission scalar values spilled to per-thread buffers.
+    pub spills: usize,
+}
+
+/// Lowers every launch of `func` for a multicore CPU target, in place.
+///
+/// Infallible by design: launches the fission rewrite cannot handle take
+/// the fallback tier, and a function without analyzable launches is left
+/// untouched (the tuner's prepare stage has already gated analyzability).
+pub fn lower_function_to_cpu(func: &mut Function, params: &CpuLoweringParams) -> CpuLowerSummary {
+    let mut summary = CpuLowerSummary::default();
+    let launches = match analyze_function(func) {
+        Ok(l) => l,
+        Err(_) => return summary,
+    };
+    for launch in &launches {
+        lower_launch(func, launch, params, &mut summary);
+    }
+    summary
+}
+
+/// Lowers every function of `module`, returning the lowered module (the
+/// input is untouched — callers keep the GPU-shaped module for other
+/// targets).
+pub fn lower_module_to_cpu(module: &Module, params: &CpuLoweringParams) -> Module {
+    let mut out = module.clone();
+    for func in out.functions_mut() {
+        lower_function_to_cpu(func, params);
+    }
+    out
+}
+
+fn lower_launch(
+    func: &mut Function,
+    launch: &Launch,
+    params: &CpuLoweringParams,
+    summary: &mut CpuLowerSummary,
+) {
+    // Both tiers: shared memory becomes core-private (stack/L1-resident)
+    // storage. After this no `shared` buffer remains under the launch, so
+    // the analyzer's shared-memory race gate is trivially clean.
+    let block_region = func.op(launch.block_par).regions[0];
+    summary.demoted_shared += demote_shared_allocs(func, block_region);
+
+    match fission_plan(func, launch) {
+        Some(segments) => {
+            fission_launch(func, launch, &segments, params, summary);
+            summary.fissioned += 1;
+        }
+        None => summary.fallback += 1,
+    }
+}
+
+/// Demotes every `alloc : memref<…, shared>` under `region` to `local`.
+fn demote_shared_allocs(func: &mut Function, region: RegionId) -> usize {
+    let mut shared = Vec::new();
+    walk_ops(func, region, &mut |op| {
+        if matches!(
+            func.op(op).kind,
+            OpKind::Alloc {
+                space: MemSpace::Shared
+            }
+        ) {
+            shared.push(op);
+        }
+    });
+    for &op in &shared {
+        let result = func.op(op).results[0];
+        let old = func
+            .value_type(result)
+            .as_memref()
+            .expect("alloc result is a memref")
+            .clone();
+        let new_ty = MemRefType::new(old.elem, old.shape.clone(), MemSpace::Local);
+        func.replace_value_type(result, Type::MemRef(new_ty));
+        func.op_mut(op).kind = OpKind::Alloc {
+            space: MemSpace::Local,
+        };
+    }
+    shared.len()
+}
+
+/// Splits the thread region's top-level ops into barrier-delimited
+/// segments, or returns `None` if the launch must take the fallback tier.
+///
+/// Fallback triggers: a barrier nested under control flow (fission would
+/// change how many times it executes), a block-level barrier, or a
+/// non-scalar value crossing a fission cut (memrefs cannot be spilled).
+fn fission_plan(func: &Function, launch: &Launch) -> Option<Vec<Vec<OpId>>> {
+    let thread_region = func.op(launch.thread_par).regions[0];
+    let top_ops = func.region(thread_region).ops.clone();
+
+    let mut segments: Vec<Vec<OpId>> = vec![Vec::new()];
+    for &op in &top_ops {
+        match &func.op(op).kind {
+            OpKind::Barrier {
+                level: ParLevel::Thread,
+            } => segments.push(Vec::new()),
+            OpKind::Barrier {
+                level: ParLevel::Block,
+            } => return None,
+            OpKind::Yield => {}
+            _ => {
+                for &r in &func.op(op).regions {
+                    if region_contains_barrier(func, r) {
+                        return None;
+                    }
+                }
+                segments.last_mut().expect("non-empty").push(op);
+            }
+        }
+    }
+
+    // Every value crossing a segment boundary must be spillable (scalar)
+    // or rematerializable (constant).
+    if segments.len() > 1 {
+        let def_seg = top_level_def_segments(func, &segments);
+        for (si, seg) in segments.iter().enumerate() {
+            for v in segment_uses(func, seg) {
+                let Some(&ds) = def_seg.get(&v) else { continue };
+                if ds < si && func.value_type(v).as_scalar().is_none() {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(segments)
+}
+
+/// Maps each top-level result value to the index of its defining segment.
+fn top_level_def_segments(func: &Function, segments: &[Vec<OpId>]) -> HashMap<Value, usize> {
+    let mut def_seg = HashMap::new();
+    for (si, seg) in segments.iter().enumerate() {
+        for &op in seg {
+            for &r in &func.op(op).results {
+                def_seg.insert(r, si);
+            }
+        }
+    }
+    def_seg
+}
+
+/// Every value read anywhere inside a segment's op trees.
+fn segment_uses(func: &Function, seg: &[OpId]) -> HashSet<Value> {
+    let mut uses = HashSet::new();
+    for &op in seg {
+        uses.extend(func.op(op).operands.iter().copied());
+        for &r in &func.op(op).regions {
+            walk_ops(func, r, &mut |nested| {
+                uses.extend(func.op(nested).operands.iter().copied());
+            });
+        }
+    }
+    uses
+}
+
+fn mk_index_const(func: &mut Function, v: i64) -> OpId {
+    func.make_op(
+        OpKind::ConstInt {
+            value: v,
+            ty: ScalarType::Index,
+        },
+        vec![],
+        vec![Type::index()],
+        vec![],
+    )
+}
+
+fn mk_index_bin(func: &mut Function, b: BinOp, l: Value, r: Value) -> OpId {
+    func.make_op(OpKind::Binary(b), vec![l, r], vec![Type::index()], vec![])
+}
+
+/// Rewrites the thread loop of `launch` from width `B = ∏ block_dims` to
+/// width `W = min(lanes, B)`, with each barrier-delimited segment becoming
+/// a lane-strided tile loop `for t in (lane, B, W)`.
+fn fission_launch(
+    func: &mut Function,
+    launch: &Launch,
+    segments: &[Vec<OpId>],
+    params: &CpuLoweringParams,
+    summary: &mut CpuLowerSummary,
+) {
+    let thread_region = func.op(launch.thread_par).regions[0];
+    let old_args = func.region(thread_region).args.clone();
+    let dims = launch.block_dims.clone();
+    let b_total: i64 = dims.iter().product();
+    let w = params.lanes.max(1).min(b_total);
+
+    // Insertion cursor in the block region, just before the thread loop:
+    // the new width constant and the spill buffers live here, so the lane
+    // region stays allocation-free (and warp-vectorizable in the
+    // simulator) while spill buffers are allocated once per block.
+    let block_region = parent_region(func, launch.thread_par).expect("thread loop is attached");
+    let mut insert_at = func
+        .region(block_region)
+        .ops
+        .iter()
+        .position(|&o| o == launch.thread_par)
+        .expect("thread loop is in the block region");
+    let mut emit_block = |func: &mut Function, op: OpId| {
+        func.region_mut(block_region).ops.insert(insert_at, op);
+        insert_at += 1;
+    };
+
+    let w_op = mk_index_const(func, w);
+    emit_block(func, w_op);
+    let w_val = func.result(w_op);
+
+    // Cross-segment values, in deterministic definition order. Constants
+    // are rematerialized in each consuming segment; everything else gets a
+    // per-thread spill slot.
+    let seg_uses: Vec<HashSet<Value>> = segments.iter().map(|s| segment_uses(func, s)).collect();
+    let mut crossing: Vec<(Value, usize)> = Vec::new();
+    for (si, seg) in segments.iter().enumerate() {
+        for &op in seg {
+            for &v in &func.op(op).results {
+                if seg_uses
+                    .iter()
+                    .enumerate()
+                    .any(|(sj, uses)| sj > si && uses.contains(&v))
+                {
+                    crossing.push((v, si));
+                }
+            }
+        }
+    }
+    let remat: HashSet<Value> = crossing
+        .iter()
+        .filter(|&&(v, si)| {
+            let op = segments[si]
+                .iter()
+                .copied()
+                .find(|&o| func.op(o).results.contains(&v))
+                .expect("crossing value has a defining op");
+            matches!(
+                func.op(op).kind,
+                OpKind::ConstInt { .. } | OpKind::ConstFloat { .. }
+            )
+        })
+        .map(|&(v, _)| v)
+        .collect();
+    let mut spill_buf: HashMap<Value, Value> = HashMap::new();
+    for &(v, _) in &crossing {
+        if remat.contains(&v) {
+            continue;
+        }
+        let elem = func
+            .value_type(v)
+            .as_scalar()
+            .expect("fission_plan admits only scalar crossings");
+        let buf_ty = MemRefType::new(elem, vec![b_total], MemSpace::Local);
+        let alloc = func.make_op(
+            OpKind::Alloc {
+                space: MemSpace::Local,
+            },
+            vec![],
+            vec![Type::MemRef(buf_ty)],
+            vec![],
+        );
+        emit_block(func, alloc);
+        spill_buf.insert(v, func.result(alloc));
+        summary.spills += 1;
+    }
+    let defining_op = |func: &Function, v: Value, si: usize| {
+        segments[si]
+            .iter()
+            .copied()
+            .find(|&o| func.op(o).results.contains(&v))
+            .expect("crossing value has a defining op")
+    };
+
+    // The new thread region: one lane argument, one tile loop per segment,
+    // barriers re-emitted between consecutive tile loops (top-level in the
+    // lane region, hence trivially uniform for the divergence checker).
+    let lane_region = func.new_region();
+    let lane = func.add_region_arg(lane_region, Type::index());
+    let bt_op = mk_index_const(func, b_total);
+    func.push_op(lane_region, bt_op);
+    let bt_val = func.result(bt_op);
+
+    for (si, seg) in segments.iter().enumerate() {
+        if si > 0 {
+            let bar = func.make_op(
+                OpKind::Barrier {
+                    level: ParLevel::Thread,
+                },
+                vec![],
+                vec![],
+                vec![],
+            );
+            func.push_op(lane_region, bar);
+        }
+
+        let body = func.new_region();
+        let t = func.add_region_arg(body, Type::index());
+        let mut map: HashMap<Value, Value> = HashMap::new();
+        build_thread_ids(func, body, t, &dims, &old_args, &mut map);
+
+        // Incoming values: rematerialize constants, reload spills.
+        for &(v, ds) in &crossing {
+            if ds >= si || !seg_uses[si].contains(&v) {
+                continue;
+            }
+            if remat.contains(&v) {
+                let def = defining_op(func, v, ds);
+                let cloned = clone_op(func, def, &mut map);
+                func.push_op(body, cloned);
+            } else {
+                let buf = spill_buf[&v];
+                let ty = func.value_type(v).clone();
+                let load = func.make_op(OpKind::Load, vec![buf, t], vec![ty], vec![]);
+                func.push_op(body, load);
+                map.insert(v, func.result(load));
+            }
+        }
+
+        for &op in seg {
+            let results = func.op(op).results.clone();
+            let cloned = clone_op(func, op, &mut map);
+            func.push_op(body, cloned);
+            for v in results {
+                if let Some(&buf) = spill_buf.get(&v) {
+                    let stored = map[&v];
+                    let store = func.make_op(OpKind::Store, vec![stored, buf, t], vec![], vec![]);
+                    func.push_op(body, store);
+                }
+            }
+        }
+
+        let yld = func.make_op(OpKind::Yield, vec![], vec![], vec![]);
+        func.push_op(body, yld);
+        let tile = func.make_op(OpKind::For, vec![lane, bt_val, w_val], vec![], vec![body]);
+        func.push_op(lane_region, tile);
+    }
+    let yld = func.make_op(OpKind::Yield, vec![], vec![], vec![]);
+    func.push_op(lane_region, yld);
+
+    // Swap the rewritten region in: the thread loop keeps its identity
+    // (OpId, level) but now spans W lanes. `analyze_launch`'s invariants
+    // hold — one thread loop, constant positive extent.
+    let tp = func.op_mut(launch.thread_par);
+    tp.operands = vec![w_val];
+    tp.regions = vec![lane_region];
+}
+
+/// Seeds `map` with the original thread ids `(tx, ty, tz)` recomputed from
+/// the flat thread index `t`: `id_d = (t / ∏ earlier dims) % dim_d`, with
+/// unit dims pinned to 0 and the topmost non-unit dim skipping the `%`.
+fn build_thread_ids(
+    func: &mut Function,
+    body: RegionId,
+    t: Value,
+    dims: &[i64],
+    old_args: &[Value],
+    map: &mut HashMap<Value, Value>,
+) {
+    let b_total: i64 = dims.iter().product();
+    let mut zero: Option<Value> = None;
+    let mut stride = 1i64;
+    for (d, &arg) in old_args.iter().enumerate() {
+        let extent = dims.get(d).copied().unwrap_or(1);
+        let id = if extent == 1 {
+            match zero {
+                Some(z) => z,
+                None => {
+                    let c = mk_index_const(func, 0);
+                    func.push_op(body, c);
+                    let z = func.result(c);
+                    zero = Some(z);
+                    z
+                }
+            }
+        } else {
+            let quotient = if stride == 1 {
+                t
+            } else {
+                let c = mk_index_const(func, stride);
+                func.push_op(body, c);
+                let div = mk_index_bin(func, BinOp::Div, t, func.result(c));
+                func.push_op(body, div);
+                func.result(div)
+            };
+            if stride * extent == b_total {
+                quotient
+            } else {
+                let c = mk_index_const(func, extent);
+                func.push_op(body, c);
+                let rem = mk_index_bin(func, BinOp::Rem, quotient, func.result(c));
+                func.push_op(body, rem);
+                func.result(rem)
+            }
+        };
+        map.insert(arg, id);
+        stride *= extent;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respec_ir::kernel::analyze_function as launches_of;
+    use respec_ir::{parse_function, verify_function};
+
+    const BARRIER_KERNEL: &str =
+        "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<64xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %v = load %m[%i] : f32
+      store %v, %sm[%tx]
+      barrier<thread>
+      %r = load %sm[%tx] : f32
+      %d = add %r, %r : f32
+      store %d, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+
+    fn lower(src: &str, lanes: i64) -> (Function, CpuLowerSummary) {
+        let mut func = parse_function(src).unwrap();
+        let summary = lower_function_to_cpu(&mut func, &CpuLoweringParams { lanes });
+        verify_function(&func).unwrap_or_else(|e| panic!("lowered IR fails verify: {e}\n{func}"));
+        (func, summary)
+    }
+
+    #[test]
+    fn fission_tiles_to_lane_width_and_demotes_shared() {
+        let (func, summary) = lower(BARRIER_KERNEL, 8);
+        assert_eq!(
+            summary,
+            CpuLowerSummary {
+                fissioned: 1,
+                fallback: 0,
+                demoted_shared: 1,
+                spills: 1
+            },
+            "%i crosses the barrier (used by the post-barrier store)"
+        );
+        let launch = launches_of(&func).unwrap().remove(0);
+        assert_eq!(launch.block_dims, vec![8], "thread width is now W=8");
+        assert!(
+            launch.shared_allocs.is_empty(),
+            "no shared memory survives CPU lowering"
+        );
+        let printed = func.to_string();
+        assert!(printed.contains("local"), "demoted alloc is local");
+        assert!(!printed.contains("shared"), "no shared space remains");
+        assert_eq!(
+            printed.matches("for ").count(),
+            2,
+            "one tile loop per barrier-delimited segment:\n{printed}"
+        );
+        assert!(
+            printed.contains("barrier<thread>"),
+            "barrier re-emitted between tile loops"
+        );
+    }
+
+    #[test]
+    fn cross_segment_scalars_are_spilled() {
+        // %i is computed before the barrier and used after it.
+        let src = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c64 = const 64 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<64xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c64, %c1, %c1) {
+      %w = mul %bx, %c64 : index
+      %i = add %w, %tx : index
+      %v = load %m[%i] : f32
+      store %v, %sm[%tx]
+      barrier<thread>
+      %r = load %sm[%tx] : f32
+      %d = add %r, %v : f32
+      store %d, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+        let (func, summary) = lower(src, 8);
+        assert_eq!(summary.fissioned, 1);
+        assert_eq!(
+            summary.spills, 2,
+            "%i (index) and %v (f32) cross the cut: {func}"
+        );
+        let printed = func.to_string();
+        assert!(
+            printed.contains("memref<64xf32, local>"),
+            "f32 spill slot per thread:\n{printed}"
+        );
+        assert!(
+            printed.contains("memref<64xindex, local>"),
+            "index spill slot per thread:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn constants_are_rematerialized_not_spilled() {
+        let src = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c4 = const 4 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c4, %c1, %c1) {
+      %two = fconst 2.0 : f32
+      %v = load %m[%tx] : f32
+      %s = mul %v, %two : f32
+      store %s, %m[%tx]
+      barrier<thread>
+      %r = load %m[%tx] : f32
+      %d = mul %r, %two : f32
+      store %d, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}";
+        let (func, summary) = lower(src, 4);
+        assert_eq!(summary.fissioned, 1);
+        assert_eq!(summary.spills, 0, "constants rematerialize: {func}");
+    }
+
+    #[test]
+    fn nested_barrier_takes_fallback_tier() {
+        let src = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c16 = const 16 : index
+  %c1 = const 1 : index
+  %c0 = const 0 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    %sm = alloc() : memref<16xf32, shared>
+    parallel<thread> (%tx, %ty, %tz) to (%c16, %c1, %c1) {
+      for %i = %c0 to %c16 step %c1 {
+        %v = load %m[%tx] : f32
+        store %v, %sm[%tx]
+        barrier<thread>
+        yield
+      }
+      yield
+    }
+    yield
+  }
+  return
+}";
+        let (func, summary) = lower(src, 8);
+        assert_eq!(
+            summary,
+            CpuLowerSummary {
+                fissioned: 0,
+                fallback: 1,
+                demoted_shared: 1,
+                spills: 0
+            }
+        );
+        let launch = launches_of(&func).unwrap().remove(0);
+        assert_eq!(
+            launch.block_dims,
+            vec![16, 1, 1],
+            "fallback keeps the full-width thread loop"
+        );
+        assert!(
+            launch.shared_allocs.is_empty(),
+            "demotion applies even on the fallback tier"
+        );
+    }
+
+    #[test]
+    fn multi_dim_thread_ids_are_delinearized() {
+        let src = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c8 = const 8 : index
+  %c4 = const 4 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c8, %c4, %c1) {
+      %r = mul %ty, %c8 : index
+      %i = add %r, %tx : index
+      %v = load %m[%i] : f32
+      %d = add %v, %v : f32
+      store %d, %m[%i]
+      yield
+    }
+    yield
+  }
+  return
+}";
+        let (func, summary) = lower(src, 16);
+        assert_eq!(summary.fissioned, 1);
+        let launch = launches_of(&func).unwrap().remove(0);
+        assert_eq!(launch.block_dims, vec![16], "W = min(16 lanes, 32 threads)");
+        let printed = func.to_string();
+        assert!(
+            printed.contains("rem "),
+            "tx = t %% 8 delinearization:\n{printed}"
+        );
+        assert!(printed.contains("div "), "ty = t / 8 delinearization");
+    }
+
+    #[test]
+    fn lanes_clamp_to_thread_count() {
+        let src = "func @k(%gx: index, %gy: index, %gz: index, %m: memref<?xf32, global>) {
+  %c4 = const 4 : index
+  %c1 = const 1 : index
+  parallel<block> (%bx, %by, %bz) to (%gx, %gy, %gz) {
+    parallel<thread> (%tx, %ty, %tz) to (%c4, %c1, %c1) {
+      %v = load %m[%tx] : f32
+      store %v, %m[%tx]
+      yield
+    }
+    yield
+  }
+  return
+}";
+        let (func, _) = lower(src, 64);
+        let launch = launches_of(&func).unwrap().remove(0);
+        assert_eq!(launch.block_dims, vec![4], "W never exceeds the block");
+    }
+
+    #[test]
+    fn module_lowering_leaves_input_untouched() {
+        let func = parse_function(BARRIER_KERNEL).unwrap();
+        let mut module = Module::default();
+        module.add_function(func);
+        let before = format!("{module:?}");
+        let lowered = lower_module_to_cpu(&module, &CpuLoweringParams { lanes: 8 });
+        assert_eq!(format!("{module:?}"), before, "input module is untouched");
+        let launch = launches_of(lowered.function("k").unwrap())
+            .unwrap()
+            .remove(0);
+        assert_eq!(launch.block_dims, vec![8]);
+    }
+}

@@ -43,6 +43,7 @@ pub mod alternatives;
 mod barrier_elim;
 mod canon;
 pub mod coarsen;
+pub mod cpu_lower;
 mod cse;
 mod dce;
 pub mod factors;
@@ -60,6 +61,9 @@ pub use canon::canonicalize;
 pub use coarsen::{
     block_coarsen, coarsen_function, coarsen_function_region, coarsen_precheck, thread_coarsen,
     CoarsenConfig, CoarsenError,
+};
+pub use cpu_lower::{
+    lower_function_to_cpu, lower_module_to_cpu, CpuLowerSummary, CpuLoweringParams,
 };
 pub use cse::cse;
 pub use dce::dce;

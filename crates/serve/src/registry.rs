@@ -15,7 +15,7 @@ use std::sync::Arc;
 use respec_bench::{compiled_module, Pipeline};
 use respec_ir::{structural_hash, Function, Module};
 use respec_rodinia::{all_apps_sized, App, Workload};
-use respec_sim::{targets, TargetDesc};
+use respec_sim::{targets, TargetModel};
 
 /// One workload, fully prepared for tuning.
 pub struct PreparedApp {
@@ -93,19 +93,15 @@ impl Registry {
     }
 }
 
-/// Resolves a target by its short protocol name.
-pub fn target_by_name(name: &str) -> Option<TargetDesc> {
-    match name {
-        "a4000" => Some(targets::a4000()),
-        "rx6800" => Some(targets::rx6800()),
-        "a100" => Some(targets::a100()),
-        "mi210" => Some(targets::mi210()),
-        _ => None,
-    }
+/// Resolves a target by its short protocol name — a thin alias over the
+/// canonical registry [`respec_sim::targets::by_name`], which covers the
+/// four GPUs of Table I *and* the simulated CPU targets.
+pub fn target_by_name(name: &str) -> Option<Arc<dyn TargetModel>> {
+    targets::by_name(name)
 }
 
-/// Short protocol names of every registered target.
-pub const TARGET_NAMES: [&str; 4] = ["a4000", "rx6800", "a100", "mi210"];
+/// Short protocol names of every registered target (GPUs, then CPUs).
+pub use respec_sim::targets::TARGET_NAMES;
 
 #[cfg(test)]
 mod tests {
@@ -126,6 +122,7 @@ mod tests {
 
     #[test]
     fn every_protocol_target_resolves() {
+        assert_eq!(TARGET_NAMES.len(), 6, "four GPUs plus two CPU targets");
         for name in TARGET_NAMES {
             let target = target_by_name(name).expect("registered target");
             assert!(target.fingerprint() != 0);

@@ -27,7 +27,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use respec_opt::CoarsenConfig;
-use respec_sim::TargetDesc;
+use respec_sim::TargetModel;
 use respec_tune::Strategy;
 
 use crate::registry::PreparedApp;
@@ -62,8 +62,8 @@ pub struct TuneJob {
     pub key: JobKey,
     /// The prepared workload.
     pub app: Arc<PreparedApp>,
-    /// Concrete target description.
-    pub target: TargetDesc,
+    /// Concrete target model (GPU descriptor or CPU descriptor).
+    pub target: Arc<dyn TargetModel>,
     /// Protocol name of the target (echoed in responses and events).
     pub target_name: String,
     /// Totals ladder for candidate generation.

@@ -762,14 +762,14 @@ fn execute_tune(shared: &Arc<Shared>, job: &TuneJob, trace: &Trace, queue_ms: f6
     let started = Instant::now();
     let result = tune_kernel_pooled(
         &job.app.func,
-        &job.target,
+        job.target.as_ref(),
         &job.configs,
         &options,
         || {
             respec_bench::app_runner(
                 job.app.app.as_ref(),
                 &job.app.module,
-                &job.target,
+                job.target.as_ref(),
                 job.app.app.main_kernel(),
             )
         },

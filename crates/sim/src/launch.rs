@@ -209,6 +209,13 @@ pub struct KernelTiming {
 }
 
 impl GpuSim {
+    /// Creates a simulator for any target model, GPU or CPU: the model's
+    /// [`TargetModel::sim_desc`] projection supplies the machine description
+    /// the decoded-op interpreter and timing model run against.
+    pub fn for_model(model: &dyn crate::TargetModel) -> GpuSim {
+        GpuSim::new(model.sim_desc())
+    }
+
     /// Creates a simulator for the given target.
     pub fn new(target: TargetDesc) -> GpuSim {
         let l1 = (0..target.sm_count)

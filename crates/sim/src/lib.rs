@@ -70,11 +70,15 @@ pub use launch::{
 pub use memory::{BufferId, DeviceMemory};
 pub use occupancy::{occupancy, BlockResources, Infeasible, Limiter, Occupancy};
 pub use stats::{merge_warp_phase, replay_access, ExecStats, WarpMerger, NUM_CLASSES};
-pub use target::{TargetDesc, Vendor};
+pub use target::{CpuTargetDesc, TargetDesc, TargetKind, TargetModel, Vendor};
 pub use timing::{estimate, Timing, LAUNCH_OVERHEAD_S};
 pub use value::{MemVal, RtVal, Store};
 
-/// Re-exported target constructors (Table I).
+/// Canonical target registry: GPU constructors (Table I), simulated CPU
+/// targets, and the one name→model lookup every consumer shares.
 pub mod targets {
-    pub use crate::target::{a100, a4000, all_targets, mi210, rx6800};
+    pub use crate::target::{
+        a100, a4000, all_cpu_targets, all_targets, by_name, cpu_desktop8, cpu_server64, mi210,
+        rx6800, TARGET_NAMES,
+    };
 }

@@ -67,8 +67,10 @@ use respec_backend::{try_compile_launch, BackendReport};
 use respec_cache::{Lookup, StoredReport, StoredWinner, TuningCache};
 use respec_ir::kernel::{analyze_function, Launch};
 use respec_ir::{parse_function, structural_hash, Function};
-use respec_opt::{coarsen_function, coarsen_precheck, optimize_traced, CoarsenConfig};
-use respec_sim::{FaultKind, FaultPlan, FaultSite, SimError, TargetDesc};
+use respec_opt::{
+    coarsen_function, coarsen_precheck, optimize_traced, CoarsenConfig, CpuLoweringParams,
+};
+use respec_sim::{FaultKind, FaultPlan, FaultSite, SimError, TargetDesc, TargetKind, TargetModel};
 use respec_trace::Trace;
 
 use crate::pool::{panic_message, parallel_map};
@@ -129,6 +131,7 @@ impl PersistentCounters {
 pub(crate) struct PersistentCx<'a> {
     cache: &'a TuningCache,
     input_hash: u64,
+    target_kind: &'static str,
     target_fp: u64,
     search_fp: u64,
 }
@@ -137,12 +140,13 @@ impl<'a> PersistentCx<'a> {
     fn new(
         cache: &'a TuningCache,
         func: &Function,
-        target: &TargetDesc,
+        target: &dyn TargetModel,
         configs: &[CoarsenConfig],
     ) -> PersistentCx<'a> {
         PersistentCx {
             cache,
             input_hash: structural_hash(func),
+            target_kind: target.kind().tag(),
             target_fp: target.fingerprint(),
             search_fp: TuningCache::search_fingerprint(configs),
         }
@@ -189,10 +193,12 @@ impl<'a> PersistentCx<'a> {
         trace: &Trace,
         counters: &mut PersistentCounters,
     ) -> Option<TuneResult> {
-        let stored = match self
-            .cache
-            .load_winner(self.input_hash, self.target_fp, self.search_fp)
-        {
+        let stored = match self.cache.load_winner(
+            self.target_kind,
+            self.input_hash,
+            self.target_fp,
+            self.search_fp,
+        ) {
             Lookup::Hit(w) => w,
             other => {
                 let _ = self.book(other, "winner", trace, counters);
@@ -272,7 +278,8 @@ impl<'a> PersistentCx<'a> {
                     Prep::Pruned { .. } => unreachable!("groups are formed from survivors only"),
                 };
                 self.book(
-                    self.cache.load_report(p.ir_hash, self.target_fp),
+                    self.cache
+                        .load_report(self.target_kind, p.ir_hash, self.target_fp),
                     "report",
                     trace,
                     counters,
@@ -295,9 +302,9 @@ impl<'a> PersistentCx<'a> {
         counters: &mut PersistentCounters,
     ) -> Vec<usize> {
         let mut first: Vec<usize> = Vec::new();
-        for hint in self
-            .cache
-            .cross_target_winners(self.input_hash, self.target_fp)
+        for hint in
+            self.cache
+                .cross_target_winners(self.target_kind, self.input_hash, self.target_fp)
         {
             let Some(ci) = configs.iter().position(|c| *c == hint.config) else {
                 continue;
@@ -354,7 +361,10 @@ impl<'a> PersistentCx<'a> {
                 spill_units: eval.spill_units,
                 launch_regs: eval.launch_regs,
             };
-            if let Err(e) = self.cache.store_report(p.ir_hash, self.target_fp, &stored) {
+            if let Err(e) =
+                self.cache
+                    .store_report(self.target_kind, p.ir_hash, self.target_fp, &stored)
+            {
                 trace.instant(
                     "cache",
                     "store_failed",
@@ -377,6 +387,7 @@ impl<'a> PersistentCx<'a> {
             regs: result.best_regs,
             ir: result.best.to_string(),
             target: self.target_fp,
+            target_kind: self.target_kind.to_string(),
         };
         if let Err(e) = self
             .cache
@@ -470,7 +481,7 @@ impl<'a> CowVersion<'a> {
 pub(crate) fn prepare(
     func: &Function,
     config: CoarsenConfig,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     baseline: &Baseline,
     trace: &Trace,
 ) -> Prep {
@@ -490,7 +501,27 @@ pub(crate) fn prepare(
         }
     }
     optimize_traced(version.to_mut(), trace);
-    let version = version.into_owned();
+    let mut version = version.into_owned();
+    // CPU targets get the GPU-to-CPU lowering *after* coarsening and
+    // optimization: coarsening factors act as per-core tile sizes, and the
+    // lowered IR is what gets hashed, grouped, compiled and measured — so
+    // cache keys and structural groups are kind-specific by construction.
+    if target.kind() == TargetKind::Cpu {
+        let lanes = i64::from(target.exec_width());
+        let summary = respec_opt::lower_function_to_cpu(&mut version, &CpuLoweringParams { lanes });
+        if summary.fissioned + summary.fallback > 0 {
+            trace.instant(
+                "tune",
+                "cpu_lower",
+                &[
+                    ("fissioned".into(), summary.fissioned.into()),
+                    ("fallback".into(), summary.fallback.into()),
+                    ("demoted_shared".into(), summary.demoted_shared.into()),
+                    ("spills".into(), summary.spills.into()),
+                ],
+            );
+        }
+    }
     let launches = match analyze_function(&version) {
         Ok(l) => l,
         Err(e) => {
@@ -516,11 +547,11 @@ pub(crate) fn prepare(
             shared_bytes: shared,
         };
     }
-    if shared > target.shared_per_block {
+    if shared > target.shared_per_block() {
         return Prep::Pruned {
             reason: PruneReason::SharedMemory {
                 bytes: shared,
-                limit: target.shared_per_block,
+                limit: target.shared_per_block(),
             },
             shared_bytes: shared,
         };
@@ -591,7 +622,7 @@ impl ConfigDedup {
 pub(crate) fn prepare_caught(
     func: &Function,
     config: CoarsenConfig,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     baseline: &Baseline,
     trace: &Trace,
 ) -> Prep {
@@ -761,7 +792,7 @@ fn attempt_once(
     attempt: u32,
     p: &PreparedVersion,
     has_identity: bool,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
@@ -786,7 +817,7 @@ fn attempt_once(
         let mut governing: Option<(u32, u32, BackendReport)> = None;
         let mut span = trace.span("tune", "backend");
         for l in &p.launches {
-            let r = match try_compile_launch(&p.version, l, target.max_regs_per_thread) {
+            let r = match try_compile_launch(&p.version, l, target.max_regs_per_thread()) {
                 Ok(r) => r,
                 Err(e) => {
                     phase.compile += compile_started.elapsed().as_secs_f64();
@@ -814,7 +845,7 @@ fn attempt_once(
                 .expect("kernels have at least one launch"),
             worst_regs,
             spill_units,
-            launch_regs: worst_regs.min(target.max_regs_per_thread),
+            launch_regs: worst_regs.min(target.max_regs_per_thread()),
         });
     }
     let info = compiled.as_ref().expect("compiled just above");
@@ -906,7 +937,7 @@ fn evaluate_member(
     member: usize,
     p: &PreparedVersion,
     has_identity: bool,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
@@ -980,7 +1011,7 @@ fn evaluate_member(
 pub(crate) fn evaluate_group(
     group: &Group,
     preps: &[Prep],
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
@@ -1047,7 +1078,7 @@ pub(crate) fn evaluate_group(
 pub(crate) fn evaluate_group_caught(
     group: &Group,
     preps: &[Prep],
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     res: &Resilience,
     trace: &Trace,
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
@@ -1283,7 +1314,7 @@ pub(crate) fn finalize(
 /// Serial driver: one runner, everything on the calling thread.
 pub(crate) fn tune_serial(
     func: &Function,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     configs: &[CoarsenConfig],
     run: &mut impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
@@ -1397,7 +1428,7 @@ fn phase_timings(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tune_parallel<R, F>(
     func: &Function,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     configs: &[CoarsenConfig],
     workers: usize,
     make_runner: &F,

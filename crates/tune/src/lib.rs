@@ -49,7 +49,7 @@ use std::sync::Arc;
 use respec_backend::BackendReport;
 use respec_ir::Function;
 use respec_opt::{split_total, CoarsenConfig};
-use respec_sim::{EnvConfigError, FaultPlan, SimError, TargetDesc};
+use respec_sim::{EnvConfigError, FaultPlan, SimError, TargetModel};
 use respec_trace::{MetricValue, Trace};
 
 mod engine;
@@ -667,7 +667,7 @@ pub fn candidate_configs(
 /// Returns a [`TuneError`] if no candidate survives measurement.
 pub fn tune_kernel(
     func: &Function,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     configs: &[CoarsenConfig],
     run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
 ) -> Result<TuneResult, TuneError> {
@@ -738,7 +738,7 @@ fn candidate_metrics(candidate: &Candidate, regs: Option<u32>) -> Vec<(String, M
 /// when eligible, a `measure` span around its runner invocation.
 pub fn tune_kernel_traced(
     func: &Function,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     configs: &[CoarsenConfig],
     mut run: impl FnMut(&Function, u32) -> Result<f64, SimError>,
     trace: &Trace,
@@ -771,7 +771,7 @@ pub fn tune_kernel_traced(
 /// Returns a [`TuneError`] if no candidate survives measurement.
 pub fn tune_kernel_pooled<R, F>(
     func: &Function,
-    target: &TargetDesc,
+    target: &dyn TargetModel,
     configs: &[CoarsenConfig],
     options: &TuneOptions,
     make_runner: F,
@@ -891,6 +891,36 @@ mod tests {
         assert!(result.speedup_vs_identity().is_some());
         assert_eq!(result.stats.parallelism, 1);
         assert!(result.stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn cpu_target_tunes_through_the_same_entry_path() {
+        // The unchanged `tune_kernel` entry point searches CPU configurations:
+        // the engine notices `TargetKind::Cpu`, lowers every coarsened version
+        // through the GPU-to-CPU pass, and the runner executes the lowered IR
+        // on the CPU projection of the simulator.
+        let func = parse_function(KERNEL).unwrap();
+        let cpu = targets::cpu_desktop8();
+        let configs = candidate_configs(Strategy::Combined, &[1, 2, 4], &[64, 1, 1]);
+        let n = 64 * 64;
+        let result = tune_kernel(&func, &cpu, &configs, |version, regs| {
+            let mut sim = GpuSim::for_model(&targets::cpu_desktop8());
+            let buf = sim.mem.alloc_f32(&vec![1.0; n]);
+            let report = sim.launch(version, [64, 1, 1], &[KernelArg::Buf(buf)], regs)?;
+            assert_eq!(sim.mem.read_f32(buf), vec![2.0f32; n]);
+            Ok(report.kernel_seconds)
+        })
+        .unwrap();
+        assert!(result.best_seconds > 0.0);
+        assert!(result.candidates.iter().any(|c| c.seconds.is_some()));
+        // The winning version was lowered: its thread loop is clamped to the
+        // target's SIMD lane count, not the original 64-wide thread extent.
+        let launches = respec_ir::kernel::analyze_function(&result.best).unwrap();
+        assert_eq!(
+            launches[0].block_dims,
+            vec![8],
+            "thread loop tiled to SIMD lanes"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn main() -> Result<(), Error> {
     let out = sim.mem.read_f32(y);
     assert!(out.iter().all(|&v| v == 7.0), "1 + 3*2 = 7");
 
-    println!("=== launch report on {} ===", compiled.target.name);
+    println!("=== launch report on {} ===", compiled.target.name());
     println!("kernel time      : {:.3} µs", report.kernel_seconds * 1e6);
     println!("bound by         : {}", report.timing.bound_by());
     println!(
