@@ -1,0 +1,80 @@
+//! Regenerates `BENCH_fatbin.json`: the fat-binary coverage experiment —
+//! all 15 Rodinia apps plus `gemm`, each cold-tuned on the six registry
+//! targets into one persistent cache, mined for the minimal ε-cover variant
+//! set, and dispatched back onto every target.
+//!
+//! Flags: `--large` for paper-scale workloads, `--json` for one JSON object
+//! per row on stdout, `--totals a,b,c` to override the coarsening-totals
+//! ladder, `--epsilons a,b,c` for the slowdown budgets (fractions, default
+//! `0.01,0.05,0.10`), `--cache-dir PATH` to mine against a persistent
+//! directory instead of a throwaway one, and `--assert-compression N` to
+//! exit nonzero unless the ε=5% variant set is strictly smaller than the
+//! target count for at least `N` workloads (the CI gate).
+use respec_rodinia::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let workload = if args.iter().any(|a| a == "--large") {
+        Workload::Large
+    } else {
+        Workload::Small
+    };
+    let totals: Vec<i64> = flag_value("--totals")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--totals takes integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let epsilons: Vec<f64> = flag_value("--epsilons")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--epsilons takes fractions"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0.01, 0.05, 0.10]);
+    let options = respec::TuneOptions::from_env().expect("invalid RESPEC_* environment");
+    let rows = match flag_value("--cache-dir") {
+        Some(dir) => respec_bench::fatbin_data_in(
+            std::path::Path::new(dir),
+            workload,
+            &totals,
+            &epsilons,
+            &options,
+        ),
+        None => respec_bench::fatbin_data(workload, &totals, &epsilons, &options),
+    };
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", respec_bench::jsonout::fatbin_lines(&rows));
+        print!("{}", respec_bench::jsonout::fatbin_dispatch_lines(&rows));
+    } else {
+        respec_bench::print_fatbin(&rows);
+    }
+    if let Some(min) = flag_value("--assert-compression") {
+        let min: usize = min.parse().expect("--assert-compression takes a count");
+        let at_5 = rows
+            .iter()
+            .filter(|r| (r.epsilon - 0.05).abs() < 1e-9 && r.compressed())
+            .count();
+        let workloads = rows
+            .iter()
+            .filter(|r| (r.epsilon - 0.05).abs() < 1e-9)
+            .count();
+        if at_5 < min {
+            eprintln!(
+                "fatbin_coverage: only {at_5}/{workloads} workloads compress below the \
+                 target count at epsilon=5% (required {min})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "fatbin_coverage: {at_5}/{workloads} workloads compress at epsilon=5% \
+             (required {min})"
+        );
+    }
+}

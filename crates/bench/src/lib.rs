@@ -1352,6 +1352,247 @@ pub fn print_bench_compare(deltas: &[BenchDelta]) {
 }
 
 // ---------------------------------------------------------------------------
+// Fat binaries (`BENCH_fatbin.json`)
+// ---------------------------------------------------------------------------
+
+/// The six registry targets (4 GPUs + 2 CPUs) the fat-binary experiments
+/// mine over, in registry order.
+pub fn fatbin_targets() -> Vec<std::sync::Arc<dyn TargetModel>> {
+    targets::TARGET_NAMES
+        .iter()
+        .map(|name| targets::by_name(name).expect("registry target"))
+        .collect()
+}
+
+/// Cold-tunes `app`'s main kernel on every target into `cache` through the
+/// normal persistent-cache path. Idempotent: a re-run replays each stored
+/// winner without measuring. This is the store-population step a fat-binary
+/// mine requires.
+///
+/// # Errors
+///
+/// Propagates the first failed search.
+pub fn cold_tune_app(
+    app: &dyn App,
+    fat_targets: &[std::sync::Arc<dyn TargetModel>],
+    totals: &[i64],
+    cache: &std::sync::Arc<TuningCache>,
+    options: &TuneOptions,
+) -> Result<(), respec::Error> {
+    let module = compiled_module(app, Pipeline::PolygeistNoOpt);
+    let name = app.main_kernel().to_string();
+    let func = module.function(&name).expect("main kernel").clone();
+    let launches = respec::ir::kernel::analyze_function(&func).expect("kernel shape");
+    let configs = candidate_configs(Strategy::Combined, totals, &launches[0].block_dims);
+    let cached = options.clone().cache(cache.clone());
+    for target in fat_targets {
+        tune_kernel_pooled(
+            &func,
+            target.as_ref(),
+            &configs,
+            &cached,
+            || app_runner(app, &module, target.as_ref(), &name),
+            &Trace::disabled(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Mines the fat binary for `app`'s main kernel over `fat_targets` at
+/// `epsilon`, cold-tuning every target into `cache` first (see
+/// [`cold_tune_app`]).
+///
+/// # Errors
+///
+/// Propagates tuning and mining failures.
+pub fn fatbin_for_app(
+    app: &dyn App,
+    fat_targets: &[std::sync::Arc<dyn TargetModel>],
+    totals: &[i64],
+    cache: &std::sync::Arc<TuningCache>,
+    epsilon: f64,
+    options: &TuneOptions,
+) -> Result<respec::FatCompiled, respec::Error> {
+    cold_tune_app(app, fat_targets, totals, cache, options)?;
+    let module = compiled_module(app, Pipeline::PolygeistNoOpt);
+    let name = app.main_kernel().to_string();
+    let func = module.function(&name).expect("main kernel").clone();
+    respec::mine_fatbin(
+        &func,
+        fat_targets,
+        cache,
+        epsilon,
+        options,
+        |t| {
+            let t = t.clone();
+            let module = module.clone();
+            let name = name.clone();
+            move |version: &Function, _regs: u32| -> Result<f64, SimError> {
+                let mut m = module.clone();
+                m.add_function(version.clone());
+                let mut sim = GpuSim::for_model(t.as_ref());
+                app.run(&mut sim, &m)?;
+                Ok(filtered_kernel_seconds(&sim, &name))
+            }
+        },
+        &Trace::disabled(),
+    )
+}
+
+/// One dispatch-table row of the fat-binary experiment: where one target's
+/// launch lands.
+#[derive(Clone, Debug)]
+pub struct FatbinDispatchRow {
+    /// Protocol name of the dispatched target.
+    pub target: String,
+    /// Target kind tag (`"gpu"` / `"cpu"`).
+    pub kind: String,
+    /// Index of the variant that serves the target.
+    pub variant: usize,
+    /// The serving variant's coarsening configuration.
+    pub config: String,
+    /// `true` for an exact fingerprint hit (always, for mined targets).
+    pub exact: bool,
+    /// The target's tuned optimum over the mined pool.
+    pub tuned_seconds: f64,
+    /// The serving variant's time on the target.
+    pub dispatch_seconds: f64,
+}
+
+/// One app × ε row of the fat-binary coverage experiment.
+#[derive(Clone, Debug)]
+pub struct FatbinRow {
+    /// Application name.
+    pub app: String,
+    /// Slowdown budget the variant set guarantees.
+    pub epsilon: f64,
+    /// Targets mined over.
+    pub targets: usize,
+    /// Variants the minimal set carries (coverage curve y-axis).
+    pub variants: usize,
+    /// Per-target dispatch outcome, resolved through the runtime
+    /// dispatcher.
+    pub dispatch: Vec<FatbinDispatchRow>,
+}
+
+impl FatbinRow {
+    /// Worst per-target slowdown of the selected set (≤ 1 + ε by
+    /// construction).
+    pub fn max_slowdown(&self) -> f64 {
+        self.dispatch
+            .iter()
+            .map(|d| d.dispatch_seconds / d.tuned_seconds.max(1e-300))
+            .fold(1.0, f64::max)
+    }
+
+    /// Whether the set is strictly smaller than the target count — the
+    /// multi-versioning payoff ("a few fit most").
+    pub fn compressed(&self) -> bool {
+        self.variants < self.targets
+    }
+}
+
+/// Runs the fat-binary coverage experiment against a persistent cache in
+/// `dir` (created if missing, reused if warm): every app × every ε, one
+/// [`FatbinRow`] each, dispatch outcomes resolved through
+/// [`respec::FatCompiled::dispatch`]. Workers come from `options`.
+pub fn fatbin_data_in(
+    dir: &std::path::Path,
+    workload: Workload,
+    totals: &[i64],
+    epsilons: &[f64],
+    options: &TuneOptions,
+) -> Vec<FatbinRow> {
+    let fat_targets = fatbin_targets();
+    let cache = std::sync::Arc::new(TuningCache::open(dir).expect("fatbin cache dir"));
+    let mut rows = Vec::new();
+    for app in respec_rodinia::all_apps_with_gemm(workload) {
+        for &epsilon in epsilons {
+            let fat = fatbin_for_app(app.as_ref(), &fat_targets, totals, &cache, epsilon, options)
+                .unwrap_or_else(|e| panic!("{}: fat binary fails to mine: {e}", app.name()));
+            let dispatch = fat_targets
+                .iter()
+                .zip(targets::TARGET_NAMES)
+                .map(|(model, name)| {
+                    let d = fat
+                        .dispatch(model.as_ref())
+                        .unwrap_or_else(|e| panic!("{name}: dispatch fails: {e}"));
+                    FatbinDispatchRow {
+                        target: name.to_string(),
+                        kind: model.kind().tag().to_string(),
+                        variant: d.variant,
+                        config: d.config.to_string(),
+                        exact: d.exact,
+                        tuned_seconds: d.via.tuned_seconds,
+                        dispatch_seconds: d.via.dispatch_seconds,
+                    }
+                })
+                .collect();
+            rows.push(FatbinRow {
+                app: app.name().to_string(),
+                epsilon,
+                targets: fat.targets.len(),
+                variants: fat.variant_count(),
+                dispatch,
+            });
+        }
+    }
+    rows
+}
+
+/// [`fatbin_data_in`] against a fresh temporary cache directory (removed
+/// afterwards).
+pub fn fatbin_data(
+    workload: Workload,
+    totals: &[i64],
+    epsilons: &[f64],
+    options: &TuneOptions,
+) -> Vec<FatbinRow> {
+    let dir = std::env::temp_dir().join(format!("respec-fatbin-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = fatbin_data_in(&dir, workload, totals, epsilons, options);
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+/// Prints the [`fatbin_data`] rows: the variant-count coverage curve per ε
+/// and the dispatch table per app.
+pub fn print_fatbin(rows: &[FatbinRow]) {
+    println!("== Fat binaries: minimal variant set per app x slowdown budget ==");
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>13} {:>11}",
+        "app", "epsilon", "targets", "variants", "max slowdown", "compressed"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>7.0}% {:>8} {:>9} {:>12.4}x {:>11}",
+            r.app,
+            r.epsilon * 100.0,
+            r.targets,
+            r.variants,
+            r.max_slowdown(),
+            if r.compressed() { "yes" } else { "no" }
+        );
+    }
+    let mut by_eps: Vec<f64> = rows.iter().map(|r| r.epsilon).collect();
+    by_eps.sort_by(|a, b| a.partial_cmp(b).expect("finite epsilons"));
+    by_eps.dedup();
+    for eps in by_eps {
+        let of_eps: Vec<&FatbinRow> = rows.iter().filter(|r| r.epsilon == eps).collect();
+        let compressed = of_eps.iter().filter(|r| r.compressed()).count();
+        let mean_variants =
+            of_eps.iter().map(|r| r.variants).sum::<usize>() as f64 / of_eps.len().max(1) as f64;
+        println!(
+            "epsilon {:>4.0}%: mean variants {:.2}, {}/{} apps compressed below the target count",
+            eps * 100.0,
+            mean_variants,
+            compressed,
+            of_eps.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable output (`--json`)
 // ---------------------------------------------------------------------------
 
@@ -1363,8 +1604,57 @@ pub mod jsonout {
     use respec::trace::json::JsonObject;
 
     use super::{
-        CpuTuneRow, Fig13Row, Fig16Row, InterpThroughputRow, ProfileRow, TuneThroughputRow,
+        CpuTuneRow, FatbinRow, Fig13Row, Fig16Row, InterpThroughputRow, ProfileRow,
+        TuneThroughputRow,
     };
+
+    /// Fat-binary coverage rows (`BENCH_fatbin.json`): the variant-count
+    /// vs. coverage curve — one object per app × ε.
+    pub fn fatbin_lines(rows: &[FatbinRow]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(
+                &JsonObject::new()
+                    .str("figure", "fatbin")
+                    .str("app", &r.app)
+                    .f64("epsilon", r.epsilon)
+                    .u64("targets", r.targets as u64)
+                    .u64("variants", r.variants as u64)
+                    .f64("max_slowdown", r.max_slowdown())
+                    .u64("compressed", u64::from(r.compressed()))
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fat-binary dispatch rows (`BENCH_fatbin.json`): the per-target
+    /// dispatch-hit table — one object per app × ε × target.
+    pub fn fatbin_dispatch_lines(rows: &[FatbinRow]) -> String {
+        let mut out = String::new();
+        for r in rows {
+            for d in &r.dispatch {
+                out.push_str(
+                    &JsonObject::new()
+                        .str("figure", "fatbin_dispatch")
+                        .str("app", &r.app)
+                        .f64("epsilon", r.epsilon)
+                        .str("target", &d.target)
+                        .str("kind", &d.kind)
+                        .u64("variant", d.variant as u64)
+                        .str("config", &d.config)
+                        .u64("exact", u64::from(d.exact))
+                        .f64("tuned_s", d.tuned_seconds)
+                        .f64("dispatch_s", d.dispatch_seconds)
+                        .f64("slowdown", d.dispatch_seconds / d.tuned_seconds.max(1e-300))
+                        .finish(),
+                );
+                out.push('\n');
+            }
+        }
+        out
+    }
 
     /// CPU retargeting rows (`BENCH_cpu.json`): winner config and time per
     /// app × target, GPU and CPU side by side so divergence is greppable.

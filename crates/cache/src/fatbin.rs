@@ -1,0 +1,311 @@
+//! Fat-binary mining: from per-target stored winners to a minimal
+//! multi-versioned variant set ("A Few Fit Most", Hochgraf & Pai).
+//!
+//! The persistent store records one winner per `(kind, input IR, target,
+//! search)` key. For one input kernel that is a *winner column* per target;
+//! this module turns those columns into a small set of variants that covers
+//! every target within a caller-chosen slowdown budget ε:
+//!
+//! 1. **Mine** ([`mine_variants`]): walk every readable winner recorded for
+//!    the input hash within one target kind and deduplicate by coarsening
+//!    configuration — two targets that elected the same configuration share
+//!    one variant. Mining never crosses the GPU/CPU divide: a CPU winner is
+//!    lane-tiled lowered code, meaningless as a GPU variant (and vice
+//!    versa), so each kind mines its own pool.
+//! 2. **Evaluate** (caller-side): measure every mined configuration on
+//!    every same-kind target, producing the seconds matrix this module's
+//!    selection consumes. The cache crate stays simulator-free on purpose —
+//!    the matrix is plain data here.
+//! 3. **Select** ([`select_variants`]): greedy set cover. A variant
+//!    *covers* a target when its measured time is within `(1 + ε)` of that
+//!    target's optimum over the whole pool; repeatedly choose the variant
+//!    covering the most still-uncovered targets until none remain. Each
+//!    chosen variant covers at least one new target, so the set never
+//!    exceeds the target count, and at ε = 0 only exact optima cover — the
+//!    selection degenerates to one variant per distinct winner.
+
+use std::fmt;
+
+use respec_opt::CoarsenConfig;
+
+use crate::{StoredWinner, TuningCache};
+
+/// One deduplicated variant mined from the winner store: a coarsening
+/// configuration plus every stored winner that elected it.
+#[derive(Clone, Debug)]
+pub struct MinedVariant {
+    /// The winning configuration (the variant's identity).
+    pub config: CoarsenConfig,
+    /// Every stored winner with this configuration, in sorted entry order.
+    /// Carries the per-source-target IR, registers and bit-exact time.
+    pub sources: Vec<StoredWinner>,
+}
+
+impl MinedVariant {
+    /// The stored winner recorded for `target`, if this variant was elected
+    /// there.
+    pub fn source_for(&self, target: u64) -> Option<&StoredWinner> {
+        self.sources.iter().find(|w| w.target == target)
+    }
+}
+
+/// Walks every readable, version-current winner stored for `input_hash`
+/// within `target_kind` and groups them into one [`MinedVariant`] per
+/// distinct coarsening configuration.
+///
+/// Variants are ordered by configuration tuple (block then thread factors),
+/// so the result is deterministic for a given store state regardless of
+/// directory iteration order. An empty result means no winner of this kind
+/// is stored — callers decide whether that is an error.
+pub fn mine_variants(cache: &TuningCache, target_kind: &str, input_hash: u64) -> Vec<MinedVariant> {
+    let mut variants: Vec<MinedVariant> = Vec::new();
+    for winner in cache.winners_for_input(target_kind, input_hash) {
+        match variants.iter_mut().find(|v| v.config == winner.config) {
+            Some(v) => v.sources.push(winner),
+            None => variants.push(MinedVariant {
+                config: winner.config,
+                sources: vec![winner],
+            }),
+        }
+    }
+    variants.sort_by_key(|v| {
+        let c = v.config;
+        (c.block, c.thread)
+    });
+    variants
+}
+
+/// Error from fat-binary selection: malformed matrix or budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FatbinError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl FatbinError {
+    fn new(message: impl Into<String>) -> FatbinError {
+        FatbinError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FatbinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fat-binary error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FatbinError {}
+
+/// Outcome of greedy variant selection over one seconds matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    /// Chosen variant indices (rows of the matrix), in selection order.
+    pub chosen: Vec<usize>,
+    /// Per target (column): the chosen variant assigned to it — among the
+    /// chosen variants that cover it, the one with the smallest time (ties
+    /// to the lowest index). `None` when no variant has a finite time on
+    /// the target at all.
+    pub assignment: Vec<Option<usize>>,
+    /// Per target: its tuned optimum over the whole variant pool (the
+    /// column minimum; ε is measured against this).
+    pub best: Vec<f64>,
+}
+
+impl Selection {
+    /// Number of targets with an assigned variant.
+    pub fn covered(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+/// Greedy minimal variant-set selection.
+///
+/// `seconds[v][t]` is variant `v`'s measured time on target `t`
+/// (`f64::INFINITY` for a variant that cannot run there — pruned, failed,
+/// or wrong kind). Variant `v` covers target `t` when
+/// `seconds[v][t] <= best[t] * (1 + epsilon)` with `best[t]` the column
+/// minimum. The greedy loop picks the variant covering the most uncovered
+/// targets (ties to the lowest variant index), until every coverable
+/// target is covered — each iteration covers at least one new target, so
+/// `chosen.len()` never exceeds the coverable-target count.
+///
+/// # Errors
+///
+/// Rejects a negative or non-finite `epsilon`, an empty matrix, and ragged
+/// rows.
+pub fn select_variants(seconds: &[Vec<f64>], epsilon: f64) -> Result<Selection, FatbinError> {
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err(FatbinError::new(format!(
+            "epsilon must be finite and non-negative, got {epsilon}"
+        )));
+    }
+    let variants = seconds.len();
+    let targets = seconds.first().map(|row| row.len()).unwrap_or(0);
+    if variants == 0 || targets == 0 {
+        return Err(FatbinError::new(
+            "empty winner matrix: no variants were mined (is the cache cold?)",
+        ));
+    }
+    if seconds.iter().any(|row| row.len() != targets) {
+        return Err(FatbinError::new("ragged winner matrix"));
+    }
+    let best: Vec<f64> = (0..targets)
+        .map(|t| {
+            seconds
+                .iter()
+                .map(|row| row[t])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let covers = |v: usize, t: usize| -> bool {
+        seconds[v][t].is_finite() && seconds[v][t] <= best[t] * (1.0 + epsilon)
+    };
+    let mut uncovered: Vec<usize> = (0..targets).filter(|&t| best[t].is_finite()).collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    while !uncovered.is_empty() {
+        let (v, gain) = (0..variants)
+            .map(|v| (v, uncovered.iter().filter(|&&t| covers(v, t)).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("matrix is non-empty");
+        if gain == 0 {
+            // Unreachable for a well-formed matrix (the column-min variant
+            // always covers its target), but a defensive exit beats a spin.
+            break;
+        }
+        chosen.push(v);
+        uncovered.retain(|&t| !covers(v, t));
+    }
+    let assignment: Vec<Option<usize>> = (0..targets)
+        .map(|t| {
+            chosen
+                .iter()
+                .copied()
+                .filter(|&v| covers(v, t))
+                .min_by(|&a, &b| {
+                    seconds[a][t]
+                        .partial_cmp(&seconds[b][t])
+                        .expect("covering times are finite")
+                        .then(a.cmp(&b))
+                })
+        })
+        .collect();
+    Ok(Selection {
+        chosen,
+        assignment,
+        best,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bt: i64, tt: i64) -> CoarsenConfig {
+        CoarsenConfig {
+            block: [bt, 1, 1],
+            thread: [tt, 1, 1],
+        }
+    }
+
+    fn winner(config: CoarsenConfig, kind: &str, target: u64, seconds: f64) -> StoredWinner {
+        StoredWinner {
+            config,
+            seconds_bits: seconds.to_bits(),
+            regs: 32,
+            ir: "func @k() {\n}\n".to_string(),
+            target,
+            target_kind: kind.to_string(),
+        }
+    }
+
+    fn temp_cache(tag: &str) -> TuningCache {
+        let dir = std::env::temp_dir().join(format!(
+            "respec-fatbin-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TuningCache::open(&dir).expect("temp cache opens")
+    }
+
+    #[test]
+    fn mining_dedups_by_config_and_sorts() {
+        let cache = temp_cache("dedup");
+        let hash = 0x42;
+        cache
+            .store_winner(hash, 1, &winner(cfg(2, 1), "gpu", 10, 1.0))
+            .unwrap();
+        cache
+            .store_winner(hash, 1, &winner(cfg(1, 2), "gpu", 11, 2.0))
+            .unwrap();
+        cache
+            .store_winner(hash, 2, &winner(cfg(2, 1), "gpu", 12, 3.0))
+            .unwrap();
+        let variants = mine_variants(&cache, "gpu", hash);
+        assert_eq!(variants.len(), 2);
+        assert_eq!(variants[0].config, cfg(1, 2));
+        assert_eq!(variants[1].config, cfg(2, 1));
+        assert_eq!(variants[1].sources.len(), 2);
+        assert!(variants[1].source_for(12).is_some());
+        assert!(variants[1].source_for(99).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn mining_is_kind_scoped() {
+        let cache = temp_cache("kind");
+        let hash = 0x77;
+        cache
+            .store_winner(hash, 1, &winner(cfg(2, 1), "gpu", 10, 1.0))
+            .unwrap();
+        cache
+            .store_winner(hash, 1, &winner(cfg(4, 1), "cpu", 20, 1.0))
+            .unwrap();
+        let gpu = mine_variants(&cache, "gpu", hash);
+        let cpu = mine_variants(&cache, "cpu", hash);
+        assert_eq!(gpu.len(), 1);
+        assert_eq!(gpu[0].config, cfg(2, 1));
+        assert!(gpu[0].sources.iter().all(|w| w.target_kind == "gpu"));
+        assert_eq!(cpu.len(), 1);
+        assert_eq!(cpu[0].config, cfg(4, 1));
+        assert!(cpu[0].sources.iter().all(|w| w.target_kind == "cpu"));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn selection_covers_within_epsilon() {
+        // Variant 0 is near-optimal everywhere at ε=10%; variants 1 and 2
+        // are each target's exact optimum.
+        let m = vec![
+            vec![1.05, 2.1, 1.05],
+            vec![1.0, f64::INFINITY, 9.0],
+            vec![9.0, 2.0, 1.0],
+        ];
+        let s = select_variants(&m, 0.10).unwrap();
+        assert_eq!(s.chosen, vec![0]);
+        assert_eq!(s.assignment, vec![Some(0), Some(0), Some(0)]);
+        let tight = select_variants(&m, 0.0).unwrap();
+        assert_eq!(tight.chosen.len(), 2);
+        assert_eq!(tight.assignment, vec![Some(1), Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn selection_rejects_bad_inputs() {
+        assert!(select_variants(&[], 0.05).is_err());
+        assert!(select_variants(&[vec![]], 0.05).is_err());
+        assert!(select_variants(&[vec![1.0], vec![1.0, 2.0]], 0.05).is_err());
+        assert!(select_variants(&[vec![1.0]], -0.1).is_err());
+        assert!(select_variants(&[vec![1.0]], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uncoverable_target_stays_unassigned() {
+        let m = vec![vec![1.0, f64::INFINITY]];
+        let s = select_variants(&m, 0.05).unwrap();
+        assert_eq!(s.chosen, vec![0]);
+        assert_eq!(s.assignment, vec![Some(0), None]);
+        assert_eq!(s.covered(), 1);
+    }
+}

@@ -55,6 +55,8 @@ use respec_backend::{BackendReport, KernelStats};
 use respec_ir::{StableHasher, STRUCTURAL_HASH_VERSION};
 use respec_opt::{CoarsenConfig, PIPELINE_VERSION};
 
+pub mod fatbin;
+
 /// On-disk entry format version (the `respec-cache-v<N>` header). Bump on
 /// any change to the entry grammar.
 ///
@@ -447,13 +449,35 @@ impl TuningCache {
         input_hash: u64,
         exclude_target: u64,
     ) -> Vec<StoredWinner> {
+        self.scan_winners(target_kind, input_hash, Some(exclude_target))
+    }
+
+    /// Every readable, version-current winner recorded for `input_hash`
+    /// within `target_kind`, across *all* targets of that kind — the pool a
+    /// fat-binary mine ([`fatbin::mine_variants`]) selects variants from.
+    /// Same ordering and kind-scoping contract as
+    /// [`TuningCache::cross_target_winners`], with no target excluded.
+    pub fn winners_for_input(&self, target_kind: &str, input_hash: u64) -> Vec<StoredWinner> {
+        self.scan_winners(target_kind, input_hash, None)
+    }
+
+    fn scan_winners(
+        &self,
+        target_kind: &str,
+        input_hash: u64,
+        exclude_target: Option<u64>,
+    ) -> Vec<StoredWinner> {
         let prefix = format!("w-{target_kind}-{input_hash:016x}-");
-        let skip = format!("w-{target_kind}-{input_hash:016x}-{exclude_target:016x}-");
+        let skip = exclude_target.map(|t| format!("w-{target_kind}-{input_hash:016x}-{t:016x}-"));
         let mut names: Vec<String> = match fs::read_dir(&self.dir) {
             Ok(rd) => rd
                 .filter_map(|e| e.ok())
                 .filter_map(|e| e.file_name().into_string().ok())
-                .filter(|n| n.starts_with(&prefix) && !n.starts_with(&skip) && n.ends_with(EXT))
+                .filter(|n| {
+                    n.starts_with(&prefix)
+                        && skip.as_ref().is_none_or(|s| !n.starts_with(s.as_str()))
+                        && n.ends_with(EXT)
+                })
                 .collect(),
             Err(_) => return Vec::new(),
         };
@@ -464,6 +488,13 @@ impl TuningCache {
                 Ok(Some(lines)) => self.parse_winner(&lines).hit(),
                 _ => None,
             })
+            // The file-name prefix scopes the scan to one kind, but the
+            // name is only an index — a renamed or hand-planted entry can
+            // claim a different kind in its body. The body is
+            // authoritative: drop any winner whose recorded kind (or
+            // excluded target) disagrees, so a mixed gpu+cpu store can
+            // never leak a variant across the kind divide.
+            .filter(|w| w.target_kind == target_kind && Some(w.target) != exclude_target)
             .collect()
     }
 
@@ -869,6 +900,74 @@ mod tests {
         cache.store_winner(7, 9, &cw).unwrap();
         assert_eq!(cache.load_winner("cpu", 7, 0xfeed, 9), Lookup::Hit(cw));
         assert_eq!(cache.load_winner("gpu", 7, 0xfeed, 9), Lookup::Hit(w));
+    }
+
+    #[test]
+    fn winner_scans_trust_the_entry_body_over_the_file_name() {
+        // A fat-bin mine over a mixed gpu+cpu store must never select a
+        // variant across the kind divide — even when an entry *file name*
+        // lies about its kind. Plant a winner whose body says "cpu" under a
+        // gpu-prefixed name (simulating a renamed or hand-planted entry):
+        // both scan APIs must drop it, because the body is authoritative.
+        let cache = TuningCache::open(temp_cache_dir("kind-leak")).unwrap();
+        let gpu = sample_winner();
+        cache.store_winner(7, 9, &gpu).unwrap();
+        let mut cpu = sample_winner();
+        cpu.target_kind = "cpu".into();
+        cpu.target = 0xc0de;
+        cpu.config = CoarsenConfig {
+            block: [8, 1, 1],
+            thread: [1, 1, 1],
+        };
+        cache.store_winner(7, 9, &cpu).unwrap();
+        // Honest mixed store: each kind's scan sees only its own winners.
+        let mined_gpu = cache.winners_for_input("gpu", 7);
+        assert_eq!(mined_gpu.len(), 1);
+        assert!(mined_gpu.iter().all(|w| w.target_kind == "gpu"));
+        let mined_cpu = cache.winners_for_input("cpu", 7);
+        assert_eq!(mined_cpu.len(), 1);
+        assert!(mined_cpu.iter().all(|w| w.target_kind == "cpu"));
+        // Dishonest entry: rename the cpu winner's file under a gpu prefix.
+        let cpu_path = cache
+            .entry_paths()
+            .unwrap()
+            .into_iter()
+            .find(|p| p.file_name().unwrap().to_string_lossy().contains("w-cpu-"))
+            .expect("cpu winner entry exists");
+        let forged = cpu_path.with_file_name(
+            cpu_path
+                .file_name()
+                .unwrap()
+                .to_string_lossy()
+                .replacen("w-cpu-", "w-gpu-", 1),
+        );
+        fs::rename(&cpu_path, &forged).unwrap();
+        let mined = cache.winners_for_input("gpu", 7);
+        assert_eq!(mined.len(), 1, "forged cpu entry must not leak: {mined:?}");
+        assert!(mined.iter().all(|w| w.target_kind == "gpu"));
+        assert!(
+            cache
+                .cross_target_winners("gpu", 7, 0)
+                .iter()
+                .all(|w| w.target_kind == "gpu"),
+            "warm-start hints must honor the body kind too"
+        );
+    }
+
+    #[test]
+    fn winners_for_input_returns_the_full_same_kind_pool() {
+        let cache = TuningCache::open(temp_cache_dir("pool")).unwrap();
+        let mut a = sample_winner();
+        a.target = 0xaaaa;
+        let mut b = sample_winner();
+        b.target = 0xbbbb;
+        cache.store_winner(7, 9, &a).unwrap();
+        cache.store_winner(7, 9, &b).unwrap();
+        // Unlike the warm-start scan, mining excludes no target…
+        assert_eq!(cache.winners_for_input("gpu", 7).len(), 2);
+        assert_eq!(cache.cross_target_winners("gpu", 7, 0xaaaa).len(), 1);
+        // …and still scopes by kernel hash.
+        assert!(cache.winners_for_input("gpu", 8).is_empty());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for fat-binary variant selection: for arbitrary winner
+//! matrices the greedy set must always honor the ε bound on every covered
+//! target, never exceed the target count, and degenerate to one variant
+//! per distinct winner at ε = 0.
+
+use proptest::prelude::*;
+use respec_cache::fatbin::select_variants;
+
+/// Random winner matrix: `variants × targets` of positive times, with a
+/// sprinkle of `INFINITY` cells (configurations that cannot run on a
+/// target) — but never an all-infinite column, so every target stays
+/// coverable.
+fn matrix_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..8, 1usize..7, any::<u64>()).prop_map(|(variants, targets, seed)| {
+        let mut rng = TestRng::new(seed);
+        (0..variants)
+            .map(|v| {
+                (0..targets)
+                    .map(|t| {
+                        // Column t is guaranteed one finite row (v == t % variants).
+                        if v != t % variants && rng.below(5) == 0 {
+                            f64::INFINITY
+                        } else {
+                            1e-6 + rng.unit_f64()
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn greedy_set_honors_the_epsilon_bound(
+        matrix in matrix_strategy(),
+        epsilon in 0.0f64..0.5,
+    ) {
+        let s = select_variants(&matrix, epsilon).expect("well-formed matrix");
+        let targets = matrix[0].len();
+        prop_assert_eq!(s.assignment.len(), targets);
+        prop_assert_eq!(s.best.len(), targets);
+        // Indexes assignment, best and the matrix in lockstep.
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..targets {
+            let best = s.best[t];
+            prop_assert!(best.is_finite(), "every column has a finite row");
+            let v = s.assignment[t].expect("coverable targets get a variant");
+            prop_assert!(
+                s.chosen.contains(&v),
+                "assignment must reference a chosen variant"
+            );
+            let got = matrix[v][t];
+            prop_assert!(
+                got <= best * (1.0 + epsilon),
+                "target {t}: assigned time {got} exceeds budget {} (best {best}, eps {epsilon})",
+                best * (1.0 + epsilon)
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_set_never_exceeds_the_target_count(
+        matrix in matrix_strategy(),
+        epsilon in 0.0f64..0.5,
+    ) {
+        let s = select_variants(&matrix, epsilon).expect("well-formed matrix");
+        let targets = matrix[0].len();
+        prop_assert!(
+            s.chosen.len() <= targets,
+            "{} variants chosen for {} targets",
+            s.chosen.len(),
+            targets
+        );
+        prop_assert!(
+            s.chosen.len() <= matrix.len(),
+            "cannot choose more variants than were mined"
+        );
+        // Chosen indices are valid rows and pairwise distinct.
+        let mut seen = s.chosen.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), s.chosen.len(), "no variant is chosen twice");
+        prop_assert!(s.chosen.iter().all(|&v| v < matrix.len()));
+    }
+
+    #[test]
+    fn zero_epsilon_degenerates_to_one_variant_per_distinct_winner(
+        matrix in matrix_strategy(),
+    ) {
+        let s = select_variants(&matrix, 0.0).expect("well-formed matrix");
+        let targets = matrix[0].len();
+        // At ε = 0 only exact column optima cover, so each target's
+        // assigned variant must *be* its optimum...
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..targets {
+            let v = s.assignment[t].expect("coverable");
+            prop_assert_eq!(
+                matrix[v][t].to_bits(),
+                s.best[t].to_bits(),
+                "target {}: at eps=0 the assigned variant must be the exact optimum",
+                t
+            );
+        }
+        // ...and the set size equals the number of distinct winner rows:
+        // one variant per distinct column-argmin (sharing only when two
+        // targets elect the same row).
+        let mut winners: Vec<usize> = (0..targets)
+            .map(|t| {
+                (0..matrix.len())
+                    .filter(|&v| matrix[v][t].to_bits() == s.best[t].to_bits())
+                    .min_by(|&a, &b| a.cmp(&b))
+                    .expect("finite column")
+            })
+            .collect();
+        winners.sort_unstable();
+        winners.dedup();
+        // Random real-valued cells make duplicate times across rows
+        // essentially impossible, so the distinct-argmin count is exact.
+        prop_assert_eq!(
+            s.chosen.len(),
+            winners.len(),
+            "eps=0 must pick exactly one variant per distinct winner"
+        );
+    }
+}
+
+#[test]
+fn selection_is_deterministic_across_runs() {
+    let matrix = vec![
+        vec![1.0, 2.0, f64::INFINITY],
+        vec![1.04, 2.04, 3.0],
+        vec![9.0, 1.95, 2.9],
+    ];
+    let a = select_variants(&matrix, 0.05).unwrap();
+    let b = select_variants(&matrix, 0.05).unwrap();
+    assert_eq!(a, b);
+}

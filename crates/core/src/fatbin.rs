@@ -1,0 +1,414 @@
+//! Fat binaries: a minimal variant set mined from the persistent winner
+//! store, plus a runtime dispatcher.
+//!
+//! Per-target respecialization ends with one winner per `(kernel, target)`
+//! key. Following "A Few Fit Most" (Hochgraf & Pai), a *fat* artifact goes
+//! one step further: ship the few variants that cover *every* target within
+//! an ε slowdown of its own tuned optimum, and pick among them at launch
+//! time from nothing but the target model.
+//!
+//! The pipeline here has three stages:
+//!
+//! 1. **Mine** — [`respec_cache::fatbin::mine_variants`] walks the stored
+//!    winners for the kernel's input hash, one pool per target kind (GPU
+//!    winners are GPU-form IR, CPU winners are lane-tiled lowered IR — the
+//!    kind divide is never crossed).
+//! 2. **Evaluate** — every mined configuration is re-prepared and measured
+//!    on every same-kind target through the unchanged tuning engine (a
+//!    single-configuration search), yielding the seconds matrix and the
+//!    per-target compiled code of each variant. Evaluation runs with the
+//!    cache *detached*, so probe searches never pollute the winner store
+//!    they were mined from.
+//! 3. **Select** — [`respec_cache::fatbin::select_variants`] greedily picks
+//!    the minimal set covering each target within `(1 + ε)` of its column
+//!    optimum.
+//!
+//! The resulting [`FatCompiled`] dispatches in two steps: an exact match on
+//! the target fingerprint, falling back to the nearest known same-kind
+//! target by log-space distance over [`TargetModel::feature_vector`]
+//! (execution width, parallel units, scratch budget, cache sizes) for
+//! targets the miner never saw. Every failure mode — empty or corrupt
+//! winner store, invalid ε, a kind with no variants — is a structured
+//! [`Error::Fatbin`], never a panic.
+
+use std::sync::Arc;
+
+use respec_cache::fatbin::{mine_variants, select_variants, MinedVariant};
+use respec_cache::TuningCache;
+use respec_ir::{structural_hash, Function};
+use respec_opt::CoarsenConfig;
+use respec_sim::{SimError, TargetKind, TargetModel};
+use respec_trace::Trace;
+use respec_tune::{tune_kernel_pooled, TuneOptions};
+
+use crate::{Compiled, Error};
+
+/// One variant of a fat binary: a coarsening configuration plus the
+/// compiled code it produced on every target it was evaluated on.
+#[derive(Clone, Debug)]
+pub struct FatVariant {
+    /// Target family this variant belongs to (variants never serve across
+    /// the GPU/CPU divide).
+    pub kind: TargetKind,
+    /// The respecialization decision the variant embodies.
+    pub config: CoarsenConfig,
+    /// Per-target compiled code: `(target fingerprint, prepared function,
+    /// launch registers, measured seconds)`. CPU code is lane-tiled for
+    /// its target's SIMD width, so the same configuration carries one
+    /// entry per target rather than one shared function.
+    pub code: Vec<(u64, Function, u32, f64)>,
+}
+
+impl FatVariant {
+    /// The compiled code evaluated on `target`, if any.
+    pub fn code_for(&self, target: u64) -> Option<(&Function, u32, f64)> {
+        self.code
+            .iter()
+            .find(|(fp, ..)| *fp == target)
+            .map(|(_, f, r, s)| (f, *r, *s))
+    }
+}
+
+/// One target the fat binary was mined over, with its dispatch decision.
+#[derive(Clone, Debug)]
+pub struct FatTarget {
+    /// Model name (e.g. `"NVIDIA A100"`).
+    pub name: String,
+    /// Target fingerprint — the exact-match dispatch key.
+    pub fingerprint: u64,
+    /// Target family.
+    pub kind: TargetKind,
+    /// [`TargetModel::feature_vector`] at mining time — the
+    /// nearest-neighbor dispatch key for fingerprints not in the table.
+    pub features: [f64; 5],
+    /// Index into [`FatCompiled::variants`] of the variant assigned to
+    /// this target.
+    pub variant: usize,
+    /// The target's tuned optimum over the whole mined pool (ε is
+    /// measured against this).
+    pub tuned_seconds: f64,
+    /// The assigned variant's measured time on this target; within
+    /// `(1 + ε) × tuned_seconds` by construction.
+    pub dispatch_seconds: f64,
+}
+
+impl FatTarget {
+    /// The assigned variant's slowdown vs. the target's tuned optimum
+    /// (`1.0` = the variant *is* the optimum).
+    pub fn slowdown(&self) -> f64 {
+        self.dispatch_seconds / self.tuned_seconds
+    }
+}
+
+/// Outcome of one dispatch: which variant serves the target, through which
+/// table entry, and the code to launch.
+#[derive(Clone, Debug)]
+pub struct FatDispatch<'a> {
+    /// Index into [`FatCompiled::variants`].
+    pub variant: usize,
+    /// The dispatched variant's configuration.
+    pub config: CoarsenConfig,
+    /// The compiled function to install/launch.
+    pub func: &'a Function,
+    /// Launch registers measured for the code.
+    pub regs: u32,
+    /// `true` for an exact fingerprint match; `false` when the target was
+    /// resolved by nearest-neighbor features.
+    pub exact: bool,
+    /// The dispatch-table entry that served the request (for a
+    /// nearest-neighbor hit, the neighbor).
+    pub via: &'a FatTarget,
+}
+
+/// A fat compiled artifact: the minimal variant set for one kernel over a
+/// set of targets, plus the runtime dispatch table.
+#[derive(Clone, Debug)]
+pub struct FatCompiled {
+    /// The kernel the variants respecialize.
+    pub kernel: String,
+    /// The slowdown budget the selection guarantees.
+    pub epsilon: f64,
+    /// The selected variants, GPU pool first, then CPU.
+    pub variants: Vec<FatVariant>,
+    /// Dispatch table, one entry per mined target, in the caller's target
+    /// order.
+    pub targets: Vec<FatTarget>,
+}
+
+impl FatCompiled {
+    /// Number of variants the artifact carries — the "few" in "a few fit
+    /// most". At most one per mined target, usually far fewer.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Resolves the variant serving `target`: exact fingerprint match
+    /// first, then nearest-neighbor over
+    /// [`TargetModel::feature_vector`] among same-kind table entries.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Fatbin`] when the table has no entry of the target's kind
+    /// — there is nothing semantically valid to fall back on.
+    pub fn dispatch(&self, target: &dyn TargetModel) -> Result<FatDispatch<'_>, Error> {
+        let fp = target.fingerprint();
+        let (via, exact) = match self.targets.iter().find(|e| e.fingerprint == fp) {
+            Some(entry) => (entry, true),
+            None => (self.nearest(target)?, false),
+        };
+        let variant = &self.variants[via.variant];
+        let (func, regs, _) = variant
+            .code_for(via.fingerprint)
+            .expect("assigned variants carry code for their own target");
+        Ok(FatDispatch {
+            variant: via.variant,
+            config: variant.config,
+            func,
+            regs,
+            exact,
+            via,
+        })
+    }
+
+    /// The nearest same-kind table entry by squared log-space feature
+    /// distance. Log space keeps one large-magnitude feature (cache bytes)
+    /// from drowning the small ones (execution width); ties break toward
+    /// the lowest fingerprint, so dispatch is deterministic.
+    fn nearest(&self, target: &dyn TargetModel) -> Result<&FatTarget, Error> {
+        let kind = target.kind();
+        let probe = target.feature_vector().map(f64::ln);
+        let dist = |e: &FatTarget| -> f64 {
+            e.features
+                .map(f64::ln)
+                .iter()
+                .zip(&probe)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        self.targets
+            .iter()
+            .filter(|e| e.kind == kind)
+            .min_by(|a, b| {
+                dist(a)
+                    .partial_cmp(&dist(b))
+                    .expect("feature distances are finite")
+                    .then(a.fingerprint.cmp(&b.fingerprint))
+            })
+            .ok_or_else(|| {
+                Error::Fatbin(format!(
+                    "no {kind} variant in the fat binary for {}; it was mined over [{}]",
+                    target.name(),
+                    self.targets
+                        .iter()
+                        .map(|e| e.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+    }
+}
+
+/// Mines the persistent winner store for `func` and builds a
+/// [`FatCompiled`] over `targets`.
+///
+/// `func` must be the same input kernel the original per-target searches
+/// tuned (the mining key is its structural hash). `make_runner` builds one
+/// measurement runner per target, exactly like
+/// [`Compiled::autotune_pooled`]'s factory; `options` governs evaluation
+/// parallelism and retry policy — its cache handle is ignored (evaluation
+/// deliberately never writes back to the store being mined).
+///
+/// # Errors
+///
+/// [`Error::Fatbin`] when `targets` is empty, ε is negative or non-finite,
+/// a requested kind has no stored winners (cold or fully corrupt store), or
+/// a target cannot be covered by any mined variant.
+pub fn mine_fatbin<R, F>(
+    func: &Function,
+    targets: &[Arc<dyn TargetModel>],
+    cache: &TuningCache,
+    epsilon: f64,
+    options: &TuneOptions,
+    make_runner: F,
+    trace: &Trace,
+) -> Result<FatCompiled, Error>
+where
+    R: FnMut(&Function, u32) -> Result<f64, SimError>,
+    F: Fn(&Arc<dyn TargetModel>) -> R + Sync,
+{
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err(Error::Fatbin(format!(
+            "epsilon must be finite and non-negative, got {epsilon}"
+        )));
+    }
+    // Deduplicate by fingerprint, preserving caller order.
+    let mut pool: Vec<&Arc<dyn TargetModel>> = Vec::new();
+    for t in targets {
+        if !pool.iter().any(|p| p.fingerprint() == t.fingerprint()) {
+            pool.push(t);
+        }
+    }
+    if pool.is_empty() {
+        return Err(Error::Fatbin("no targets to mine over".into()));
+    }
+    let input_hash = structural_hash(func);
+    // Evaluation must not write probe winners back into the store being
+    // mined: single-configuration searches are measurements, not searches
+    // worth remembering, and persisting them would make a re-mine see its
+    // own probes as stored winners.
+    let eval_options = TuneOptions {
+        cache: None,
+        ..options.clone()
+    };
+    let mut variants: Vec<FatVariant> = Vec::new();
+    let mut entries: Vec<(usize, FatTarget)> = Vec::new();
+    for kind in [TargetKind::Gpu, TargetKind::Cpu] {
+        let kind_targets: Vec<(usize, &Arc<dyn TargetModel>)> = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind() == kind)
+            .map(|(i, t)| (i, *t))
+            .collect();
+        if kind_targets.is_empty() {
+            continue;
+        }
+        let mined: Vec<MinedVariant> = mine_variants(cache, kind.tag(), input_hash);
+        if mined.is_empty() {
+            return Err(Error::Fatbin(format!(
+                "no stored {kind} winners for kernel {} (hash {input_hash:016x}) in {}; \
+                 cold-tune each target into the cache before mining",
+                func.name(),
+                cache.dir().display()
+            )));
+        }
+        // Evaluate every mined configuration on every same-kind target.
+        let mut seconds: Vec<Vec<f64>> = Vec::with_capacity(mined.len());
+        let mut code: Vec<Vec<Option<(Function, u32)>>> = Vec::with_capacity(mined.len());
+        for variant in &mined {
+            let mut row = Vec::with_capacity(kind_targets.len());
+            let mut row_code = Vec::with_capacity(kind_targets.len());
+            for (_, target) in &kind_targets {
+                match tune_kernel_pooled(
+                    func,
+                    target.as_ref(),
+                    &[variant.config],
+                    &eval_options,
+                    || make_runner(target),
+                    trace,
+                ) {
+                    Ok(result) => {
+                        row.push(result.best_seconds);
+                        row_code.push(Some((result.best, result.best_regs)));
+                    }
+                    // A configuration that cannot run on this target
+                    // (pruned, failed, timed out) is simply not a
+                    // candidate there.
+                    Err(_) => {
+                        row.push(f64::INFINITY);
+                        row_code.push(None);
+                    }
+                }
+            }
+            seconds.push(row);
+            code.push(row_code);
+        }
+        let selection = select_variants(&seconds, epsilon).map_err(|e| Error::Fatbin(e.message))?;
+        // Kind-local chosen index → global variant index.
+        let base = variants.len();
+        for &v in &selection.chosen {
+            let fat_code: Vec<(u64, Function, u32, f64)> = kind_targets
+                .iter()
+                .enumerate()
+                .filter_map(|(ti, (_, target))| {
+                    code[v][ti]
+                        .as_ref()
+                        .map(|(f, r)| (target.fingerprint(), f.clone(), *r, seconds[v][ti]))
+                })
+                .collect();
+            variants.push(FatVariant {
+                kind,
+                config: mined[v].config,
+                code: fat_code,
+            });
+        }
+        for (ti, (order, target)) in kind_targets.iter().enumerate() {
+            let Some(assigned) = selection.assignment[ti] else {
+                return Err(Error::Fatbin(format!(
+                    "no mined {kind} variant can run on {} — its winner store entries \
+                     are unusable",
+                    target.name()
+                )));
+            };
+            let chosen_pos = selection
+                .chosen
+                .iter()
+                .position(|&c| c == assigned)
+                .expect("assignment only references chosen variants");
+            entries.push((
+                *order,
+                FatTarget {
+                    name: target.name().to_string(),
+                    fingerprint: target.fingerprint(),
+                    kind,
+                    features: target.feature_vector(),
+                    variant: base + chosen_pos,
+                    tuned_seconds: selection.best[ti],
+                    dispatch_seconds: seconds[assigned][ti],
+                },
+            ));
+        }
+    }
+    entries.sort_by_key(|(order, _)| *order);
+    Ok(FatCompiled {
+        kernel: func.name().to_string(),
+        epsilon,
+        variants,
+        targets: entries.into_iter().map(|(_, e)| e).collect(),
+    })
+}
+
+impl Compiled {
+    /// [`mine_fatbin`] for this artifact's kernel, cache and trace: mines
+    /// the attached persistent store (or the one in `options`) for the
+    /// named kernel's winners over `targets` and selects the minimal
+    /// ε-cover variant set.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Fatbin`] when no cache is attached, plus every
+    /// [`mine_fatbin`] failure mode.
+    pub fn mine_fatbin<R, F>(
+        &self,
+        name: &str,
+        targets: &[Arc<dyn TargetModel>],
+        epsilon: f64,
+        options: &TuneOptions,
+        make_runner: F,
+    ) -> Result<FatCompiled, Error>
+    where
+        R: FnMut(&Function, u32) -> Result<f64, SimError>,
+        F: Fn(&Arc<dyn TargetModel>) -> R + Sync,
+    {
+        let cache = options
+            .cache
+            .clone()
+            .or_else(|| self.cache.clone())
+            .ok_or_else(|| {
+                Error::Fatbin(
+                    "fat-binary mining needs a persistent cache: build with \
+                     Compiler::with_cache or set RESPEC_CACHE_DIR"
+                        .into(),
+                )
+            })?;
+        let func = self.kernel(name).clone();
+        mine_fatbin(
+            &func,
+            targets,
+            &cache,
+            epsilon,
+            options,
+            make_runner,
+            &self.trace,
+        )
+    }
+}

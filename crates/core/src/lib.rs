@@ -49,6 +49,8 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod fatbin;
+
 pub use respec_analyze as analyze;
 pub use respec_backend as backend;
 pub use respec_cache as cache;
@@ -59,6 +61,7 @@ pub use respec_sim as sim;
 pub use respec_trace as trace;
 pub use respec_tune as tune;
 
+pub use fatbin::{mine_fatbin, FatCompiled, FatDispatch, FatTarget, FatVariant};
 pub use respec_analyze::AnalysisReport;
 pub use respec_cache::{Lookup, StoredReport, StoredWinner, TuningCache};
 pub use respec_frontend::KernelSpec;
@@ -79,9 +82,9 @@ pub use respec_tune::{
 /// `use respec::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        targets, CoarsenConfig, Compiled, Compiler, CpuTargetDesc, Diagnostic, Error, FaultPlan,
-        FaultSpec, GpuSim, KernelArg, LaunchReport, RetryPolicy, Severity, Strategy, TargetDesc,
-        TargetKind, TargetModel, Trace, TuneOptions, TuneResult, TuningCache,
+        targets, CoarsenConfig, Compiled, Compiler, CpuTargetDesc, Diagnostic, Error, FatCompiled,
+        FaultPlan, FaultSpec, GpuSim, KernelArg, LaunchReport, RetryPolicy, Severity, Strategy,
+        TargetDesc, TargetKind, TargetModel, Trace, TuneOptions, TuneResult, TuningCache,
     };
 }
 
@@ -105,6 +108,11 @@ pub enum Error {
     /// created (corrupt *entries* are never errors — they degrade to
     /// misses — but an unusable cache *directory* is).
     Cache(String),
+    /// Fat-binary mining or dispatch failure: no stored winners to mine
+    /// (empty or fully corrupt cache), an invalid ε budget, or a dispatch
+    /// request no variant can serve. Always structured — an unusable
+    /// winner store degrades to this error, never to a panic.
+    Fatbin(String),
 }
 
 impl fmt::Display for Error {
@@ -117,6 +125,7 @@ impl fmt::Display for Error {
             Error::Analysis(d) => d.fmt(f),
             Error::Builder(m) => write!(f, "builder error: {m}"),
             Error::Cache(m) => write!(f, "tuning cache error: {m}"),
+            Error::Fatbin(m) => write!(f, "fat-binary error: {m}"),
         }
     }
 }
@@ -135,6 +144,7 @@ impl From<Error> for Diagnostic {
             Error::Analysis(d) => d,
             Error::Builder(m) => Diagnostic::error("builder-error", m),
             Error::Cache(m) => Diagnostic::error("cache-error", m),
+            Error::Fatbin(m) => Diagnostic::error("fatbin-error", m),
         }
     }
 }

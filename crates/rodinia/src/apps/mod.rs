@@ -5,6 +5,7 @@ mod backprop;
 mod bfs;
 mod cfd;
 mod gaussian;
+mod gemm;
 mod hotspot;
 mod hotspot3d;
 mod lavamd;
@@ -21,6 +22,7 @@ pub use backprop::Backprop;
 pub use bfs::Bfs;
 pub use cfd::Cfd;
 pub use gaussian::Gaussian;
+pub use gemm::Gemm;
 pub use hotspot::Hotspot;
 pub use hotspot3d::Hotspot3D;
 pub use lavamd::LavaMd;
@@ -59,4 +61,14 @@ pub fn all_apps_sized(workload: Workload) -> Vec<Box<dyn App>> {
         Box::new(SradV1::new(workload)),
         Box::new(StreamCluster::new(workload)),
     ]
+}
+
+/// The 15 applications plus `gemm` (the fat-binary workload family) — 16
+/// in total. `gemm` is not part of the paper's Rodinia evaluation, so
+/// [`all_apps_sized`] keeps the canonical 15; experiments that want the
+/// full fat-binary matrix use this.
+pub fn all_apps_with_gemm(workload: Workload) -> Vec<Box<dyn App>> {
+    let mut apps = all_apps_sized(workload);
+    apps.push(Box::new(Gemm::new(workload)));
+    apps
 }

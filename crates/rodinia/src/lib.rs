@@ -36,7 +36,7 @@ pub use framework::{
     verify_app, App, AppError, Workload,
 };
 
-pub use apps::{all_apps, all_apps_sized};
+pub use apps::{all_apps, all_apps_sized, all_apps_with_gemm};
 
 #[cfg(test)]
 mod tests {

@@ -119,6 +119,24 @@ pub trait TargetModel: Send + Sync + fmt::Debug {
     fn as_gpu(&self) -> Option<&TargetDesc> {
         None
     }
+
+    /// Feature vector for nearest-neighbor target matching: execution
+    /// width, parallel units, per-block scratch budget, and the two cache
+    /// levels of the simulator projection, in that order. A fat binary's
+    /// runtime dispatcher compares these (in log space — the quantities
+    /// span orders of magnitude) to pick a variant for a target whose
+    /// fingerprint it has never seen. Strictly positive by construction,
+    /// so `ln` is always defined.
+    fn feature_vector(&self) -> [f64; 5] {
+        let d = self.sim_desc();
+        [
+            f64::from(self.exec_width()),
+            f64::from(self.parallel_units()),
+            self.shared_per_block() as f64,
+            d.l1_bytes as f64,
+            d.l2_bytes as f64,
+        ]
+    }
 }
 
 /// A GPU target description: occupancy-limiting resources (§II-A3) plus
@@ -847,6 +865,29 @@ mod tests {
         assert_eq!(p.l2_bytes, c.l3_bytes, "sim-L2 is the shared L3");
         // Registers must never be the CPU occupancy limiter.
         assert!(p.regs_per_sm >= p.max_regs_per_thread * p.max_threads_per_sm);
+    }
+
+    #[test]
+    fn feature_vectors_are_positive_and_discriminate_registry_targets() {
+        let mut seen: Vec<[u64; 5]> = Vec::new();
+        for name in TARGET_NAMES {
+            let m = by_name(name).expect("registered target");
+            let f = m.feature_vector();
+            assert!(
+                f.iter().all(|&v| v.is_finite() && v > 0.0),
+                "{name}: features must be strictly positive for log-space \
+                 distances, got {f:?}"
+            );
+            seen.push(f.map(f64::to_bits));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            TARGET_NAMES.len(),
+            "no two registry targets may share a feature vector, or \
+             nearest-neighbor dispatch could not tell them apart"
+        );
     }
 
     #[test]
